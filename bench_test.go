@@ -1,0 +1,175 @@
+// Benchmarks regenerating every table and figure of the paper's §4
+// evaluation. Each benchmark runs the corresponding experiment on the
+// simulated prototype and reports normalized performance via
+// b.ReportMetric (metric "np"), with the paper's published value
+// alongside (metric "np-paper") for comparison of shape.
+//
+//	go test -bench=. -benchmem
+package hft
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/guest"
+	"repro/internal/harness"
+	"repro/internal/machine"
+	"repro/internal/netsim"
+	"repro/internal/perfmodel"
+	"repro/internal/replication"
+	"repro/internal/sim"
+)
+
+// benchNP runs one configuration per iteration and reports the measured
+// and paper normalized performance.
+func benchNP(b *testing.B, kind uint32, el uint64, proto replication.Protocol, link netsim.LinkConfig, paper float64) {
+	b.Helper()
+	scale := harness.QuickScale()
+	var np float64
+	for i := 0; i < b.N; i++ {
+		np, _, _ = harness.Measure(scale, kind, el, proto, link)
+	}
+	b.ReportMetric(np, "np")
+	if paper > 0 {
+		b.ReportMetric(paper, "np-paper")
+	}
+}
+
+// BenchmarkFigure2 regenerates Figure 2's measured points: the
+// CPU-intensive workload under the original protocol at the paper's
+// measured epoch lengths (paper: 22.24, 11.83, 6.50, 3.83).
+func BenchmarkFigure2(b *testing.B) {
+	paper := map[uint64]float64{1024: 22.24, 2048: 11.83, 4096: 6.50, 8192: 3.83}
+	for _, el := range []uint64{1024, 2048, 4096, 8192} {
+		b.Run(fmt.Sprintf("EL=%d", el), func(b *testing.B) {
+			benchNP(b, guest.WorkloadCPU, el, replication.ProtocolOld, netsim.LinkConfig{}, paper[el])
+		})
+	}
+}
+
+// BenchmarkFigure3 regenerates Figure 3's measured points: the disk
+// write and read benchmarks (paper write: 1.87/1.71/1.67/1.64; read:
+// 2.32/2.10/2.03/1.98).
+func BenchmarkFigure3(b *testing.B) {
+	paper := perfmodel.Table1Paper()
+	for _, wl := range []struct {
+		name string
+		kind uint32
+	}{{"write", guest.WorkloadDiskWrite}, {"read", guest.WorkloadDiskRead}} {
+		for _, el := range []uint64{1024, 2048, 4096, 8192} {
+			b.Run(fmt.Sprintf("%s/EL=%d", wl.name, el), func(b *testing.B) {
+				benchNP(b, wl.kind, el, replication.ProtocolOld, netsim.LinkConfig{},
+					paper[wl.name][int(el)][0])
+			})
+		}
+	}
+}
+
+// BenchmarkFigure4 regenerates Figure 4's comparison: the CPU workload
+// over the Ethernet and ATM link models (paper at 32K: 1.84 vs 1.66;
+// measured points taken at 4K and 8K where the contrast is visible).
+func BenchmarkFigure4(b *testing.B) {
+	for _, link := range []struct {
+		name string
+		cfg  netsim.LinkConfig
+	}{{"ethernet", netsim.Ethernet10("")}, {"atm", netsim.ATM155("")}} {
+		for _, el := range []uint64{4096, 8192} {
+			b.Run(fmt.Sprintf("%s/EL=%d", link.name, el), func(b *testing.B) {
+				benchNP(b, guest.WorkloadCPU, el, replication.ProtocolOld, link.cfg, 0)
+			})
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1: all three workloads at the four
+// measured epoch lengths under BOTH protocols.
+func BenchmarkTable1(b *testing.B) {
+	paper := perfmodel.Table1Paper()
+	kinds := map[string]uint32{
+		"cpu":   guest.WorkloadCPU,
+		"write": guest.WorkloadDiskWrite,
+		"read":  guest.WorkloadDiskRead,
+	}
+	for _, wl := range []string{"cpu", "write", "read"} {
+		for _, el := range []uint64{1024, 2048, 4096, 8192} {
+			for pi, proto := range []replication.Protocol{replication.ProtocolOld, replication.ProtocolNew} {
+				b.Run(fmt.Sprintf("%s/%s/EL=%d", wl, proto, el), func(b *testing.B) {
+					benchNP(b, kinds[wl], el, proto, netsim.LinkConfig{}, paper[wl][int(el)][pi])
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkEndpoint385K evaluates the HP-UX maximum epoch length through
+// the analytic model (the paper's 1.24 headline); running 385K-instruction
+// epochs on the simulator adds nothing beyond the model here.
+func BenchmarkEndpoint385K(b *testing.B) {
+	p := perfmodel.PaperCPU()
+	var np float64
+	for i := 0; i < b.N; i++ {
+		np = perfmodel.NPC(p, perfmodel.HPUXMaxEpoch)
+	}
+	b.ReportMetric(np, "np")
+	b.ReportMetric(1.24, "np-paper")
+}
+
+// --- substrate micro-benchmarks -------------------------------------
+
+// BenchmarkMachineStep measures the PA-lite interpreter's raw speed.
+func BenchmarkMachineStep(b *testing.B) {
+	p := asm.MustAssemble("bench.s", `
+	loop:
+		addi r1, r1, 1
+		xor  r2, r2, r1
+		slli r3, r1, 2
+		add  r2, r2, r3
+		b loop
+	`)
+	m := machine.New(machine.Config{})
+	m.LoadProgram(p.Origin, p.Words, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Step()
+	}
+}
+
+// BenchmarkHypervisorEpoch measures the cost of running one epoch under
+// the hypervisor (simulation-host time, not virtual time).
+func BenchmarkHypervisorEpoch(b *testing.B) {
+	k := sim.NewKernel(1)
+	defer k.Shutdown()
+	scale := harness.QuickScale()
+	_ = scale
+	res := harness.RunBare(1, guest.CPUIntensive(uint32(b.N/40+100)), scale.Disk)
+	if res.Guest.Panic != 0 {
+		b.Fatal("guest panic")
+	}
+}
+
+// BenchmarkAssembler measures kernel assembly speed.
+func BenchmarkAssembler(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := asm.Assemble("kernel.s", guest.KernelSource); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimKernel measures the discrete-event kernel's event
+// throughput.
+func BenchmarkSimKernel(b *testing.B) {
+	k := sim.NewKernel(1)
+	count := 0
+	var schedule func()
+	schedule = func() {
+		count++
+		if count < b.N {
+			k.After(10, schedule)
+		}
+	}
+	k.After(10, schedule)
+	b.ResetTimer()
+	k.Run()
+}

@@ -1,0 +1,64 @@
+// Command hftasm assembles PA-lite assembly (the instruction set of the
+// simulated processor) and prints a listing, raw hex words, or symbol
+// table. It is the developer tool for writing guest code.
+//
+// Usage:
+//
+//	hftasm [-hex] [-syms] [-kernel] [file.s]
+//
+// With -kernel, the built-in guest kernel is assembled instead of a
+// file (useful for inspecting the reproduction's guest OS).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/asm"
+	"repro/internal/guest"
+)
+
+func main() {
+	var (
+		hexOut = flag.Bool("hex", false, "print raw hex words instead of a listing")
+		syms   = flag.Bool("syms", false, "print the symbol table")
+		kernel = flag.Bool("kernel", false, "assemble the built-in guest kernel")
+	)
+	flag.Parse()
+
+	var name, src string
+	switch {
+	case *kernel:
+		name, src = "kernel.s", guest.KernelSource
+	case flag.NArg() == 1:
+		b, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hftasm: %v\n", err)
+			os.Exit(1)
+		}
+		name, src = flag.Arg(0), string(b)
+	default:
+		fmt.Fprintln(os.Stderr, "hftasm: need a source file or -kernel")
+		os.Exit(2)
+	}
+
+	p, err := asm.Assemble(name, src)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hftasm: %v\n", err)
+		os.Exit(1)
+	}
+	switch {
+	case *syms:
+		for _, n := range p.SymbolsSorted() {
+			fmt.Printf("%08x %s\n", p.Symbols[n], n)
+		}
+	case *hexOut:
+		for i, w := range p.Words {
+			fmt.Printf("%08x: %08x\n", p.Origin+uint32(4*i), w)
+		}
+	default:
+		fmt.Print(p.Disassemble())
+	}
+	fmt.Fprintf(os.Stderr, "hftasm: %d words, origin %#x\n", len(p.Words), p.Origin)
+}

@@ -1,0 +1,82 @@
+// Command hftbench regenerates every table and figure of the paper's
+// evaluation (§4) on the simulated prototype.
+//
+// Usage:
+//
+//	hftbench [-table1] [-fig2] [-fig3] [-fig4] [-all] [-scale quick|paper]
+//
+// Each experiment prints the simulator's measured normalized
+// performance beside the paper's published values. Absolute agreement
+// is not the goal (the substrate is a calibrated simulator, not two HP
+// 9000/720s); the shape — who wins, by what factor, where the curves
+// bend — is.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		table1 = flag.Bool("table1", false, "regenerate Table 1 (old vs new protocol)")
+		fig2   = flag.Bool("fig2", false, "regenerate Figure 2 (CPU-intensive workload)")
+		fig3   = flag.Bool("fig3", false, "regenerate Figure 3 (I/O workloads)")
+		fig4   = flag.Bool("fig4", false, "regenerate Figure 4 (faster communication)")
+		ablate = flag.Bool("ablation", false, "run the §3.2 TLB-takeover ablation")
+		all    = flag.Bool("all", false, "regenerate everything")
+		scaleN = flag.String("scale", "quick", "workload scale: quick or paper")
+	)
+	flag.Parse()
+
+	var scale harness.Scale
+	switch *scaleN {
+	case "quick":
+		scale = harness.QuickScale()
+	case "paper":
+		scale = harness.PaperScale()
+	default:
+		fmt.Fprintf(os.Stderr, "hftbench: unknown scale %q\n", *scaleN)
+		os.Exit(2)
+	}
+	if *all {
+		*table1, *fig2, *fig3, *fig4, *ablate = true, true, true, true, true
+	}
+	if !*table1 && !*fig2 && !*fig3 && !*fig4 && !*ablate {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *fig2 {
+		points, end := harness.Figure2(scale)
+		fmt.Println(harness.FormatFigure(
+			"Figure 2. CPU-Intensive Workload (predicted NPC(EL) at paper parameters; measured on simulator)",
+			map[string][]harness.FigurePoint{"CPU": points}, []string{"CPU"}))
+		fmt.Printf("Endpoint: EL=%d (HP-UX max) predicted NP=%.2f (paper: 1.24)\n\n",
+			int(end.EL), end.Predicted)
+	}
+	if *fig3 {
+		write, read := harness.Figure3(scale)
+		fmt.Println(harness.FormatFigure(
+			"Figure 3. Input/Output Workloads (NPW/NPR(EL))",
+			map[string][]harness.FigurePoint{"Disk Write": write, "Disk Read": read},
+			[]string{"Disk Write", "Disk Read"}))
+	}
+	if *fig4 {
+		eth, atm := harness.Figure4(scale)
+		fmt.Println(harness.FormatFigure(
+			"Figure 4. Faster Communication (10 Mbps Ethernet vs 155 Mbps ATM)",
+			map[string][]harness.FigurePoint{"Ethernet": eth, "ATM": atm},
+			[]string{"Ethernet", "ATM"}))
+	}
+	if *table1 {
+		rows := harness.Table1(scale)
+		fmt.Println(harness.FormatTable1(rows))
+	}
+	if *ablate {
+		fmt.Println(harness.FormatAblation(harness.TLBAblation()))
+	}
+}

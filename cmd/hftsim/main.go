@@ -1,0 +1,106 @@
+// Command hftsim runs one configured simulation of the fault-tolerant
+// prototype and reports timing, protocol statistics and (optionally)
+// failover behaviour.
+//
+// Usage:
+//
+//	hftsim -workload cpu|write|read [-iters N] [-ops N] [-epoch N]
+//	       [-protocol old|new] [-link ethernet|atm] [-fail-at-ms T]
+//	       [-bare] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	hft "repro" // the public facade lives at the module root
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "cpu", "cpu, write or read")
+		iters    = flag.Uint("iters", 20000, "CPU workload iterations")
+		ops      = flag.Uint("ops", 8, "disk workload operations")
+		count    = flag.Uint("count", 8192, "bytes per disk operation")
+		epoch    = flag.Uint64("epoch", 4096, "epoch length in instructions")
+		protocol = flag.String("protocol", "old", "old (P2 waits) or new (§4.3)")
+		link     = flag.String("link", "ethernet", "ethernet or atm")
+		failAt   = flag.Float64("fail-at-ms", 0, "failstop the primary at this time (ms); 0 = no failure")
+		bare     = flag.Bool("bare", false, "run on bare hardware only (the baseline)")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	var w hft.Workload
+	switch *workload {
+	case "cpu":
+		w = hft.CPUIntensive(uint32(*iters))
+	case "write":
+		w = hft.DiskWrite(uint32(*ops), uint32(*count))
+	case "read":
+		w = hft.DiskRead(uint32(*ops), uint32(*count))
+	default:
+		fmt.Fprintf(os.Stderr, "hftsim: unknown workload %q\n", *workload)
+		os.Exit(2)
+	}
+
+	cfg := hft.Config{
+		EpochLength: *epoch,
+		Seed:        *seed,
+	}
+	switch *protocol {
+	case "old":
+		cfg.Protocol = hft.ProtocolOld
+	case "new":
+		cfg.Protocol = hft.ProtocolNew
+	default:
+		fmt.Fprintf(os.Stderr, "hftsim: unknown protocol %q\n", *protocol)
+		os.Exit(2)
+	}
+	switch *link {
+	case "ethernet":
+		cfg.Link = hft.LinkEthernet10
+	case "atm":
+		cfg.Link = hft.LinkATM155
+	default:
+		fmt.Fprintf(os.Stderr, "hftsim: unknown link %q\n", *link)
+		os.Exit(2)
+	}
+	if *failAt > 0 {
+		cfg.FailPrimaryAt = hft.Duration(*failAt * float64(hft.Millisecond))
+	}
+
+	bareRes, err := hft.RunBare(cfg, w)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hftsim: bare run: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("bare hardware:   %-12v console=%q checksum=%#x\n",
+		bareRes.Time, bareRes.Console, bareRes.Checksum)
+	if *bare {
+		return
+	}
+
+	repl, err := hft.Run(cfg, w)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hftsim: replicated run: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("replicated:      %-12v console=%q checksum=%#x\n",
+		repl.Time, repl.Console, repl.Checksum)
+	fmt.Printf("normalized perf: %.3f\n", float64(repl.Time)/float64(bareRes.Time))
+	fmt.Printf("protocol:        %s, epoch %d, link %s\n", *protocol, *epoch, *link)
+	fmt.Printf("messages sent:   %d\n", repl.MessagesSent)
+	if repl.Promoted {
+		fmt.Printf("FAILOVER:        backup promoted; %d uncertain interrupt(s) synthesized (P7)\n",
+			repl.UncertainSynthesized)
+	}
+	if repl.Divergences != 0 {
+		fmt.Printf("WARNING:         %d divergences detected\n", repl.Divergences)
+	}
+	if repl.Checksum != bareRes.Checksum {
+		fmt.Printf("ERROR:           checksum differs from bare run\n")
+		os.Exit(1)
+	}
+}

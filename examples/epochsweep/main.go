@@ -1,0 +1,40 @@
+// Epochsweep: reproduce Figure 2's trade-off in miniature. Short epochs
+// amortize badly (every boundary pays the coordination round-trip); long
+// epochs delay interrupt delivery. The sweep prints measured normalized
+// performance beside the paper's analytic model at the same epoch
+// lengths, for both protocols.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hft "repro"
+	"repro/internal/perfmodel"
+)
+
+func main() {
+	w := hft.CPUIntensive(12000)
+	model := perfmodel.PaperCPU()
+	modelNew := model.WithHEpoch(perfmodel.HEpochNew)
+
+	fmt.Println("Epoch-length sweep, CPU-intensive workload (cf. Figure 2 / Table 1)")
+	fmt.Println()
+	fmt.Printf("%-8s  %-22s  %-22s\n", "", "original protocol", "revised protocol (§4.3)")
+	fmt.Printf("%-8s  %-10s %-10s  %-10s %-10s\n", "EL", "measured", "model", "measured", "model")
+	for _, el := range []uint64{1024, 2048, 4096, 8192, 16384, 32768} {
+		oldNP, err := hft.NormalizedPerformance(hft.Config{EpochLength: el, Protocol: hft.ProtocolOld}, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		newNP, err := hft.NormalizedPerformance(hft.Config{EpochLength: el, Protocol: hft.ProtocolNew}, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8d  %-10.2f %-10.2f  %-10.2f %-10.2f\n",
+			el, oldNP, perfmodel.NPC(model, float64(el)), newNP, perfmodel.NPC(modelNew, float64(el)))
+	}
+	fmt.Println()
+	fmt.Printf("HP-UX bound (385,000 instructions): model predicts %.2f — the paper's 1.24.\n",
+		perfmodel.NPC(model, perfmodel.HPUXMaxEpoch))
+}

@@ -1,0 +1,49 @@
+// Failover: kill the primary processor mid-workload — inside the
+// two-generals window, with a disk write outstanding — and watch the
+// backup take over. The environment (the shared disk) sees a sequence of
+// I/O operations consistent with a single processor: the outstanding
+// write is re-driven through a synthesized uncertain interrupt (rule P7)
+// and the guest driver's ordinary retry path.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hft "repro"
+)
+
+func main() {
+	w := hft.DiskWrite(6, 8192)
+	cfg := hft.Config{
+		EpochLength: 4096,
+		Protocol:    hft.ProtocolOld,
+	}
+
+	// Baseline: what a single never-failing machine produces.
+	bare, err := hft.RunBare(cfg, w)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Failstop the primary 40 ms in: it will have a write in flight.
+	cfg.FailPrimaryAt = 40 * hft.Millisecond
+	repl, err := hft.Run(cfg, w)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("primary failstopped at:   %v\n", cfg.FailPrimaryAt)
+	fmt.Printf("backup promoted:          %v\n", repl.Promoted)
+	fmt.Printf("uncertain interrupts:     %d (rule P7)\n", repl.UncertainSynthesized)
+	fmt.Printf("workload completed:       console %q\n", repl.Console)
+	fmt.Printf("result vs bare machine:   %#x vs %#x\n", repl.Checksum, bare.Checksum)
+	if repl.Checksum == bare.Checksum && repl.GuestPanic == 0 {
+		fmt.Println()
+		fmt.Println("The environment cannot tell the primary ever existed: every")
+		fmt.Println("committed disk write matches what one processor would have done,")
+		fmt.Println("with at most identical-content repetitions (which IO2 permits).")
+	} else {
+		log.Fatalf("INCONSISTENT RESULT after failover (panic=%#x)", repl.GuestPanic)
+	}
+}

@@ -1,0 +1,250 @@
+// Package hft is a reproduction of "Hypervisor-based Fault-tolerance"
+// (Bressoud & Schneider, SOSP 1995) as a self-contained Go library.
+//
+// The package simulates the paper's prototype: two PA-RISC-like
+// processors (PA-lite, interpreted deterministically), each under a
+// hypervisor augmented with the paper's replica-coordination protocols
+// (rules P1–P7 and the §4.3 revision), sharing a dual-ported SCSI disk
+// and connected by a modelled 10 Mbps Ethernet (or 155 Mbps ATM) link.
+// An unmodified guest kernel — written in PA-lite assembly — runs the
+// paper's workloads either bare (the baseline) or replicated.
+//
+// # Quick start
+//
+//	w := hft.CPUIntensive(10000)
+//	np, err := hft.NormalizedPerformance(hft.Config{EpochLength: 4096}, w)
+//	// np ≈ 6.5: the paper's Figure 2 at 4K-instruction epochs.
+//
+// Failures are injected with Config.FailPrimaryAt; the backup detects
+// the failstop, finishes the failover epoch, synthesizes uncertain
+// interrupts for outstanding I/O (rule P7) and takes over without the
+// environment noticing anything but a device retry.
+package hft
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/guest"
+	"repro/internal/harness"
+	"repro/internal/netsim"
+	"repro/internal/replication"
+	"repro/internal/scsi"
+	"repro/internal/sim"
+)
+
+// Protocol selects the replica-coordination variant.
+type Protocol = replication.Protocol
+
+// Protocol variants (§2 vs §4.3 of the paper).
+const (
+	// ProtocolOld awaits acknowledgements at every epoch boundary (P2).
+	ProtocolOld = replication.ProtocolOld
+	// ProtocolNew awaits acknowledgements only before I/O operations.
+	ProtocolNew = replication.ProtocolNew
+)
+
+// Workload describes a guest benchmark; construct with CPUIntensive,
+// DiskRead or DiskWrite.
+type Workload = guest.Workload
+
+// CPUIntensive is §4.1's workload: a Dhrystone-like loop of the given
+// iteration count (~35 instructions each).
+func CPUIntensive(iters uint32) Workload { return guest.CPUIntensive(iters) }
+
+// DiskWrite is §4.2's write benchmark: ops random-block writes of count
+// bytes, each awaited before the next. The per-operation computation
+// phase and privileged-instruction density are paper-calibrated.
+func DiskWrite(ops, count uint32) Workload {
+	w := guest.DiskWrite(ops, count)
+	w.PreOp, w.PrivOps = 5200, 1030
+	return w
+}
+
+// DiskRead is §4.2's read benchmark.
+func DiskRead(ops, count uint32) Workload {
+	w := guest.DiskRead(ops, count)
+	w.PreOp, w.PrivOps = 5200, 1030
+	return w
+}
+
+// Link identifies the hypervisor-to-hypervisor channel technology.
+type Link string
+
+// Supported links (Figure 4 compares them).
+const (
+	LinkEthernet10 Link = "ethernet10" // the prototype's 10 Mbps Ethernet
+	LinkATM155     Link = "atm155"     // §4.3's 155 Mbps ATM
+)
+
+// Config parameterizes a replicated run.
+type Config struct {
+	// EpochLength is instructions per epoch (default 4096, the paper's
+	// reference point; HP-UX bounds it at 385,000).
+	EpochLength uint64
+	// Protocol selects Old (§2) or New (§4.3); default Old.
+	Protocol Protocol
+	// Link selects the channel model; default LinkEthernet10.
+	Link Link
+	// Seed makes the whole simulation reproducible (default 1).
+	Seed int64
+	// FailPrimaryAt, when nonzero, failstops the primary's processor at
+	// that virtual time.
+	FailPrimaryAt sim.Time
+	// DetectTimeout is the backup's failure-detection timeout
+	// (default 50 ms simulated).
+	DetectTimeout sim.Time
+	// DiskReadLatency/DiskWriteLatency override the device service
+	// times (defaults: the paper's 24.2 ms / 26 ms).
+	DiskReadLatency  sim.Time
+	DiskWriteLatency sim.Time
+	// Backups is t, the number of backup replicas (default 1): the
+	// virtual machine tolerates t failstops. The paper builds t = 1 and
+	// notes the generalization is straightforward; here it is real.
+	Backups int
+	// FailBackupAt failstops backup i+1 at FailBackupAt[i] (for
+	// multi-failure experiments).
+	FailBackupAt []sim.Time
+}
+
+// Duration re-exports the simulated time unit (nanoseconds).
+type Duration = sim.Time
+
+// Convenient durations for Config fields.
+const (
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// Result reports a run.
+type Result struct {
+	// Time is the virtual completion time.
+	Time sim.Time
+	// Checksum is the guest workload's self-computed result (equal
+	// between bare and replicated runs of the same workload).
+	Checksum uint32
+	// Console is the environment-visible console transcript.
+	Console string
+	// Promoted reports whether the backup took over.
+	Promoted bool
+	// Divergences counts state-digest mismatches detected by the backup
+	// (always 0 unless the deterministic-replay machinery is broken).
+	Divergences uint64
+	// MessagesSent / UncertainSynthesized summarize protocol activity.
+	MessagesSent         uint64
+	UncertainSynthesized uint64
+	// GuestPanic is the guest kernel's panic code (0 = clean run).
+	GuestPanic uint32
+}
+
+func (c Config) withDefaults() Config {
+	if c.EpochLength == 0 {
+		c.EpochLength = 4096
+	}
+	if c.Link == "" {
+		c.Link = LinkEthernet10
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+func (c Config) link() (netsim.LinkConfig, error) {
+	switch c.Link {
+	case LinkEthernet10:
+		return netsim.Ethernet10(""), nil
+	case LinkATM155:
+		return netsim.ATM155(""), nil
+	}
+	return netsim.LinkConfig{}, fmt.Errorf("hft: unknown link %q", c.Link)
+}
+
+func (c Config) disk() scsi.DiskConfig {
+	return scsi.DiskConfig{
+		ReadLatency:  c.DiskReadLatency,
+		WriteLatency: c.DiskWriteLatency,
+	}
+}
+
+// validate rejects nonsensical configurations.
+func (c Config) validate() error {
+	if c.EpochLength > 385000 {
+		return errors.New("hft: epoch length exceeds the HP-UX clock-maintenance bound (385,000)")
+	}
+	return nil
+}
+
+// RunBare executes the workload on a single bare machine — the paper's
+// baseline (N in the normalized performance N'/N).
+func RunBare(cfg Config, w Workload) (Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	r := harness.RunBare(cfg.Seed, w, cfg.disk())
+	return Result{
+		Time:       r.Time,
+		Checksum:   r.Guest.Checksum,
+		Console:    r.Console,
+		GuestPanic: r.Guest.Panic,
+	}, nil
+}
+
+// Run executes the workload on the replicated pair (N').
+func Run(cfg Config, w Workload) (Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	link, err := cfg.link()
+	if err != nil {
+		return Result{}, err
+	}
+	r := harness.RunReplicated(harness.ReplicatedOptions{
+		Seed:          cfg.Seed,
+		Workload:      w,
+		Disk:          cfg.disk(),
+		EpochLength:   cfg.EpochLength,
+		Protocol:      cfg.Protocol,
+		Link:          link,
+		FailPrimaryAt: cfg.FailPrimaryAt,
+		DetectTimeout: cfg.DetectTimeout,
+		Backups:       cfg.Backups,
+		FailBackupAt:  cfg.FailBackupAt,
+	})
+	return Result{
+		Time:                 r.Time,
+		Checksum:             r.Guest.Checksum,
+		Console:              r.Console,
+		Promoted:             r.Promoted,
+		Divergences:          r.BackupStats.Divergences,
+		MessagesSent:         r.PrimaryStats.MessagesSent,
+		UncertainSynthesized: r.BackupStats.UncertainSynth,
+		GuestPanic:           r.Guest.Panic,
+	}, nil
+}
+
+// NormalizedPerformance runs the workload bare and replicated and
+// returns N'/N — the paper's figure of merit.
+func NormalizedPerformance(cfg Config, w Workload) (float64, error) {
+	bare, err := RunBare(cfg, w)
+	if err != nil {
+		return 0, err
+	}
+	repl, err := Run(cfg, w)
+	if err != nil {
+		return 0, err
+	}
+	if bare.GuestPanic != 0 || repl.GuestPanic != 0 {
+		return 0, fmt.Errorf("hft: guest panic (bare %#x, replicated %#x)", bare.GuestPanic, repl.GuestPanic)
+	}
+	if bare.Checksum != repl.Checksum {
+		return 0, fmt.Errorf("hft: replica result %#x differs from bare %#x", repl.Checksum, bare.Checksum)
+	}
+	if bare.Time == 0 {
+		return 0, errors.New("hft: zero baseline time")
+	}
+	return float64(repl.Time) / float64(bare.Time), nil
+}

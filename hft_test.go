@@ -1,0 +1,167 @@
+package hft
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestNormalizedPerformanceCPU(t *testing.T) {
+	np, err := NormalizedPerformance(Config{EpochLength: 4096}, CPUIntensive(5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if np <= 1 {
+		t.Errorf("np = %.3f, want > 1", np)
+	}
+	// The paper's regime at 4K epochs.
+	if np < 3 || np > 12 {
+		t.Errorf("np = %.3f, expected near the paper's 6.5", np)
+	}
+}
+
+func TestRunBareAndReplicatedAgree(t *testing.T) {
+	cfg := Config{EpochLength: 2048}
+	w := CPUIntensive(3000)
+	bare, err := RunBare(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repl, err := Run(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.Checksum != repl.Checksum {
+		t.Errorf("checksums differ: %#x vs %#x", bare.Checksum, repl.Checksum)
+	}
+	if bare.Console != repl.Console {
+		t.Errorf("consoles differ: %q vs %q", bare.Console, repl.Console)
+	}
+	if repl.Divergences != 0 {
+		t.Errorf("divergences = %d", repl.Divergences)
+	}
+	if repl.MessagesSent == 0 {
+		t.Error("no protocol messages sent")
+	}
+}
+
+func TestFailoverThroughPublicAPI(t *testing.T) {
+	cfg := Config{
+		EpochLength:      4096,
+		FailPrimaryAt:    5 * Millisecond,
+		DiskReadLatency:  500 * Microsecond,
+		DiskWriteLatency: 600 * Microsecond,
+	}
+	w := DiskWrite(3, 4096)
+	bare, err := RunBare(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repl, err := Run(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !repl.Promoted {
+		t.Fatal("backup did not promote")
+	}
+	if repl.GuestPanic != 0 {
+		t.Fatalf("guest panic %#x", repl.GuestPanic)
+	}
+	if repl.Checksum != bare.Checksum {
+		t.Errorf("failover checksum %#x != bare %#x", repl.Checksum, bare.Checksum)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	_, err := Run(Config{EpochLength: 500000}, CPUIntensive(10))
+	if err == nil || !strings.Contains(err.Error(), "385,000") {
+		t.Errorf("oversized epoch accepted: %v", err)
+	}
+	_, err = Run(Config{Link: "token-ring"}, CPUIntensive(10))
+	if err == nil || !strings.Contains(err.Error(), "unknown link") {
+		t.Errorf("bad link accepted: %v", err)
+	}
+}
+
+func TestProtocolComparison(t *testing.T) {
+	w := CPUIntensive(5000)
+	oldNP, err := NormalizedPerformance(Config{EpochLength: 2048, Protocol: ProtocolOld}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newNP, err := NormalizedPerformance(Config{EpochLength: 2048, Protocol: ProtocolNew}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newNP >= oldNP {
+		t.Errorf("revised protocol (%.2f) not faster than original (%.2f)", newNP, oldNP)
+	}
+}
+
+func TestLinkComparison(t *testing.T) {
+	w := CPUIntensive(5000)
+	eth, err := NormalizedPerformance(Config{EpochLength: 4096, Link: LinkEthernet10}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atm, err := NormalizedPerformance(Config{EpochLength: 4096, Link: LinkATM155}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if atm >= eth {
+		t.Errorf("ATM (%.2f) not faster than Ethernet (%.2f)", atm, eth)
+	}
+}
+
+func TestSeedReproducibility(t *testing.T) {
+	w := DiskRead(2, 2048)
+	cfg := Config{EpochLength: 4096, Seed: 99,
+		DiskReadLatency: 300 * Microsecond, DiskWriteLatency: 300 * Microsecond}
+	a, err := Run(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Time != b.Time || a.Checksum != b.Checksum {
+		t.Errorf("same seed, different runs: %v/%#x vs %v/%#x", a.Time, a.Checksum, b.Time, b.Checksum)
+	}
+}
+
+func TestTwoFaultToleranceThroughPublicAPI(t *testing.T) {
+	cfg := Config{
+		EpochLength:      4096,
+		Backups:          2,
+		DiskReadLatency:  400 * Microsecond,
+		DiskWriteLatency: 500 * Microsecond,
+		FailPrimaryAt:    2 * Millisecond,
+		FailBackupAt:     []Duration{120 * Millisecond},
+	}
+	w := DiskWrite(3, 2048)
+	bare, err := RunBare(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repl, err := Run(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !repl.Promoted {
+		t.Fatal("no promotion under double failure")
+	}
+	if repl.GuestPanic != 0 {
+		t.Fatalf("guest panic %#x", repl.GuestPanic)
+	}
+	if repl.Checksum != bare.Checksum {
+		t.Errorf("double-failure checksum %#x != bare %#x", repl.Checksum, bare.Checksum)
+	}
+}
+
+func TestDurationConstants(t *testing.T) {
+	if Second != sim.Second || Millisecond != sim.Millisecond || Microsecond != sim.Microsecond {
+		t.Error("duration constants drifted from sim package")
+	}
+}

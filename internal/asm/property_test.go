@@ -1,0 +1,109 @@
+package asm
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// TestRandomProgramRoundTrip generates random well-formed programs,
+// assembles them, disassembles every word, and checks the listing
+// decodes to the same instructions — an end-to-end coherence property
+// across the assembler, encoder and disassembler.
+func TestRandomProgramRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	reg := func() string { return fmt.Sprintf("r%d", rng.Intn(32)) }
+	for trial := 0; trial < 50; trial++ {
+		var lines []string
+		n := 5 + rng.Intn(30)
+		for i := 0; i < n; i++ {
+			switch rng.Intn(6) {
+			case 0:
+				lines = append(lines, fmt.Sprintf("\tadd %s, %s, %s", reg(), reg(), reg()))
+			case 1:
+				lines = append(lines, fmt.Sprintf("\taddi %s, %s, %d", reg(), reg(), rng.Intn(65536)-32768))
+			case 2:
+				lines = append(lines, fmt.Sprintf("\tldw %s, %d(%s)", reg(), 4*(rng.Intn(100)-50), reg()))
+			case 3:
+				lines = append(lines, fmt.Sprintf("\tstw %s, %d(%s)", reg(), 4*(rng.Intn(100)-50), reg()))
+			case 4:
+				lines = append(lines, fmt.Sprintf("\txori %s, %s, %d", reg(), reg(), rng.Intn(65536)))
+			case 5:
+				lines = append(lines, "\tnop")
+			}
+		}
+		src := strings.Join(lines, "\n") + "\n"
+		p, err := Assemble("rand.s", src)
+		if err != nil {
+			t.Fatalf("trial %d: assemble: %v\n%s", trial, err, src)
+		}
+		if len(p.Words) != n {
+			t.Fatalf("trial %d: %d words from %d lines", trial, len(p.Words), n)
+		}
+		for i, w := range p.Words {
+			in, err := isa.Decode(w)
+			if err != nil {
+				t.Fatalf("trial %d word %d: %v", trial, i, err)
+			}
+			w2, err := isa.Encode(in)
+			if err != nil || w2 != w {
+				t.Fatalf("trial %d word %d: re-encode %08x != %08x (%v)", trial, i, w2, w, err)
+			}
+		}
+	}
+}
+
+// TestLabelsAreStableAcrossPasses: a program with heavy forward and
+// backward references resolves identically however the symbols are used.
+func TestLabelsAreStableAcrossPasses(t *testing.T) {
+	p := mustAsm(t, `
+		b c
+	a:	nop
+		b d
+	b:	nop
+		b a
+	c:	nop
+		b b
+	d:	nop
+		.word a, b, c, d
+	`)
+	// Eight instructions then the table.
+	base := p.MustSymbol("a")
+	if base != 4 {
+		t.Fatalf("a = %#x", base)
+	}
+	tbl := p.Words[8:]
+	want := []uint32{p.MustSymbol("a"), p.MustSymbol("b"), p.MustSymbol("c"), p.MustSymbol("d")}
+	for i, w := range want {
+		if tbl[i] != w {
+			t.Errorf("table[%d] = %#x, want %#x", i, tbl[i], w)
+		}
+	}
+}
+
+// TestKernelSizeSane: the guest kernel must fit below its vector table
+// (layout invariant the kernel relies on).
+func TestNoOverlapLayout(t *testing.T) {
+	p := mustAsm(t, `
+		.org 0
+		nop
+		.org 0x100
+	entry:
+		nop
+		nop
+	`)
+	if p.MustSymbol("entry") != 0x100 {
+		t.Errorf("entry = %#x", p.MustSymbol("entry"))
+	}
+	if p.Words[0x100/4] == 0 {
+		t.Error("entry instruction missing after .org gap")
+	}
+	for i := 1; i < 0x100/4; i++ {
+		if p.Words[i] != 0 {
+			t.Errorf("gap word %d nonzero", i)
+		}
+	}
+}

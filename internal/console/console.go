@@ -1,0 +1,67 @@
+// Package console models the prototype's remote console (Figure 1 of the
+// paper): a trivially simple memory-mapped output device. Bytes stored to
+// the data register appear on the console; the status register always
+// reads ready.
+//
+// The console is an ENVIRONMENT interaction: under replication only the
+// primary's writes reach it (the backup's hypervisor suppresses output),
+// and after failover the promoted backup's writes continue the stream.
+// Tests compare the console transcript of a replicated run — including
+// runs with failover — against a bare single-machine run.
+package console
+
+// Register offsets.
+const (
+	RegData   uint32 = 0x0 // write: emit low byte
+	RegStatus uint32 = 0x4 // read: 1 (always ready)
+
+	// Window is the size of the console register bank.
+	Window uint32 = 0x10
+)
+
+// Console is the device. The zero value is ready to use.
+type Console struct {
+	out []byte
+	// Writes counts data-register stores (including suppressed ones is
+	// the hypervisor's business; the device only sees real stores).
+	Writes uint64
+}
+
+// New returns an empty console.
+func New() *Console { return &Console{} }
+
+// MMIOLoad implements machine.MMIOHandler.
+func (c *Console) MMIOLoad(off uint32, size int) (uint32, error) {
+	switch off {
+	case RegData:
+		return 0, nil
+	case RegStatus:
+		return 1, nil
+	}
+	return 0, errBadReg(off)
+}
+
+// MMIOStore implements machine.MMIOHandler.
+func (c *Console) MMIOStore(off uint32, size int, v uint32) error {
+	switch off {
+	case RegData:
+		c.out = append(c.out, byte(v))
+		c.Writes++
+		return nil
+	case RegStatus:
+		return nil // ignored
+	}
+	return errBadReg(off)
+}
+
+// Output returns the transcript so far.
+func (c *Console) Output() string { return string(c.out) }
+
+// Reset clears the transcript.
+func (c *Console) Reset() { c.out = nil; c.Writes = 0 }
+
+type badReg uint32
+
+func (b badReg) Error() string { return "console: bad register offset" }
+
+func errBadReg(off uint32) error { return badReg(off) }

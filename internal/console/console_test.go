@@ -1,0 +1,66 @@
+package console
+
+import "testing"
+
+func TestOutputAccumulates(t *testing.T) {
+	c := New()
+	for _, ch := range "hello" {
+		if err := c.MMIOStore(RegData, 4, uint32(ch)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Output() != "hello" {
+		t.Errorf("output = %q", c.Output())
+	}
+	if c.Writes != 5 {
+		t.Errorf("writes = %d", c.Writes)
+	}
+}
+
+func TestStatusAlwaysReady(t *testing.T) {
+	c := New()
+	v, err := c.MMIOLoad(RegStatus, 4)
+	if err != nil || v != 1 {
+		t.Errorf("status = %d, %v", v, err)
+	}
+	if v, err := c.MMIOLoad(RegData, 4); err != nil || v != 0 {
+		t.Errorf("data read = %d, %v", v, err)
+	}
+}
+
+func TestStatusWriteIgnored(t *testing.T) {
+	c := New()
+	if err := c.MMIOStore(RegStatus, 4, 99); err != nil {
+		t.Errorf("status write errored: %v", err)
+	}
+	if c.Output() != "" {
+		t.Error("status write produced output")
+	}
+}
+
+func TestBadRegister(t *testing.T) {
+	c := New()
+	if _, err := c.MMIOLoad(0xC, 4); err == nil {
+		t.Error("bad load offset accepted")
+	}
+	if err := c.MMIOStore(0xC, 4, 0); err == nil {
+		t.Error("bad store offset accepted")
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New()
+	c.MMIOStore(RegData, 4, 'x')
+	c.Reset()
+	if c.Output() != "" || c.Writes != 0 {
+		t.Error("reset incomplete")
+	}
+}
+
+func TestOnlyLowByteEmitted(t *testing.T) {
+	c := New()
+	c.MMIOStore(RegData, 4, 0x12345641) // 'A' in low byte
+	if c.Output() != "A" {
+		t.Errorf("output = %q, want A", c.Output())
+	}
+}

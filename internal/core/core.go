@@ -1,0 +1,48 @@
+// Package core anchors the paper's primary contribution — the
+// hypervisor-level replica-coordination protocols of Bressoud &
+// Schneider — in the repository layout. The implementation lives in
+// sibling packages; core re-exports the protocol engine so downstream
+// code (and readers navigating the tree) find the contribution in one
+// place:
+//
+//   - internal/replication: rules P1–P7 and the §4.3 revised protocol
+//     (the Primary and Backup engines re-exported here);
+//   - internal/hypervisor: the trap-and-emulate hypervisor with epoch
+//     control, interrupt buffering and TLB takeover;
+//   - internal/machine, internal/isa, internal/asm: the PA-lite
+//     processor substrate;
+//   - internal/scsi, internal/netsim, internal/console: the environment
+//     (dual-ported disk with IO1/IO2 semantics, FIFO links, console);
+//   - internal/guest: the unmodified guest operating system;
+//   - internal/harness, internal/perfmodel: the §4 evaluation.
+package core
+
+import "repro/internal/replication"
+
+// Protocol selects the coordination variant (§2 vs §4.3).
+type Protocol = replication.Protocol
+
+// Protocol variants.
+const (
+	// ProtocolOld awaits acknowledgements at every epoch boundary (P2).
+	ProtocolOld = replication.ProtocolOld
+	// ProtocolNew defers acknowledgement waits to I/O initiation (§4.3).
+	ProtocolNew = replication.ProtocolNew
+)
+
+// Primary is the engine implementing rules P1–P2 for the virtual
+// machine that interacts with the environment.
+type Primary = replication.Primary
+
+// Backup is the engine implementing rules P3–P7: replay, suppression,
+// failure detection, promotion, and uncertain-interrupt synthesis.
+type Backup = replication.Backup
+
+// Stats aggregates a protocol engine's counters.
+type Stats = replication.Stats
+
+// NewPrimary wires a primary engine (see replication.NewPrimary).
+var NewPrimary = replication.NewPrimary
+
+// NewBackup wires a backup engine (see replication.NewBackup).
+var NewBackup = replication.NewBackup

@@ -1,0 +1,193 @@
+// Package guest provides the guest "operating system" of the
+// reproduction: a small kernel written in PA-lite assembly that plays the
+// role HP-UX plays in the paper. The SAME kernel image runs in two
+// configurations:
+//
+//   - bare: at real privilege level 0 on a single machine (the paper's
+//     baseline), handling its own TLB misses and device interrupts;
+//   - virtualized: at virtual privilege level 0 under the hypervisor,
+//     where privileged instructions trap, the hypervisor manages the TLB
+//     (§3.2), and interrupts arrive at epoch boundaries.
+//
+// The kernel:
+//
+//   - boots using the paper's §3.1 "hack": a branch-and-link to discover
+//     its own address, masking the privilege bits BL deposits;
+//   - builds a linear page table, installs interruption vectors, arms the
+//     interval-timer clock tick, and enters virtual-address mode;
+//   - services TLB misses in software (exercised only on bare hardware —
+//     under the hypervisor the fills are invisible);
+//   - maintains a tick counter from interval-timer interrupts;
+//   - drives the SCSI disk with an interrupt-driven driver that RETRIES
+//     on uncertain (CHECK_CONDITION) completions — the behaviour IO1/IO2
+//     require and that rule P7 exploits at failover;
+//   - runs one of the paper's three workloads (§4.1, §4.2), selected
+//     through an in-memory ABI block the harness pokes before boot.
+package guest
+
+import (
+	"sync"
+
+	"repro/internal/asm"
+	"repro/internal/machine"
+)
+
+// Workload kinds (ABI values).
+const (
+	// WorkloadCPU is §4.1's CPU-intensive workload: a Dhrystone-like
+	// iteration mixing arithmetic, logic, memory copies, calls and
+	// branches, at the highest priority (it is the only process).
+	WorkloadCPU uint32 = 1
+	// WorkloadDiskWrite is §4.2's write benchmark: select a random
+	// block, write it, await completion; repeated Ops times.
+	WorkloadDiskWrite uint32 = 2
+	// WorkloadDiskRead is §4.2's read benchmark: select a random block,
+	// read it, await the data; repeated Ops times.
+	WorkloadDiskRead uint32 = 3
+	// WorkloadMemory strides over 32 pages of memory, keeping the TLB
+	// under constant pressure — the workload used to demonstrate the
+	// §3.2 TLB-nondeterminism hazard and the takeover fix.
+	WorkloadMemory uint32 = 4
+)
+
+// ABI addresses: the harness writes parameters here after loading the
+// kernel image and reads results after HALT. They sit in page 0, below
+// the kernel text.
+const (
+	ABIKind    uint32 = 0x0F00 // workload kind
+	ABIIters   uint32 = 0x0F04 // CPU iterations
+	ABIOps     uint32 = 0x0F08 // disk operations
+	ABISeed    uint32 = 0x0F0C // LCG seed for block selection
+	ABIMask    uint32 = 0x0F10 // block-number mask (pow2-1)
+	ABIBase    uint32 = 0x0F14 // first block number
+	ABICount   uint32 = 0x0F18 // bytes per disk operation
+	ABIResult  uint32 = 0x0F1C // workload checksum out
+	ABITicks   uint32 = 0x0F20 // clock ticks observed out
+	ABIPanic   uint32 = 0x0F24 // BREAK code on guest panic (0 = none)
+	ABIDoneTOD uint32 = 0x0F28 // guest TOD at completion
+	ABIPreOp   uint32 = 0x0F2C // disk workloads: compute iterations per op
+	ABIPrivOps uint32 = 0x0F30 // disk workloads: privileged instructions per op
+)
+
+// Fixed kernel layout (physical = virtual for RAM, identity-mapped).
+const (
+	// VectorBase is the interruption vector table address.
+	VectorBase uint32 = 0x2000
+	// PTBase is the linear page table (4096 entries x 4 bytes).
+	PTBase uint32 = 0x10000
+	// StackTop is the initial kernel stack pointer.
+	StackTop uint32 = 0x20000
+	// IOBuf is the disk DMA buffer.
+	IOBuf uint32 = 0x30000
+	// DeviceVA is the virtual address window mapped onto the MMIO space:
+	// virtual page 0xF00 -> physical page 0xF0000 (the SCSI adapter),
+	// 0xF01 -> console.
+	DeviceVA uint32 = 0x00F00000
+	// TickCycles is the interval-timer reload: one clock tick per this
+	// many cycles (0.5 ms at 50 MIPS). HP-UX's equivalent bounds usable
+	// epoch length (the paper's 385,000-instruction limit).
+	TickCycles uint32 = 25000
+)
+
+// Workload describes one benchmark configuration.
+type Workload struct {
+	// Kind selects the workload (WorkloadCPU, WorkloadDiskWrite,
+	// WorkloadDiskRead).
+	Kind uint32
+	// Iters is the CPU workload's iteration count.
+	Iters uint32
+	// Ops is the disk workloads' operation count.
+	Ops uint32
+	// Seed seeds the guest's LCG block selector.
+	Seed uint32
+	// BlockMask masks the random block offset (must be pow2-1).
+	BlockMask uint32
+	// BlockBase is added to the masked offset.
+	BlockBase uint32
+	// Count is bytes per disk operation (<= disk block size).
+	Count uint32
+	// PreOp is the disk workloads' per-operation compute phase, in
+	// iterations of a 3-instruction loop — the paper's "block selection
+	// calculation" whose hypervisor overhead dominates cpu(EL) in the
+	// NPW/NPR models.
+	PreOp uint32
+	// PrivOps is the per-operation count of privileged kernel
+	// instructions on the I/O path (paper-calibrated: ≈ 1030, the
+	// density that makes hypervisor simulation the dominant I/O cost).
+	PrivOps uint32
+}
+
+// MemoryStride returns the TLB-pressure workload (§3.2 ablation).
+func MemoryStride(iters uint32) Workload {
+	return Workload{Kind: WorkloadMemory, Iters: iters}
+}
+
+// CPUIntensive returns the §4.1 workload configuration at a given scale
+// (the paper runs 1e6 Dhrystone iterations; the simulator default is
+// smaller — normalized performance is scale-free).
+func CPUIntensive(iters uint32) Workload {
+	return Workload{Kind: WorkloadCPU, Iters: iters}
+}
+
+// DiskWrite returns the §4.2 write benchmark (paper: 2048 random-block
+// writes of 8 KiB).
+func DiskWrite(ops uint32, count uint32) Workload {
+	return Workload{
+		Kind: WorkloadDiskWrite, Ops: ops, Seed: 0x5EED,
+		BlockMask: 1023, BlockBase: 16, Count: count,
+	}
+}
+
+// DiskRead returns the §4.2 read benchmark.
+func DiskRead(ops uint32, count uint32) Workload {
+	return Workload{
+		Kind: WorkloadDiskRead, Ops: ops, Seed: 0x5EED,
+		BlockMask: 1023, BlockBase: 16, Count: count,
+	}
+}
+
+// Configure pokes the workload parameters into the machine's ABI block.
+// Call after loading the kernel image, before running. Both replicas
+// must be configured identically (they start in the same state).
+func Configure(m *machine.Machine, w Workload) {
+	m.StorePhys32(ABIKind, w.Kind)
+	m.StorePhys32(ABIIters, w.Iters)
+	m.StorePhys32(ABIOps, w.Ops)
+	m.StorePhys32(ABISeed, w.Seed)
+	m.StorePhys32(ABIMask, w.BlockMask)
+	m.StorePhys32(ABIBase, w.BlockBase)
+	m.StorePhys32(ABICount, w.Count)
+	m.StorePhys32(ABIPreOp, w.PreOp)
+	m.StorePhys32(ABIPrivOps, w.PrivOps)
+}
+
+// Result is what the kernel reports back through the ABI block.
+type Result struct {
+	Checksum uint32 // workload-defined checksum
+	Ticks    uint32 // clock ticks observed
+	Panic    uint32 // BREAK code if the guest panicked (0 = clean)
+	DoneTOD  uint32 // guest time-of-day at completion
+}
+
+// ReadResult extracts the ABI outputs after HALT.
+func ReadResult(m *machine.Machine) Result {
+	return Result{
+		Checksum: m.LoadPhys32(ABIResult),
+		Ticks:    m.LoadPhys32(ABITicks),
+		Panic:    m.LoadPhys32(ABIPanic),
+		DoneTOD:  m.LoadPhys32(ABIDoneTOD),
+	}
+}
+
+var (
+	progOnce sync.Once
+	prog     *asm.Program
+)
+
+// Program returns the assembled kernel image (assembled once, shared).
+func Program() *asm.Program {
+	progOnce.Do(func() {
+		prog = asm.MustAssemble("kernel.s", KernelSource)
+	})
+	return prog
+}

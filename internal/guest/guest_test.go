@@ -1,0 +1,293 @@
+package guest
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/hypervisor"
+	"repro/internal/platform"
+	"repro/internal/scsi"
+	"repro/internal/sim"
+)
+
+// fastDisk keeps tests quick; semantics identical to paper latencies.
+func fastDisk() scsi.DiskConfig {
+	return scsi.DiskConfig{
+		ReadLatency:  150 * sim.Microsecond,
+		WriteLatency: 200 * sim.Microsecond,
+	}
+}
+
+// runBare boots the kernel bare with a workload and runs to halt.
+func runBare(t *testing.T, w Workload, cfg platform.Config) (*platform.Single, Result, sim.Time) {
+	t.Helper()
+	k := sim.NewKernel(1)
+	t.Cleanup(k.Shutdown)
+	s := platform.NewSingle(k, cfg)
+	p := Program()
+	s.Bare.Boot(p.Origin, p.Words, 0)
+	Configure(s.Node.M, w)
+	var done sim.Time
+	k.Spawn("bare", func(pr *sim.Proc) {
+		s.Bare.Run(pr)
+		done = pr.Now()
+	})
+	k.RunUntil(200 * sim.Second)
+	if !s.Bare.Halted() {
+		t.Fatalf("bare kernel did not halt (pc=%#x)", s.Node.M.PC)
+	}
+	return s, ReadResult(s.Node.M), done
+}
+
+// runVirt boots the kernel under a single hypervisor (no replication)
+// and runs to halt.
+func runVirt(t *testing.T, w Workload, cfg platform.Config) (*platform.Single, Result, sim.Time) {
+	t.Helper()
+	k := sim.NewKernel(1)
+	t.Cleanup(k.Shutdown)
+	s := platform.NewSingle(k, cfg)
+	hv := hypervisor.New(s.Node.M, cfg.Hypervisor)
+	hv.AttachAdapter(platform.AdapterBase, platform.DiskIRQLine)
+	hv.AttachConsole(platform.ConsoleBase)
+	hv.SetIOActive(true)
+	p := Program()
+	hv.Boot(p.Origin, p.Words, 0)
+	Configure(s.Node.M, w)
+	var done sim.Time
+	k.Spawn("virt", func(pr *sim.Proc) {
+		for !hv.Halted() {
+			hv.StartEpochClock()
+			b := hv.RunEpoch(pr)
+			hv.TimerInterruptsDue(b.TOD)
+			hv.DeliverBuffered()
+			hv.ChargeBoundary(pr)
+		}
+		done = pr.Now()
+	})
+	k.RunUntil(200 * sim.Second)
+	if !hv.Halted() {
+		t.Fatalf("virtualized kernel did not halt (pc=%#x, instr=%d)",
+			s.Node.M.PC, hv.GuestInstructions())
+	}
+	return s, ReadResult(s.Node.M), done
+}
+
+func TestKernelAssembles(t *testing.T) {
+	p := Program()
+	if len(p.Words) == 0 {
+		t.Fatal("empty kernel image")
+	}
+	// Key symbols present at expected addresses.
+	if v := p.MustSymbol("vectors"); v != VectorBase {
+		t.Errorf("vectors at %#x, want %#x", v, VectorBase)
+	}
+	for _, sym := range []string{"boot", "kmain", "wl_cpu", "wl_write", "wl_read", "do_io", "tlb_miss", "irq_handler"} {
+		if _, ok := p.Symbol(sym); !ok {
+			t.Errorf("symbol %q missing", sym)
+		}
+	}
+}
+
+func TestBareCPUWorkload(t *testing.T) {
+	s, res, done := runBare(t, CPUIntensive(2000), platform.Config{Disk: fastDisk()})
+	if res.Panic != 0 {
+		t.Fatalf("guest panic %#x", res.Panic)
+	}
+	if res.Checksum == 0 {
+		t.Error("zero checksum")
+	}
+	if out := s.Node.Console.Output(); out != "C\n" {
+		t.Errorf("console = %q, want C\\n", out)
+	}
+	if res.Ticks == 0 {
+		t.Error("clock never ticked (interval timer broken)")
+	}
+	if done == 0 {
+		t.Error("no completion time")
+	}
+	// The bare kernel handled its own TLB misses.
+	if s.Node.M.TLB.Stats.Inserts == 0 {
+		t.Error("no TLB inserts — virtual mode never exercised")
+	}
+}
+
+func TestBareDiskWriteWorkload(t *testing.T) {
+	s, res, _ := runBare(t, DiskWrite(5, 1024), platform.Config{Disk: fastDisk()})
+	if res.Panic != 0 {
+		t.Fatalf("guest panic %#x", res.Panic)
+	}
+	if out := s.Node.Console.Output(); out != "W\n" {
+		t.Errorf("console = %q", out)
+	}
+	if got := len(s.Disk.Log); got != 5 {
+		t.Errorf("disk ops = %d, want 5", got)
+	}
+	for _, rec := range s.Disk.Log {
+		if rec.Cmd != scsi.CmdWrite {
+			t.Errorf("unexpected op %d", rec.Cmd)
+		}
+	}
+}
+
+func TestBareDiskReadWorkload(t *testing.T) {
+	cfg := platform.Config{Disk: fastDisk()}
+	// Pre-fill some blocks so reads return content... reads of zeroed
+	// blocks are fine too; checksum may be zero, so just check the log.
+	s, res, _ := runBare(t, DiskRead(6, 2048), cfg)
+	if res.Panic != 0 {
+		t.Fatalf("guest panic %#x", res.Panic)
+	}
+	if out := s.Node.Console.Output(); out != "R\n" {
+		t.Errorf("console = %q", out)
+	}
+	if got := len(s.Disk.Log); got != 6 {
+		t.Errorf("disk ops = %d, want 6", got)
+	}
+}
+
+func TestVirtualizedMatchesBare(t *testing.T) {
+	// The same kernel + workload produce the SAME architectural results
+	// bare and under the hypervisor: checksum, console, disk ops.
+	for _, w := range []Workload{
+		CPUIntensive(1500),
+		DiskWrite(4, 1024),
+		DiskRead(4, 1024),
+	} {
+		cfg := platform.Config{Disk: fastDisk()}
+		sBare, rBare, tBare := runBare(t, w, cfg)
+		sVirt, rVirt, tVirt := runVirt(t, w, cfg)
+		if rBare.Panic != 0 || rVirt.Panic != 0 {
+			t.Fatalf("kind %d: panics %#x / %#x", w.Kind, rBare.Panic, rVirt.Panic)
+		}
+		if rBare.Checksum != rVirt.Checksum {
+			t.Errorf("kind %d: checksum bare %#x vs virt %#x", w.Kind, rBare.Checksum, rVirt.Checksum)
+		}
+		if a, b := sBare.Node.Console.Output(), sVirt.Node.Console.Output(); a != b {
+			t.Errorf("kind %d: console %q vs %q", w.Kind, a, b)
+		}
+		if a, b := len(sBare.Disk.Log), len(sVirt.Disk.Log); a != b {
+			t.Errorf("kind %d: disk ops %d vs %d", w.Kind, a, b)
+		}
+		// Virtualization costs time (NP > 1).
+		if tVirt <= tBare {
+			t.Errorf("kind %d: virt (%v) not slower than bare (%v)", w.Kind, tVirt, tBare)
+		}
+	}
+}
+
+func TestTLBTakeoverInvisible(t *testing.T) {
+	// Under the hypervisor, the guest's tlb_miss handler must never run
+	// for resident pages: ABIPanic stays 0 and hypervisor TLB fills > 0.
+	cfg := platform.Config{Disk: fastDisk()}
+	k := sim.NewKernel(1)
+	defer k.Shutdown()
+	s := platform.NewSingle(k, cfg)
+	hv := hypervisor.New(s.Node.M, cfg.Hypervisor)
+	hv.AttachAdapter(platform.AdapterBase, platform.DiskIRQLine)
+	hv.AttachConsole(platform.ConsoleBase)
+	hv.SetIOActive(true)
+	p := Program()
+	hv.Boot(p.Origin, p.Words, 0)
+	Configure(s.Node.M, CPUIntensive(500))
+	k.Spawn("virt", func(pr *sim.Proc) {
+		for !hv.Halted() {
+			hv.StartEpochClock()
+			b := hv.RunEpoch(pr)
+			hv.TimerInterruptsDue(b.TOD)
+			hv.DeliverBuffered()
+		}
+	})
+	k.RunUntil(100 * sim.Second)
+	if !hv.Halted() {
+		t.Fatal("did not halt")
+	}
+	if hv.Stats.TLBFills == 0 {
+		t.Error("hypervisor made no TLB fills")
+	}
+	if res := ReadResult(s.Node.M); res.Panic != 0 {
+		t.Errorf("guest panicked: %#x (its TLB handler should be bypassed)", res.Panic)
+	}
+}
+
+func TestDeviceTransientRetriedByDriver(t *testing.T) {
+	cfg := platform.Config{Disk: fastDisk()}
+	cfg.Disk.Seed = 3
+	k := sim.NewKernel(1)
+	defer k.Shutdown()
+	s := platform.NewSingle(k, cfg)
+	s.Disk.InjectUncertainNext(2)
+	p := Program()
+	s.Bare.Boot(p.Origin, p.Words, 0)
+	Configure(s.Node.M, DiskWrite(3, 512))
+	k.Spawn("bare", func(pr *sim.Proc) { s.Bare.Run(pr) })
+	k.RunUntil(100 * sim.Second)
+	if !s.Bare.Halted() {
+		t.Fatal("did not halt")
+	}
+	res := ReadResult(s.Node.M)
+	if res.Panic != 0 {
+		t.Fatalf("guest panic %#x", res.Panic)
+	}
+	// 3 logical writes + 2 retries = 5 device ops.
+	if got := len(s.Disk.Log); got != 5 {
+		t.Errorf("disk ops = %d, want 5 (retries included)", got)
+	}
+	if s.Node.Adapter.OpsUncertain != 2 {
+		t.Errorf("uncertain completions = %d, want 2", s.Node.Adapter.OpsUncertain)
+	}
+}
+
+func TestWorkloadChecksumDeterministic(t *testing.T) {
+	_, r1, _ := runBare(t, CPUIntensive(800), platform.Config{Disk: fastDisk()})
+	_, r2, _ := runBare(t, CPUIntensive(800), platform.Config{Disk: fastDisk()})
+	if r1.Checksum != r2.Checksum {
+		t.Error("CPU checksum not deterministic")
+	}
+	// Different iteration counts give different checksums (sanity that
+	// the checksum depends on the work).
+	_, r3, _ := runBare(t, CPUIntensive(801), platform.Config{Disk: fastDisk()})
+	if r3.Checksum == r1.Checksum {
+		t.Error("checksum insensitive to iteration count")
+	}
+}
+
+func TestReadWorkloadChecksumsData(t *testing.T) {
+	// Pre-fill the blocks the LCG will select; the read workload's
+	// checksum must reflect the data.
+	cfg := platform.Config{Disk: fastDisk()}
+	k := sim.NewKernel(1)
+	defer k.Shutdown()
+	s := platform.NewSingle(k, cfg)
+	for b := uint32(16); b < 16+1024; b++ {
+		s.Disk.WriteBlockDirect(b, []byte{byte(b), byte(b >> 8), 1, 2})
+	}
+	p := Program()
+	s.Bare.Boot(p.Origin, p.Words, 0)
+	Configure(s.Node.M, DiskRead(4, 1024))
+	k.Spawn("bare", func(pr *sim.Proc) { s.Bare.Run(pr) })
+	k.RunUntil(100 * sim.Second)
+	res := ReadResult(s.Node.M)
+	if res.Panic != 0 {
+		t.Fatalf("panic %#x", res.Panic)
+	}
+	if res.Checksum == 0 {
+		t.Error("read checksum zero despite non-zero data")
+	}
+}
+
+func TestBootUsesBLMaskHack(t *testing.T) {
+	// The §3.1 hack must be present in the kernel source: a BL followed
+	// by masking the privilege bits.
+	if !strings.Contains(KernelSource, "bl   r3, boot_here") ||
+		!strings.Contains(KernelSource, "0xFFFFFFFC") {
+		t.Error("boot sequence lost the BL privilege-mask hack")
+	}
+}
+
+func TestTicksAdvanceWithWork(t *testing.T) {
+	_, small, _ := runBare(t, CPUIntensive(500), platform.Config{Disk: fastDisk()})
+	_, large, _ := runBare(t, CPUIntensive(50000), platform.Config{Disk: fastDisk()})
+	if large.Ticks <= small.Ticks {
+		t.Errorf("ticks: %d (large) <= %d (small)", large.Ticks, small.Ticks)
+	}
+}

@@ -1,0 +1,503 @@
+package guest
+
+// KernelSource is the guest operating system, in PA-lite assembly.
+//
+// Register conventions (must be respected by all kernel code):
+//
+//	r0        zero
+//	r2  (rp)  return pointer — NEVER used as scratch
+//	r3..r9    caller-saved scratch
+//	r10..r19  workload state / driver arguments
+//	r20..r25  RESERVED for interruption handlers
+//	r26/r28   arg0/ret0 (leaf calls)
+//	r30 (sp)  stack pointer (unused: leaf-only call graph)
+//
+// The interruption handlers run with translation off (the interruption
+// sequence clears PSW.V); all kernel data they touch is identity-mapped,
+// so physical access is equivalent.
+const KernelSource = `
+; ============================================================
+; PA-lite guest kernel — plays HP-UX's role in the reproduction
+; ============================================================
+
+	.equ PTBASE,    0x10000
+	.equ STACKTOP,  0x20000
+	.equ IOBUF,     0x30000
+	.equ DEVVA,     0x00F00000      ; SCSI adapter (virtual window)
+	.equ CONSVA,    0x00F01000      ; console (virtual window)
+	.equ TICKCYC,   25000           ; interval-timer reload
+
+	; ABI block (harness <-> kernel), page 0
+	.equ ABI_KIND,   0x0F00
+	.equ ABI_ITERS,  0x0F04
+	.equ ABI_OPS,    0x0F08
+	.equ ABI_SEED,   0x0F0C
+	.equ ABI_MASK,   0x0F10
+	.equ ABI_BASE,   0x0F14
+	.equ ABI_COUNT,  0x0F18
+	.equ ABI_RESULT, 0x0F1C
+	.equ ABI_TICKS,  0x0F20
+	.equ ABI_PANIC,  0x0F24
+	.equ ABI_DONE,   0x0F28
+	.equ ABI_PREOP,  0x0F2C
+	.equ ABI_PRIV,   0x0F30
+
+	; kernel variables, page 0
+	.equ TICKS,     0x0E00          ; clock tick counter
+	.equ IOFLAG,    0x0E04          ; disk completion flag
+	.equ STRSRC,    0x0E20          ; 16-byte string for the CPU workload
+	.equ STRDST,    0x0E40
+
+; ------------------------------------------------------------
+; Reset entry
+; ------------------------------------------------------------
+	.org 0
+reset:
+	b boot
+
+; ------------------------------------------------------------
+; Boot sequence
+; ------------------------------------------------------------
+	.org 0x40
+boot:
+	; §3.1 of the paper: discover our own address with branch-and-link.
+	; BL deposits the CURRENT PRIVILEGE LEVEL in the low bits of the
+	; return address; on bare hardware that is 0, but under a hypervisor
+	; virtual PL0 runs at real PL1 — so the bits MUST be masked. This is
+	; precisely the "hack" the paper applied to the HP-UX boot sequence.
+	bl   r3, boot_here
+boot_here:
+	li   r4, 0xFFFFFFFC
+	and  r3, r3, r4          ; r3 = physical address of boot_here
+	; (position-independence check: we are linked at boot_here)
+	li   r4, boot_here
+	bne  r3, r4, bad_link
+
+	li   sp, STACKTOP
+	li   r3, vectors
+	mtctl iva, r3
+
+	; ---- build the linear page table ----
+	; RAM: identity-map virtual pages 0..2047 (8 MiB), RWX, minPL 0.
+	li   r5, PTBASE
+	li   r6, 0               ; vpn
+	li   r7, 2048
+pt_ram:
+	slli r8, r6, 12          ; ppn<<12 (identity)
+	ori  r8, r8, 0x27        ; R|W|X | valid(0x20)
+	slli r9, r6, 2
+	add  r9, r9, r5
+	stw  r8, 0(r9)
+	addi r6, r6, 1
+	bne  r6, r7, pt_ram
+	; Devices: map virtual pages 0xF00..0xF0F onto physical pages
+	; 0xF0000.. (the MMIO window), RW, minPL 0.
+	li   r6, 0
+	li   r7, 16
+pt_dev:
+	li   r8, 0xF0000
+	add  r8, r8, r6
+	slli r8, r8, 12
+	ori  r8, r8, 0x23        ; R|W | valid
+	li   r9, 0xF00
+	add  r9, r9, r6
+	slli r9, r9, 2
+	add  r9, r9, r5
+	stw  r8, 0(r9)
+	addi r6, r6, 1
+	bne  r6, r7, pt_dev
+
+	li   r3, PTBASE
+	mtctl ptbr, r3
+
+	; ---- clock: arm the interval timer, unmask timer+disk lines ----
+	li   r3, TICKCYC
+	mtctl itmr, r3
+	li   r3, 3               ; lines 0 (timer) and 1 (disk)
+	mtctl eiem, r3
+
+	; ---- enter virtual mode with interrupts enabled ----
+	li   r3, 0xC             ; PSW.I | PSW.V (virtual PL 0)
+	mtctl ipsw, r3
+	li   r3, kmain
+	mtctl iia, r3
+	rfi
+
+bad_link:
+	break 39
+
+; ------------------------------------------------------------
+; Kernel main: dispatch the workload selected via the ABI block
+; ------------------------------------------------------------
+kmain:
+	; seed the CPU workload's string buffer
+	li   r3, 0x74737254      ; "Trst"
+	stw  r3, STRSRC(r0)
+	li   r3, 0x64654D65      ; "eMed"
+	stw  r3, STRSRC+4(r0)
+	li   r3, 0x68546E49      ; "InTh"
+	stw  r3, STRSRC+8(r0)
+	li   r3, 0x21565048      ; "HPV!"
+	stw  r3, STRSRC+12(r0)
+
+	ldw  r10, ABI_KIND(r0)
+	li   r3, 1
+	beq  r10, r3, wl_cpu
+	li   r3, 2
+	beq  r10, r3, wl_write
+	li   r3, 3
+	beq  r10, r3, wl_read
+	li   r3, 4
+	beq  r10, r3, wl_mem
+	break 20                 ; unknown workload
+
+; ------------------------------------------------------------
+; Workload 1: CPU-intensive (§4.1, Dhrystone-like)
+; ------------------------------------------------------------
+wl_cpu:
+	ldw  r10, ABI_ITERS(r0)
+	li   r11, 0              ; checksum
+	beq  r10, r0, cpu_done
+cpu_iter:
+	; arithmetic/logic mix
+	addi r3, r11, 13
+	mul  r4, r3, r3
+	slli r5, r4, 3
+	xor  r11, r11, r5
+	srli r5, r4, 7
+	add  r11, r11, r5
+	slt  r6, r4, r5
+	add  r11, r11, r6
+	; 16-byte string copy (word moves, as Dhrystone's Proc_6-ish body)
+	li   r6, STRSRC
+	li   r7, STRDST
+	ldw  r8, 0(r6)
+	stw  r8, 0(r7)
+	ldw  r8, 4(r6)
+	stw  r8, 4(r7)
+	ldw  r8, 8(r6)
+	stw  r8, 8(r7)
+	ldw  r8, 12(r6)
+	stw  r8, 12(r7)
+	ldw  r8, 0(r7)
+	add  r11, r11, r8
+	; leaf call (procedure-call overhead in the mix)
+	mov  arg0, r11
+	call leaf_mix
+	mov  r11, ret0
+	; conditional chain
+	slti r9, r11, 0
+	beq  r9, r0, cpu_pos
+	xori r11, r11, 0x5A5A
+cpu_pos:
+	addi r10, r10, -1
+	bne  r10, r0, cpu_iter
+cpu_done:
+	stw  r11, ABI_RESULT(r0)
+	li   r17, 'C'
+	call putc
+	b    finish
+
+leaf_mix:
+	slli ret0, arg0, 1
+	xor  ret0, ret0, arg0
+	srli r3, arg0, 3
+	add  ret0, ret0, r3
+	ret
+
+; ------------------------------------------------------------
+; Workload 2: disk write benchmark (§4.2)
+;   "a disk block is randomly selected, a write is issued, and then the
+;    write completion is awaited" — iterated ABI_OPS times.
+; ------------------------------------------------------------
+wl_write:
+	ldw  r10, ABI_OPS(r0)
+	ldw  r12, ABI_SEED(r0)
+	beq  r10, r0, wr_done
+wr_iter:
+	call preop               ; per-op compute phase (block selection)
+	call privphase           ; per-op kernel I/O-path privileged work
+	call lcg_next            ; r12 = next state
+	; block = base + ((state >> 16) & mask)
+	srli r18, r12, 16
+	ldw  r3, ABI_MASK(r0)
+	and  r18, r18, r3
+	ldw  r3, ABI_BASE(r0)
+	add  r18, r18, r3
+	; vary the buffer contents so every write is distinguishable
+	li   r15, IOBUF
+	stw  r12, 0(r15)
+	stw  r10, 4(r15)
+	li   r19, 2              ; CmdWrite
+	call do_io
+	addi r10, r10, -1
+	bne  r10, r0, wr_iter
+wr_done:
+	stw  r12, ABI_RESULT(r0)
+	li   r17, 'W'
+	call putc
+	b    finish
+
+; ------------------------------------------------------------
+; Workload 3: disk read benchmark (§4.2)
+;   "randomly selects a disk block, issues a read, and awaits the data"
+; ------------------------------------------------------------
+wl_read:
+	ldw  r10, ABI_OPS(r0)
+	ldw  r12, ABI_SEED(r0)
+	li   r11, 0              ; checksum of data read
+	beq  r10, r0, rd_done
+rd_iter:
+	call preop
+	call privphase
+	call lcg_next
+	srli r18, r12, 16
+	ldw  r3, ABI_MASK(r0)
+	and  r18, r18, r3
+	ldw  r3, ABI_BASE(r0)
+	add  r18, r18, r3
+	li   r15, IOBUF
+	li   r19, 1              ; CmdRead
+	call do_io
+	ldw  r3, 0(r15)          ; fold the first data word in
+	xor  r11, r11, r3
+	addi r10, r10, -1
+	bne  r10, r0, rd_iter
+rd_done:
+	stw  r11, ABI_RESULT(r0)
+	li   r17, 'R'
+	call putc
+	b    finish
+
+; ------------------------------------------------------------
+; Workload 4: memory-stride (TLB-pressure ablation, §3.2)
+;   touches 32 distinct pages cyclically, so a small TLB misses
+;   constantly — the workload that exposes nondeterministic TLB
+;   replacement when the hypervisor does NOT take over TLB management.
+; ------------------------------------------------------------
+wl_mem:
+	ldw  r10, ABI_ITERS(r0)
+	li   r11, 0
+	beq  r10, r0, mem_done
+mem_iter:
+	andi r3, r10, 31         ; page index 0..31
+	slli r3, r3, 12
+	li   r4, 0x40000         ; stride region base
+	add  r4, r4, r3
+	ldw  r5, 0(r4)
+	add  r11, r11, r5
+	xor  r11, r11, r10
+	stw  r11, 32(r4)
+	addi r10, r10, -1
+	bne  r10, r0, mem_iter
+mem_done:
+	stw  r11, ABI_RESULT(r0)
+	li   r17, 'M'
+	call putc
+	b    finish
+
+; preop: the benchmark's per-operation computation (the paper's block
+; selection / buffer management work). ABI_PREOP iterations x 3
+; instructions. Clobbers r3, r4.
+preop:
+	ldw  r4, ABI_PREOP(r0)
+	beq  r4, r0, preop_done
+preop_loop:
+	xor  r3, r3, r4
+	addi r4, r4, -1
+	bne  r4, r0, preop_loop
+preop_done:
+	ret
+
+; privphase: ABI_PRIV iterations, one privileged instruction each —
+; models the kernel I/O path's privileged-instruction density, which the
+; paper measured as the dominant per-operation hypervisor cost ("a
+; rather high percentage of the instructions concern I/O. These
+; instructions will be privileged and therefore must be simulated").
+; Clobbers r3, r4.
+privphase:
+	ldw  r4, ABI_PRIV(r0)
+	beq  r4, r0, priv_done
+priv_loop:
+	mfctl r3, ptbr           ; privileged kernel bookkeeping
+	addi r4, r4, -1
+	bne  r4, r0, priv_loop
+priv_done:
+	ret
+
+; lcg_next: r12 = r12*1664525 + 1013904223 (Numerical Recipes)
+lcg_next:
+	li   r3, 1664525
+	mul  r12, r12, r3
+	li   r3, 1013904223
+	add  r12, r12, r3
+	ret
+
+; ------------------------------------------------------------
+; Completion: record results and halt
+; ------------------------------------------------------------
+finish:
+	li   r17, 10             ; newline
+	call putc
+	ldw  r3, TICKS(r0)
+	stw  r3, ABI_TICKS(r0)
+	mftod r3
+	stw  r3, ABI_DONE(r0)
+	halt
+
+; ------------------------------------------------------------
+; Disk driver.
+;   in: r18 = block, r19 = command, r15 = DMA buffer (physical)
+;   clobbers r3, r4, r13
+; Retries on CHECK_CONDITION (uncertain) completions: IO2 says the
+; operation may or may not have been performed, and the device tolerates
+; repetition. Rule P7 synthesizes exactly such completions at failover.
+; ------------------------------------------------------------
+do_io:
+io_retry:
+	li   r13, DEVVA
+	stw  r19, 0(r13)         ; cmd
+	stw  r18, 4(r13)         ; block
+	stw  r15, 8(r13)         ; DMA address
+	ldw  r3, ABI_COUNT(r0)
+	stw  r3, 12(r13)         ; count
+	stw  r3, 20(r13)         ; doorbell
+io_spin:
+	; interrupt-driven wait: the completion handler sets IOFLAG.
+	; (HP-UX's idle loop spins the same way; under the hypervisor the
+	; flag is set when the buffered interrupt is delivered at an epoch
+	; boundary.)
+	ldw  r3, IOFLAG(r0)
+	beq  r3, r0, io_spin
+	stw  r0, IOFLAG(r0)
+	li   r13, DEVVA
+	ldw  r3, 16(r13)         ; status
+	li   r4, 0xFFFFFFFF
+	stw  r4, 16(r13)         ; write-1-to-clear
+	andi r4, r3, 4           ; StatusUncertain?
+	bne  r4, r0, io_retry
+	andi r4, r3, 8           ; StatusError?
+	bne  r4, r0, io_err
+	ret
+io_err:
+	break 13
+
+; putc: r17 = character; clobbers r13
+putc:
+	li   r13, CONSVA
+	stw  r17, 0(r13)
+	ret
+
+; ------------------------------------------------------------
+; Interruption vectors (32 bytes per slot). Handlers may use ONLY
+; r20..r27. They run with translation off; all data they touch is
+; identity-mapped.
+; ------------------------------------------------------------
+	.align 32
+	.org 0x2000
+vectors:
+v_reset:                         ; 0: unused
+	break 40
+	.align 32
+v_illegal:                       ; 1: illegal instruction
+	b panic_trap
+	.align 32
+v_priv:                          ; 2: privilege violation
+	b panic_trap
+	.align 32
+v_itlb:                          ; 3: instruction TLB miss
+	b tlb_miss
+	.align 32
+v_dtlb:                          ; 4: data TLB miss
+	b tlb_miss
+	.align 32
+v_access:                        ; 5: access rights
+	b panic_trap
+	.align 32
+v_align:                         ; 6: alignment
+	b panic_trap
+	.align 32
+v_break:                         ; 7: BREAK (guest panic)
+	b brk_handler
+	.align 32
+v_gate:                          ; 8: GATE (no syscalls in this kernel)
+	b panic_trap
+	.align 32
+v_recovery:                      ; 9: recovery counter (hypervisor-owned)
+	break 49
+	.align 32
+v_itimer:                        ; 10: (timer arrives as ext line 0)
+	break 50
+	.align 32
+v_extintr:                       ; 11: external interrupt
+	b irq_handler
+	.align 32
+v_arith:                         ; 12: arithmetic trap
+	b panic_trap
+	.align 32
+v_machine:                       ; 13: machine check
+	b panic_trap
+
+; ------------------------------------------------------------
+; TLB miss: software page-table walk + insert (the PA-RISC way).
+; On bare hardware this runs for every miss; under the hypervisor the
+; §3.2 TLB takeover makes resident-page misses invisible and this
+; handler runs only for truly unmapped addresses (a guest bug — panic).
+; ------------------------------------------------------------
+tlb_miss:
+	mfctl r20, ior           ; faulting virtual address
+	srli r21, r20, 12        ; vpn
+	li   r22, 4096
+	sltu r23, r21, r22
+	beq  r23, r0, panic_trap ; beyond the page table: unmapped
+	mfctl r22, ptbr
+	slli r23, r21, 2
+	add  r22, r22, r23
+	ldw  r23, 0(r22)         ; PTE
+	andi r22, r23, 0x20      ; valid?
+	beq  r22, r0, panic_trap
+	; itlbi operands: r24 = va | perm bits, r25 = pa
+	slli r24, r21, 12
+	andi r22, r23, 0x1F      ; permission bits
+	or   r24, r24, r22
+	li   r22, 0xFFFFF000
+	and  r25, r23, r22
+	itlbi r24, r25
+	rfi                      ; retry the faulting access
+
+; ------------------------------------------------------------
+; External interrupt: clock tick (line 0) and/or disk (line 1)
+; ------------------------------------------------------------
+irq_handler:
+	mfctl r20, eirr
+	mtctl eirr, r20          ; acknowledge all
+	andi r21, r20, 1         ; timer?
+	beq  r21, r0, irq_nodisk_check
+	; clock tick: bump TICKS, re-arm the interval timer
+	ldw  r22, TICKS(r0)
+	addi r22, r22, 1
+	stw  r22, TICKS(r0)
+	li   r22, TICKCYC
+	mtctl itmr, r22
+irq_nodisk_check:
+	andi r21, r20, 2         ; disk?
+	beq  r21, r0, irq_done
+	addi r22, r0, 1
+	stw  r22, IOFLAG(r0)
+irq_done:
+	rfi
+
+; ------------------------------------------------------------
+; Panic paths: record and halt
+; ------------------------------------------------------------
+panic_trap:
+	mfctl r20, iia           ; record the interrupted address (nonzero)
+	ori  r20, r20, 1
+	stw  r20, ABI_PANIC(r0)
+	halt
+
+brk_handler:
+	mfctl r20, isr           ; BREAK code
+	stw  r20, ABI_PANIC(r0)
+	halt
+`

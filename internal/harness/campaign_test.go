@@ -1,0 +1,102 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/guest"
+	"repro/internal/replication"
+	"repro/internal/scsi"
+	"repro/internal/sim"
+)
+
+// campaignScale keeps injection sweeps fast.
+func campaignScale() Scale {
+	s := QuickScale()
+	s.DiskOps = 3
+	s.Disk = scsi.DiskConfig{
+		ReadLatency:  400 * sim.Microsecond,
+		WriteLatency: 500 * sim.Microsecond,
+	}
+	s.CPUIters = 3000
+	return s
+}
+
+// TestFailureCampaignDiskWrite is the paper's core claim under fire: no
+// matter when the primary failstops — mid-epoch, mid-I/O, inside the
+// two-generals window, during boundary coordination — the workload
+// completes with the single-machine result and a consistent environment.
+func TestFailureCampaignDiskWrite(t *testing.T) {
+	scale := campaignScale()
+	// The replicated write workload runs ~15-30 ms at this scale; sweep
+	// the first 20 ms densely.
+	times := CampaignTimes(100*sim.Microsecond, 20*sim.Millisecond, 12)
+	results := FailureCampaign(scale, guest.WorkloadDiskWrite, 4096, replication.ProtocolOld, times)
+	promotions := 0
+	for _, r := range results {
+		if !r.Consistent {
+			t.Errorf("fail at %v: %s", r.FailAt, r.Detail)
+		}
+		if r.Promoted {
+			promotions++
+		}
+	}
+	if promotions == 0 {
+		t.Error("campaign never exercised failover")
+	}
+}
+
+func TestFailureCampaignDiskRead(t *testing.T) {
+	scale := campaignScale()
+	times := CampaignTimes(200*sim.Microsecond, 15*sim.Millisecond, 8)
+	results := FailureCampaign(scale, guest.WorkloadDiskRead, 2048, replication.ProtocolOld, times)
+	for _, r := range results {
+		if !r.Consistent {
+			t.Errorf("fail at %v: %s", r.FailAt, r.Detail)
+		}
+	}
+}
+
+func TestFailureCampaignNewProtocol(t *testing.T) {
+	// The revised protocol's window (§4.3): unacknowledged messages +
+	// failstop. The I/O gate must keep the environment consistent.
+	scale := campaignScale()
+	times := CampaignTimes(100*sim.Microsecond, 12*sim.Millisecond, 8)
+	results := FailureCampaign(scale, guest.WorkloadDiskWrite, 4096, replication.ProtocolNew, times)
+	for _, r := range results {
+		if !r.Consistent {
+			t.Errorf("fail at %v: %s", r.FailAt, r.Detail)
+		}
+	}
+}
+
+func TestFailureCampaignCPU(t *testing.T) {
+	scale := campaignScale()
+	times := CampaignTimes(50*sim.Microsecond, 5*sim.Millisecond, 6)
+	results := FailureCampaign(scale, guest.WorkloadCPU, 1024, replication.ProtocolOld, times)
+	for _, r := range results {
+		if !r.Consistent {
+			t.Errorf("fail at %v: %s", r.FailAt, r.Detail)
+		}
+	}
+}
+
+func TestCampaignTimesCoverage(t *testing.T) {
+	times := CampaignTimes(0, 1000, 100)
+	if len(times) != 100 {
+		t.Fatalf("len = %d", len(times))
+	}
+	// Low-discrepancy: all within range, reasonably spread (no half
+	// empty).
+	lowHalf := 0
+	for _, x := range times {
+		if x < 0 || x >= 1000 {
+			t.Fatalf("out of range: %v", x)
+		}
+		if x < 500 {
+			lowHalf++
+		}
+	}
+	if lowHalf < 30 || lowHalf > 70 {
+		t.Errorf("poor spread: %d/100 in low half", lowHalf)
+	}
+}

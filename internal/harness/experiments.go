@@ -1,0 +1,275 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/guest"
+	"repro/internal/machine"
+	"repro/internal/netsim"
+	"repro/internal/perfmodel"
+	"repro/internal/replication"
+)
+
+// Table1Row is one cell group of the paper's Table 1: a workload at an
+// epoch length under both protocols, measured on the simulator, next to
+// the paper's values.
+type Table1Row struct {
+	Workload string
+	EL       uint64
+	OldNP    float64
+	NewNP    float64
+	PaperOld float64
+	PaperNew float64
+}
+
+// workloadKinds maps table names to guest workload kinds.
+var workloadKinds = map[string]uint32{
+	"cpu":   guest.WorkloadCPU,
+	"write": guest.WorkloadDiskWrite,
+	"read":  guest.WorkloadDiskRead,
+}
+
+// Table1 regenerates the paper's Table 1 on the simulator: the three
+// workloads at epoch lengths 1K/2K/4K/8K under the original (§2) and
+// revised (§4.3) protocols.
+func Table1(scale Scale) []Table1Row {
+	paper := perfmodel.Table1Paper()
+	var rows []Table1Row
+	for _, wl := range []string{"cpu", "write", "read"} {
+		kind := workloadKinds[wl]
+		w := scale.workload(kind)
+		bare := RunBare(1, w, scale.Disk)
+		for _, el := range []uint64{1024, 2048, 4096, 8192} {
+			row := Table1Row{Workload: wl, EL: el}
+			row.PaperOld = paper[wl][int(el)][0]
+			row.PaperNew = paper[wl][int(el)][1]
+			for _, proto := range []replication.Protocol{replication.ProtocolOld, replication.ProtocolNew} {
+				repl := RunReplicated(ReplicatedOptions{
+					Seed: 1, Workload: w, Disk: scale.Disk,
+					EpochLength: el, Protocol: proto,
+				})
+				check(bare, repl)
+				np := float64(repl.Time) / float64(bare.Time)
+				if proto == replication.ProtocolOld {
+					row.OldNP = np
+				} else {
+					row.NewNP = np
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+// check panics on guest-visible inconsistency between a bare run and a
+// replicated run of the same workload.
+func check(bare, repl RunResult) {
+	if bare.Guest.Panic != 0 || repl.Guest.Panic != 0 {
+		panic(fmt.Sprintf("harness: guest panic (bare %#x, repl %#x)", bare.Guest.Panic, repl.Guest.Panic))
+	}
+	if bare.Guest.Checksum != repl.Guest.Checksum {
+		panic(fmt.Sprintf("harness: checksum mismatch bare %#x repl %#x",
+			bare.Guest.Checksum, repl.Guest.Checksum))
+	}
+}
+
+// FormatTable1 renders Table 1 next to the paper's numbers.
+func FormatTable1(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1. Normalized Performance of Original and Revised Protocol\n")
+	fmt.Fprintf(&b, "(measured on the simulator; paper values in parentheses)\n\n")
+	fmt.Fprintf(&b, "%-8s %-6s  %-18s %-18s\n", "Workload", "Epoch", "Old", "New")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %-6d  %6.2f (%6.2f)    %6.2f (%6.2f)\n",
+			r.Workload, r.EL, r.OldNP, r.PaperOld, r.NewNP, r.PaperNew)
+	}
+	return b.String()
+}
+
+// FigurePoint pairs an epoch length with a predicted and (optionally) a
+// measured normalized performance. Measured is NaN when not sampled.
+type FigurePoint struct {
+	EL        float64
+	Predicted float64
+	Measured  float64
+}
+
+// Figure2 regenerates the CPU-intensive figure: the analytic NPC curve
+// at paper parameters over 1K..32K, simulator measurements at the
+// paper's measured epoch lengths, and the 385K endpoint.
+func Figure2(scale Scale) (points []FigurePoint, endpoint FigurePoint) {
+	p := perfmodel.PaperCPU()
+	measured := map[float64]float64{}
+	for _, el := range perfmodel.MeasuredGrid() {
+		np, _, _ := Measure(scale, guest.WorkloadCPU, uint64(el), replication.ProtocolOld, netsim.LinkConfig{})
+		measured[el] = np
+	}
+	for _, el := range perfmodel.StandardGrid() {
+		fp := FigurePoint{EL: el, Predicted: perfmodel.NPC(p, el), Measured: math.NaN()}
+		if m, ok := measured[el]; ok {
+			fp.Measured = m
+		}
+		points = append(points, fp)
+	}
+	endpoint = FigurePoint{
+		EL:        perfmodel.HPUXMaxEpoch,
+		Predicted: perfmodel.NPC(p, perfmodel.HPUXMaxEpoch),
+		Measured:  math.NaN(),
+	}
+	return points, endpoint
+}
+
+// Figure3 regenerates the I/O figure: predicted NPW/NPR curves plus
+// simulator measurements for the disk write and read benchmarks.
+func Figure3(scale Scale) (write, read []FigurePoint) {
+	w, r := perfmodel.PaperWrite(), perfmodel.PaperRead()
+	mw := map[float64]float64{}
+	mr := map[float64]float64{}
+	for _, el := range perfmodel.MeasuredGrid() {
+		np, _, _ := Measure(scale, guest.WorkloadDiskWrite, uint64(el), replication.ProtocolOld, netsim.LinkConfig{})
+		mw[el] = np
+		np, _, _ = Measure(scale, guest.WorkloadDiskRead, uint64(el), replication.ProtocolOld, netsim.LinkConfig{})
+		mr[el] = np
+	}
+	for _, el := range perfmodel.StandardGrid() {
+		fw := FigurePoint{EL: el, Predicted: perfmodel.NPIO(w, el), Measured: math.NaN()}
+		fr := FigurePoint{EL: el, Predicted: perfmodel.NPIO(r, el), Measured: math.NaN()}
+		if m, ok := mw[el]; ok {
+			fw.Measured = m
+		}
+		if m, ok := mr[el]; ok {
+			fr.Measured = m
+		}
+		write = append(write, fw)
+		read = append(read, fr)
+	}
+	return write, read
+}
+
+// Figure4 regenerates the faster-communication figure: predicted NPC
+// curves for the 10 Mbps Ethernet and the 155 Mbps ATM link, plus
+// simulator measurements on both links at the measured grid.
+func Figure4(scale Scale) (ethernet, atm []FigurePoint) {
+	base := perfmodel.PaperCPU()
+	ethModel := base.WithHEpoch(perfmodel.Ethernet10Model().HEpoch())
+	atmModel := base.WithHEpoch(perfmodel.ATM155Model().HEpoch())
+	me := map[float64]float64{}
+	ma := map[float64]float64{}
+	for _, el := range perfmodel.MeasuredGrid() {
+		np, _, _ := Measure(scale, guest.WorkloadCPU, uint64(el), replication.ProtocolOld, netsim.Ethernet10(""))
+		me[el] = np
+		np, _, _ = Measure(scale, guest.WorkloadCPU, uint64(el), replication.ProtocolOld, netsim.ATM155(""))
+		ma[el] = np
+	}
+	for _, el := range perfmodel.StandardGrid() {
+		fe := FigurePoint{EL: el, Predicted: perfmodel.NPC(ethModel, el), Measured: math.NaN()}
+		fa := FigurePoint{EL: el, Predicted: perfmodel.NPC(atmModel, el), Measured: math.NaN()}
+		if m, ok := me[el]; ok {
+			fe.Measured = m
+		}
+		if m, ok := ma[el]; ok {
+			fa.Measured = m
+		}
+		ethernet = append(ethernet, fe)
+		atm = append(atm, fa)
+	}
+	return ethernet, atm
+}
+
+// FormatFigure renders a figure's series as a text table (only rows with
+// a measurement or on power-of-two epoch lengths, to stay readable).
+func FormatFigure(title string, series map[string][]FigurePoint, order []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n\n", title)
+	fmt.Fprintf(&b, "%-8s", "EL")
+	for _, name := range order {
+		fmt.Fprintf(&b, "  %-22s", name)
+	}
+	fmt.Fprintf(&b, "\n%-8s", "")
+	for range order {
+		fmt.Fprintf(&b, "  %-10s  %-10s", "predicted", "measured")
+	}
+	fmt.Fprintln(&b)
+	if len(order) == 0 {
+		return b.String()
+	}
+	ref := series[order[0]]
+	for i, pt := range ref {
+		keep := !math.IsNaN(pt.Measured) || isPow2(int(pt.EL))
+		for _, name := range order[1:] {
+			if !math.IsNaN(series[name][i].Measured) {
+				keep = true
+			}
+		}
+		if !keep {
+			continue
+		}
+		fmt.Fprintf(&b, "%-8.0f", pt.EL)
+		for _, name := range order {
+			p := series[name][i]
+			if math.IsNaN(p.Measured) {
+				fmt.Fprintf(&b, "  %-10.2f  %-10s", p.Predicted, "-")
+			} else {
+				fmt.Fprintf(&b, "  %-10.2f  %-10.2f", p.Predicted, p.Measured)
+			}
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// AblationResult reports one §3.2 TLB-takeover ablation configuration.
+type AblationResult struct {
+	Policy      string
+	Takeover    bool
+	Divergences int
+	TLBFills    uint64
+	GuestPanic  uint32
+}
+
+// TLBAblation runs the §3.2 demonstration matrix: the memory-stride
+// workload under {random, lru} TLB replacement × {takeover on, off}.
+// The hazard (divergence) must appear exactly in the random+off cell.
+func TLBAblation() []AblationResult {
+	var out []AblationResult
+	for _, policy := range []string{"random", "lru"} {
+		for _, takeover := range []bool{true, false} {
+			div := 0
+			res := RunReplicated(ReplicatedOptions{
+				Seed:          1,
+				Workload:      guest.MemoryStride(20000),
+				EpochLength:   2048,
+				Protocol:      replication.ProtocolOld,
+				Machine:       machine.Config{TLBSize: 8, TLBPolicy: policy},
+				NoTLBTakeover: !takeover,
+				OnDivergence:  func(uint64, uint64, uint64) { div++ },
+			})
+			out = append(out, AblationResult{
+				Policy:      policy,
+				Takeover:    takeover,
+				Divergences: div,
+				TLBFills:    res.HVStats.TLBFills,
+				GuestPanic:  res.Guest.Panic,
+			})
+		}
+	}
+	return out
+}
+
+// FormatAblation renders the ablation matrix.
+func FormatAblation(rows []AblationResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "TLB-takeover ablation (§3.2): memory-stride workload, 8-entry TLB\n\n")
+	fmt.Fprintf(&b, "%-10s %-10s %-12s %-10s\n", "policy", "takeover", "divergences", "hv fills")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %-10v %-12d %-10d\n", r.Policy, r.Takeover, r.Divergences, r.TLBFills)
+	}
+	b.WriteString("\nExpected: divergences only with (random, takeover=false) — the\n")
+	b.WriteString("nondeterministic hardware the paper found, hidden by the fix.\n")
+	return b.String()
+}

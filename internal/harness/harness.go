@@ -1,0 +1,313 @@
+// Package harness runs the paper's experiments end to end on the
+// simulated prototype: it boots the guest kernel bare (the RT baseline)
+// and replicated (primary + backup under the coordination protocols),
+// measures completion times, computes normalized performance, and
+// regenerates every table and figure of §4.
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/guest"
+	"repro/internal/hypervisor"
+	"repro/internal/machine"
+	"repro/internal/netsim"
+	"repro/internal/platform"
+	"repro/internal/replication"
+	"repro/internal/scsi"
+	"repro/internal/sim"
+)
+
+// Scale selects workload sizing. Normalized performance is a ratio, so
+// the curves' shape is scale-free; larger scales reduce quantization
+// noise at the cost of simulation time.
+type Scale struct {
+	Name string
+	// CPUIters is the CPU workload's iteration count (paper: 1e6
+	// Dhrystone iterations ≈ 4.2e8 instructions).
+	CPUIters uint32
+	// DiskOps is the I/O benchmarks' operation count (paper: 2048).
+	DiskOps uint32
+	// PreOp is the per-op compute phase in 3-instruction iterations
+	// (paper-calibrated: ≈ 15,500 instructions per op at paper scale).
+	PreOp uint32
+	// PrivOps is the per-op privileged-instruction count on the kernel
+	// I/O path (paper-calibrated: ≈ 1030).
+	PrivOps uint32
+	// Count is bytes per disk op (paper: 8 KiB blocks).
+	Count uint32
+	// Disk provides the device service times (paper: 26 ms writes,
+	// 24.2 ms reads).
+	Disk scsi.DiskConfig
+}
+
+// QuickScale is small enough for unit tests and go-test benchmarks: the
+// device times, per-op computation, privileged density and block size
+// are all scaled down by 4x together, so every term of the NPW/NPR
+// balance keeps its paper-calibrated ratio and the normalized
+// performance lands where the paper's does.
+func QuickScale() Scale {
+	return Scale{
+		Name:     "quick",
+		CPUIters: 6000,
+		DiskOps:  4,
+		PreOp:    1300,
+		PrivOps:  258,
+		Count:    2048,
+		Disk: scsi.DiskConfig{
+			ReadLatency:  sim.Time(24.2 * float64(sim.Millisecond) / 4),
+			WriteLatency: 26 * sim.Millisecond / 4,
+		},
+	}
+}
+
+// PaperScale uses the paper's device latencies, block size and per-op
+// calibration with a reduced operation count (normalized performance is
+// a ratio; simulating all 2048 paper operations adds nothing).
+func PaperScale() Scale {
+	return Scale{
+		Name:     "paper",
+		CPUIters: 12000,
+		DiskOps:  8,
+		PreOp:    5200,
+		PrivOps:  1030,
+		Count:    8192,
+		Disk:     scsi.DiskConfig{}, // defaults = paper latencies
+	}
+}
+
+// workload materializes a guest workload for this scale.
+func (s Scale) workload(kind uint32) guest.Workload {
+	switch kind {
+	case guest.WorkloadCPU:
+		return guest.CPUIntensive(s.CPUIters)
+	case guest.WorkloadDiskWrite:
+		w := guest.DiskWrite(s.DiskOps, s.Count)
+		w.PreOp, w.PrivOps = s.PreOp, s.PrivOps
+		return w
+	case guest.WorkloadDiskRead:
+		w := guest.DiskRead(s.DiskOps, s.Count)
+		w.PreOp, w.PrivOps = s.PreOp, s.PrivOps
+		return w
+	}
+	panic(fmt.Sprintf("harness: unknown workload kind %d", kind))
+}
+
+// RunResult reports one simulated run.
+type RunResult struct {
+	// Time is the workload completion time (virtual).
+	Time sim.Time
+	// Guest is the kernel's ABI report.
+	Guest guest.Result
+	// Console is the primary-side console transcript.
+	Console string
+	// Promoted reports whether a failover occurred.
+	Promoted bool
+	// PrimaryStats/BackupStats are the protocol engines' counters
+	// (zero for bare runs).
+	PrimaryStats replication.Stats
+	BackupStats  replication.Stats
+	// HVStats is the primary hypervisor's activity (zero for bare).
+	HVStats hypervisor.Stats
+}
+
+// RunBare executes the workload on bare hardware (the paper's baseline).
+func RunBare(seed int64, w guest.Workload, disk scsi.DiskConfig) RunResult {
+	k := sim.NewKernel(seed)
+	defer k.Shutdown()
+	s := platform.NewSingle(k, platform.Config{Disk: disk})
+	p := guest.Program()
+	s.Bare.Boot(p.Origin, p.Words, 0)
+	guest.Configure(s.Node.M, w)
+	var done sim.Time
+	k.Spawn("bare", func(pr *sim.Proc) {
+		s.Bare.Run(pr)
+		done = pr.Now()
+	})
+	k.RunUntil(20000 * sim.Second)
+	if !s.Bare.Halted() {
+		panic(fmt.Sprintf("harness: bare run did not halt (pc=%#x)", s.Node.M.PC))
+	}
+	return RunResult{
+		Time:    done,
+		Guest:   guest.ReadResult(s.Node.M),
+		Console: s.Node.Console.Output(),
+	}
+}
+
+// ReplicatedOptions configures a replicated run.
+type ReplicatedOptions struct {
+	Seed        int64
+	Workload    guest.Workload
+	Disk        scsi.DiskConfig
+	EpochLength uint64
+	Protocol    replication.Protocol
+	// Link configures the hypervisor channel (zero = 10 Mbps Ethernet).
+	Link netsim.LinkConfig
+	// FailPrimaryAt, if nonzero, failstops the primary at that virtual
+	// time.
+	FailPrimaryAt sim.Time
+	// DetectTimeout is the backup's failure-detection timeout
+	// (default 50 ms; backup i waits i x DetectTimeout).
+	DetectTimeout sim.Time
+	// Backups is the number of backup replicas t (default 1). The
+	// resulting virtual machine is t-fault-tolerant.
+	Backups int
+	// FailBackupAt failstops backup i+1 at FailBackupAt[i] (0 = never).
+	FailBackupAt []sim.Time
+	// Machine overrides the processor configuration (TLB size/policy —
+	// used by the §3.2 ablation).
+	Machine machine.Config
+	// NoTLBTakeover disables the hypervisor's §3.2 TLB takeover
+	// (ablation: demonstrates the nondeterminism hazard).
+	NoTLBTakeover bool
+	// OnDivergence, when set, observes backup digest mismatches instead
+	// of panicking.
+	OnDivergence func(epoch uint64, primary, backup uint64)
+}
+
+// RunReplicated executes the workload on a replicated group: one primary
+// plus o.Backups backups (a t-fault-tolerant virtual machine).
+func RunReplicated(o ReplicatedOptions) RunResult {
+	if o.DetectTimeout == 0 {
+		o.DetectTimeout = 50 * sim.Millisecond
+	}
+	if o.Backups == 0 {
+		o.Backups = 1
+	}
+	n := o.Backups + 1
+	k := sim.NewKernel(o.Seed)
+	defer k.Shutdown()
+	cluster := platform.NewCluster(k, platform.Config{
+		Disk:    o.Disk,
+		Link:    o.Link,
+		Machine: o.Machine,
+		Hypervisor: hypervisor.Config{
+			EpochLength:   o.EpochLength,
+			NoTLBTakeover: o.NoTLBTakeover,
+		},
+	}, n)
+	p := guest.Program()
+	for _, node := range cluster.Nodes {
+		node.HV.Boot(p.Origin, p.Words, 0)
+		guest.Configure(node.M, o.Workload)
+	}
+
+	var peers []replication.Peer
+	for j := 1; j < n; j++ {
+		tx, rx := cluster.Channel(0, j)
+		peers = append(peers, replication.Peer{TX: tx, RX: rx})
+	}
+	pri := replication.NewPrimaryMulti(cluster.Nodes[0].HV, peers, o.Protocol)
+	var baks []*replication.Backup
+	for i := 1; i < n; i++ {
+		var ups, downs []replication.Peer
+		for j := 0; j < i; j++ {
+			tx, rx := cluster.Channel(i, j)
+			ups = append(ups, replication.Peer{TX: tx, RX: rx})
+		}
+		for j := i + 1; j < n; j++ {
+			tx, rx := cluster.Channel(i, j)
+			downs = append(downs, replication.Peer{TX: tx, RX: rx})
+		}
+		bak := replication.NewBackupAt(
+			cluster.Nodes[i].HV, i, ups, downs, o.DetectTimeout, o.Protocol)
+		bak.OnDivergence = o.OnDivergence
+		baks = append(baks, bak)
+	}
+
+	if o.FailPrimaryAt > 0 {
+		k.At(o.FailPrimaryAt, func() {
+			pri.Failstop()
+			cluster.Nodes[0].Adapter.Detached = true
+		})
+	}
+	for i, at := range o.FailBackupAt {
+		if at > 0 && i < len(baks) {
+			i, at := i, at
+			k.At(at, func() {
+				baks[i].Failstop()
+				cluster.Nodes[i+1].Adapter.Detached = true
+			})
+		}
+	}
+
+	done := make([]sim.Time, n)
+	k.Spawn("primary", func(pr *sim.Proc) { pri.Run(pr); done[0] = pr.Now() })
+	for i, bak := range baks {
+		i, bak := i, bak
+		k.Spawn(fmt.Sprintf("backup%d", i+1), func(pr *sim.Proc) { bak.Run(pr); done[i+1] = pr.Now() })
+	}
+	k.RunUntil(20000 * sim.Second)
+
+	res := RunResult{PrimaryStats: pri.Stats}
+	if len(baks) > 0 {
+		res.BackupStats = baks[0].Stats
+	}
+	for _, b := range baks {
+		if b.Promoted() {
+			res.Promoted = true
+		}
+	}
+	// Report from the authoritative survivor: the primary if it never
+	// failed, else the last promoted surviving node, else any node whose
+	// guest HALTED before its processor was killed (a replica that
+	// completed the workload and was failstopped afterwards still
+	// produced the deterministic result).
+	authority := -1
+	switch {
+	case cluster.Nodes[0].HV.Halted() && !pri.Failed():
+		authority = 0
+	default:
+		for i := len(baks) - 1; i >= 0; i-- {
+			if baks[i].Promoted() && baks[i].HV.Halted() && !baks[i].Failed() {
+				authority = i + 1
+				break
+			}
+		}
+		if authority < 0 {
+			for i := len(baks) - 1; i >= 0; i-- {
+				if baks[i].HV.Halted() {
+					authority = i + 1
+					break
+				}
+			}
+		}
+		if authority < 0 && cluster.Nodes[0].HV.Halted() {
+			authority = 0
+		}
+	}
+	if authority < 0 {
+		panic(fmt.Sprintf("harness: replicated run did not complete (pri pc=%#x promoted=%v)",
+			cluster.Nodes[0].M.PC, res.Promoted))
+	}
+	res.Time = done[authority]
+	res.Guest = guest.ReadResult(cluster.Nodes[authority].M)
+	res.HVStats = cluster.Nodes[authority].HV.Stats
+	for i := 0; i <= authority; i++ {
+		res.Console += cluster.Nodes[i].Console.Output()
+	}
+	return res
+}
+
+// Measure computes normalized performance for one configuration: the
+// replicated completion time over the bare completion time.
+func Measure(scale Scale, kind uint32, el uint64, proto replication.Protocol, link netsim.LinkConfig) (np float64, bare, repl RunResult) {
+	w := scale.workload(kind)
+	bare = RunBare(1, w, scale.Disk)
+	repl = RunReplicated(ReplicatedOptions{
+		Seed:        1,
+		Workload:    w,
+		Disk:        scale.Disk,
+		EpochLength: el,
+		Protocol:    proto,
+		Link:        link,
+	})
+	if bare.Guest.Panic != 0 || repl.Guest.Panic != 0 {
+		panic(fmt.Sprintf("harness: guest panic (bare %#x, repl %#x)", bare.Guest.Panic, repl.Guest.Panic))
+	}
+	if bare.Guest.Checksum != repl.Guest.Checksum {
+		panic(fmt.Sprintf("harness: checksum mismatch bare %#x repl %#x", bare.Guest.Checksum, repl.Guest.Checksum))
+	}
+	return float64(repl.Time) / float64(bare.Time), bare, repl
+}

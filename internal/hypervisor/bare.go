@@ -1,0 +1,100 @@
+package hypervisor
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// Bare runs a guest directly on the hardware, the way the paper's
+// baseline measurements do: the kernel executes at real privilege level
+// 0, every trap vectors through the hardware interruption sequence
+// (machine.DeliverTrap), devices are accessed directly, and no hypervisor
+// costs are charged. Normalized performance N'/N compares a replicated
+// run against this.
+type Bare struct {
+	// M is the machine (with Bus wired to real devices).
+	M *machine.Machine
+	// InstructionTime is the cost of one instruction (default 20 ns).
+	InstructionTime sim.Time
+	// ChunkSize bounds instructions between simulated-time syncs
+	// (default 256).
+	ChunkSize int
+	// OnDiag receives guest DIAG codes.
+	OnDiag func(code uint32)
+	// MaxInstructions aborts runaway guests (default 1e10).
+	MaxInstructions uint64
+
+	halted bool
+}
+
+// NewBare wraps a machine for bare-metal execution.
+func NewBare(m *machine.Machine) *Bare {
+	return &Bare{
+		M:               m,
+		InstructionTime: 20 * sim.Nanosecond,
+		ChunkSize:       256,
+		MaxInstructions: 1e10,
+	}
+}
+
+// Boot loads the program and points the machine at its entry.
+func (b *Bare) Boot(origin uint32, words []uint32, entry uint32) {
+	b.M.LoadProgram(origin, words, entry)
+}
+
+// Halted reports whether the guest halted.
+func (b *Bare) Halted() bool { return b.halted }
+
+// Run executes the guest until HALT, driving hardware trap delivery and
+// idling through WFI. It must be called from the machine's simulation
+// process.
+func (b *Bare) Run(p *sim.Proc) {
+	m := b.M
+	k := p.Kernel()
+	for !b.halted {
+		if m.Cycles() > b.MaxInstructions {
+			panic(fmt.Sprintf("bare: guest exceeded %d instructions", b.MaxInstructions))
+		}
+		before := m.Cycles()
+		var res machine.StepResult
+		for i := 0; i < b.ChunkSize; i++ {
+			res = m.Step()
+			if res.Trap != isa.TrapNone || res.Halted || res.Idle || res.Diag != 0 {
+				break
+			}
+		}
+		if d := m.Cycles() - before; d > 0 {
+			p.Sleep(sim.Time(d) * b.InstructionTime)
+		}
+		switch {
+		case res.Trap != isa.TrapNone:
+			// Hardware interruption sequence: this is what a bare
+			// PA-lite machine does for every trap.
+			m.DeliverTrap(res.Trap, res.ISR, res.IOR)
+		case res.Halted:
+			b.halted = true
+		case res.Idle:
+			// WFI: idle until some interrupt line rises. Device events
+			// are scheduled in the kernel; sleep event-to-event.
+			for !m.IRQRaised() {
+				next, ok := k.NextEventTime()
+				if !ok {
+					panic("bare: WFI with no pending events (guest would hang)")
+				}
+				d := next - k.Now()
+				if d < 0 {
+					d = 0
+				}
+				p.Sleep(d)
+				p.Yield() // let the event's effects (IRQ raise) land
+			}
+		case res.Diag != 0:
+			if b.OnDiag != nil {
+				b.OnDiag(res.Diag - 1)
+			}
+		}
+	}
+}

@@ -1,0 +1,484 @@
+package hypervisor
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/scsi"
+	"repro/internal/sim"
+)
+
+// RunEpoch executes exactly cfg.EpochLength guest instructions (or fewer
+// if the guest halts), charging simulated time for instruction execution
+// and hypervisor activity, and capturing device interrupts mid-epoch.
+// It returns the epoch-boundary report. The caller (replication layer)
+// then performs the boundary protocol: Tme exchange, TimerInterruptsDue,
+// DeliverBuffered, and advances to the next epoch.
+//
+// p must be the simulation process driving this machine.
+func (hv *Hypervisor) RunEpoch(p *sim.Proc) Boundary {
+	target := hv.guestInstr + hv.cfg.EpochLength
+	m := hv.M
+	cost := hv.cfg.Cost
+
+	for !hv.halted && hv.guestInstr < target {
+		if hv.Stop != nil && hv.Stop() {
+			// Failstop: the processor halts abruptly and detectably.
+			break
+		}
+		// Arm the recovery counter for the remainder of the epoch: the
+		// Instruction-Stream Interrupt Assumption in action.
+		remaining := target - hv.guestInstr
+		m.CRs[isa.CRRCTR] = uint32(remaining)
+
+		// Execute a chunk, then sync simulated time and poll devices.
+		chunk := uint64(hv.cfg.ChunkSize)
+		if chunk > remaining {
+			chunk = remaining
+		}
+		before := m.Cycles()
+		var res machine.StepResult
+		for executed := uint64(0); executed < chunk; executed++ {
+			res = m.Step()
+			if res.Trap != isa.TrapNone || res.Halted || res.Diag != 0 {
+				break
+			}
+		}
+		executed := m.Cycles() - before
+		hv.guestInstr += executed
+		hv.Stats.GuestInstructions += executed
+		if executed > 0 {
+			p.Sleep(sim.Time(executed) * cost.InstructionTime)
+		}
+		// Poll real device lines raised while the chunk ran (P1 capture).
+		hv.pollDevices()
+
+		switch {
+		case res.Trap == isa.TrapRecovery:
+			// Epoch boundary reached exactly.
+			if hv.guestInstr != target {
+				panic(fmt.Sprintf("hypervisor: recovery trap at %d, target %d",
+					hv.guestInstr, target))
+			}
+		case res.Trap != isa.TrapNone:
+			hv.handleTrap(p, res)
+		case res.Halted:
+			hv.halted = true
+		case res.Diag != 0:
+			hv.handleDiagAtPL0(res)
+		}
+	}
+
+	hv.epoch++
+	hv.Stats.Epochs++
+	b := Boundary{
+		Epoch:      hv.epoch - 1,
+		GuestInstr: hv.guestInstr,
+		Digest:     hv.Digest(),
+		Halted:     hv.halted,
+		TOD:        m.TOD(),
+	}
+	return b
+}
+
+// StartEpochClock begins a new epoch's virtual-TOD base: the primary uses
+// its real clock; the backup uses the Tme value from the primary (call
+// SetTODBase instead). Charged as part of boundary processing.
+func (hv *Hypervisor) StartEpochClock() uint32 {
+	tod := hv.M.TOD()
+	hv.SetTODBase(tod)
+	return tod
+}
+
+// ChargeBoundary charges the local epoch-boundary processing cost.
+func (hv *Hypervisor) ChargeBoundary(p *sim.Proc) {
+	hv.Stats.HypervisorTime += hv.cfg.Cost.EpochLocal
+	p.Sleep(hv.cfg.Cost.EpochLocal)
+}
+
+// handleDiagAtPL0 handles a DIAG executed at real PL0 (only possible in
+// the hypervisor's own context; guests trap instead). Kept for symmetry.
+func (hv *Hypervisor) handleDiagAtPL0(res machine.StepResult) {
+	if hv.OnDiag != nil {
+		hv.OnDiag(res.Diag - 1)
+	}
+}
+
+// chargeSim charges the cost of one full hypervisor simulation
+// (entry/exit + work).
+func (hv *Hypervisor) chargeSim(p *sim.Proc) {
+	c := hv.cfg.Cost.HSim()
+	hv.Stats.HypervisorTime += c
+	p.Sleep(c)
+}
+
+// chargeEntryExit charges a hypervisor entry/exit without simulation work
+// (trap reflection, TLB fill base cost).
+func (hv *Hypervisor) chargeEntryExit(p *sim.Proc) {
+	c := hv.cfg.Cost.TrapEntryExit
+	hv.Stats.HypervisorTime += c
+	p.Sleep(c)
+}
+
+// handleTrap dispatches a guest trap to the appropriate emulation.
+func (hv *Hypervisor) handleTrap(p *sim.Proc, res machine.StepResult) {
+	m := hv.M
+	switch res.Trap {
+	case isa.TrapPriv:
+		hv.chargeSim(p)
+		hv.Stats.PrivSimulated++
+		hv.emulatePrivileged(res.Inst)
+		// The simulated instruction retires from the guest's point of
+		// view: it counts toward the epoch's instruction total exactly
+		// as a hardware-executed instruction would.
+		hv.guestInstr++
+		hv.Stats.GuestInstructions++
+
+	case isa.TrapITLBMiss, isa.TrapDTLBMiss:
+		if hv.cfg.NoTLBTakeover {
+			// Ablation: behave like a hypervisor that did NOT take over
+			// TLB management — the guest's software miss handler runs,
+			// at instruction-stream positions determined by the REAL
+			// TLB's (possibly nondeterministic) contents.
+			hv.chargeEntryExit(p)
+			hv.deliverVirtualTrap(res.Trap, 0, res.IOR)
+			return
+		}
+		// §3.2: the hypervisor takes over TLB management. Walk the
+		// guest's page table; if the page is resident, insert the
+		// translation invisibly. Only a non-resident page reflects a
+		// miss into the guest.
+		hv.chargeEntryExit(p)
+		hv.Stats.HypervisorTime += hv.cfg.Cost.TLBWalk
+		p.Sleep(hv.cfg.Cost.TLBWalk)
+		va := res.IOR
+		pte, ok := hv.walkGuestPT(va)
+		if ok && pte&PTEValid != 0 {
+			hv.Stats.TLBFills++
+			hv.insertGuestTLB(va, pte)
+			return // retry the faulting instruction
+		}
+		hv.deliverVirtualTrap(res.Trap, 0, va)
+
+	case isa.TrapAccess:
+		// Either a memory-mapped I/O access (environment instruction,
+		// §3.2) or a genuine guest protection fault.
+		pa, ok := hv.guestPhysical(res.IOR)
+		if ok && m.InMMIO(pa) {
+			hv.chargeSim(p)
+			hv.Stats.EnvSimulated++
+			hv.emulateMMIO(res.Inst, pa)
+			hv.guestInstr++ // simulated instruction retires
+			hv.Stats.GuestInstructions++
+			return
+		}
+		hv.chargeEntryExit(p)
+		hv.deliverVirtualTrap(isa.TrapAccess, res.ISR, res.IOR)
+
+	case isa.TrapGate, isa.TrapBreak, isa.TrapIllegal, isa.TrapAlign,
+		isa.TrapArith, isa.TrapMachine:
+		// Guest-internal events: reflect.
+		hv.chargeEntryExit(p)
+		hv.deliverVirtualTrap(res.Trap, res.ISR, res.IOR)
+
+	case isa.TrapExtIntr:
+		// Cannot happen: the guest runs with real interrupts disabled.
+		panic("hypervisor: real external interrupt trap while guest running")
+
+	default:
+		panic(fmt.Sprintf("hypervisor: unhandled trap %v", res.Trap))
+	}
+}
+
+// emulatePrivileged simulates a privileged (or privileged-environment)
+// instruction against virtual state. PC still points at the instruction.
+func (hv *Hypervisor) emulatePrivileged(in isa.Inst) {
+	m := hv.M
+	advance := func() { m.PC += 4 }
+	switch in.Op {
+	case isa.OpMFCTL:
+		hv.setGuestReg(in.Rd, hv.VirtualCR(isa.CR(in.Imm)))
+		advance()
+	case isa.OpMTCTL:
+		hv.writeVirtualCR(isa.CR(in.Imm), hv.guestReg(in.R1))
+		advance()
+		// Unmasking may make a pending virtual interrupt deliverable.
+		if isa.CR(in.Imm) == isa.CREIEM || isa.CR(in.Imm) == isa.CREIRR {
+			hv.checkVIRQ()
+		}
+	case isa.OpRFI:
+		hv.vPSW = hv.vCR[isa.CRIPSW] &^ isa.PSWDefect
+		hv.applyVPSW()
+		m.PC = hv.vCR[isa.CRIIA]
+		hv.checkVIRQ()
+	case isa.OpHALT:
+		hv.halted = true
+		advance()
+	case isa.OpWFI:
+		// The virtual WFI completes immediately: under replication,
+		// interrupts arrive only at epoch boundaries, so guests that
+		// wait for I/O spin on driver flags (as HP-UX's idle loop
+		// spins). Treating WFI as a no-op keeps the instruction stream
+		// deterministic.
+		hv.Stats.EnvSimulated++
+		advance()
+	case isa.OpITLBI:
+		v := hv.guestReg(in.R1)
+		hv.insertGuestTLB(v&^isa.PageMask, (hv.guestReg(in.R2)&^isa.PageMask)|(v&isa.TLBPermMask)|PTEValid)
+		advance()
+	case isa.OpPTLB:
+		m.TLB.Purge()
+		advance()
+	case isa.OpDIAG:
+		if hv.OnDiag != nil {
+			hv.OnDiag(uint32(in.Imm))
+		}
+		advance()
+	case isa.OpMFTOD:
+		// THE environment instruction (§2.1): its value is synthesized
+		// from the epoch-synchronized virtual clock so that it reads
+		// identically on primary and backup.
+		hv.Stats.EnvSimulated++
+		hv.setGuestReg(in.Rd, hv.VirtualTOD())
+		advance()
+	default:
+		panic(fmt.Sprintf("hypervisor: privileged trap for non-privileged %v", in.Op))
+	}
+
+}
+
+// guestReg/setGuestReg access guest general registers (shared with the
+// real machine — the guest's registers ARE the machine's).
+func (hv *Hypervisor) guestReg(r isa.Reg) uint32 {
+	if r == isa.RegZero {
+		return 0
+	}
+	return hv.M.Regs[r]
+}
+
+func (hv *Hypervisor) setGuestReg(r isa.Reg, v uint32) {
+	if r != isa.RegZero {
+		hv.M.Regs[r] = v
+	}
+}
+
+// walkGuestPT reads the guest page-table entry for a virtual address.
+func (hv *Hypervisor) walkGuestPT(va uint32) (uint32, bool) {
+	ptbr := hv.vCR[isa.CRPTBR]
+	if ptbr == 0 {
+		return 0, false
+	}
+	vpn := va >> isa.PageShift
+	pteAddr := ptbr + vpn*4
+	if pteAddr+4 > uint32(len(hv.M.Mem)) {
+		return 0, false
+	}
+	return hv.M.LoadPhys32(pteAddr), true
+}
+
+// insertGuestTLB inserts a guest translation into the REAL TLB with the
+// privilege field mapped from virtual to real levels.
+func (hv *Hypervisor) insertGuestTLB(vaddr, pte uint32) {
+	vMinPL := (pte & isa.TLBPLMask) >> isa.TLBPLShift
+	flags := pte&(isa.TLBRead|isa.TLBWrite|isa.TLBExec) | (realPLFor(vMinPL) << isa.TLBPLShift)
+	hv.M.TLB.Insert(machine.TLBEntry{
+		VPN:   vaddr >> isa.PageShift,
+		PPN:   pte >> isa.PageShift,
+		Flags: flags,
+	})
+}
+
+// guestPhysical resolves a guest virtual address to physical using the
+// guest's translation context (identity in real mode, page table in
+// virtual mode).
+func (hv *Hypervisor) guestPhysical(va uint32) (uint32, bool) {
+	if hv.vPSW&isa.PSWV == 0 {
+		return va, true
+	}
+	pte, ok := hv.walkGuestPT(va)
+	if !ok || pte&PTEValid == 0 {
+		return 0, false
+	}
+	return pte&^uint32(isa.PageMask) | va&isa.PageMask, true
+}
+
+// emulateMMIO simulates a guest load or store to the MMIO window — the
+// Environment Instruction mechanism of §3.2: access rights on the I/O
+// pages force a trap, and the hypervisor performs (or suppresses, or
+// virtualizes) the device access.
+func (hv *Hypervisor) emulateMMIO(in isa.Inst, pa uint32) {
+	m := hv.M
+	off := pa - m.Config().MMIOBase
+	switch in.Op {
+	case isa.OpLDW, isa.OpLDH, isa.OpLDB:
+		v := hv.mmioLoad(off)
+		hv.setGuestReg(in.Rd, v)
+		m.PC += 4
+	case isa.OpSTW, isa.OpSTH, isa.OpSTB:
+		hv.mmioStore(off, hv.guestReg(in.Rd))
+		m.PC += 4
+	default:
+		// A non-load/store faulting on an MMIO page (e.g. instruction
+		// fetch): reflect as an access fault.
+		hv.deliverVirtualTrap(isa.TrapAccess, 0, pa)
+	}
+}
+
+// mmioLoad serves a guest MMIO load from VIRTUAL device state. Virtual
+// adapter registers evolve identically on primary and backup, so loads
+// are deterministic and need no forwarding.
+func (hv *Hypervisor) mmioLoad(off uint32) uint32 {
+	for base, va := range hv.adapters {
+		if off >= base && off-base < scsi.AdapterWindow {
+			switch off - base {
+			case scsi.RegCmd:
+				return va.cmd
+			case scsi.RegBlock:
+				return va.block
+			case scsi.RegAddr:
+				return va.addr
+			case scsi.RegCount:
+				return va.count
+			case scsi.RegStatus:
+				return va.status
+			case scsi.RegInfo:
+				return va.info
+			default:
+				return 0
+			}
+		}
+	}
+	if c := hv.console; c != nil && off >= c.base && off-c.base < 0x10 {
+		if off-c.base == 0x4 { // console status: always ready
+			return 1
+		}
+		return 0
+	}
+	return 0
+}
+
+// mmioStore serves a guest MMIO store: updates virtual device state and,
+// when I/O is active (primary / promoted backup), forwards the effect to
+// real hardware. On the backup, output is suppressed (§2.2 case i).
+func (hv *Hypervisor) mmioStore(off uint32, v uint32) {
+	m := hv.M
+	for base, va := range hv.adapters {
+		if off >= base && off-base < scsi.AdapterWindow {
+			switch off - base {
+			case scsi.RegCmd:
+				va.cmd = v
+			case scsi.RegBlock:
+				va.block = v
+			case scsi.RegAddr:
+				va.addr = v
+			case scsi.RegCount:
+				va.count = v
+			case scsi.RegStatus:
+				va.status &^= v // write-1-to-clear (virtual)
+			case scsi.RegDoorbell:
+				hv.ringDoorbell(va)
+			}
+			return
+		}
+	}
+	if c := hv.console; c != nil && off >= c.base && off-c.base < 0x10 {
+		if off-c.base == 0x0 {
+			if hv.ioActive {
+				// Console output also reveals virtual-machine state to
+				// the environment: the §4.3 I/O gate applies.
+				if hv.OnBeforeIO != nil {
+					hv.OnBeforeIO()
+				}
+				_ = m.Bus.MMIOStore(c.base+0x0, 4, v)
+			} else {
+				hv.Stats.ConsoleSuppressed++
+			}
+		}
+		return
+	}
+}
+
+// ringDoorbell starts a virtual I/O operation. The virtual adapter goes
+// busy on both replicas; only an I/O-active hypervisor programs the real
+// hardware. The operation stays "outstanding" until its completion
+// interrupt is DELIVERED (not merely captured) — the set rule P7 covers.
+func (hv *Hypervisor) ringDoorbell(va *vAdapter) {
+	va.status |= scsi.StatusBusy
+	va.outstanding = true
+	if !hv.ioActive {
+		hv.Stats.IOSuppressed++
+		return
+	}
+	if hv.OnBeforeIO != nil {
+		hv.OnBeforeIO()
+	}
+	hv.Stats.IOIssued++
+	va.issuedReal = true
+	m := hv.M
+	// Program the real adapter with the virtual registers and start it.
+	_ = m.Bus.MMIOStore(va.base+scsi.RegCmd, 4, va.cmd)
+	_ = m.Bus.MMIOStore(va.base+scsi.RegBlock, 4, va.block)
+	_ = m.Bus.MMIOStore(va.base+scsi.RegAddr, 4, va.addr)
+	_ = m.Bus.MMIOStore(va.base+scsi.RegCount, 4, va.count)
+	_ = m.Bus.MMIOStore(va.base+scsi.RegDoorbell, 4, 1)
+}
+
+// pollDevices captures completions the real hardware has raised since the
+// last poll: rule P1's "hypervisor receives an interrupt Int". Captured
+// interrupts are buffered for delivery at this epoch's end and reported
+// through OnCapture so the replication layer can forward them.
+func (hv *Hypervisor) pollDevices() {
+	m := hv.M
+	if m.CRs[isa.CREIRR] == 0 {
+		return
+	}
+	for _, base := range hv.adapterBases() {
+		va := hv.adapters[base]
+		bit := uint32(1) << (va.line & 31)
+		if m.CRs[isa.CREIRR]&bit == 0 {
+			continue
+		}
+		// Acknowledge the real line.
+		m.WriteCR(isa.CREIRR, bit)
+		if !va.issuedReal {
+			// A completion for an operation this hypervisor did not
+			// issue (e.g. leftover from a failed peer): rule P3 — the
+			// backup ignores interrupts destined for its own processor.
+			continue
+		}
+		// Snoop the real adapter.
+		status, err := m.Bus.MMIOLoad(base+scsi.RegStatus, 4)
+		if err != nil {
+			panic(fmt.Sprintf("hypervisor: status snoop: %v", err))
+		}
+		// Clear real status for the next operation.
+		_ = m.Bus.MMIOStore(base+scsi.RegStatus, 4, 0xFFFFFFFF)
+
+		i := Interrupt{
+			Line:        va.line,
+			AdapterBase: base,
+			Status:      status &^ scsi.StatusBusy,
+			CapturedTOD: m.TOD() | 1, // nonzero marker; ±1 cycle is noise
+		}
+		// For successful reads, capture the environment data (the DMA
+		// contents) so the backup can apply the identical bytes.
+		if va.cmd == scsi.CmdRead && status&scsi.StatusDone != 0 {
+			count := va.count
+			if count == 0 {
+				count = 8192
+			}
+			i.DMAAddr = va.addr
+			i.DMAData = m.ReadBytes(va.addr, int(count))
+		}
+		hv.Stats.Captured++
+		hv.buffered = append(hv.buffered, i)
+		if hv.OnCapture != nil {
+			hv.OnCapture(i)
+		}
+	}
+	// Ignore any other raised lines (unknown devices): clear them.
+	if rest := m.CRs[isa.CREIRR]; rest != 0 {
+		m.WriteCR(isa.CREIRR, rest)
+	}
+}

@@ -1,0 +1,565 @@
+// Package hypervisor implements the software layer the paper interposes
+// between the (simulated) PA-lite hardware and an unmodified guest
+// operating system. Following §3 of Bressoud & Schneider:
+//
+//   - The hypervisor owns real privilege level 0; the guest's virtual
+//     privilege level 0 executes at real level 1 and virtual level 3 at
+//     real level 3 (the paper's mapping, which works because HP-UX-like
+//     guests use only levels 0 and 3).
+//   - Privileged instructions executed by the guest trap and are
+//     simulated against VIRTUAL control registers; the guest never reads
+//     real machine state.
+//   - Environment instructions (time-of-day reads, interval-timer loads,
+//     memory-mapped I/O loads and stores) are simulated so that their
+//     effect on virtual-machine state is a deterministic function of the
+//     epoch structure — the Environment Instruction Assumption.
+//   - The hypervisor takes over TLB management (§3.2): real TLB misses
+//     are served by a hypervisor page-table walk so the guest never
+//     observes the hardware TLB's replacement behaviour.
+//   - Epochs are delimited with the recovery counter (§2.1): the guest
+//     runs exactly EpochLength instructions between hypervisor
+//     activations, and buffered interrupts are delivered only at epoch
+//     boundaries.
+//
+// Costs are charged in simulated time using constants calibrated from the
+// paper's measurements (hsim = 15.12 µs per simulated instruction, split
+// ~8 µs entry/exit + ~7 µs work; 50 MIPS base processor).
+package hypervisor
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/scsi"
+	"repro/internal/sim"
+)
+
+// CostModel holds the simulated-time costs of hypervisor activity,
+// calibrated to §4.1 of the paper.
+type CostModel struct {
+	// InstructionTime is the base cost of one guest instruction
+	// (the HP 9000/720 is "a 50 MIPS processor": 20 ns).
+	InstructionTime sim.Time
+	// TrapEntryExit is the cost of entering and leaving the hypervisor
+	// ("approximately 8 µsec for hypervisor entry/exit").
+	TrapEntryExit sim.Time
+	// SimulateWork is the cost of simulating one privileged or
+	// environment instruction once inside ("7 µsec for the actual work").
+	SimulateWork sim.Time
+	// EpochLocal is the local (non-communication) part of
+	// epoch-boundary processing: buffer management, timer checks,
+	// interrupt delivery. The paper's hepoch of 443.59 µs additionally
+	// includes waiting for acknowledgements, which in this reproduction
+	// emerges from the simulated link round-trip.
+	EpochLocal sim.Time
+	// TLBWalk is the cost of a hypervisor page-table fill (the §3.2
+	// TLB takeover); it replaces what hardware or the guest's handler
+	// would have spent, so it is far below a full simulation.
+	TLBWalk sim.Time
+}
+
+// DefaultCosts returns the paper-calibrated cost model.
+func DefaultCosts() CostModel {
+	return CostModel{
+		InstructionTime: 20 * sim.Nanosecond,
+		TrapEntryExit:   8120 * sim.Nanosecond,
+		SimulateWork:    7 * sim.Microsecond,
+		EpochLocal:      20 * sim.Microsecond,
+		TLBWalk:         2 * sim.Microsecond,
+	}
+}
+
+// HSim returns the full cost of one hypervisor-simulated instruction
+// (entry/exit + work); DefaultCosts yields the paper's 15.12 µs.
+func (c CostModel) HSim() sim.Time { return c.TrapEntryExit + c.SimulateWork }
+
+// Config describes a hypervisor instance.
+type Config struct {
+	// EpochLength is the number of guest instructions per epoch (the
+	// paper evaluates 1K..32K; HP-UX tolerates at most 385,000).
+	EpochLength uint64
+	// Cost is the simulated-time cost model (DefaultCosts() if zero).
+	Cost CostModel
+	// ChunkSize bounds how many instructions execute between
+	// simulated-time syncs and interrupt polls (default 256).
+	ChunkSize int
+	// NoTLBTakeover disables the §3.2 fix: TLB misses are reflected to
+	// the guest's own handler instead of being served invisibly by the
+	// hypervisor. With a nondeterministic TLB replacement policy this
+	// VIOLATES the Ordinary Instruction Assumption — replicas diverge —
+	// which is exactly what the paper observed on the HP 9000/720.
+	// Ablation/demonstration only.
+	NoTLBTakeover bool
+	// PTEValid is the guest page-table-entry valid bit (fixed ABI with
+	// the guest kernel; see internal/guest).
+	// The low 12 bits of a PTE are: isa.TLB* permission bits | PTEValid.
+}
+
+// PTEValid is the "present" bit in guest page-table entries (bit 5,
+// outside isa.TLBPermMask).
+const PTEValid uint32 = 1 << 5
+
+func (c Config) withDefaults() Config {
+	if c.EpochLength == 0 {
+		c.EpochLength = 4096
+	}
+	if c.Cost == (CostModel{}) {
+		c.Cost = DefaultCosts()
+	}
+	if c.ChunkSize == 0 {
+		c.ChunkSize = 256
+	}
+	return c
+}
+
+// Interrupt is a buffered virtual interrupt: what the primary's
+// hypervisor forwards in an [E, Int] message (P1) and what both
+// hypervisors deliver to their virtual machines at the end of the epoch.
+// For disk completions it carries the environment data (DMA contents and
+// final adapter status) so that delivery has an identical effect on both
+// virtual machines.
+type Interrupt struct {
+	// Line is the external interrupt line (vEIRR bit) to raise.
+	Line uint
+	// Timer marks a virtual interval-timer interrupt synthesized at an
+	// epoch boundary ("interrupts based on Tme", P2/P5/P6).
+	Timer bool
+	// AdapterBase is the MMIO-window offset of the adapter this
+	// completion belongs to; NoAdapter for non-device interrupts.
+	AdapterBase uint32
+	// Status is the adapter status to apply at delivery
+	// (scsi.StatusDone or scsi.StatusUncertain, plus detail).
+	Status uint32
+	// DMAAddr/DMAData carry read data applied to guest memory at
+	// delivery time.
+	DMAAddr uint32
+	DMAData []byte
+	// CapturedTOD records the capturing hypervisor's clock at capture
+	// time (0 = not tracked), for measuring the paper's delay(EL): the
+	// time a completion waits for its epoch boundary.
+	CapturedTOD uint32
+}
+
+// NoAdapter marks an Interrupt not associated with a device window.
+const NoAdapter uint32 = ^uint32(0)
+
+// WireSize estimates the message size in bytes for the timing model:
+// a fixed header plus any DMA payload (an 8 KiB disk read becomes the
+// paper's 9-frame transfer on the Ethernet model).
+func (i Interrupt) WireSize() int { return 32 + len(i.DMAData) }
+
+// Boundary reports the state at an epoch boundary.
+type Boundary struct {
+	// Epoch is the epoch number that just ended.
+	Epoch uint64
+	// GuestInstr is the cumulative count of retired guest instructions.
+	GuestInstr uint64
+	// Digest is the guest register-state digest (divergence detection).
+	Digest uint64
+	// Halted is set when the guest executed its (virtual) HALT.
+	Halted bool
+	// TOD is this machine's real time-of-day at the boundary — the
+	// paper's Tme value, shipped to the backup for clock resync.
+	TOD uint32
+}
+
+// Stats counts hypervisor activity.
+type Stats struct {
+	GuestInstructions uint64
+	Epochs            uint64
+	PrivSimulated     uint64 // privileged instructions simulated
+	EnvSimulated      uint64 // environment instructions simulated (TOD, MMIO)
+	TLBFills          uint64 // hypervisor page-table walks (§3.2)
+	ReflectedTraps    uint64 // traps reflected into the guest
+	VIRQDelivered     uint64 // virtual external-interrupt traps delivered
+	IOIssued          uint64 // doorbells forwarded to real hardware
+	IOSuppressed      uint64 // doorbells suppressed (backup, case i)
+	ConsoleSuppressed uint64 // console bytes suppressed (backup)
+	Captured          uint64 // device completions captured (P1)
+	HypervisorTime    sim.Time
+	// DeliveryDelayTotal/DeliveryDelayCount accumulate the paper's
+	// delay(EL): completion-interrupt capture to epoch-boundary delivery
+	// (§4.2 — "interrupts from the disk are buffered by the hypervisor
+	// for a longer period" as EL grows).
+	DeliveryDelayTotal sim.Time
+	DeliveryDelayCount uint64
+}
+
+// MeanDeliveryDelay returns the average capture-to-delivery latency.
+func (s Stats) MeanDeliveryDelay() sim.Time {
+	if s.DeliveryDelayCount == 0 {
+		return 0
+	}
+	return s.DeliveryDelayTotal / sim.Time(s.DeliveryDelayCount)
+}
+
+// vAdapter is the hypervisor's shadow of one SCSI adapter window: the
+// VIRTUAL adapter the guest programs. Register state evolves identically
+// on primary and backup (guest stores are deterministic; completion
+// status is applied only at interrupt delivery).
+type vAdapter struct {
+	base uint32 // window base within the MMIO space
+	line uint   // the real adapter's interrupt line
+
+	cmd, block, addr, count, status, info uint32
+
+	// outstanding marks a doorbell whose completion has not yet been
+	// DELIVERED to the guest — the set P7 synthesizes uncertain
+	// interrupts for at failover.
+	outstanding bool
+	// issuedReal marks that the outstanding op was forwarded to real
+	// hardware (primary side).
+	issuedReal bool
+}
+
+// consoleBinding describes the console window.
+type consoleBinding struct {
+	base uint32
+}
+
+// Hypervisor virtualizes one machine for one guest.
+type Hypervisor struct {
+	M *machine.Machine
+
+	cfg Config
+
+	// Virtual architected state (the guest's view).
+	vCR  [isa.NumCRs]uint32
+	vPSW uint32
+
+	// Virtual interval timer: armed deadline in virtual-TOD units.
+	vITMRArmed    bool
+	vITMRDeadline uint32
+
+	// Virtual TOD: value = todBase + (guestInstr - epochStartInstr).
+	todBase         uint32
+	epochStartInstr uint64
+
+	guestInstr uint64
+	epoch      uint64
+	halted     bool
+
+	// ioActive: forward doorbells/console to real hardware (primary and
+	// promoted backup); false = suppress (backup, §2.2 case i).
+	ioActive bool
+
+	// buffered holds interrupts awaiting delivery at this epoch's end
+	// (the primary buffers captures per P1; the backup buffers message
+	// contents per P4).
+	buffered []Interrupt
+
+	adapters map[uint32]*vAdapter
+	console  *consoleBinding
+
+	// OnCapture, when set (primary), is invoked as soon as a device
+	// completion is captured mid-epoch — the replication layer uses it
+	// to send [E, Int] to the backup (rule P1).
+	OnCapture func(Interrupt)
+
+	// OnDiag, when set, receives guest DIAG codes (test instrumentation).
+	OnDiag func(code uint32)
+
+	// OnReflect, when set, observes every trap reflected into the guest
+	// (debugging and instrumentation; pc is the interrupted address).
+	OnReflect func(t isa.Trap, isr, ior, pc uint32)
+
+	// OnBeforeIO, when set, is invoked before a doorbell is forwarded to
+	// real hardware. The revised protocol of §4.3 uses it: instead of
+	// awaiting acknowledgements at every epoch boundary, the primary
+	// awaits them here — "in order to initiate an I/O operation, the
+	// primary's hypervisor is required to have received acknowledgements
+	// for all messages it has sent". May block in virtual time.
+	OnBeforeIO func()
+
+	// Stop, when set, is polled during epoch execution; returning true
+	// aborts the run immediately — failstop injection (the processor
+	// simply ceases).
+	Stop func() bool
+
+	Stats Stats
+}
+
+// New wraps a machine. The machine's Bus must already be wired (real
+// devices); the hypervisor intercepts the guest's access to it.
+func New(m *machine.Machine, cfg Config) *Hypervisor {
+	hv := &Hypervisor{
+		M:        m,
+		cfg:      cfg.withDefaults(),
+		adapters: map[uint32]*vAdapter{},
+	}
+	return hv
+}
+
+// Config returns the hypervisor's configuration (defaults applied).
+func (hv *Hypervisor) Config() Config { return hv.cfg }
+
+// AttachAdapter registers a SCSI adapter window (base offset within the
+// MMIO space) whose completions arrive on the given interrupt line.
+func (hv *Hypervisor) AttachAdapter(base uint32, line uint) {
+	hv.adapters[base] = &vAdapter{base: base, line: line}
+}
+
+// AttachConsole registers the console window.
+func (hv *Hypervisor) AttachConsole(base uint32) {
+	hv.console = &consoleBinding{base: base}
+}
+
+// SetIOActive switches environment output on (primary / promoted backup)
+// or off (backup).
+func (hv *Hypervisor) SetIOActive(active bool) { hv.ioActive = active }
+
+// IOActive reports whether environment output is enabled.
+func (hv *Hypervisor) IOActive() bool { return hv.ioActive }
+
+// Epoch returns the current epoch number (epochs completed).
+func (hv *Hypervisor) Epoch() uint64 { return hv.epoch }
+
+// GuestInstructions returns cumulative retired guest instructions.
+func (hv *Hypervisor) GuestInstructions() uint64 { return hv.guestInstr }
+
+// Halted reports whether the guest has halted.
+func (hv *Hypervisor) Halted() bool { return hv.halted }
+
+// SetTODBase resynchronizes the virtual time-of-day clock — the backup
+// applies the primary's Tme value here (P5: "Tme_b := Tme_p").
+func (hv *Hypervisor) SetTODBase(tod uint32) {
+	hv.todBase = tod
+	hv.epochStartInstr = hv.guestInstr
+}
+
+// VirtualTOD returns the guest-visible time-of-day clock: the epoch's
+// base value plus instructions retired since — identical on primary and
+// backup by construction.
+func (hv *Hypervisor) VirtualTOD() uint32 {
+	return hv.todBase + uint32(hv.guestInstr-hv.epochStartInstr)
+}
+
+// Boot initializes the guest: loads the program image, sets the virtual
+// machine to begin at entry with virtual privilege level 0, real mode,
+// interrupts disabled — mirroring hardware reset.
+func (hv *Hypervisor) Boot(origin uint32, words []uint32, entry uint32) {
+	hv.M.LoadProgram(origin, words, entry)
+	hv.vPSW = 0 // vPL 0, interrupts off, real mode
+	hv.applyVPSW()
+}
+
+// realPLFor maps a virtual privilege level to the real level the guest
+// executes at: virtual 0 -> real 1, virtual 3 -> real 3 (the paper's
+// mapping; virtual 1 and 2 map to real 2 and are unused by HP-UX-like
+// guests).
+func realPLFor(vpl uint32) uint32 {
+	switch vpl {
+	case 0:
+		return 1
+	case 3:
+		return 3
+	default:
+		return 2
+	}
+}
+
+// applyVPSW projects the virtual PSW onto the real machine: demoted
+// privilege level, translation per the guest's virtual V bit, recovery
+// counter enabled (epoch control), REAL interrupts never enabled (the
+// hypervisor polls devices itself; the guest's I bit is virtual).
+func (hv *Hypervisor) applyVPSW() {
+	real := realPLFor(hv.vPSW & isa.PSWPLMask)
+	real |= isa.PSWR
+	if hv.vPSW&isa.PSWV != 0 {
+		real |= isa.PSWV
+	}
+	hv.M.PSW = real
+}
+
+// VirtualPSW returns the guest's virtual PSW (tests, digests).
+func (hv *Hypervisor) VirtualPSW() uint32 { return hv.vPSW }
+
+// VirtualCR reads a virtual control register as the guest would.
+func (hv *Hypervisor) VirtualCR(cr isa.CR) uint32 {
+	switch cr {
+	case isa.CRTOD:
+		return hv.VirtualTOD()
+	case isa.CRCPUID:
+		// Both replicas must present the SAME processor identity: the
+		// virtual machine's identity is that of the primary role, not
+		// the physical chip.
+		return 1
+	default:
+		return hv.vCR[cr]
+	}
+}
+
+// writeVirtualCR writes a virtual control register with the same special
+// semantics the hardware applies (EIRR write-1-to-clear, read-only TOD).
+func (hv *Hypervisor) writeVirtualCR(cr isa.CR, v uint32) {
+	switch cr {
+	case isa.CREIRR:
+		hv.vCR[cr] &^= v
+	case isa.CRTOD, isa.CRCPUID:
+		// read-only
+	case isa.CRITMR:
+		// Arm the virtual interval timer: it expires when the virtual
+		// TOD advances past now+v. Zero disarms.
+		if v == 0 {
+			hv.vITMRArmed = false
+		} else {
+			hv.vITMRArmed = true
+			hv.vITMRDeadline = hv.VirtualTOD() + v
+		}
+		hv.vCR[cr] = v
+	default:
+		hv.vCR[cr] = v
+	}
+}
+
+// deliverVirtualTrap reflects a trap into the guest exactly as hardware
+// would: saves the VIRTUAL PSW and PC, demotes the virtual machine to
+// virtual PL 0 with interrupts/translation/recovery off, and vectors
+// through the guest's virtual IVA.
+func (hv *Hypervisor) deliverVirtualTrap(t isa.Trap, isr, ior uint32) {
+	hv.Stats.ReflectedTraps++
+	if hv.OnReflect != nil {
+		hv.OnReflect(t, isr, ior, hv.M.PC)
+	}
+	hv.vCR[isa.CRIPSW] = hv.vPSW
+	hv.vCR[isa.CRIIA] = hv.M.PC
+	hv.vCR[isa.CRISR] = isr
+	hv.vCR[isa.CRIOR] = ior
+	hv.vPSW &^= isa.PSWPLMask | isa.PSWI | isa.PSWV | isa.PSWR
+	hv.applyVPSW()
+	hv.M.PC = hv.vCR[isa.CRIVA] + uint32(t)*isa.VectorStride
+}
+
+// checkVIRQ delivers a virtual external-interrupt trap if the guest has
+// interrupts enabled and unmasked bits pending. Deterministic: depends
+// only on virtual state.
+func (hv *Hypervisor) checkVIRQ() {
+	if hv.vPSW&isa.PSWI == 0 {
+		return
+	}
+	pending := hv.vCR[isa.CREIRR] & hv.vCR[isa.CREIEM]
+	if pending == 0 {
+		return
+	}
+	hv.Stats.VIRQDelivered++
+	hv.deliverVirtualTrap(isa.TrapExtIntr, pending, 0)
+}
+
+// Buffered returns the interrupts currently buffered for delivery at the
+// end of this epoch (the replication layer snapshots these on the
+// primary for bookkeeping; the backup fills them from messages).
+func (hv *Hypervisor) Buffered() []Interrupt { return hv.buffered }
+
+// BufferInterrupt appends to the delivery buffer (backup side, rule P4).
+func (hv *Hypervisor) BufferInterrupt(i Interrupt) {
+	hv.buffered = append(hv.buffered, i)
+}
+
+// NoteTimerDelivered disarms the virtual interval timer without
+// generating an interrupt. A backup replaying a verbatim delivery list
+// (which already contains the primary's timer interrupt) uses this to
+// keep its virtual timer state consistent without double-delivering.
+func (hv *Hypervisor) NoteTimerDelivered() { hv.vITMRArmed = false }
+
+// TimerInterruptsDue implements "adds to buffer any interrupts based on
+// Tme" (P2/P5/P6): given the epoch's closing TOD value, it returns — and
+// buffers — a virtual interval-timer interrupt if the armed deadline has
+// passed. Both sides call it with the SAME tod value, so both buffer the
+// same set.
+func (hv *Hypervisor) TimerInterruptsDue(tod uint32) []Interrupt {
+	if !hv.vITMRArmed {
+		return nil
+	}
+	// Wraparound-safe comparison.
+	if int32(tod-hv.vITMRDeadline) < 0 {
+		return nil
+	}
+	hv.vITMRArmed = false
+	i := Interrupt{Line: 0, Timer: true, AdapterBase: NoAdapter}
+	hv.buffered = append(hv.buffered, i)
+	return []Interrupt{i}
+}
+
+// DeliverBuffered delivers every buffered interrupt to the virtual
+// machine: applies device DMA data and status to the virtual adapters,
+// raises virtual EIRR lines, and (if the guest allows) vectors the guest
+// through its interrupt handler. Runs at epoch boundaries only (P2/P5/P6).
+func (hv *Hypervisor) DeliverBuffered() {
+	ints := hv.buffered
+	hv.buffered = nil
+	now := hv.M.TOD()
+	for _, i := range ints {
+		if i.CapturedTOD != 0 {
+			// delay(EL) accounting, in real time (TOD ticks are cycles).
+			hv.Stats.DeliveryDelayTotal += sim.Time(now-i.CapturedTOD) * 20 * sim.Nanosecond
+			hv.Stats.DeliveryDelayCount++
+		}
+		if i.AdapterBase != NoAdapter {
+			if va := hv.adapters[i.AdapterBase]; va != nil {
+				if len(i.DMAData) > 0 {
+					hv.M.WriteBytes(i.DMAAddr, i.DMAData)
+				}
+				va.status &^= scsi.StatusBusy
+				va.status |= i.Status
+				va.info = 0
+				va.outstanding = false
+				va.issuedReal = false
+			}
+		}
+		hv.vCR[isa.CREIRR] |= 1 << (i.Line & 31)
+	}
+	hv.checkVIRQ()
+}
+
+// OutstandingUncertain implements rule P7: for every I/O operation
+// outstanding when a failover epoch ends, synthesize an UNCERTAIN
+// completion interrupt. The guest's driver will retry, which IO2 permits.
+// The returned interrupts have been buffered for delivery.
+func (hv *Hypervisor) OutstandingUncertain() []Interrupt {
+	var out []Interrupt
+	for _, base := range hv.adapterBases() {
+		va := hv.adapters[base]
+		if va.outstanding {
+			i := Interrupt{
+				Line:        va.line,
+				AdapterBase: base,
+				Status:      scsi.StatusUncertain,
+			}
+			hv.buffered = append(hv.buffered, i)
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// adapterBases returns adapter windows in deterministic order.
+func (hv *Hypervisor) adapterBases() []uint32 {
+	var bases []uint32
+	for b := range hv.adapters {
+		bases = append(bases, b)
+	}
+	for i := 1; i < len(bases); i++ {
+		for j := i; j > 0 && bases[j-1] > bases[j]; j-- {
+			bases[j-1], bases[j] = bases[j], bases[j-1]
+		}
+	}
+	return bases
+}
+
+// Digest returns a divergence-detection digest of the guest-visible
+// state: machine registers/PC plus virtual PSW and key virtual CRs.
+func (hv *Hypervisor) Digest() uint64 {
+	d := hv.M.Digest()
+	d ^= uint64(hv.vPSW) * 0x9E3779B97F4A7C15
+	d ^= uint64(hv.vCR[isa.CRIVA]) << 1
+	d ^= uint64(hv.vCR[isa.CREIEM]) << 2
+	d ^= uint64(hv.vCR[isa.CREIRR]) << 3
+	d ^= uint64(hv.vCR[isa.CRIIA]) << 4
+	return d
+}
+
+func (hv *Hypervisor) String() string {
+	return fmt.Sprintf("hv{epoch=%d instr=%d pc=%#x vpsw=%#x}",
+		hv.epoch, hv.guestInstr, hv.M.PC, hv.vPSW)
+}

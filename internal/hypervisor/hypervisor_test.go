@@ -1,0 +1,784 @@
+package hypervisor
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/console"
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/scsi"
+	"repro/internal/sim"
+)
+
+// Adapter and console window offsets within the MMIO space (test wiring).
+const (
+	adapterBase = 0x0000
+	consoleBase = 0x1000
+	diskLine    = 1
+)
+
+// rig is a single-machine test platform: machine + disk + console + hv.
+type rig struct {
+	k    *sim.Kernel
+	m    *machine.Machine
+	disk *scsi.Disk
+	cons *console.Console
+	hv   *Hypervisor
+}
+
+func newRig(t *testing.T, cfg Config, diskCfg scsi.DiskConfig) *rig {
+	t.Helper()
+	r := &rig{k: sim.NewKernel(1)}
+	t.Cleanup(func() { r.k.Shutdown() })
+	cycle := 20 * sim.Nanosecond
+	r.m = machine.New(machine.Config{
+		TODSource: func() uint32 { return uint32(r.k.Now() / cycle) },
+	})
+	r.disk = scsi.NewDisk(r.k, diskCfg)
+	r.cons = console.New()
+	mux := machine.NewBusMux()
+	ad := r.disk.NewAdapter(0, r.m, func() { r.m.RaiseIRQ(diskLine) })
+	mux.Map("scsi0", adapterBase, scsi.AdapterWindow, ad)
+	mux.Map("console", consoleBase, console.Window, r.cons)
+	r.m.Bus = mux
+	r.hv = New(r.m, cfg)
+	r.hv.AttachAdapter(adapterBase, diskLine)
+	r.hv.AttachConsole(consoleBase)
+	return r
+}
+
+// boot assembles and boots guest code.
+func (r *rig) boot(t *testing.T, src string) *asm.Program {
+	t.Helper()
+	p, err := asm.Assemble("guest.s", src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	r.hv.Boot(p.Origin, p.Words, p.Origin)
+	return p
+}
+
+// runEpochs drives the hypervisor for up to n epochs with a trivial
+// boundary protocol (no replication): buffer timer interrupts, deliver,
+// continue. Returns the boundaries.
+func (r *rig) runEpochs(t *testing.T, n int) []Boundary {
+	t.Helper()
+	var bs []Boundary
+	r.k.Spawn("cpu", func(p *sim.Proc) {
+		for i := 0; i < n && !r.hv.Halted(); i++ {
+			r.hv.StartEpochClock()
+			b := r.hv.RunEpoch(p)
+			r.hv.ChargeBoundary(p)
+			r.hv.TimerInterruptsDue(b.TOD)
+			r.hv.DeliverBuffered()
+			bs = append(bs, b)
+		}
+	})
+	r.k.Run()
+	return bs
+}
+
+func TestPrivilegedEmulationIsolation(t *testing.T) {
+	r := newRig(t, Config{EpochLength: 1 << 20}, scsi.DiskConfig{})
+	r.boot(t, `
+		li r1, 0x2000
+		mtctl iva, r1         ; VIRTUAL iva
+		mfctl r2, iva
+		li r3, 0xF0
+		mtctl eiem, r3
+		mfctl r4, eiem
+		halt
+	`)
+	r.runEpochs(t, 4)
+	if !r.hv.Halted() {
+		t.Fatal("guest did not halt")
+	}
+	if r.m.Regs[2] != 0x2000 || r.m.Regs[4] != 0xF0 {
+		t.Errorf("guest read vCRs = %#x, %#x", r.m.Regs[2], r.m.Regs[4])
+	}
+	// Real machine CRs untouched by the guest.
+	if r.m.CRs[isa.CRIVA] != 0 || r.m.CRs[isa.CREIEM] != 0 {
+		t.Error("guest writes leaked into real control registers")
+	}
+	if r.hv.Stats.PrivSimulated < 4 {
+		t.Errorf("PrivSimulated = %d, want >= 4", r.hv.Stats.PrivSimulated)
+	}
+}
+
+func TestSimulationCostCharged(t *testing.T) {
+	r := newRig(t, Config{EpochLength: 1 << 20}, scsi.DiskConfig{})
+	r.boot(t, `
+		mfctl r1, iva
+		halt
+	`)
+	r.runEpochs(t, 2)
+	// Two privileged simulations (mfctl + halt) at 15.12 us each, plus
+	// instruction time and boundary cost.
+	min := 2 * DefaultCosts().HSim()
+	if r.k.Now() < min {
+		t.Errorf("simulated time %v, want >= %v (2 x hsim)", r.k.Now(), min)
+	}
+	if DefaultCosts().HSim() != 15120*sim.Nanosecond {
+		t.Errorf("hsim = %v, want 15.12us (paper)", DefaultCosts().HSim())
+	}
+}
+
+func TestBLPrivilegeHazardUnderHypervisor(t *testing.T) {
+	// §3.1: the guest's virtual PL 0 runs at REAL PL 1, so BL deposits 1
+	// in the low bits of the return address — guest code that assumes 0
+	// breaks; guest code must mask (the paper's HP-UX boot-sequence hack).
+	r := newRig(t, Config{EpochLength: 1 << 20}, scsi.DiskConfig{})
+	r.boot(t, `
+		bl r2, here
+	here:
+		halt
+	`)
+	r.runEpochs(t, 2)
+	if r.m.Regs[2]&3 != 1 {
+		t.Errorf("BL low bits = %d under hypervisor, want 1 (real PL of virtual PL0)", r.m.Regs[2]&3)
+	}
+}
+
+func TestVirtualTrapReflection(t *testing.T) {
+	r := newRig(t, Config{EpochLength: 1 << 20}, scsi.DiskConfig{})
+	r.boot(t, `
+		.org 0
+		li   r1, vectors
+		mtctl iva, r1
+		break 3
+		halt                ; skipped: handler jumps to done
+	done:
+		addi r9, r0, 77
+		halt
+
+		.align 32
+		.org 0x400
+	vectors:
+		.space 32*7         ; vectors 0..6
+		; Break vector (trap 7) at vectors + 7*32
+		mfctl r10, isr
+		mfctl r11, iia
+		li    r12, done
+		mtctl iia, r12
+		rfi
+	`)
+	r.runEpochs(t, 4)
+	if !r.hv.Halted() {
+		t.Fatal("guest did not halt")
+	}
+	if r.m.Regs[9] != 77 {
+		t.Error("handler did not redirect to done")
+	}
+	if r.m.Regs[10] != 3 {
+		t.Errorf("vISR = %d, want break code 3", r.m.Regs[10])
+	}
+	if r.hv.Stats.ReflectedTraps == 0 {
+		t.Error("no reflected traps counted")
+	}
+}
+
+func TestMFTODVirtualized(t *testing.T) {
+	r := newRig(t, Config{EpochLength: 1000}, scsi.DiskConfig{})
+	r.boot(t, `
+		nop
+		nop
+		mftod r1
+		mftod r2
+		halt
+	`)
+	r.runEpochs(t, 2)
+	// Virtual TOD = todBase + instructions retired since epoch start.
+	// todBase at epoch start = real TOD = 0 (time starts at 0).
+	// First mftod executes after 2 hardware instructions: value 2.
+	// Second executes after 3 (the mftod itself counted): value 3.
+	if r.m.Regs[1] != 2 {
+		t.Errorf("first mftod = %d, want 2", r.m.Regs[1])
+	}
+	if r.m.Regs[2] != 3 {
+		t.Errorf("second mftod = %d, want 3", r.m.Regs[2])
+	}
+}
+
+func TestEpochBoundariesExact(t *testing.T) {
+	r := newRig(t, Config{EpochLength: 100}, scsi.DiskConfig{})
+	r.boot(t, `
+	loop:
+		addi r1, r1, 1
+		b loop
+	`)
+	bs := r.runEpochs(t, 3)
+	if len(bs) != 3 {
+		t.Fatalf("boundaries = %d", len(bs))
+	}
+	for i, b := range bs {
+		if b.GuestInstr != uint64(100*(i+1)) {
+			t.Errorf("boundary %d at %d instructions, want %d", i, b.GuestInstr, 100*(i+1))
+		}
+		if b.Epoch != uint64(i) {
+			t.Errorf("boundary %d epoch = %d", i, b.Epoch)
+		}
+	}
+}
+
+func TestEpochCountsSimulatedInstructions(t *testing.T) {
+	// An epoch of 10 with a privileged instruction inside: the simulated
+	// instruction counts toward the 10.
+	r := newRig(t, Config{EpochLength: 10}, scsi.DiskConfig{})
+	r.boot(t, `
+		nop
+		nop
+		mfctl r1, iva    ; simulated
+	loop:
+		addi r2, r2, 1
+		b loop
+	`)
+	bs := r.runEpochs(t, 1)
+	if bs[0].GuestInstr != 10 {
+		t.Errorf("epoch ended at %d, want 10", bs[0].GuestInstr)
+	}
+	// 10 instructions: nop, nop, mfctl, then 7 loop instructions
+	// (addi+b pairs): r2 = ceil(7/2) = 4 additions... verify by direct
+	// count: after mfctl 7 more retire: addi,b,addi,b,addi,b,addi = 4
+	// addi. b not taken for the last addi yet.
+	if r.m.Regs[2] != 4 {
+		t.Errorf("r2 = %d, want 4", r.m.Regs[2])
+	}
+}
+
+func TestMMIOInterceptionAndDiskIO(t *testing.T) {
+	r := newRig(t, Config{EpochLength: 2048}, scsi.DiskConfig{})
+	want := bytes.Repeat([]byte{0xCD}, 8192)
+	r.disk.WriteBlockDirect(5, want)
+	r.hv.SetIOActive(true)
+	// Guest: set up interrupt vector, unmask line 1, issue read of block
+	// 5 into 0x4000, spin until handler sets flag, check a byte, halt.
+	r.boot(t, `
+		.equ MMIO,    0xF0000000
+		.equ FLAG,    0x3000
+		li   r1, vectors
+		mtctl iva, r1
+		li   r1, 2            ; unmask line 1
+		mtctl eiem, r1
+		mfctl r1, ipsw        ; build a PSW with I bit for rfi trick? no:
+		; enable virtual interrupts via rfi: IPSW = I-bit, IIA = cont
+		li   r1, 4            ; PSW.I
+		mtctl ipsw, r1
+		li   r1, cont
+		mtctl iia, r1
+		rfi
+	cont:
+		li   r2, MMIO
+		li   r3, 1            ; CmdRead
+		stw  r3, 0(r2)        ; cmd
+		li   r3, 5
+		stw  r3, 4(r2)        ; block
+		li   r3, 0x4000
+		stw  r3, 8(r2)        ; addr
+		li   r3, 8192
+		stw  r3, 12(r2)       ; count
+		stw  r3, 20(r2)       ; doorbell
+	spin:
+		ldw  r4, FLAG(r0)
+		beq  r4, r0, spin
+		; interrupt delivered; check first data byte
+		li   r5, 0x4000
+		ldb  r6, 0(r5)
+		halt
+
+		.align 32
+		.org 0x800
+	vectors:
+		.space 32*11          ; vectors 0..10
+		; ExtIntr vector (trap 11) at vectors + 11*32
+		mfctl r20, eirr
+		mtctl eirr, r20       ; clear
+		addi r21, r0, 1
+		stw  r21, FLAG(r0)
+		rfi
+	`)
+	r.runEpochs(t, 100000)
+	if !r.hv.Halted() {
+		t.Fatalf("guest did not halt; pc=%#x", r.m.PC)
+	}
+	if r.m.Regs[6] != 0xCD {
+		t.Errorf("guest read byte %#x, want 0xCD", r.m.Regs[6])
+	}
+	if r.hv.Stats.IOIssued != 1 {
+		t.Errorf("IOIssued = %d, want 1", r.hv.Stats.IOIssued)
+	}
+	if r.hv.Stats.Captured != 1 {
+		t.Errorf("Captured = %d, want 1", r.hv.Stats.Captured)
+	}
+	if r.hv.Stats.VIRQDelivered != 1 {
+		t.Errorf("VIRQDelivered = %d, want 1", r.hv.Stats.VIRQDelivered)
+	}
+	// Captured interrupt carried the DMA data (for forwarding).
+	if r.hv.Stats.EnvSimulated < 5 {
+		t.Errorf("EnvSimulated = %d, want >= 5 (MMIO stores)", r.hv.Stats.EnvSimulated)
+	}
+}
+
+func TestIOSuppressionOnBackup(t *testing.T) {
+	r := newRig(t, Config{EpochLength: 4096}, scsi.DiskConfig{})
+	r.hv.SetIOActive(false) // backup role
+	r.boot(t, `
+		.equ MMIO, 0xF0000000
+		li   r2, MMIO
+		li   r3, 2            ; CmdWrite
+		stw  r3, 0(r2)
+		li   r3, 9
+		stw  r3, 4(r2)
+		li   r3, 0x4000
+		stw  r3, 8(r2)
+		li   r3, 8192
+		stw  r3, 12(r2)
+		stw  r3, 20(r2)       ; doorbell (suppressed)
+		halt
+	`)
+	r.runEpochs(t, 4)
+	if r.hv.Stats.IOIssued != 0 {
+		t.Error("backup issued real I/O")
+	}
+	if r.hv.Stats.IOSuppressed != 1 {
+		t.Errorf("IOSuppressed = %d, want 1", r.hv.Stats.IOSuppressed)
+	}
+	if len(r.disk.Log) != 0 {
+		t.Error("disk touched by suppressed backup")
+	}
+	// The op is outstanding: P7 must synthesize an uncertain interrupt.
+	ints := r.hv.OutstandingUncertain()
+	if len(ints) != 1 {
+		t.Fatalf("OutstandingUncertain = %d, want 1", len(ints))
+	}
+	if ints[0].Status&scsi.StatusUncertain == 0 {
+		t.Error("synthesized interrupt not uncertain")
+	}
+}
+
+func TestConsoleSuppression(t *testing.T) {
+	mk := func(active bool) (*rig, string) {
+		r := newRig(t, Config{EpochLength: 4096}, scsi.DiskConfig{})
+		r.hv.SetIOActive(active)
+		r.boot(t, `
+			.equ CONS_DATA, 0xF0001000
+			li  r1, CONS_DATA
+			li  r2, 'h'
+			stw r2, 0(r1)
+			li  r2, 'i'
+			stw r2, 0(r1)
+			halt
+		`)
+		r.runEpochs(t, 4)
+		return r, r.cons.Output()
+	}
+	_, out := mk(true)
+	if out != "hi" {
+		t.Errorf("active console output = %q, want hi", out)
+	}
+	rb, outB := mk(false)
+	if outB != "" {
+		t.Errorf("suppressed console output = %q, want empty", outB)
+	}
+	if rb.hv.Stats.ConsoleSuppressed != 2 {
+		t.Errorf("ConsoleSuppressed = %d, want 2", rb.hv.Stats.ConsoleSuppressed)
+	}
+}
+
+func TestTLBTakeover(t *testing.T) {
+	// Guest enables virtual mode with a page table; hypervisor fills the
+	// TLB invisibly (§3.2): the guest sees NO TLB miss traps.
+	r := newRig(t, Config{EpochLength: 1 << 20}, scsi.DiskConfig{})
+	r.boot(t, `
+		.equ PT, 0x6000
+		; identity-map pages 0..7: PTE = (n<<12) | RWX | minPL0 | valid
+		li   r1, PT
+		li   r2, 0            ; page number
+		li   r5, 8
+	ptloop:
+		slli r3, r2, 12
+		ori  r3, r3, 0x27     ; R|W|X(7) | valid(0x20)
+		slli r4, r2, 2
+		add  r4, r4, r1
+		stw  r3, 0(r4)
+		addi r2, r2, 1
+		bne  r2, r5, ptloop
+		li   r1, PT
+		mtctl ptbr, r1
+		; enter virtual mode: rfi with V bit
+		li   r1, 8            ; PSW.V
+		mtctl ipsw, r1
+		li   r1, vstart
+		mtctl iia, r1
+		rfi
+	vstart:
+		; touch several pages
+		li   r1, 0x1000
+		ldw  r2, 0(r1)
+		li   r1, 0x3000
+		stw  r2, 0(r1)
+		li   r1, 0x5000
+		ldw  r2, 0(r1)
+		halt
+	`)
+	r.runEpochs(t, 4)
+	if !r.hv.Halted() {
+		t.Fatalf("guest did not halt; pc=%#x", r.m.PC)
+	}
+	if r.hv.Stats.TLBFills == 0 {
+		t.Error("hypervisor performed no TLB fills")
+	}
+	if r.hv.Stats.ReflectedTraps != 0 {
+		t.Errorf("guest saw %d traps; TLB misses must be invisible", r.hv.Stats.ReflectedTraps)
+	}
+}
+
+func TestTLBMissNonResidentReflects(t *testing.T) {
+	r := newRig(t, Config{EpochLength: 1 << 20}, scsi.DiskConfig{})
+	r.boot(t, `
+		.equ PT, 0x6000
+		li   r1, vectors
+		mtctl iva, r1
+		; map only page 0 (and vectors page 2); leave page 4 invalid
+		li   r1, PT
+		li   r3, 0x27
+		stw  r3, 0(r1)        ; page 0 -> 0
+		li   r3, (2<<12)|0x27
+		stw  r3, 8(r1)        ; page 2 -> 2
+		mtctl ptbr, r1
+		li   r1, 8
+		mtctl ipsw, r1
+		li   r1, vstart
+		mtctl iia, r1
+		rfi
+	vstart:
+		li   r1, 0x4000       ; unmapped page
+		ldw  r2, 0(r1)        ; faults to guest
+		halt
+
+		.org 0x2000
+	vectors:
+		.space 32*4
+		; DTLBMiss vector (trap 4) at vectors + 4*32
+		mfctl r10, ior
+		addi  r11, r0, 1
+		halt
+	`)
+	r.runEpochs(t, 4)
+	if r.m.Regs[11] != 1 {
+		t.Fatal("guest fault handler did not run")
+	}
+	if r.m.Regs[10] != 0x4000 {
+		t.Errorf("guest saw fault address %#x, want 0x4000", r.m.Regs[10])
+	}
+}
+
+func TestVirtualIntervalTimer(t *testing.T) {
+	r := newRig(t, Config{EpochLength: 100}, scsi.DiskConfig{})
+	r.boot(t, `
+		li   r1, vectors
+		mtctl iva, r1
+		li   r1, 1            ; unmask line 0 (timer)
+		mtctl eiem, r1
+		li   r1, 150          ; arm timer: 150 TOD ticks
+		mtctl itmr, r1
+		; enable interrupts via rfi
+		li   r1, 4
+		mtctl ipsw, r1
+		li   r1, spin
+		mtctl iia, r1
+		rfi
+	spin:
+		ldw  r4, 0x3000(r0)
+		beq  r4, r0, spin
+		halt
+
+		.org 0x1800
+	vectors:
+		.space 32*11
+		mfctl r20, eirr
+		mtctl eirr, r20
+		addi r21, r0, 1
+		stw  r21, 0x3000(r0)
+		rfi
+	`)
+	bs := r.runEpochs(t, 50)
+	if !r.hv.Halted() {
+		t.Fatalf("guest did not halt; boundaries=%d pc=%#x", len(bs), r.m.PC)
+	}
+	// Timer armed around instruction ~10 for 150 ticks; TOD advances
+	// ~1/instruction plus real-time jumps at boundaries; expect delivery
+	// within the first several epochs.
+	if len(bs) > 20 {
+		t.Errorf("took %d epochs, timer delivery too late", len(bs))
+	}
+	if r.hv.Stats.VIRQDelivered != 1 {
+		t.Errorf("VIRQDelivered = %d, want 1", r.hv.Stats.VIRQDelivered)
+	}
+}
+
+func TestInterruptsOnlyAtBoundaries(t *testing.T) {
+	// A disk completion mid-epoch must not interrupt the guest until the
+	// epoch ends, even with virtual interrupts enabled.
+	r := newRig(t, Config{EpochLength: 1 << 14}, scsi.DiskConfig{
+		ReadLatency: 1 * sim.Microsecond, // completes long before epoch end
+	})
+	r.hv.SetIOActive(true)
+	r.boot(t, `
+		.equ MMIO, 0xF0000000
+		li   r1, vectors
+		mtctl iva, r1
+		li   r1, 2
+		mtctl eiem, r1
+		li   r1, 4
+		mtctl ipsw, r1
+		li   r1, cont
+		mtctl iia, r1
+		rfi
+	cont:
+		li   r2, MMIO
+		li   r3, 1
+		stw  r3, 0(r2)
+		li   r3, 0
+		stw  r3, 4(r2)
+		li   r3, 0x4000
+		stw  r3, 8(r2)
+		li   r3, 64
+		stw  r3, 12(r2)
+		stw  r3, 20(r2)      ; doorbell
+		; count loop iterations until interrupt arrives
+		li   r7, 0
+	spin:
+		addi r7, r7, 1
+		ldw  r4, 0x3000(r0)
+		beq  r4, r0, spin
+		halt
+
+		.org 0x1800
+	vectors:
+		.space 32*11
+		mfctl r20, eirr
+		mtctl eirr, r20
+		addi r21, r0, 1
+		stw  r21, 0x3000(r0)
+		rfi
+	`)
+	r.runEpochs(t, 10)
+	if !r.hv.Halted() {
+		t.Fatal("guest did not halt")
+	}
+	// The spin loop must have run until the first epoch boundary: with
+	// epoch 16384 and the I/O completing within microseconds, iterations
+	// ≈ (16384 - setup) / 3. If interrupts were delivered immediately,
+	// the count would be tiny.
+	if r.m.Regs[7] < 1000 {
+		t.Errorf("spin iterations = %d; interrupt delivered mid-epoch?", r.m.Regs[7])
+	}
+}
+
+// TestLockstepTwoHypervisors is the core §2.1 determinism check at the
+// hypervisor level: two machines running the same guest under identical
+// epoch structure, with the backup fed the primary's Tme and interrupts,
+// produce identical per-epoch digests.
+func TestLockstepTwoHypervisors(t *testing.T) {
+	src := `
+		addi r1, r0, 0
+	loop:
+		addi r1, r1, 1
+		mftod r5
+		slti r4, r1, 2000
+		bne  r4, r0, loop
+		halt
+	`
+	mk := func(name string, k *sim.Kernel) (*Hypervisor, *asm.Program) {
+		cycle := 20 * sim.Nanosecond
+		m := machine.New(machine.Config{
+			TODSource: func() uint32 { return uint32(k.Now() / cycle) },
+		})
+		hv := New(m, Config{EpochLength: 512})
+		p := asm.MustAssemble("guest.s", src)
+		hv.Boot(p.Origin, p.Words, p.Origin)
+		return hv, p
+	}
+	k := sim.NewKernel(1)
+	defer k.Shutdown()
+	pri, _ := mk("pri", k)
+	bak, _ := mk("bak", k)
+
+	var priB, bakB []Boundary
+	var tmes []uint32
+	k.Spawn("primary", func(p *sim.Proc) {
+		for !pri.Halted() {
+			pri.StartEpochClock()
+			b := pri.RunEpoch(p)
+			tmes = append(tmes, b.TOD)
+			pri.TimerInterruptsDue(b.TOD)
+			pri.DeliverBuffered()
+			priB = append(priB, b)
+		}
+	})
+	k.Run()
+	// Run the backup afterwards (sequential in sim time is fine: virtual
+	// state does not depend on real time except through Tme, which we
+	// replay from the primary).
+	k2 := sim.NewKernel(2)
+	defer k2.Shutdown()
+	cycle := 20 * sim.Nanosecond
+	m2 := machine.New(machine.Config{
+		TODSource: func() uint32 { return uint32(k2.Now()/cycle) + 777 },
+	})
+	bak = New(m2, Config{EpochLength: 512})
+	pg := asm.MustAssemble("guest.s", src)
+	bak.Boot(pg.Origin, pg.Words, pg.Origin)
+	k2.Spawn("backup", func(p *sim.Proc) {
+		i := 0
+		for !bak.Halted() && i < len(tmes) {
+			// Epoch 0 starts from the boot clock (both replicas start in
+			// the same state); epoch E>0 starts from the primary's Tme
+			// sent at the end of ITS epoch E-1 (P5: Tme_b := Tme_p).
+			if i == 0 {
+				bak.SetTODBase(0)
+			} else {
+				bak.SetTODBase(tmes[i-1])
+			}
+			b := bak.RunEpoch(p)
+			bak.TimerInterruptsDue(tmes[i])
+			bak.DeliverBuffered()
+			bakB = append(bakB, b)
+			i++
+		}
+	})
+	k2.Run()
+
+	if len(priB) != len(bakB) {
+		t.Fatalf("epoch counts differ: %d vs %d", len(priB), len(bakB))
+	}
+	for i := range priB {
+		if priB[i].Digest != bakB[i].Digest {
+			t.Fatalf("epoch %d: digests differ (primary %x backup %x)",
+				i, priB[i].Digest, bakB[i].Digest)
+		}
+		if priB[i].GuestInstr != bakB[i].GuestInstr {
+			t.Fatalf("epoch %d: instruction counts differ", i)
+		}
+	}
+}
+
+func TestBareRunnerBaseline(t *testing.T) {
+	// The same guest runs bare (PL0, hardware trap delivery, WFI) —
+	// the paper's baseline. Checks WFI + real interrupt vectoring.
+	k := sim.NewKernel(1)
+	defer k.Shutdown()
+	cycle := 20 * sim.Nanosecond
+	m := machine.New(machine.Config{
+		TODSource: func() uint32 { return uint32(k.Now() / cycle) },
+	})
+	disk := scsi.NewDisk(k, scsi.DiskConfig{})
+	mux := machine.NewBusMux()
+	ad := disk.NewAdapter(0, m, func() { m.RaiseIRQ(diskLine) })
+	mux.Map("scsi0", adapterBase, scsi.AdapterWindow, ad)
+	m.Bus = mux
+	want := bytes.Repeat([]byte{0x5A}, 512)
+	disk.WriteBlockDirect(3, want)
+
+	b := NewBare(m)
+	prog := asm.MustAssemble("bare.s", `
+		.equ MMIO, 0xF0000000
+		li   r1, vectors
+		mtctl iva, r1
+		li   r1, 2
+		mtctl eiem, r1
+		; enable interrupts: PSW.I via rfi
+		li   r1, 4
+		mtctl ipsw, r1
+		li   r1, cont
+		mtctl iia, r1
+		rfi
+	cont:
+		li   r2, MMIO
+		li   r3, 1
+		stw  r3, 0(r2)
+		li   r3, 3
+		stw  r3, 4(r2)
+		li   r3, 0x4000
+		stw  r3, 8(r2)
+		li   r3, 512
+		stw  r3, 12(r2)
+		stw  r3, 20(r2)
+		wfi                   ; idle until completion interrupt
+		ldw  r4, 0x3000(r0)
+		beq  r4, r0, cont_fail
+		li   r5, 0x4000
+		ldb  r6, 0(r5)
+		halt
+	cont_fail:
+		break 99
+
+		.org 0x1800
+	vectors:
+		.space 32*11
+		mfctl r20, eirr
+		mtctl eirr, r20
+		addi r21, r0, 1
+		stw  r21, 0x3000(r0)
+		rfi
+	`)
+	b.Boot(prog.Origin, prog.Words, prog.Origin)
+	k.Spawn("bare", func(p *sim.Proc) { b.Run(p) })
+	end := k.Run()
+	if !b.Halted() {
+		t.Fatalf("bare guest did not halt (pc=%#x)", m.PC)
+	}
+	if m.Regs[6] != 0x5A {
+		t.Errorf("bare guest read %#x, want 0x5A", m.Regs[6])
+	}
+	// Run took at least the disk read latency.
+	if end < disk.Config().ReadLatency {
+		t.Errorf("end = %v < disk latency", end)
+	}
+}
+
+func TestOutstandingAfterCaptureNotDelivered(t *testing.T) {
+	// An op whose completion was CAPTURED but not yet DELIVERED is still
+	// outstanding for P7 purposes... actually once captured it is in the
+	// buffer; P7 covers ops with no completion relayed. Verify the
+	// outstanding flag clears only at delivery.
+	r := newRig(t, Config{EpochLength: 1 << 14}, scsi.DiskConfig{
+		ReadLatency: 1 * sim.Microsecond,
+	})
+	r.hv.SetIOActive(true)
+	r.boot(t, `
+		.equ MMIO, 0xF0000000
+		li   r2, MMIO
+		li   r3, 1
+		stw  r3, 0(r2)
+		li   r3, 0
+		stw  r3, 4(r2)
+		li   r3, 0x4000
+		stw  r3, 8(r2)
+		li   r3, 64
+		stw  r3, 12(r2)
+		stw  r3, 20(r2)
+	spin:
+		b spin
+	`)
+	// Run one epoch manually without delivering.
+	var outstandingBefore, outstandingAfter int
+	r.k.Spawn("cpu", func(p *sim.Proc) {
+		r.hv.StartEpochClock()
+		r.hv.RunEpoch(p)
+		outstandingBefore = len(r.hv.OutstandingUncertain())
+		// (OutstandingUncertain buffered one; clear buffer + deliver the
+		// REAL captured completion plus the synthetic one.)
+		r.hv.DeliverBuffered()
+		outstandingAfter = len(r.hv.OutstandingUncertain())
+	})
+	r.k.RunUntil(10 * sim.Second)
+	if outstandingBefore != 1 {
+		t.Errorf("outstanding before delivery = %d, want 1", outstandingBefore)
+	}
+	if outstandingAfter != 0 {
+		t.Errorf("outstanding after delivery = %d, want 0", outstandingAfter)
+	}
+}

@@ -1,0 +1,330 @@
+package isa
+
+import "fmt"
+
+// Inst is a decoded PA-lite instruction. Field use depends on Op:
+//
+//	ALU 3-reg:       Rd := R1 op R2
+//	ALU immediate:   Rd := R1 op Imm
+//	LUI:             Rd := Imm << 11         (Imm is 21-bit unsigned)
+//	loads:           Rd := mem[R1 + Imm]
+//	stores:          mem[R1 + Imm] := Rd     (Rd is the SOURCE register)
+//	branches:        if R1 cmp R2 goto PC+4+Imm*4
+//	BL/GATE:         Rd := (PC+4)|PL; goto PC+4+Imm*4 (Imm is 21-bit signed)
+//	BV:              goto R1 &^ 3
+//	MFCTL:           Rd := CR[Imm]
+//	MTCTL:           CR[Imm] := R1
+//	PROBE:           Rd := accessible(R1, Imm) (Imm: 0=read, 1=write)
+//	ITLBI:           TLB insert (R1 = vpn|flags, R2 = ppn<<12)
+//	BREAK/DIAG:      code in Imm
+//	MFTOD:           Rd := TOD
+type Inst struct {
+	Op  Op
+	Rd  Reg
+	R1  Reg
+	R2  Reg
+	Imm int32
+}
+
+// Field layout within the 32-bit word.
+const (
+	opShift = 26
+	aShift  = 21 // "A" register slot (usually Rd)
+	bShift  = 16 // "B" register slot (usually R1)
+	cShift  = 11 // "C" register slot (usually R2)
+	regMask = 0x1F
+	imm16M  = 0xFFFF
+	imm21M  = 0x1FFFFF
+)
+
+// signExt16 sign-extends the low 16 bits of v.
+func signExt16(v uint32) int32 { return int32(int16(uint16(v))) }
+
+// signExt21 sign-extends the low 21 bits of v.
+func signExt21(v uint32) int32 {
+	v &= imm21M
+	if v&(1<<20) != 0 {
+		v |= ^uint32(imm21M)
+	}
+	return int32(v)
+}
+
+// immKind describes how an opcode uses its immediate field.
+type immKind uint8
+
+const (
+	immNone immKind = iota
+	immS16          // 16-bit signed
+	immU16          // 16-bit unsigned
+	immSh5          // 5-bit shift amount
+	immU21          // 21-bit unsigned (LUI)
+	immS21          // 21-bit signed word offset (BL, GATE)
+	immCR           // control-register number
+)
+
+// opSpec describes field usage for encode/decode/validation.
+type opSpec struct {
+	a, b, c bool // register slots used
+	imm     immKind
+}
+
+var specs = [opMax]opSpec{
+	OpADD:  {a: true, b: true, c: true},
+	OpSUB:  {a: true, b: true, c: true},
+	OpAND:  {a: true, b: true, c: true},
+	OpOR:   {a: true, b: true, c: true},
+	OpXOR:  {a: true, b: true, c: true},
+	OpSLL:  {a: true, b: true, c: true},
+	OpSRL:  {a: true, b: true, c: true},
+	OpSRA:  {a: true, b: true, c: true},
+	OpSLT:  {a: true, b: true, c: true},
+	OpSLTU: {a: true, b: true, c: true},
+	OpMUL:  {a: true, b: true, c: true},
+	OpDIV:  {a: true, b: true, c: true},
+	OpREM:  {a: true, b: true, c: true},
+
+	OpADDI:  {a: true, b: true, imm: immS16},
+	OpANDI:  {a: true, b: true, imm: immU16},
+	OpORI:   {a: true, b: true, imm: immU16},
+	OpXORI:  {a: true, b: true, imm: immU16},
+	OpSLTI:  {a: true, b: true, imm: immS16},
+	OpSLTIU: {a: true, b: true, imm: immS16},
+	OpSLLI:  {a: true, b: true, imm: immSh5},
+	OpSRLI:  {a: true, b: true, imm: immSh5},
+	OpSRAI:  {a: true, b: true, imm: immSh5},
+	OpLUI:   {a: true, imm: immU21},
+
+	OpLDW: {a: true, b: true, imm: immS16},
+	OpLDH: {a: true, b: true, imm: immS16},
+	OpLDB: {a: true, b: true, imm: immS16},
+	OpSTW: {a: true, b: true, imm: immS16},
+	OpSTH: {a: true, b: true, imm: immS16},
+	OpSTB: {a: true, b: true, imm: immS16},
+
+	OpBEQ:  {a: true, b: true, imm: immS16},
+	OpBNE:  {a: true, b: true, imm: immS16},
+	OpBLT:  {a: true, b: true, imm: immS16},
+	OpBGE:  {a: true, b: true, imm: immS16},
+	OpBLTU: {a: true, b: true, imm: immS16},
+	OpBGEU: {a: true, b: true, imm: immS16},
+
+	OpBL:   {a: true, imm: immS21},
+	OpGATE: {a: true, imm: immS21},
+	OpBV:   {b: true},
+
+	OpMFCTL: {a: true, imm: immCR},
+	OpMTCTL: {b: true, imm: immCR},
+	OpPROBE: {a: true, b: true, imm: immU16},
+	OpITLBI: {b: true, c: true},
+
+	OpBREAK: {imm: immU16},
+	OpDIAG:  {imm: immU16},
+	OpMFTOD: {a: true},
+
+	OpRFI:  {},
+	OpHALT: {},
+	OpWFI:  {},
+	OpPTLB: {},
+	OpNOP:  {},
+}
+
+// branchUsesABForR1R2 reports whether the op stores R1 in the A slot and
+// R2 in the B slot (conditional branches compare R1 and R2).
+func branchUsesAB(o Op) bool {
+	return o >= OpBEQ && o <= OpBGEU
+}
+
+// Encode packs an instruction into its 32-bit word. It returns an error if
+// a field is out of range for the opcode.
+func Encode(in Inst) (uint32, error) {
+	if !in.Op.Valid() {
+		return 0, fmt.Errorf("isa: encode: invalid opcode %d", uint8(in.Op))
+	}
+	sp := specs[in.Op]
+	w := uint32(in.Op) << opShift
+
+	checkReg := func(r Reg, used bool, name string) error {
+		if !used && r != 0 {
+			return fmt.Errorf("isa: encode %s: register slot %s unused but nonzero", in.Op, name)
+		}
+		if uint8(r) >= NumRegs {
+			return fmt.Errorf("isa: encode %s: bad register %d", in.Op, uint8(r))
+		}
+		return nil
+	}
+	var a, b, c Reg
+	if branchUsesAB(in.Op) {
+		a, b = in.R1, in.R2
+		if err := checkReg(in.Rd, false, "rd"); err != nil {
+			return 0, err
+		}
+	} else {
+		a, b, c = in.Rd, in.R1, in.R2
+		if err := checkReg(a, sp.a, "a"); err != nil {
+			return 0, err
+		}
+		if err := checkReg(b, sp.b, "b"); err != nil {
+			return 0, err
+		}
+		if err := checkReg(c, sp.c, "c"); err != nil {
+			return 0, err
+		}
+	}
+	w |= uint32(a) << aShift
+	w |= uint32(b) << bShift
+	if sp.c {
+		w |= uint32(c) << cShift
+	}
+
+	switch sp.imm {
+	case immNone:
+		if in.Imm != 0 {
+			return 0, fmt.Errorf("isa: encode %s: immediate unused but nonzero", in.Op)
+		}
+	case immS16:
+		if in.Imm < -(1<<15) || in.Imm >= 1<<15 {
+			return 0, fmt.Errorf("isa: encode %s: signed imm16 out of range: %d", in.Op, in.Imm)
+		}
+		w |= uint32(in.Imm) & imm16M
+	case immU16:
+		if in.Imm < 0 || in.Imm >= 1<<16 {
+			return 0, fmt.Errorf("isa: encode %s: unsigned imm16 out of range: %d", in.Op, in.Imm)
+		}
+		w |= uint32(in.Imm) & imm16M
+	case immSh5:
+		if in.Imm < 0 || in.Imm > 31 {
+			return 0, fmt.Errorf("isa: encode %s: shift amount out of range: %d", in.Op, in.Imm)
+		}
+		w |= uint32(in.Imm) & imm16M
+	case immU21:
+		if in.Imm < 0 || in.Imm > imm21M {
+			return 0, fmt.Errorf("isa: encode %s: imm21 out of range: %d", in.Op, in.Imm)
+		}
+		w |= uint32(in.Imm) & imm21M
+	case immS21:
+		if in.Imm < -(1<<20) || in.Imm >= 1<<20 {
+			return 0, fmt.Errorf("isa: encode %s: signed imm21 out of range: %d", in.Op, in.Imm)
+		}
+		w |= uint32(in.Imm) & imm21M
+	case immCR:
+		if in.Imm < 0 || in.Imm >= NumCRs {
+			return 0, fmt.Errorf("isa: encode %s: control register out of range: %d", in.Op, in.Imm)
+		}
+		w |= uint32(in.Imm) & imm16M
+	}
+	return w, nil
+}
+
+// MustEncode is Encode but panics on error; for use with known-good
+// constants (e.g. building trap vectors in tests).
+func MustEncode(in Inst) uint32 {
+	w, err := Encode(in)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Decode unpacks a 32-bit word. Words whose opcode is undefined, or whose
+// unused fields are nonzero, yield an error (the machine raises an
+// illegal-instruction trap for these).
+func Decode(w uint32) (Inst, error) {
+	op := Op(w >> opShift)
+	if !op.Valid() {
+		return Inst{}, fmt.Errorf("isa: decode: undefined opcode %d in %08x", uint8(op), w)
+	}
+	sp := specs[op]
+	a := Reg((w >> aShift) & regMask)
+	b := Reg((w >> bShift) & regMask)
+	c := Reg((w >> cShift) & regMask)
+
+	in := Inst{Op: op}
+	wideImm := sp.imm == immU21 || sp.imm == immS21 // immediate covers the B/C slots
+	if branchUsesAB(op) {
+		in.R1, in.R2 = a, b
+	} else {
+		if sp.a {
+			in.Rd = a
+		} else if a != 0 {
+			return Inst{}, fmt.Errorf("isa: decode %s: unused A field nonzero in %08x", op, w)
+		}
+		if sp.b {
+			in.R1 = b
+		} else if b != 0 && !wideImm {
+			return Inst{}, fmt.Errorf("isa: decode %s: unused B field nonzero in %08x", op, w)
+		}
+		if sp.c {
+			in.R2 = c
+		}
+	}
+
+	// Validate that bits below the immediate are clean when no immediate
+	// (or a narrow one) is defined.
+	switch sp.imm {
+	case immNone:
+		mask := uint32(imm16M)
+		if sp.c {
+			mask = (1 << cShift) - 1
+		}
+		if w&mask != 0 {
+			return Inst{}, fmt.Errorf("isa: decode %s: unused low bits nonzero in %08x", op, w)
+		}
+	case immS16:
+		in.Imm = signExt16(w)
+	case immU16:
+		in.Imm = int32(w & imm16M)
+	case immSh5:
+		v := w & imm16M
+		if v > 31 {
+			return Inst{}, fmt.Errorf("isa: decode %s: shift amount %d > 31 in %08x", op, v, w)
+		}
+		in.Imm = int32(v)
+	case immU21:
+		in.Imm = int32(w & imm21M)
+	case immS21:
+		in.Imm = signExt21(w)
+	case immCR:
+		v := w & imm16M
+		if v >= NumCRs {
+			return Inst{}, fmt.Errorf("isa: decode %s: control register %d out of range in %08x", op, v, w)
+		}
+		in.Imm = int32(v)
+	}
+	return in, nil
+}
+
+// String renders the instruction in canonical assembly syntax.
+func (in Inst) String() string {
+	switch in.Op {
+	case OpADD, OpSUB, OpAND, OpOR, OpXOR, OpSLL, OpSRL, OpSRA, OpSLT, OpSLTU, OpMUL, OpDIV, OpREM:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, in.Rd, in.R1, in.R2)
+	case OpADDI, OpANDI, OpORI, OpXORI, OpSLTI, OpSLTIU, OpSLLI, OpSRLI, OpSRAI:
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, in.Rd, in.R1, in.Imm)
+	case OpLUI:
+		return fmt.Sprintf("%s %s, %d", in.Op, in.Rd, in.Imm)
+	case OpLDW, OpLDH, OpLDB:
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, in.Rd, in.Imm, in.R1)
+	case OpSTW, OpSTH, OpSTB:
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, in.Rd, in.Imm, in.R1)
+	case OpBEQ, OpBNE, OpBLT, OpBGE, OpBLTU, OpBGEU:
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, in.R1, in.R2, in.Imm)
+	case OpBL, OpGATE:
+		return fmt.Sprintf("%s %s, %d", in.Op, in.Rd, in.Imm)
+	case OpBV:
+		return fmt.Sprintf("%s %s", in.Op, in.R1)
+	case OpMFCTL:
+		return fmt.Sprintf("%s %s, %s", in.Op, in.Rd, CR(in.Imm))
+	case OpMTCTL:
+		return fmt.Sprintf("%s %s, %s", in.Op, CR(in.Imm), in.R1)
+	case OpPROBE:
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, in.Rd, in.R1, in.Imm)
+	case OpITLBI:
+		return fmt.Sprintf("%s %s, %s", in.Op, in.R1, in.R2)
+	case OpBREAK, OpDIAG:
+		return fmt.Sprintf("%s %d", in.Op, in.Imm)
+	case OpMFTOD:
+		return fmt.Sprintf("%s %s", in.Op, in.Rd)
+	default:
+		return in.Op.String()
+	}
+}

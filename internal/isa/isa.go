@@ -1,0 +1,397 @@
+// Package isa defines PA-lite, the 32-bit RISC instruction-set
+// architecture interpreted by internal/machine. PA-lite is modelled on the
+// aspects of HP PA-RISC that Bressoud & Schneider's hypervisor-based
+// fault-tolerance protocols depend on:
+//
+//   - four privilege levels (0 most privileged .. 3 least);
+//   - a software-managed TLB (TLB misses trap; the kernel — or the
+//     hypervisor — inserts translations with ITLBI);
+//   - a recovery counter that traps after a programmed number of
+//     instructions, used to delimit epochs (the paper's
+//     Instruction-Stream Interrupt Assumption);
+//   - an interval timer and a time-of-day clock (environment state);
+//   - memory-mapped I/O, so device access is via ordinary loads/stores to
+//     protected pages (the paper's §3.2 Environment Instruction mechanism);
+//   - a branch-and-link instruction that deposits the current privilege
+//     level in the low bits of the return address (the paper's §3.1
+//     virtualization hazard).
+//
+// The package defines instruction encodings, registers, control registers,
+// trap codes, and the paper's instruction taxonomy (ordinary vs privileged
+// vs environment). Encoding is fixed 32-bit words.
+package isa
+
+import "fmt"
+
+// Reg names a general-purpose register, r0..r31. r0 is hardwired to zero.
+type Reg uint8
+
+// NumRegs is the number of general-purpose registers.
+const NumRegs = 32
+
+// Conventional register assignments (loosely following PA-RISC calling
+// conventions). The assembler accepts these as aliases.
+const (
+	RegZero Reg = 0  // always reads as zero; writes discarded
+	RegRP   Reg = 2  // return pointer (link register for CALL)
+	RegArg3 Reg = 23 // fourth argument
+	RegArg2 Reg = 24 // third argument
+	RegArg1 Reg = 25 // second argument
+	RegArg0 Reg = 26 // first argument
+	RegRet0 Reg = 28 // first return value
+	RegRet1 Reg = 29 // second return value
+	RegSP   Reg = 30 // stack pointer
+)
+
+// String returns the canonical assembly name of the register.
+func (r Reg) String() string { return fmt.Sprintf("r%d", uint8(r)) }
+
+// Op is a PA-lite opcode.
+type Op uint8
+
+// Opcodes. The numeric values are the 6-bit primary opcode field.
+const (
+	// OpInvalid is the zero value; decoding a word with an unknown opcode
+	// yields OpInvalid and the machine raises an illegal-instruction trap.
+	OpInvalid Op = 0
+
+	// Three-register ALU operations: rd := r1 OP r2.
+	OpADD  Op = 1  // add (wrapping)
+	OpSUB  Op = 2  // subtract (wrapping)
+	OpAND  Op = 3  // bitwise and
+	OpOR   Op = 4  // bitwise or
+	OpXOR  Op = 5  // bitwise xor
+	OpSLL  Op = 6  // shift left logical by r2&31
+	OpSRL  Op = 7  // shift right logical by r2&31
+	OpSRA  Op = 8  // shift right arithmetic by r2&31
+	OpSLT  Op = 9  // rd = 1 if r1 < r2 (signed) else 0
+	OpSLTU Op = 10 // rd = 1 if r1 < r2 (unsigned) else 0
+	OpMUL  Op = 11 // multiply (low 32 bits)
+	OpDIV  Op = 12 // signed divide; divide-by-zero raises ArithmeticTrap
+	OpREM  Op = 13 // signed remainder; divide-by-zero raises ArithmeticTrap
+
+	// Immediate ALU operations: rd := r1 OP imm16.
+	OpADDI  Op = 14 // add sign-extended immediate
+	OpANDI  Op = 15 // and zero-extended immediate
+	OpORI   Op = 16 // or zero-extended immediate
+	OpXORI  Op = 17 // xor zero-extended immediate
+	OpSLTI  Op = 18 // set if less than sign-extended immediate (signed)
+	OpSLTIU Op = 19 // set if less than (unsigned compare, sign-ext imm)
+	OpSLLI  Op = 20 // shift left logical by imm&31
+	OpSRLI  Op = 21 // shift right logical by imm&31
+	OpSRAI  Op = 22 // shift right arithmetic by imm&31
+	OpLUI   Op = 23 // rd := imm21 << 11 (load upper immediate)
+
+	// Loads and stores: address = r1 + signext(imm16).
+	OpLDW Op = 24 // load 32-bit word (address must be 4-aligned)
+	OpLDH Op = 25 // load 16-bit halfword zero-extended (2-aligned)
+	OpLDB Op = 26 // load byte zero-extended
+	OpSTW Op = 27 // store 32-bit word from rd field (4-aligned)
+	OpSTH Op = 28 // store low 16 bits of rd field (2-aligned)
+	OpSTB Op = 29 // store low byte of rd field
+
+	// Conditional branches: if r1 CMP r2 then PC += signext(off16)*4.
+	// The offset is relative to the instruction after the branch.
+	OpBEQ  Op = 30 // branch if equal
+	OpBNE  Op = 31 // branch if not equal
+	OpBLT  Op = 32 // branch if less than (signed)
+	OpBGE  Op = 33 // branch if greater or equal (signed)
+	OpBLTU Op = 34 // branch if less than (unsigned)
+	OpBGEU Op = 35 // branch if greater or equal (unsigned)
+
+	// OpBL is branch-and-link: rd := (PC+4) | PL; PC += signext(off21)*4.
+	// Like PA-RISC's branch-and-link, it deposits the CURRENT PRIVILEGE
+	// LEVEL in the two low bits of the return address — the virtualization
+	// hazard discussed in §3.1 of the paper. Code that assumes those bits
+	// are zero breaks when run demoted under a hypervisor.
+	OpBL Op = 36
+
+	// OpBV is branch-vectored: PC := r1 &^ 3. The low two bits (privilege
+	// bits deposited by BL) are ignored, so ordinary call/return sequences
+	// work at any privilege level.
+	OpBV Op = 37
+
+	// Control-register access. Privileged at PL > 0.
+	OpMFCTL Op = 38 // rd := CR[imm]
+	OpMTCTL Op = 39 // CR[imm] := r1
+
+	// OpRFI returns from interruption: PSW := IPSW, PC := IIA. Privileged.
+	OpRFI Op = 40
+
+	// OpBREAK raises a Break trap with the immediate as code. Never
+	// privileged; used for debugging and guest panics.
+	OpBREAK Op = 41
+
+	// OpHALT stops the processor (end of workload). Privileged.
+	OpHALT Op = 42
+
+	// OpWFI idles the processor until an external interrupt or interval
+	// timer interrupt is pending. Privileged. An environment instruction:
+	// its duration depends on I/O timing.
+	OpWFI Op = 43
+
+	// OpITLBI inserts a TLB entry: r1 = virtual page number | permission
+	// bits (low 12 bits), r2 = physical page number << 12. Privileged.
+	OpITLBI Op = 44
+
+	// OpPTLB purges the entire TLB. Privileged.
+	OpPTLB Op = 45
+
+	// OpPROBE tests accessibility: rd := 1 if the page containing the
+	// address in r1 is accessible at the CURRENT privilege level for the
+	// access kind in imm (0=read, 1=write), else 0. NOT privileged — like
+	// PA-RISC's probe it reveals the processor's true privilege level,
+	// another §3.1 hazard.
+	OpPROBE Op = 46
+
+	// OpGATE is a gateway call: traps to the Gate vector, promoting to
+	// privilege level 0 (or to the virtual kernel under a hypervisor).
+	// rd := (PC+4) | PL, like BL. Used as the syscall mechanism.
+	OpGATE Op = 47
+
+	// OpDIAG is a diagnostic backdoor for the simulator (trace markers,
+	// test probes). Privileged.
+	OpDIAG Op = 48
+
+	// OpMFTOD reads the time-of-day clock: rd := TOD (cycles since boot).
+	// Privileged at PL > 0 so that a hypervisor can simulate it — the
+	// canonical ENVIRONMENT instruction of the paper (§2.1): its value is
+	// not a function of virtual-machine state.
+	OpMFTOD Op = 49
+
+	// OpNOP does nothing (encoded distinctly so traces read well).
+	OpNOP Op = 50
+
+	opMax Op = 51
+)
+
+var opNames = [opMax]string{
+	OpInvalid: "invalid",
+	OpADD:     "add", OpSUB: "sub", OpAND: "and", OpOR: "or", OpXOR: "xor",
+	OpSLL: "sll", OpSRL: "srl", OpSRA: "sra", OpSLT: "slt", OpSLTU: "sltu",
+	OpMUL: "mul", OpDIV: "div", OpREM: "rem",
+	OpADDI: "addi", OpANDI: "andi", OpORI: "ori", OpXORI: "xori",
+	OpSLTI: "slti", OpSLTIU: "sltiu", OpSLLI: "slli", OpSRLI: "srli",
+	OpSRAI: "srai", OpLUI: "lui",
+	OpLDW: "ldw", OpLDH: "ldh", OpLDB: "ldb",
+	OpSTW: "stw", OpSTH: "sth", OpSTB: "stb",
+	OpBEQ: "beq", OpBNE: "bne", OpBLT: "blt", OpBGE: "bge",
+	OpBLTU: "bltu", OpBGEU: "bgeu",
+	OpBL: "bl", OpBV: "bv",
+	OpMFCTL: "mfctl", OpMTCTL: "mtctl", OpRFI: "rfi", OpBREAK: "break",
+	OpHALT: "halt", OpWFI: "wfi", OpITLBI: "itlbi", OpPTLB: "ptlb",
+	OpPROBE: "probe", OpGATE: "gate", OpDIAG: "diag", OpMFTOD: "mftod",
+	OpNOP: "nop",
+}
+
+// String returns the assembly mnemonic for the opcode.
+func (o Op) String() string {
+	if o < opMax && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op%d", uint8(o))
+}
+
+// Valid reports whether o is a defined opcode.
+func (o Op) Valid() bool { return o > OpInvalid && o < opMax && opNames[o] != "" }
+
+// Class is the paper's instruction taxonomy (§2.1): the behaviour of an
+// ordinary instruction is completely determined by virtual-machine state;
+// an environment instruction's is not; privileged instructions trap when
+// executed above privilege level 0 and are simulated by whoever owns PL 0.
+type Class uint8
+
+const (
+	// ClassOrdinary instructions satisfy the Ordinary Instruction
+	// Assumption: same state in, same state out, on any processor.
+	ClassOrdinary Class = iota
+	// ClassPrivileged instructions trap at PL > 0 (privileged-operation
+	// trap) but their simulated behaviour is still state-deterministic.
+	ClassPrivileged
+	// ClassEnvironment instructions interact with non-replicated state
+	// (clocks, devices); under replication their results must be made
+	// identical by the hypervisor (Environment Instruction Assumption).
+	ClassEnvironment
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case ClassOrdinary:
+		return "ordinary"
+	case ClassPrivileged:
+		return "privileged"
+	case ClassEnvironment:
+		return "environment"
+	}
+	return fmt.Sprintf("class%d", uint8(c))
+}
+
+// Classify returns the paper-taxonomy class of an opcode. Loads and stores
+// are classified ordinary here; a load/store that touches a memory-mapped
+// I/O page is reclassified as environment dynamically by the machine
+// (the page's access rights force a trap, per §3.2 of the paper).
+func Classify(o Op) Class {
+	switch o {
+	case OpMFCTL, OpMTCTL, OpRFI, OpHALT, OpITLBI, OpPTLB, OpDIAG:
+		return ClassPrivileged
+	case OpMFTOD, OpWFI:
+		return ClassEnvironment
+	default:
+		return ClassOrdinary
+	}
+}
+
+// Privileged reports whether executing o at PL > 0 raises a
+// privileged-operation trap.
+func Privileged(o Op) bool {
+	switch o {
+	case OpMFCTL, OpMTCTL, OpRFI, OpHALT, OpWFI, OpITLBI, OpPTLB, OpDIAG, OpMFTOD:
+		return true
+	}
+	return false
+}
+
+// CR numbers control registers accessed by MFCTL/MTCTL.
+type CR uint8
+
+// Control registers. Numbering loosely follows PA-RISC.
+const (
+	CRRCTR  CR = 0  // recovery counter: decrements per instruction when PSW.R is set; traps on expiry
+	CRIVA   CR = 14 // interruption vector address (base of trap vectors)
+	CRITMR  CR = 16 // interval timer: decrements per instruction; raises IntervalTimer trap at 0
+	CRISR   CR = 20 // interruption status (trap-specific detail code)
+	CRIOR   CR = 21 // interruption offset (faulting address / opcode word)
+	CRIPSW  CR = 22 // saved PSW at interruption
+	CRIIA   CR = 23 // saved instruction address at interruption
+	CREIEM  CR = 24 // external interrupt enable mask (bit per line)
+	CREIRR  CR = 25 // external interrupt request register (write 1 to clear bits)
+	CRTOD   CR = 26 // time-of-day clock, cycles since power-on (read-only)
+	CRCPUID CR = 27 // processor identity (read-only; virtualized under a hypervisor)
+	CRPTBR  CR = 28 // page table base (software convention; no hardware walker)
+	NumCRs     = 32
+)
+
+var crNames = map[CR]string{
+	CRRCTR: "rctr", CRIVA: "iva", CRITMR: "itmr", CRISR: "isr",
+	CRIOR: "ior", CRIPSW: "ipsw", CRIIA: "iia", CREIEM: "eiem",
+	CREIRR: "eirr", CRTOD: "tod", CRCPUID: "cpuid", CRPTBR: "ptbr",
+}
+
+// String names the control register.
+func (c CR) String() string {
+	if n, ok := crNames[c]; ok {
+		return n
+	}
+	return fmt.Sprintf("cr%d", uint8(c))
+}
+
+// CRByName resolves an assembly control-register name ("rctr", "cr5"...).
+func CRByName(name string) (CR, bool) {
+	for c, n := range crNames {
+		if n == name {
+			return c, true
+		}
+	}
+	var num uint8
+	if _, err := fmt.Sscanf(name, "cr%d", &num); err == nil && num < NumCRs {
+		return CR(num), true
+	}
+	return 0, false
+}
+
+// PSW bit assignments. The privilege level occupies the two low bits.
+const (
+	PSWPLMask uint32 = 0x3        // current privilege level, 0..3
+	PSWI      uint32 = 1 << 2     // external/interval interrupts enabled
+	PSWV      uint32 = 1 << 3     // virtual address translation enabled
+	PSWR      uint32 = 1 << 4     // recovery counter enabled
+	PSWDefect uint32 = 0xFFFFFFE0 // reserved bits, must be zero
+)
+
+// Trap codes: causes of transfer to the interruption vector. The vector
+// for trap t is IVA + uint32(t)*VectorStride.
+type Trap uint8
+
+// Trap causes.
+const (
+	TrapNone     Trap = 0  // no trap (internal sentinel)
+	TrapIllegal  Trap = 1  // undefined or malformed instruction
+	TrapPriv     Trap = 2  // privileged operation at PL > 0
+	TrapITLBMiss Trap = 3  // instruction fetch missed the TLB
+	TrapDTLBMiss Trap = 4  // data access missed the TLB
+	TrapAccess   Trap = 5  // page permission violation (incl. MMIO at PL>0)
+	TrapAlign    Trap = 6  // misaligned access
+	TrapBreak    Trap = 7  // BREAK instruction
+	TrapGate     Trap = 8  // GATE instruction (syscall)
+	TrapRecovery Trap = 9  // recovery counter expired (epoch boundary)
+	TrapITimer   Trap = 10 // interval timer expired
+	TrapExtIntr  Trap = 11 // external interrupt (device)
+	TrapArith    Trap = 12 // arithmetic trap (divide by zero)
+	TrapMachine  Trap = 13 // machine check (bus error, bad physical address)
+	NumTrapCodes      = 14
+)
+
+// VectorStride is the spacing of interruption vectors: 8 instructions.
+const VectorStride = 32
+
+var trapNames = [NumTrapCodes]string{
+	"none", "illegal", "priv", "itlbmiss", "dtlbmiss", "access",
+	"align", "break", "gate", "recovery", "itimer", "extintr",
+	"arith", "machine",
+}
+
+// String names the trap cause.
+func (t Trap) String() string {
+	if int(t) < len(trapNames) {
+		return trapNames[t]
+	}
+	return fmt.Sprintf("trap%d", uint8(t))
+}
+
+// Synchronous reports whether the trap is raised by instruction execution
+// (as opposed to an asynchronous interrupt checked between instructions).
+func (t Trap) Synchronous() bool {
+	switch t {
+	case TrapITimer, TrapExtIntr, TrapRecovery:
+		return false
+	}
+	return true
+}
+
+// Page and TLB geometry.
+const (
+	PageShift = 12             // 4 KiB pages
+	PageSize  = 1 << PageShift // page size in bytes
+	PageMask  = PageSize - 1   // offset mask within a page
+)
+
+// TLB entry permission bits (low bits of the ITLBI r1 operand).
+const (
+	TLBRead  uint32 = 1 << 0 // readable
+	TLBWrite uint32 = 1 << 1 // writable
+	TLBExec  uint32 = 1 << 2 // executable
+	// TLBPLShift..: two bits giving the MINIMUM privilege level allowed
+	// to access the page: an access at PL p is allowed iff p <= this
+	// field. (PL 0 may access everything.)
+	TLBPLShift        = 3
+	TLBPLMask  uint32 = 0x3 << TLBPLShift
+	// TLBPermMask covers all permission bits in the VPN operand.
+	TLBPermMask uint32 = TLBRead | TLBWrite | TLBExec | TLBPLMask
+)
+
+// MakeTLBFlags builds the permission field for ITLBI's r1 operand.
+func MakeTLBFlags(read, write, exec bool, minPL uint32) uint32 {
+	var f uint32
+	if read {
+		f |= TLBRead
+	}
+	if write {
+		f |= TLBWrite
+	}
+	if exec {
+		f |= TLBExec
+	}
+	f |= (minPL & 3) << TLBPLShift
+	return f
+}

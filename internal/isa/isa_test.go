@@ -1,0 +1,405 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegString(t *testing.T) {
+	if RegSP.String() != "r30" {
+		t.Errorf("RegSP = %s, want r30", RegSP)
+	}
+	if RegZero.String() != "r0" {
+		t.Errorf("RegZero = %s, want r0", RegZero)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	cases := map[Op]string{
+		OpADD: "add", OpMFTOD: "mftod", OpITLBI: "itlbi", OpBGEU: "bgeu",
+		OpInvalid: "invalid", Op(63): "op63",
+	}
+	for op, want := range cases {
+		if got := op.String(); got != want {
+			t.Errorf("Op(%d).String() = %q, want %q", uint8(op), got, want)
+		}
+	}
+}
+
+func TestOpValid(t *testing.T) {
+	if OpInvalid.Valid() {
+		t.Error("OpInvalid should not be Valid")
+	}
+	if !OpNOP.Valid() {
+		t.Error("OpNOP should be Valid")
+	}
+	if Op(63).Valid() {
+		t.Error("Op(63) should not be Valid")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := map[Op]Class{
+		OpADD:   ClassOrdinary,
+		OpLDW:   ClassOrdinary,
+		OpBL:    ClassOrdinary,
+		OpPROBE: ClassOrdinary,
+		OpMFCTL: ClassPrivileged,
+		OpRFI:   ClassPrivileged,
+		OpITLBI: ClassPrivileged,
+		OpMFTOD: ClassEnvironment,
+		OpWFI:   ClassEnvironment,
+	}
+	for op, want := range cases {
+		if got := Classify(op); got != want {
+			t.Errorf("Classify(%s) = %s, want %s", op, got, want)
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if ClassOrdinary.String() != "ordinary" || ClassPrivileged.String() != "privileged" ||
+		ClassEnvironment.String() != "environment" {
+		t.Error("Class.String values wrong")
+	}
+	if Class(9).String() != "class9" {
+		t.Error("unknown class String wrong")
+	}
+}
+
+func TestPrivileged(t *testing.T) {
+	priv := []Op{OpMFCTL, OpMTCTL, OpRFI, OpHALT, OpWFI, OpITLBI, OpPTLB, OpDIAG, OpMFTOD}
+	for _, op := range priv {
+		if !Privileged(op) {
+			t.Errorf("Privileged(%s) = false, want true", op)
+		}
+	}
+	unpriv := []Op{OpADD, OpLDW, OpSTW, OpBL, OpBV, OpBREAK, OpGATE, OpPROBE, OpNOP}
+	for _, op := range unpriv {
+		if Privileged(op) {
+			t.Errorf("Privileged(%s) = true, want false", op)
+		}
+	}
+}
+
+func TestCRNames(t *testing.T) {
+	if CRRCTR.String() != "rctr" || CRTOD.String() != "tod" {
+		t.Error("CR String names wrong")
+	}
+	if CR(5).String() != "cr5" {
+		t.Errorf("CR(5) = %s, want cr5", CR(5))
+	}
+	if c, ok := CRByName("itmr"); !ok || c != CRITMR {
+		t.Errorf("CRByName(itmr) = %v, %v", c, ok)
+	}
+	if c, ok := CRByName("cr7"); !ok || c != CR(7) {
+		t.Errorf("CRByName(cr7) = %v, %v", c, ok)
+	}
+	if _, ok := CRByName("cr99"); ok {
+		t.Error("CRByName(cr99) should fail")
+	}
+	if _, ok := CRByName("bogus"); ok {
+		t.Error("CRByName(bogus) should fail")
+	}
+}
+
+func TestTrapString(t *testing.T) {
+	if TrapRecovery.String() != "recovery" || TrapExtIntr.String() != "extintr" {
+		t.Error("Trap String names wrong")
+	}
+	if Trap(99).String() != "trap99" {
+		t.Error("unknown trap String wrong")
+	}
+}
+
+func TestTrapSynchronous(t *testing.T) {
+	for _, tr := range []Trap{TrapITimer, TrapExtIntr, TrapRecovery} {
+		if tr.Synchronous() {
+			t.Errorf("%s should be asynchronous", tr)
+		}
+	}
+	for _, tr := range []Trap{TrapIllegal, TrapPriv, TrapDTLBMiss, TrapBreak} {
+		if !tr.Synchronous() {
+			t.Errorf("%s should be synchronous", tr)
+		}
+	}
+}
+
+func TestMakeTLBFlags(t *testing.T) {
+	f := MakeTLBFlags(true, false, true, 3)
+	if f&TLBRead == 0 || f&TLBWrite != 0 || f&TLBExec == 0 {
+		t.Errorf("flags = %x", f)
+	}
+	if (f&TLBPLMask)>>TLBPLShift != 3 {
+		t.Errorf("PL field = %d, want 3", (f&TLBPLMask)>>TLBPLShift)
+	}
+}
+
+// sample instructions covering every opcode and representative operands.
+func sampleInstructions() []Inst {
+	return []Inst{
+		{Op: OpADD, Rd: 1, R1: 2, R2: 3},
+		{Op: OpSUB, Rd: 31, R1: 30, R2: 29},
+		{Op: OpAND, Rd: 4, R1: 5, R2: 6},
+		{Op: OpOR, Rd: 7, R1: 8, R2: 9},
+		{Op: OpXOR, Rd: 10, R1: 11, R2: 12},
+		{Op: OpSLL, Rd: 13, R1: 14, R2: 15},
+		{Op: OpSRL, Rd: 16, R1: 17, R2: 18},
+		{Op: OpSRA, Rd: 19, R1: 20, R2: 21},
+		{Op: OpSLT, Rd: 22, R1: 23, R2: 24},
+		{Op: OpSLTU, Rd: 25, R1: 26, R2: 27},
+		{Op: OpMUL, Rd: 1, R1: 1, R2: 1},
+		{Op: OpDIV, Rd: 2, R1: 3, R2: 4},
+		{Op: OpREM, Rd: 5, R1: 6, R2: 7},
+		{Op: OpADDI, Rd: 1, R1: 2, Imm: -32768},
+		{Op: OpADDI, Rd: 1, R1: 2, Imm: 32767},
+		{Op: OpANDI, Rd: 3, R1: 4, Imm: 65535},
+		{Op: OpORI, Rd: 5, R1: 6, Imm: 0x7FF},
+		{Op: OpXORI, Rd: 7, R1: 8, Imm: 1},
+		{Op: OpSLTI, Rd: 9, R1: 10, Imm: -5},
+		{Op: OpSLTIU, Rd: 11, R1: 12, Imm: 100},
+		{Op: OpSLLI, Rd: 13, R1: 14, Imm: 31},
+		{Op: OpSRLI, Rd: 15, R1: 16, Imm: 0},
+		{Op: OpSRAI, Rd: 17, R1: 18, Imm: 16},
+		{Op: OpLUI, Rd: 19, Imm: 0x1FFFFF},
+		{Op: OpLUI, Rd: 19, Imm: 0},
+		{Op: OpLDW, Rd: 1, R1: 30, Imm: -4},
+		{Op: OpLDH, Rd: 2, R1: 29, Imm: 2},
+		{Op: OpLDB, Rd: 3, R1: 28, Imm: 1023},
+		{Op: OpSTW, Rd: 4, R1: 30, Imm: 8},
+		{Op: OpSTH, Rd: 5, R1: 27, Imm: -2},
+		{Op: OpSTB, Rd: 6, R1: 26, Imm: 0},
+		{Op: OpBEQ, R1: 1, R2: 2, Imm: -100},
+		{Op: OpBNE, R1: 3, R2: 4, Imm: 100},
+		{Op: OpBLT, R1: 5, R2: 6, Imm: 0},
+		{Op: OpBGE, R1: 7, R2: 8, Imm: 32767},
+		{Op: OpBLTU, R1: 9, R2: 10, Imm: -32768},
+		{Op: OpBGEU, R1: 11, R2: 12, Imm: 1},
+		{Op: OpBL, Rd: 2, Imm: -1048576},
+		{Op: OpBL, Rd: 2, Imm: 1048575},
+		{Op: OpBV, R1: 2},
+		{Op: OpMFCTL, Rd: 1, Imm: int32(CRTOD)},
+		{Op: OpMTCTL, R1: 2, Imm: int32(CRITMR)},
+		{Op: OpRFI},
+		{Op: OpBREAK, Imm: 42},
+		{Op: OpHALT},
+		{Op: OpWFI},
+		{Op: OpITLBI, R1: 1, R2: 2},
+		{Op: OpPTLB},
+		{Op: OpPROBE, Rd: 1, R1: 2, Imm: 1},
+		{Op: OpGATE, Rd: 2, Imm: 16},
+		{Op: OpDIAG, Imm: 7},
+		{Op: OpMFTOD, Rd: 28},
+		{Op: OpNOP},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, in := range sampleInstructions() {
+		w, err := Encode(in)
+		if err != nil {
+			t.Errorf("Encode(%v): %v", in, err)
+			continue
+		}
+		out, err := Decode(w)
+		if err != nil {
+			t.Errorf("Decode(Encode(%v)) = %08x: %v", in, w, err)
+			continue
+		}
+		if out != in {
+			t.Errorf("roundtrip %v -> %08x -> %v", in, w, out)
+		}
+	}
+}
+
+func TestEveryOpcodeCovered(t *testing.T) {
+	seen := map[Op]bool{}
+	for _, in := range sampleInstructions() {
+		seen[in.Op] = true
+	}
+	for op := OpADD; op < opMax; op++ {
+		if op.Valid() && !seen[op] {
+			t.Errorf("opcode %s not covered by sampleInstructions", op)
+		}
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	bad := []Inst{
+		{Op: OpInvalid},
+		{Op: Op(63)},
+		{Op: OpADDI, Rd: 1, R1: 2, Imm: 40000},  // imm16 overflow
+		{Op: OpADDI, Rd: 1, R1: 2, Imm: -40000}, // imm16 underflow
+		{Op: OpANDI, Rd: 1, R1: 2, Imm: -1},     // negative unsigned
+		{Op: OpSLLI, Rd: 1, R1: 2, Imm: 32},     // shift > 31
+		{Op: OpLUI, Rd: 1, Imm: 1 << 21},        // imm21 overflow
+		{Op: OpBL, Rd: 2, Imm: 1 << 20},         // signed imm21 overflow
+		{Op: OpMFCTL, Rd: 1, Imm: 40},           // CR out of range
+		{Op: OpRFI, Imm: 3},                     // unused imm
+		{Op: OpRFI, Rd: 5},                      // unused register
+		{Op: OpNOP, R1: 1},                      // unused register
+		{Op: OpBV, R1: 1, Rd: 2},                // Rd unused for BV
+	}
+	for _, in := range bad {
+		if _, err := Encode(in); err == nil {
+			t.Errorf("Encode(%+v) succeeded, want error", in)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	bad := []uint32{
+		0x00000000,                // opcode 0 (invalid)
+		uint32(63) << 26,          // undefined opcode
+		uint32(OpRFI)<<26 | 1,     // unused bits set
+		uint32(OpRFI)<<26 | 5<<21, // unused A field
+		uint32(OpNOP)<<26 | 1<<16, // unused B field
+		uint32(OpSLLI)<<26 | 32,   // shift amount 32
+		uint32(OpMFCTL)<<26 | 40,  // CR 40 out of range
+		uint32(OpITLBI)<<26 | 7,   // unused low bits under C slot
+	}
+	for _, w := range bad {
+		if _, err := Decode(w); err == nil {
+			t.Errorf("Decode(%08x) succeeded, want error", w)
+		}
+	}
+}
+
+func TestMustEncodePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustEncode did not panic on invalid instruction")
+		}
+	}()
+	MustEncode(Inst{Op: OpInvalid})
+}
+
+// Property: Encode∘Decode is the identity on all valid encodings generated
+// by Encode from random well-formed instructions.
+func TestRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	randInst := func() Inst {
+		for {
+			op := Op(1 + rng.Intn(int(opMax)-1))
+			if !op.Valid() {
+				continue
+			}
+			sp := specs[op]
+			in := Inst{Op: op}
+			if branchUsesAB(op) {
+				in.R1 = Reg(rng.Intn(NumRegs))
+				in.R2 = Reg(rng.Intn(NumRegs))
+			} else {
+				if sp.a {
+					in.Rd = Reg(rng.Intn(NumRegs))
+				}
+				if sp.b {
+					in.R1 = Reg(rng.Intn(NumRegs))
+				}
+				if sp.c {
+					in.R2 = Reg(rng.Intn(NumRegs))
+				}
+			}
+			switch sp.imm {
+			case immS16:
+				in.Imm = int32(rng.Intn(1<<16)) - 1<<15
+			case immU16:
+				in.Imm = int32(rng.Intn(1 << 16))
+			case immSh5:
+				in.Imm = int32(rng.Intn(32))
+			case immU21:
+				in.Imm = int32(rng.Intn(1 << 21))
+			case immS21:
+				in.Imm = int32(rng.Intn(1<<21)) - 1<<20
+			case immCR:
+				in.Imm = int32(rng.Intn(NumCRs))
+			}
+			return in
+		}
+	}
+	for i := 0; i < 5000; i++ {
+		in := randInst()
+		w, err := Encode(in)
+		if err != nil {
+			t.Fatalf("Encode(%+v): %v", in, err)
+		}
+		out, err := Decode(w)
+		if err != nil {
+			t.Fatalf("Decode(%08x) from %+v: %v", w, in, err)
+		}
+		if out != in {
+			t.Fatalf("roundtrip %+v -> %08x -> %+v", in, w, out)
+		}
+	}
+}
+
+// Property: Decode never accepts two distinct words that decode to the
+// same instruction (encoding is injective over decodable words).
+func TestDecodeInjectiveProperty(t *testing.T) {
+	prop := func(w uint32) bool {
+		in, err := Decode(w)
+		if err != nil {
+			return true // undecodable words are out of scope
+		}
+		w2, err := Encode(in)
+		if err != nil {
+			return false // decodable word must re-encode
+		}
+		return w2 == w
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInstString(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: OpADD, Rd: 1, R1: 2, R2: 3}, "add r1, r2, r3"},
+		{Inst{Op: OpADDI, Rd: 1, R1: 2, Imm: -5}, "addi r1, r2, -5"},
+		{Inst{Op: OpLUI, Rd: 4, Imm: 100}, "lui r4, 100"},
+		{Inst{Op: OpLDW, Rd: 1, R1: 30, Imm: 8}, "ldw r1, 8(r30)"},
+		{Inst{Op: OpSTW, Rd: 2, R1: 30, Imm: -4}, "stw r2, -4(r30)"},
+		{Inst{Op: OpBEQ, R1: 1, R2: 2, Imm: 10}, "beq r1, r2, 10"},
+		{Inst{Op: OpBL, Rd: 2, Imm: -3}, "bl r2, -3"},
+		{Inst{Op: OpBV, R1: 2}, "bv r2"},
+		{Inst{Op: OpMFCTL, Rd: 5, Imm: int32(CRTOD)}, "mfctl r5, tod"},
+		{Inst{Op: OpMTCTL, R1: 6, Imm: int32(CRITMR)}, "mtctl itmr, r6"},
+		{Inst{Op: OpPROBE, Rd: 1, R1: 2, Imm: 1}, "probe r1, r2, 1"},
+		{Inst{Op: OpITLBI, R1: 3, R2: 4}, "itlbi r3, r4"},
+		{Inst{Op: OpBREAK, Imm: 9}, "break 9"},
+		{Inst{Op: OpMFTOD, Rd: 7}, "mftod r7"},
+		{Inst{Op: OpRFI}, "rfi"},
+		{Inst{Op: OpNOP}, "nop"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String(%+v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSignExtHelpers(t *testing.T) {
+	if signExt16(0xFFFF) != -1 {
+		t.Error("signExt16(0xFFFF) != -1")
+	}
+	if signExt16(0x7FFF) != 32767 {
+		t.Error("signExt16(0x7FFF) != 32767")
+	}
+	if signExt21(0x1FFFFF) != -1 {
+		t.Error("signExt21(0x1FFFFF) != -1")
+	}
+	if signExt21(0x0FFFFF) != 1048575 {
+		t.Error("signExt21(0x0FFFFF) != 1048575")
+	}
+}
+
+func TestVectorStride(t *testing.T) {
+	// Each vector slot must hold at least a branch to a handler.
+	if VectorStride%4 != 0 || VectorStride < 8 {
+		t.Errorf("VectorStride = %d", VectorStride)
+	}
+}

@@ -1,0 +1,384 @@
+package machine
+
+import (
+	"repro/internal/isa"
+)
+
+// Step executes at most one instruction and reports the outcome. On a
+// trap result, architected state is unchanged (the faulting instruction
+// did not retire) and the caller must dispatch the trap (DeliverTrap for
+// hardware behaviour, or hypervisor emulation). Asynchronous conditions
+// are checked before fetch, in priority order:
+//
+//  1. recovery-counter expiry (epoch boundary — highest priority so that
+//     epochs end at exact instruction counts),
+//  2. unmasked external interrupts (when PSW.I is set).
+func (m *Machine) Step() StepResult {
+	if m.halted {
+		return StepResult{Halted: true}
+	}
+	// 1. Recovery counter: traps when it has counted down to zero.
+	if m.PSW&isa.PSWR != 0 && int32(m.CRs[isa.CRRCTR]) <= 0 {
+		m.Stats.Traps++
+		return StepResult{Trap: isa.TrapRecovery}
+	}
+	// 2. External interrupts.
+	if m.PSW&isa.PSWI != 0 && m.IRQPending() {
+		m.Stats.Traps++
+		return StepResult{Trap: isa.TrapExtIntr, ISR: m.CRs[isa.CREIRR] & m.CRs[isa.CREIEM]}
+	}
+	// Fetch.
+	if m.PC%4 != 0 {
+		m.Stats.Traps++
+		return StepResult{Trap: isa.TrapAlign, IOR: m.PC}
+	}
+	pa, tr := m.translate(m.PC, accessExec)
+	if tr != isa.TrapNone {
+		m.Stats.Traps++
+		return StepResult{Trap: tr, IOR: m.PC}
+	}
+	if m.InMMIO(pa) {
+		m.Stats.Traps++
+		return StepResult{Trap: isa.TrapMachine, IOR: m.PC}
+	}
+	w, tr := m.loadPhys(pa, 4)
+	if tr != isa.TrapNone {
+		m.Stats.Traps++
+		return StepResult{Trap: tr, IOR: m.PC}
+	}
+	in, ok := m.decode(w)
+	if !ok {
+		m.Stats.Traps++
+		return StepResult{Trap: isa.TrapIllegal, ISR: w, IOR: m.PC}
+	}
+	// Privilege check.
+	if isa.Privileged(in.Op) && m.PL() != 0 {
+		m.Stats.Traps++
+		return StepResult{Trap: isa.TrapPriv, ISR: uint32(in.Op), IOR: m.PC, Inst: in, Raw: w}
+	}
+	res := m.execute(in, w)
+	if res.Trap != isa.TrapNone {
+		res.Inst, res.Raw = in, w
+	}
+	return res
+}
+
+// retire finalizes a successfully executed instruction: advances counters
+// and ticks the interval timer and recovery counter.
+func (m *Machine) retire(res StepResult) StepResult {
+	m.cycles++
+	m.Stats.Instructions++
+	// Interval timer: decrements once per retired instruction while
+	// nonzero; raises external interrupt line 0 when it reaches zero.
+	if t := m.CRs[isa.CRITMR]; t != 0 {
+		t--
+		m.CRs[isa.CRITMR] = t
+		if t == 0 {
+			m.RaiseIRQ(0)
+		}
+	}
+	// Recovery counter: decrements once per retired instruction while
+	// enabled. The trap fires before the NEXT instruction (see Step).
+	if m.PSW&isa.PSWR != 0 {
+		m.CRs[isa.CRRCTR]--
+	}
+	return res
+}
+
+// setReg writes a register, discarding writes to r0.
+func (m *Machine) setReg(r isa.Reg, v uint32) {
+	if r != isa.RegZero {
+		m.Regs[r] = v
+	}
+}
+
+// reg reads a register (r0 always zero).
+func (m *Machine) reg(r isa.Reg) uint32 {
+	if r == isa.RegZero {
+		return 0
+	}
+	return m.Regs[r]
+}
+
+// execute runs a decoded instruction. PC still points at it.
+func (m *Machine) execute(in isa.Inst, raw uint32) StepResult {
+	next := m.PC + 4
+	ok := func() StepResult {
+		m.PC = next
+		return m.retire(StepResult{})
+	}
+	trap := func(t isa.Trap, isr, ior uint32) StepResult {
+		m.Stats.Traps++
+		return StepResult{Trap: t, ISR: isr, IOR: ior}
+	}
+
+	switch in.Op {
+	case isa.OpADD:
+		m.setReg(in.Rd, m.reg(in.R1)+m.reg(in.R2))
+		return ok()
+	case isa.OpSUB:
+		m.setReg(in.Rd, m.reg(in.R1)-m.reg(in.R2))
+		return ok()
+	case isa.OpAND:
+		m.setReg(in.Rd, m.reg(in.R1)&m.reg(in.R2))
+		return ok()
+	case isa.OpOR:
+		m.setReg(in.Rd, m.reg(in.R1)|m.reg(in.R2))
+		return ok()
+	case isa.OpXOR:
+		m.setReg(in.Rd, m.reg(in.R1)^m.reg(in.R2))
+		return ok()
+	case isa.OpSLL:
+		m.setReg(in.Rd, m.reg(in.R1)<<(m.reg(in.R2)&31))
+		return ok()
+	case isa.OpSRL:
+		m.setReg(in.Rd, m.reg(in.R1)>>(m.reg(in.R2)&31))
+		return ok()
+	case isa.OpSRA:
+		m.setReg(in.Rd, uint32(int32(m.reg(in.R1))>>(m.reg(in.R2)&31)))
+		return ok()
+	case isa.OpSLT:
+		m.setReg(in.Rd, b2u(int32(m.reg(in.R1)) < int32(m.reg(in.R2))))
+		return ok()
+	case isa.OpSLTU:
+		m.setReg(in.Rd, b2u(m.reg(in.R1) < m.reg(in.R2)))
+		return ok()
+	case isa.OpMUL:
+		m.setReg(in.Rd, m.reg(in.R1)*m.reg(in.R2))
+		return ok()
+	case isa.OpDIV:
+		d := int32(m.reg(in.R2))
+		if d == 0 {
+			return trap(isa.TrapArith, raw, m.PC)
+		}
+		n := int32(m.reg(in.R1))
+		if n == -1<<31 && d == -1 {
+			m.setReg(in.Rd, uint32(n)) // overflow: defined as saturating
+		} else {
+			m.setReg(in.Rd, uint32(n/d))
+		}
+		return ok()
+	case isa.OpREM:
+		d := int32(m.reg(in.R2))
+		if d == 0 {
+			return trap(isa.TrapArith, raw, m.PC)
+		}
+		n := int32(m.reg(in.R1))
+		if n == -1<<31 && d == -1 {
+			m.setReg(in.Rd, 0)
+		} else {
+			m.setReg(in.Rd, uint32(n%d))
+		}
+		return ok()
+
+	case isa.OpADDI:
+		m.setReg(in.Rd, m.reg(in.R1)+uint32(in.Imm))
+		return ok()
+	case isa.OpANDI:
+		m.setReg(in.Rd, m.reg(in.R1)&uint32(in.Imm))
+		return ok()
+	case isa.OpORI:
+		m.setReg(in.Rd, m.reg(in.R1)|uint32(in.Imm))
+		return ok()
+	case isa.OpXORI:
+		m.setReg(in.Rd, m.reg(in.R1)^uint32(in.Imm))
+		return ok()
+	case isa.OpSLTI:
+		m.setReg(in.Rd, b2u(int32(m.reg(in.R1)) < in.Imm))
+		return ok()
+	case isa.OpSLTIU:
+		m.setReg(in.Rd, b2u(m.reg(in.R1) < uint32(in.Imm)))
+		return ok()
+	case isa.OpSLLI:
+		m.setReg(in.Rd, m.reg(in.R1)<<uint32(in.Imm))
+		return ok()
+	case isa.OpSRLI:
+		m.setReg(in.Rd, m.reg(in.R1)>>uint32(in.Imm))
+		return ok()
+	case isa.OpSRAI:
+		m.setReg(in.Rd, uint32(int32(m.reg(in.R1))>>uint32(in.Imm)))
+		return ok()
+	case isa.OpLUI:
+		m.setReg(in.Rd, uint32(in.Imm)<<11)
+		return ok()
+
+	case isa.OpLDW, isa.OpLDH, isa.OpLDB:
+		size := 4
+		switch in.Op {
+		case isa.OpLDH:
+			size = 2
+		case isa.OpLDB:
+			size = 1
+		}
+		va := m.reg(in.R1) + uint32(in.Imm)
+		if va%uint32(size) != 0 {
+			return trap(isa.TrapAlign, 0, va)
+		}
+		pa, tr := m.translate(va, accessRead)
+		if tr != isa.TrapNone {
+			return trap(tr, 0, va)
+		}
+		v, tr := m.loadPhys(pa, size)
+		if tr != isa.TrapNone {
+			return trap(tr, 0, va)
+		}
+		m.setReg(in.Rd, v)
+		m.Stats.Loads++
+		return ok()
+
+	case isa.OpSTW, isa.OpSTH, isa.OpSTB:
+		size := 4
+		switch in.Op {
+		case isa.OpSTH:
+			size = 2
+		case isa.OpSTB:
+			size = 1
+		}
+		va := m.reg(in.R1) + uint32(in.Imm)
+		if va%uint32(size) != 0 {
+			return trap(isa.TrapAlign, 0, va)
+		}
+		pa, tr := m.translate(va, accessWrite)
+		if tr != isa.TrapNone {
+			return trap(tr, 0, va)
+		}
+		if tr := m.storePhys(pa, size, m.reg(in.Rd)); tr != isa.TrapNone {
+			return trap(tr, 0, va)
+		}
+		m.Stats.Stores++
+		return ok()
+
+	case isa.OpBEQ, isa.OpBNE, isa.OpBLT, isa.OpBGE, isa.OpBLTU, isa.OpBGEU:
+		a, b := m.reg(in.R1), m.reg(in.R2)
+		var take bool
+		switch in.Op {
+		case isa.OpBEQ:
+			take = a == b
+		case isa.OpBNE:
+			take = a != b
+		case isa.OpBLT:
+			take = int32(a) < int32(b)
+		case isa.OpBGE:
+			take = int32(a) >= int32(b)
+		case isa.OpBLTU:
+			take = a < b
+		case isa.OpBGEU:
+			take = a >= b
+		}
+		if take {
+			next = m.PC + 4 + uint32(in.Imm)*4
+		}
+		m.Stats.Branches++
+		return ok()
+
+	case isa.OpBL:
+		// Branch and link. Like PA-RISC, the CURRENT PRIVILEGE LEVEL is
+		// deposited in the low two bits of the return address (§3.1 of
+		// the paper: code that assumes these bits are zero misbehaves
+		// when its privilege level is virtualized).
+		m.setReg(in.Rd, (m.PC+4)|m.PL())
+		next = m.PC + 4 + uint32(in.Imm)*4
+		m.Stats.Branches++
+		return ok()
+
+	case isa.OpBV:
+		next = m.reg(in.R1) &^ 3
+		m.Stats.Branches++
+		return ok()
+
+	case isa.OpGATE:
+		// Gateway: deposits the return address (with privilege bits, like
+		// BL) and traps to the Gate vector, promoting to PL 0 via the
+		// interruption sequence. The kernel's gate handler dispatches.
+		m.setReg(in.Rd, (m.PC+4)|m.PL())
+		return trap(isa.TrapGate, 0, m.PC)
+
+	case isa.OpMFCTL:
+		m.setReg(in.Rd, m.ReadCR(isa.CR(in.Imm)))
+		m.Stats.Privileged++
+		return ok()
+
+	case isa.OpMTCTL:
+		m.WriteCR(isa.CR(in.Imm), m.reg(in.R1))
+		m.Stats.Privileged++
+		return ok()
+
+	case isa.OpRFI:
+		m.PSW = m.CRs[isa.CRIPSW] &^ isa.PSWDefect
+		m.PC = m.CRs[isa.CRIIA]
+		m.Stats.Privileged++
+		return m.retire(StepResult{})
+
+	case isa.OpBREAK:
+		return trap(isa.TrapBreak, uint32(in.Imm), m.PC)
+
+	case isa.OpHALT:
+		m.halted = true
+		m.PC = next
+		m.Stats.Privileged++
+		return m.retire(StepResult{Halted: true})
+
+	case isa.OpWFI:
+		// Wait-for-interrupt: if an interrupt line is already raised the
+		// instruction completes immediately; otherwise the caller must
+		// idle the processor until RaiseIRQ. Either way WFI retires.
+		m.PC = next
+		m.Stats.Environment++
+		return m.retire(StepResult{Idle: !m.IRQRaised()})
+
+	case isa.OpITLBI:
+		v := m.reg(in.R1)
+		m.TLB.Insert(TLBEntry{
+			VPN:   v >> isa.PageShift,
+			PPN:   m.reg(in.R2) >> isa.PageShift,
+			Flags: v & isa.TLBPermMask,
+		})
+		m.Stats.Privileged++
+		return ok()
+
+	case isa.OpPTLB:
+		m.TLB.Purge()
+		m.Stats.Privileged++
+		return ok()
+
+	case isa.OpPROBE:
+		va := m.reg(in.R1)
+		kind := accessRead
+		if in.Imm == 1 {
+			kind = accessWrite
+		}
+		if m.PSW&isa.PSWV == 0 {
+			allowed := !m.InMMIO(va) || m.PL() == 0
+			m.setReg(in.Rd, b2u(allowed))
+			return ok()
+		}
+		e, found := m.TLB.Probe(va >> isa.PageShift)
+		if !found {
+			return trap(isa.TrapDTLBMiss, 0, va)
+		}
+		m.setReg(in.Rd, b2u(permitted(e, kind, m.PL())))
+		return ok()
+
+	case isa.OpDIAG:
+		m.PC = next
+		m.Stats.Privileged++
+		return m.retire(StepResult{Diag: uint32(in.Imm) + 1})
+
+	case isa.OpMFTOD:
+		m.setReg(in.Rd, m.TOD())
+		m.Stats.Environment++
+		return ok()
+
+	case isa.OpNOP:
+		return ok()
+	}
+	return trap(isa.TrapIllegal, raw, m.PC)
+}
+
+// b2u converts a bool to 0/1.
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}

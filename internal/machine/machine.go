@@ -1,0 +1,414 @@
+// Package machine implements the PA-lite processor: a deterministic
+// interpreter for the instruction set defined in internal/isa, with four
+// privilege levels, a software-managed TLB, a recovery counter, an
+// interval timer, a time-of-day clock, and a memory-mapped I/O window.
+//
+// The machine is a passive state object: Step executes one instruction
+// and reports what happened (normal retirement, a trap, HALT, WFI). The
+// caller — the bare-metal platform driver or the hypervisor — decides how
+// traps are dispatched. DeliverTrap implements the hardware interruption
+// sequence (save PSW/PC, demote to PL 0, jump to the vector); a
+// hypervisor instead intercepts traps and emulates or reflects them.
+package machine
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/isa"
+)
+
+// accessKind distinguishes memory access types for permission checks.
+type accessKind uint8
+
+const (
+	accessRead accessKind = iota
+	accessWrite
+	accessExec
+)
+
+// MMIOHandler is implemented by the platform's device bus: loads and
+// stores that hit the MMIO window (at privilege level 0) are routed here.
+// Addresses are physical and offsets within the window. Size is 1, 2 or 4
+// bytes. Errors become machine checks.
+type MMIOHandler interface {
+	MMIOLoad(addr uint32, size int) (uint32, error)
+	MMIOStore(addr uint32, size int, v uint32) error
+}
+
+// Config describes a machine instance.
+type Config struct {
+	// MemBytes is the physical RAM size (default 8 MiB).
+	MemBytes uint32
+	// MMIOBase/MMIOSize delimit the memory-mapped I/O window
+	// (default 0xF0000000 + 1 MiB).
+	MMIOBase uint32
+	MMIOSize uint32
+	// TLBSize is the number of TLB slots (default 16).
+	TLBSize int
+	// TLBPolicy is "lru", "roundrobin" or "random" (default "lru").
+	TLBPolicy string
+	// TLBSeed seeds the "random" policy; it models chip-internal
+	// nondeterminism so SHOULD differ between physical processors.
+	TLBSeed int64
+	// CPUID is the value of the CPUID control register.
+	CPUID uint32
+	// TODSource supplies the time-of-day clock value (environment state,
+	// typically derived from the simulation clock). If nil, TOD reads
+	// return the retired-instruction count.
+	TODSource func() uint32
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.MemBytes == 0 {
+		c.MemBytes = 8 << 20
+	}
+	if c.MMIOBase == 0 {
+		c.MMIOBase = 0xF0000000
+	}
+	if c.MMIOSize == 0 {
+		c.MMIOSize = 1 << 20
+	}
+	if c.TLBSize == 0 {
+		c.TLBSize = 16
+	}
+	if c.TLBPolicy == "" {
+		c.TLBPolicy = "lru"
+	}
+	return c
+}
+
+// Stats counts retired instructions by class for the performance study.
+type Stats struct {
+	Instructions uint64 // total retired
+	Privileged   uint64 // privileged-class instructions executed at PL 0
+	Environment  uint64 // environment-class instructions executed
+	Loads        uint64
+	Stores       uint64
+	Branches     uint64
+	Traps        uint64 // synchronous traps raised
+}
+
+// StepResult reports the outcome of executing (or attempting) one
+// instruction.
+type StepResult struct {
+	// Trap is isa.TrapNone for normal retirement.
+	Trap isa.Trap
+	// ISR/IOR are trap detail values (trap-specific).
+	ISR uint32
+	IOR uint32
+	// Halted is set once HALT retires; further Steps are no-ops.
+	Halted bool
+	// Idle is set when WFI retires with no pending interrupt; the caller
+	// should advance time until an interrupt arrives.
+	Idle bool
+	// Diag carries the immediate of a retired DIAG instruction, plus one
+	// (so zero means "no diag").
+	Diag uint32
+	// Inst/Raw are the decoded and raw forms of the instruction that
+	// caused a synchronous trap (valid when Trap is synchronous and
+	// decoding succeeded). Hypervisors use them to emulate the trapped
+	// instruction without refetching.
+	Inst isa.Inst
+	Raw  uint32
+}
+
+// Machine is one PA-lite processor with its RAM.
+type Machine struct {
+	cfg Config
+
+	// Architected state.
+	Regs [isa.NumRegs]uint32
+	PC   uint32
+	PSW  uint32
+	CRs  [isa.NumCRs]uint32
+
+	// Mem is physical RAM.
+	Mem []byte
+
+	// TLB is the translation buffer (software managed).
+	TLB *TLB
+
+	// Bus receives MMIO accesses; nil means no devices (MMIO access
+	// machine-checks).
+	Bus MMIOHandler
+
+	// Stats accumulates instruction counts.
+	Stats Stats
+
+	halted bool
+	cycles uint64 // retired instruction count
+
+	// decodeCache memoizes Decode by word value (decoding is a pure
+	// function of the instruction word, so self-modifying code remains
+	// correct). Direct-mapped; collisions just re-decode.
+	decodeCache [decodeCacheSize]decodeEntry
+}
+
+const decodeCacheSize = 4096
+
+type decodeEntry struct {
+	word  uint32
+	inst  isa.Inst
+	valid bool
+}
+
+// decode returns the decoded form of w, via the memo cache.
+func (m *Machine) decode(w uint32) (isa.Inst, bool) {
+	e := &m.decodeCache[w%decodeCacheSize]
+	if e.valid && e.word == w {
+		return e.inst, true
+	}
+	in, err := isa.Decode(w)
+	if err != nil {
+		return isa.Inst{}, false
+	}
+	*e = decodeEntry{word: w, inst: in, valid: true}
+	return in, true
+}
+
+// New creates a machine per cfg, with all state zero and PC = 0.
+func New(cfg Config) *Machine {
+	cfg = cfg.withDefaults()
+	var pol ReplacePolicy
+	switch cfg.TLBPolicy {
+	case "lru":
+		pol = NewLRUPolicy(cfg.TLBSize)
+	case "roundrobin":
+		pol = NewRoundRobinPolicy()
+	case "random":
+		pol = NewRandomPolicy(cfg.TLBSeed)
+	default:
+		panic(fmt.Sprintf("machine: unknown TLB policy %q", cfg.TLBPolicy))
+	}
+	m := &Machine{
+		cfg: cfg,
+		Mem: make([]byte, cfg.MemBytes),
+		TLB: NewTLB(cfg.TLBSize, pol),
+	}
+	m.CRs[isa.CRCPUID] = cfg.CPUID
+	return m
+}
+
+// Config returns the machine's configuration (defaults applied).
+func (m *Machine) Config() Config { return m.cfg }
+
+// Cycles returns the number of retired instructions.
+func (m *Machine) Cycles() uint64 { return m.cycles }
+
+// Halted reports whether HALT has retired.
+func (m *Machine) Halted() bool { return m.halted }
+
+// PL returns the current privilege level (0..3).
+func (m *Machine) PL() uint32 { return m.PSW & isa.PSWPLMask }
+
+// SetPL sets the privilege level bits of the PSW.
+func (m *Machine) SetPL(pl uint32) {
+	m.PSW = (m.PSW &^ isa.PSWPLMask) | (pl & isa.PSWPLMask)
+}
+
+// InMMIO reports whether a physical address falls in the MMIO window.
+func (m *Machine) InMMIO(pa uint32) bool {
+	return pa >= m.cfg.MMIOBase && pa-m.cfg.MMIOBase < m.cfg.MMIOSize
+}
+
+// RaiseIRQ asserts external interrupt line n (0..31): sets the EIRR bit.
+// Devices (via the platform) call this; the bit stays set until system
+// software clears it by writing EIRR (write-1-to-clear).
+func (m *Machine) RaiseIRQ(line uint) {
+	m.CRs[isa.CREIRR] |= 1 << (line & 31)
+}
+
+// IRQPending reports whether any unmasked external interrupt is pending.
+func (m *Machine) IRQPending() bool {
+	return m.CRs[isa.CREIRR]&m.CRs[isa.CREIEM] != 0
+}
+
+// IRQRaised reports whether any interrupt line is asserted regardless of
+// masking (used by WFI wake-up logic).
+func (m *Machine) IRQRaised() bool { return m.CRs[isa.CREIRR] != 0 }
+
+// ReadCR reads a control register, applying special semantics.
+func (m *Machine) ReadCR(cr isa.CR) uint32 {
+	switch cr {
+	case isa.CRTOD:
+		return m.TOD()
+	default:
+		return m.CRs[cr]
+	}
+}
+
+// WriteCR writes a control register, applying special semantics:
+// EIRR is write-1-to-clear; TOD and CPUID are read-only (writes ignored).
+func (m *Machine) WriteCR(cr isa.CR, v uint32) {
+	switch cr {
+	case isa.CREIRR:
+		m.CRs[cr] &^= v
+	case isa.CRTOD, isa.CRCPUID:
+		// read-only
+	default:
+		m.CRs[cr] = v
+	}
+}
+
+// TOD returns the time-of-day clock value.
+func (m *Machine) TOD() uint32 {
+	if m.cfg.TODSource != nil {
+		return m.cfg.TODSource()
+	}
+	return uint32(m.cycles)
+}
+
+// DeliverTrap performs the hardware interruption sequence: saves PSW and
+// PC into IPSW/IIA, stores detail into ISR/IOR, switches to privilege
+// level 0 with interrupts, translation and the recovery counter disabled,
+// and jumps to the trap's vector. The bare-metal platform calls this for
+// every trap; a hypervisor calls it only when reflecting a virtual trap
+// into the guest (after adjusting the guest's virtual CRs).
+func (m *Machine) DeliverTrap(t isa.Trap, isr, ior uint32) {
+	m.CRs[isa.CRIPSW] = m.PSW
+	m.CRs[isa.CRIIA] = m.PC
+	m.CRs[isa.CRISR] = isr
+	m.CRs[isa.CRIOR] = ior
+	m.PSW &^= isa.PSWPLMask | isa.PSWI | isa.PSWV | isa.PSWR
+	m.PC = m.CRs[isa.CRIVA] + uint32(t)*isa.VectorStride
+}
+
+// translate maps a virtual address to physical, checking permissions.
+// With PSW.V clear, addresses are physical (PA-lite permits real-mode
+// access at any PL; MMIO still requires PL 0 — enforced by the caller).
+func (m *Machine) translate(va uint32, kind accessKind) (uint32, isa.Trap) {
+	if m.PSW&isa.PSWV == 0 {
+		return va, isa.TrapNone
+	}
+	vpn := va >> isa.PageShift
+	e, ok := m.TLB.Lookup(vpn)
+	if !ok {
+		if kind == accessExec {
+			return 0, isa.TrapITLBMiss
+		}
+		return 0, isa.TrapDTLBMiss
+	}
+	if !permitted(e, kind, m.PL()) {
+		return 0, isa.TrapAccess
+	}
+	return e.PPN<<isa.PageShift | va&isa.PageMask, isa.TrapNone
+}
+
+// loadPhys reads size bytes little-endian from physical memory or MMIO.
+func (m *Machine) loadPhys(pa uint32, size int) (uint32, isa.Trap) {
+	if m.InMMIO(pa) {
+		if m.PL() != 0 {
+			return 0, isa.TrapAccess
+		}
+		if m.Bus == nil {
+			return 0, isa.TrapMachine
+		}
+		v, err := m.Bus.MMIOLoad(pa-m.cfg.MMIOBase, size)
+		if err != nil {
+			return 0, isa.TrapMachine
+		}
+		return v, isa.TrapNone
+	}
+	if pa+uint32(size) > uint32(len(m.Mem)) || pa+uint32(size) < pa {
+		return 0, isa.TrapMachine
+	}
+	var v uint32
+	for i := 0; i < size; i++ {
+		v |= uint32(m.Mem[pa+uint32(i)]) << (8 * i)
+	}
+	return v, isa.TrapNone
+}
+
+// storePhys writes size bytes little-endian to physical memory or MMIO.
+func (m *Machine) storePhys(pa uint32, size int, v uint32) isa.Trap {
+	if m.InMMIO(pa) {
+		if m.PL() != 0 {
+			return isa.TrapAccess
+		}
+		if m.Bus == nil {
+			return isa.TrapMachine
+		}
+		if err := m.Bus.MMIOStore(pa-m.cfg.MMIOBase, size, v); err != nil {
+			return isa.TrapMachine
+		}
+		return isa.TrapNone
+	}
+	if pa+uint32(size) > uint32(len(m.Mem)) || pa+uint32(size) < pa {
+		return isa.TrapMachine
+	}
+	for i := 0; i < size; i++ {
+		m.Mem[pa+uint32(i)] = byte(v >> (8 * i))
+	}
+	return isa.TrapNone
+}
+
+// LoadPhys32 reads a word from physical RAM (no MMIO), for loaders, DMA
+// and tests. Panics on out-of-range addresses.
+func (m *Machine) LoadPhys32(pa uint32) uint32 {
+	v, tr := m.loadPhys(pa, 4)
+	if tr != isa.TrapNone {
+		panic(fmt.Sprintf("machine: LoadPhys32(%#x): %v", pa, tr))
+	}
+	return v
+}
+
+// StorePhys32 writes a word to physical RAM, for loaders, DMA and tests.
+func (m *Machine) StorePhys32(pa uint32, v uint32) {
+	if tr := m.storePhys(pa, 4, v); tr != isa.TrapNone {
+		panic(fmt.Sprintf("machine: StorePhys32(%#x): %v", pa, tr))
+	}
+}
+
+// ReadBytes copies n bytes of physical RAM starting at pa (for DMA).
+func (m *Machine) ReadBytes(pa uint32, n int) []byte {
+	out := make([]byte, n)
+	copy(out, m.Mem[pa:int(pa)+n])
+	return out
+}
+
+// WriteBytes copies data into physical RAM at pa (for DMA and loading).
+func (m *Machine) WriteBytes(pa uint32, data []byte) {
+	copy(m.Mem[pa:int(pa)+len(data)], data)
+}
+
+// LoadProgram writes an assembled image into RAM at its origin and sets
+// PC to entry.
+func (m *Machine) LoadProgram(origin uint32, words []uint32, entry uint32) {
+	for i, w := range words {
+		m.StorePhys32(origin+uint32(4*i), w)
+	}
+	m.PC = entry
+}
+
+// Digest returns a deterministic hash of the architected register state
+// (registers, PC, PSW, non-environment control registers). Replica
+// coordination uses it to detect divergence between primary and backup.
+func (m *Machine) Digest() uint64 {
+	h := fnv.New64a()
+	var buf [4]byte
+	put := func(v uint32) {
+		buf[0], buf[1], buf[2], buf[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+		h.Write(buf[:])
+	}
+	for _, r := range m.Regs {
+		put(r)
+	}
+	put(m.PC)
+	put(m.PSW)
+	// Exclude environment CRs (TOD is environment; EIRR reflects device
+	// lines; ITMR/RCTR are managed by the hypervisor under replication).
+	for _, cr := range []isa.CR{isa.CRIVA, isa.CRISR, isa.CRIOR, isa.CRIPSW, isa.CRIIA, isa.CRPTBR} {
+		put(m.CRs[cr])
+	}
+	return h.Sum64()
+}
+
+// DigestMemory extends Digest with a hash of all physical RAM. Expensive;
+// used by integration tests at epoch boundaries.
+func (m *Machine) DigestMemory() uint64 {
+	h := fnv.New64a()
+	h.Write(m.Mem)
+	return h.Sum64() ^ m.Digest()
+}

@@ -1,0 +1,220 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestFIFODelivery(t *testing.T) {
+	k := sim.NewKernel(1)
+	defer k.Shutdown()
+	l := NewLink(k, Ethernet10("test"))
+	var got []int
+	k.Spawn("rx", func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			m := l.Inbox.Recv(p)
+			got = append(got, m.Payload.(int))
+			if m.Seq != uint64(i) {
+				t.Errorf("seq = %d, want %d", m.Seq, i)
+			}
+		}
+	})
+	k.Spawn("tx", func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			l.Send(i, 100)
+		}
+	})
+	k.Run()
+	for i := 0; i < 5; i++ {
+		if got[i] != i {
+			t.Fatalf("got = %v, want in-order 0..4", got)
+		}
+	}
+	if l.Stats.MessagesDelivered != 5 || l.Stats.MessagesSent != 5 {
+		t.Errorf("stats = %+v", l.Stats)
+	}
+}
+
+func TestTransferTimeModel(t *testing.T) {
+	k := sim.NewKernel(1)
+	defer k.Shutdown()
+	l := NewLink(k, Ethernet10("test"))
+	// 8 KiB payload: 8 data frames + 1 control frame (the paper's "9
+	// messages for the data").
+	if f := l.frames(8192); f != 9 {
+		t.Errorf("frames(8192) = %d, want 9", f)
+	}
+	if f := l.frames(0); f != 1 {
+		t.Errorf("frames(0) = %d, want 1", f)
+	}
+	if f := l.frames(1); f != 2 {
+		t.Errorf("frames(1) = %d, want 2 (control + 1 data)", f)
+	}
+	// 8 KiB at 10 Mbps: (8192 + 9*26)*8 bits / 10 Mbps = 6.74 ms.
+	tx := l.TxTime(8192)
+	wantLo, wantHi := 6*sim.Millisecond, 8*sim.Millisecond
+	if tx < wantLo || tx > wantHi {
+		t.Errorf("TxTime(8192) = %v, want ~6.7ms", tx)
+	}
+	// ATM is far faster.
+	atm := NewLink(k, ATM155("atm"))
+	if atm.TxTime(8192) >= tx/10 {
+		t.Errorf("ATM TxTime = %v not ≪ Ethernet %v", atm.TxTime(8192), tx)
+	}
+	// Full transfer adds setup + latency.
+	if got := l.TransferTime(8192); got != l.cfg.SetupTime+tx+l.cfg.Latency {
+		t.Errorf("TransferTime = %v", got)
+	}
+}
+
+func TestSerializationQueuing(t *testing.T) {
+	k := sim.NewKernel(1)
+	defer k.Shutdown()
+	l := NewLink(k, Ethernet10("test"))
+	var arrivals []sim.Time
+	k.Spawn("rx", func(p *sim.Proc) {
+		for i := 0; i < 2; i++ {
+			m := l.Inbox.Recv(p)
+			arrivals = append(arrivals, m.DeliveredAt)
+		}
+	})
+	k.Spawn("tx", func(p *sim.Proc) {
+		l.Send("a", 1024)
+		l.Send("b", 1024) // must queue behind "a"
+	})
+	k.Run()
+	if len(arrivals) != 2 {
+		t.Fatalf("arrivals = %v", arrivals)
+	}
+	gap := arrivals[1] - arrivals[0]
+	tx := l.TxTime(1024)
+	if gap < tx {
+		t.Errorf("second message arrived %v after first; want >= one tx time %v", gap, tx)
+	}
+}
+
+func TestDisconnectDropsMessages(t *testing.T) {
+	k := sim.NewKernel(1)
+	defer k.Shutdown()
+	l := NewLink(k, Ethernet10("test"))
+	l.Send("in-flight", 100)
+	l.Disconnect()
+	l.Send("after", 100)
+	k.Run()
+	if l.Inbox.Len() != 0 {
+		t.Error("messages delivered on disconnected link")
+	}
+	if !l.Down() {
+		t.Error("Down() = false")
+	}
+	if l.Stats.MessagesDropped != 2 {
+		t.Errorf("dropped = %d, want 2 (in-flight and post-disconnect)", l.Stats.MessagesDropped)
+	}
+}
+
+func TestDropNext(t *testing.T) {
+	k := sim.NewKernel(1)
+	defer k.Shutdown()
+	l := NewLink(k, Ethernet10("test"))
+	l.DropNext(1)
+	l.Send("lost", 10)
+	l.Send("kept", 10)
+	k.Run()
+	if l.Inbox.Len() != 1 {
+		t.Fatalf("inbox len = %d, want 1", l.Inbox.Len())
+	}
+	m, _ := l.Inbox.TryRecv()
+	if m.Payload.(string) != "kept" {
+		t.Errorf("delivered %v, want kept", m.Payload)
+	}
+}
+
+func TestDuplex(t *testing.T) {
+	k := sim.NewKernel(1)
+	defer k.Shutdown()
+	d := NewDuplex(k, "pair", Ethernet10(""))
+	d.AtoB.Send("to-b", 10)
+	d.BtoA.Send("to-a", 10)
+	k.Run()
+	if d.AtoB.Inbox.Len() != 1 || d.BtoA.Inbox.Len() != 1 {
+		t.Error("duplex delivery failed")
+	}
+	d.DisconnectAll()
+	if !d.AtoB.Down() || !d.BtoA.Down() {
+		t.Error("DisconnectAll incomplete")
+	}
+}
+
+func TestLatencyOrderingAcrossSizes(t *testing.T) {
+	// A huge message followed by a tiny one must still deliver in order
+	// (FIFO serialization, no overtaking).
+	k := sim.NewKernel(1)
+	defer k.Shutdown()
+	l := NewLink(k, Ethernet10("test"))
+	var order []string
+	k.Spawn("rx", func(p *sim.Proc) {
+		for i := 0; i < 2; i++ {
+			order = append(order, l.Inbox.Recv(p).Payload.(string))
+		}
+	})
+	l.Send("big", 64*1024)
+	l.Send("small", 1)
+	k.Run()
+	if len(order) != 2 || order[0] != "big" || order[1] != "small" {
+		t.Errorf("order = %v, want [big small]", order)
+	}
+}
+
+// Property: regardless of message sizes, delivery preserves send order
+// and never precedes the minimum physically possible arrival time.
+func TestFIFOOrderProperty(t *testing.T) {
+	prop := func(sizes []uint16) bool {
+		k := sim.NewKernel(1)
+		defer k.Shutdown()
+		l := NewLink(k, Ethernet10("prop"))
+		type rec struct {
+			seq uint64
+			at  sim.Time
+		}
+		var got []rec
+		for i, sz := range sizes {
+			l.Send(i, int(sz))
+		}
+		k.Spawn("rx", func(p *sim.Proc) {
+			for range sizes {
+				m := l.Inbox.Recv(p)
+				got = append(got, rec{m.Seq, m.DeliveredAt})
+			}
+		})
+		k.Run()
+		if len(got) != len(sizes) {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].seq != got[i-1].seq+1 || got[i].at < got[i-1].at {
+				return false
+			}
+		}
+		for i, r := range got {
+			if r.at < l.Config().SetupTime+l.TxTime(int(sizes[i]))+l.Config().Latency {
+				return false // arrived faster than physics allows
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	k := sim.NewKernel(1)
+	defer k.Shutdown()
+	l := NewLink(k, LinkConfig{Name: "raw"})
+	c := l.Config()
+	if c.BitsPerSecond != 10_000_000 || c.MTU != 1024 || c.PerMessageFrames != 1 {
+		t.Errorf("defaults = %+v", c)
+	}
+}

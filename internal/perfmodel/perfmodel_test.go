@@ -1,0 +1,226 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// close reports |a-b| <= tol.
+func close(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNPCMatchesPaperFigure2(t *testing.T) {
+	p := PaperCPU()
+	// Paper's quoted values (measured points agree with the model).
+	cases := []struct {
+		el   float64
+		want float64
+		tol  float64
+	}{
+		{1024, 22.24, 0.5},
+		{2048, 11.83, 0.35},
+		{4096, 6.50, 0.25},
+		{8192, 3.83, 0.15},
+		{32768, 1.84, 0.05},
+		{385000, 1.24, 0.01},
+	}
+	for _, c := range cases {
+		got := NPC(p, c.el)
+		if !close(got, c.want, c.tol) {
+			t.Errorf("NPC(%.0f) = %.3f, paper %.2f (tol %.2f)", c.el, got, c.want, c.tol)
+		}
+	}
+}
+
+func TestNPCSimulationShare(t *testing.T) {
+	// §4.1: at 385K the simulation of instructions accounts for .18 of
+	// the .24 overhead.
+	p := PaperCPU()
+	simShare := p.NSim * p.HSim / p.RT
+	if !close(simShare, 0.18, 0.005) {
+		t.Errorf("simulation share = %.3f, paper 0.18", simShare)
+	}
+}
+
+func TestNPWMatchesPaperTable1(t *testing.T) {
+	w := PaperWrite()
+	cases := map[float64]float64{1024: 1.87, 2048: 1.71, 4096: 1.67, 8192: 1.64}
+	for el, want := range cases {
+		got := NPIO(w, el)
+		if !close(got, want, 0.03) {
+			t.Errorf("NPW(%.0f) = %.3f, paper %.2f", el, got, want)
+		}
+	}
+}
+
+func TestNPRMatchesPaperTable1(t *testing.T) {
+	r := PaperRead()
+	cases := map[float64]float64{1024: 2.32, 2048: 2.10, 4096: 2.03, 8192: 1.98}
+	for el, want := range cases {
+		got := NPIO(r, el)
+		if !close(got, want, 0.09) { // paper: "within 1.9%"
+			t.Errorf("NPR(%.0f) = %.3f, paper %.2f", el, got, want)
+		}
+	}
+}
+
+func TestReadSlowerThanWrite(t *testing.T) {
+	// Figure 3: the read curve lies above the write curve (data
+	// forwarding to the backup).
+	w, r := PaperWrite(), PaperRead()
+	for _, el := range StandardGrid() {
+		if NPIO(r, el) <= NPIO(w, el) {
+			t.Errorf("at EL=%.0f read NP %.3f <= write NP %.3f", el, NPIO(r, el), NPIO(w, el))
+		}
+	}
+}
+
+func TestIOUpwardDriftAtLargeEL(t *testing.T) {
+	// Figure 3's "slight upward drift": delay(EL) eventually outweighs
+	// the shrinking boundary cost.
+	w := PaperWrite()
+	min := math.Inf(1)
+	minEL := 0.0
+	for el := 1024.0; el <= 262144; el *= 2 {
+		v := NPIO(w, el)
+		if v < min {
+			min, minEL = v, el
+		}
+	}
+	if NPIO(w, 262144) <= min {
+		t.Error("no upward drift at large epoch lengths")
+	}
+	if minEL <= 2048 {
+		t.Errorf("minimum at EL=%.0f, expected beyond the measured range", minEL)
+	}
+}
+
+func TestFigure4ATMBeatsEthernet(t *testing.T) {
+	eth, atm, _ := Figure4()
+	for i := range eth {
+		if atm[i].NP >= eth[i].NP {
+			t.Errorf("at EL=%.0f ATM %.3f >= Ethernet %.3f", eth[i].EL, atm[i].NP, eth[i].NP)
+		}
+	}
+	// The paper's 32K comparison: Ethernet 1.84 vs ATM 1.66.
+	at32 := func(pts []Point) float64 {
+		for _, p := range pts {
+			if p.EL == 32768 {
+				return p.NP
+			}
+		}
+		t.Fatal("32K not in grid")
+		return 0
+	}
+	if got := at32(eth); !close(got, 1.84, 0.05) {
+		t.Errorf("Ethernet @32K = %.3f, paper 1.84", got)
+	}
+	if got := at32(atm); !close(got, 1.66, 0.05) {
+		t.Errorf("ATM @32K = %.3f, paper 1.66", got)
+	}
+}
+
+func TestEthernetModelComposesToMeasuredHEpoch(t *testing.T) {
+	if got := Ethernet10Model().HEpoch(); !close(got, 443.59e-6, 5e-6) {
+		t.Errorf("composed hepoch = %.2f us, want 443.59", got*1e6)
+	}
+}
+
+func TestFigure2Endpoint(t *testing.T) {
+	_, end := Figure2()
+	if end.EL != HPUXMaxEpoch {
+		t.Errorf("endpoint EL = %.0f", end.EL)
+	}
+	if !close(end.NP, 1.24, 0.01) {
+		t.Errorf("endpoint NP = %.3f, paper 1.24", end.NP)
+	}
+}
+
+func TestNewProtocolModelBeatsOld(t *testing.T) {
+	p := PaperCPU()
+	pn := p.WithHEpoch(HEpochNew)
+	for _, el := range MeasuredGrid() {
+		if NPC(pn, el) >= NPC(p, el) {
+			t.Errorf("at EL=%.0f new %.2f >= old %.2f", el, NPC(pn, el), NPC(p, el))
+		}
+	}
+	// Rough agreement with Table 1's New column at 1K (11.67).
+	if got := NPC(pn, 1024); !close(got, 11.67, 2.5) {
+		t.Errorf("new @1K = %.2f, paper 11.67", got)
+	}
+}
+
+// Property: NPC is monotonically decreasing in EL and bounded below by
+// the non-boundary overheads.
+func TestNPCMonotoneProperty(t *testing.T) {
+	p := PaperCPU()
+	floor := 1 + (p.NSim*p.HSim+p.COther)/p.RT
+	prop := func(raw uint16) bool {
+		el := float64(raw%60000) + 64
+		v := NPC(p, el)
+		return v > floor && v >= NPC(p, el+64)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: NPIO decreases with EL while the boundary term dominates,
+// i.e. for EL below the analytic minimum.
+func TestNPIOShapeProperty(t *testing.T) {
+	w := PaperWrite()
+	// d/dEL = 0 at EL* = sqrt(2·cpuInstr·hepoch / tInstr). Sample
+	// strictly below 0.9·EL* so that el*1.01 stays on the decreasing
+	// branch.
+	elStar := math.Sqrt(2 * w.CPUInstr * w.HEpoch / w.TInstr)
+	hi := 0.9 * elStar
+	prop := func(raw uint16) bool {
+		el := 64 + float64(raw)*(hi-64)/65535
+		return NPIO(w, el) >= NPIO(w, el*1.01)-1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeriesAndGrids(t *testing.T) {
+	g := StandardGrid()
+	if g[0] != 1024 || g[len(g)-1] != 32768 {
+		t.Errorf("grid ends = %v, %v", g[0], g[len(g)-1])
+	}
+	pts := Series(func(el float64) float64 { return el * 2 }, []float64{1, 2})
+	if pts[0].NP != 2 || pts[1].NP != 4 {
+		t.Error("Series mapping wrong")
+	}
+	if len(MeasuredGrid()) != 4 {
+		t.Error("measured grid should have 4 entries")
+	}
+}
+
+func TestTable1PaperComplete(t *testing.T) {
+	tab := Table1Paper()
+	for _, wl := range []string{"cpu", "write", "read"} {
+		rows, ok := tab[wl]
+		if !ok {
+			t.Fatalf("workload %s missing", wl)
+		}
+		for _, el := range []int{1024, 2048, 4096, 8192} {
+			v, ok := rows[el]
+			if !ok {
+				t.Fatalf("%s @%d missing", wl, el)
+			}
+			if v[1] > v[0] {
+				t.Errorf("%s @%d: new (%v) worse than old (%v)", wl, el, v[1], v[0])
+			}
+		}
+	}
+}
+
+func TestDegenerateEL(t *testing.T) {
+	if !math.IsInf(NPC(PaperCPU(), 0), 1) {
+		t.Error("NPC(0) should be +Inf")
+	}
+	if !math.IsInf(NPIO(PaperWrite(), -1), 1) {
+		t.Error("NPIO(-1) should be +Inf")
+	}
+}

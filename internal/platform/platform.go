@@ -1,0 +1,176 @@
+// Package platform assembles complete simulated machines in the paper's
+// prototype configuration (Figure 1): one or two HP-9000/720-class
+// processors, a dual-ported SCSI disk shared between them, a console,
+// and — for a pair — a point-to-point link between the two hypervisors.
+package platform
+
+import (
+	"fmt"
+
+	"repro/internal/console"
+	"repro/internal/hypervisor"
+	"repro/internal/machine"
+	"repro/internal/netsim"
+	"repro/internal/scsi"
+	"repro/internal/sim"
+)
+
+// Memory-map and interrupt wiring shared by all configurations.
+const (
+	// AdapterBase is the SCSI adapter window offset within MMIO space.
+	AdapterBase uint32 = 0x0000
+	// ConsoleBase is the console window offset within MMIO space.
+	ConsoleBase uint32 = 0x1000
+	// DiskIRQLine is the external interrupt line of the SCSI adapter.
+	DiskIRQLine uint = 1
+	// CycleTime is the simulated instruction period (50 MIPS).
+	CycleTime = 20 * sim.Nanosecond
+)
+
+// Config bundles the tunables of a platform.
+type Config struct {
+	// Machine configures the processors (identical configs; the TLB
+	// seed is perturbed per node to model per-chip nondeterminism).
+	Machine machine.Config
+	// Hypervisor configures both hypervisors (epoch length, costs).
+	Hypervisor hypervisor.Config
+	// Disk configures the shared disk.
+	Disk scsi.DiskConfig
+	// Link configures the hypervisor-to-hypervisor channel (both
+	// directions); zero value = 10 Mbps Ethernet.
+	Link netsim.LinkConfig
+}
+
+// Node is one processor with its device bindings.
+type Node struct {
+	M       *machine.Machine
+	HV      *hypervisor.Hypervisor
+	Adapter *scsi.Adapter
+	Console *console.Console
+}
+
+// Pair is the two-processor prototype of Figure 1.
+type Pair struct {
+	K       *sim.Kernel
+	Disk    *scsi.Disk
+	Primary *Node
+	Backup  *Node
+	// Net carries protocol traffic: AtoB = primary->backup,
+	// BtoA = backup->primary (acknowledgements).
+	Net *netsim.Duplex
+}
+
+// newNode builds one processor wired to the shared disk. Each node gets
+// its own TLB seed (chip-internal nondeterminism differs per processor)
+// and a time-of-day clock driven by the simulation clock.
+func newNode(k *sim.Kernel, cfg Config, host int) *Node {
+	mc := cfg.Machine
+	mc.CPUID = uint32(host + 1)
+	mc.TLBSeed = cfg.Machine.TLBSeed + int64(host)*7919
+	if mc.TODSource == nil {
+		mc.TODSource = func() uint32 { return uint32(k.Now() / CycleTime) }
+	}
+	return &Node{M: machine.New(mc), Console: console.New()}
+}
+
+// finishNode wires the node's bus and hypervisor once the disk exists.
+func finishNode(k *sim.Kernel, cfg Config, n *Node, disk *scsi.Disk, host int) {
+	m := n.M
+	n.Adapter = disk.NewAdapter(host, m, func() { m.RaiseIRQ(DiskIRQLine) })
+	mux := machine.NewBusMux()
+	mux.Map("scsi0", AdapterBase, scsi.AdapterWindow, n.Adapter)
+	mux.Map("console", ConsoleBase, console.Window, n.Console)
+	m.Bus = mux
+	n.HV = hypervisor.New(m, cfg.Hypervisor)
+	n.HV.AttachAdapter(AdapterBase, DiskIRQLine)
+	n.HV.AttachConsole(ConsoleBase)
+}
+
+// NewPair builds the full two-processor prototype.
+func NewPair(k *sim.Kernel, cfg Config) *Pair {
+	pr := &Pair{K: k}
+	pr.Disk = scsi.NewDisk(k, cfg.Disk)
+	pr.Primary = newNode(k, cfg, 0)
+	pr.Backup = newNode(k, cfg, 1)
+	finishNode(k, cfg, pr.Primary, pr.Disk, 0)
+	finishNode(k, cfg, pr.Backup, pr.Disk, 1)
+	link := cfg.Link
+	if link.BitsPerSecond == 0 {
+		link = netsim.Ethernet10("hvlink")
+	}
+	pr.Net = netsim.NewDuplex(k, "hvlink", link)
+	return pr
+}
+
+// Cluster is the t-fault-tolerant generalization: n processors (node 0
+// is the initial primary; nodes 1..n-1 are backups in priority order)
+// sharing one disk, with a full mesh of point-to-point links.
+type Cluster struct {
+	K     *sim.Kernel
+	Disk  *scsi.Disk
+	Nodes []*Node
+	// Links[i][j] (i < j) is the duplex between nodes i and j:
+	// AtoB carries i->j, BtoA carries j->i.
+	Links [][]*netsim.Duplex
+}
+
+// NewCluster builds an n-node prototype (n >= 2).
+func NewCluster(k *sim.Kernel, cfg Config, n int) *Cluster {
+	if n < 2 {
+		panic("platform: cluster needs at least 2 nodes")
+	}
+	c := &Cluster{K: k}
+	c.Disk = scsi.NewDisk(k, cfg.Disk)
+	for i := 0; i < n; i++ {
+		node := newNode(k, cfg, i)
+		finishNode(k, cfg, node, c.Disk, i)
+		c.Nodes = append(c.Nodes, node)
+	}
+	link := cfg.Link
+	if link.BitsPerSecond == 0 {
+		link = netsim.Ethernet10("mesh")
+	}
+	c.Links = make([][]*netsim.Duplex, n)
+	for i := 0; i < n; i++ {
+		c.Links[i] = make([]*netsim.Duplex, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			c.Links[i][j] = netsim.NewDuplex(k, fmt.Sprintf("link%d-%d", i, j), link)
+		}
+	}
+	return c
+}
+
+// Channel returns the (tx, rx) pair for node from talking to node to:
+// tx carries from->to, rx carries to->from.
+func (c *Cluster) Channel(from, to int) (tx, rx *netsim.Link) {
+	if from == to {
+		panic("platform: self channel")
+	}
+	if from < to {
+		d := c.Links[from][to]
+		return d.AtoB, d.BtoA
+	}
+	d := c.Links[to][from]
+	return d.BtoA, d.AtoB
+}
+
+// Single is a one-processor platform for bare-hardware baseline runs.
+type Single struct {
+	K    *sim.Kernel
+	Disk *scsi.Disk
+	Node *Node
+	Bare *hypervisor.Bare
+}
+
+// NewSingle builds a single machine with the same devices, to be run
+// bare (no hypervisor) for the paper's RT baseline.
+func NewSingle(k *sim.Kernel, cfg Config) *Single {
+	s := &Single{K: k}
+	s.Disk = scsi.NewDisk(k, cfg.Disk)
+	s.Node = newNode(k, cfg, 0)
+	finishNode(k, cfg, s.Node, s.Disk, 0)
+	s.Bare = hypervisor.NewBare(s.Node.M)
+	return s
+}

@@ -1,0 +1,362 @@
+package replication
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/hypervisor"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// epochRecord collects the protocol messages received for one epoch.
+type epochRecord struct {
+	ints map[uint32]hypervisor.Interrupt // by capture index (dedupes)
+	tme  *uint32
+	end  *message
+	// verbatim, when set, replaces everything above: the epoch is
+	// replayed exactly as a (new) primary's msgSync dictates.
+	verbatim *SyncEpoch
+}
+
+// Backup drives a backup virtual machine's hypervisor: rules P3–P7. In
+// the t-fault-tolerant generalization a backup has an index (1 = first
+// to promote), receives from every higher-priority node, and — after
+// promotion — coordinates every lower-priority backup, bringing them
+// onto its stream with a replay of its delivered-interrupt archive.
+type Backup struct {
+	HV *hypervisor.Hypervisor
+
+	index int
+	ups   []Peer // to higher-priority nodes: RX = their stream, TX = our acks
+	downs []Peer // to lower-priority backups (used only after promotion)
+	proto Protocol
+
+	// Timeout is the base failure-detection timeout; backup i waits
+	// i × Timeout, so promotions cascade in priority order.
+	Timeout sim.Time
+
+	// BootTOD must equal the primary's (replicas start in one state).
+	BootTOD uint32
+
+	// OnDivergence, when set, is called on a state-digest mismatch with
+	// the coordinating primary; when nil, divergence panics (tripwire).
+	OnDivergence func(epoch uint64, primary, backup uint64)
+
+	pending map[uint64]*epochRecord
+	archive *epochArchive
+	arrival *sim.Signal
+	// completed counts epochs whose boundary processing has finished;
+	// the epoch currently executing (or awaiting its boundary) is
+	// `completed`, which is also the oldest epoch a sync may replay.
+	completed uint64
+	promoted  bool
+	failed    bool
+	done      bool
+	// withdrawn marks a backup that fell outside a new primary's resync
+	// window (or diverged from it) and can no longer participate.
+	withdrawn bool
+	halted    bool
+
+	Stats Stats
+}
+
+// NewBackup wires a single-backup engine (the paper's configuration):
+// rx carries the primary's stream, tx returns acknowledgements.
+func NewBackup(hv *hypervisor.Hypervisor, rx, tx *netsim.Link, timeout sim.Time) *Backup {
+	return NewBackupAt(hv, 1, []Peer{{TX: tx, RX: rx}}, nil, timeout, ProtocolOld)
+}
+
+// NewBackupAt wires backup number index (1-based priority). ups are the
+// channels toward every higher-priority node, in priority order
+// (ups[0] = the original primary); downs are the channels toward every
+// lower-priority backup, used only after promotion. proto selects the
+// protocol this backup will run if promoted.
+func NewBackupAt(hv *hypervisor.Hypervisor, index int, ups, downs []Peer, timeout sim.Time, proto Protocol) *Backup {
+	return &Backup{
+		HV:      hv,
+		index:   index,
+		ups:     ups,
+		downs:   downs,
+		proto:   proto,
+		Timeout: timeout,
+		pending: map[uint64]*epochRecord{},
+		archive: newEpochArchive(),
+	}
+}
+
+// Promoted reports whether failover has occurred.
+func (bk *Backup) Promoted() bool { return bk.promoted }
+
+// Withdrawn reports whether this backup dropped out of the replica set
+// (it fell outside a new primary's resynchronization window).
+func (bk *Backup) Withdrawn() bool { return bk.withdrawn }
+
+// Failstop makes this backup's processor stop abruptly (multi-failure
+// experiments), severing all its channels.
+func (bk *Backup) Failstop() {
+	bk.failed = true
+	for _, u := range bk.ups {
+		u.TX.Disconnect()
+		u.RX.Disconnect()
+	}
+	for _, d := range bk.downs {
+		d.TX.Disconnect()
+		d.RX.Disconnect()
+	}
+}
+
+// Failed reports whether a failstop was injected.
+func (bk *Backup) Failed() bool { return bk.failed }
+
+// effTimeout is this backup's failure-detection timeout: cascaded by
+// priority so that at most one replica promotes per failure.
+func (bk *Backup) effTimeout() sim.Time { return bk.Timeout * sim.Time(bk.index) }
+
+// rec returns (allocating) the record for an epoch.
+func (bk *Backup) rec(e uint64) *epochRecord {
+	r := bk.pending[e]
+	if r == nil {
+		r = &epochRecord{ints: map[uint32]hypervisor.Interrupt{}}
+		bk.pending[e] = r
+	}
+	return r
+}
+
+// receiver runs as its own simulation process per upstream channel: it
+// acknowledges every message immediately (P4) and files it by epoch.
+func (bk *Backup) receiver(u Peer) func(p *sim.Proc) {
+	return func(p *sim.Proc) {
+		for !bk.promoted && !bk.done && !bk.failed {
+			raw, ok := u.RX.Inbox.RecvTimeout(p, bk.Timeout)
+			if !ok {
+				continue
+			}
+			m := raw.Payload.(message)
+			// P4: "backup sends an acknowledgment to the primary".
+			ack := message{Kind: msgAck, AckSeq: m.Seq}
+			u.TX.Send(ack, ack.wireSize())
+			switch m.Kind {
+			case msgInterrupt:
+				bk.Stats.IntsReceived++
+				r := bk.rec(m.Epoch)
+				if r.verbatim == nil {
+					r.ints[m.IntIndex] = m.Int
+				}
+			case msgTme:
+				v := m.Tme
+				bk.rec(m.Epoch).tme = &v
+			case msgEnd:
+				mm := m
+				bk.rec(m.Epoch).end = &mm
+			case msgSync:
+				bk.applySync(m.Sync)
+			}
+			bk.arrival.Broadcast()
+		}
+	}
+}
+
+// applySync installs verbatim replay records from a newly promoted
+// primary for every epoch this backup has not yet completed. If the
+// sync's history starts after our next epoch, we cannot catch up:
+// withdraw from the replica set.
+func (bk *Backup) applySync(entries []SyncEpoch) {
+	next := bk.completed // oldest epoch still needing boundary processing
+	covered := false
+	for i := range entries {
+		e := entries[i]
+		if e.Epoch < next {
+			continue
+		}
+		if e.Epoch == next {
+			covered = true
+		}
+		r := bk.rec(e.Epoch)
+		ee := e
+		r.verbatim = &ee
+	}
+	if !covered && len(entries) > 0 && entries[0].Epoch > next {
+		bk.withdrawn = true
+	}
+}
+
+// stageOrdered buffers epoch e's received interrupts in capture order.
+func (bk *Backup) stageOrdered(e uint64) {
+	r := bk.rec(e)
+	idxs := make([]int, 0, len(r.ints))
+	for k := range r.ints {
+		idxs = append(idxs, int(k))
+	}
+	sort.Ints(idxs)
+	for _, k := range idxs {
+		bk.HV.BufferInterrupt(r.ints[uint32(k)])
+	}
+}
+
+// checkDigest verifies our pre-delivery state digest against the
+// coordinator's.
+func (bk *Backup) checkDigest(e uint64, primary, ours uint64) {
+	if primary == ours {
+		return
+	}
+	bk.Stats.Divergences++
+	if bk.OnDivergence != nil {
+		bk.OnDivergence(e, primary, ours)
+		return
+	}
+	panic(fmt.Sprintf("replication: divergence at epoch %d: primary %x backup %x",
+		e, primary, ours))
+}
+
+// replayVerbatim applies a sync-provided epoch: deliver exactly what the
+// new primary delivered.
+func (bk *Backup) replayVerbatim(e uint64, digest uint64, v *SyncEpoch) {
+	hv := bk.HV
+	for _, i := range v.Ints {
+		if i.Timer {
+			hv.NoteTimerDelivered()
+		}
+		hv.BufferInterrupt(i)
+	}
+	bk.checkDigest(e, v.Digest, digest)
+	hv.DeliverBuffered()
+	bk.archive.record(*v)
+	hv.SetTODBase(v.Tme)
+	if v.Halted {
+		bk.halted = true
+	}
+	delete(bk.pending, e)
+}
+
+// failover implements P6 and P7 and — with lower-priority backups
+// present — the promotion handshake: replay history to them and carry on
+// as their primary.
+func (bk *Backup) failover(p *sim.Proc, e uint64, digest uint64) {
+	hv := bk.HV
+	// P6: deliver what we did receive for this epoch...
+	bk.stageOrdered(e)
+	// ...plus "interrupts based on Tme_b" — our own clock; no Tme_p came.
+	hv.TimerInterruptsDue(hv.VirtualTOD())
+	// P7: "generate an uncertain interrupt for every I/O operation that
+	// is outstanding when the backup virtual machine finishes a failover
+	// epoch". An operation whose completion was relayed but not yet
+	// delivered receives both the completion and the uncertain status;
+	// the guest driver's retry is harmless (IO2 permits repetition).
+	synth := hv.OutstandingUncertain()
+	bk.Stats.UncertainSynth += uint64(len(synth))
+	delivered := append([]hypervisor.Interrupt(nil), hv.Buffered()...)
+	hv.DeliverBuffered()
+
+	bk.promoted = true
+	bk.Stats.Promoted = true
+	bk.Stats.PromotedAtEpoch = e
+	bk.Stats.PromotedAtTime = p.Now()
+	delete(bk.pending, e)
+
+	// The next epoch starts from our real clock (we are the authority
+	// for time now).
+	tmeNext := hv.M.TOD()
+	bk.archive.record(SyncEpoch{Epoch: e, Tme: tmeNext, Ints: delivered, Digest: digest, Halted: hv.Halted()})
+
+	// Continue as primary for the remaining backups.
+	c := &coordinator{
+		hv:      hv,
+		s:       newSender(bk.downs, &bk.Stats),
+		proto:   bk.proto,
+		stats:   &bk.Stats,
+		stopped: func() bool { return bk.failed },
+		archive: bk.archive,
+	}
+	c.install(p)
+	if len(bk.downs) > 0 {
+		// Bring the others onto our stream: replay the retained history.
+		c.s.send(message{Kind: msgSync, Sync: bk.archive.since(0)})
+	}
+	hv.ChargeBoundary(p)
+	c.run(p, tmeNext)
+}
+
+// await blocks until cond() or the cascaded timeout elapses; it returns
+// false on timeout (primary declared failed).
+func (bk *Backup) await(p *sim.Proc, cond func() bool) bool {
+	for !cond() {
+		if bk.failed || bk.withdrawn {
+			return true // caller re-checks flags
+		}
+		if !p.WaitTimeout(bk.arrival, bk.effTimeout()) {
+			return false
+		}
+	}
+	return true
+}
+
+// Run executes the backup until the guest halts, the backup withdraws,
+// or — after promotion — the coordinator loop finishes. It spawns one
+// receiver process per upstream channel.
+func (bk *Backup) Run(p *sim.Proc) {
+	hv := bk.HV
+	bk.arrival = p.Kernel().NewSignal(fmt.Sprintf("backup%d.arrival", bk.index))
+	hv.SetIOActive(false) // §2.2 case (i): suppress environment output
+	hv.Stop = func() bool { return bk.failed }
+	for i, u := range bk.ups {
+		p.Kernel().Spawn(fmt.Sprintf("backup%d-rx%d", bk.index, i), bk.receiver(u))
+	}
+	defer func() { bk.done = true }()
+
+	// P3 is structural: real device interrupts on the backup's processor
+	// are ignored by the hypervisor (it issued nothing).
+
+	hv.SetTODBase(bk.BootTOD)
+	for !hv.Halted() && !bk.failed && !bk.withdrawn {
+		b := hv.RunEpoch(p)
+		if bk.failed {
+			return
+		}
+		bk.Stats.Epochs++
+		e := b.Epoch
+
+		// --- Rule P5 (or verbatim replay after a coordinator change) ---
+		r := bk.rec(e)
+		ok := bk.await(p, func() bool { return r.verbatim != nil || r.tme != nil })
+		if bk.failed || bk.withdrawn {
+			return
+		}
+		if !ok {
+			// --- Rules P6 + P7, and promotion ---
+			bk.failover(p, e, b.Digest)
+			return
+		}
+		if r.verbatim == nil {
+			ok = bk.await(p, func() bool { return r.verbatim != nil || r.end != nil })
+			if bk.failed || bk.withdrawn {
+				return
+			}
+			if !ok {
+				bk.failover(p, e, b.Digest)
+				return
+			}
+		}
+		if v := r.verbatim; v != nil {
+			bk.replayVerbatim(e, b.Digest, v)
+			hv.ChargeBoundary(p)
+			bk.completed = e + 1
+			continue
+		}
+		// Normal path: Tme_b := Tme_p; buffer; deliver; digest check.
+		tme, end := *r.tme, r.end
+		bk.checkDigest(e, end.Digest, b.Digest)
+		bk.stageOrdered(e)
+		hv.TimerInterruptsDue(tme)
+		delivered := append([]hypervisor.Interrupt(nil), hv.Buffered()...)
+		hv.DeliverBuffered()
+		bk.archive.record(SyncEpoch{Epoch: e, Tme: tme, Ints: delivered, Digest: b.Digest, Halted: end.Halted})
+		hv.ChargeBoundary(p)
+		hv.SetTODBase(tme)
+		delete(bk.pending, e)
+		bk.completed = e + 1
+		if end.Halted {
+			bk.halted = true
+		}
+	}
+}

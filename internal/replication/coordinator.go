@@ -1,0 +1,138 @@
+package replication
+
+import (
+	"sort"
+
+	"repro/internal/hypervisor"
+	"repro/internal/sim"
+)
+
+// epochArchive retains, per epoch, exactly what was delivered at its
+// boundary. A promoted backup uses it to bring lower-priority backups
+// onto its stream (msgSync). Bounded: entries older than windowEpochs
+// are pruned — a lagging backup further behind than the window cannot be
+// resynchronized (it detects this and withdraws).
+type epochArchive struct {
+	entries map[uint64]SyncEpoch
+	oldest  uint64
+	newest  uint64
+	window  uint64
+}
+
+const defaultArchiveWindow = 4096
+
+func newEpochArchive() *epochArchive {
+	return &epochArchive{entries: map[uint64]SyncEpoch{}, window: defaultArchiveWindow}
+}
+
+// record stores one epoch's delivery history.
+func (a *epochArchive) record(e SyncEpoch) {
+	if a == nil {
+		return
+	}
+	if len(a.entries) == 0 || e.Epoch < a.oldest {
+		a.oldest = e.Epoch
+	}
+	if e.Epoch > a.newest {
+		a.newest = e.Epoch
+	}
+	a.entries[e.Epoch] = e
+	for a.newest-a.oldest >= a.window {
+		delete(a.entries, a.oldest)
+		a.oldest++
+	}
+}
+
+// since returns archived epochs >= from, in order.
+func (a *epochArchive) since(from uint64) []SyncEpoch {
+	var out []SyncEpoch
+	for e := range a.entries {
+		if e >= from {
+			out = append(out, a.entries[e])
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Epoch < out[j].Epoch })
+	return out
+}
+
+// coordinator runs the primary side of the protocol: rules P1 and P2
+// (or the §4.3 revision) against a hypervisor, fanning messages out to a
+// set of backups through a sender. It is shared between the initial
+// Primary engine and a Backup that has been promoted and must continue
+// coordinating lower-priority backups.
+type coordinator struct {
+	hv      *hypervisor.Hypervisor
+	s       *sender
+	proto   Protocol
+	stats   *Stats
+	stopped func() bool
+	archive *epochArchive
+
+	intIndex uint32 // capture index within the current epoch
+}
+
+// install hooks the coordinator into the hypervisor. Call once, with the
+// driving process, before run.
+func (c *coordinator) install(p *sim.Proc) {
+	c.s.proc = p
+	hv := c.hv
+	// P1: forward every captured interrupt immediately.
+	hv.OnCapture = func(i hypervisor.Interrupt) {
+		if c.stopped() {
+			return
+		}
+		c.stats.IntsForwarded++
+		c.s.send(message{Kind: msgInterrupt, Epoch: hv.Epoch(), IntIndex: c.intIndex, Int: i})
+		c.intIndex++
+	}
+	if c.proto == ProtocolNew {
+		hv.OnBeforeIO = func() {
+			if c.stopped() {
+				return
+			}
+			start := p.Now()
+			c.stats.IOGateWaits++
+			c.s.awaitAcks(c.stopped)
+			c.stats.IOGateWaitTime += p.Now() - start
+		}
+	} else {
+		hv.OnBeforeIO = nil
+	}
+	hv.Stop = c.stopped
+	hv.SetIOActive(true)
+}
+
+// run executes epochs until the guest halts or the coordinator is
+// stopped. tme0 is the clock base for the first epoch it runs.
+func (c *coordinator) run(p *sim.Proc, tme0 uint32) {
+	hv := c.hv
+	hv.SetTODBase(tme0)
+	for !hv.Halted() && !c.stopped() {
+		b := hv.RunEpoch(p)
+		if c.stopped() {
+			return
+		}
+		c.stats.Epochs++
+
+		// --- Rule P2 ---
+		tme := b.TOD
+		c.s.send(message{Kind: msgTme, Epoch: b.Epoch, Tme: tme})
+		if c.proto == ProtocolOld {
+			c.s.awaitAcks(c.stopped)
+			if c.stopped() {
+				return
+			}
+		}
+		hv.TimerInterruptsDue(tme)
+		delivered := append([]hypervisor.Interrupt(nil), hv.Buffered()...)
+		hv.DeliverBuffered()
+		c.archive.record(SyncEpoch{
+			Epoch: b.Epoch, Tme: tme, Ints: delivered,
+			Digest: b.Digest, Halted: b.Halted,
+		})
+		c.s.send(message{Kind: msgEnd, Epoch: b.Epoch, Digest: b.Digest, Halted: b.Halted})
+		hv.ChargeBoundary(p)
+		hv.SetTODBase(tme)
+		c.intIndex = 0
+	}
+}

@@ -1,0 +1,139 @@
+// Package replication implements the paper's replica-coordination
+// protocols (§2, rules P1–P7) and the revised protocol of §4.3, on top of
+// the hypervisor and the simulated FIFO channels.
+//
+// A 1-fault-tolerant virtual machine is a Primary engine driving one
+// hypervisor and a Backup engine driving another, joined by a
+// netsim.Duplex. The engines guarantee:
+//
+//   - both virtual machines execute the same instruction sequence, with
+//     each instruction having the same effect (identical per-epoch state
+//     digests);
+//   - while the primary's processor is alive, the backup generates no
+//     interactions with the environment (I/O and console suppressed);
+//   - after a primary failstop, exactly one virtual machine (the
+//     promoted backup) continues interacting with the environment, and
+//     the environment observes a sequence of I/O operations consistent
+//     with a single processor — outstanding operations are re-driven via
+//     synthesized uncertain interrupts (P7), which device semantics IO2
+//     permits.
+package replication
+
+import (
+	"repro/internal/hypervisor"
+	"repro/internal/sim"
+)
+
+// Protocol selects between the paper's two coordination variants.
+type Protocol int
+
+const (
+	// ProtocolOld is §2's protocol: at every epoch boundary the primary
+	// awaits acknowledgements for all messages previously sent (rule P2).
+	ProtocolOld Protocol = iota
+	// ProtocolNew is §4.3's revision: the boundary wait is dropped;
+	// instead the primary awaits acknowledgements before any I/O
+	// operation, since I/O is the only way virtual-machine state is
+	// revealed to the environment.
+	ProtocolNew
+)
+
+// String names the protocol as in Table 1.
+func (p Protocol) String() string {
+	if p == ProtocolOld {
+		return "old"
+	}
+	return "new"
+}
+
+// msgKind enumerates protocol messages.
+type msgKind uint8
+
+const (
+	// msgInterrupt is P1's [E, Int]: an interrupt captured during epoch
+	// E, with its environment payload (DMA data for reads).
+	msgInterrupt msgKind = iota
+	// msgTme is P2's [Tme_p]: the primary's clock at the end of an
+	// epoch, used by the backup to resynchronize (P5: Tme_b := Tme_p).
+	msgTme
+	// msgEnd is P2's [end, E]: the primary completed epoch E. It also
+	// carries the primary's state digest (divergence detection) and the
+	// guest-halt flag.
+	msgEnd
+	// msgAck acknowledges receipt of a sequenced message (P4).
+	msgAck
+	// msgSync is sent by a freshly promoted backup to lower-priority
+	// backups (the t-fault-tolerant generalization): a replay of the
+	// delivered-interrupt history so the remaining replicas can follow
+	// the new primary's stream verbatim.
+	msgSync
+)
+
+// SyncEpoch is one epoch's replay record inside a msgSync: exactly what
+// the (new) primary delivered at that epoch's boundary, to be applied
+// verbatim by a lagging backup.
+type SyncEpoch struct {
+	Epoch  uint64
+	Tme    uint32                 // the clock base shipped for the next epoch
+	Ints   []hypervisor.Interrupt // full delivery list, in order
+	Digest uint64                 // pre-delivery state digest
+	Halted bool
+}
+
+// message is the wire payload carried by netsim.
+type message struct {
+	Kind  msgKind
+	Seq   uint64 // primary-assigned sequence, acked by the backup
+	Epoch uint64
+
+	Int      hypervisor.Interrupt // msgInterrupt
+	IntIndex uint32               // msgInterrupt: per-epoch capture index (dedupe)
+	Tme      uint32               // msgTme
+	Digest   uint64               // msgEnd
+	Halted   bool                 // msgEnd
+
+	AckSeq uint64 // msgAck: highest sequence received
+
+	Sync []SyncEpoch // msgSync
+}
+
+// wireSize estimates the payload byte size for the link timing model.
+// Control messages ([Tme], [end,E], acks) fit entirely in one link frame
+// (size 0 payload: the frame header carries them); interrupt messages
+// carry their environment payload (an 8 KiB disk read becomes the
+// paper's 9-frame transfer).
+func (m message) wireSize() int {
+	switch m.Kind {
+	case msgInterrupt:
+		return m.Int.WireSize()
+	case msgSync:
+		n := 0
+		for _, e := range m.Sync {
+			n += 64
+			for _, i := range e.Ints {
+				n += i.WireSize()
+			}
+		}
+		return n
+	}
+	return 0
+}
+
+// Stats aggregates protocol activity for an engine.
+type Stats struct {
+	Epochs          uint64
+	MessagesSent    uint64
+	BytesSent       uint64
+	AcksReceived    uint64
+	AckWaits        uint64   // number of blocking ack waits
+	AckWaitTime     sim.Time // total virtual time spent awaiting acks
+	IOGateWaits     uint64   // §4.3: waits at the before-I/O gate
+	IOGateWaitTime  sim.Time
+	IntsForwarded   uint64   // [E, Int] messages (primary)
+	IntsReceived    uint64   // (backup)
+	Divergences     uint64   // digest mismatches detected
+	PromotedAtEpoch uint64   // backup: epoch at which failover occurred
+	PromotedAtTime  sim.Time // backup: virtual time of promotion
+	Promoted        bool
+	UncertainSynth  uint64 // P7 uncertain interrupts synthesized
+}

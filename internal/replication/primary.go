@@ -1,0 +1,65 @@
+package replication
+
+import (
+	"repro/internal/hypervisor"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// Primary drives the primary virtual machine's hypervisor: rules P1 and
+// P2 (or the §4.3 revision), fanned out to one or more backups. With t
+// backups the system is t-fault-tolerant: the paper builds t = 1 and
+// notes the generalization is straightforward; here it is implemented.
+type Primary struct {
+	HV *hypervisor.Hypervisor
+
+	coord  *coordinator
+	failed bool
+
+	// BootTOD is the virtual machines' initial clock value (all
+	// replicas must agree; default 0).
+	BootTOD uint32
+
+	Stats Stats
+}
+
+// NewPrimary wires a primary engine with a single backup: tx carries
+// protocol messages to the backup; rx returns acknowledgements.
+func NewPrimary(hv *hypervisor.Hypervisor, tx, rx *netsim.Link, proto Protocol) *Primary {
+	return NewPrimaryMulti(hv, []Peer{{TX: tx, RX: rx}}, proto)
+}
+
+// NewPrimaryMulti wires a primary engine with t backups (peers in
+// priority order: peers[0] is the first to promote).
+func NewPrimaryMulti(hv *hypervisor.Hypervisor, peers []Peer, proto Protocol) *Primary {
+	pr := &Primary{HV: hv}
+	pr.coord = &coordinator{
+		hv:      hv,
+		s:       newSender(peers, &pr.Stats),
+		proto:   proto,
+		stats:   &pr.Stats,
+		stopped: func() bool { return pr.failed },
+		archive: newEpochArchive(),
+	}
+	return pr
+}
+
+// Failstop makes the primary's processor stop abruptly: execution ceases
+// at the next instruction-chunk boundary and all communication is
+// severed. Call from a scheduled simulation event to inject a failure at
+// an arbitrary virtual time (including mid-epoch, mid-I/O — the two
+// generals window of §2.2).
+func (pr *Primary) Failstop() {
+	pr.failed = true
+	pr.coord.s.disconnectAll()
+}
+
+// Failed reports whether the failstop was injected.
+func (pr *Primary) Failed() bool { return pr.failed }
+
+// Run executes the primary until the guest halts or a failstop is
+// injected. It must be called as a simulation process.
+func (pr *Primary) Run(p *sim.Proc) {
+	pr.coord.install(p)
+	pr.coord.run(p, pr.BootTOD)
+}

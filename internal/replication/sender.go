@@ -1,0 +1,150 @@
+package replication
+
+import (
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// Peer bundles the two directions of the channel to one counterpart:
+// TX carries protocol messages out, RX returns acknowledgements.
+type Peer struct {
+	TX *netsim.Link
+	RX *netsim.Link
+}
+
+// sender fans protocol messages out to a set of backups and tracks
+// acknowledgements per peer. It is used by the Primary engine and by a
+// promoted Backup that continues coordinating further backups (the
+// t-fault-tolerant generalization the paper calls straightforward).
+type sender struct {
+	peers []*peerState
+	seq   uint64
+	proc  *sim.Proc
+	stats *Stats
+}
+
+type peerState struct {
+	peer  Peer
+	acked uint64
+}
+
+func newSender(peers []Peer, stats *Stats) *sender {
+	s := &sender{stats: stats}
+	for _, p := range peers {
+		s.peers = append(s.peers, &peerState{peer: p})
+	}
+	return s
+}
+
+// alive reports whether any peer is still connected (all peers down
+// means coordination is moot — run unreplicated).
+func (s *sender) alive() bool {
+	for _, p := range s.peers {
+		if !p.peer.TX.Down() {
+			return true
+		}
+	}
+	return false
+}
+
+// send transmits one sequenced message to every peer, paying the I/O
+// controller set-up cost once per peer (§4.3: this cost is
+// link-independent).
+func (s *sender) send(m message) {
+	if len(s.peers) == 0 {
+		return
+	}
+	s.seq++
+	m.Seq = s.seq
+	for _, p := range s.peers {
+		s.stats.MessagesSent++
+		s.stats.BytesSent += uint64(m.wireSize())
+		p.peer.TX.Send(m, m.wireSize())
+		if s.proc != nil {
+			s.proc.Sleep(p.peer.TX.Config().SetupTime)
+		}
+	}
+}
+
+// drainAcks consumes already-delivered acknowledgements from all peers.
+func (s *sender) drainAcks() {
+	for _, p := range s.peers {
+		for {
+			raw, ok := p.peer.RX.Inbox.TryRecv()
+			if !ok {
+				break
+			}
+			m := raw.Payload.(message)
+			if m.Kind == msgAck {
+				s.stats.AcksReceived++
+				if m.AckSeq > p.acked {
+					p.acked = m.AckSeq
+				}
+			}
+		}
+	}
+}
+
+// fullyAcked reports whether every live peer has acknowledged everything
+// sent so far. Peers whose channel is down are skipped: a failstopped
+// backup must not wedge the primary forever (the paper's model assumes
+// failed backups are eventually replaced; here they are just excluded).
+func (s *sender) fullyAcked() bool {
+	for _, p := range s.peers {
+		if p.peer.TX.Down() {
+			continue
+		}
+		if p.acked < s.seq {
+			return false
+		}
+	}
+	return true
+}
+
+// awaitAcks blocks until every message sent so far is acknowledged by
+// every live peer — rule P2's wait and the §4.3 I/O gate.
+func (s *sender) awaitAcks(stop func() bool) {
+	s.drainAcks()
+	if s.fullyAcked() {
+		return
+	}
+	start := s.proc.Now()
+	s.stats.AckWaits++
+	for !s.fullyAcked() && (stop == nil || !stop()) {
+		// Block on the first lagging live peer; FIFO links mean acks
+		// arrive in order, so per-peer blocking is fair.
+		var lag *peerState
+		for _, p := range s.peers {
+			if !p.peer.TX.Down() && p.acked < s.seq {
+				lag = p
+				break
+			}
+		}
+		if lag == nil {
+			break
+		}
+		raw, ok := lag.peer.RX.Inbox.RecvTimeout(s.proc, 10*sim.Millisecond)
+		if !ok {
+			// Re-check liveness and other peers' queues.
+			s.drainAcks()
+			continue
+		}
+		m := raw.Payload.(message)
+		if m.Kind == msgAck {
+			s.stats.AcksReceived++
+			if m.AckSeq > lag.acked {
+				lag.acked = m.AckSeq
+			}
+		}
+		s.drainAcks()
+	}
+	s.stats.AckWaitTime += s.proc.Now() - start
+}
+
+// disconnectAll severs every peer channel (failstop).
+func (s *sender) disconnectAll() {
+	for _, p := range s.peers {
+		p.peer.TX.Disconnect()
+		p.peer.RX.Disconnect()
+	}
+}

@@ -1,0 +1,399 @@
+// Package scsi models the shared disk of the paper's prototype: a
+// dual-ported SCSI-ish block device reachable from both the primary and
+// the backup processor (the I/O Device Accessibility Assumption), with
+// the two interface properties the replication protocol relies on (§2.2):
+//
+//	IO1: if an I/O instruction is issued and performed, the issuing
+//	     processor receives a completion interrupt.
+//	IO2: if the processor receives an UNCERTAIN interrupt, the I/O may or
+//	     may not have been performed.
+//
+// Uncertain interrupts model SCSI CHECK_CONDITION: drivers must retry,
+// and the device tolerates repetition — which rule P7 exploits at
+// failover. Transient faults are injectable deterministically.
+//
+// Each host sees the disk through an Adapter: a bank of memory-mapped
+// registers (command, block, DMA address, byte count, status, doorbell)
+// that DMAs into the host's RAM and raises an interrupt line on
+// completion. The Disk itself serializes commands from both adapters and
+// keeps an operation log for environment-consistency checking.
+package scsi
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// Command opcodes written to the adapter's CMD register.
+const (
+	CmdRead    uint32 = 1 // disk block -> host memory
+	CmdWrite   uint32 = 2 // host memory -> disk block
+	CmdInquiry uint32 = 3 // device identification -> STATUS2 register
+)
+
+// Status register bits.
+const (
+	StatusBusy      uint32 = 1 << 0 // command in progress
+	StatusDone      uint32 = 1 << 1 // completed successfully (IO1)
+	StatusUncertain uint32 = 1 << 2 // CHECK_CONDITION: may or may not have happened (IO2)
+	StatusError     uint32 = 1 << 3 // hard error (bad block/command)
+)
+
+// Adapter register offsets (word registers within the adapter window).
+const (
+	RegCmd      uint32 = 0x00
+	RegBlock    uint32 = 0x04
+	RegAddr     uint32 = 0x08
+	RegCount    uint32 = 0x0C
+	RegStatus   uint32 = 0x10 // read status; write 1-bits to clear
+	RegDoorbell uint32 = 0x14 // write anything to start CMD
+	RegInfo     uint32 = 0x18 // inquiry result / last-op detail
+
+	// AdapterWindow is the size of the adapter's register bank.
+	AdapterWindow uint32 = 0x20
+)
+
+// DiskConfig describes the shared disk.
+type DiskConfig struct {
+	// Blocks is the number of blocks (default 4096).
+	Blocks uint32
+	// BlockSize is bytes per block (default 8 KiB, the paper's unit).
+	BlockSize uint32
+	// ReadLatency is the device service time for a block read. The
+	// paper's bare-hardware measurement: 24.2 ms for an 8 KiB read.
+	ReadLatency sim.Time
+	// WriteLatency is the device service time for a block write. The
+	// paper: 26 ms.
+	WriteLatency sim.Time
+	// UncertainRate injects CHECK_CONDITION with this probability per
+	// operation (deterministic via the seeded stream). Zero disables.
+	UncertainRate float64
+	// Seed seeds the fault-injection stream.
+	Seed int64
+}
+
+func (c DiskConfig) withDefaults() DiskConfig {
+	if c.Blocks == 0 {
+		c.Blocks = 4096
+	}
+	if c.BlockSize == 0 {
+		c.BlockSize = 8192
+	}
+	if c.ReadLatency == 0 {
+		c.ReadLatency = sim.Time(24.2 * float64(sim.Millisecond))
+	}
+	if c.WriteLatency == 0 {
+		c.WriteLatency = 26 * sim.Millisecond
+	}
+	return c
+}
+
+// OpRecord is one entry in the disk's operation log: the externally
+// visible I/O behaviour used to check that the environment cannot
+// distinguish the replicated system from a single processor.
+type OpRecord struct {
+	Seq       uint64
+	Host      int    // which adapter issued the command
+	Cmd       uint32 // CmdRead / CmdWrite
+	Block     uint32
+	Committed bool   // writes: data actually hit the platter
+	Uncertain bool   // completion was CHECK_CONDITION
+	DataHash  uint64 // writes: FNV-64a of the data DMA'd from the host
+	At        sim.Time
+}
+
+// Disk is the shared dual-ported device.
+type Disk struct {
+	k    *sim.Kernel
+	cfg  DiskConfig
+	data [][]byte // lazily allocated blocks
+	rng  *rand.Rand
+
+	// Log records every operation the device performed or reported
+	// uncertain, in service order.
+	Log []OpRecord
+
+	busyUntil     sim.Time
+	seq           uint64
+	uncertainNext int // scripted injection: next N ops report uncertain
+}
+
+// NewDisk creates the disk owned by kernel k.
+func NewDisk(k *sim.Kernel, cfg DiskConfig) *Disk {
+	cfg = cfg.withDefaults()
+	return &Disk{
+		k:    k,
+		cfg:  cfg,
+		data: make([][]byte, cfg.Blocks),
+		rng:  rand.New(rand.NewSource(cfg.Seed ^ 0x5C51)),
+	}
+}
+
+// Config returns the disk configuration (defaults applied).
+func (d *Disk) Config() DiskConfig { return d.cfg }
+
+// InjectUncertainNext makes the next n operations complete with
+// CHECK_CONDITION (each op independently decides whether it committed).
+func (d *Disk) InjectUncertainNext(n int) { d.uncertainNext += n }
+
+// block returns the backing store for a block, allocating zeroed data.
+func (d *Disk) block(b uint32) []byte {
+	if d.data[b] == nil {
+		d.data[b] = make([]byte, d.cfg.BlockSize)
+	}
+	return d.data[b]
+}
+
+// ReadBlockDirect copies a block's contents (test/verification backdoor,
+// not part of the simulated environment).
+func (d *Disk) ReadBlockDirect(b uint32) []byte {
+	out := make([]byte, d.cfg.BlockSize)
+	copy(out, d.block(b))
+	return out
+}
+
+// WriteBlockDirect sets a block's contents directly (test setup).
+func (d *Disk) WriteBlockDirect(b uint32, data []byte) {
+	copy(d.block(b), data)
+}
+
+// hash64 hashes a buffer for the op log.
+func hash64(p []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(p)
+	return h.Sum64()
+}
+
+// HostMemory is the DMA interface an adapter uses to move data to and
+// from its host's RAM (implemented by *machine.Machine).
+type HostMemory interface {
+	ReadBytes(pa uint32, n int) []byte
+	WriteBytes(pa uint32, data []byte)
+}
+
+// IRQLine raises an interrupt line on the host (implemented by
+// *machine.Machine via a closure in the platform).
+type IRQLine func()
+
+// Adapter is one host's view of the disk: a register bank plus DMA and an
+// interrupt line. It implements machine.MMIOHandler semantics for its
+// window (the platform routes the window's offsets here).
+type Adapter struct {
+	disk *Disk
+	host int
+	mem  HostMemory
+	irq  IRQLine
+
+	// Registers.
+	cmd, blockNo, addr, count, status, info uint32
+
+	// Detached is set when the host has failstopped: completions are
+	// discarded (no interrupt reaches a dead host).
+	Detached bool
+
+	// Stats.
+	OpsIssued    uint64
+	OpsCompleted uint64
+	OpsUncertain uint64
+}
+
+// NewAdapter connects a host to the disk. host is 0 (primary's processor)
+// or 1 (backup's); mem is the host's RAM for DMA; irq raises the host's
+// external interrupt line on command completion.
+func (d *Disk) NewAdapter(host int, mem HostMemory, irq IRQLine) *Adapter {
+	return &Adapter{disk: d, host: host, mem: mem, irq: irq}
+}
+
+// MMIOLoad implements register reads.
+func (a *Adapter) MMIOLoad(off uint32, size int) (uint32, error) {
+	if size != 4 {
+		return 0, fmt.Errorf("scsi: sub-word register access (size %d)", size)
+	}
+	switch off {
+	case RegCmd:
+		return a.cmd, nil
+	case RegBlock:
+		return a.blockNo, nil
+	case RegAddr:
+		return a.addr, nil
+	case RegCount:
+		return a.count, nil
+	case RegStatus:
+		return a.status, nil
+	case RegDoorbell:
+		return 0, nil
+	case RegInfo:
+		return a.info, nil
+	}
+	return 0, fmt.Errorf("scsi: bad register offset %#x", off)
+}
+
+// MMIOStore implements register writes; writing the doorbell issues the
+// programmed command.
+func (a *Adapter) MMIOStore(off uint32, size int, v uint32) error {
+	if size != 4 {
+		return fmt.Errorf("scsi: sub-word register access (size %d)", size)
+	}
+	switch off {
+	case RegCmd:
+		a.cmd = v
+	case RegBlock:
+		a.blockNo = v
+	case RegAddr:
+		a.addr = v
+	case RegCount:
+		a.count = v
+	case RegStatus:
+		a.status &^= v // write-1-to-clear
+	case RegDoorbell:
+		a.issue()
+	case RegInfo:
+		// read-only
+	default:
+		return fmt.Errorf("scsi: bad register offset %#x", off)
+	}
+	return nil
+}
+
+// Status returns the adapter's status register (for hypervisor snooping).
+func (a *Adapter) Status() uint32 { return a.status }
+
+// Busy reports whether a command is in flight on this adapter.
+func (a *Adapter) Busy() bool { return a.status&StatusBusy != 0 }
+
+// issue starts the programmed command on the shared disk.
+func (a *Adapter) issue() {
+	if a.status&StatusBusy != 0 {
+		// Device busy: a second doorbell while busy is a programming
+		// error; report a hard error immediately.
+		a.status |= StatusError
+		return
+	}
+	d := a.disk
+	count := a.count
+	if count == 0 || count > d.cfg.BlockSize {
+		count = d.cfg.BlockSize
+	}
+	switch a.cmd {
+	case CmdInquiry:
+		a.status |= StatusBusy
+		a.OpsIssued++
+		d.k.After(100*sim.Microsecond, func() {
+			a.info = 0x5C510001 // device model/version
+			a.complete(StatusDone)
+		})
+		return
+	case CmdRead, CmdWrite:
+		if a.blockNo >= d.cfg.Blocks {
+			a.status |= StatusError
+			return
+		}
+	default:
+		a.status |= StatusError
+		return
+	}
+	a.status |= StatusBusy
+	a.OpsIssued++
+
+	cmd, blockNo, addr := a.cmd, a.blockNo, a.addr
+	// For writes, latch the data at issue time (DMA from host memory).
+	var buf []byte
+	if cmd == CmdWrite {
+		buf = a.mem.ReadBytes(addr, int(count))
+	}
+
+	// Serialize on the shared device.
+	var latency sim.Time
+	if cmd == CmdRead {
+		latency = d.cfg.ReadLatency
+	} else {
+		latency = d.cfg.WriteLatency
+	}
+	start := d.k.Now()
+	if d.busyUntil > start {
+		start = d.busyUntil
+	}
+	done := start + latency
+	d.busyUntil = done
+
+	d.k.At(done, func() {
+		// Decide certainty: scripted injections first, then random.
+		uncertain := false
+		if d.uncertainNext > 0 {
+			d.uncertainNext--
+			uncertain = true
+		} else if d.cfg.UncertainRate > 0 && d.rng.Float64() < d.cfg.UncertainRate {
+			uncertain = true
+		}
+		committed := true
+		if uncertain {
+			// IO2: the operation may or may not have been performed.
+			committed = d.rng.Intn(2) == 0
+		}
+		if cmd == CmdRead {
+			// Reads transfer data only on certain completion.
+			committed = !uncertain
+		}
+		rec := OpRecord{
+			Seq: d.seq, Host: a.host, Cmd: cmd, Block: blockNo,
+			Committed: committed, Uncertain: uncertain,
+			At: d.k.Now(),
+		}
+		d.seq++
+		switch cmd {
+		case CmdRead:
+			if !uncertain {
+				data := d.block(blockNo)[:count]
+				if !a.Detached {
+					a.mem.WriteBytes(addr, data)
+				}
+			}
+		case CmdWrite:
+			rec.DataHash = hash64(buf)
+			if committed {
+				copy(d.block(blockNo), buf)
+			}
+		}
+		d.Log = append(d.Log, rec)
+		if uncertain {
+			a.complete(StatusUncertain)
+		} else {
+			a.complete(StatusDone)
+		}
+	})
+}
+
+// complete finishes the in-flight command: updates status and raises the
+// host interrupt (IO1), unless the host is detached (failstopped).
+func (a *Adapter) complete(bits uint32) {
+	a.status &^= StatusBusy
+	a.status |= bits
+	a.OpsCompleted++
+	if bits&StatusUncertain != 0 {
+		a.OpsUncertain++
+	}
+	if a.Detached {
+		return
+	}
+	if a.irq != nil {
+		a.irq()
+	}
+}
+
+// WriteHistory returns the committed write hashes for a block, in order —
+// used by tests to verify the single-processor-consistency claim: after
+// failover plus retries, the sequence of committed writes must be a
+// sequence a single processor could have produced (duplicates are
+// allowed only as identical-content repetitions, which IO2 permits).
+func (d *Disk) WriteHistory(block uint32) []uint64 {
+	var out []uint64
+	for _, r := range d.Log {
+		if r.Cmd == CmdWrite && r.Block == block && r.Committed {
+			out = append(out, r.DataHash)
+		}
+	}
+	return out
+}

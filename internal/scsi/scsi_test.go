@@ -1,0 +1,347 @@
+package scsi
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// fakeMem is a simple HostMemory for tests.
+type fakeMem struct{ data []byte }
+
+func newFakeMem(n int) *fakeMem { return &fakeMem{data: make([]byte, n)} }
+
+func (m *fakeMem) ReadBytes(pa uint32, n int) []byte {
+	out := make([]byte, n)
+	copy(out, m.data[pa:int(pa)+n])
+	return out
+}
+
+func (m *fakeMem) WriteBytes(pa uint32, data []byte) {
+	copy(m.data[pa:int(pa)+len(data)], data)
+}
+
+// rig wires a disk + one adapter + an IRQ flag.
+type rig struct {
+	k    *sim.Kernel
+	disk *Disk
+	mem  *fakeMem
+	ad   *Adapter
+	irqs int
+}
+
+func newRig(t *testing.T, cfg DiskConfig) *rig {
+	t.Helper()
+	r := &rig{k: sim.NewKernel(1)}
+	r.disk = NewDisk(r.k, cfg)
+	r.mem = newFakeMem(1 << 20)
+	r.ad = r.disk.NewAdapter(0, r.mem, func() { r.irqs++ })
+	t.Cleanup(r.k.Shutdown)
+	return r
+}
+
+// command programs the registers and rings the doorbell.
+func (r *rig) command(cmd, block, addr, count uint32) {
+	r.ad.MMIOStore(RegCmd, 4, cmd)
+	r.ad.MMIOStore(RegBlock, 4, block)
+	r.ad.MMIOStore(RegAddr, 4, addr)
+	r.ad.MMIOStore(RegCount, 4, count)
+	r.ad.MMIOStore(RegDoorbell, 4, 1)
+}
+
+func (r *rig) status() uint32 {
+	v, _ := r.ad.MMIOLoad(RegStatus, 4)
+	return v
+}
+
+func TestWriteThenRead(t *testing.T) {
+	r := newRig(t, DiskConfig{})
+	payload := bytes.Repeat([]byte{0xAB}, 8192)
+	r.mem.WriteBytes(0x1000, payload)
+
+	r.command(CmdWrite, 7, 0x1000, 8192)
+	if r.status()&StatusBusy == 0 {
+		t.Fatal("not busy after doorbell")
+	}
+	r.k.Run()
+	if r.status()&StatusDone == 0 {
+		t.Fatalf("status = %#x, want done", r.status())
+	}
+	if r.irqs != 1 {
+		t.Errorf("irqs = %d, want 1 (IO1)", r.irqs)
+	}
+	if !bytes.Equal(r.disk.ReadBlockDirect(7), payload) {
+		t.Error("block contents wrong after write")
+	}
+
+	// Clear status, read it back to a different address.
+	r.ad.MMIOStore(RegStatus, 4, 0xFFFFFFFF)
+	r.command(CmdRead, 7, 0x9000, 8192)
+	r.k.Run()
+	if r.status()&StatusDone == 0 {
+		t.Fatalf("read status = %#x", r.status())
+	}
+	if !bytes.Equal(r.mem.ReadBytes(0x9000, 8192), payload) {
+		t.Error("DMA'd read data wrong")
+	}
+	if r.irqs != 2 {
+		t.Errorf("irqs = %d, want 2", r.irqs)
+	}
+}
+
+func TestServiceTimes(t *testing.T) {
+	r := newRig(t, DiskConfig{})
+	r.command(CmdWrite, 1, 0, 8192)
+	end := r.k.Run()
+	if end != 26*sim.Millisecond {
+		t.Errorf("write completed at %v, want 26ms (paper)", end)
+	}
+	r2 := newRig(t, DiskConfig{})
+	r2.command(CmdRead, 1, 0, 8192)
+	end2 := r2.k.Run()
+	want := sim.Time(24.2 * float64(sim.Millisecond))
+	if end2 != want {
+		t.Errorf("read completed at %v, want 24.2ms (paper)", end2)
+	}
+}
+
+func TestSerialization(t *testing.T) {
+	// Two commands from two adapters share the device: second waits.
+	k := sim.NewKernel(1)
+	defer k.Shutdown()
+	d := NewDisk(k, DiskConfig{})
+	mem0, mem1 := newFakeMem(1<<16), newFakeMem(1<<16)
+	var done0, done1 sim.Time
+	a0 := d.NewAdapter(0, mem0, nil)
+	a1 := d.NewAdapter(1, mem1, nil)
+	issue := func(a *Adapter) {
+		a.MMIOStore(RegCmd, 4, CmdRead)
+		a.MMIOStore(RegBlock, 4, 0)
+		a.MMIOStore(RegAddr, 4, 0)
+		a.MMIOStore(RegCount, 4, 8192)
+		a.MMIOStore(RegDoorbell, 4, 1)
+	}
+	a0.irq = func() { done0 = k.Now() }
+	a1.irq = func() { done1 = k.Now() }
+	issue(a0)
+	issue(a1)
+	k.Run()
+	if done1 <= done0 {
+		t.Errorf("second op done at %v, first at %v: no serialization", done1, done0)
+	}
+	if done1-done0 != d.Config().ReadLatency {
+		t.Errorf("gap = %v, want one read latency", done1-done0)
+	}
+}
+
+func TestUncertainInjectionIO2(t *testing.T) {
+	r := newRig(t, DiskConfig{})
+	r.disk.InjectUncertainNext(1)
+	payload := bytes.Repeat([]byte{0x11}, 8192)
+	r.mem.WriteBytes(0, payload)
+	r.command(CmdWrite, 3, 0, 8192)
+	r.k.Run()
+	st := r.status()
+	if st&StatusUncertain == 0 {
+		t.Fatalf("status = %#x, want uncertain", st)
+	}
+	if r.irqs != 1 {
+		t.Error("uncertain completion must still interrupt (IO1/IO2)")
+	}
+	// The write may or may not have committed; the log records which.
+	if len(r.disk.Log) != 1 {
+		t.Fatalf("log = %+v", r.disk.Log)
+	}
+	rec := r.disk.Log[0]
+	if !rec.Uncertain {
+		t.Error("log record not marked uncertain")
+	}
+	got := r.disk.ReadBlockDirect(3)
+	if rec.Committed && !bytes.Equal(got, payload) {
+		t.Error("log says committed but data absent")
+	}
+	if !rec.Committed && bytes.Equal(got, payload) {
+		t.Error("log says not committed but data present")
+	}
+	// Driver retry: reissue the same write; device tolerates repetition.
+	r.ad.MMIOStore(RegStatus, 4, 0xFFFFFFFF)
+	r.command(CmdWrite, 3, 0, 8192)
+	r.k.Run()
+	if !bytes.Equal(r.disk.ReadBlockDirect(3), payload) {
+		t.Error("retry did not commit the data")
+	}
+}
+
+func TestUncertainRateDeterministic(t *testing.T) {
+	count := func(seed int64) int {
+		k := sim.NewKernel(1)
+		defer k.Shutdown()
+		d := NewDisk(k, DiskConfig{UncertainRate: 0.3, Seed: seed})
+		mem := newFakeMem(1 << 16)
+		a := d.NewAdapter(0, mem, nil)
+		n := 0
+		for i := 0; i < 40; i++ {
+			a.MMIOStore(RegCmd, 4, CmdWrite)
+			a.MMIOStore(RegBlock, 4, uint32(i))
+			a.MMIOStore(RegAddr, 4, 0)
+			a.MMIOStore(RegCount, 4, 512)
+			a.MMIOStore(RegDoorbell, 4, 1)
+			k.Run()
+			if a.Status()&StatusUncertain != 0 {
+				n++
+			}
+			a.MMIOStore(RegStatus, 4, 0xFFFFFFFF)
+		}
+		return n
+	}
+	a, b := count(5), count(5)
+	if a != b {
+		t.Errorf("same seed gave different injection counts %d vs %d", a, b)
+	}
+	if a == 0 || a == 40 {
+		t.Errorf("rate 0.3 gave %d/40 uncertain", a)
+	}
+}
+
+func TestInquiry(t *testing.T) {
+	r := newRig(t, DiskConfig{})
+	r.command(CmdInquiry, 0, 0, 0)
+	r.k.Run()
+	if r.status()&StatusDone == 0 {
+		t.Fatalf("status = %#x", r.status())
+	}
+	info, _ := r.ad.MMIOLoad(RegInfo, 4)
+	if info != 0x5C510001 {
+		t.Errorf("info = %#x", info)
+	}
+}
+
+func TestBadCommandsError(t *testing.T) {
+	r := newRig(t, DiskConfig{})
+	// Bad opcode.
+	r.command(99, 0, 0, 0)
+	if r.status()&StatusError == 0 {
+		t.Error("bad opcode not flagged")
+	}
+	r.ad.MMIOStore(RegStatus, 4, 0xFFFFFFFF)
+	// Block out of range.
+	r.command(CmdRead, 1<<30, 0, 0)
+	if r.status()&StatusError == 0 {
+		t.Error("bad block not flagged")
+	}
+	// Doorbell while busy.
+	r.ad.MMIOStore(RegStatus, 4, 0xFFFFFFFF)
+	r.command(CmdRead, 0, 0, 0)
+	r.command(CmdRead, 1, 0, 0) // second doorbell while busy
+	if r.status()&StatusError == 0 {
+		t.Error("doorbell-while-busy not flagged")
+	}
+	r.k.Run()
+}
+
+func TestBadRegister(t *testing.T) {
+	r := newRig(t, DiskConfig{})
+	if _, err := r.ad.MMIOLoad(0x1C, 4); err == nil {
+		t.Error("bad offset load did not error")
+	}
+	if err := r.ad.MMIOStore(0x1C, 4, 0); err == nil {
+		t.Error("bad offset store did not error")
+	}
+	if _, err := r.ad.MMIOLoad(RegStatus, 2); err == nil {
+		t.Error("sub-word load did not error")
+	}
+}
+
+func TestDetachedHostGetsNoInterrupt(t *testing.T) {
+	// Models the failstop primary: the device completes the op (possibly
+	// committing it!) but the dead host never sees the interrupt — the
+	// lost-interrupt window that rule P7 must cover.
+	r := newRig(t, DiskConfig{})
+	payload := bytes.Repeat([]byte{0x77}, 8192)
+	r.mem.WriteBytes(0, payload)
+	r.command(CmdWrite, 5, 0, 8192)
+	r.ad.Detached = true // host dies mid-flight
+	r.k.Run()
+	if r.irqs != 0 {
+		t.Error("detached host received an interrupt")
+	}
+	// The write still committed on the platter.
+	if !bytes.Equal(r.disk.ReadBlockDirect(5), payload) {
+		t.Error("write lost despite device completion")
+	}
+}
+
+func TestDualPortAccessibility(t *testing.T) {
+	// The I/O Device Accessibility Assumption: the backup's adapter can
+	// read what the primary's adapter wrote.
+	k := sim.NewKernel(1)
+	defer k.Shutdown()
+	d := NewDisk(k, DiskConfig{})
+	mem0, mem1 := newFakeMem(1<<16), newFakeMem(1<<16)
+	a0 := d.NewAdapter(0, mem0, nil)
+	a1 := d.NewAdapter(1, mem1, nil)
+	payload := bytes.Repeat([]byte{0x42}, 8192)
+	mem0.WriteBytes(0, payload)
+	a0.MMIOStore(RegCmd, 4, CmdWrite)
+	a0.MMIOStore(RegBlock, 4, 9)
+	a0.MMIOStore(RegAddr, 4, 0)
+	a0.MMIOStore(RegCount, 4, 8192)
+	a0.MMIOStore(RegDoorbell, 4, 1)
+	k.Run()
+	a1.MMIOStore(RegCmd, 4, CmdRead)
+	a1.MMIOStore(RegBlock, 4, 9)
+	a1.MMIOStore(RegAddr, 4, 0x100)
+	a1.MMIOStore(RegCount, 4, 8192)
+	a1.MMIOStore(RegDoorbell, 4, 1)
+	k.Run()
+	if !bytes.Equal(mem1.ReadBytes(0x100, 8192), payload) {
+		t.Error("backup host could not read primary's write")
+	}
+	// Log attributes hosts correctly.
+	if d.Log[0].Host != 0 || d.Log[1].Host != 1 {
+		t.Errorf("log hosts = %d,%d", d.Log[0].Host, d.Log[1].Host)
+	}
+}
+
+func TestWriteHistory(t *testing.T) {
+	r := newRig(t, DiskConfig{})
+	write := func(b byte) {
+		payload := bytes.Repeat([]byte{b}, 8192)
+		r.mem.WriteBytes(0, payload)
+		r.command(CmdWrite, 2, 0, 8192)
+		r.k.Run()
+		r.ad.MMIOStore(RegStatus, 4, 0xFFFFFFFF)
+	}
+	write(1)
+	write(2)
+	write(2) // idempotent repetition (like a P7 retry)
+	h := r.disk.WriteHistory(2)
+	if len(h) != 3 {
+		t.Fatalf("history len = %d", len(h))
+	}
+	if h[1] != h[2] {
+		t.Error("identical writes should hash identically")
+	}
+	if h[0] == h[1] {
+		t.Error("distinct writes should hash differently")
+	}
+}
+
+func TestPartialCount(t *testing.T) {
+	r := newRig(t, DiskConfig{})
+	r.mem.WriteBytes(0, []byte{1, 2, 3, 4})
+	r.command(CmdWrite, 0, 0, 4)
+	r.k.Run()
+	got := r.disk.ReadBlockDirect(0)
+	if got[0] != 1 || got[3] != 4 {
+		t.Error("partial write wrong")
+	}
+	// Count larger than block size clamps.
+	r.ad.MMIOStore(RegStatus, 4, 0xFFFFFFFF)
+	r.command(CmdRead, 0, 0x2000, 1<<20)
+	r.k.Run()
+	if r.status()&StatusDone == 0 {
+		t.Error("clamped read failed")
+	}
+}

@@ -1,0 +1,507 @@
+// Package sim provides a deterministic, process-oriented discrete-event
+// simulation kernel. All components of the fault-tolerance reproduction
+// (processors, hypervisors, disks, network links) advance a shared virtual
+// clock through this kernel, so entire multi-machine experiments are
+// reproducible bit-for-bit from a seed.
+//
+// The kernel is cooperative: at any instant exactly one process (or one
+// event callback) runs. Processes are goroutines that block inside kernel
+// primitives (Sleep, Wait, Recv); the kernel hands control to exactly one
+// of them at a time, so no locking is needed inside simulated components
+// and execution order is a deterministic function of (event time, schedule
+// order).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+)
+
+// Time is a virtual timestamp or duration in simulated nanoseconds.
+type Time int64
+
+// Convenient duration units in simulated nanoseconds.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Forever is a sentinel duration meaning "no timeout".
+const Forever Time = 1<<62 - 1
+
+// String renders a Time using the most natural unit.
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.6gs", float64(t)/float64(Second))
+	case t >= Millisecond:
+		return fmt.Sprintf("%.6gms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.6gus", float64(t)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// Seconds converts t to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros converts t to floating-point microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// event is a scheduled callback. Events with equal time fire in insertion
+// order (seq), which keeps the simulation deterministic.
+type event struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	canceled bool
+	index    int // heap index, -1 when popped
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is the simulation scheduler. Create one with NewKernel, spawn
+// processes with Spawn, then call Run (or RunUntil). A Kernel must be used
+// from a single OS goroutine; process goroutines synchronize with it
+// through internal channels.
+type Kernel struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	seed    int64
+	procs   []*Proc
+	stopped bool
+	limit   Time // RunUntil bound, or <0 for none
+	yield   chan struct{}
+	current *Proc
+	nprocs  int // live (not yet finished) processes
+	inEvent bool
+	idleFn  func() bool // optional hook when event queue empties
+}
+
+// NewKernel returns a kernel whose random streams derive from seed.
+func NewKernel(seed int64) *Kernel {
+	return &Kernel{
+		seed:  seed,
+		limit: -1,
+		yield: make(chan struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Seed returns the seed the kernel was created with.
+func (k *Kernel) Seed() int64 { return k.seed }
+
+// NewRand returns a deterministic random stream derived from the kernel
+// seed and the given name. Distinct names give independent streams, so
+// adding a new consumer does not perturb existing ones.
+func (k *Kernel) NewRand(name string) *rand.Rand {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d/%s", k.seed, name)
+	return rand.New(rand.NewSource(int64(h.Sum64())))
+}
+
+// Handle identifies a scheduled event so that it can be canceled.
+type Handle struct{ e *event }
+
+// Cancel prevents the event from firing. Canceling an already-fired or
+// already-canceled event is a no-op.
+func (h Handle) Cancel() {
+	if h.e != nil {
+		h.e.canceled = true
+	}
+}
+
+// At schedules fn to run at absolute virtual time at. Event callbacks run
+// in kernel context and must not block; use Spawn for blocking behaviour.
+func (k *Kernel) At(at Time, fn func()) Handle {
+	if at < k.now {
+		at = k.now
+	}
+	e := &event{at: at, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.events, e)
+	return Handle{e}
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (k *Kernel) After(d Time, fn func()) Handle {
+	if d < 0 {
+		d = 0
+	}
+	return k.At(k.now+d, fn)
+}
+
+// NextEventTime reports the time of the earliest pending event.
+func (k *Kernel) NextEventTime() (Time, bool) {
+	for len(k.events) > 0 {
+		if k.events[0].canceled {
+			heap.Pop(&k.events)
+			continue
+		}
+		return k.events[0].at, true
+	}
+	return 0, false
+}
+
+// OnIdle registers a hook called when the event queue drains while
+// processes are still blocked. If the hook returns true the kernel
+// continues (the hook is expected to have scheduled new events); otherwise
+// Run returns. This is used by tests to detect deadlock.
+func (k *Kernel) OnIdle(fn func() bool) { k.idleFn = fn }
+
+// Run executes events until the queue is empty or Stop is called.
+// It returns the final virtual time.
+func (k *Kernel) Run() Time {
+	k.limit = -1
+	return k.loop()
+}
+
+// RunUntil executes events with timestamps <= t, then returns. The clock
+// is left at min(t, time of last event) or advanced to t if events remain
+// beyond it.
+func (k *Kernel) RunUntil(t Time) Time {
+	k.limit = t
+	defer func() { k.limit = -1 }()
+	k.loop()
+	if !k.stopped && k.now < t {
+		k.now = t
+	}
+	return k.now
+}
+
+// Stop makes Run return after the current event completes.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (k *Kernel) Stopped() bool { return k.stopped }
+
+func (k *Kernel) loop() Time {
+	for !k.stopped {
+		var e *event
+		for len(k.events) > 0 {
+			cand := k.events[0]
+			if cand.canceled {
+				heap.Pop(&k.events)
+				continue
+			}
+			e = cand
+			break
+		}
+		if e == nil {
+			if k.idleFn != nil && k.idleFn() {
+				continue
+			}
+			break
+		}
+		if k.limit >= 0 && e.at > k.limit {
+			break
+		}
+		heap.Pop(&k.events)
+		if e.at > k.now {
+			k.now = e.at
+		}
+		k.inEvent = true
+		e.fn()
+		k.inEvent = false
+	}
+	return k.now
+}
+
+// Shutdown terminates all spawned processes that are still blocked in
+// kernel primitives. It must be called after Run returns when the kernel
+// will no longer be used; it unwinds process goroutines so they do not
+// leak. Safe to call multiple times.
+func (k *Kernel) Shutdown() {
+	k.stopped = true
+	for _, p := range k.procs {
+		if p.state == procBlocked || p.state == procReady {
+			p.kill = true
+			k.resume(p)
+		}
+	}
+	k.procs = nil
+}
+
+// LiveProcs returns the number of spawned processes that have not finished.
+func (k *Kernel) LiveProcs() int { return k.nprocs }
+
+// procState tracks where a process is in its lifecycle.
+type procState int
+
+const (
+	procReady procState = iota
+	procRunning
+	procBlocked
+	procDone
+)
+
+// killed is the panic value used to unwind process goroutines on Shutdown.
+type killed struct{}
+
+// Proc is a simulated process: a goroutine that may block in virtual time.
+// All methods must be called from the process's own goroutine.
+type Proc struct {
+	k     *Kernel
+	name  string
+	wake  chan struct{}
+	state procState
+	kill  bool
+}
+
+// Name returns the name the process was spawned with.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the kernel the process belongs to.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// Spawn starts fn as a simulated process. The process begins running at
+// the current virtual time (ordered after already-scheduled events at that
+// time). Spawn may be called before Run or from inside processes/events.
+func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{k: k, name: name, wake: make(chan struct{}), state: procReady}
+	k.procs = append(k.procs, p)
+	k.nprocs++
+	go func() {
+		<-p.wake
+		defer func() {
+			p.state = procDone
+			k.nprocs--
+			if r := recover(); r != nil {
+				if _, ok := r.(killed); ok {
+					// Unwound by Shutdown: hand control back silently.
+					k.yield <- struct{}{}
+					return
+				}
+				panic(r)
+			}
+			k.yield <- struct{}{}
+		}()
+		if p.kill {
+			panic(killed{})
+		}
+		p.state = procRunning
+		fn(p)
+	}()
+	k.At(k.now, func() { k.resume(p) })
+	return p
+}
+
+// resume transfers control to p and waits until it blocks or finishes.
+// Must be called from kernel context.
+func (k *Kernel) resume(p *Proc) {
+	if p.state == procDone {
+		return
+	}
+	prev := k.current
+	k.current = p
+	p.wake <- struct{}{}
+	<-k.yield
+	k.current = prev
+}
+
+// block suspends the calling process until the kernel wakes it.
+func (p *Proc) block() {
+	p.state = procBlocked
+	p.k.yield <- struct{}{}
+	<-p.wake
+	if p.kill {
+		panic(killed{})
+	}
+	p.state = procRunning
+}
+
+// Sleep suspends the process for d virtual nanoseconds.
+func (p *Proc) Sleep(d Time) {
+	if d <= 0 {
+		// Yield: reschedule at the same instant, after pending same-time
+		// events, preserving determinism.
+		d = 0
+	}
+	p.k.At(p.k.now+d, func() { p.k.resume(p) })
+	p.block()
+}
+
+// Yield gives other same-time events and processes a chance to run.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Signal is a broadcast condition in virtual time. Waiters are woken by
+// Broadcast in deterministic (wait-arrival) order.
+type Signal struct {
+	k       *Kernel
+	name    string
+	waiters []*signalWaiter
+	seq     uint64
+}
+
+type signalWaiter struct {
+	p     *Proc
+	seq   uint64
+	woken bool
+	timer Handle
+	timed bool // true if the waiter timed out rather than being signaled
+}
+
+// NewSignal creates a Signal owned by kernel k.
+func (k *Kernel) NewSignal(name string) *Signal {
+	return &Signal{k: k, name: name}
+}
+
+// Broadcast wakes every process currently waiting on s. Each waiter
+// resumes via a scheduled event at the current time, in the order they
+// began waiting.
+func (s *Signal) Broadcast() {
+	ws := s.waiters
+	s.waiters = nil
+	sort.Slice(ws, func(i, j int) bool { return ws[i].seq < ws[j].seq })
+	for _, w := range ws {
+		w.woken = true
+		w.timer.Cancel()
+		ww := w
+		s.k.At(s.k.now, func() { s.k.resume(ww.p) })
+	}
+}
+
+// Waiters reports how many processes are blocked on s.
+func (s *Signal) Waiters() int { return len(s.waiters) }
+
+// Wait blocks the process until the next Broadcast on s.
+func (p *Proc) Wait(s *Signal) { p.WaitTimeout(s, Forever) }
+
+// WaitTimeout blocks until Broadcast or until d elapses. It returns true
+// if woken by Broadcast, false on timeout.
+func (p *Proc) WaitTimeout(s *Signal, d Time) bool {
+	w := &signalWaiter{p: p, seq: s.seq}
+	s.seq++
+	s.waiters = append(s.waiters, w)
+	if d != Forever {
+		w.timer = s.k.After(d, func() {
+			if w.woken {
+				return
+			}
+			w.timed = true
+			w.woken = true
+			// Remove from waiter list so Broadcast skips it.
+			for i, x := range s.waiters {
+				if x == w {
+					s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+					break
+				}
+			}
+			s.k.resume(p)
+		})
+	}
+	p.block()
+	return !w.timed
+}
+
+// Queue is an unbounded FIFO of values delivered in virtual time. Any
+// goroutine in kernel context may Put; processes Recv (blocking in virtual
+// time). It is the basic mailbox for simulated message passing.
+type Queue[T any] struct {
+	k     *Kernel
+	name  string
+	items []T
+	avail *Signal
+}
+
+// NewQueue creates a queue owned by kernel k.
+func NewQueue[T any](k *Kernel, name string) *Queue[T] {
+	return &Queue[T]{k: k, name: name, avail: k.NewSignal(name + ".avail")}
+}
+
+// Len reports the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Put appends v and wakes any receivers.
+func (q *Queue[T]) Put(v T) {
+	q.items = append(q.items, v)
+	q.avail.Broadcast()
+}
+
+// TryRecv removes and returns the head item without blocking.
+func (q *Queue[T]) TryRecv() (T, bool) {
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+// Recv blocks the process until an item is available, then returns it.
+func (q *Queue[T]) Recv(p *Proc) T {
+	v, _ := q.RecvTimeout(p, Forever)
+	return v
+}
+
+// RecvTimeout is Recv with a timeout; ok=false means the timeout elapsed.
+func (q *Queue[T]) RecvTimeout(p *Proc, d Time) (T, bool) {
+	var zero T
+	deadline := Time(0)
+	if d != Forever {
+		deadline = q.k.now + d
+	}
+	for {
+		if v, ok := q.TryRecv(); ok {
+			return v, true
+		}
+		if d == Forever {
+			p.Wait(q.avail)
+			continue
+		}
+		remain := deadline - q.k.now
+		if remain <= 0 {
+			return zero, false
+		}
+		if !p.WaitTimeout(q.avail, remain) {
+			return zero, false
+		}
+	}
+}
+
+// Drain removes and returns all queued items.
+func (q *Queue[T]) Drain() []T {
+	out := q.items
+	q.items = nil
+	return out
+}

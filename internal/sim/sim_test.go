@@ -1,0 +1,543 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{5, "5ns"},
+		{2 * Microsecond, "2us"},
+		{3 * Millisecond, "3ms"},
+		{4 * Second, "4s"},
+		{1500, "1.5us"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if got := (2500 * Millisecond).Seconds(); got != 2.5 {
+		t.Errorf("Seconds = %v, want 2.5", got)
+	}
+	if got := (3 * Millisecond).Micros(); got != 3000 {
+		t.Errorf("Micros = %v, want 3000", got)
+	}
+}
+
+func TestEventOrdering(t *testing.T) {
+	k := NewKernel(1)
+	var order []int
+	k.At(100, func() { order = append(order, 2) })
+	k.At(50, func() { order = append(order, 1) })
+	k.At(100, func() { order = append(order, 3) }) // same time: insertion order
+	k.At(200, func() { order = append(order, 4) })
+	end := k.Run()
+	if end != 200 {
+		t.Fatalf("end time = %v, want 200", end)
+	}
+	want := []int{1, 2, 3, 4}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestEventCancel(t *testing.T) {
+	k := NewKernel(1)
+	fired := false
+	h := k.At(10, func() { fired = true })
+	h.Cancel()
+	k.Run()
+	if fired {
+		t.Error("canceled event fired")
+	}
+	// Double-cancel is a no-op.
+	h.Cancel()
+}
+
+func TestAfterNegativeClamped(t *testing.T) {
+	k := NewKernel(1)
+	var at Time = -1
+	k.After(-5, func() { at = k.Now() })
+	k.Run()
+	if at != 0 {
+		t.Errorf("negative After fired at %v, want 0", at)
+	}
+}
+
+func TestAtPastClamped(t *testing.T) {
+	k := NewKernel(1)
+	var at Time = -1
+	k.At(100, func() {
+		k.At(50, func() { at = k.Now() }) // in the past: clamps to now
+	})
+	k.Run()
+	if at != 100 {
+		t.Errorf("past event fired at %v, want 100", at)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	k := NewKernel(1)
+	var fired []Time
+	for _, at := range []Time{10, 20, 30, 40} {
+		at := at
+		k.At(at, func() { fired = append(fired, at) })
+	}
+	k.RunUntil(25)
+	if len(fired) != 2 || fired[0] != 10 || fired[1] != 20 {
+		t.Fatalf("fired = %v, want [10 20]", fired)
+	}
+	if k.Now() != 25 {
+		t.Fatalf("now = %v, want 25", k.Now())
+	}
+	k.Run()
+	if len(fired) != 4 {
+		t.Fatalf("after Run fired = %v, want all 4", fired)
+	}
+}
+
+func TestStop(t *testing.T) {
+	k := NewKernel(1)
+	count := 0
+	k.At(10, func() { count++; k.Stop() })
+	k.At(20, func() { count++ })
+	k.Run()
+	if count != 1 {
+		t.Errorf("count = %d, want 1 (Stop should halt)", count)
+	}
+	if !k.Stopped() {
+		t.Error("Stopped() = false after Stop")
+	}
+}
+
+func TestProcSleep(t *testing.T) {
+	k := NewKernel(1)
+	var times []Time
+	k.Spawn("sleeper", func(p *Proc) {
+		times = append(times, p.Now())
+		p.Sleep(100)
+		times = append(times, p.Now())
+		p.Sleep(50)
+		times = append(times, p.Now())
+	})
+	k.Run()
+	defer k.Shutdown()
+	want := []Time{0, 100, 150}
+	if len(times) != 3 {
+		t.Fatalf("times = %v", times)
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("times = %v, want %v", times, want)
+		}
+	}
+	if k.LiveProcs() != 0 {
+		t.Errorf("LiveProcs = %d, want 0", k.LiveProcs())
+	}
+}
+
+func TestProcInterleaving(t *testing.T) {
+	k := NewKernel(1)
+	var order []string
+	k.Spawn("a", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			order = append(order, fmt.Sprintf("a%d@%d", i, p.Now()))
+			p.Sleep(10)
+		}
+	})
+	k.Spawn("b", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			order = append(order, fmt.Sprintf("b%d@%d", i, p.Now()))
+			p.Sleep(15)
+		}
+	})
+	k.Run()
+	defer k.Shutdown()
+	want := []string{"a0@0", "b0@0", "a1@10", "b1@15", "a2@20", "b2@30"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSignalBroadcast(t *testing.T) {
+	k := NewKernel(1)
+	s := k.NewSignal("s")
+	var woken []string
+	for _, name := range []string{"p1", "p2", "p3"} {
+		name := name
+		k.Spawn(name, func(p *Proc) {
+			p.Wait(s)
+			woken = append(woken, name)
+		})
+	}
+	k.Spawn("broadcaster", func(p *Proc) {
+		p.Sleep(100)
+		if s.Waiters() != 3 {
+			t.Errorf("Waiters = %d, want 3", s.Waiters())
+		}
+		s.Broadcast()
+	})
+	k.Run()
+	defer k.Shutdown()
+	if len(woken) != 3 || woken[0] != "p1" || woken[1] != "p2" || woken[2] != "p3" {
+		t.Fatalf("woken = %v, want [p1 p2 p3] (wait order)", woken)
+	}
+}
+
+func TestWaitTimeout(t *testing.T) {
+	k := NewKernel(1)
+	s := k.NewSignal("s")
+	var got bool
+	var at Time
+	k.Spawn("waiter", func(p *Proc) {
+		got = p.WaitTimeout(s, 50)
+		at = p.Now()
+	})
+	k.Run()
+	defer k.Shutdown()
+	if got {
+		t.Error("WaitTimeout returned true, want false (timeout)")
+	}
+	if at != 50 {
+		t.Errorf("woke at %v, want 50", at)
+	}
+}
+
+func TestWaitTimeoutSignaledFirst(t *testing.T) {
+	k := NewKernel(1)
+	s := k.NewSignal("s")
+	var got bool
+	k.Spawn("waiter", func(p *Proc) {
+		got = p.WaitTimeout(s, 1000)
+	})
+	k.Spawn("signaler", func(p *Proc) {
+		p.Sleep(10)
+		s.Broadcast()
+	})
+	k.Run()
+	defer k.Shutdown()
+	if !got {
+		t.Error("WaitTimeout returned false, want true (signaled)")
+	}
+}
+
+func TestBroadcastAfterTimeoutDoesNotWakeTimedOutWaiter(t *testing.T) {
+	k := NewKernel(1)
+	s := k.NewSignal("s")
+	wakeups := 0
+	k.Spawn("waiter", func(p *Proc) {
+		p.WaitTimeout(s, 10)
+		wakeups++
+		p.Wait(s) // waits again; should only wake on the 2nd broadcast
+		wakeups++
+	})
+	k.Spawn("signaler", func(p *Proc) {
+		p.Sleep(100)
+		s.Broadcast()
+	})
+	k.Run()
+	defer k.Shutdown()
+	if wakeups != 2 {
+		t.Errorf("wakeups = %d, want 2", wakeups)
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	k := NewKernel(1)
+	q := NewQueue[int](k, "q")
+	var got []int
+	k.Spawn("consumer", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			got = append(got, q.Recv(p))
+		}
+	})
+	k.Spawn("producer", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			p.Sleep(10)
+			q.Put(i)
+		}
+	})
+	k.Run()
+	defer k.Shutdown()
+	for i := 0; i < 5; i++ {
+		if got[i] != i {
+			t.Fatalf("got = %v, want [0 1 2 3 4]", got)
+		}
+	}
+}
+
+func TestQueueRecvTimeout(t *testing.T) {
+	k := NewKernel(1)
+	q := NewQueue[string](k, "q")
+	var ok bool
+	var at Time
+	k.Spawn("consumer", func(p *Proc) {
+		_, ok = q.RecvTimeout(p, 30)
+		at = p.Now()
+	})
+	k.Run()
+	defer k.Shutdown()
+	if ok {
+		t.Error("RecvTimeout ok = true, want false")
+	}
+	if at != 30 {
+		t.Errorf("timed out at %v, want 30", at)
+	}
+}
+
+func TestQueueRecvTimeoutDelivered(t *testing.T) {
+	k := NewKernel(1)
+	q := NewQueue[string](k, "q")
+	var ok bool
+	var v string
+	k.Spawn("consumer", func(p *Proc) {
+		v, ok = q.RecvTimeout(p, 1000)
+	})
+	k.Spawn("producer", func(p *Proc) {
+		p.Sleep(5)
+		q.Put("hello")
+	})
+	k.Run()
+	defer k.Shutdown()
+	if !ok || v != "hello" {
+		t.Errorf("got (%q, %v), want (hello, true)", v, ok)
+	}
+}
+
+func TestQueueTryRecvAndDrain(t *testing.T) {
+	k := NewKernel(1)
+	q := NewQueue[int](k, "q")
+	if _, ok := q.TryRecv(); ok {
+		t.Error("TryRecv on empty queue returned ok")
+	}
+	q.Put(1)
+	q.Put(2)
+	q.Put(3)
+	if q.Len() != 3 {
+		t.Errorf("Len = %d, want 3", q.Len())
+	}
+	if v, ok := q.TryRecv(); !ok || v != 1 {
+		t.Errorf("TryRecv = (%d, %v), want (1, true)", v, ok)
+	}
+	rest := q.Drain()
+	if len(rest) != 2 || rest[0] != 2 || rest[1] != 3 {
+		t.Errorf("Drain = %v, want [2 3]", rest)
+	}
+	if q.Len() != 0 {
+		t.Errorf("Len after Drain = %d, want 0", q.Len())
+	}
+}
+
+func TestShutdownUnblocksProcs(t *testing.T) {
+	k := NewKernel(1)
+	s := k.NewSignal("never")
+	k.Spawn("stuck1", func(p *Proc) { p.Wait(s) })
+	k.Spawn("stuck2", func(p *Proc) {
+		q := NewQueue[int](k, "empty")
+		q.Recv(p)
+	})
+	k.Run()
+	if k.LiveProcs() != 2 {
+		t.Fatalf("LiveProcs = %d, want 2 (both blocked)", k.LiveProcs())
+	}
+	k.Shutdown()
+	if k.LiveProcs() != 0 {
+		t.Fatalf("LiveProcs after Shutdown = %d, want 0", k.LiveProcs())
+	}
+}
+
+func TestOnIdleHook(t *testing.T) {
+	k := NewKernel(1)
+	calls := 0
+	s := k.NewSignal("s")
+	k.Spawn("waiter", func(p *Proc) { p.Wait(s) })
+	k.OnIdle(func() bool {
+		calls++
+		if calls == 1 {
+			s.Broadcast()
+			return true
+		}
+		return false
+	})
+	k.Run()
+	defer k.Shutdown()
+	if calls != 2 {
+		t.Errorf("idle hook calls = %d, want 2", calls)
+	}
+}
+
+func TestNewRandIndependentStreams(t *testing.T) {
+	k := NewKernel(42)
+	a1 := k.NewRand("a").Int63()
+	b1 := k.NewRand("b").Int63()
+	if a1 == b1 {
+		t.Error("streams a and b produced identical first values")
+	}
+	// Same name, same seed: reproducible.
+	k2 := NewKernel(42)
+	if got := k2.NewRand("a").Int63(); got != a1 {
+		t.Errorf("stream not reproducible: %d != %d", got, a1)
+	}
+	// Different seed: different stream.
+	k3 := NewKernel(43)
+	if got := k3.NewRand("a").Int63(); got == a1 {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+// TestDeterminism runs a small multi-process scenario twice and checks the
+// observable event sequence is identical.
+func TestDeterminism(t *testing.T) {
+	run := func() []string {
+		var log []string
+		k := NewKernel(7)
+		defer k.Shutdown()
+		q := NewQueue[int](k, "q")
+		s := k.NewSignal("s")
+		rng := k.NewRand("jitter")
+		for i := 0; i < 4; i++ {
+			i := i
+			k.Spawn(fmt.Sprintf("w%d", i), func(p *Proc) {
+				for j := 0; j < 3; j++ {
+					p.Sleep(Time(rng.Intn(50)))
+					q.Put(i*10 + j)
+					log = append(log, fmt.Sprintf("put %d@%d", i*10+j, p.Now()))
+				}
+				p.Wait(s)
+				log = append(log, fmt.Sprintf("woke %d@%d", i, p.Now()))
+			})
+		}
+		k.Spawn("collector", func(p *Proc) {
+			for j := 0; j < 12; j++ {
+				v := q.Recv(p)
+				log = append(log, fmt.Sprintf("got %d@%d", v, p.Now()))
+			}
+			s.Broadcast()
+		})
+		k.Run()
+		return log
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("divergence at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+// Property: for any batch of events scheduled at arbitrary times, they fire
+// in nondecreasing time order and same-time events fire in insertion order.
+func TestEventOrderProperty(t *testing.T) {
+	prop := func(times []uint16) bool {
+		k := NewKernel(1)
+		type rec struct {
+			at  Time
+			idx int
+		}
+		var fired []rec
+		for i, raw := range times {
+			i := i
+			at := Time(raw)
+			k.At(at, func() { fired = append(fired, rec{at, i}) })
+		}
+		k.Run()
+		if len(fired) != len(times) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i].at < fired[i-1].at {
+				return false
+			}
+			if fired[i].at == fired[i-1].at && fired[i].idx < fired[i-1].idx {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Sleep durations accumulate exactly.
+func TestSleepAccumulationProperty(t *testing.T) {
+	prop := func(ds []uint8) bool {
+		k := NewKernel(1)
+		defer k.Shutdown()
+		var total Time
+		for _, d := range ds {
+			total += Time(d)
+		}
+		var end Time = -1
+		k.Spawn("p", func(p *Proc) {
+			for _, d := range ds {
+				p.Sleep(Time(d))
+			}
+			end = p.Now()
+		})
+		k.Run()
+		return end == total
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpawnFromProc(t *testing.T) {
+	k := NewKernel(1)
+	var childRan bool
+	k.Spawn("parent", func(p *Proc) {
+		p.Sleep(10)
+		k.Spawn("child", func(c *Proc) {
+			c.Sleep(5)
+			childRan = true
+		})
+		p.Sleep(100)
+	})
+	k.Run()
+	defer k.Shutdown()
+	if !childRan {
+		t.Error("child process did not run")
+	}
+}
+
+func TestYield(t *testing.T) {
+	k := NewKernel(1)
+	var order []string
+	k.Spawn("a", func(p *Proc) {
+		order = append(order, "a1")
+		p.Yield()
+		order = append(order, "a2")
+	})
+	k.Spawn("b", func(p *Proc) {
+		order = append(order, "b1")
+	})
+	k.Run()
+	defer k.Shutdown()
+	// a runs first (spawned first), yields, b runs, then a resumes.
+	want := []string{"a1", "b1", "a2"}
+	for i := range want {
+		if i >= len(order) || order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
