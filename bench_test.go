@@ -135,6 +135,29 @@ func BenchmarkMachineStep(b *testing.B) {
 	}
 }
 
+// BenchmarkMachineRun measures the batched executor on the same loop:
+// the translated-run fast path that the hypervisor and bare drivers use.
+func BenchmarkMachineRun(b *testing.B) {
+	p := asm.MustAssemble("bench.s", `
+	loop:
+		addi r1, r1, 1
+		xor  r2, r2, r1
+		slli r3, r1, 2
+		add  r2, r2, r3
+		b loop
+	`)
+	m := machine.New(machine.Config{})
+	m.LoadProgram(p.Origin, p.Words, 0)
+	b.ResetTimer()
+	for n := uint64(b.N); n > 0; {
+		rr := m.Run(n)
+		n -= rr.Executed
+		if rr.Trap != 0 || rr.Halted {
+			b.Fatalf("unexpected exit: %+v", rr.StepResult)
+		}
+	}
+}
+
 // BenchmarkHypervisorEpoch measures the cost of running one epoch under
 // the hypervisor (simulation-host time, not virtual time).
 func BenchmarkHypervisorEpoch(b *testing.B) {

@@ -3,32 +3,78 @@
 //
 // Usage:
 //
-//	hftbench [-table1] [-fig2] [-fig3] [-fig4] [-all] [-scale quick|paper]
+//	hftbench [-table1] [-fig2] [-fig3] [-fig4] [-ablation] [-all]
+//	         [-scale quick|paper] [-parallel N] [-json]
 //
 // Each experiment prints the simulator's measured normalized
 // performance beside the paper's published values. Absolute agreement
 // is not the goal (the substrate is a calibrated simulator, not two HP
 // 9000/720s); the shape — who wins, by what factor, where the curves
 // bend — is.
+//
+// -parallel N fans the independent simulations of each experiment
+// across N worker goroutines (0 = all CPUs). Every simulation is
+// self-contained and deterministic, so the output is identical at any
+// parallelism. -json emits the results as machine-readable JSON
+// (normalized performance per figure point) for trajectory tracking.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 
 	"repro/internal/harness"
 )
 
+// jsonPoint is a FigurePoint with NaN ("not measured") encoded as null.
+type jsonPoint struct {
+	EL        float64  `json:"el"`
+	Predicted float64  `json:"predicted"`
+	Measured  *float64 `json:"measured"`
+}
+
+func toJSONPoints(pts []harness.FigurePoint) []jsonPoint {
+	out := make([]jsonPoint, len(pts))
+	for i, p := range pts {
+		out[i] = jsonPoint{EL: p.EL, Predicted: p.Predicted}
+		if !math.IsNaN(p.Measured) {
+			m := p.Measured
+			out[i].Measured = &m
+		}
+	}
+	return out
+}
+
+// jsonOutput is the -json document: one object per requested experiment.
+type jsonOutput struct {
+	Scale    string                   `json:"scale"`
+	Parallel int                      `json:"parallel"`
+	Figure2  *jsonFigure2             `json:"figure2,omitempty"`
+	Figure3  map[string][]jsonPoint   `json:"figure3,omitempty"`
+	Figure4  map[string][]jsonPoint   `json:"figure4,omitempty"`
+	Table1   []harness.Table1Row      `json:"table1,omitempty"`
+	Ablation []harness.AblationResult `json:"ablation,omitempty"`
+}
+
+type jsonFigure2 struct {
+	Points   []jsonPoint `json:"points"`
+	Endpoint jsonPoint   `json:"endpoint"`
+}
+
 func main() {
 	var (
-		table1 = flag.Bool("table1", false, "regenerate Table 1 (old vs new protocol)")
-		fig2   = flag.Bool("fig2", false, "regenerate Figure 2 (CPU-intensive workload)")
-		fig3   = flag.Bool("fig3", false, "regenerate Figure 3 (I/O workloads)")
-		fig4   = flag.Bool("fig4", false, "regenerate Figure 4 (faster communication)")
-		ablate = flag.Bool("ablation", false, "run the §3.2 TLB-takeover ablation")
-		all    = flag.Bool("all", false, "regenerate everything")
-		scaleN = flag.String("scale", "quick", "workload scale: quick or paper")
+		table1   = flag.Bool("table1", false, "regenerate Table 1 (old vs new protocol)")
+		fig2     = flag.Bool("fig2", false, "regenerate Figure 2 (CPU-intensive workload)")
+		fig3     = flag.Bool("fig3", false, "regenerate Figure 3 (I/O workloads)")
+		fig4     = flag.Bool("fig4", false, "regenerate Figure 4 (faster communication)")
+		ablate   = flag.Bool("ablation", false, "run the §3.2 TLB-takeover ablation")
+		all      = flag.Bool("all", false, "regenerate everything")
+		scaleN   = flag.String("scale", "quick", "workload scale: quick or paper")
+		parallel = flag.Int("parallel", 1, "concurrent simulations per experiment (0 = all CPUs)")
+		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON instead of text")
 	)
 	flag.Parse()
 
@@ -42,6 +88,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "hftbench: unknown scale %q\n", *scaleN)
 		os.Exit(2)
 	}
+	harness.SetWorkers(*parallel)
 	if *all {
 		*table1, *fig2, *fig3, *fig4, *ablate = true, true, true, true, true
 	}
@@ -50,33 +97,68 @@ func main() {
 		os.Exit(2)
 	}
 
+	out := jsonOutput{Scale: scale.Name, Parallel: harness.Workers()}
+
 	if *fig2 {
 		points, end := harness.Figure2(scale)
-		fmt.Println(harness.FormatFigure(
-			"Figure 2. CPU-Intensive Workload (predicted NPC(EL) at paper parameters; measured on simulator)",
-			map[string][]harness.FigurePoint{"CPU": points}, []string{"CPU"}))
-		fmt.Printf("Endpoint: EL=%d (HP-UX max) predicted NP=%.2f (paper: 1.24)\n\n",
-			int(end.EL), end.Predicted)
+		if *jsonOut {
+			ep := toJSONPoints([]harness.FigurePoint{end})[0]
+			out.Figure2 = &jsonFigure2{Points: toJSONPoints(points), Endpoint: ep}
+		} else {
+			fmt.Println(harness.FormatFigure(
+				"Figure 2. CPU-Intensive Workload (predicted NPC(EL) at paper parameters; measured on simulator)",
+				map[string][]harness.FigurePoint{"CPU": points}, []string{"CPU"}))
+			fmt.Printf("Endpoint: EL=%d (HP-UX max) predicted NP=%.2f (paper: 1.24)\n\n",
+				int(end.EL), end.Predicted)
+		}
 	}
 	if *fig3 {
 		write, read := harness.Figure3(scale)
-		fmt.Println(harness.FormatFigure(
-			"Figure 3. Input/Output Workloads (NPW/NPR(EL))",
-			map[string][]harness.FigurePoint{"Disk Write": write, "Disk Read": read},
-			[]string{"Disk Write", "Disk Read"}))
+		if *jsonOut {
+			out.Figure3 = map[string][]jsonPoint{
+				"write": toJSONPoints(write), "read": toJSONPoints(read)}
+		} else {
+			fmt.Println(harness.FormatFigure(
+				"Figure 3. Input/Output Workloads (NPW/NPR(EL))",
+				map[string][]harness.FigurePoint{"Disk Write": write, "Disk Read": read},
+				[]string{"Disk Write", "Disk Read"}))
+		}
 	}
 	if *fig4 {
 		eth, atm := harness.Figure4(scale)
-		fmt.Println(harness.FormatFigure(
-			"Figure 4. Faster Communication (10 Mbps Ethernet vs 155 Mbps ATM)",
-			map[string][]harness.FigurePoint{"Ethernet": eth, "ATM": atm},
-			[]string{"Ethernet", "ATM"}))
+		if *jsonOut {
+			out.Figure4 = map[string][]jsonPoint{
+				"ethernet": toJSONPoints(eth), "atm": toJSONPoints(atm)}
+		} else {
+			fmt.Println(harness.FormatFigure(
+				"Figure 4. Faster Communication (10 Mbps Ethernet vs 155 Mbps ATM)",
+				map[string][]harness.FigurePoint{"Ethernet": eth, "ATM": atm},
+				[]string{"Ethernet", "ATM"}))
+		}
 	}
 	if *table1 {
 		rows := harness.Table1(scale)
-		fmt.Println(harness.FormatTable1(rows))
+		if *jsonOut {
+			out.Table1 = rows
+		} else {
+			fmt.Println(harness.FormatTable1(rows))
+		}
 	}
 	if *ablate {
-		fmt.Println(harness.FormatAblation(harness.TLBAblation()))
+		rows := harness.TLBAblation()
+		if *jsonOut {
+			out.Ablation = rows
+		} else {
+			fmt.Println(harness.FormatAblation(rows))
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "hftbench: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

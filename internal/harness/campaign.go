@@ -28,11 +28,14 @@ type CampaignResult struct {
 //
 // Returns one result per injection time. times values at or beyond the
 // workload's natural completion exercise the no-failover path.
+// Each injection is an independent replicated simulation, so the sweep
+// fans across SetWorkers goroutines; results keep the order of times.
 func FailureCampaign(scale Scale, kind uint32, el uint64, proto replication.Protocol, times []sim.Time) []CampaignResult {
 	w := scale.workload(kind)
 	bare := RunBare(1, w, scale.Disk)
-	var out []CampaignResult
-	for _, at := range times {
+	out := make([]CampaignResult, len(times))
+	forEach(len(times), func(i int) {
+		at := times[i]
 		r := CampaignResult{FailAt: at}
 		repl := RunReplicated(ReplicatedOptions{
 			Seed: 1, Workload: w, Disk: scale.Disk,
@@ -49,8 +52,8 @@ func FailureCampaign(scale Scale, kind uint32, el uint64, proto replication.Prot
 		default:
 			r.Consistent = true
 		}
-		out = append(out, r)
-	}
+		out[i] = r
+	})
 	return out
 }
 

@@ -33,32 +33,51 @@ var workloadKinds = map[string]uint32{
 
 // Table1 regenerates the paper's Table 1 on the simulator: the three
 // workloads at epoch lengths 1K/2K/4K/8K under the original (§2) and
-// revised (§4.3) protocols.
+// revised (§4.3) protocols. The three bare baselines and the 24 table
+// cells are all independent simulations, fanned across SetWorkers
+// goroutines; rows are assembled in fixed order afterwards.
 func Table1(scale Scale) []Table1Row {
 	paper := perfmodel.Table1Paper()
-	var rows []Table1Row
-	for _, wl := range []string{"cpu", "write", "read"} {
-		kind := workloadKinds[wl]
-		w := scale.workload(kind)
-		bare := RunBare(1, w, scale.Disk)
-		for _, el := range []uint64{1024, 2048, 4096, 8192} {
-			row := Table1Row{Workload: wl, EL: el}
-			row.PaperOld = paper[wl][int(el)][0]
-			row.PaperNew = paper[wl][int(el)][1]
-			for _, proto := range []replication.Protocol{replication.ProtocolOld, replication.ProtocolNew} {
-				repl := RunReplicated(ReplicatedOptions{
-					Seed: 1, Workload: w, Disk: scale.Disk,
-					EpochLength: el, Protocol: proto,
-				})
-				check(bare, repl)
-				np := float64(repl.Time) / float64(bare.Time)
-				if proto == replication.ProtocolOld {
-					row.OldNP = np
-				} else {
-					row.NewNP = np
-				}
+	workloads := []string{"cpu", "write", "read"}
+	els := []uint64{1024, 2048, 4096, 8192}
+	protos := []replication.Protocol{replication.ProtocolOld, replication.ProtocolNew}
+
+	bares := make([]RunResult, len(workloads))
+	forEach(len(workloads), func(i int) {
+		bares[i] = RunBare(1, scale.workload(workloadKinds[workloads[i]]), scale.Disk)
+	})
+
+	type cell struct{ wl, el, proto int }
+	var cells []cell
+	for wi := range workloads {
+		for ei := range els {
+			for pi := range protos {
+				cells = append(cells, cell{wi, ei, pi})
 			}
-			rows = append(rows, row)
+		}
+	}
+	nps := make([]float64, len(cells))
+	forEach(len(cells), func(i int) {
+		c := cells[i]
+		w := scale.workload(workloadKinds[workloads[c.wl]])
+		repl := RunReplicated(ReplicatedOptions{
+			Seed: 1, Workload: w, Disk: scale.Disk,
+			EpochLength: els[c.el], Protocol: protos[c.proto],
+		})
+		check(bares[c.wl], repl)
+		nps[i] = float64(repl.Time) / float64(bares[c.wl].Time)
+	})
+
+	var rows []Table1Row
+	for i, c := range cells {
+		if c.proto == 0 {
+			wl, el := workloads[c.wl], els[c.el]
+			rows = append(rows, Table1Row{
+				Workload: wl, EL: el,
+				OldNP: nps[i], NewNP: nps[i+1],
+				PaperOld: paper[wl][int(el)][0],
+				PaperNew: paper[wl][int(el)][1],
+			})
 		}
 	}
 	return rows
@@ -99,13 +118,20 @@ type FigurePoint struct {
 
 // Figure2 regenerates the CPU-intensive figure: the analytic NPC curve
 // at paper parameters over 1K..32K, simulator measurements at the
-// paper's measured epoch lengths, and the 385K endpoint.
+// paper's measured epoch lengths, and the 385K endpoint. The measured
+// grid points run concurrently against one shared bare baseline.
 func Figure2(scale Scale) (points []FigurePoint, endpoint FigurePoint) {
 	p := perfmodel.PaperCPU()
+	w := scale.workload(guest.WorkloadCPU)
+	bare := RunBare(1, w, scale.Disk)
+	grid := perfmodel.MeasuredGrid()
+	nps := make([]float64, len(grid))
+	forEach(len(grid), func(i int) {
+		nps[i], _ = measureAgainst(bare, scale, w, uint64(grid[i]), replication.ProtocolOld, netsim.LinkConfig{})
+	})
 	measured := map[float64]float64{}
-	for _, el := range perfmodel.MeasuredGrid() {
-		np, _, _ := Measure(scale, guest.WorkloadCPU, uint64(el), replication.ProtocolOld, netsim.LinkConfig{})
-		measured[el] = np
+	for i, el := range grid {
+		measured[el] = nps[i]
 	}
 	for _, el := range perfmodel.StandardGrid() {
 		fp := FigurePoint{EL: el, Predicted: perfmodel.NPC(p, el), Measured: math.NaN()}
@@ -123,16 +149,27 @@ func Figure2(scale Scale) (points []FigurePoint, endpoint FigurePoint) {
 }
 
 // Figure3 regenerates the I/O figure: predicted NPW/NPR curves plus
-// simulator measurements for the disk write and read benchmarks.
+// simulator measurements for the disk write and read benchmarks. The
+// two baselines and the 2×grid measurement matrix run concurrently.
 func Figure3(scale Scale) (write, read []FigurePoint) {
 	w, r := perfmodel.PaperWrite(), perfmodel.PaperRead()
+	grid := perfmodel.MeasuredGrid()
+	kinds := []uint32{guest.WorkloadDiskWrite, guest.WorkloadDiskRead}
+	bares := make([]RunResult, len(kinds))
+	forEach(len(kinds), func(i int) {
+		bares[i] = RunBare(1, scale.workload(kinds[i]), scale.Disk)
+	})
+	nps := make([]float64, 2*len(grid))
+	forEach(len(nps), func(i int) {
+		k, gi := i/len(grid), i%len(grid)
+		nps[i], _ = measureAgainst(bares[k], scale, scale.workload(kinds[k]),
+			uint64(grid[gi]), replication.ProtocolOld, netsim.LinkConfig{})
+	})
 	mw := map[float64]float64{}
 	mr := map[float64]float64{}
-	for _, el := range perfmodel.MeasuredGrid() {
-		np, _, _ := Measure(scale, guest.WorkloadDiskWrite, uint64(el), replication.ProtocolOld, netsim.LinkConfig{})
-		mw[el] = np
-		np, _, _ = Measure(scale, guest.WorkloadDiskRead, uint64(el), replication.ProtocolOld, netsim.LinkConfig{})
-		mr[el] = np
+	for i, el := range grid {
+		mw[el] = nps[i]
+		mr[el] = nps[len(grid)+i]
 	}
 	for _, el := range perfmodel.StandardGrid() {
 		fw := FigurePoint{EL: el, Predicted: perfmodel.NPIO(w, el), Measured: math.NaN()}
@@ -156,13 +193,20 @@ func Figure4(scale Scale) (ethernet, atm []FigurePoint) {
 	base := perfmodel.PaperCPU()
 	ethModel := base.WithHEpoch(perfmodel.Ethernet10Model().HEpoch())
 	atmModel := base.WithHEpoch(perfmodel.ATM155Model().HEpoch())
+	w := scale.workload(guest.WorkloadCPU)
+	bare := RunBare(1, w, scale.Disk)
+	grid := perfmodel.MeasuredGrid()
+	links := []netsim.LinkConfig{netsim.Ethernet10(""), netsim.ATM155("")}
+	nps := make([]float64, 2*len(grid))
+	forEach(len(nps), func(i int) {
+		l, gi := i/len(grid), i%len(grid)
+		nps[i], _ = measureAgainst(bare, scale, w, uint64(grid[gi]), replication.ProtocolOld, links[l])
+	})
 	me := map[float64]float64{}
 	ma := map[float64]float64{}
-	for _, el := range perfmodel.MeasuredGrid() {
-		np, _, _ := Measure(scale, guest.WorkloadCPU, uint64(el), replication.ProtocolOld, netsim.Ethernet10(""))
-		me[el] = np
-		np, _, _ = Measure(scale, guest.WorkloadCPU, uint64(el), replication.ProtocolOld, netsim.ATM155(""))
-		ma[el] = np
+	for i, el := range grid {
+		me[el] = nps[i]
+		ma[el] = nps[len(grid)+i]
 	}
 	for _, el := range perfmodel.StandardGrid() {
 		fe := FigurePoint{EL: el, Predicted: perfmodel.NPC(ethModel, el), Measured: math.NaN()}
@@ -235,29 +279,39 @@ type AblationResult struct {
 // TLBAblation runs the §3.2 demonstration matrix: the memory-stride
 // workload under {random, lru} TLB replacement × {takeover on, off}.
 // The hazard (divergence) must appear exactly in the random+off cell.
+// The four cells are independent replicated runs, fanned concurrently.
 func TLBAblation() []AblationResult {
-	var out []AblationResult
+	type cfg struct {
+		policy   string
+		takeover bool
+	}
+	var cfgs []cfg
 	for _, policy := range []string{"random", "lru"} {
 		for _, takeover := range []bool{true, false} {
-			div := 0
-			res := RunReplicated(ReplicatedOptions{
-				Seed:          1,
-				Workload:      guest.MemoryStride(20000),
-				EpochLength:   2048,
-				Protocol:      replication.ProtocolOld,
-				Machine:       machine.Config{TLBSize: 8, TLBPolicy: policy},
-				NoTLBTakeover: !takeover,
-				OnDivergence:  func(uint64, uint64, uint64) { div++ },
-			})
-			out = append(out, AblationResult{
-				Policy:      policy,
-				Takeover:    takeover,
-				Divergences: div,
-				TLBFills:    res.HVStats.TLBFills,
-				GuestPanic:  res.Guest.Panic,
-			})
+			cfgs = append(cfgs, cfg{policy, takeover})
 		}
 	}
+	out := make([]AblationResult, len(cfgs))
+	forEach(len(cfgs), func(i int) {
+		c := cfgs[i]
+		div := 0
+		res := RunReplicated(ReplicatedOptions{
+			Seed:          1,
+			Workload:      guest.MemoryStride(20000),
+			EpochLength:   2048,
+			Protocol:      replication.ProtocolOld,
+			Machine:       machine.Config{TLBSize: 8, TLBPolicy: c.policy},
+			NoTLBTakeover: !c.takeover,
+			OnDivergence:  func(uint64, uint64, uint64) { div++ },
+		})
+		out[i] = AblationResult{
+			Policy:      c.policy,
+			Takeover:    c.takeover,
+			Divergences: div,
+			TLBFills:    res.HVStats.TLBFills,
+			GuestPanic:  res.Guest.Panic,
+		}
+	})
 	return out
 }
 

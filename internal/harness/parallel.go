@@ -1,0 +1,76 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Every simulation the harness runs — one bare or replicated boot of the
+// guest — is self-contained: it owns its simulation kernel, machines,
+// devices and links, and is deterministic in its inputs. Experiment
+// drivers therefore fan independent simulations (figure points, table
+// cells, campaign injections) across worker goroutines and slot results
+// by index, so the assembled output is bit-for-bit identical at any
+// worker count.
+
+var workerCount atomic.Int64
+
+func init() { workerCount.Store(1) }
+
+// SetWorkers sets how many simulations experiment drivers run
+// concurrently. n < 1 selects GOMAXPROCS. The default is 1 (serial).
+func SetWorkers(n int) {
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	workerCount.Store(int64(n))
+}
+
+// Workers returns the configured concurrency.
+func Workers() int { return int(workerCount.Load()) }
+
+// forEach runs fn(i) for every i in [0, n), fanning across Workers()
+// goroutines. fn must communicate results through index-addressed slots;
+// forEach imposes no output ordering of its own. A panic in any worker
+// (the harness's consistency checks panic) is re-raised on the caller.
+func forEach(n int, fn func(i int)) {
+	w := Workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicked atomic.Value
+	)
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicked.CompareAndSwap(nil, fmt.Sprintf("%v", r))
+				}
+			}()
+			for panicked.Load() == nil {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if p := panicked.Load(); p != nil {
+		panic(fmt.Sprintf("harness: worker: %v", p))
+	}
+}

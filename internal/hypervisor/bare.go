@@ -58,25 +58,18 @@ func (b *Bare) Run(p *sim.Proc) {
 		if m.Cycles() > b.MaxInstructions {
 			panic(fmt.Sprintf("bare: guest exceeded %d instructions", b.MaxInstructions))
 		}
-		before := m.Cycles()
-		var res machine.StepResult
-		for i := 0; i < b.ChunkSize; i++ {
-			res = m.Step()
-			if res.Trap != isa.TrapNone || res.Halted || res.Idle || res.Diag != 0 {
-				break
-			}
-		}
-		if d := m.Cycles() - before; d > 0 {
-			p.Sleep(sim.Time(d) * b.InstructionTime)
+		rr := m.Run(uint64(b.ChunkSize))
+		if rr.Executed > 0 {
+			p.Sleep(sim.Time(rr.Executed) * b.InstructionTime)
 		}
 		switch {
-		case res.Trap != isa.TrapNone:
+		case rr.Trap != isa.TrapNone:
 			// Hardware interruption sequence: this is what a bare
 			// PA-lite machine does for every trap.
-			m.DeliverTrap(res.Trap, res.ISR, res.IOR)
-		case res.Halted:
+			m.DeliverTrap(rr.Trap, rr.ISR, rr.IOR)
+		case rr.Halted:
 			b.halted = true
-		case res.Idle:
+		case rr.Idle:
 			// WFI: idle until some interrupt line rises. Device events
 			// are scheduled in the kernel; sleep event-to-event.
 			for !m.IRQRaised() {
@@ -91,9 +84,9 @@ func (b *Bare) Run(p *sim.Proc) {
 				p.Sleep(d)
 				p.Yield() // let the event's effects (IRQ raise) land
 			}
-		case res.Diag != 0:
+		case rr.Diag != 0:
 			if b.OnDiag != nil {
-				b.OnDiag(res.Diag - 1)
+				b.OnDiag(rr.Diag - 1)
 			}
 		}
 	}

@@ -28,7 +28,9 @@ func (hv *Hypervisor) RunEpoch(p *sim.Proc) Boundary {
 			break
 		}
 		// Arm the recovery counter for the remainder of the epoch: the
-		// Instruction-Stream Interrupt Assumption in action.
+		// Instruction-Stream Interrupt Assumption in action. The batched
+		// executor turns it into an instruction budget instead of a
+		// per-step control-register check.
 		remaining := target - hv.guestInstr
 		m.CRs[isa.CRRCTR] = uint32(remaining)
 
@@ -37,36 +39,28 @@ func (hv *Hypervisor) RunEpoch(p *sim.Proc) Boundary {
 		if chunk > remaining {
 			chunk = remaining
 		}
-		before := m.Cycles()
-		var res machine.StepResult
-		for executed := uint64(0); executed < chunk; executed++ {
-			res = m.Step()
-			if res.Trap != isa.TrapNone || res.Halted || res.Diag != 0 {
-				break
-			}
-		}
-		executed := m.Cycles() - before
-		hv.guestInstr += executed
-		hv.Stats.GuestInstructions += executed
-		if executed > 0 {
-			p.Sleep(sim.Time(executed) * cost.InstructionTime)
+		rr := m.Run(chunk)
+		hv.guestInstr += rr.Executed
+		hv.Stats.GuestInstructions += rr.Executed
+		if rr.Executed > 0 {
+			p.Sleep(sim.Time(rr.Executed) * cost.InstructionTime)
 		}
 		// Poll real device lines raised while the chunk ran (P1 capture).
 		hv.pollDevices()
 
 		switch {
-		case res.Trap == isa.TrapRecovery:
+		case rr.Trap == isa.TrapRecovery:
 			// Epoch boundary reached exactly.
 			if hv.guestInstr != target {
 				panic(fmt.Sprintf("hypervisor: recovery trap at %d, target %d",
 					hv.guestInstr, target))
 			}
-		case res.Trap != isa.TrapNone:
-			hv.handleTrap(p, res)
-		case res.Halted:
+		case rr.Trap != isa.TrapNone:
+			hv.handleTrap(p, rr.StepResult)
+		case rr.Halted:
 			hv.halted = true
-		case res.Diag != 0:
-			hv.handleDiagAtPL0(res)
+		case rr.Diag != 0:
+			hv.handleDiagAtPL0(rr.StepResult)
 		}
 	}
 

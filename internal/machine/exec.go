@@ -100,56 +100,60 @@ func (m *Machine) reg(r isa.Reg) uint32 {
 	return m.Regs[r]
 }
 
+// okAt retires the current instruction with next as the new PC.
+func (m *Machine) okAt(next uint32) StepResult {
+	m.PC = next
+	return m.retire(StepResult{})
+}
+
+// trapAt reports a synchronous trap (architected state unchanged).
+func (m *Machine) trapAt(t isa.Trap, isr, ior uint32) StepResult {
+	m.Stats.Traps++
+	return StepResult{Trap: t, ISR: isr, IOR: ior}
+}
+
 // execute runs a decoded instruction. PC still points at it.
 func (m *Machine) execute(in isa.Inst, raw uint32) StepResult {
 	next := m.PC + 4
-	ok := func() StepResult {
-		m.PC = next
-		return m.retire(StepResult{})
-	}
-	trap := func(t isa.Trap, isr, ior uint32) StepResult {
-		m.Stats.Traps++
-		return StepResult{Trap: t, ISR: isr, IOR: ior}
-	}
 
 	switch in.Op {
 	case isa.OpADD:
 		m.setReg(in.Rd, m.reg(in.R1)+m.reg(in.R2))
-		return ok()
+		return m.okAt(next)
 	case isa.OpSUB:
 		m.setReg(in.Rd, m.reg(in.R1)-m.reg(in.R2))
-		return ok()
+		return m.okAt(next)
 	case isa.OpAND:
 		m.setReg(in.Rd, m.reg(in.R1)&m.reg(in.R2))
-		return ok()
+		return m.okAt(next)
 	case isa.OpOR:
 		m.setReg(in.Rd, m.reg(in.R1)|m.reg(in.R2))
-		return ok()
+		return m.okAt(next)
 	case isa.OpXOR:
 		m.setReg(in.Rd, m.reg(in.R1)^m.reg(in.R2))
-		return ok()
+		return m.okAt(next)
 	case isa.OpSLL:
 		m.setReg(in.Rd, m.reg(in.R1)<<(m.reg(in.R2)&31))
-		return ok()
+		return m.okAt(next)
 	case isa.OpSRL:
 		m.setReg(in.Rd, m.reg(in.R1)>>(m.reg(in.R2)&31))
-		return ok()
+		return m.okAt(next)
 	case isa.OpSRA:
 		m.setReg(in.Rd, uint32(int32(m.reg(in.R1))>>(m.reg(in.R2)&31)))
-		return ok()
+		return m.okAt(next)
 	case isa.OpSLT:
 		m.setReg(in.Rd, b2u(int32(m.reg(in.R1)) < int32(m.reg(in.R2))))
-		return ok()
+		return m.okAt(next)
 	case isa.OpSLTU:
 		m.setReg(in.Rd, b2u(m.reg(in.R1) < m.reg(in.R2)))
-		return ok()
+		return m.okAt(next)
 	case isa.OpMUL:
 		m.setReg(in.Rd, m.reg(in.R1)*m.reg(in.R2))
-		return ok()
+		return m.okAt(next)
 	case isa.OpDIV:
 		d := int32(m.reg(in.R2))
 		if d == 0 {
-			return trap(isa.TrapArith, raw, m.PC)
+			return m.trapAt(isa.TrapArith, raw, m.PC)
 		}
 		n := int32(m.reg(in.R1))
 		if n == -1<<31 && d == -1 {
@@ -157,11 +161,11 @@ func (m *Machine) execute(in isa.Inst, raw uint32) StepResult {
 		} else {
 			m.setReg(in.Rd, uint32(n/d))
 		}
-		return ok()
+		return m.okAt(next)
 	case isa.OpREM:
 		d := int32(m.reg(in.R2))
 		if d == 0 {
-			return trap(isa.TrapArith, raw, m.PC)
+			return m.trapAt(isa.TrapArith, raw, m.PC)
 		}
 		n := int32(m.reg(in.R1))
 		if n == -1<<31 && d == -1 {
@@ -169,38 +173,38 @@ func (m *Machine) execute(in isa.Inst, raw uint32) StepResult {
 		} else {
 			m.setReg(in.Rd, uint32(n%d))
 		}
-		return ok()
+		return m.okAt(next)
 
 	case isa.OpADDI:
 		m.setReg(in.Rd, m.reg(in.R1)+uint32(in.Imm))
-		return ok()
+		return m.okAt(next)
 	case isa.OpANDI:
 		m.setReg(in.Rd, m.reg(in.R1)&uint32(in.Imm))
-		return ok()
+		return m.okAt(next)
 	case isa.OpORI:
 		m.setReg(in.Rd, m.reg(in.R1)|uint32(in.Imm))
-		return ok()
+		return m.okAt(next)
 	case isa.OpXORI:
 		m.setReg(in.Rd, m.reg(in.R1)^uint32(in.Imm))
-		return ok()
+		return m.okAt(next)
 	case isa.OpSLTI:
 		m.setReg(in.Rd, b2u(int32(m.reg(in.R1)) < in.Imm))
-		return ok()
+		return m.okAt(next)
 	case isa.OpSLTIU:
 		m.setReg(in.Rd, b2u(m.reg(in.R1) < uint32(in.Imm)))
-		return ok()
+		return m.okAt(next)
 	case isa.OpSLLI:
 		m.setReg(in.Rd, m.reg(in.R1)<<uint32(in.Imm))
-		return ok()
+		return m.okAt(next)
 	case isa.OpSRLI:
 		m.setReg(in.Rd, m.reg(in.R1)>>uint32(in.Imm))
-		return ok()
+		return m.okAt(next)
 	case isa.OpSRAI:
 		m.setReg(in.Rd, uint32(int32(m.reg(in.R1))>>uint32(in.Imm)))
-		return ok()
+		return m.okAt(next)
 	case isa.OpLUI:
 		m.setReg(in.Rd, uint32(in.Imm)<<11)
-		return ok()
+		return m.okAt(next)
 
 	case isa.OpLDW, isa.OpLDH, isa.OpLDB:
 		size := 4
@@ -212,19 +216,19 @@ func (m *Machine) execute(in isa.Inst, raw uint32) StepResult {
 		}
 		va := m.reg(in.R1) + uint32(in.Imm)
 		if va%uint32(size) != 0 {
-			return trap(isa.TrapAlign, 0, va)
+			return m.trapAt(isa.TrapAlign, 0, va)
 		}
 		pa, tr := m.translate(va, accessRead)
 		if tr != isa.TrapNone {
-			return trap(tr, 0, va)
+			return m.trapAt(tr, 0, va)
 		}
 		v, tr := m.loadPhys(pa, size)
 		if tr != isa.TrapNone {
-			return trap(tr, 0, va)
+			return m.trapAt(tr, 0, va)
 		}
 		m.setReg(in.Rd, v)
 		m.Stats.Loads++
-		return ok()
+		return m.okAt(next)
 
 	case isa.OpSTW, isa.OpSTH, isa.OpSTB:
 		size := 4
@@ -236,17 +240,17 @@ func (m *Machine) execute(in isa.Inst, raw uint32) StepResult {
 		}
 		va := m.reg(in.R1) + uint32(in.Imm)
 		if va%uint32(size) != 0 {
-			return trap(isa.TrapAlign, 0, va)
+			return m.trapAt(isa.TrapAlign, 0, va)
 		}
 		pa, tr := m.translate(va, accessWrite)
 		if tr != isa.TrapNone {
-			return trap(tr, 0, va)
+			return m.trapAt(tr, 0, va)
 		}
 		if tr := m.storePhys(pa, size, m.reg(in.Rd)); tr != isa.TrapNone {
-			return trap(tr, 0, va)
+			return m.trapAt(tr, 0, va)
 		}
 		m.Stats.Stores++
-		return ok()
+		return m.okAt(next)
 
 	case isa.OpBEQ, isa.OpBNE, isa.OpBLT, isa.OpBGE, isa.OpBLTU, isa.OpBGEU:
 		a, b := m.reg(in.R1), m.reg(in.R2)
@@ -269,7 +273,7 @@ func (m *Machine) execute(in isa.Inst, raw uint32) StepResult {
 			next = m.PC + 4 + uint32(in.Imm)*4
 		}
 		m.Stats.Branches++
-		return ok()
+		return m.okAt(next)
 
 	case isa.OpBL:
 		// Branch and link. Like PA-RISC, the CURRENT PRIVILEGE LEVEL is
@@ -279,29 +283,29 @@ func (m *Machine) execute(in isa.Inst, raw uint32) StepResult {
 		m.setReg(in.Rd, (m.PC+4)|m.PL())
 		next = m.PC + 4 + uint32(in.Imm)*4
 		m.Stats.Branches++
-		return ok()
+		return m.okAt(next)
 
 	case isa.OpBV:
 		next = m.reg(in.R1) &^ 3
 		m.Stats.Branches++
-		return ok()
+		return m.okAt(next)
 
 	case isa.OpGATE:
 		// Gateway: deposits the return address (with privilege bits, like
 		// BL) and traps to the Gate vector, promoting to PL 0 via the
 		// interruption sequence. The kernel's gate handler dispatches.
 		m.setReg(in.Rd, (m.PC+4)|m.PL())
-		return trap(isa.TrapGate, 0, m.PC)
+		return m.trapAt(isa.TrapGate, 0, m.PC)
 
 	case isa.OpMFCTL:
 		m.setReg(in.Rd, m.ReadCR(isa.CR(in.Imm)))
 		m.Stats.Privileged++
-		return ok()
+		return m.okAt(next)
 
 	case isa.OpMTCTL:
 		m.WriteCR(isa.CR(in.Imm), m.reg(in.R1))
 		m.Stats.Privileged++
-		return ok()
+		return m.okAt(next)
 
 	case isa.OpRFI:
 		m.PSW = m.CRs[isa.CRIPSW] &^ isa.PSWDefect
@@ -310,7 +314,7 @@ func (m *Machine) execute(in isa.Inst, raw uint32) StepResult {
 		return m.retire(StepResult{})
 
 	case isa.OpBREAK:
-		return trap(isa.TrapBreak, uint32(in.Imm), m.PC)
+		return m.trapAt(isa.TrapBreak, uint32(in.Imm), m.PC)
 
 	case isa.OpHALT:
 		m.halted = true
@@ -334,12 +338,12 @@ func (m *Machine) execute(in isa.Inst, raw uint32) StepResult {
 			Flags: v & isa.TLBPermMask,
 		})
 		m.Stats.Privileged++
-		return ok()
+		return m.okAt(next)
 
 	case isa.OpPTLB:
 		m.TLB.Purge()
 		m.Stats.Privileged++
-		return ok()
+		return m.okAt(next)
 
 	case isa.OpPROBE:
 		va := m.reg(in.R1)
@@ -350,14 +354,14 @@ func (m *Machine) execute(in isa.Inst, raw uint32) StepResult {
 		if m.PSW&isa.PSWV == 0 {
 			allowed := !m.InMMIO(va) || m.PL() == 0
 			m.setReg(in.Rd, b2u(allowed))
-			return ok()
+			return m.okAt(next)
 		}
 		e, found := m.TLB.Probe(va >> isa.PageShift)
 		if !found {
-			return trap(isa.TrapDTLBMiss, 0, va)
+			return m.trapAt(isa.TrapDTLBMiss, 0, va)
 		}
 		m.setReg(in.Rd, b2u(permitted(e, kind, m.PL())))
-		return ok()
+		return m.okAt(next)
 
 	case isa.OpDIAG:
 		m.PC = next
@@ -367,12 +371,12 @@ func (m *Machine) execute(in isa.Inst, raw uint32) StepResult {
 	case isa.OpMFTOD:
 		m.setReg(in.Rd, m.TOD())
 		m.Stats.Environment++
-		return ok()
+		return m.okAt(next)
 
 	case isa.OpNOP:
-		return ok()
+		return m.okAt(next)
 	}
-	return trap(isa.TrapIllegal, raw, m.PC)
+	return m.trapAt(isa.TrapIllegal, raw, m.PC)
 }
 
 // b2u converts a bool to 0/1.

@@ -12,6 +12,7 @@
 package machine
 
 import (
+	"encoding/binary"
 	"fmt"
 	"hash/fnv"
 
@@ -146,7 +147,10 @@ type Machine struct {
 	decodeCache [decodeCacheSize]decodeEntry
 }
 
-const decodeCacheSize = 4096
+const (
+	decodeCacheBits = 12
+	decodeCacheSize = 1 << decodeCacheBits
+)
 
 type decodeEntry struct {
 	word  uint32
@@ -154,9 +158,17 @@ type decodeEntry struct {
 	valid bool
 }
 
+// decodeIndex maps an instruction word to its decode-cache slot. The
+// opcode occupies the TOP six bits of the word, so a plain low-bit index
+// would key on immediate bits shared by many distinct instructions and
+// thrash; a multiplicative (Fibonacci) hash mixes all bits into the slot.
+func decodeIndex(w uint32) uint32 {
+	return (w * 0x9E3779B1) >> (32 - decodeCacheBits)
+}
+
 // decode returns the decoded form of w, via the memo cache.
 func (m *Machine) decode(w uint32) (isa.Inst, bool) {
-	e := &m.decodeCache[w%decodeCacheSize]
+	e := &m.decodeCache[decodeIndex(w)]
 	if e.valid && e.word == w {
 		return e.inst, true
 	}
@@ -314,11 +326,14 @@ func (m *Machine) loadPhys(pa uint32, size int) (uint32, isa.Trap) {
 	if pa+uint32(size) > uint32(len(m.Mem)) || pa+uint32(size) < pa {
 		return 0, isa.TrapMachine
 	}
-	var v uint32
-	for i := 0; i < size; i++ {
-		v |= uint32(m.Mem[pa+uint32(i)]) << (8 * i)
+	switch size {
+	case 4:
+		return binary.LittleEndian.Uint32(m.Mem[pa:]), isa.TrapNone
+	case 2:
+		return uint32(binary.LittleEndian.Uint16(m.Mem[pa:])), isa.TrapNone
+	default:
+		return uint32(m.Mem[pa]), isa.TrapNone
 	}
-	return v, isa.TrapNone
 }
 
 // storePhys writes size bytes little-endian to physical memory or MMIO.
@@ -338,8 +353,13 @@ func (m *Machine) storePhys(pa uint32, size int, v uint32) isa.Trap {
 	if pa+uint32(size) > uint32(len(m.Mem)) || pa+uint32(size) < pa {
 		return isa.TrapMachine
 	}
-	for i := 0; i < size; i++ {
-		m.Mem[pa+uint32(i)] = byte(v >> (8 * i))
+	switch size {
+	case 4:
+		binary.LittleEndian.PutUint32(m.Mem[pa:], v)
+	case 2:
+		binary.LittleEndian.PutUint16(m.Mem[pa:], uint16(v))
+	default:
+		m.Mem[pa] = byte(v)
 	}
 	return isa.TrapNone
 }

@@ -1,0 +1,186 @@
+package machine
+
+import (
+	"encoding/binary"
+
+	"repro/internal/isa"
+)
+
+// RunResult reports the outcome of a batched Run call: the StepResult
+// that ended the run (zero-valued on instruction-count expiry) plus the
+// number of instructions that retired during the call.
+type RunResult struct {
+	StepResult
+	// Executed is the number of instructions retired by this Run call.
+	// On a trap exit it counts the instructions BEFORE the faulting one
+	// (the faulting instruction did not retire), so callers can account
+	// guest progress without re-reading the cycle counter.
+	Executed uint64
+}
+
+// Run executes up to max instructions and returns when the machine traps,
+// halts, idles on WFI, retires a DIAG, or the instruction budget expires
+// (RunResult zero-valued except Executed). It is the batched equivalent
+// of calling Step in a loop and produces bit-identical architected state,
+// statistics, and TLB replacement behaviour — the differential tests in
+// run_differential_test.go assert this — while hoisting the per-step
+// work out of the hot loop:
+//
+//   - the recovery-counter check becomes an instruction budget computed
+//     once per resync (retire still decrements CR[RCTR] per instruction);
+//   - the external-interrupt check collapses to a two-load test only
+//     when PSW.I is set (under a hypervisor the guest runs with real
+//     interrupts disabled, so the check vanishes);
+//   - fetch translation, alignment, MMIO and bounds checks are performed
+//     once per executed page: the page's physical base is cached and
+//     straight-line fetches read the RAM slice directly.
+//
+// The cached execution-page state is local to one Run call, so callers
+// may freely mutate PC, PSW, CRs, the TLB, or memory between calls (as
+// the hypervisor does when emulating instructions and delivering traps).
+// Within a call, instructions that can invalidate hoisted state — MTCTL,
+// RFI, ITLBI, PTLB — exit the fast loop and resync.
+func (m *Machine) Run(max uint64) (rr RunResult) {
+	if m.halted {
+		rr.Halted = true
+		return rr
+	}
+	start := m.cycles
+	defer func() { rr.Executed = m.cycles - start }()
+
+outer:
+	for m.cycles-start < max {
+		// Asynchronous conditions, in Step's priority order. These are
+		// re-evaluated at every resync point, which by construction is
+		// the only place their inputs can have changed.
+		if m.PSW&isa.PSWR != 0 && int32(m.CRs[isa.CRRCTR]) <= 0 {
+			m.Stats.Traps++
+			rr.Trap = isa.TrapRecovery
+			return rr
+		}
+		checkIRQ := m.PSW&isa.PSWI != 0
+		if checkIRQ && m.IRQPending() {
+			m.Stats.Traps++
+			rr.Trap = isa.TrapExtIntr
+			rr.ISR = m.CRs[isa.CREIRR] & m.CRs[isa.CREIEM]
+			return rr
+		}
+
+		// Budget: how many instructions may retire before an async
+		// condition can possibly fire. The recovery counter decrements
+		// once per retirement, so it bounds the batch exactly.
+		budget := max - (m.cycles - start)
+		if m.PSW&isa.PSWR != 0 {
+			if r := uint64(int32(m.CRs[isa.CRRCTR])); r < budget {
+				budget = r
+			}
+		}
+
+		// Establish the execution page: translate once, then fetch
+		// straight-line instructions directly from the RAM slice.
+		if m.PC%4 != 0 {
+			m.Stats.Traps++
+			rr.Trap, rr.IOR = isa.TrapAlign, m.PC
+			return rr
+		}
+		pageVA := m.PC &^ uint32(isa.PageMask)
+		var base uint32
+		fetchSlot := -1 // TLB slot to touch per fetch; -1 in real mode
+		if m.PSW&isa.PSWV != 0 {
+			e, idx, ok := m.TLB.probeIndex(m.PC >> isa.PageShift)
+			if !ok {
+				m.TLB.Stats.Misses++ // the lookup Step would have made
+				m.Stats.Traps++
+				rr.Trap, rr.IOR = isa.TrapITLBMiss, m.PC
+				return rr
+			}
+			if !permitted(e, accessExec, m.PL()) {
+				m.TLB.touchFetch(idx) // Step's lookup hit before faulting
+				m.Stats.Traps++
+				rr.Trap, rr.IOR = isa.TrapAccess, m.PC
+				return rr
+			}
+			base = e.PPN << isa.PageShift
+			fetchSlot = idx
+		} else {
+			base = pageVA
+		}
+		if !m.plainRAMPage(base) {
+			// The page straddles the MMIO window or the end of RAM:
+			// rare, so take the exact per-instruction path for one
+			// instruction and resync.
+			res := m.Step()
+			if res.Trap != isa.TrapNone || res.Halted || res.Idle || res.Diag != 0 {
+				rr.StepResult = res
+				return rr
+			}
+			continue
+		}
+
+		// Fast loop: fetch/decode/execute with no per-instruction
+		// translation, bounds, MMIO, alignment, or recovery checks.
+		pl := m.PL()
+		for budget > 0 {
+			if m.PC&^uint32(isa.PageMask) != pageVA {
+				continue outer // page-crossing transfer: re-establish
+			}
+			if fetchSlot >= 0 {
+				m.TLB.touchFetch(fetchSlot)
+			}
+			w := binary.LittleEndian.Uint32(m.Mem[base+(m.PC&isa.PageMask):])
+			// Decode-cache probe, inlined: the hit path is a compare and
+			// a struct copy; only misses pay the m.decode call.
+			var in isa.Inst
+			if e := &m.decodeCache[decodeIndex(w)]; e.valid && e.word == w {
+				in = e.inst
+			} else if dec, ok := m.decode(w); ok {
+				in = dec
+			} else {
+				m.Stats.Traps++
+				rr.Trap, rr.ISR, rr.IOR = isa.TrapIllegal, w, m.PC
+				return rr
+			}
+			if pl != 0 && isa.Privileged(in.Op) {
+				m.Stats.Traps++
+				rr.Trap, rr.ISR, rr.IOR = isa.TrapPriv, uint32(in.Op), m.PC
+				rr.Inst, rr.Raw = in, w
+				return rr
+			}
+			res := m.execute(in, w)
+			if res.Trap != isa.TrapNone {
+				res.Inst, res.Raw = in, w
+				rr.StepResult = res
+				return rr
+			}
+			budget--
+			if res.Halted || res.Idle || res.Diag != 0 {
+				rr.StepResult = res
+				return rr
+			}
+			switch in.Op {
+			case isa.OpMTCTL, isa.OpRFI, isa.OpITLBI, isa.OpPTLB:
+				// Control state (CRs, PSW, TLB) may have changed:
+				// resync the hoisted checks and the cached page.
+				continue outer
+			}
+			if checkIRQ && m.IRQPending() {
+				// The interval timer (or a device reached through
+				// MMIO) raised a line mid-batch: resync so the trap
+				// fires before the next instruction, as Step would.
+				continue outer
+			}
+		}
+	}
+	return rr
+}
+
+// plainRAMPage reports whether the page starting at physical address base
+// lies entirely within RAM and entirely outside the MMIO window, so that
+// instruction fetches from it need no per-access checks.
+func (m *Machine) plainRAMPage(base uint32) bool {
+	end := base + isa.PageSize
+	if end < base || end > uint32(len(m.Mem)) {
+		return false
+	}
+	return base >= m.cfg.MMIOBase+m.cfg.MMIOSize || end <= m.cfg.MMIOBase
+}

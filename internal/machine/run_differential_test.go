@@ -1,0 +1,243 @@
+// Differential tests: the batched Run path must be bit-for-bit
+// indistinguishable from the single-instruction Step path — identical
+// architected state, digests, statistics, TLB replacement behaviour and
+// instruction counts — for every guest workload and for targeted
+// recovery-counter / interval-timer / TLB-pressure scenarios.
+package machine_test
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/guest"
+	"repro/internal/isa"
+	"repro/internal/machine"
+)
+
+// stepChunk advances m by up to n retired instructions on the reference
+// path: Step in a loop, traps dispatched through the hardware
+// interruption sequence (old bare-metal semantics).
+func stepChunk(m *machine.Machine, n uint64) {
+	target := m.Cycles() + n
+	for m.Cycles() < target && !m.Halted() {
+		res := m.Step()
+		if res.Trap != isa.TrapNone {
+			m.DeliverTrap(res.Trap, res.ISR, res.IOR)
+		}
+	}
+}
+
+// runChunk advances m by up to n retired instructions on the batched
+// path, dispatching traps identically.
+func runChunk(m *machine.Machine, n uint64) {
+	target := m.Cycles() + n
+	for m.Cycles() < target && !m.Halted() {
+		rr := m.Run(target - m.Cycles())
+		if rr.Trap != isa.TrapNone {
+			m.DeliverTrap(rr.Trap, rr.ISR, rr.IOR)
+		}
+	}
+}
+
+// diffWorkload boots the guest kernel with workload w on two identical
+// machines and drives one with Step, the other with Run, comparing full
+// state at every chunk boundary (a stand-in for epoch boundaries) and
+// memory + statistics at the end.
+func diffWorkload(t *testing.T, cfg machine.Config, w guest.Workload, chunk, limit uint64) {
+	t.Helper()
+	p := guest.Program()
+	a, b := machine.New(cfg), machine.New(cfg)
+	for _, m := range []*machine.Machine{a, b} {
+		m.LoadProgram(p.Origin, p.Words, 0)
+		guest.Configure(m, w)
+	}
+
+	for epoch := 0; a.Cycles() < limit && !a.Halted(); epoch++ {
+		stepChunk(a, chunk)
+		runChunk(b, chunk)
+		if a.Cycles() != b.Cycles() {
+			t.Fatalf("epoch %d: cycles diverge: step=%d run=%d", epoch, a.Cycles(), b.Cycles())
+		}
+		if a.Digest() != b.Digest() {
+			t.Fatalf("epoch %d (cycle %d): state digests diverge: step pc=%#x run pc=%#x",
+				epoch, a.Cycles(), a.PC, b.PC)
+		}
+		if epoch%8 == 0 && a.DigestMemory() != b.DigestMemory() {
+			t.Fatalf("epoch %d (cycle %d): memory digests diverge", epoch, a.Cycles())
+		}
+	}
+
+	if a.Halted() != b.Halted() {
+		t.Fatalf("halt state diverges: step=%v run=%v", a.Halted(), b.Halted())
+	}
+	if a.DigestMemory() != b.DigestMemory() {
+		t.Fatalf("final memory digests diverge")
+	}
+	if a.Stats != b.Stats {
+		t.Fatalf("instruction statistics diverge:\nstep: %+v\nrun:  %+v", a.Stats, b.Stats)
+	}
+	if a.TLB.Stats != b.TLB.Stats {
+		t.Fatalf("TLB statistics diverge:\nstep: %+v\nrun:  %+v", a.TLB.Stats, b.TLB.Stats)
+	}
+	if a.Halted() {
+		ra, rb := guest.ReadResult(a), guest.ReadResult(b)
+		if ra != rb {
+			t.Fatalf("guest results diverge:\nstep: %+v\nrun:  %+v", ra, rb)
+		}
+	}
+}
+
+func TestRunDifferentialCPUWorkload(t *testing.T) {
+	// Virtual memory, timer interrupts via the interval timer, the
+	// guest's software TLB-miss handler — the paper's CPU benchmark.
+	diffWorkload(t, machine.Config{}, guest.CPUIntensive(4000), 769, 4_000_000)
+}
+
+func TestRunDifferentialMemoryStride(t *testing.T) {
+	// 32-page stride against an 8-entry TLB: constant miss/insert churn
+	// makes any deviation in per-fetch recency (LRU) or statistics
+	// diverge within a few evictions.
+	diffWorkload(t, machine.Config{TLBSize: 8, TLBPolicy: "lru"},
+		guest.MemoryStride(6000), 1021, 4_000_000)
+}
+
+func TestRunDifferentialMemoryStrideRandomTLB(t *testing.T) {
+	// Random replacement draws from a chip-private stream: the draw
+	// sequence (and hence TLB contents) only matches if both paths make
+	// exactly the same inserts in the same order.
+	diffWorkload(t, machine.Config{TLBSize: 8, TLBPolicy: "random", TLBSeed: 42},
+		guest.MemoryStride(6000), 512, 4_000_000)
+}
+
+func TestRunDifferentialDiskWorkloadTrapPath(t *testing.T) {
+	// With no bus wired, the guest's MMIO doorbell machine-checks and
+	// the guest panics — identical trap cascades on both paths.
+	diffWorkload(t, machine.Config{}, guest.DiskWrite(2, 512), 257, 4_000_000)
+}
+
+// TestRunDifferentialRecoveryCounter exercises the epoch mechanism the
+// hypervisor relies on: PSW.R armed, the recovery counter counting down
+// mid-batch, the trap surfacing before the instruction after expiry.
+func TestRunDifferentialRecoveryCounter(t *testing.T) {
+	src := `
+	loop:
+		addi r1, r1, 1
+		xor  r2, r2, r1
+		slli r3, r1, 2
+		add  r2, r2, r3
+		b    loop
+	`
+	p, err := asm.Assemble("rctr.s", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := machine.New(machine.Config{}), machine.New(machine.Config{})
+	for _, m := range []*machine.Machine{a, b} {
+		m.LoadProgram(p.Origin, p.Words, 0)
+		m.PSW |= isa.PSWR
+	}
+
+	// Sweep awkward epoch lengths, including re-arm mid-run.
+	for _, el := range []uint64{1, 2, 3, 7, 100, 255, 256, 257, 1000} {
+		a.CRs[isa.CRRCTR] = uint32(el)
+		b.CRs[isa.CRRCTR] = uint32(el)
+		beforeA, beforeB := a.Cycles(), b.Cycles()
+
+		var trapA isa.Trap
+		for {
+			res := a.Step()
+			if res.Trap != isa.TrapNone {
+				trapA = res.Trap
+				break
+			}
+		}
+		rr := b.Run(4 * el) // budget beyond the epoch: the counter must stop it
+		if rr.Trap != trapA || trapA != isa.TrapRecovery {
+			t.Fatalf("EL=%d: traps differ: step=%v run=%v", el, trapA, rr.Trap)
+		}
+		if got, want := a.Cycles()-beforeA, el; got != want {
+			t.Fatalf("EL=%d: step retired %d, want %d", el, got, want)
+		}
+		if got := b.Cycles() - beforeB; got != rr.Executed || got != el {
+			t.Fatalf("EL=%d: run retired %d (reported %d), want %d", el, got, rr.Executed, el)
+		}
+		if a.Digest() != b.Digest() {
+			t.Fatalf("EL=%d: digests diverge after recovery trap", el)
+		}
+	}
+}
+
+// TestRunDifferentialIntervalTimer checks that a timer interrupt raised
+// by retirement mid-batch surfaces at the same instruction boundary on
+// both paths.
+func TestRunDifferentialIntervalTimer(t *testing.T) {
+	src := `
+	loop:
+		addi r1, r1, 1
+		b    loop
+	`
+	p, err := asm.Assemble("itmr.s", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, itmr := range []uint32{1, 2, 5, 77, 500} {
+		a, b := machine.New(machine.Config{}), machine.New(machine.Config{})
+		for _, m := range []*machine.Machine{a, b} {
+			m.LoadProgram(p.Origin, p.Words, 0)
+			m.PSW |= isa.PSWI
+			m.CRs[isa.CRITMR] = itmr
+			m.CRs[isa.CREIEM] = 1
+		}
+		var trapA isa.Trap
+		for {
+			res := a.Step()
+			if res.Trap != isa.TrapNone {
+				trapA = res.Trap
+				break
+			}
+		}
+		rr := b.Run(uint64(itmr) * 10)
+		if rr.Trap != trapA || trapA != isa.TrapExtIntr {
+			t.Fatalf("ITMR=%d: traps differ: step=%v run=%v", itmr, trapA, rr.Trap)
+		}
+		if a.Cycles() != b.Cycles() {
+			t.Fatalf("ITMR=%d: trap boundary differs: step=%d run=%d", itmr, a.Cycles(), b.Cycles())
+		}
+		if a.Digest() != b.Digest() {
+			t.Fatalf("ITMR=%d: digests diverge", itmr)
+		}
+	}
+}
+
+// TestRunBudgetExpiry checks the instruction-count exit: Run(n) retires
+// exactly n instructions with a zero StepResult, matching n Steps.
+func TestRunBudgetExpiry(t *testing.T) {
+	src := `
+	loop:
+		addi r1, r1, 1
+		xor  r2, r2, r1
+		b    loop
+	`
+	p, err := asm.Assemble("budget.s", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := machine.New(machine.Config{}), machine.New(machine.Config{})
+	a.LoadProgram(p.Origin, p.Words, 0)
+	b.LoadProgram(p.Origin, p.Words, 0)
+	for _, n := range []uint64{0, 1, 2, 3, 100, 4096} {
+		for i := uint64(0); i < n; i++ {
+			a.Step()
+		}
+		rr := b.Run(n)
+		if rr.StepResult != (machine.StepResult{}) {
+			t.Fatalf("Run(%d): non-empty StepResult %+v", n, rr.StepResult)
+		}
+		if rr.Executed != n {
+			t.Fatalf("Run(%d): executed %d", n, rr.Executed)
+		}
+		if a.Digest() != b.Digest() || a.Cycles() != b.Cycles() {
+			t.Fatalf("Run(%d): state diverges from %d Steps", n, n)
+		}
+	}
+}

@@ -159,6 +159,27 @@ func (t *TLB) Probe(vpn uint32) (TLBEntry, bool) {
 	return TLBEntry{}, false
 }
 
+// probeIndex is Probe returning the matching slot index as well, so the
+// batched executor can cache which slot maps the current execution page.
+// Like Probe it records no statistics and no recency.
+func (t *TLB) probeIndex(vpn uint32) (TLBEntry, int, bool) {
+	for i := range t.slots {
+		if t.slots[i].Valid && t.slots[i].VPN == vpn {
+			return t.slots[i], i, true
+		}
+	}
+	return TLBEntry{}, -1, false
+}
+
+// touchFetch records one instruction-fetch hit on slot i: exactly the
+// statistics and recency side effects a Lookup for the fetch would have
+// had. The batched executor calls it once per fetched instruction so
+// that LRU state and hit counts stay bit-identical to the Step path.
+func (t *TLB) touchFetch(i int) {
+	t.policy.Touch(i)
+	t.Stats.Hits++
+}
+
 // Insert adds a translation, replacing any existing entry for the same
 // VPN, else filling an invalid slot, else evicting per the policy.
 func (t *TLB) Insert(e TLBEntry) {
