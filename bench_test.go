@@ -14,9 +14,11 @@ import (
 	"repro/internal/asm"
 	"repro/internal/guest"
 	"repro/internal/harness"
+	"repro/internal/hypervisor"
 	"repro/internal/machine"
 	"repro/internal/netsim"
 	"repro/internal/perfmodel"
+	"repro/internal/platform"
 	"repro/internal/replication"
 	"repro/internal/sim"
 )
@@ -159,15 +161,57 @@ func BenchmarkMachineRun(b *testing.B) {
 }
 
 // BenchmarkHypervisorEpoch measures the cost of running one epoch under
-// the hypervisor (simulation-host time, not virtual time).
+// the hypervisor (simulation-host time, not virtual time): b.N epochs of
+// EpochLength instructions each, driven directly against one node's
+// hypervisor with the boundary processing a primary would perform.
 func BenchmarkHypervisorEpoch(b *testing.B) {
 	k := sim.NewKernel(1)
 	defer k.Shutdown()
-	scale := harness.QuickScale()
-	_ = scale
-	res := harness.RunBare(1, guest.CPUIntensive(uint32(b.N/40+100)), scale.Disk)
-	if res.Guest.Panic != 0 {
-		b.Fatal("guest panic")
+	pair := platform.NewPair(k, platform.Config{
+		Machine:    machine.Config{MemBytes: harness.GuestMemBytes},
+		Hypervisor: hypervisor.Config{EpochLength: 1024},
+	})
+	hv := pair.Primary.HV
+	p := guest.Program()
+	hv.Boot(p.Origin, p.Words, 0)
+	// Effectively endless: the workload outlasts any b.N the runner picks.
+	guest.Configure(pair.Primary.M, guest.CPUIntensive(1<<30))
+	b.ResetTimer()
+	k.Spawn("bench", func(pr *sim.Proc) {
+		for i := 0; i < b.N && !hv.Halted(); i++ {
+			hv.RunEpoch(pr)
+			hv.TimerInterruptsDue(hv.M.TOD())
+			hv.DeliverBuffered()
+			hv.ChargeBoundary(pr)
+			hv.SetTODBase(hv.M.TOD())
+		}
+		pr.Kernel().Stop()
+	})
+	k.Run()
+	if hv.Halted() {
+		b.Fatal("guest halted before the benchmark finished")
+	}
+	b.ReportMetric(float64(hv.GuestInstructions())/float64(b.N), "instr/epoch")
+}
+
+// BenchmarkReplicatedPair measures the full §4 critical path the paper's
+// figures are built from: one primary + one backup over the Ethernet
+// model, running the CPU workload end to end under the original
+// protocol.
+func BenchmarkReplicatedPair(b *testing.B) {
+	w := guest.CPUIntensive(2000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := harness.RunReplicated(harness.ReplicatedOptions{
+			Seed:        1,
+			Workload:    w,
+			EpochLength: 1024,
+			Protocol:    replication.ProtocolOld,
+			Link:        netsim.Ethernet10(""),
+		})
+		if res.Guest.Panic != 0 {
+			b.Fatal("guest panic")
+		}
 	}
 }
 
@@ -181,7 +225,7 @@ func BenchmarkAssembler(b *testing.B) {
 }
 
 // BenchmarkSimKernel measures the discrete-event kernel's event
-// throughput.
+// throughput. Must report 0 allocs/op: events are pooled.
 func BenchmarkSimKernel(b *testing.B) {
 	k := sim.NewKernel(1)
 	count := 0
@@ -194,5 +238,39 @@ func BenchmarkSimKernel(b *testing.B) {
 	}
 	k.After(10, schedule)
 	b.ResetTimer()
+	k.Run()
+}
+
+// BenchmarkProcSleep measures the process Sleep path — the simulated
+// machines' per-chunk operation. Must report 0 allocs/op: the sole
+// sleeper advances the clock in place without heap or handoff traffic.
+func BenchmarkProcSleep(b *testing.B) {
+	k := sim.NewKernel(1)
+	defer k.Shutdown()
+	b.ReportAllocs()
+	b.ResetTimer()
+	k.Spawn("sleeper", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(10)
+		}
+	})
+	k.Run()
+}
+
+// BenchmarkProcSleepPair measures two processes alternating sleeps — the
+// replicated pair's chunk interleaving, where every sleep hands the
+// token to the other machine. Must also be allocation-free.
+func BenchmarkProcSleepPair(b *testing.B) {
+	k := sim.NewKernel(1)
+	defer k.Shutdown()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for _, name := range []string{"a", "b"} {
+		k.Spawn(name, func(p *sim.Proc) {
+			for i := 0; i < b.N; i++ {
+				p.Sleep(10)
+			}
+		})
+	}
 	k.Run()
 }

@@ -5,6 +5,7 @@
 //
 //	hftbench [-table1] [-fig2] [-fig3] [-fig4] [-ablation] [-all]
 //	         [-scale quick|paper] [-parallel N] [-json]
+//	         [-cpuprofile file] [-memprofile file]
 //
 // Each experiment prints the simulator's measured normalized
 // performance beside the paper's published values. Absolute agreement
@@ -17,6 +18,10 @@
 // self-contained and deterministic, so the output is identical at any
 // parallelism. -json emits the results as machine-readable JSON
 // (normalized performance per figure point) for trajectory tracking.
+//
+// -cpuprofile / -memprofile write pprof profiles of the run (use
+// -parallel 1 for a profile of the serial critical path). Inspect with
+// `go tool pprof <file>`.
 package main
 
 import (
@@ -25,6 +30,8 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/harness"
 )
@@ -64,7 +71,12 @@ type jsonFigure2 struct {
 	Endpoint jsonPoint   `json:"endpoint"`
 }
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run is main's body with a return code instead of os.Exit calls, so
+// the profiling defers always flush (an os.Exit would leave a
+// truncated -cpuprofile and skip -memprofile entirely).
+func run() int {
 	var (
 		table1   = flag.Bool("table1", false, "regenerate Table 1 (old vs new protocol)")
 		fig2     = flag.Bool("fig2", false, "regenerate Figure 2 (CPU-intensive workload)")
@@ -75,6 +87,8 @@ func main() {
 		scaleN   = flag.String("scale", "quick", "workload scale: quick or paper")
 		parallel = flag.Int("parallel", 1, "concurrent simulations per experiment (0 = all CPUs)")
 		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON instead of text")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -86,7 +100,7 @@ func main() {
 		scale = harness.PaperScale()
 	default:
 		fmt.Fprintf(os.Stderr, "hftbench: unknown scale %q\n", *scaleN)
-		os.Exit(2)
+		return 2
 	}
 	harness.SetWorkers(*parallel)
 	if *all {
@@ -94,7 +108,37 @@ func main() {
 	}
 	if !*table1 && !*fig2 && !*fig3 && !*fig4 && !*ablate {
 		flag.Usage()
-		os.Exit(2)
+		return 2
+	}
+
+	// Flags are valid: start profiling now, so every exit path below
+	// runs the defers that flush the profiles.
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hftbench: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "hftbench: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hftbench: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the heap profile is sharp
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "hftbench: -memprofile: %v\n", err)
+			}
+		}()
 	}
 
 	out := jsonOutput{Scale: scale.Name, Parallel: harness.Workers()}
@@ -158,7 +202,8 @@ func main() {
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(out); err != nil {
 			fmt.Fprintf(os.Stderr, "hftbench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 	}
+	return 0
 }

@@ -485,6 +485,8 @@ func (hv *Hypervisor) TimerInterruptsDue(tod uint32) []Interrupt {
 // machine: applies device DMA data and status to the virtual adapters,
 // raises virtual EIRR lines, and (if the guest allows) vectors the guest
 // through its interrupt handler. Runs at epoch boundaries only (P2/P5/P6).
+// The staging buffer is reused across epochs, so the per-epoch delivery
+// path allocates nothing.
 func (hv *Hypervisor) DeliverBuffered() {
 	ints := hv.buffered
 	hv.buffered = nil
@@ -510,6 +512,15 @@ func (hv *Hypervisor) DeliverBuffered() {
 		hv.vCR[isa.CREIRR] |= 1 << (i.Line & 31)
 	}
 	hv.checkVIRQ()
+	// Hand the backing array back for the next epoch, dropping payload
+	// references (DMA data) so consumed interrupts are not pinned. If a
+	// delivery side effect buffered new interrupts, keep those instead.
+	for i := range ints {
+		ints[i] = Interrupt{}
+	}
+	if hv.buffered == nil {
+		hv.buffered = ints[:0]
+	}
 }
 
 // OutstandingUncertain implements rule P7: for every I/O operation

@@ -56,7 +56,10 @@ func (m *Machine) Step() StepResult {
 		m.Stats.Traps++
 		return StepResult{Trap: isa.TrapPriv, ISR: uint32(in.Op), IOR: m.PC, Inst: in, Raw: w}
 	}
-	res := m.execute(in, w)
+	if m.execute(in, w) {
+		return StepResult{}
+	}
+	res := m.tres
 	if res.Trap != isa.TrapNone {
 		res.Inst, res.Raw = in, w
 	}
@@ -65,7 +68,7 @@ func (m *Machine) Step() StepResult {
 
 // retire finalizes a successfully executed instruction: advances counters
 // and ticks the interval timer and recovery counter.
-func (m *Machine) retire(res StepResult) StepResult {
+func (m *Machine) retire() {
 	m.cycles++
 	m.Stats.Instructions++
 	// Interval timer: decrements once per retired instruction while
@@ -82,7 +85,6 @@ func (m *Machine) retire(res StepResult) StepResult {
 	if m.PSW&isa.PSWR != 0 {
 		m.CRs[isa.CRRCTR]--
 	}
-	return res
 }
 
 // setReg writes a register, discarding writes to r0.
@@ -100,20 +102,28 @@ func (m *Machine) reg(r isa.Reg) uint32 {
 	return m.Regs[r]
 }
 
-// okAt retires the current instruction with next as the new PC.
-func (m *Machine) okAt(next uint32) StepResult {
+// okAt retires the current instruction with next as the new PC. It
+// returns true so that execute's common arms stay a single expression.
+func (m *Machine) okAt(next uint32) bool {
 	m.PC = next
-	return m.retire(StepResult{})
+	m.retire()
+	return true
 }
 
-// trapAt reports a synchronous trap (architected state unchanged).
-func (m *Machine) trapAt(t isa.Trap, isr, ior uint32) StepResult {
+// trapAt reports a synchronous trap (architected state unchanged),
+// staging the detail in m.tres.
+func (m *Machine) trapAt(t isa.Trap, isr, ior uint32) bool {
 	m.Stats.Traps++
-	return StepResult{Trap: t, ISR: isr, IOR: ior}
+	m.tres = StepResult{Trap: t, ISR: isr, IOR: ior}
+	return false
 }
 
-// execute runs a decoded instruction. PC still points at it.
-func (m *Machine) execute(in isa.Inst, raw uint32) StepResult {
+// execute runs a decoded instruction. PC still points at it. It returns
+// true for plain retirement — the overwhelmingly common outcome, kept
+// free of any result-struct traffic for the batched executor's sake —
+// and false when the caller must consult m.tres for a trap, HALT, WFI
+// idle, or DIAG report.
+func (m *Machine) execute(in isa.Inst, raw uint32) bool {
 	next := m.PC + 4
 
 	switch in.Op {
@@ -311,7 +321,8 @@ func (m *Machine) execute(in isa.Inst, raw uint32) StepResult {
 		m.PSW = m.CRs[isa.CRIPSW] &^ isa.PSWDefect
 		m.PC = m.CRs[isa.CRIIA]
 		m.Stats.Privileged++
-		return m.retire(StepResult{})
+		m.retire()
+		return true
 
 	case isa.OpBREAK:
 		return m.trapAt(isa.TrapBreak, uint32(in.Imm), m.PC)
@@ -320,7 +331,9 @@ func (m *Machine) execute(in isa.Inst, raw uint32) StepResult {
 		m.halted = true
 		m.PC = next
 		m.Stats.Privileged++
-		return m.retire(StepResult{Halted: true})
+		m.retire()
+		m.tres = StepResult{Halted: true}
+		return false
 
 	case isa.OpWFI:
 		// Wait-for-interrupt: if an interrupt line is already raised the
@@ -328,7 +341,9 @@ func (m *Machine) execute(in isa.Inst, raw uint32) StepResult {
 		// idle the processor until RaiseIRQ. Either way WFI retires.
 		m.PC = next
 		m.Stats.Environment++
-		return m.retire(StepResult{Idle: !m.IRQRaised()})
+		m.retire()
+		m.tres = StepResult{Idle: !m.IRQRaised()}
+		return false
 
 	case isa.OpITLBI:
 		v := m.reg(in.R1)
@@ -366,7 +381,9 @@ func (m *Machine) execute(in isa.Inst, raw uint32) StepResult {
 	case isa.OpDIAG:
 		m.PC = next
 		m.Stats.Privileged++
-		return m.retire(StepResult{Diag: uint32(in.Imm) + 1})
+		m.retire()
+		m.tres = StepResult{Diag: uint32(in.Imm) + 1}
+		return false
 
 	case isa.OpMFTOD:
 		m.setReg(in.Rd, m.TOD())

@@ -140,11 +140,21 @@ type Machine struct {
 
 	halted bool
 	cycles uint64 // retired instruction count
+	// tres stages the StepResult of an execute call that did not retire
+	// plainly (trap, HALT, WFI, DIAG), so the common path moves no
+	// result struct at all.
+	tres StepResult
 
 	// decodeCache memoizes Decode by word value (decoding is a pure
 	// function of the instruction word, so self-modifying code remains
-	// correct). Direct-mapped; collisions just re-decode.
+	// correct). Direct-mapped; collisions just re-decode. Step's path;
+	// the batched Run path uses the per-page translation cache below.
 	decodeCache [decodeCacheSize]decodeEntry
+
+	// pages is the translation cache: lazily decoded images of physical
+	// pages, indexed by physical page number (see pagecache.go). Entries
+	// are invalidated by stores into the page.
+	pages []*decodedPage
 }
 
 const (
@@ -195,9 +205,10 @@ func New(cfg Config) *Machine {
 		panic(fmt.Sprintf("machine: unknown TLB policy %q", cfg.TLBPolicy))
 	}
 	m := &Machine{
-		cfg: cfg,
-		Mem: make([]byte, cfg.MemBytes),
-		TLB: NewTLB(cfg.TLBSize, pol),
+		cfg:   cfg,
+		Mem:   make([]byte, cfg.MemBytes),
+		TLB:   NewTLB(cfg.TLBSize, pol),
+		pages: make([]*decodedPage, (cfg.MemBytes+isa.PageSize-1)>>isa.PageShift),
 	}
 	m.CRs[isa.CRCPUID] = cfg.CPUID
 	return m
@@ -353,6 +364,7 @@ func (m *Machine) storePhys(pa uint32, size int, v uint32) isa.Trap {
 	if pa+uint32(size) > uint32(len(m.Mem)) || pa+uint32(size) < pa {
 		return isa.TrapMachine
 	}
+	m.invalidateStore(pa, size)
 	switch size {
 	case 4:
 		binary.LittleEndian.PutUint32(m.Mem[pa:], v)
@@ -390,6 +402,7 @@ func (m *Machine) ReadBytes(pa uint32, n int) []byte {
 
 // WriteBytes copies data into physical RAM at pa (for DMA and loading).
 func (m *Machine) WriteBytes(pa uint32, data []byte) {
+	m.invalidateRange(pa, len(data))
 	copy(m.Mem[pa:int(pa)+len(data)], data)
 }
 

@@ -1,0 +1,53 @@
+package machine
+
+import "testing"
+
+// TestInvalidateStoreUnaligned: the physical-store path accepts
+// unaligned addresses (loaders, DMA, tests), where one store spans two
+// decoded slots — and possibly two pages. Both covered slots must drop.
+func TestInvalidateStoreUnaligned(t *testing.T) {
+	m := New(Config{})
+
+	pg := m.execPage(0)
+	pg.valid[0] = ^uint64(0)
+	m.invalidateStore(2, 4) // bytes 2..5: words 0 and 1
+	if pg.valid[0]&0b11 != 0 {
+		t.Errorf("slots 0,1 still valid after unaligned store: %#x", pg.valid[0])
+	}
+	if pg.valid[0]&0b100 == 0 {
+		t.Error("slot 2 was wrongly invalidated")
+	}
+
+	// Aligned word store touches exactly one slot.
+	pg.valid[0] = ^uint64(0)
+	m.invalidateStore(8, 4)
+	if pg.valid[0]&(1<<2) != 0 {
+		t.Error("slot 2 still valid after aligned store")
+	}
+	if pg.valid[0]&(1<<1|1<<3) != 1<<1|1<<3 {
+		t.Error("neighbouring slots wrongly invalidated")
+	}
+
+	// Halfword store within one word does not touch the next slot.
+	pg.valid[0] = ^uint64(0)
+	m.invalidateStore(6, 2) // bytes 6..7: word 1 only
+	if pg.valid[0]&(1<<1) != 0 {
+		t.Error("slot 1 still valid after halfword store")
+	}
+	if pg.valid[0]&(1<<2) == 0 {
+		t.Error("slot 2 wrongly invalidated by in-word halfword store")
+	}
+
+	// Page-crossing unaligned store invalidates the tail of one page
+	// and the head of the next.
+	pg.valid[15] = ^uint64(0)
+	pg2 := m.execPage(0x1000)
+	pg2.valid[0] = ^uint64(0)
+	m.invalidateStore(0xFFE, 4) // bytes 0xFFE..0x1001
+	if pg.valid[15]&(1<<63) != 0 {
+		t.Error("last slot of first page still valid")
+	}
+	if pg2.valid[0]&1 != 0 {
+		t.Error("first slot of second page still valid")
+	}
+}

@@ -1,0 +1,244 @@
+// Differential tests for the translation cache: every way a cached
+// page's contents can change out from under the batched executor —
+// self-modifying code, stores from another page, DMA, and TLB rewrites
+// that redirect the same virtual page to different physical contents —
+// must leave Run bit-identical to Step.
+package machine_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/machine"
+)
+
+// word assembles a single instruction and returns its encoding.
+func word(t *testing.T, src string) uint32 {
+	t.Helper()
+	p, err := asm.Assemble("word.s", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p.Words[0]
+}
+
+// diffSource drives one machine per path (Step reference vs batched
+// Run) over the same program, comparing digests at every chunk and full
+// state at the end. mutate, when set, is applied identically to both
+// machines between chunks (models DMA).
+func diffSource(t *testing.T, src string, chunk, limit uint64, mutate func(step int, m *machine.Machine)) {
+	t.Helper()
+	p, err := asm.Assemble("diff.s", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := machine.New(machine.Config{}), machine.New(machine.Config{})
+	for _, m := range []*machine.Machine{a, b} {
+		m.LoadProgram(p.Origin, p.Words, p.Origin)
+	}
+	for i := 0; a.Cycles() < limit && !a.Halted(); i++ {
+		stepChunk(a, chunk)
+		runChunk(b, chunk)
+		if a.Cycles() != b.Cycles() {
+			t.Fatalf("chunk %d: cycles diverge: step=%d run=%d", i, a.Cycles(), b.Cycles())
+		}
+		if a.Digest() != b.Digest() {
+			t.Fatalf("chunk %d (cycle %d): digests diverge: step pc=%#x run pc=%#x",
+				i, a.Cycles(), a.PC, b.PC)
+		}
+		if mutate != nil {
+			mutate(i, a)
+			mutate(i, b)
+		}
+	}
+	if a.Halted() != b.Halted() {
+		t.Fatalf("halt state diverges: step=%v run=%v", a.Halted(), b.Halted())
+	}
+	if a.DigestMemory() != b.DigestMemory() {
+		t.Fatal("final memory digests diverge")
+	}
+	if a.Stats != b.Stats {
+		t.Fatalf("statistics diverge:\nstep: %+v\nrun:  %+v", a.Stats, b.Stats)
+	}
+	if a.TLB.Stats != b.TLB.Stats {
+		t.Fatalf("TLB statistics diverge:\nstep: %+v\nrun:  %+v", a.TLB.Stats, b.TLB.Stats)
+	}
+}
+
+// TestRunDifferentialSelfModifyingCode stores into the page being
+// executed: the patched slot sits a few instructions ahead of the
+// store, so the invalidation must take effect within the same batch.
+func TestRunDifferentialSelfModifyingCode(t *testing.T) {
+	w1 := word(t, "addi r3, r3, 1")
+	w2 := word(t, "xor  r3, r3, r5")
+	src := fmt.Sprintf(`
+		la   r6, site
+		li   r7, %#x
+		li   r8, %#x
+		addi r5, r0, 60
+	loop:
+		stw  r7, 0(r6)
+	site:
+		nop              ; overwritten by the store two words back
+		stw  r8, 0(r6)
+		xor  r7, r7, r8  ; swap the two variants for the next pass
+		xor  r8, r7, r8
+		xor  r7, r7, r8
+		addi r5, r5, -1
+		bne  r5, r0, loop
+		halt
+	`, w1, w2)
+	for _, chunk := range []uint64{1, 3, 7, 64, 1021} {
+		diffSource(t, src, chunk, 4_000_000, nil)
+	}
+}
+
+// TestRunDifferentialCrossPageStore executes a subroutine on a separate
+// page and patches its body from the first page: a store from one page
+// must invalidate the decoded image of another.
+func TestRunDifferentialCrossPageStore(t *testing.T) {
+	w1 := word(t, "addi r3, r3, 1")
+	w2 := word(t, "xor  r3, r3, r5")
+	src := fmt.Sprintf(`
+		la   r6, sub
+		li   r7, %#x
+		li   r8, %#x
+		addi r5, r0, 40
+	loop:
+		stw  r7, 0(r6)
+		bl   r9, sub
+		stw  r8, 0(r6)
+		bl   r9, sub
+		addi r5, r5, -1
+		bne  r5, r0, loop
+		halt
+	.org 0x1000
+	sub:
+		nop              ; patched from the other page
+		bv   r9
+	`, w1, w2)
+	for _, chunk := range []uint64{2, 5, 257, 4096} {
+		diffSource(t, src, chunk, 4_000_000, nil)
+	}
+}
+
+// TestRunDifferentialDMAIntoCachedPage models a device writing into a
+// page that has been executed (WriteBytes, the DMA path): both paths
+// must observe the new instructions at the same instruction boundary.
+func TestRunDifferentialDMAIntoCachedPage(t *testing.T) {
+	// The guest spins incrementing r3; DMA rewrites the loop body
+	// between chunks, alternating increment sizes, and finally plants a
+	// HALT.
+	incr := func(k int) []byte {
+		p := asm.MustAssemble("dma.s", fmt.Sprintf(`
+		loop:
+			addi r3, r3, %d
+			addi r4, r4, 1
+			b    loop
+		`, k))
+		out := make([]byte, 4*len(p.Words))
+		for i, w := range p.Words {
+			out[4*i] = byte(w)
+			out[4*i+1] = byte(w >> 8)
+			out[4*i+2] = byte(w >> 16)
+			out[4*i+3] = byte(w >> 24)
+		}
+		return out
+	}
+	halt := asm.MustAssemble("halt.s", "halt").Words[0]
+	diffSource(t, `
+	loop:
+		addi r3, r3, 1
+		addi r4, r4, 1
+		b    loop
+	`, 173, 20_000, func(step int, m *machine.Machine) {
+		switch {
+		case step < 40:
+			m.WriteBytes(0, incr(step%7+1))
+		case step == 40:
+			m.StorePhys32(0, halt)
+		}
+	})
+}
+
+// TestRunDifferentialTLBRemapMidBatch runs in virtual mode and remaps
+// the EXECUTING virtual page to a different physical page mid-batch
+// with ITLBI: the very next fetch must come from the new frame's
+// decoded image. Both frames hold code of identical layout but
+// different arithmetic, so any stale fetch diverges the digest.
+func TestRunDifferentialTLBRemapMidBatch(t *testing.T) {
+	copyBody := func(k, m, other int) string {
+		return fmt.Sprintf(`
+		li   r9, 0x10007     ; VA page 0x10, perms R|W|X, min PL 0
+		li   r10, %#x        ; the other frame
+		addi r5, r0, 5
+	lp%d:
+		addi r3, r3, %d
+		addi r5, r5, -1
+		bne  r5, r0, lp%d
+		itlbi r9, r10        ; remap our own page: next fetch = other frame
+		addi r3, r3, %d      ; executed only in the frame mapped AFTER a remap
+		halt
+		`, other, k, k, k, m)
+	}
+	src := `
+		; real-mode prologue: map VA 0x10000 -> PA 0x1000 (frame A),
+		; then enter virtual mode at VA 0x10000 via RFI.
+		li   r1, 0x10007
+		li   r2, 0x1000
+		itlbi r1, r2
+		li   r3, 8           ; IPSW: PSW.V, PL 0
+		mtctl ipsw, r3
+		li   r3, 0x10000
+		mtctl iia, r3
+		addi r3, r0, 0       ; clear the work register
+		rfi
+	.org 0x1000
+	` + copyBody(1, 100, 0x2000) + `
+	.org 0x2000
+	` + copyBody(2, 1000, 0x1000)
+	for _, chunk := range []uint64{1, 2, 3, 64, 4096} {
+		diffSource(t, src, chunk, 4_000_000, nil)
+	}
+}
+
+// TestRunDifferentialPTLBMidBatch purges the TLB mid-batch while in
+// virtual mode: the subsequent fetch must miss identically on both
+// paths, and after the trap handler reinstalls the mapping, execution
+// continues from the (still valid) decoded page.
+func TestRunDifferentialPTLBMidBatch(t *testing.T) {
+	src := `
+		; Trap vectors live at PA 0 (IVA = 0, stride 32 bytes). The
+		; ITLB-miss handler (slot 3, 0x60) reinstalls the mapping and
+		; retries; it is 6 instructions, fitting the 8-instruction slot.
+		b    boot
+	.org 0x60            ; TrapITLBMiss vector
+		li   r1, 0x10007
+		li   r2, 0x1000
+		itlbi r1, r2
+		rfi
+	.org 0x200
+	boot:
+		li   r1, 0x10007
+		li   r2, 0x1000
+		itlbi r1, r2
+		li   r3, 8
+		mtctl ipsw, r3
+		li   r3, 0x10000
+		mtctl iia, r3
+		rfi
+	.org 0x1000
+		addi r5, r0, 20
+	lp:
+		addi r3, r3, 3
+		ptlb                 ; purge: the NEXT fetch takes an ITLB miss
+		addi r3, r3, 5
+		addi r5, r5, -1
+		bne  r5, r0, lp
+		halt
+	`
+	for _, chunk := range []uint64{1, 2, 7, 129, 4096} {
+		diffSource(t, src, chunk, 4_000_000, nil)
+	}
+}

@@ -1,8 +1,6 @@
 package machine
 
 import (
-	"encoding/binary"
-
 	"repro/internal/isa"
 )
 
@@ -46,7 +44,16 @@ func (m *Machine) Run(max uint64) (rr RunResult) {
 		return rr
 	}
 	start := m.cycles
-	defer func() { rr.Executed = m.cycles - start }()
+	// fetchHits batches the per-fetch TLB hit statistic: the fast loop
+	// counts fetches locally and the total lands on exit. Only the
+	// total is observable (fetch recency is handled by the deferred
+	// pending-touch mechanism, see TLB.flushPending).
+	fetchHits := uint64(0)
+	tlb := m.TLB
+	defer func() {
+		tlb.Stats.Hits += fetchHits
+		rr.Executed = m.cycles - start
+	}()
 
 outer:
 	for m.cycles-start < max {
@@ -117,51 +124,79 @@ outer:
 			continue
 		}
 
-		// Fast loop: fetch/decode/execute with no per-instruction
-		// translation, bounds, MMIO, alignment, or recovery checks.
+		// Fast loop: dispatch straight from the page's decoded image —
+		// no per-instruction translation, bounds, MMIO, alignment,
+		// recovery checks, word fetch or decode probe. Stores into the
+		// page (from any page) invalidate the covered slot, so
+		// self-modifying code re-decodes on the next fetch.
+		//
+		// Fetch recency is coalesced: the execution slot becomes the
+		// TLB's deferred pending touch once here, is re-deferred after
+		// any instruction whose data access flushed it, and fetch hit
+		// counts accumulate in fetchHits. Entries cannot be evicted
+		// mid-loop (the TLB is software-managed and ITLBI/PTLB exit the
+		// loop), so the slot index stays valid throughout.
 		pl := m.PL()
+		pg := m.execPage(base)
+		hitInc := uint64(0)
+		if fetchSlot >= 0 {
+			hitInc = 1
+			if tlb.pending != fetchSlot {
+				tlb.flushPending()
+				tlb.pending = fetchSlot
+			}
+		}
 		for budget > 0 {
 			if m.PC&^uint32(isa.PageMask) != pageVA {
 				continue outer // page-crossing transfer: re-establish
 			}
-			if fetchSlot >= 0 {
-				m.TLB.touchFetch(fetchSlot)
-			}
-			w := binary.LittleEndian.Uint32(m.Mem[base+(m.PC&isa.PageMask):])
-			// Decode-cache probe, inlined: the hit path is a compare and
-			// a struct copy; only misses pay the m.decode call.
+			slot := (m.PC & isa.PageMask) >> 2
+			bit := uint64(1) << (slot & 63)
+			fetchHits += hitInc
 			var in isa.Inst
-			if e := &m.decodeCache[decodeIndex(w)]; e.valid && e.word == w {
-				in = e.inst
-			} else if dec, ok := m.decode(w); ok {
-				in = dec
+			var w uint32
+			if pg.valid[slot>>6]&bit != 0 {
+				in, w = pg.insts[slot], pg.words[slot]
 			} else {
-				m.Stats.Traps++
-				rr.Trap, rr.ISR, rr.IOR = isa.TrapIllegal, w, m.PC
-				return rr
+				var ok bool
+				if in, w, ok = m.fill(pg, base, slot); !ok {
+					m.Stats.Traps++
+					rr.Trap, rr.ISR, rr.IOR = isa.TrapIllegal, w, m.PC
+					return rr
+				}
 			}
-			if pl != 0 && isa.Privileged(in.Op) {
+			if pl != 0 && pg.priv[slot>>6]&bit != 0 {
 				m.Stats.Traps++
 				rr.Trap, rr.ISR, rr.IOR = isa.TrapPriv, uint32(in.Op), m.PC
 				rr.Inst, rr.Raw = in, w
 				return rr
 			}
-			res := m.execute(in, w)
-			if res.Trap != isa.TrapNone {
-				res.Inst, res.Raw = in, w
-				rr.StepResult = res
-				return rr
+			if !m.execute(in, w) {
+				res := m.tres
+				if res.Trap != isa.TrapNone {
+					res.Inst, res.Raw = in, w
+					rr.StepResult = res
+					return rr
+				}
+				budget--
+				if res.Halted || res.Idle || res.Diag != 0 {
+					rr.StepResult = res
+					return rr
+				}
+				// A WFI that completed immediately: fall through to the
+				// post-retirement checks like any other instruction.
+			} else {
+				budget--
 			}
-			budget--
-			if res.Halted || res.Idle || res.Diag != 0 {
-				rr.StepResult = res
-				return rr
-			}
-			switch in.Op {
-			case isa.OpMTCTL, isa.OpRFI, isa.OpITLBI, isa.OpPTLB:
+			if pg.resync[slot>>6]&bit != 0 {
 				// Control state (CRs, PSW, TLB) may have changed:
 				// resync the hoisted checks and the cached page.
 				continue outer
+			}
+			if hitInc != 0 {
+				// Re-defer the fetch touch: a data access inside execute
+				// may have flushed it (the store is a no-op otherwise).
+				tlb.pending = fetchSlot
 			}
 			if checkIRQ && m.IRQPending() {
 				// The interval timer (or a device reached through

@@ -106,6 +106,17 @@ func (p *RandomPolicy) Name() string { return "random" }
 type TLB struct {
 	slots  []TLBEntry
 	policy ReplacePolicy
+	// lru is the concrete policy when it is LRU (the default), letting
+	// the per-fetch touch on the batched-run path inline instead of
+	// paying an interface dispatch per instruction.
+	lru *LRUPolicy
+	// pending is a slot with a deferred fetch touch (-1 none): the
+	// batched executor coalesces a run of fetches from one slot into a
+	// single recency update, applied before any other slot is touched.
+	// Replacement decisions depend only on the relative order of
+	// last-touch events across slots, which coalescing preserves;
+	// Stats.Hits is still counted per fetch.
+	pending int
 
 	// Stats counts TLB behaviour for experiments.
 	Stats TLBStats
@@ -125,7 +136,28 @@ func NewTLB(n int, policy ReplacePolicy) *TLB {
 	if n <= 0 {
 		panic(fmt.Sprintf("machine: TLB size %d", n))
 	}
-	return &TLB{slots: make([]TLBEntry, n), policy: policy}
+	lru, _ := policy.(*LRUPolicy)
+	return &TLB{slots: make([]TLBEntry, n), policy: policy, lru: lru, pending: -1}
+}
+
+// touch applies one recency update, devirtualized for the default LRU.
+func (t *TLB) touch(i int) {
+	if p := t.lru; p != nil {
+		p.stamp++
+		p.last[i] = p.stamp
+	} else {
+		t.policy.Touch(i)
+	}
+}
+
+// flushPending applies a deferred fetch touch. Every operation that
+// touches, inserts, evicts or purges goes through here first, so the
+// order of recency events across slots matches the unbatched path.
+func (t *TLB) flushPending() {
+	if i := t.pending; i >= 0 {
+		t.pending = -1
+		t.touch(i)
+	}
 }
 
 // Size returns the number of slots.
@@ -137,9 +169,10 @@ func (t *TLB) PolicyName() string { return t.policy.Name() }
 // Lookup finds the entry mapping vpn. It records hit/miss statistics and
 // updates recency state on hit.
 func (t *TLB) Lookup(vpn uint32) (TLBEntry, bool) {
+	t.flushPending()
 	for i := range t.slots {
 		if t.slots[i].Valid && t.slots[i].VPN == vpn {
-			t.policy.Touch(i)
+			t.touch(i)
 			t.Stats.Hits++
 			return t.slots[i], true
 		}
@@ -176,37 +209,42 @@ func (t *TLB) probeIndex(vpn uint32) (TLBEntry, int, bool) {
 // had. The batched executor calls it once per fetched instruction so
 // that LRU state and hit counts stay bit-identical to the Step path.
 func (t *TLB) touchFetch(i int) {
-	t.policy.Touch(i)
+	if t.pending != i {
+		t.flushPending()
+		t.pending = i
+	}
 	t.Stats.Hits++
 }
 
 // Insert adds a translation, replacing any existing entry for the same
 // VPN, else filling an invalid slot, else evicting per the policy.
 func (t *TLB) Insert(e TLBEntry) {
+	t.flushPending()
 	t.Stats.Inserts++
 	e.Valid = true
 	for i := range t.slots {
 		if t.slots[i].Valid && t.slots[i].VPN == e.VPN {
 			t.slots[i] = e
-			t.policy.Touch(i)
+			t.touch(i)
 			return
 		}
 	}
 	for i := range t.slots {
 		if !t.slots[i].Valid {
 			t.slots[i] = e
-			t.policy.Touch(i)
+			t.touch(i)
 			return
 		}
 	}
 	v := t.policy.Victim(t)
 	t.Stats.Evicts++
 	t.slots[v] = e
-	t.policy.Touch(v)
+	t.touch(v)
 }
 
 // Purge invalidates every entry.
 func (t *TLB) Purge() {
+	t.flushPending()
 	t.Stats.Purges++
 	for i := range t.slots {
 		t.slots[i].Valid = false

@@ -129,16 +129,40 @@ type Link struct {
 	freeAt   sim.Time // when the transmitter finishes the current frame
 	down     bool     // true after Disconnect: sends vanish silently
 	dropNext int      // drop the next N messages (loss injection)
+
+	// inflight rings sent-but-undelivered messages, consumed in FIFO
+	// order (serialization is in-order, so arrival times are
+	// nondecreasing). deliver is the single reusable delivery callback,
+	// so Send allocates neither a closure nor an event.
+	inflight sim.Ring[Message]
+	deliver  func()
 }
 
 // NewLink creates one direction of a channel owned by kernel k.
 func NewLink(k *sim.Kernel, cfg LinkConfig) *Link {
 	cfg = cfg.withDefaults()
-	return &Link{
+	l := &Link{
 		k:     k,
 		cfg:   cfg,
 		Inbox: sim.NewQueue[Message](k, cfg.Name+".inbox"),
 	}
+	l.deliver = l.deliverHead
+	return l
+}
+
+// deliverHead completes delivery of the oldest in-flight message.
+func (l *Link) deliverHead() {
+	msg, ok := l.inflight.Pop()
+	if !ok {
+		panic("netsim: delivery event with no in-flight message")
+	}
+	if l.down {
+		l.Stats.MessagesDropped++
+		return
+	}
+	msg.DeliveredAt = l.k.Now()
+	l.Stats.MessagesDelivered++
+	l.Inbox.Put(msg)
 }
 
 // Config returns the link configuration (defaults applied).
@@ -197,15 +221,8 @@ func (l *Link) Send(payload any, size int) {
 	msg := Message{Payload: payload, Size: size, Seq: l.seq, SentAt: now}
 	l.seq++
 	l.Stats.Frames += uint64(l.frames(size))
-	l.k.At(arrive, func() {
-		if l.down {
-			l.Stats.MessagesDropped++
-			return
-		}
-		msg.DeliveredAt = l.k.Now()
-		l.Stats.MessagesDelivered++
-		l.Inbox.Put(msg)
-	})
+	l.inflight.Push(msg)
+	l.k.At(arrive, l.deliver)
 }
 
 // Disconnect severs the link: in-flight and future messages are dropped.

@@ -1,0 +1,78 @@
+package replication
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/sim"
+)
+
+// TestEpochArchiveWindowCap: the archive never holds more than its
+// window regardless of how many epochs are recorded.
+func TestEpochArchiveWindowCap(t *testing.T) {
+	a := newEpochArchive()
+	for e := uint64(0); e < 10_000; e++ {
+		a.record(SyncEpoch{Epoch: e})
+	}
+	if a.len() > defaultArchiveWindow {
+		t.Fatalf("archive holds %d epochs, window is %d", a.len(), defaultArchiveWindow)
+	}
+	if got := a.since(9_990); len(got) != 10 {
+		t.Fatalf("since(9990) returned %d entries, want 10", len(got))
+	}
+}
+
+// TestEpochArchiveTrim: trim drops exactly the acknowledged prefix.
+func TestEpochArchiveTrim(t *testing.T) {
+	a := newEpochArchive()
+	for e := uint64(0); e < 100; e++ {
+		a.record(SyncEpoch{Epoch: e})
+	}
+	a.trim(90)
+	if a.len() != 10 {
+		t.Fatalf("after trim(90): %d entries, want 10", a.len())
+	}
+	if got := a.since(0); len(got) != 10 || got[0].Epoch != 90 {
+		t.Fatalf("since(0) after trim = %d entries starting %d", len(got), got[0].Epoch)
+	}
+	// Trimming past the end empties but does not underflow.
+	a.trim(1_000)
+	if a.len() != 0 {
+		t.Fatalf("after trim(1000): %d entries, want 0", a.len())
+	}
+	// Recording continues normally after a full trim.
+	a.record(SyncEpoch{Epoch: 200})
+	if a.len() != 1 {
+		t.Fatalf("record after trim: %d entries, want 1", a.len())
+	}
+}
+
+// TestArchiveBoundedOverManyEpochs runs a healthy replicated pair for
+// thousands of epochs and checks that the coordinator's archive stays
+// at the acknowledged-tail depth — memory no longer grows linearly in
+// epochs — and that a backup with no downstream peers archives nothing.
+func TestArchiveBoundedOverManyEpochs(t *testing.T) {
+	for _, proto := range []Protocol{ProtocolOld, ProtocolNew} {
+		t.Run(fmt.Sprint(proto), func(t *testing.T) {
+			// Short epochs so the run spans thousands of them.
+			cfg := platform.Config{}
+			cfg.Hypervisor.EpochLength = 64
+			c := newCluster(t, 1, cfg, proto, guestCPU(60_000))
+			c.run(t, 400*sim.Second)
+			if c.pri.Stats.Epochs < 2_000 {
+				t.Fatalf("only %d epochs — not a multi-thousand-epoch run", c.pri.Stats.Epochs)
+			}
+			if got := c.pri.coord.archive.len(); got > archiveResyncKeep+2 {
+				t.Errorf("%v: primary archive holds %d epochs after %d, want <= %d",
+					proto, got, c.pri.Stats.Epochs, archiveResyncKeep+2)
+			}
+			if got := c.bak.archive.len(); got != 0 {
+				t.Errorf("%v: downstream-less backup archived %d epochs, want 0", proto, got)
+			}
+			if c.bak.Stats.Divergences != 0 {
+				t.Errorf("divergences = %d", c.bak.Stats.Divergences)
+			}
+		})
+	}
+}

@@ -44,6 +44,9 @@ type Backup struct {
 	OnDivergence func(epoch uint64, primary, backup uint64)
 
 	pending map[uint64]*epochRecord
+	// recFree recycles epoch records: a record freed at one epoch's
+	// boundary serves a later epoch without reallocating its map.
+	recFree []*epochRecord
 	archive *epochArchive
 	arrival *sim.Signal
 	// completed counts epochs whose boundary processing has finished;
@@ -113,14 +116,32 @@ func (bk *Backup) Failed() bool { return bk.failed }
 // priority so that at most one replica promotes per failure.
 func (bk *Backup) effTimeout() sim.Time { return bk.Timeout * sim.Time(bk.index) }
 
-// rec returns (allocating) the record for an epoch.
+// rec returns (allocating or recycling) the record for an epoch.
 func (bk *Backup) rec(e uint64) *epochRecord {
 	r := bk.pending[e]
 	if r == nil {
-		r = &epochRecord{ints: map[uint32]hypervisor.Interrupt{}}
+		if n := len(bk.recFree); n > 0 {
+			r = bk.recFree[n-1]
+			bk.recFree = bk.recFree[:n-1]
+		} else {
+			r = &epochRecord{ints: map[uint32]hypervisor.Interrupt{}}
+		}
 		bk.pending[e] = r
 	}
 	return r
+}
+
+// release retires epoch e's record to the free list once its boundary
+// processing is complete.
+func (bk *Backup) release(e uint64) {
+	r := bk.pending[e]
+	if r == nil {
+		return
+	}
+	delete(bk.pending, e)
+	clear(r.ints)
+	r.tme, r.end, r.verbatim = nil, nil, nil
+	bk.recFree = append(bk.recFree, r)
 }
 
 // receiver runs as its own simulation process per upstream channel: it
@@ -221,12 +242,14 @@ func (bk *Backup) replayVerbatim(e uint64, digest uint64, v *SyncEpoch) {
 	}
 	bk.checkDigest(e, v.Digest, digest)
 	hv.DeliverBuffered()
-	bk.archive.record(*v)
+	if len(bk.downs) > 0 {
+		bk.archive.record(*v)
+	}
 	hv.SetTODBase(v.Tme)
 	if v.Halted {
 		bk.halted = true
 	}
-	delete(bk.pending, e)
+	bk.release(e)
 }
 
 // failover implements P6 and P7 and — with lower-priority backups
@@ -252,7 +275,7 @@ func (bk *Backup) failover(p *sim.Proc, e uint64, digest uint64) {
 	bk.Stats.Promoted = true
 	bk.Stats.PromotedAtEpoch = e
 	bk.Stats.PromotedAtTime = p.Now()
-	delete(bk.pending, e)
+	bk.release(e)
 
 	// The next epoch starts from our real clock (we are the authority
 	// for time now).
@@ -348,12 +371,20 @@ func (bk *Backup) Run(p *sim.Proc) {
 		bk.checkDigest(e, end.Digest, b.Digest)
 		bk.stageOrdered(e)
 		hv.TimerInterruptsDue(tme)
-		delivered := append([]hypervisor.Interrupt(nil), hv.Buffered()...)
+		// Only a backup that may later coordinate others (it has
+		// downstream peers) needs the delivery archive; the common
+		// single-backup configuration skips the per-epoch copy.
+		if len(bk.downs) > 0 {
+			var delivered []hypervisor.Interrupt
+			if buf := hv.Buffered(); len(buf) > 0 {
+				delivered = append([]hypervisor.Interrupt(nil), buf...)
+			}
+			bk.archive.record(SyncEpoch{Epoch: e, Tme: tme, Ints: delivered, Digest: b.Digest, Halted: end.Halted})
+		}
 		hv.DeliverBuffered()
-		bk.archive.record(SyncEpoch{Epoch: e, Tme: tme, Ints: delivered, Digest: b.Digest, Halted: end.Halted})
 		hv.ChargeBoundary(p)
 		hv.SetTODBase(tme)
-		delete(bk.pending, e)
+		bk.release(e)
 		bk.completed = e + 1
 		if end.Halted {
 			bk.halted = true

@@ -21,6 +21,13 @@ type epochArchive struct {
 
 const defaultArchiveWindow = 4096
 
+// archiveResyncKeep is how many fully-acknowledged epochs a coordinator
+// retains beyond the hard window. An epoch every live peer has
+// acknowledged end-to-end can never need replaying (FIFO channels: the
+// ack proves the peer holds everything for it), so the archive stays at
+// this depth in steady state instead of growing to the window.
+const archiveResyncKeep = 8
+
 func newEpochArchive() *epochArchive {
 	return &epochArchive{entries: map[uint64]SyncEpoch{}, window: defaultArchiveWindow}
 }
@@ -42,6 +49,23 @@ func (a *epochArchive) record(e SyncEpoch) {
 		a.oldest++
 	}
 }
+
+// trim drops every entry older than keepFrom (acknowledged history).
+func (a *epochArchive) trim(keepFrom uint64) {
+	if a == nil || len(a.entries) == 0 {
+		return
+	}
+	if keepFrom > a.newest+1 {
+		keepFrom = a.newest + 1
+	}
+	for a.oldest < keepFrom {
+		delete(a.entries, a.oldest)
+		a.oldest++
+	}
+}
+
+// len reports how many epochs are retained (tests).
+func (a *epochArchive) len() int { return len(a.entries) }
 
 // since returns archived epochs >= from, in order.
 func (a *epochArchive) since(from uint64) []SyncEpoch {
@@ -69,6 +93,18 @@ type coordinator struct {
 	archive *epochArchive
 
 	intIndex uint32 // capture index within the current epoch
+
+	// endSeqs maps recent epochs to the sender sequence number of their
+	// msgEnd, pending acknowledgement; ackedThrough is the newest epoch
+	// every live peer provably holds end to end (FIFO links: acking the
+	// End implies holding everything before it). Drives archive trimming.
+	endSeqs      []endSeqRec
+	ackedThrough uint64
+	haveAcked    bool
+}
+
+type endSeqRec struct {
+	epoch, seq uint64
 }
 
 // install hooks the coordinator into the hypervisor. Call once, with the
@@ -122,17 +158,51 @@ func (c *coordinator) run(p *sim.Proc, tme0 uint32) {
 			if c.stopped() {
 				return
 			}
+		} else {
+			// Non-blocking: harvest any acks already delivered so the
+			// archive trim below sees current coverage. No virtual time
+			// passes, so protocol timing is unchanged.
+			c.s.drainAcks()
 		}
+		c.trimAcked()
 		hv.TimerInterruptsDue(tme)
-		delivered := append([]hypervisor.Interrupt(nil), hv.Buffered()...)
+		var delivered []hypervisor.Interrupt
+		if buf := hv.Buffered(); len(buf) > 0 {
+			delivered = append([]hypervisor.Interrupt(nil), buf...)
+		}
 		hv.DeliverBuffered()
 		c.archive.record(SyncEpoch{
 			Epoch: b.Epoch, Tme: tme, Ints: delivered,
 			Digest: b.Digest, Halted: b.Halted,
 		})
 		c.s.send(message{Kind: msgEnd, Epoch: b.Epoch, Digest: b.Digest, Halted: b.Halted})
+		c.endSeqs = append(c.endSeqs, endSeqRec{epoch: b.Epoch, seq: c.s.seq})
 		hv.ChargeBoundary(p)
 		hv.SetTODBase(tme)
 		c.intIndex = 0
+	}
+}
+
+// trimAcked advances the acknowledged-epoch watermark from the sender's
+// ack state and prunes archive history more than archiveResyncKeep
+// epochs behind it. An epoch whose End every live peer acked can never
+// need replaying, so a healthy coordinator's archive stays a short tail
+// instead of growing with the run (the window cap in record remains the
+// backstop for lagging peers).
+func (c *coordinator) trimAcked() {
+	ma := c.s.minAcked()
+	done := 0
+	for done < len(c.endSeqs) && c.endSeqs[done].seq <= ma {
+		c.ackedThrough = c.endSeqs[done].epoch
+		c.haveAcked = true
+		done++
+	}
+	if done > 0 {
+		// Compact survivors to the front so the backing array is reused.
+		n := copy(c.endSeqs, c.endSeqs[done:])
+		c.endSeqs = c.endSeqs[:n]
+	}
+	if c.haveAcked && c.ackedThrough+1 > archiveResyncKeep {
+		c.archive.trim(c.ackedThrough + 1 - archiveResyncKeep)
 	}
 }

@@ -85,6 +85,22 @@ func (s *sender) drainAcks() {
 	}
 }
 
+// minAcked returns the lowest acknowledged sequence number across live
+// peers — the prefix of the stream every live peer provably holds. With
+// no live peers it returns seq (nothing outstanding).
+func (s *sender) minAcked() uint64 {
+	min := s.seq
+	for _, p := range s.peers {
+		if p.peer.TX.Down() {
+			continue
+		}
+		if p.acked < min {
+			min = p.acked
+		}
+	}
+	return min
+}
+
 // fullyAcked reports whether every live peer has acknowledged everything
 // sent so far. Peers whose channel is down are skipped: a failstopped
 // backup must not wedge the primary forever (the paper's model assumes

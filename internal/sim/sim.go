@@ -10,6 +10,12 @@
 // of them at a time, so no locking is needed inside simulated components
 // and execution order is a deterministic function of (event time, schedule
 // order).
+//
+// The hot path is allocation-free: popped events are pooled on a free
+// list, each process embeds a reusable timer event and signal waiter (a
+// blocked process can have at most one of each pending), and a process
+// that sleeps when nothing else can run first simply advances the clock
+// without a heap operation or goroutine handoff at all.
 package sim
 
 import (
@@ -17,7 +23,6 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math/rand"
-	"sort"
 )
 
 // Time is a virtual timestamp or duration in simulated nanoseconds.
@@ -54,14 +59,23 @@ func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 // Micros converts t to floating-point microseconds.
 func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
 
-// event is a scheduled callback. Events with equal time fire in insertion
-// order (seq), which keeps the simulation deterministic.
+// event is a scheduled occurrence. Events with equal time fire in
+// scheduling order (seq), which keeps the simulation deterministic.
+// Exactly one of fn, proc, waiter is set: a callback, a direct process
+// resume (Sleep, Spawn, Broadcast wake), or a wait timeout. Events are
+// recycled through the kernel free list (or, for the per-process
+// embedded timer, reused in place); gen distinguishes incarnations so a
+// stale Handle cannot cancel a reused event.
 type event struct {
-	at       Time
-	seq      uint64
-	fn       func()
-	canceled bool
-	index    int // heap index, -1 when popped
+	k      *Kernel
+	at     Time
+	seq    uint64
+	gen    uint64
+	fn     func()
+	proc   *Proc
+	waiter *signalWaiter
+	index  int // heap index, -1 when not queued
+	owned  bool
 }
 
 type eventHeap []*event
@@ -101,15 +115,21 @@ type Kernel struct {
 	now     Time
 	seq     uint64
 	events  eventHeap
+	free    []*event // recycled events
 	seed    int64
 	procs   []*Proc
 	stopped bool
 	limit   Time // RunUntil bound, or <0 for none
 	yield   chan struct{}
 	current *Proc
-	nprocs  int // live (not yet finished) processes
-	inEvent bool
+	nprocs  int         // live (not yet finished) processes
 	idleFn  func() bool // optional hook when event queue empties
+
+	// Direct-wake slot: one sleeping process bypasses the event heap
+	// entirely. Equivalent to an event at (dwAt, dwSeq) resuming dwProc.
+	dwProc *Proc
+	dwAt   Time
+	dwSeq  uint64
 }
 
 // NewKernel returns a kernel whose random streams derive from seed.
@@ -136,27 +156,63 @@ func (k *Kernel) NewRand(name string) *rand.Rand {
 	return rand.New(rand.NewSource(int64(h.Sum64())))
 }
 
+// alloc takes an event from the free list (or allocates one).
+func (k *Kernel) alloc() *event {
+	if n := len(k.free); n > 0 {
+		e := k.free[n-1]
+		k.free = k.free[:n-1]
+		return e
+	}
+	return &event{k: k, index: -1}
+}
+
+// recycle retires an event that has fired or been canceled. The
+// generation bump invalidates outstanding Handles; pooled events return
+// to the free list, per-process embedded ones are reused in place.
+func (k *Kernel) recycle(e *event) {
+	e.gen++
+	e.fn, e.proc, e.waiter = nil, nil, nil
+	if !e.owned {
+		k.free = append(k.free, e)
+	}
+}
+
+// push enqueues e at absolute time at (clamped to now), assigning the
+// next scheduling sequence number.
+func (k *Kernel) push(e *event, at Time) {
+	if at < k.now {
+		at = k.now
+	}
+	e.at = at
+	e.seq = k.seq
+	k.seq++
+	heap.Push(&k.events, e)
+}
+
 // Handle identifies a scheduled event so that it can be canceled.
-type Handle struct{ e *event }
+type Handle struct {
+	e   *event
+	gen uint64
+}
 
 // Cancel prevents the event from firing. Canceling an already-fired or
 // already-canceled event is a no-op.
 func (h Handle) Cancel() {
-	if h.e != nil {
-		h.e.canceled = true
+	e := h.e
+	if e == nil || e.gen != h.gen || e.index < 0 {
+		return
 	}
+	heap.Remove(&e.k.events, e.index)
+	e.k.recycle(e)
 }
 
 // At schedules fn to run at absolute virtual time at. Event callbacks run
 // in kernel context and must not block; use Spawn for blocking behaviour.
 func (k *Kernel) At(at Time, fn func()) Handle {
-	if at < k.now {
-		at = k.now
-	}
-	e := &event{at: at, seq: k.seq, fn: fn}
-	k.seq++
-	heap.Push(&k.events, e)
-	return Handle{e}
+	e := k.alloc()
+	e.fn = fn
+	k.push(e, at)
+	return Handle{e: e, gen: e.gen}
 }
 
 // After schedules fn to run d nanoseconds from now.
@@ -167,16 +223,18 @@ func (k *Kernel) After(d Time, fn func()) Handle {
 	return k.At(k.now+d, fn)
 }
 
-// NextEventTime reports the time of the earliest pending event.
+// NextEventTime reports the time of the earliest pending occurrence
+// (scheduled event or direct-wake sleeper).
 func (k *Kernel) NextEventTime() (Time, bool) {
-	for len(k.events) > 0 {
-		if k.events[0].canceled {
-			heap.Pop(&k.events)
-			continue
-		}
-		return k.events[0].at, true
+	var t Time
+	ok := false
+	if len(k.events) > 0 {
+		t, ok = k.events[0].at, true
 	}
-	return 0, false
+	if k.dwProc != nil && (!ok || k.dwAt < t) {
+		t, ok = k.dwAt, true
+	}
+	return t, ok
 }
 
 // OnIdle registers a hook called when the event queue drains while
@@ -211,35 +269,86 @@ func (k *Kernel) Stop() { k.stopped = true }
 // Stopped reports whether Stop has been called.
 func (k *Kernel) Stopped() bool { return k.stopped }
 
-func (k *Kernel) loop() Time {
-	for !k.stopped {
+// next advances the simulation without transferring control: it runs due
+// callback events inline and returns the next process to hand the single
+// execution token to (with the clock advanced to its wake time), or nil
+// when an end condition holds — queue drained (after the idle hook
+// declined), Stop called, or the RunUntil bound reached.
+//
+// next may execute on the kernel goroutine or on a blocking process's
+// goroutine (see block): whoever holds the token schedules. Exactly one
+// goroutine runs at any instant, so kernel state needs no locking.
+func (k *Kernel) next() *Proc {
+	for {
+		if k.stopped {
+			return nil
+		}
 		var e *event
-		for len(k.events) > 0 {
-			cand := k.events[0]
-			if cand.canceled {
-				heap.Pop(&k.events)
-				continue
+		if len(k.events) > 0 {
+			e = k.events[0]
+		}
+		// The direct-wake sleeper competes with the heap head under the
+		// same (time, seq) order an equivalent heap event would have.
+		if p := k.dwProc; p != nil && (e == nil || k.dwAt < e.at || (k.dwAt == e.at && k.dwSeq < e.seq)) {
+			if k.limit >= 0 && k.dwAt > k.limit {
+				return nil
 			}
-			e = cand
-			break
+			k.dwProc = nil
+			if k.dwAt > k.now {
+				k.now = k.dwAt
+			}
+			return p
 		}
 		if e == nil {
 			if k.idleFn != nil && k.idleFn() {
 				continue
 			}
-			break
+			return nil
 		}
 		if k.limit >= 0 && e.at > k.limit {
-			break
+			return nil
 		}
 		heap.Pop(&k.events)
 		if e.at > k.now {
 			k.now = e.at
 		}
-		k.inEvent = true
-		e.fn()
-		k.inEvent = false
+		switch {
+		case e.proc != nil:
+			p := e.proc
+			k.recycle(e)
+			if p.state == procDone {
+				continue
+			}
+			return p
+		case e.waiter != nil:
+			w := e.waiter
+			k.recycle(e)
+			if w.woken {
+				continue
+			}
+			w.timed = true
+			w.woken = true
+			w.s.removeWaiter(w)
+			return w.p
+		default:
+			fn := e.fn
+			k.recycle(e)
+			fn()
+		}
 	}
+}
+
+func (k *Kernel) loop() Time {
+	p := k.next()
+	if p == nil {
+		return k.now
+	}
+	// Hand the token to the first runnable process. It travels from
+	// process to process directly (block passes it on) and returns here
+	// only when an end condition is reached.
+	k.current = p
+	p.wake <- struct{}{}
+	<-k.yield
 	return k.now
 }
 
@@ -282,6 +391,15 @@ type Proc struct {
 	wake  chan struct{}
 	state procState
 	kill  bool
+	// timer is the embedded reusable event backing this process's
+	// pending resume or wait timeout (a blocked process has at most
+	// one). It falls back to the kernel pool in the rare moment it is
+	// still queued (a canceled-timer race resolved by eager removal
+	// makes that window empty in practice).
+	timer event
+	// waiter is the embedded reusable signal-wait record (a blocked
+	// process waits on at most one signal).
+	waiter signalWaiter
 }
 
 // Name returns the name the process was spawned with.
@@ -298,6 +416,7 @@ func (p *Proc) Now() Time { return p.k.now }
 // time). Spawn may be called before Run or from inside processes/events.
 func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
 	p := &Proc{k: k, name: name, wake: make(chan struct{}), state: procReady}
+	p.timer = event{k: k, index: -1, owned: true}
 	k.procs = append(k.procs, p)
 	k.nprocs++
 	go func() {
@@ -306,14 +425,21 @@ func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
 			p.state = procDone
 			k.nprocs--
 			if r := recover(); r != nil {
-				if _, ok := r.(killed); ok {
-					// Unwound by Shutdown: hand control back silently.
-					k.yield <- struct{}{}
-					return
+				if _, ok := r.(killed); !ok {
+					panic(r)
 				}
-				panic(r)
+				// Unwound by Shutdown: fall through and pass the token
+				// on (next() returns nil immediately — stopped is set).
 			}
-			k.yield <- struct{}{}
+			// The dying process holds the token: keep scheduling until
+			// it transfers to another process or an end condition hands
+			// control back to the kernel goroutine.
+			if q := k.next(); q != nil {
+				k.current = q
+				q.wake <- struct{}{}
+			} else {
+				k.yield <- struct{}{}
+			}
 		}()
 		if p.kill {
 			panic(killed{})
@@ -321,12 +447,23 @@ func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
 		p.state = procRunning
 		fn(p)
 	}()
-	k.At(k.now, func() { k.resume(p) })
+	k.schedResume(p, k.now)
 	return p
 }
 
-// resume transfers control to p and waits until it blocks or finishes.
-// Must be called from kernel context.
+// schedResume enqueues a direct process-resume event, reusing the
+// process's embedded timer event when it is free.
+func (k *Kernel) schedResume(p *Proc, at Time) {
+	e := &p.timer
+	if e.index >= 0 {
+		e = k.alloc()
+	}
+	e.proc = p
+	k.push(e, at)
+}
+
+// resume transfers control to p and waits for the token to come back.
+// Used by Shutdown (kernel context) to unwind blocked processes.
 func (k *Kernel) resume(p *Proc) {
 	if p.state == procDone {
 		return
@@ -338,25 +475,68 @@ func (k *Kernel) resume(p *Proc) {
 	k.current = prev
 }
 
-// block suspends the calling process until the kernel wakes it.
+// block suspends the calling process. Holding the token, it schedules
+// inline: if its own wake is the next occurrence it simply continues —
+// no goroutine switch at all — otherwise it hands the token to the next
+// process (or back to the kernel goroutine on an end condition) and
+// parks until its own wake is dispatched by a later token holder.
 func (p *Proc) block() {
 	p.state = procBlocked
-	p.k.yield <- struct{}{}
-	<-p.wake
+	k := p.k
+	if q := k.next(); q != p {
+		if q != nil {
+			k.current = q
+			q.wake <- struct{}{}
+		} else {
+			k.yield <- struct{}{}
+		}
+		<-p.wake
+	}
 	if p.kill {
 		panic(killed{})
 	}
 	p.state = procRunning
 }
 
+// debugForceHeap, when set (tests only), disables Sleep's fast paths so
+// every sleep travels the general heap-event path — the reference
+// discipline the fast paths must be indistinguishable from.
+var debugForceHeap bool
+
 // Sleep suspends the process for d virtual nanoseconds.
 func (p *Proc) Sleep(d Time) {
-	if d <= 0 {
+	k := p.k
+	if d < 0 {
 		// Yield: reschedule at the same instant, after pending same-time
 		// events, preserving determinism.
 		d = 0
 	}
-	p.k.At(p.k.now+d, func() { p.k.resume(p) })
+	at := k.now + d
+	if debugForceHeap {
+		k.schedResume(p, at)
+		p.block()
+		return
+	}
+	// Fast path 1: nothing else can possibly run before this process
+	// wakes (no event at or before the wake time — an event AT the wake
+	// time was scheduled earlier and must fire first — and no other
+	// direct sleeper, no stop, no RunUntil bound in between). Advance
+	// the clock in place: no heap operation, no goroutine handoff.
+	if !k.stopped && k.dwProc == nil &&
+		(len(k.events) == 0 || k.events[0].at > at) &&
+		(k.limit < 0 || at <= k.limit) {
+		k.now = at
+		return
+	}
+	// Fast path 2: park in the kernel's single direct-wake slot,
+	// skipping the heap. Order is identical to an event pushed now.
+	if k.dwProc == nil {
+		k.dwProc, k.dwAt, k.dwSeq = p, at, k.seq
+		k.seq++
+		p.block()
+		return
+	}
+	k.schedResume(p, at)
 	p.block()
 }
 
@@ -374,10 +554,11 @@ type Signal struct {
 
 type signalWaiter struct {
 	p     *Proc
+	s     *Signal
 	seq   uint64
 	woken bool
-	timer Handle
 	timed bool // true if the waiter timed out rather than being signaled
+	timer Handle
 }
 
 // NewSignal creates a Signal owned by kernel k.
@@ -385,18 +566,29 @@ func (k *Kernel) NewSignal(name string) *Signal {
 	return &Signal{k: k, name: name}
 }
 
+// removeWaiter unlinks w from the wait list (timeout path).
+func (s *Signal) removeWaiter(w *signalWaiter) {
+	for i, x := range s.waiters {
+		if x == w {
+			s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+			break
+		}
+	}
+}
+
 // Broadcast wakes every process currently waiting on s. Each waiter
-// resumes via a scheduled event at the current time, in the order they
-// began waiting.
+// resumes via a scheduled occurrence at the current time, in the order
+// they began waiting (the wait list is kept in arrival order).
 func (s *Signal) Broadcast() {
 	ws := s.waiters
-	s.waiters = nil
-	sort.Slice(ws, func(i, j int) bool { return ws[i].seq < ws[j].seq })
+	if len(ws) == 0 {
+		return
+	}
+	s.waiters = s.waiters[:0]
 	for _, w := range ws {
 		w.woken = true
-		w.timer.Cancel()
-		ww := w
-		s.k.At(s.k.now, func() { s.k.resume(ww.p) })
+		w.timer.Cancel() // frees the embedded timer for the resume below
+		s.k.schedResume(w.p, s.k.now)
 	}
 }
 
@@ -409,37 +601,92 @@ func (p *Proc) Wait(s *Signal) { p.WaitTimeout(s, Forever) }
 // WaitTimeout blocks until Broadcast or until d elapses. It returns true
 // if woken by Broadcast, false on timeout.
 func (p *Proc) WaitTimeout(s *Signal, d Time) bool {
-	w := &signalWaiter{p: p, seq: s.seq}
+	w := &p.waiter
+	w.p, w.s, w.seq = p, s, s.seq
+	w.woken, w.timed = false, false
+	w.timer = Handle{}
 	s.seq++
 	s.waiters = append(s.waiters, w)
 	if d != Forever {
-		w.timer = s.k.After(d, func() {
-			if w.woken {
-				return
-			}
-			w.timed = true
-			w.woken = true
-			// Remove from waiter list so Broadcast skips it.
-			for i, x := range s.waiters {
-				if x == w {
-					s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
-					break
-				}
-			}
-			s.k.resume(p)
-		})
+		k := s.k
+		e := &p.timer
+		if e.index >= 0 {
+			e = k.alloc()
+		}
+		e.waiter = w
+		k.push(e, k.now+d)
+		w.timer = Handle{e: e, gen: e.gen}
 	}
 	p.block()
 	return !w.timed
 }
 
+// Ring is an unbounded FIFO ring buffer. A long-lived ring neither
+// re-allocates per element in steady state nor pins consumed elements
+// (a popped slot is zeroed). The zero value is ready to use.
+type Ring[T any] struct {
+	items   []T // backing storage; len(items) is the capacity
+	head, n int
+}
+
+// Len reports the number of buffered elements.
+func (r *Ring[T]) Len() int { return r.n }
+
+// Push appends v.
+func (r *Ring[T]) Push(v T) {
+	if r.n == len(r.items) {
+		r.grow()
+	}
+	i := r.head + r.n
+	if i >= len(r.items) {
+		i -= len(r.items)
+	}
+	r.items[i] = v
+	r.n++
+}
+
+// grow doubles the capacity, unwrapping the live elements.
+func (r *Ring[T]) grow() {
+	ncap := 2 * len(r.items)
+	if ncap == 0 {
+		ncap = 8
+	}
+	buf := make([]T, ncap)
+	for i := 0; i < r.n; i++ {
+		j := r.head + i
+		if j >= len(r.items) {
+			j -= len(r.items)
+		}
+		buf[i] = r.items[j]
+	}
+	r.items, r.head = buf, 0
+}
+
+// Pop removes and returns the oldest element.
+func (r *Ring[T]) Pop() (T, bool) {
+	var zero T
+	if r.n == 0 {
+		return zero, false
+	}
+	v := r.items[r.head]
+	r.items[r.head] = zero // release the consumed element
+	r.head++
+	if r.head == len(r.items) {
+		r.head = 0
+	}
+	r.n--
+	return v, true
+}
+
 // Queue is an unbounded FIFO of values delivered in virtual time. Any
 // goroutine in kernel context may Put; processes Recv (blocking in virtual
-// time). It is the basic mailbox for simulated message passing.
+// time). It is the basic mailbox for simulated message passing. Storage
+// is a Ring, so a long-lived queue neither re-allocates per message nor
+// pins consumed items.
 type Queue[T any] struct {
 	k     *Kernel
 	name  string
-	items []T
+	ring  Ring[T]
 	avail *Signal
 }
 
@@ -449,23 +696,17 @@ func NewQueue[T any](k *Kernel, name string) *Queue[T] {
 }
 
 // Len reports the number of queued items.
-func (q *Queue[T]) Len() int { return len(q.items) }
+func (q *Queue[T]) Len() int { return q.ring.Len() }
 
 // Put appends v and wakes any receivers.
 func (q *Queue[T]) Put(v T) {
-	q.items = append(q.items, v)
+	q.ring.Push(v)
 	q.avail.Broadcast()
 }
 
 // TryRecv removes and returns the head item without blocking.
 func (q *Queue[T]) TryRecv() (T, bool) {
-	var zero T
-	if len(q.items) == 0 {
-		return zero, false
-	}
-	v := q.items[0]
-	q.items = q.items[1:]
-	return v, true
+	return q.ring.Pop()
 }
 
 // Recv blocks the process until an item is available, then returns it.
@@ -499,9 +740,18 @@ func (q *Queue[T]) RecvTimeout(p *Proc, d Time) (T, bool) {
 	}
 }
 
-// Drain removes and returns all queued items.
+// Drain removes and returns all queued items (a fresh slice; the queue's
+// internal storage is never handed out).
 func (q *Queue[T]) Drain() []T {
-	out := q.items
-	q.items = nil
-	return out
+	if q.ring.Len() == 0 {
+		return nil
+	}
+	out := make([]T, 0, q.ring.Len())
+	for {
+		v, ok := q.TryRecv()
+		if !ok {
+			return out
+		}
+		out = append(out, v)
+	}
 }

@@ -541,3 +541,111 @@ func TestYield(t *testing.T) {
 		}
 	}
 }
+
+// Regression: TryRecv must not pin consumed items. The old
+// implementation kept the consumed prefix of the backing array alive
+// (q.items = q.items[1:]); the ring zeroes each consumed slot.
+func TestQueueReleasesConsumedItems(t *testing.T) {
+	k := NewKernel(1)
+	q := NewQueue[*int](k, "q")
+	for i := 0; i < 4; i++ {
+		v := i
+		q.Put(&v)
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok := q.TryRecv(); !ok {
+			t.Fatal("TryRecv failed")
+		}
+	}
+	live := 0
+	for _, p := range q.ring.items {
+		if p != nil {
+			live++
+		}
+	}
+	if live != 1 {
+		t.Errorf("backing array holds %d live pointers, want 1 (consumed slots must be zeroed)", live)
+	}
+}
+
+// The ring must preserve FIFO order across many wraparounds and grows.
+func TestQueueRingWraparound(t *testing.T) {
+	k := NewKernel(1)
+	q := NewQueue[int](k, "q")
+	next, want := 0, 0
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 3+round%5; i++ {
+			q.Put(next)
+			next++
+		}
+		for i := 0; i < 2+round%4 && q.Len() > 0; i++ {
+			v, ok := q.TryRecv()
+			if !ok || v != want {
+				t.Fatalf("round %d: got (%d,%v), want %d", round, v, ok, want)
+			}
+			want++
+		}
+	}
+	for q.Len() > 0 {
+		v, _ := q.TryRecv()
+		if v != want {
+			t.Fatalf("drain: got %d, want %d", v, want)
+		}
+		want++
+	}
+	if want != next {
+		t.Fatalf("consumed %d items, produced %d", want, next)
+	}
+}
+
+// Regression: Drain must hand out a fresh slice, not the queue's
+// internal storage (later Puts must not mutate the drained snapshot).
+func TestQueueDrainReturnsCopy(t *testing.T) {
+	k := NewKernel(1)
+	q := NewQueue[int](k, "q")
+	q.Put(1)
+	q.Put(2)
+	got := q.Drain()
+	q.Put(99)
+	q.Put(98)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("drained snapshot corrupted by later Puts: %v", got)
+	}
+}
+
+// The Sleep fast paths (in-place clock advance, direct-wake slot) must
+// keep process interleaving identical to the general heap-event path:
+// the same workload runs with the fast paths forced off as a reference.
+func TestSleepFastPathInterleaving(t *testing.T) {
+	run := func(nproc int, forceHeap bool) []string {
+		debugForceHeap = forceHeap
+		defer func() { debugForceHeap = false }()
+		var log []string
+		k := NewKernel(1)
+		defer k.Shutdown()
+		for i := 0; i < nproc; i++ {
+			i := i
+			k.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+				for j := 0; j < 20; j++ {
+					p.Sleep(Time(3 + 2*i))
+					log = append(log, fmt.Sprintf("p%d@%d", i, p.Now()))
+				}
+			})
+		}
+		k.Run()
+		return log
+	}
+	// n=1 exercises the in-place advance, n>=2 the direct-wake slot and
+	// heap mixing; each must match the all-heap reference exactly.
+	for _, n := range []int{1, 2, 5} {
+		fast, ref := run(n, false), run(n, true)
+		if len(fast) != len(ref) {
+			t.Fatalf("n=%d: lengths differ: fast %d vs heap %d", n, len(fast), len(ref))
+		}
+		for i := range fast {
+			if fast[i] != ref[i] {
+				t.Fatalf("n=%d: divergence at %d: fast %q vs heap %q", n, i, fast[i], ref[i])
+			}
+		}
+	}
+}
