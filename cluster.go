@@ -1,0 +1,536 @@
+package hft
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/scsi"
+	"repro/internal/session"
+	"repro/internal/sim"
+)
+
+// Cluster is a long-lived, replicated virtual machine session: a
+// primary and its backups under the paper's coordination protocols,
+// resident in virtual time. Unlike the one-shot Run, a Cluster boots
+// lazily, advances under caller control (RunFor, RunUntil, Wait),
+// accepts live perturbations while it runs (FailPrimary, FailBackup,
+// SetLinkQuality), and exposes observation as first-class values — a
+// Snapshot of epoch/protocol/IO statistics at any virtual time and a
+// subscribable Events stream.
+//
+// A Cluster must be driven from a single goroutine. The channels
+// returned by Events may be consumed from any goroutine.
+type Cluster struct {
+	eng *session.Engine
+
+	subMu  sync.Mutex
+	subs   []*subscriber
+	nsubs  atomic.Int32 // publish's lock-free fast path when nobody listens
+	closed bool
+}
+
+// NewCluster assembles a session from functional options. The
+// configuration is validated eagerly — an unknown link, a negative
+// backup count, a failure schedule that exceeds the replica set, or a
+// zero seed fail here, not inside a later run. The simulation itself
+// is constructed lazily, on the first advancement.
+func NewCluster(opts ...Option) (*Cluster, error) {
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{}
+	c.eng = session.New(session.Options{
+		Seed:          o.seed,
+		Program:       o.sessionProgram(),
+		Bare:          o.bare,
+		Disk:          o.diskConfig(),
+		EpochLength:   o.epochLength,
+		Protocol:      o.protocol,
+		Link:          o.link.LinkParams().linkConfig(),
+		FailPrimaryAt: sim.Time(o.failPrimaryAt),
+		DetectTimeout: sim.Time(o.detectTimeout),
+		Backups:       o.backups,
+		FailBackupAt:  o.failBackupTimes(),
+		Observer:      c.publish,
+		DiskEvents:    true,
+	})
+	return c, nil
+}
+
+// ErrClosed reports use of a closed Cluster.
+var ErrClosed = errors.New("hft: cluster is closed")
+
+// Now returns the session's current virtual time.
+func (c *Cluster) Now() Duration { return c.eng.Now() }
+
+// Done reports whether the guest workload has completed.
+func (c *Cluster) Done() bool { return c.eng.Done() }
+
+// RunFor boots the cluster if needed and advances it by d of virtual
+// time, then reports the resulting state. Advancing a completed
+// session is a no-op.
+func (c *Cluster) RunFor(d Duration) (Snapshot, error) {
+	if c.closed {
+		return Snapshot{}, ErrClosed
+	}
+	c.eng.RunFor(sim.Time(d))
+	return c.Snapshot(), nil
+}
+
+// RunUntil advances the cluster until pred holds. The predicate is
+// evaluated before starting and then at every epoch commit — the
+// protocol's natural observation points — so the session pauses on a
+// consistent boundary. It returns when pred holds or the workload
+// completes, whichever is first.
+func (c *Cluster) RunUntil(pred func(Snapshot) bool) (Snapshot, error) {
+	if c.closed {
+		return Snapshot{}, ErrClosed
+	}
+	err := c.eng.RunUntil(func() bool { return pred(c.Snapshot()) })
+	return c.Snapshot(), err
+}
+
+// Wait drives the cluster until the guest workload completes, then
+// returns the terminal Result. Cancellation is honored at epoch
+// boundaries: if ctx is canceled the session pauses (resumable by any
+// advancement method) and Wait returns ctx's error.
+func (c *Cluster) Wait(ctx context.Context) (Result, error) {
+	if c.closed {
+		return Result{}, ErrClosed
+	}
+	var cancelled func() bool
+	if ctx != nil && ctx.Done() != nil {
+		cancelled = func() bool { return ctx.Err() != nil }
+	}
+	if err := c.eng.RunToCompletion(cancelled); err != nil {
+		return Result{}, err
+	}
+	if !c.eng.Done() {
+		return Result{}, ctx.Err()
+	}
+	return c.Result()
+}
+
+// Result returns the terminal report. It errors until the workload has
+// completed (use Snapshot for live observation).
+func (c *Cluster) Result() (Result, error) {
+	r, err := c.eng.Result()
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Time:                 r.Time,
+		Checksum:             r.Guest.Checksum,
+		Console:              r.Console,
+		Promoted:             r.Promoted,
+		Divergences:          r.BackupStats.Divergences,
+		MessagesSent:         r.PrimaryStats.MessagesSent,
+		UncertainSynthesized: r.BackupStats.UncertainSynth,
+		GuestPanic:           r.Guest.Panic,
+	}, nil
+}
+
+// FailPrimary failstops the primary's processor at the current virtual
+// time: execution ceases and all its communication is severed, exactly
+// as Config.FailPrimaryAt would have done on a schedule. The backup
+// detects the silence, finishes the failover epoch, synthesizes
+// uncertain interrupts for outstanding I/O (rule P7) and takes over.
+func (c *Cluster) FailPrimary() {
+	if c.closed {
+		return
+	}
+	c.eng.FailPrimary()
+}
+
+// FailBackup failstops backup i (1-based priority index) at the
+// current virtual time.
+func (c *Cluster) FailBackup(i int) error {
+	if c.closed {
+		return ErrClosed
+	}
+	return c.eng.FailBackup(i)
+}
+
+// SetLinkQuality degrades (or restores) every inter-hypervisor link
+// mid-run: messages already serialized keep their scheduled delivery;
+// future protocol traffic pays the new costs.
+func (c *Cluster) SetLinkQuality(q LinkQuality) error {
+	if c.closed {
+		return ErrClosed
+	}
+	return c.eng.SetLinkQuality(q.quality())
+}
+
+// Snapshot captures the cluster's observable state at the current
+// virtual time — valid mid-run, not just at completion.
+func (c *Cluster) Snapshot() Snapshot {
+	s := c.eng.Snapshot()
+	return Snapshot{
+		Now:                  Duration(s.Now),
+		Booted:               s.Booted,
+		Done:                 s.Done,
+		Nodes:                s.Nodes,
+		Acting:               s.Acting,
+		Epochs:               s.Epochs,
+		GuestInstructions:    s.GuestInstructions,
+		Promoted:             s.Promoted,
+		Halted:               s.Halted,
+		MessagesSent:         s.MessagesSent,
+		BytesSent:            s.BytesSent,
+		AcksReceived:         s.AcksReceived,
+		IntsForwarded:        s.IntsForwarded,
+		Divergences:          s.Divergences,
+		UncertainSynthesized: s.UncertainSynthesized,
+		DiskOps:              s.DiskOps,
+		DiskUncertain:        s.DiskUncertain,
+		Console:              s.Console,
+	}
+}
+
+// Snapshot is a point-in-time view of a running (or completed) cluster.
+type Snapshot struct {
+	// Now is the virtual time of the observation.
+	Now Duration
+	// Booted reports whether the simulation has been constructed.
+	Booted bool
+	// Done reports whether the guest workload has completed.
+	Done bool
+	// Nodes is the replica count (primary + backups).
+	Nodes int
+	// Acting is the node currently interacting with the environment
+	// (0 until a failover, then the promoted backup's index).
+	Acting int
+	// Epochs is the acting coordinator's committed epoch count.
+	Epochs uint64
+	// GuestInstructions is the acting node's retired instruction count.
+	GuestInstructions uint64
+	// Promoted reports whether any failover has occurred.
+	Promoted bool
+	// Halted reports whether the acting node's guest has halted.
+	Halted bool
+	// Protocol counters, summed over every engine that has acted.
+	MessagesSent         uint64
+	BytesSent            uint64
+	AcksReceived         uint64
+	IntsForwarded        uint64
+	Divergences          uint64
+	UncertainSynthesized uint64
+	// Environment counters.
+	DiskOps       uint64
+	DiskUncertain uint64
+	// Console is the environment-visible console transcript so far.
+	Console string
+}
+
+// quality converts to the simulator's representation.
+func (q LinkQuality) quality() netsim.Quality {
+	return netsim.Quality{
+		BitsPerSecond: q.BitsPerSecond,
+		Latency:       sim.Time(q.Latency),
+		MTU:           q.MTU,
+		DropNext:      q.DropNext,
+	}
+}
+
+// Close tears the session down, terminating its simulation and closing
+// every Events channel. The terminal Result, if the workload completed,
+// remains readable. Idempotent.
+func (c *Cluster) Close() error {
+	c.subMu.Lock()
+	already := c.closed
+	c.closed = true
+	subs := c.subs
+	c.subs = nil
+	c.nsubs.Store(0)
+	c.subMu.Unlock()
+	if already {
+		return nil
+	}
+	c.eng.Close()
+	for _, s := range subs {
+		s.close()
+	}
+	return nil
+}
+
+// Events returns a subscription to the cluster's live event stream:
+// epoch commits, backup digest checks, promotions, uncertain-interrupt
+// synthesis, divergences, injected failures, link-quality changes, disk
+// operations and completion. Each call returns an independent channel
+// carrying every event from the subscription on; the channel is
+// unbounded (a slow consumer cannot stall the simulation) and closes
+// when the cluster is closed. A consumer that stops reading forfeits
+// whatever backlog remains at Close. Safe to consume from any
+// goroutine.
+func (c *Cluster) Events() <-chan Event {
+	c.subMu.Lock()
+	defer c.subMu.Unlock()
+	s := newSubscriber()
+	if c.closed {
+		s.close()
+		return s.ch
+	}
+	c.subs = append(c.subs, s)
+	c.nsubs.Store(int32(len(c.subs)))
+	return s.ch
+}
+
+// publish fans a session event out to the subscribers (installed as
+// the engine's observer; runs on the driving goroutine). With no
+// subscribers — every back-compat one-shot run — it is a single atomic
+// load.
+func (c *Cluster) publish(ev session.Event) {
+	if c.nsubs.Load() == 0 {
+		return
+	}
+	c.subMu.Lock()
+	subs := c.subs
+	c.subMu.Unlock()
+	if len(subs) == 0 {
+		return
+	}
+	pub := publicEvent(ev)
+	for _, s := range subs {
+		s.publish(pub)
+	}
+}
+
+// EventKind enumerates cluster events.
+type EventKind int
+
+// Cluster event kinds.
+const (
+	// EventEpochCommitted: the acting coordinator finished an epoch
+	// boundary (Tme shipped, buffered interrupts delivered).
+	EventEpochCommitted EventKind = iota
+	// EventBackupEpoch: a following backup completed an epoch's
+	// boundary processing, including its divergence check.
+	EventBackupEpoch
+	// EventPromoted: a backup detected coordinator failure and took
+	// over (rules P6/P7).
+	EventPromoted
+	// EventDivergence: a backup's state digest disagreed with the
+	// coordinator's (always absent unless deterministic replay is
+	// broken — the §3.2 hazard).
+	EventDivergence
+	// EventFailstop: a processor failstop was injected.
+	EventFailstop
+	// EventLinkQualityChanged: SetLinkQuality took effect.
+	EventLinkQualityChanged
+	// EventDiskOp: the shared disk completed an operation.
+	EventDiskOp
+	// EventCompleted: the guest workload finished everywhere.
+	EventCompleted
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventEpochCommitted:
+		return "epoch-committed"
+	case EventBackupEpoch:
+		return "backup-epoch"
+	case EventPromoted:
+		return "promoted"
+	case EventDivergence:
+		return "divergence"
+	case EventFailstop:
+		return "failstop"
+	case EventLinkQualityChanged:
+		return "link-quality"
+	case EventDiskOp:
+		return "disk-op"
+	case EventCompleted:
+		return "completed"
+	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// DiskOp describes one EventDiskOp.
+type DiskOp struct {
+	// Host is the adapter that issued the operation (node index).
+	Host int
+	// Write distinguishes writes from reads.
+	Write bool
+	// Block is the operated block number.
+	Block uint32
+	// Uncertain reports a CHECK_CONDITION completion (IO2).
+	Uncertain bool
+	// Committed reports whether the operation actually took effect.
+	Committed bool
+}
+
+// Event is one observation from a running cluster.
+type Event struct {
+	// Kind discriminates the payload fields below.
+	Kind EventKind
+	// Time is the virtual time of the occurrence.
+	Time Duration
+	// Node is the replica concerned (primary = 0, backup i = i).
+	Node int
+	// Epoch is the protocol epoch concerned (epoch-scoped kinds).
+	Epoch uint64
+
+	// Tme is the clock value shipped at an epoch commit.
+	Tme uint32
+	// Halted marks the committing epoch as the guest's last.
+	Halted bool
+	// DigestMatch reports a backup's divergence-check outcome.
+	DigestMatch bool
+	// Uncertain is the number of uncertain interrupts synthesized at a
+	// promotion (rule P7).
+	Uncertain int
+	// Digests carries the mismatched state digests of a divergence:
+	// coordinator's, then the local one.
+	Digests [2]uint64
+	// Disk describes a disk operation.
+	Disk DiskOp
+}
+
+// String renders the event compactly.
+func (e Event) String() string {
+	switch e.Kind {
+	case EventEpochCommitted:
+		return fmt.Sprintf("[%v] node%d epoch %d committed (tme=%d halted=%v)", e.Time, e.Node, e.Epoch, e.Tme, e.Halted)
+	case EventBackupEpoch:
+		return fmt.Sprintf("[%v] node%d epoch %d checked (match=%v)", e.Time, e.Node, e.Epoch, e.DigestMatch)
+	case EventPromoted:
+		return fmt.Sprintf("[%v] node%d PROMOTED at epoch %d (%d uncertain synthesized)", e.Time, e.Node, e.Epoch, e.Uncertain)
+	case EventDivergence:
+		return fmt.Sprintf("[%v] node%d DIVERGED at epoch %d (%x != %x)", e.Time, e.Node, e.Epoch, e.Digests[0], e.Digests[1])
+	case EventFailstop:
+		return fmt.Sprintf("[%v] node%d failstopped", e.Time, e.Node)
+	case EventLinkQualityChanged:
+		return fmt.Sprintf("[%v] link quality changed", e.Time)
+	case EventDiskOp:
+		op := "read"
+		if e.Disk.Write {
+			op = "write"
+		}
+		return fmt.Sprintf("[%v] disk %s block %d by node%d (uncertain=%v)", e.Time, op, e.Disk.Block, e.Disk.Host, e.Disk.Uncertain)
+	case EventCompleted:
+		return fmt.Sprintf("[%v] workload completed (acting node%d)", e.Time, e.Node)
+	}
+	return fmt.Sprintf("[%v] %s", e.Time, e.Kind)
+}
+
+// publicEvent converts a session event.
+func publicEvent(ev session.Event) Event {
+	out := Event{
+		Time:  Duration(ev.At),
+		Node:  ev.Node,
+		Epoch: ev.Epoch,
+	}
+	switch ev.Kind {
+	case session.EventEpochCommitted:
+		out.Kind = EventEpochCommitted
+		out.Tme = ev.Tme
+		out.Halted = ev.Halted
+	case session.EventBackupEpoch:
+		out.Kind = EventBackupEpoch
+		out.DigestMatch = ev.Match
+	case session.EventPromoted:
+		out.Kind = EventPromoted
+		out.Uncertain = ev.Count
+	case session.EventDivergence:
+		out.Kind = EventDivergence
+		out.Digests = ev.Digests
+	case session.EventFailstop:
+		out.Kind = EventFailstop
+	case session.EventLinkQuality:
+		out.Kind = EventLinkQualityChanged
+	case session.EventDiskOp:
+		out.Kind = EventDiskOp
+		out.Disk = DiskOp{
+			Host:      ev.IO.Host,
+			Write:     ev.IO.Cmd == scsi.CmdWrite,
+			Block:     ev.IO.Block,
+			Uncertain: ev.IO.Uncertain,
+			Committed: ev.IO.Committed,
+		}
+	case session.EventCompleted:
+		out.Kind = EventCompleted
+	}
+	return out
+}
+
+// subscriber is one Events channel: an unbounded queue bridged to the
+// channel by a pump goroutine, so the simulation never blocks on a
+// slow consumer.
+type subscriber struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  sim.Ring[Event] // ring: consumed slots are released, not pinned
+	closed bool
+	quit   chan struct{} // closed by close(); unblocks an in-flight send
+	ch     chan Event
+}
+
+func newSubscriber() *subscriber {
+	s := &subscriber{ch: make(chan Event, 64), quit: make(chan struct{})}
+	s.cond = sync.NewCond(&s.mu)
+	go s.pump()
+	return s
+}
+
+func (s *subscriber) publish(ev Event) {
+	s.mu.Lock()
+	if !s.closed {
+		s.queue.Push(ev)
+	}
+	s.mu.Unlock()
+	s.cond.Signal()
+}
+
+func (s *subscriber) close() {
+	s.mu.Lock()
+	already := s.closed
+	s.closed = true
+	s.mu.Unlock()
+	if !already {
+		close(s.quit)
+	}
+	s.cond.Signal()
+}
+
+// pump drains the queue into the channel; after close it delivers the
+// backlog to a consumer that keeps reading, then closes the channel. A
+// consumer that has stopped reading forfeits the remaining backlog: each
+// post-close send waits only a short grace period, so an abandoned
+// subscription cannot leak its goroutine past teardown.
+func (s *subscriber) pump() {
+	for {
+		s.mu.Lock()
+		for s.queue.Len() == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		ev, ok := s.queue.Pop()
+		closed := s.closed
+		s.mu.Unlock()
+		if !ok {
+			close(s.ch)
+			return
+		}
+		if !closed {
+			select {
+			case s.ch <- ev:
+				continue
+			case <-s.quit:
+				// Closed while blocked on an unread channel: fall
+				// through to the post-close grace for this event.
+			}
+		}
+		select {
+		case s.ch <- ev:
+		case <-time.After(100 * time.Millisecond):
+			close(s.ch)
+			return
+		}
+	}
+}

@@ -1,0 +1,510 @@
+package hft
+
+import (
+	"context"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/guest"
+)
+
+// TestClusterLiveFailover drives a session through a live (unscheduled)
+// primary failstop and asserts the backup finishes the workload with
+// the bare machine's result.
+func TestClusterLiveFailover(t *testing.T) {
+	w := DiskWrite(3, 4096)
+	cfg := Config{EpochLength: 4096, DiskReadLatency: 500 * Microsecond, DiskWriteLatency: 600 * Microsecond}
+	bare, err := RunBare(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCluster(WithConfig(cfg, w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	snap, err := c.RunFor(5 * Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Done {
+		t.Fatal("workload finished before the failure could be injected")
+	}
+	c.FailPrimary()
+	res, err := c.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Promoted {
+		t.Fatal("backup did not promote after live failstop")
+	}
+	if res.GuestPanic != 0 {
+		t.Fatalf("guest panic %#x", res.GuestPanic)
+	}
+	if res.Checksum != bare.Checksum {
+		t.Errorf("failover checksum %#x != bare %#x", res.Checksum, bare.Checksum)
+	}
+}
+
+// TestClusterRunUntilPredicate pauses a session at an epoch-boundary
+// predicate and resumes it to completion.
+func TestClusterRunUntilPredicate(t *testing.T) {
+	c, err := NewCluster(WithWorkload(CPUIntensive(8000)), WithEpochLength(1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	snap, err := c.RunUntil(func(s Snapshot) bool { return s.Epochs >= 5 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Epochs < 5 {
+		t.Fatalf("predicate stop at %d epochs, want >= 5", snap.Epochs)
+	}
+	if snap.Done {
+		t.Fatal("workload should not have completed by epoch 5")
+	}
+	res, err := c.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GuestPanic != 0 || res.Checksum == 0 {
+		t.Fatalf("bad terminal result after predicate pause: %+v", res)
+	}
+}
+
+// TestClusterWaitCancellation verifies context cancellation pauses the
+// session at an epoch boundary and leaves it resumable.
+func TestClusterWaitCancellation(t *testing.T) {
+	c, err := NewCluster(WithWorkload(CPUIntensive(8000)), WithEpochLength(1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancellation observed at the first epoch boundary
+	if _, err := c.Wait(ctx); err != context.Canceled {
+		t.Fatalf("Wait(cancelled ctx) = %v, want context.Canceled", err)
+	}
+	if c.Done() {
+		t.Fatal("session completed despite cancellation")
+	}
+	res, err := c.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GuestPanic != 0 {
+		t.Fatalf("guest panic %#x after resume", res.GuestPanic)
+	}
+}
+
+// TestClusterLinkDegradation degrades the link mid-run and asserts the
+// run still completes correctly — and slower than an unperturbed one.
+func TestClusterLinkDegradation(t *testing.T) {
+	run := func(degrade bool) Result {
+		c, err := NewCluster(WithWorkload(CPUIntensive(6000)), WithEpochLength(1024))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		if _, err := c.RunFor(5 * Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		if degrade {
+			if err := c.SetLinkQuality(LinkQuality{BitsPerSecond: 1_000_000, Latency: 500 * Microsecond}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := c.Wait(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	healthy := run(false)
+	degraded := run(true)
+	if degraded.Checksum != healthy.Checksum {
+		t.Errorf("degraded link changed the result: %#x != %#x", degraded.Checksum, healthy.Checksum)
+	}
+	if degraded.Time <= healthy.Time {
+		t.Errorf("10x slower link did not slow the run: %v <= %v", degraded.Time, healthy.Time)
+	}
+	if degraded.Promoted || healthy.Promoted {
+		t.Error("degradation must not trigger failover")
+	}
+}
+
+// TestClusterEvents exercises the Events subscription path with
+// concurrent consumers (the go test -race target): two subscribers
+// drain the stream from their own goroutines while the session runs
+// through a live failover.
+func TestClusterEvents(t *testing.T) {
+	c, err := NewCluster(
+		WithWorkload(DiskWrite(3, 4096)),
+		WithDiskLatency(500*Microsecond, 600*Microsecond),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type tally struct {
+		epochs, promotions, failstops, diskOps, completed int
+	}
+	consume := func(ch <-chan Event, out *tally, wg *sync.WaitGroup) {
+		defer wg.Done()
+		for ev := range ch {
+			switch ev.Kind {
+			case EventEpochCommitted:
+				out.epochs++
+			case EventPromoted:
+				out.promotions++
+				if ev.Node != 1 {
+					t.Errorf("promotion from node %d, want 1", ev.Node)
+				}
+			case EventFailstop:
+				out.failstops++
+			case EventDiskOp:
+				out.diskOps++
+			case EventCompleted:
+				out.completed++
+			}
+			if ev.String() == "" {
+				t.Error("empty event rendering")
+			}
+		}
+	}
+
+	var a, b tally
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go consume(c.Events(), &a, &wg)
+	go consume(c.Events(), &b, &wg)
+
+	if _, err := c.RunFor(5 * Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	c.FailPrimary()
+	if _, err := c.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	c.Close() // closes the event channels; consumers drain and exit
+	wg.Wait()
+
+	for name, got := range map[string]tally{"a": a, "b": b} {
+		if got.epochs == 0 {
+			t.Errorf("subscriber %s saw no epoch commits", name)
+		}
+		if got.promotions != 1 {
+			t.Errorf("subscriber %s saw %d promotions, want 1", name, got.promotions)
+		}
+		if got.failstops != 1 {
+			t.Errorf("subscriber %s saw %d failstops, want 1", name, got.failstops)
+		}
+		if got.diskOps == 0 {
+			t.Errorf("subscriber %s saw no disk ops", name)
+		}
+		if got.completed != 1 {
+			t.Errorf("subscriber %s saw %d completions, want 1", name, got.completed)
+		}
+	}
+	if a != b {
+		t.Errorf("subscribers diverged: %+v vs %+v", a, b)
+	}
+}
+
+// TestClusterAbandonedSubscriber verifies an Events channel that is
+// never read does not leak its pump goroutine past Close: the backlog
+// (well over the channel buffer) is forfeited within the teardown
+// grace period.
+func TestClusterAbandonedSubscriber(t *testing.T) {
+	before := runtime.NumGoroutine()
+	c, err := NewCluster(
+		WithWorkload(CPUIntensive(8000)),
+		WithEpochLength(1024),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = c.Events() // abandoned: never read
+	if _, err := c.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Snapshot(); got.Epochs < 65 {
+		// The scenario must overflow the channel buffer to be a real
+		// regression test for the blocked-send path.
+		t.Fatalf("only %d epochs — backlog did not exceed the channel buffer", got.Epochs)
+	}
+	c.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Errorf("goroutines leaked past Close: %d > %d", n, before)
+	}
+}
+
+// TestClusterSnapshotMidRun verifies observation mid-run, before and
+// after completion.
+func TestClusterSnapshotMidRun(t *testing.T) {
+	c, err := NewCluster(WithWorkload(CPUIntensive(6000)), WithEpochLength(1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if s := c.Snapshot(); s.Booted {
+		t.Error("cluster booted before first advancement")
+	}
+	mid, err := c.RunFor(10 * Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mid.Booted || mid.Done || mid.Epochs == 0 || mid.MessagesSent == 0 {
+		t.Errorf("implausible mid-run snapshot: %+v", mid)
+	}
+	if mid.Now != 10*Millisecond {
+		t.Errorf("snapshot time %v, want 10ms", mid.Now)
+	}
+	res, err := c.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The session ends when its last process exits — at or shortly
+	// after the workload's completion time (the backup winds down).
+	end := c.Snapshot()
+	if !end.Done || !end.Halted || end.Now < res.Time || end.Now > res.Time+Second {
+		t.Errorf("terminal snapshot inconsistent with result: %+v vs time %v", end, res.Time)
+	}
+	if !strings.Contains(end.Console, "C") {
+		t.Errorf("console transcript missing: %q", end.Console)
+	}
+}
+
+// stripeBackend is a custom DiskBackend serving deterministic patterned
+// blocks (never explicitly zero).
+type stripeBackend struct {
+	blocks map[uint32][]byte
+}
+
+func (s *stripeBackend) Block(b uint32) []byte {
+	if s.blocks == nil {
+		s.blocks = map[uint32][]byte{}
+	}
+	if s.blocks[b] == nil {
+		buf := make([]byte, 8192)
+		for i := range buf {
+			buf[i] = byte(b) ^ byte(i)
+		}
+		s.blocks[b] = buf
+	}
+	return s.blocks[b]
+}
+
+// TestClusterDiskBackend plugs a custom storage backend in and asserts
+// (a) it changes what the guest reads, and (b) bare and replicated
+// sessions over the same backend still agree — the replication layer is
+// backend-agnostic.
+func TestClusterDiskBackend(t *testing.T) {
+	w := DiskRead(2, 2048)
+	lat := []Option{WithDiskLatency(300*Microsecond, 300*Microsecond), WithWorkload(w)}
+	run := func(extra ...Option) Result {
+		c, err := NewCluster(append(append([]Option{}, lat...), extra...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		res, err := c.Wait(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain := run()
+	striped := run(WithDiskBackend(&stripeBackend{}))
+	if striped.Checksum == plain.Checksum {
+		t.Error("custom backend did not change the read data")
+	}
+	stripedBare := run(WithDiskBackend(&stripeBackend{}), withBare())
+	if stripedBare.Checksum != striped.Checksum {
+		t.Errorf("replicated result over custom backend %#x != bare %#x",
+			striped.Checksum, stripedBare.Checksum)
+	}
+}
+
+// abiProgram is a custom Program: it boots the stock guest image but
+// performs its own ABI setup and result extraction through the public
+// GuestMemory window — the plug point a from-scratch guest would use.
+type abiProgram struct{ iters uint32 }
+
+func (p abiProgram) Image() (uint32, []uint32, uint32) {
+	img := guest.Program()
+	return img.Origin, img.Words, 0
+}
+
+func (p abiProgram) Setup(mem GuestMemory) {
+	mem.Store32(guest.ABIKind, guest.WorkloadCPU)
+	mem.Store32(guest.ABIIters, p.iters)
+}
+
+func (p abiProgram) Result(mem GuestMemory) ProgramResult {
+	return ProgramResult{
+		Checksum: mem.Load32(guest.ABIResult),
+		Panic:    mem.Load32(guest.ABIPanic),
+	}
+}
+
+// TestClusterCustomProgram runs a user-supplied Program and checks it
+// matches the equivalent built-in workload run.
+func TestClusterCustomProgram(t *testing.T) {
+	viaProgram, err := NewCluster(WithProgram(abiProgram{iters: 3000}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer viaProgram.Close()
+	got, err := viaProgram.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Run(Config{}, CPUIntensive(3000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Checksum != want.Checksum || got.Time != want.Time {
+		t.Errorf("custom program drifted from built-in workload: %#x/%v vs %#x/%v",
+			got.Checksum, got.Time, want.Checksum, want.Time)
+	}
+}
+
+// TestNewClusterValidation covers the eager option-time rejections.
+func TestNewClusterValidation(t *testing.T) {
+	work := WithWorkload(CPUIntensive(100))
+	cases := []struct {
+		name string
+		opts []Option
+		want string
+	}{
+		{"no workload", nil, "no guest workload"},
+		{"workload and program", []Option{work, WithProgram(abiProgram{iters: 1})}, "mutually exclusive"},
+		{"zero seed", []Option{work, WithSeed(0)}, "zero seed"},
+		{"zero epoch", []Option{work, WithEpochLength(0)}, "zero epoch"},
+		{"oversized epoch", []Option{work, WithEpochLength(500000)}, "385,000"},
+		{"negative backups", []Option{work, WithBackups(-1)}, "backups must be >= 1"},
+		{"zero backups", []Option{work, WithBackups(0)}, "backups must be >= 1"},
+		{"failure beyond replica set", []Option{work, WithBackups(1), WithFailBackupAt(2, Millisecond)}, "exceeds the replica set"},
+		{"bad backup index", []Option{work, WithFailBackupAt(0, Millisecond)}, "numbered from 1"},
+		{"nil link", []Option{work, WithLink(nil)}, "nil LinkModel"},
+		{"bad link bandwidth", []Option{work, WithLink(LinkParams{Name: "dead"})}, "non-positive bandwidth"},
+		{"negative detect timeout", []Option{work, WithDetectTimeout(-1)}, "non-positive detect timeout"},
+		{"negative disk latency", []Option{work, WithDiskLatency(-1, 0)}, "negative disk latency"},
+		{"nil backend", []Option{work, WithDiskBackend(nil)}, "nil DiskBackend"},
+		{"nil program", []Option{WithProgram(nil)}, "nil Program"},
+		{"nil option", []Option{work, nil}, "nil Option"},
+		{"unknown config link", []Option{WithConfig(Config{Link: "token-ring"}, CPUIntensive(100))}, "unknown link"},
+		{"config negative backups", []Option{WithConfig(Config{Backups: -2}, CPUIntensive(100))}, "negative backup count"},
+		{"config oversubscribed failures", []Option{WithConfig(Config{FailBackupAt: []Duration{1, 2}}, CPUIntensive(100))}, "FailBackupAt schedules 2"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewCluster(tc.opts...)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("NewCluster(%s) error = %v, want containing %q", tc.name, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestConfigValidationEager covers the legacy Config rejections that
+// used to be silent acceptances, and the documented Seed rewrite.
+func TestConfigValidationEager(t *testing.T) {
+	w := CPUIntensive(100)
+	if _, err := Run(Config{Backups: -1}, w); err == nil || !strings.Contains(err.Error(), "negative backup count") {
+		t.Errorf("negative Backups accepted: %v", err)
+	}
+	if _, err := Run(Config{FailBackupAt: []Duration{1, 2, 3}}, w); err == nil || !strings.Contains(err.Error(), "replica set has 1") {
+		t.Errorf("oversubscribed FailBackupAt accepted: %v", err)
+	}
+	if _, err := RunBare(Config{Link: "token-ring"}, w); err == nil || !strings.Contains(err.Error(), "unknown link") {
+		t.Errorf("unknown link accepted by RunBare: %v", err)
+	}
+	// Seed: 0 is documented to mean the default seed (1).
+	zero, err := Run(Config{EpochLength: 1024}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := Run(Config{EpochLength: 1024, Seed: 1}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero.Time != one.Time || zero.Checksum != one.Checksum {
+		t.Errorf("Seed 0 is not the documented alias of seed 1: %v/%v", zero.Time, one.Time)
+	}
+}
+
+// TestNormalizedPerformanceBaselineCache verifies repeated calls with
+// the same workload/scale reuse one bare baseline.
+func TestNormalizedPerformanceBaselineCache(t *testing.T) {
+	w := CPUIntensive(2500)
+	cfg := Config{EpochLength: 2048, Seed: 77}
+	key := baselineKey{seed: 77, w: w}
+	baselineMu.Lock()
+	delete(baselineCache, key)
+	baselineMu.Unlock()
+
+	first, err := NormalizedPerformance(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baselineMu.Lock()
+	cached, ok := baselineCache[key]
+	baselineMu.Unlock()
+	if !ok {
+		t.Fatal("baseline not cached after first call")
+	}
+	// A different epoch length shares the same baseline (the bare run
+	// does not depend on it); the cache entry must be reused, not
+	// duplicated under another key.
+	cfg.EpochLength = 4096
+	second, err := NormalizedPerformance(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baselineMu.Lock()
+	after, ok2 := baselineCache[key]
+	baselineMu.Unlock()
+	if !ok2 || after != cached {
+		t.Error("baseline cache entry churned across calls")
+	}
+	if first == second {
+		t.Errorf("different epoch lengths produced identical np %v (suspicious)", first)
+	}
+}
+
+// TestClusterReuseAfterClose verifies post-Close behavior is errors,
+// not corruption.
+func TestClusterReuseAfterClose(t *testing.T) {
+	c, err := NewCluster(WithWorkload(CPUIntensive(500)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if _, err := c.RunFor(Millisecond); err != ErrClosed {
+		t.Errorf("RunFor after Close = %v, want ErrClosed", err)
+	}
+	if _, err := c.Wait(context.Background()); err != ErrClosed {
+		t.Errorf("Wait after Close = %v, want ErrClosed", err)
+	}
+	// The terminal result remains readable.
+	if res, err := c.Result(); err != nil || res.Checksum == 0 {
+		t.Errorf("Result after Close = %+v, %v", res, err)
+	}
+	// A subscription opened after Close is an immediately-closed channel.
+	if _, ok := <-c.Events(); ok {
+		t.Error("Events after Close delivered a value")
+	}
+}

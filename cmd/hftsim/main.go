@@ -1,12 +1,25 @@
 // Command hftsim runs one configured simulation of the fault-tolerant
 // prototype and reports timing, protocol statistics and (optionally)
-// failover behaviour.
+// failover behaviour. With -scenario it instead drives a LIVE cluster
+// session from a command script: advance virtual time, failstop
+// processors, degrade the link, take snapshots — interactively (pipe
+// stdin) or from a file.
 //
 // Usage:
 //
 //	hftsim -workload cpu|write|read [-iters N] [-ops N] [-epoch N]
 //	       [-protocol old|new] [-link ethernet|atm] [-fail-at-ms T]
-//	       [-bare] [-seed N]
+//	       [-bare] [-seed N] [-backups N] [-scenario FILE|-]
+//
+// Scenario example (see runScenario for the command set):
+//
+//	hftsim -workload write -ops 6 -scenario - <<'EOF'
+//	run 20ms
+//	link bw=1000000 lat=500us     # degrade to 1 Mbps mid-run
+//	run 20ms
+//	fail primary                  # failstop; the backup takes over
+//	wait
+//	EOF
 package main
 
 import (
@@ -29,6 +42,8 @@ func main() {
 		failAt   = flag.Float64("fail-at-ms", 0, "failstop the primary at this time (ms); 0 = no failure")
 		bare     = flag.Bool("bare", false, "run on bare hardware only (the baseline)")
 		seed     = flag.Int64("seed", 1, "simulation seed")
+		backups  = flag.Int("backups", 1, "backup replicas (t-fault tolerance)")
+		scenario = flag.String("scenario", "", "drive a live cluster from this command script (- = stdin)")
 	)
 	flag.Parse()
 
@@ -69,6 +84,33 @@ func main() {
 	}
 	if *failAt > 0 {
 		cfg.FailPrimaryAt = hft.Duration(*failAt * float64(hft.Millisecond))
+	}
+	cfg.Backups = *backups
+
+	if *scenario != "" {
+		if *bare {
+			fmt.Fprintln(os.Stderr, "hftsim: -bare and -scenario are mutually exclusive (a scenario drives a replicated cluster)")
+			os.Exit(2)
+		}
+		script, isStdin, err := openScenario(*scenario)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hftsim: -scenario: %v\n", err)
+			os.Exit(1)
+		}
+		if !isStdin {
+			defer script.Close()
+		}
+		cluster, err := hft.NewCluster(hft.WithConfig(cfg, w))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hftsim: %v\n", err)
+			os.Exit(1)
+		}
+		defer cluster.Close()
+		if err := runScenario(cluster, script, true); err != nil {
+			fmt.Fprintf(os.Stderr, "hftsim: scenario: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	bareRes, err := hft.RunBare(cfg, w)

@@ -1,0 +1,190 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	hft "repro"
+)
+
+// runScenario drives a live cluster from a command script — the
+// interactive counterpart of the one-shot mode. Commands, one per line
+// (# starts a comment):
+//
+//	run <duration>        advance virtual time (e.g. run 20ms, run 1.5s)
+//	until-epoch <n>       advance until the coordinator commits epoch n
+//	fail primary          failstop the primary now
+//	fail backup <i>       failstop backup i (1-based) now
+//	link bw=<bps> lat=<duration> drop=<n>
+//	                      degrade the hypervisor links mid-run
+//	snapshot              print the current session state
+//	wait                  run to completion and print the result
+//
+// Events (epoch commits are summarized; everything else prints as it
+// happens) stream to stdout while the scenario runs.
+func runScenario(cluster *hft.Cluster, script io.Reader, echo bool) error {
+	events := cluster.Events()
+	epochs := 0
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for ev := range events {
+			if ev.Kind == hft.EventEpochCommitted || ev.Kind == hft.EventBackupEpoch ||
+				ev.Kind == hft.EventDiskOp {
+				if ev.Kind == hft.EventEpochCommitted {
+					epochs++
+				}
+				continue // too chatty to print individually
+			}
+			fmt.Printf("  | %v\n", ev)
+		}
+	}()
+
+	sc := bufio.NewScanner(script)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		if echo {
+			fmt.Printf("> %s\n", line)
+		}
+		if err := scenarioCommand(cluster, line); err != nil {
+			return err
+		}
+		// Let the event pump catch up so output interleaves readably.
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	final := cluster.Snapshot().Now
+	cluster.Close()
+	<-done
+	fmt.Printf("scenario finished at %v after %d epoch commits\n", final, epochs)
+	return nil
+}
+
+// scenarioCommand executes one line.
+func scenarioCommand(cluster *hft.Cluster, line string) error {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case "run":
+		if len(fields) != 2 {
+			return fmt.Errorf("usage: run <duration>")
+		}
+		d, err := parseSimDuration(fields[1])
+		if err != nil {
+			return err
+		}
+		snap, err := cluster.RunFor(d)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  advanced to %v (epoch %d, done=%v)\n", snap.Now, snap.Epochs, snap.Done)
+	case "until-epoch":
+		if len(fields) != 2 {
+			return fmt.Errorf("usage: until-epoch <n>")
+		}
+		n, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return err
+		}
+		snap, err := cluster.RunUntil(func(s hft.Snapshot) bool { return s.Epochs >= n })
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  paused at %v (epoch %d, done=%v)\n", snap.Now, snap.Epochs, snap.Done)
+	case "fail":
+		if len(fields) >= 2 && fields[1] == "primary" {
+			cluster.FailPrimary()
+			return nil
+		}
+		if len(fields) == 3 && fields[1] == "backup" {
+			i, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return err
+			}
+			return cluster.FailBackup(i)
+		}
+		return fmt.Errorf("usage: fail primary | fail backup <i>")
+	case "link":
+		var q hft.LinkQuality
+		for _, kv := range fields[1:] {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return fmt.Errorf("link: bad parameter %q (want k=v)", kv)
+			}
+			switch k {
+			case "bw":
+				bps, err := strconv.ParseInt(v, 10, 64)
+				if err != nil {
+					return err
+				}
+				q.BitsPerSecond = bps
+			case "lat":
+				d, err := parseSimDuration(v)
+				if err != nil {
+					return err
+				}
+				q.Latency = d
+			case "drop":
+				n, err := strconv.Atoi(v)
+				if err != nil {
+					return err
+				}
+				q.DropNext = n
+			default:
+				return fmt.Errorf("link: unknown parameter %q", k)
+			}
+		}
+		return cluster.SetLinkQuality(q)
+	case "snapshot":
+		s := cluster.Snapshot()
+		fmt.Printf("  t=%v epoch=%d instr=%d acting=node%d promoted=%v done=%v\n",
+			s.Now, s.Epochs, s.GuestInstructions, s.Acting, s.Promoted, s.Done)
+		fmt.Printf("  msgs=%d acks=%d ints-forwarded=%d uncertain=%d disk-ops=%d console=%q\n",
+			s.MessagesSent, s.AcksReceived, s.IntsForwarded, s.UncertainSynthesized, s.DiskOps, s.Console)
+	case "wait":
+		res, err := cluster.Wait(context.Background())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  completed at %v: checksum=%#x promoted=%v console=%q\n",
+			res.Time, res.Checksum, res.Promoted, res.Console)
+	default:
+		return fmt.Errorf("unknown scenario command %q", fields[0])
+	}
+	return nil
+}
+
+// parseSimDuration parses Go duration syntax into simulated time
+// (1 ns wall = 1 ns virtual).
+func parseSimDuration(s string) (hft.Duration, error) {
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, err
+	}
+	if d < 0 {
+		return 0, fmt.Errorf("negative duration %v", d)
+	}
+	return hft.Duration(d.Nanoseconds()), nil
+}
+
+// openScenario resolves the -scenario argument ("-" = stdin).
+func openScenario(path string) (io.ReadCloser, bool, error) {
+	if path == "-" {
+		return os.Stdin, true, nil
+	}
+	f, err := os.Open(path)
+	return f, false, err
+}

@@ -1,0 +1,171 @@
+package hft
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+)
+
+// goldenCase mirrors tools/compatgolden's record: the inputs of one
+// old-API configuration and the outputs recorded on the pre-Cluster
+// one-shot implementation. The differential suite asserts the session
+// redesign reproduces every recorded value byte for byte.
+type goldenCase struct {
+	Name string `json:"name"`
+
+	Workload string  `json:"workload"`
+	Iters    uint32  `json:"iters,omitempty"`
+	Ops      uint32  `json:"ops,omitempty"`
+	Count    uint32  `json:"count,omitempty"`
+	Epoch    uint64  `json:"epoch"`
+	Protocol string  `json:"protocol"`
+	Link     string  `json:"link"`
+	Seed     int64   `json:"seed,omitempty"`
+	FailAtNS int64   `json:"fail_at_ns,omitempty"`
+	ReadLat  int64   `json:"read_lat_ns,omitempty"`
+	WriteLat int64   `json:"write_lat_ns,omitempty"`
+	Backups  int     `json:"backups,omitempty"`
+	FailBkNS []int64 `json:"fail_backup_ns,omitempty"`
+
+	BareTimeNS   int64  `json:"bare_time_ns"`
+	BareChecksum uint32 `json:"bare_checksum"`
+	BareConsole  string `json:"bare_console"`
+	ReplTimeNS   int64  `json:"repl_time_ns"`
+	ReplChecksum uint32 `json:"repl_checksum"`
+	ReplConsole  string `json:"repl_console"`
+	Promoted     bool   `json:"promoted"`
+	Divergences  uint64 `json:"divergences"`
+	Messages     uint64 `json:"messages"`
+	Uncertain    uint64 `json:"uncertain"`
+	NP           string `json:"np"`
+}
+
+func (g goldenCase) config() Config {
+	cfg := Config{
+		EpochLength:      g.Epoch,
+		Link:             Link(g.Link),
+		Seed:             g.Seed,
+		FailPrimaryAt:    Duration(g.FailAtNS),
+		DiskReadLatency:  Duration(g.ReadLat),
+		DiskWriteLatency: Duration(g.WriteLat),
+		Backups:          g.Backups,
+	}
+	if g.Protocol == "new" {
+		cfg.Protocol = ProtocolNew
+	}
+	for _, ns := range g.FailBkNS {
+		cfg.FailBackupAt = append(cfg.FailBackupAt, Duration(ns))
+	}
+	return cfg
+}
+
+func (g goldenCase) workload() Workload {
+	switch g.Workload {
+	case "cpu":
+		return CPUIntensive(g.Iters)
+	case "write":
+		return DiskWrite(g.Ops, g.Count)
+	case "read":
+		return DiskRead(g.Ops, g.Count)
+	}
+	panic("unknown workload " + g.Workload)
+}
+
+func loadGoldens(t *testing.T) []goldenCase {
+	t.Helper()
+	raw, err := os.ReadFile("testdata/compat_golden.json")
+	if err != nil {
+		t.Fatalf("reading goldens (regenerate with `go run ./tools/compatgolden > testdata/compat_golden.json`): %v", err)
+	}
+	var cases []goldenCase
+	if err := json.Unmarshal(raw, &cases); err != nil {
+		t.Fatalf("decoding goldens: %v", err)
+	}
+	if len(cases) == 0 {
+		t.Fatal("empty golden file")
+	}
+	return cases
+}
+
+// TestBackCompatDifferential asserts the old one-shot API — now thin
+// wrappers over Cluster sessions — reproduces the pre-redesign goldens
+// exactly: Time, Checksum, Console, Promoted, MessagesSent,
+// UncertainSynthesized and NormalizedPerformance, across both
+// protocols, both links, a failover run and a double-failure run.
+func TestBackCompatDifferential(t *testing.T) {
+	for _, g := range loadGoldens(t) {
+		g := g
+		t.Run(g.Name, func(t *testing.T) {
+			cfg, w := g.config(), g.workload()
+			bare, err := RunBare(cfg, w)
+			if err != nil {
+				t.Fatalf("RunBare: %v", err)
+			}
+			if int64(bare.Time) != g.BareTimeNS || bare.Checksum != g.BareChecksum || bare.Console != g.BareConsole {
+				t.Errorf("bare drifted: time %d/%d checksum %#x/%#x console %q/%q",
+					bare.Time, g.BareTimeNS, bare.Checksum, g.BareChecksum, bare.Console, g.BareConsole)
+			}
+			repl, err := Run(cfg, w)
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if int64(repl.Time) != g.ReplTimeNS {
+				t.Errorf("replicated time drifted: %d != golden %d", repl.Time, g.ReplTimeNS)
+			}
+			if repl.Checksum != g.ReplChecksum || repl.Console != g.ReplConsole {
+				t.Errorf("replicated result drifted: checksum %#x/%#x console %q/%q",
+					repl.Checksum, g.ReplChecksum, repl.Console, g.ReplConsole)
+			}
+			if repl.Promoted != g.Promoted || repl.Divergences != g.Divergences ||
+				repl.MessagesSent != g.Messages || repl.UncertainSynthesized != g.Uncertain {
+				t.Errorf("protocol stats drifted: promoted %v/%v div %d/%d msgs %d/%d unc %d/%d",
+					repl.Promoted, g.Promoted, repl.Divergences, g.Divergences,
+					repl.MessagesSent, g.Messages, repl.UncertainSynthesized, g.Uncertain)
+			}
+			np, err := NormalizedPerformance(cfg, w)
+			if err != nil {
+				t.Fatalf("NormalizedPerformance: %v", err)
+			}
+			if got := fmt.Sprintf("%.17g", np); got != g.NP {
+				t.Errorf("np drifted: %s != golden %s", got, g.NP)
+			}
+		})
+	}
+}
+
+// TestGoldenSlicedSessionDifferential drives each golden configuration
+// through a live Cluster advanced in small bounded slices — the
+// session-mode execution path — and asserts the terminal result is
+// byte-identical to the one-shot golden. Slicing must be invisible.
+func TestGoldenSlicedSessionDifferential(t *testing.T) {
+	for _, g := range loadGoldens(t) {
+		g := g
+		t.Run(g.Name, func(t *testing.T) {
+			c, err := NewCluster(WithConfig(g.config(), g.workload()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			for !c.Done() {
+				if _, err := c.RunFor(3 * Millisecond); err != nil {
+					t.Fatal(err)
+				}
+				if c.Now() > 100*Second {
+					t.Fatal("sliced run did not finish")
+				}
+			}
+			res, err := c.Result()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if int64(res.Time) != g.ReplTimeNS || res.Checksum != g.ReplChecksum ||
+				res.Console != g.ReplConsole || res.Promoted != g.Promoted ||
+				res.MessagesSent != g.Messages || res.UncertainSynthesized != g.Uncertain {
+				t.Errorf("sliced session drifted from golden: time %d/%d checksum %#x/%#x promoted %v/%v msgs %d/%d",
+					res.Time, g.ReplTimeNS, res.Checksum, g.ReplChecksum, res.Promoted, g.Promoted,
+					res.MessagesSent, g.Messages)
+			}
+		})
+	}
+}

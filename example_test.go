@@ -1,0 +1,99 @@
+package hft_test
+
+import (
+	"context"
+	"fmt"
+
+	hft "repro"
+)
+
+// A Cluster is a long-lived session: create it, drive it, observe it.
+// Here the paper's CPU-intensive workload runs on a 1-fault-tolerant
+// virtual machine to completion.
+func ExampleNewCluster() {
+	c, err := hft.NewCluster(
+		hft.WithWorkload(hft.CPUIntensive(3000)),
+		hft.WithEpochLength(2048),
+		hft.WithProtocol(hft.ProtocolOld),
+		hft.WithLink(hft.Ethernet10()),
+	)
+	if err != nil {
+		panic(err)
+	}
+	defer c.Close()
+
+	res, err := c.Wait(context.Background())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("completed cleanly:", res.GuestPanic == 0)
+	fmt.Println("failover needed:", res.Promoted)
+	// Output:
+	// completed cleanly: true
+	// failover needed: false
+}
+
+// Failures are injected live, while the session runs: advance to an
+// interesting instant, failstop the primary, and let the backup finish
+// the workload. The result matches what a single never-failing machine
+// produces.
+func ExampleCluster_FailPrimary() {
+	w := hft.DiskWrite(3, 4096)
+	bare, err := hft.RunBare(hft.Config{
+		DiskReadLatency:  500 * hft.Microsecond,
+		DiskWriteLatency: 600 * hft.Microsecond,
+	}, w)
+	if err != nil {
+		panic(err)
+	}
+
+	c, err := hft.NewCluster(
+		hft.WithWorkload(w),
+		hft.WithDiskLatency(500*hft.Microsecond, 600*hft.Microsecond),
+	)
+	if err != nil {
+		panic(err)
+	}
+	defer c.Close()
+
+	// Run 5 ms into the workload — mid-epoch, with I/O in flight — then
+	// kill the primary's processor.
+	if _, err := c.RunFor(5 * hft.Millisecond); err != nil {
+		panic(err)
+	}
+	c.FailPrimary()
+
+	res, err := c.Wait(context.Background())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("backup promoted:", res.Promoted)
+	fmt.Println("result matches bare machine:", res.Checksum == bare.Checksum)
+	// Output:
+	// backup promoted: true
+	// result matches bare machine: true
+}
+
+// The Events stream surfaces protocol milestones as they happen; a
+// Snapshot summarizes any instant. Here a session is paused at its
+// fifth epoch commit by a predicate.
+func ExampleCluster_RunUntil() {
+	c, err := hft.NewCluster(
+		hft.WithWorkload(hft.CPUIntensive(6000)),
+		hft.WithEpochLength(1024),
+	)
+	if err != nil {
+		panic(err)
+	}
+	defer c.Close()
+
+	snap, err := c.RunUntil(func(s hft.Snapshot) bool { return s.Epochs >= 5 })
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("paused with at least 5 epochs:", snap.Epochs >= 5)
+	fmt.Println("workload still running:", !snap.Done)
+	// Output:
+	// paused with at least 5 epochs: true
+	// workload still running: true
+}

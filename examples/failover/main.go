@@ -1,12 +1,14 @@
-// Failover: kill the primary processor mid-workload — inside the
+// Failover: kill the primary processor LIVE, mid-workload — inside the
 // two-generals window, with a disk write outstanding — and watch the
-// backup take over. The environment (the shared disk) sees a sequence of
-// I/O operations consistent with a single processor: the outstanding
-// write is re-driven through a synthesized uncertain interrupt (rule P7)
-// and the guest driver's ordinary retry path.
+// backup take over through the session's event stream. The environment
+// (the shared disk) sees a sequence of I/O operations consistent with a
+// single processor: the outstanding write is re-driven through a
+// synthesized uncertain interrupt (rule P7) and the guest driver's
+// ordinary retry path.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,25 +17,47 @@ import (
 
 func main() {
 	w := hft.DiskWrite(6, 8192)
-	cfg := hft.Config{
-		EpochLength: 4096,
-		Protocol:    hft.ProtocolOld,
-	}
 
 	// Baseline: what a single never-failing machine produces.
-	bare, err := hft.RunBare(cfg, w)
+	bare, err := hft.RunBare(hft.Config{}, w)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// Failstop the primary 40 ms in: it will have a write in flight.
-	cfg.FailPrimaryAt = 40 * hft.Millisecond
-	repl, err := hft.Run(cfg, w)
+	c, err := hft.NewCluster(
+		hft.WithWorkload(w),
+		hft.WithEpochLength(4096),
+		hft.WithProtocol(hft.ProtocolOld),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	// Watch the protocol milestones as they happen.
+	events := c.Events()
+	go func() {
+		for ev := range events {
+			switch ev.Kind {
+			case hft.EventFailstop, hft.EventPromoted, hft.EventCompleted:
+				fmt.Printf("  event: %v\n", ev)
+			}
+		}
+	}()
+
+	// Run 40 ms in — the guest will have a write in flight — then
+	// failstop the primary at the current instant. No schedule needed.
+	if _, err := c.RunFor(40 * hft.Millisecond); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("failstopping the primary at %v...\n", c.Now())
+	c.FailPrimary()
+
+	repl, err := c.Wait(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("primary failstopped at:   %v\n", cfg.FailPrimaryAt)
 	fmt.Printf("backup promoted:          %v\n", repl.Promoted)
 	fmt.Printf("uncertain interrupts:     %d (rule P7)\n", repl.UncertainSynthesized)
 	fmt.Printf("workload completed:       console %q\n", repl.Console)

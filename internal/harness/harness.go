@@ -12,9 +12,9 @@ import (
 	"repro/internal/hypervisor"
 	"repro/internal/machine"
 	"repro/internal/netsim"
-	"repro/internal/platform"
 	"repro/internal/replication"
 	"repro/internal/scsi"
+	"repro/internal/session"
 	"repro/internal/sim"
 )
 
@@ -111,44 +111,20 @@ type RunResult struct {
 	HVStats hypervisor.Stats
 }
 
-// GuestMemBytes is the physical RAM the harness gives each simulated
-// machine. The guest kernel's physical footprint tops out below 0x60040
-// (the memory-stride region), so 1 MiB leaves an order-of-magnitude
-// margin while keeping machine construction (zeroing RAM) off the
-// experiment runners' profile. Simulated timing and guest results are
-// independent of RAM size; explicit machine overrides still win.
-const GuestMemBytes = 1 << 20
-
-// sizeMachine applies the harness RAM default to a machine config.
-func sizeMachine(mc machine.Config) machine.Config {
-	if mc.MemBytes == 0 {
-		mc.MemBytes = GuestMemBytes
-	}
-	return mc
-}
+// GuestMemBytes re-exports the per-machine RAM default (the session
+// engine owns the platform wiring now).
+const GuestMemBytes = session.GuestMemBytes
 
 // RunBare executes the workload on bare hardware (the paper's baseline).
 func RunBare(seed int64, w guest.Workload, disk scsi.DiskConfig) RunResult {
-	k := sim.NewKernel(seed)
-	defer k.Shutdown()
-	s := platform.NewSingle(k, platform.Config{Disk: disk, Machine: sizeMachine(machine.Config{})})
-	p := guest.Program()
-	s.Bare.Boot(p.Origin, p.Words, 0)
-	guest.Configure(s.Node.M, w)
-	var done sim.Time
-	k.Spawn("bare", func(pr *sim.Proc) {
-		s.Bare.Run(pr)
-		done = pr.Now()
+	e := session.New(session.Options{
+		Seed:    seed,
+		Program: session.WorkloadProgram(w),
+		Bare:    true,
+		Disk:    disk,
 	})
-	k.RunUntil(20000 * sim.Second)
-	if !s.Bare.Halted() {
-		panic(fmt.Sprintf("harness: bare run did not halt (pc=%#x)", s.Node.M.PC))
-	}
-	return RunResult{
-		Time:    done,
-		Guest:   guest.ReadResult(s.Node.M),
-		Console: s.Node.Console.Output(),
-	}
+	defer e.Close()
+	return finish(e)
 }
 
 // ReplicatedOptions configures a replicated run.
@@ -183,127 +159,48 @@ type ReplicatedOptions struct {
 }
 
 // RunReplicated executes the workload on a replicated group: one primary
-// plus o.Backups backups (a t-fault-tolerant virtual machine).
+// plus o.Backups backups (a t-fault-tolerant virtual machine). It is a
+// one-shot convenience over the session engine — build a session.Engine
+// directly to drive, observe or perturb the cluster while it runs.
 func RunReplicated(o ReplicatedOptions) RunResult {
-	if o.DetectTimeout == 0 {
-		o.DetectTimeout = 50 * sim.Millisecond
-	}
-	if o.Backups == 0 {
-		o.Backups = 1
-	}
-	n := o.Backups + 1
-	k := sim.NewKernel(o.Seed)
-	defer k.Shutdown()
-	cluster := platform.NewCluster(k, platform.Config{
-		Disk:    o.Disk,
-		Link:    o.Link,
-		Machine: sizeMachine(o.Machine),
-		Hypervisor: hypervisor.Config{
-			EpochLength:   o.EpochLength,
-			NoTLBTakeover: o.NoTLBTakeover,
-		},
-	}, n)
-	p := guest.Program()
-	for _, node := range cluster.Nodes {
-		node.HV.Boot(p.Origin, p.Words, 0)
-		guest.Configure(node.M, o.Workload)
-	}
+	e := session.New(session.Options{
+		Seed:          o.Seed,
+		Program:       session.WorkloadProgram(o.Workload),
+		Disk:          o.Disk,
+		EpochLength:   o.EpochLength,
+		Protocol:      o.Protocol,
+		Link:          o.Link,
+		FailPrimaryAt: o.FailPrimaryAt,
+		DetectTimeout: o.DetectTimeout,
+		Backups:       o.Backups,
+		FailBackupAt:  o.FailBackupAt,
+		Machine:       o.Machine,
+		NoTLBTakeover: o.NoTLBTakeover,
+		OnDivergence:  o.OnDivergence,
+	})
+	defer e.Close()
+	return finish(e)
+}
 
-	var peers []replication.Peer
-	for j := 1; j < n; j++ {
-		tx, rx := cluster.Channel(0, j)
-		peers = append(peers, replication.Peer{TX: tx, RX: rx})
+// finish drives a session to completion and converts its report,
+// preserving the harness's historical panic-on-wedge tripwire.
+func finish(e *session.Engine) RunResult {
+	if err := e.RunToCompletion(nil); err != nil {
+		panic(fmt.Sprintf("harness: %v", err))
 	}
-	pri := replication.NewPrimaryMulti(cluster.Nodes[0].HV, peers, o.Protocol)
-	var baks []*replication.Backup
-	for i := 1; i < n; i++ {
-		var ups, downs []replication.Peer
-		for j := 0; j < i; j++ {
-			tx, rx := cluster.Channel(i, j)
-			ups = append(ups, replication.Peer{TX: tx, RX: rx})
-		}
-		for j := i + 1; j < n; j++ {
-			tx, rx := cluster.Channel(i, j)
-			downs = append(downs, replication.Peer{TX: tx, RX: rx})
-		}
-		bak := replication.NewBackupAt(
-			cluster.Nodes[i].HV, i, ups, downs, o.DetectTimeout, o.Protocol)
-		bak.OnDivergence = o.OnDivergence
-		baks = append(baks, bak)
+	r, err := e.Result()
+	if err != nil {
+		panic(fmt.Sprintf("harness: %v", err))
 	}
-
-	if o.FailPrimaryAt > 0 {
-		k.At(o.FailPrimaryAt, func() {
-			pri.Failstop()
-			cluster.Nodes[0].Adapter.Detached = true
-		})
+	return RunResult{
+		Time:         r.Time,
+		Guest:        r.Guest,
+		Console:      r.Console,
+		Promoted:     r.Promoted,
+		PrimaryStats: r.PrimaryStats,
+		BackupStats:  r.BackupStats,
+		HVStats:      r.HVStats,
 	}
-	for i, at := range o.FailBackupAt {
-		if at > 0 && i < len(baks) {
-			i, at := i, at
-			k.At(at, func() {
-				baks[i].Failstop()
-				cluster.Nodes[i+1].Adapter.Detached = true
-			})
-		}
-	}
-
-	done := make([]sim.Time, n)
-	k.Spawn("primary", func(pr *sim.Proc) { pri.Run(pr); done[0] = pr.Now() })
-	for i, bak := range baks {
-		i, bak := i, bak
-		k.Spawn(fmt.Sprintf("backup%d", i+1), func(pr *sim.Proc) { bak.Run(pr); done[i+1] = pr.Now() })
-	}
-	k.RunUntil(20000 * sim.Second)
-
-	res := RunResult{PrimaryStats: pri.Stats}
-	if len(baks) > 0 {
-		res.BackupStats = baks[0].Stats
-	}
-	for _, b := range baks {
-		if b.Promoted() {
-			res.Promoted = true
-		}
-	}
-	// Report from the authoritative survivor: the primary if it never
-	// failed, else the last promoted surviving node, else any node whose
-	// guest HALTED before its processor was killed (a replica that
-	// completed the workload and was failstopped afterwards still
-	// produced the deterministic result).
-	authority := -1
-	switch {
-	case cluster.Nodes[0].HV.Halted() && !pri.Failed():
-		authority = 0
-	default:
-		for i := len(baks) - 1; i >= 0; i-- {
-			if baks[i].Promoted() && baks[i].HV.Halted() && !baks[i].Failed() {
-				authority = i + 1
-				break
-			}
-		}
-		if authority < 0 {
-			for i := len(baks) - 1; i >= 0; i-- {
-				if baks[i].HV.Halted() {
-					authority = i + 1
-					break
-				}
-			}
-		}
-		if authority < 0 && cluster.Nodes[0].HV.Halted() {
-			authority = 0
-		}
-	}
-	if authority < 0 {
-		panic(fmt.Sprintf("harness: replicated run did not complete (pri pc=%#x promoted=%v)",
-			cluster.Nodes[0].M.PC, res.Promoted))
-	}
-	res.Time = done[authority]
-	res.Guest = guest.ReadResult(cluster.Nodes[authority].M)
-	res.HVStats = cluster.Nodes[authority].HV.Stats
-	for i := 0; i <= authority; i++ {
-		res.Console += cluster.Nodes[i].Console.Output()
-	}
-	return res
 }
 
 // Measure computes normalized performance for one configuration: the

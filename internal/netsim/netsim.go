@@ -127,6 +127,7 @@ type Link struct {
 
 	seq      uint64
 	freeAt   sim.Time // when the transmitter finishes the current frame
+	lastArr  sim.Time // newest scheduled arrival (keeps FIFO timing monotonic)
 	down     bool     // true after Disconnect: sends vanish silently
 	dropNext int      // drop the next N messages (loss injection)
 
@@ -218,11 +219,52 @@ func (l *Link) Send(payload any, size int) {
 	tx := l.TxTime(size)
 	l.freeAt = start + tx
 	arrive := l.freeAt + l.cfg.Latency
+	// Arrivals must be nondecreasing even if SetQuality lowered the
+	// latency while earlier messages were still in flight: deliverHead
+	// consumes the in-flight ring in FIFO order, so an arrival earlier
+	// than a predecessor's would deliver the predecessor too soon.
+	if arrive < l.lastArr {
+		arrive = l.lastArr
+	}
+	l.lastArr = arrive
 	msg := Message{Payload: payload, Size: size, Seq: l.seq, SentAt: now}
 	l.seq++
 	l.Stats.Frames += uint64(l.frames(size))
 	l.inflight.Push(msg)
 	l.k.At(arrive, l.deliver)
+}
+
+// Quality is a mid-run adjustment to a link's cost model. Zero fields
+// leave the corresponding parameter unchanged.
+type Quality struct {
+	// BitsPerSecond replaces the serialization bandwidth.
+	BitsPerSecond int64
+	// Latency replaces the propagation delay.
+	Latency sim.Time
+	// MTU replaces the segmentation threshold.
+	MTU int
+	// DropNext marks the next N sends for loss (adds to any pending).
+	DropNext int
+}
+
+// SetQuality degrades (or restores) the link mid-run: messages already
+// serialized keep their scheduled delivery; future sends pay the new
+// costs. FIFO order is preserved — a message sent after the change
+// still arrives after everything sent before it, because transmission
+// start is gated on freeAt.
+func (l *Link) SetQuality(q Quality) {
+	if q.BitsPerSecond > 0 {
+		l.cfg.BitsPerSecond = q.BitsPerSecond
+	}
+	if q.Latency > 0 {
+		l.cfg.Latency = q.Latency
+	}
+	if q.MTU > 0 {
+		l.cfg.MTU = q.MTU
+	}
+	if q.DropNext > 0 {
+		l.dropNext += q.DropNext
+	}
 }
 
 // Disconnect severs the link: in-flight and future messages are dropped.

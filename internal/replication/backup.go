@@ -43,6 +43,10 @@ type Backup struct {
 	// the coordinating primary; when nil, divergence panics (tripwire).
 	OnDivergence func(epoch uint64, primary, backup uint64)
 
+	// Hooks observes protocol milestones (optional; set before Run). A
+	// backup that promotes hands the same hooks to its coordinator.
+	Hooks Hooks
+
 	pending map[uint64]*epochRecord
 	// recFree recycles epoch records: a record freed at one epoch's
 	// boundary serves a later epoch without reallocating its map.
@@ -216,15 +220,15 @@ func (bk *Backup) stageOrdered(e uint64) {
 }
 
 // checkDigest verifies our pre-delivery state digest against the
-// coordinator's.
-func (bk *Backup) checkDigest(e uint64, primary, ours uint64) {
+// coordinator's and reports whether they matched.
+func (bk *Backup) checkDigest(e uint64, primary, ours uint64) bool {
 	if primary == ours {
-		return
+		return true
 	}
 	bk.Stats.Divergences++
 	if bk.OnDivergence != nil {
 		bk.OnDivergence(e, primary, ours)
-		return
+		return false
 	}
 	panic(fmt.Sprintf("replication: divergence at epoch %d: primary %x backup %x",
 		e, primary, ours))
@@ -232,7 +236,7 @@ func (bk *Backup) checkDigest(e uint64, primary, ours uint64) {
 
 // replayVerbatim applies a sync-provided epoch: deliver exactly what the
 // new primary delivered.
-func (bk *Backup) replayVerbatim(e uint64, digest uint64, v *SyncEpoch) {
+func (bk *Backup) replayVerbatim(p *sim.Proc, e uint64, digest uint64, v *SyncEpoch) {
 	hv := bk.HV
 	for _, i := range v.Ints {
 		if i.Timer {
@@ -240,7 +244,10 @@ func (bk *Backup) replayVerbatim(e uint64, digest uint64, v *SyncEpoch) {
 		}
 		hv.BufferInterrupt(i)
 	}
-	bk.checkDigest(e, v.Digest, digest)
+	match := bk.checkDigest(e, v.Digest, digest)
+	if bk.Hooks.BackupEpoch != nil {
+		bk.Hooks.BackupEpoch(bk.index, e, p.Now(), match)
+	}
 	hv.DeliverBuffered()
 	if len(bk.downs) > 0 {
 		bk.archive.record(*v)
@@ -275,6 +282,9 @@ func (bk *Backup) failover(p *sim.Proc, e uint64, digest uint64) {
 	bk.Stats.Promoted = true
 	bk.Stats.PromotedAtEpoch = e
 	bk.Stats.PromotedAtTime = p.Now()
+	if bk.Hooks.Promoted != nil {
+		bk.Hooks.Promoted(bk.index, e, p.Now(), len(synth))
+	}
 	bk.release(e)
 
 	// The next epoch starts from our real clock (we are the authority
@@ -290,6 +300,8 @@ func (bk *Backup) failover(p *sim.Proc, e uint64, digest uint64) {
 		stats:   &bk.Stats,
 		stopped: func() bool { return bk.failed },
 		archive: bk.archive,
+		hooks:   &bk.Hooks,
+		node:    bk.index,
 	}
 	c.install(p)
 	if len(bk.downs) > 0 {
@@ -361,14 +373,17 @@ func (bk *Backup) Run(p *sim.Proc) {
 			}
 		}
 		if v := r.verbatim; v != nil {
-			bk.replayVerbatim(e, b.Digest, v)
+			bk.replayVerbatim(p, e, b.Digest, v)
 			hv.ChargeBoundary(p)
 			bk.completed = e + 1
 			continue
 		}
 		// Normal path: Tme_b := Tme_p; buffer; deliver; digest check.
 		tme, end := *r.tme, r.end
-		bk.checkDigest(e, end.Digest, b.Digest)
+		match := bk.checkDigest(e, end.Digest, b.Digest)
+		if bk.Hooks.BackupEpoch != nil {
+			bk.Hooks.BackupEpoch(bk.index, e, p.Now(), match)
+		}
 		bk.stageOrdered(e)
 		hv.TimerInterruptsDue(tme)
 		// Only a backup that may later coordinate others (it has

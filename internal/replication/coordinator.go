@@ -91,6 +91,10 @@ type coordinator struct {
 	stats   *Stats
 	stopped func() bool
 	archive *epochArchive
+	// hooks/node observe epoch commits (hooks points at the owning
+	// engine's Hooks so late assignment is seen).
+	hooks *Hooks
+	node  int
 
 	intIndex uint32 // capture index within the current epoch
 
@@ -177,6 +181,9 @@ func (c *coordinator) run(p *sim.Proc, tme0 uint32) {
 		})
 		c.s.send(message{Kind: msgEnd, Epoch: b.Epoch, Digest: b.Digest, Halted: b.Halted})
 		c.endSeqs = append(c.endSeqs, endSeqRec{epoch: b.Epoch, seq: c.s.seq})
+		if c.hooks != nil && c.hooks.EpochCommitted != nil {
+			c.hooks.EpochCommitted(c.node, b.Epoch, tme, p.Now(), b.Halted)
+		}
 		hv.ChargeBoundary(p)
 		hv.SetTODBase(tme)
 		c.intIndex = 0

@@ -1,0 +1,26 @@
+package replication
+
+import "repro/internal/sim"
+
+// Hooks observes protocol milestones as they happen, for session event
+// streams and live dashboards. Every field is optional; hooks run in
+// simulation-process context and must not block in virtual time (they
+// are pure observation — a hook that slept would perturb the protocol
+// timing it is watching).
+type Hooks struct {
+	// EpochCommitted fires when the acting coordinator (the primary, or
+	// a promoted backup) finishes an epoch boundary: Tme shipped,
+	// buffered interrupts delivered.
+	EpochCommitted func(node int, epoch uint64, tme uint32, at sim.Time, halted bool)
+	// BackupEpoch fires when a following backup completes an epoch's
+	// boundary processing, after its divergence check. match reports
+	// whether the state digest agreed with the coordinator's.
+	BackupEpoch func(node int, epoch uint64, at sim.Time, match bool)
+	// Promoted fires when a backup detects coordinator failure and takes
+	// over (rules P6/P7). uncertain is the number of uncertain
+	// interrupts synthesized for outstanding I/O.
+	Promoted func(node int, epoch uint64, at sim.Time, uncertain int)
+}
+
+// node identifiers for hook callbacks: the primary is node 0, backup i
+// (1-based priority index) is node i.

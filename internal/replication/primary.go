@@ -20,6 +20,9 @@ type Primary struct {
 	// replicas must agree; default 0).
 	BootTOD uint32
 
+	// Hooks observes protocol milestones (optional; set before Run).
+	Hooks Hooks
+
 	Stats Stats
 }
 
@@ -40,6 +43,7 @@ func NewPrimaryMulti(hv *hypervisor.Hypervisor, peers []Peer, proto Protocol) *P
 		stats:   &pr.Stats,
 		stopped: func() bool { return pr.failed },
 		archive: newEpochArchive(),
+		hooks:   &pr.Hooks,
 	}
 	return pr
 }

@@ -56,6 +56,28 @@ const (
 	AdapterWindow uint32 = 0x20
 )
 
+// Backend supplies the storage behind the disk's blocks. Block returns
+// the backing bytes for block b (length >= the configured BlockSize),
+// faulting it in as needed; the device reads and writes the returned
+// slice in place. Implementations must be deterministic — the disk is
+// part of the replicated environment.
+type Backend interface {
+	Block(b uint32) []byte
+}
+
+// memBackend is the default backend: lazily allocated zeroed blocks.
+type memBackend struct {
+	blockSize uint32
+	data      [][]byte
+}
+
+func (m *memBackend) Block(b uint32) []byte {
+	if m.data[b] == nil {
+		m.data[b] = make([]byte, m.blockSize)
+	}
+	return m.data[b]
+}
+
 // DiskConfig describes the shared disk.
 type DiskConfig struct {
 	// Blocks is the number of blocks (default 4096).
@@ -73,6 +95,10 @@ type DiskConfig struct {
 	UncertainRate float64
 	// Seed seeds the fault-injection stream.
 	Seed int64
+	// Backend overrides the block storage (default: in-memory, lazily
+	// allocated). Custom backends plug in synthetic content, golden
+	// images, or instrumented stores.
+	Backend Backend
 }
 
 func (c DiskConfig) withDefaults() DiskConfig {
@@ -107,14 +133,18 @@ type OpRecord struct {
 
 // Disk is the shared dual-ported device.
 type Disk struct {
-	k    *sim.Kernel
-	cfg  DiskConfig
-	data [][]byte // lazily allocated blocks
-	rng  *rand.Rand
+	k       *sim.Kernel
+	cfg     DiskConfig
+	backend Backend
+	rng     *rand.Rand
 
 	// Log records every operation the device performed or reported
 	// uncertain, in service order.
 	Log []OpRecord
+
+	// OnOp, when set, observes every completed operation as it is
+	// logged (session event streams).
+	OnOp func(OpRecord)
 
 	busyUntil     sim.Time
 	seq           uint64
@@ -124,11 +154,15 @@ type Disk struct {
 // NewDisk creates the disk owned by kernel k.
 func NewDisk(k *sim.Kernel, cfg DiskConfig) *Disk {
 	cfg = cfg.withDefaults()
+	be := cfg.Backend
+	if be == nil {
+		be = &memBackend{blockSize: cfg.BlockSize, data: make([][]byte, cfg.Blocks)}
+	}
 	return &Disk{
-		k:    k,
-		cfg:  cfg,
-		data: make([][]byte, cfg.Blocks),
-		rng:  rand.New(rand.NewSource(cfg.Seed ^ 0x5C51)),
+		k:       k,
+		cfg:     cfg,
+		backend: be,
+		rng:     rand.New(rand.NewSource(cfg.Seed ^ 0x5C51)),
 	}
 }
 
@@ -139,12 +173,9 @@ func (d *Disk) Config() DiskConfig { return d.cfg }
 // CHECK_CONDITION (each op independently decides whether it committed).
 func (d *Disk) InjectUncertainNext(n int) { d.uncertainNext += n }
 
-// block returns the backing store for a block, allocating zeroed data.
+// block returns the backing store for a block via the backend.
 func (d *Disk) block(b uint32) []byte {
-	if d.data[b] == nil {
-		d.data[b] = make([]byte, d.cfg.BlockSize)
-	}
-	return d.data[b]
+	return d.backend.Block(b)[:d.cfg.BlockSize]
 }
 
 // ReadBlockDirect copies a block's contents (test/verification backdoor,
@@ -358,6 +389,9 @@ func (a *Adapter) issue() {
 			}
 		}
 		d.Log = append(d.Log, rec)
+		if d.OnOp != nil {
+			d.OnOp(rec)
+		}
 		if uncertain {
 			a.complete(StatusUncertain)
 		} else {

@@ -1,0 +1,746 @@
+// Package session implements the long-lived replicated-cluster engine
+// behind the public hft.Cluster API and the harness's experiment
+// drivers. Where the original harness wired a cluster, ran it to
+// completion and reported a terminal result, a session Engine keeps the
+// simulation resident: it boots lazily, advances under caller control
+// in bounded slices, accepts live perturbations (failstops, link
+// degradation) between — or, via scheduled events, during — slices, and
+// exposes observation as first-class values (snapshots and an event
+// stream) at any virtual time.
+//
+// Determinism contract: an Engine driven to completion produces results
+// bit-identical to the pre-session one-shot harness, regardless of how
+// the run is sliced. Construction order (kernel, platform, engines,
+// scheduled failures, process spawns) is therefore fixed and mirrors
+// the historical wiring exactly; observation hooks never spend virtual
+// time.
+package session
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/guest"
+	"repro/internal/hypervisor"
+	"repro/internal/machine"
+	"repro/internal/netsim"
+	"repro/internal/platform"
+	"repro/internal/replication"
+	"repro/internal/scsi"
+	"repro/internal/sim"
+)
+
+// GuestMemBytes is the physical RAM given to each simulated machine.
+// The guest kernel's physical footprint tops out below 0x60040, so
+// 1 MiB leaves an order-of-magnitude margin while keeping machine
+// construction (zeroing RAM) cheap. Simulated timing and guest results
+// are independent of RAM size; explicit machine overrides still win.
+const GuestMemBytes = 1 << 20
+
+// maxRunTime is the hang tripwire: a run that has not completed by this
+// virtual time is declared wedged (the longest legitimate experiment
+// finishes in minutes of virtual time).
+const maxRunTime = 20000 * sim.Second
+
+// sizeMachine applies the RAM default to a machine config.
+func sizeMachine(mc machine.Config) machine.Config {
+	if mc.MemBytes == 0 {
+		mc.MemBytes = GuestMemBytes
+	}
+	return mc
+}
+
+// Program supplies the guest boot image, boot-time configuration, and
+// result extraction — the plug point for workloads beyond the paper's
+// three benchmarks. Implementations must be deterministic and must
+// configure every replica identically.
+type Program interface {
+	// Image returns the guest memory image and entry point.
+	Image() (origin uint32, words []uint32, entry uint32)
+	// Setup writes boot-time parameters into a machine after the image
+	// is loaded. It is called once per replica, before execution.
+	Setup(m *machine.Machine)
+	// Result extracts the guest-visible outcome after the guest halts.
+	Result(m *machine.Machine) guest.Result
+}
+
+// workloadProgram adapts the built-in guest kernel + workload ABI.
+type workloadProgram struct{ w guest.Workload }
+
+func (wp workloadProgram) Image() (uint32, []uint32, uint32) {
+	p := guest.Program()
+	return p.Origin, p.Words, 0
+}
+func (wp workloadProgram) Setup(m *machine.Machine) { guest.Configure(m, wp.w) }
+func (wp workloadProgram) Result(m *machine.Machine) guest.Result {
+	return guest.ReadResult(m)
+}
+
+// WorkloadProgram returns the built-in Program: the paper's guest
+// kernel configured with workload w.
+func WorkloadProgram(w guest.Workload) Program { return workloadProgram{w: w} }
+
+// EventKind enumerates session events.
+type EventKind uint8
+
+// Session event kinds.
+const (
+	// EventEpochCommitted: the acting coordinator (primary or promoted
+	// backup) finished an epoch boundary.
+	EventEpochCommitted EventKind = iota
+	// EventBackupEpoch: a following backup completed an epoch's
+	// boundary processing, including its divergence check.
+	EventBackupEpoch
+	// EventPromoted: a backup detected coordinator failure and took
+	// over (rules P6/P7).
+	EventPromoted
+	// EventDivergence: a backup's state digest disagreed with the
+	// coordinator's.
+	EventDivergence
+	// EventFailstop: a processor failstop was injected.
+	EventFailstop
+	// EventLinkQuality: the inter-hypervisor link model was changed.
+	EventLinkQuality
+	// EventDiskOp: the shared disk completed an operation.
+	EventDiskOp
+	// EventCompleted: the session finished (guest halted everywhere).
+	EventCompleted
+)
+
+// Event is one observation from a running session.
+type Event struct {
+	Kind  EventKind
+	At    sim.Time
+	Node  int // primary = 0, backup i (1-based priority) = i
+	Epoch uint64
+
+	// Kind-specific payloads.
+	Tme     uint32        // EventEpochCommitted: the shipped clock value
+	Halted  bool          // EventEpochCommitted: guest halted this epoch
+	Match   bool          // EventBackupEpoch: digest check passed
+	Count   int           // EventPromoted: uncertain interrupts synthesized
+	Digests [2]uint64     // EventDivergence: coordinator, local
+	IO      scsi.OpRecord // EventDiskOp
+}
+
+// Options configures an Engine.
+type Options struct {
+	Seed    int64
+	Program Program
+	// Bare runs a single unvirtualized machine (the paper's baseline)
+	// instead of a replicated group.
+	Bare bool
+
+	Disk        scsi.DiskConfig
+	EpochLength uint64
+	Protocol    replication.Protocol
+	Link        netsim.LinkConfig
+
+	FailPrimaryAt sim.Time
+	DetectTimeout sim.Time
+	Backups       int
+	FailBackupAt  []sim.Time
+
+	Machine       machine.Config
+	NoTLBTakeover bool
+
+	// OnDivergence, when set, observes backup digest mismatches instead
+	// of panicking.
+	OnDivergence func(epoch uint64, primary, backup uint64)
+
+	// Observer, when set, receives the live event stream. It runs in
+	// simulation context and must not block.
+	Observer func(Event)
+	// DiskEvents additionally emits EventDiskOp per disk operation.
+	DiskEvents bool
+}
+
+// Result reports a completed run.
+type Result struct {
+	// Time is the workload completion time (virtual).
+	Time sim.Time
+	// Guest is the kernel's ABI report.
+	Guest guest.Result
+	// Console is the environment-visible console transcript.
+	Console string
+	// Promoted reports whether a failover occurred.
+	Promoted bool
+	// PrimaryStats/BackupStats are the protocol engines' counters
+	// (zero for bare runs).
+	PrimaryStats replication.Stats
+	BackupStats  replication.Stats
+	// HVStats is the authoritative hypervisor's activity (zero for bare).
+	HVStats hypervisor.Stats
+}
+
+// Snapshot is a point-in-time view of a session, valid at any virtual
+// time (not just completion).
+type Snapshot struct {
+	Now    sim.Time
+	Booted bool
+	Done   bool
+	Bare   bool
+	Nodes  int
+
+	// Acting is the node currently interacting with the environment
+	// (0 until a failover, then the promoted backup's index).
+	Acting int
+
+	Epochs            uint64 // epochs committed by the acting coordinator
+	GuestInstructions uint64 // retired by the acting node's guest
+	Promoted          bool
+	Halted            bool
+
+	// Protocol counters, summed over every engine that has acted.
+	MessagesSent         uint64
+	BytesSent            uint64
+	AcksReceived         uint64
+	AckWaits             uint64
+	AckWaitTime          sim.Time
+	IOGateWaits          uint64
+	IOGateWaitTime       sim.Time
+	IntsForwarded        uint64
+	Divergences          uint64
+	UncertainSynthesized uint64
+
+	// Environment counters.
+	DiskOps       uint64
+	DiskUncertain uint64
+	Console       string
+}
+
+// Engine is a resident simulation of one cluster (or one bare machine).
+// It is not safe for concurrent use; drive it from one goroutine.
+type Engine struct {
+	o      Options
+	prog   Program
+	k      *sim.Kernel
+	booted bool
+	closed bool
+
+	// Replicated topology.
+	cluster *platform.Cluster
+	pri     *replication.Primary
+	baks    []*replication.Backup
+
+	// Bare topology.
+	single *platform.Single
+
+	done     []sim.Time // per-node completion times
+	finished bool
+	endTime  sim.Time // virtual time the last process exited
+	result   Result
+	runErr   error
+
+	// Running disk counters (fed by the device's OnOp hook, so
+	// Snapshot never rescans the operation log).
+	diskOps       uint64
+	diskUncertain uint64
+
+	// stopCheck, when set, is consulted at epoch commits; returning
+	// true stops the kernel (bounded/predicate runs, cancellation).
+	stopCheck func() bool
+}
+
+// New prepares an engine. No simulation state is constructed until the
+// first advancement (or an explicit Boot) — a Cluster is cheap to
+// create and configure.
+func New(o Options) *Engine {
+	prog := o.Program
+	if prog == nil {
+		prog = WorkloadProgram(guest.CPUIntensive(10000))
+	}
+	return &Engine{o: o, prog: prog}
+}
+
+// emit forwards an event to the observer, stamping the current time.
+func (e *Engine) emit(ev Event) {
+	if e.o.Observer == nil {
+		return
+	}
+	if ev.At == 0 {
+		ev.At = e.k.Now()
+	}
+	e.o.Observer(ev)
+}
+
+// Boot constructs the kernel, platform, protocol engines and scheduled
+// failures, and spawns the simulation processes. Idempotent; called
+// implicitly by every advancement method.
+//
+// The construction order below is the determinism contract with the
+// historical one-shot harness: kernel, platform, guest boot per node,
+// primary, backups (each with its upstream/downstream channels), the
+// scheduled failstops, then the process spawns — in exactly this
+// sequence, so random-stream derivation and event scheduling order are
+// unchanged.
+func (e *Engine) Boot() {
+	if e.booted || e.closed {
+		return
+	}
+	e.booted = true
+	if e.o.Bare {
+		e.bootBare()
+		return
+	}
+	o := &e.o
+	if o.DetectTimeout == 0 {
+		o.DetectTimeout = 50 * sim.Millisecond
+	}
+	if o.Backups == 0 {
+		o.Backups = 1
+	}
+	n := o.Backups + 1
+	k := sim.NewKernel(o.Seed)
+	e.k = k
+	cluster := platform.NewCluster(k, platform.Config{
+		Disk:    o.Disk,
+		Link:    o.Link,
+		Machine: sizeMachine(o.Machine),
+		Hypervisor: hypervisor.Config{
+			EpochLength:   o.EpochLength,
+			NoTLBTakeover: o.NoTLBTakeover,
+		},
+	}, n)
+	e.cluster = cluster
+	origin, words, entry := e.prog.Image()
+	for _, node := range cluster.Nodes {
+		node.HV.Boot(origin, words, entry)
+		e.prog.Setup(node.M)
+	}
+
+	var peers []replication.Peer
+	for j := 1; j < n; j++ {
+		tx, rx := cluster.Channel(0, j)
+		peers = append(peers, replication.Peer{TX: tx, RX: rx})
+	}
+	pri := replication.NewPrimaryMulti(cluster.Nodes[0].HV, peers, o.Protocol)
+	e.pri = pri
+	for i := 1; i < n; i++ {
+		var ups, downs []replication.Peer
+		for j := 0; j < i; j++ {
+			tx, rx := cluster.Channel(i, j)
+			ups = append(ups, replication.Peer{TX: tx, RX: rx})
+		}
+		for j := i + 1; j < n; j++ {
+			tx, rx := cluster.Channel(i, j)
+			downs = append(downs, replication.Peer{TX: tx, RX: rx})
+		}
+		bak := replication.NewBackupAt(
+			cluster.Nodes[i].HV, i, ups, downs, o.DetectTimeout, o.Protocol)
+		bak.OnDivergence = e.divergenceHandler(i)
+		e.baks = append(e.baks, bak)
+	}
+
+	// Observation hooks (no virtual-time cost; order-neutral).
+	e.installHooks()
+
+	if o.FailPrimaryAt > 0 {
+		k.At(o.FailPrimaryAt, func() { e.failPrimaryNow() })
+	}
+	for i, at := range o.FailBackupAt {
+		if at > 0 && i < len(e.baks) {
+			i := i
+			k.At(at, func() { e.failBackupNow(i + 1) })
+		}
+	}
+
+	e.done = make([]sim.Time, n)
+	k.Spawn("primary", func(pr *sim.Proc) { pri.Run(pr); e.done[0] = pr.Now() })
+	for i, bak := range e.baks {
+		i, bak := i, bak
+		k.Spawn(fmt.Sprintf("backup%d", i+1), func(pr *sim.Proc) { bak.Run(pr); e.done[i+1] = pr.Now() })
+	}
+}
+
+// bootBare constructs the single-machine baseline topology.
+func (e *Engine) bootBare() {
+	k := sim.NewKernel(e.o.Seed)
+	e.k = k
+	s := platform.NewSingle(k, platform.Config{Disk: e.o.Disk, Machine: sizeMachine(e.o.Machine)})
+	e.single = s
+	origin, words, entry := e.prog.Image()
+	s.Bare.Boot(origin, words, entry)
+	e.prog.Setup(s.Node.M)
+	s.Disk.OnOp = e.diskOp
+	e.done = make([]sim.Time, 1)
+	k.Spawn("bare", func(pr *sim.Proc) { s.Bare.Run(pr); e.done[0] = pr.Now() })
+}
+
+// divergenceHandler wraps the configured divergence policy with event
+// emission. Without an explicit OnDivergence handler the replication
+// tripwire is preserved: a divergence still panics (it means the
+// deterministic-replay machinery is broken), after the event is
+// emitted — an observer alone must not soften a determinism bug into
+// a counter.
+func (e *Engine) divergenceHandler(node int) func(epoch uint64, primary, backup uint64) {
+	if e.o.OnDivergence == nil && e.o.Observer == nil {
+		return nil
+	}
+	return func(epoch uint64, primary, backup uint64) {
+		e.emit(Event{Kind: EventDivergence, Node: node, Epoch: epoch, Digests: [2]uint64{primary, backup}})
+		if e.o.OnDivergence == nil {
+			panic(fmt.Sprintf("replication: divergence at epoch %d: primary %x backup %x",
+				epoch, primary, backup))
+		}
+		e.o.OnDivergence(epoch, primary, backup)
+	}
+}
+
+// installHooks wires the protocol and environment observation hooks.
+func (e *Engine) installHooks() {
+	e.pri.Hooks = replication.Hooks{
+		EpochCommitted: e.epochCommitted,
+	}
+	for _, bak := range e.baks {
+		bak.Hooks = replication.Hooks{
+			EpochCommitted: e.epochCommitted,
+			BackupEpoch: func(node int, epoch uint64, at sim.Time, match bool) {
+				e.emit(Event{Kind: EventBackupEpoch, At: at, Node: node, Epoch: epoch, Match: match})
+			},
+			Promoted: func(node int, epoch uint64, at sim.Time, uncertain int) {
+				e.emit(Event{Kind: EventPromoted, At: at, Node: node, Epoch: epoch, Count: uncertain})
+			},
+		}
+	}
+	e.cluster.Disk.OnOp = e.diskOp
+}
+
+// diskOp tallies a completed disk operation and (optionally) emits it.
+func (e *Engine) diskOp(r scsi.OpRecord) {
+	e.diskOps++
+	if r.Uncertain {
+		e.diskUncertain++
+	}
+	if e.o.DiskEvents && e.o.Observer != nil {
+		e.emit(Event{Kind: EventDiskOp, Node: r.Host, IO: r})
+	}
+}
+
+// epochCommitted observes the acting coordinator's boundary and applies
+// the predicate-stop discipline: bounded and cancelable runs yield here,
+// at epoch boundaries, never mid-epoch.
+func (e *Engine) epochCommitted(node int, epoch uint64, tme uint32, at sim.Time, halted bool) {
+	e.emit(Event{Kind: EventEpochCommitted, At: at, Node: node, Epoch: epoch, Tme: tme, Halted: halted})
+	if e.stopCheck != nil && e.stopCheck() {
+		e.k.Stop()
+	}
+}
+
+// failPrimaryNow injects the primary failstop (kernel context).
+func (e *Engine) failPrimaryNow() {
+	e.pri.Failstop()
+	e.cluster.Nodes[0].Adapter.Detached = true
+	e.emit(Event{Kind: EventFailstop, Node: 0})
+}
+
+// failBackupNow injects a failstop of backup i (1-based, kernel context).
+func (e *Engine) failBackupNow(i int) {
+	e.baks[i-1].Failstop()
+	e.cluster.Nodes[i].Adapter.Detached = true
+	e.emit(Event{Kind: EventFailstop, Node: i})
+}
+
+// Now returns the current virtual time (zero before boot). After
+// completion it reports the instant the last process exited — the
+// kernel clock may sit at a run bound beyond any activity.
+func (e *Engine) Now() sim.Time {
+	if e.k == nil {
+		return 0
+	}
+	if e.finished {
+		return e.endTime
+	}
+	return e.k.Now()
+}
+
+// Done reports whether the run has completed.
+func (e *Engine) Done() bool { return e.finished }
+
+// Bare reports whether this is a baseline (unreplicated) session.
+func (e *Engine) Bare() bool { return e.o.Bare }
+
+// checkFinished detects completion (every simulation process exited)
+// and computes the terminal result once.
+func (e *Engine) checkFinished() {
+	if e.finished || e.k.LiveProcs() != 0 {
+		return
+	}
+	e.finished = true
+	for _, t := range e.done {
+		if t > e.endTime {
+			e.endTime = t
+		}
+	}
+	e.result, e.runErr = e.computeResult()
+	e.emit(Event{Kind: EventCompleted, At: e.endTime, Node: e.actingNode()})
+}
+
+// RunFor advances the session by d of virtual time (booting first if
+// needed). Advancing a completed session is a no-op.
+func (e *Engine) RunFor(d sim.Time) {
+	e.Boot()
+	if e.finished || e.closed || d <= 0 {
+		return
+	}
+	e.k.ClearStop()
+	e.k.RunUntil(e.k.Now() + d)
+	e.checkFinished()
+}
+
+// ErrIncomplete reports a run that wedged before completing (no pending
+// events but live processes — a protocol deadlock).
+var ErrIncomplete = errors.New("session: run did not complete")
+
+// RunUntil advances the session until pred holds — evaluated before
+// starting and then at each epoch commit — or the run completes. It
+// returns ErrIncomplete if the simulation wedges first.
+func (e *Engine) RunUntil(pred func() bool) error {
+	e.Boot()
+	if e.finished || e.closed || pred() {
+		return nil
+	}
+	e.stopCheck = pred
+	defer func() { e.stopCheck = nil }()
+	e.k.ClearStop()
+	e.k.RunUntil(maxRunTime)
+	e.checkFinished()
+	if e.finished || e.k.Stopped() {
+		return nil
+	}
+	return ErrIncomplete
+}
+
+// RunToCompletion drives the session until the guest halts everywhere.
+// cancelled (optional) is polled at epoch boundaries; when it returns
+// true the run pauses and RunToCompletion returns nil with the session
+// still resumable.
+func (e *Engine) RunToCompletion(cancelled func() bool) error {
+	e.Boot()
+	if e.closed {
+		return nil
+	}
+	for !e.finished {
+		if cancelled != nil && cancelled() {
+			return nil
+		}
+		e.stopCheck = cancelled
+		e.k.ClearStop()
+		e.k.RunUntil(maxRunTime)
+		e.stopCheck = nil
+		e.checkFinished()
+		if e.finished {
+			break
+		}
+		if e.k.Stopped() {
+			continue // paused by cancellation; loop re-checks
+		}
+		return ErrIncomplete
+	}
+	return e.runErr
+}
+
+// FailPrimary failstops the primary's processor immediately (between
+// advancement slices) — the live counterpart of Options.FailPrimaryAt.
+func (e *Engine) FailPrimary() {
+	e.Boot()
+	if e.closed || e.o.Bare || e.pri.Failed() {
+		return
+	}
+	e.failPrimaryNow()
+}
+
+// FailBackup failstops backup i (1-based priority index) immediately.
+func (e *Engine) FailBackup(i int) error {
+	e.Boot()
+	if e.closed {
+		return errors.New("session: engine is closed")
+	}
+	if e.o.Bare {
+		return errors.New("session: bare run has no backups")
+	}
+	if i < 1 || i > len(e.baks) {
+		return fmt.Errorf("session: no backup %d (have %d)", i, len(e.baks))
+	}
+	if !e.baks[i-1].Failed() {
+		e.failBackupNow(i)
+	}
+	return nil
+}
+
+// SetLinkQuality adjusts every inter-hypervisor link (both directions
+// of the full mesh) mid-run.
+func (e *Engine) SetLinkQuality(q netsim.Quality) error {
+	e.Boot()
+	if e.closed {
+		return errors.New("session: engine is closed")
+	}
+	if e.o.Bare {
+		return errors.New("session: bare run has no links")
+	}
+	for i := range e.cluster.Links {
+		for j := range e.cluster.Links[i] {
+			if d := e.cluster.Links[i][j]; d != nil {
+				d.AtoB.SetQuality(q)
+				d.BtoA.SetQuality(q)
+			}
+		}
+	}
+	e.emit(Event{Kind: EventLinkQuality})
+	return nil
+}
+
+// actingNode returns the node currently interacting with the
+// environment: the highest-priority promoted backup, else the primary.
+func (e *Engine) actingNode() int {
+	for i, b := range e.baks {
+		if b.Promoted() && !b.Failed() {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// Snapshot captures the observable state at the current virtual time.
+func (e *Engine) Snapshot() Snapshot {
+	s := Snapshot{Booted: e.booted, Done: e.finished, Bare: e.o.Bare}
+	if !e.booted {
+		return s
+	}
+	// After completion the kernel clock may sit at a run bound rather
+	// than the instant the last process exited; report the latter.
+	s.Now = e.k.Now()
+	if e.finished {
+		s.Now = e.endTime
+	}
+	s.DiskOps, s.DiskUncertain = e.diskOps, e.diskUncertain
+	if e.o.Bare {
+		s.Nodes = 1
+		s.Halted = e.single.Bare.Halted()
+		s.Console = e.single.Node.Console.Output()
+		return s
+	}
+	s.Nodes = len(e.cluster.Nodes)
+	s.Acting = e.actingNode()
+	hv := e.cluster.Nodes[s.Acting].HV
+	s.Epochs = hv.Epoch()
+	s.GuestInstructions = hv.GuestInstructions()
+	s.Halted = hv.Halted()
+	add := func(st replication.Stats) {
+		s.MessagesSent += st.MessagesSent
+		s.BytesSent += st.BytesSent
+		s.AcksReceived += st.AcksReceived
+		s.AckWaits += st.AckWaits
+		s.AckWaitTime += st.AckWaitTime
+		s.IOGateWaits += st.IOGateWaits
+		s.IOGateWaitTime += st.IOGateWaitTime
+		s.IntsForwarded += st.IntsForwarded
+		s.Divergences += st.Divergences
+		s.UncertainSynthesized += st.UncertainSynth
+	}
+	add(e.pri.Stats)
+	for _, b := range e.baks {
+		add(b.Stats)
+		if b.Promoted() {
+			s.Promoted = true
+		}
+	}
+	for i := 0; i <= s.Acting; i++ {
+		s.Console += e.cluster.Nodes[i].Console.Output()
+	}
+	return s
+}
+
+// Result returns the terminal report. It errors until the run has
+// completed (use Snapshot for mid-run observation).
+func (e *Engine) Result() (Result, error) {
+	if !e.finished {
+		return Result{}, errors.New("session: run not complete (use Snapshot for live state)")
+	}
+	return e.result, e.runErr
+}
+
+// computeResult assembles the terminal report from the authoritative
+// survivor: the primary if it never failed, else the last promoted
+// surviving node, else any node whose guest HALTED before its processor
+// was killed (a replica that completed the workload and was failstopped
+// afterwards still produced the deterministic result).
+func (e *Engine) computeResult() (Result, error) {
+	if e.o.Bare {
+		if !e.single.Bare.Halted() {
+			return Result{}, fmt.Errorf("session: bare run did not halt (pc=%#x)", e.single.Node.M.PC)
+		}
+		return Result{
+			Time:    e.done[0],
+			Guest:   e.prog.Result(e.single.Node.M),
+			Console: e.single.Node.Console.Output(),
+		}, nil
+	}
+	res := Result{PrimaryStats: e.pri.Stats}
+	if len(e.baks) > 0 {
+		res.BackupStats = e.baks[0].Stats
+	}
+	for _, b := range e.baks {
+		if b.Promoted() {
+			res.Promoted = true
+		}
+	}
+	authority := -1
+	switch {
+	case e.cluster.Nodes[0].HV.Halted() && !e.pri.Failed():
+		authority = 0
+	default:
+		for i := len(e.baks) - 1; i >= 0; i-- {
+			if e.baks[i].Promoted() && e.baks[i].HV.Halted() && !e.baks[i].Failed() {
+				authority = i + 1
+				break
+			}
+		}
+		if authority < 0 {
+			for i := len(e.baks) - 1; i >= 0; i-- {
+				if e.baks[i].HV.Halted() {
+					authority = i + 1
+					break
+				}
+			}
+		}
+		if authority < 0 && e.cluster.Nodes[0].HV.Halted() {
+			authority = 0
+		}
+	}
+	if authority < 0 {
+		return res, fmt.Errorf("session: replicated run did not complete (pri pc=%#x promoted=%v)",
+			e.cluster.Nodes[0].M.PC, res.Promoted)
+	}
+	res.Time = e.done[authority]
+	res.Guest = e.prog.Result(e.cluster.Nodes[authority].M)
+	res.HVStats = e.cluster.Nodes[authority].HV.Stats
+	for i := 0; i <= authority; i++ {
+		res.Console += e.cluster.Nodes[i].Console.Output()
+	}
+	return res, nil
+}
+
+// Disk returns the shared disk (environment-consistency checks in
+// tests; nil before boot on bare=false sessions).
+func (e *Engine) Disk() *scsi.Disk {
+	if e.cluster != nil {
+		return e.cluster.Disk
+	}
+	if e.single != nil {
+		return e.single.Disk
+	}
+	return nil
+}
+
+// Close releases the simulation (terminating its process goroutines).
+// The engine's terminal result, if any, remains readable. Idempotent.
+func (e *Engine) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	if e.k != nil {
+		e.k.Shutdown()
+	}
+}

@@ -1,0 +1,181 @@
+package session
+
+import (
+	"testing"
+
+	"repro/internal/guest"
+	"repro/internal/sim"
+)
+
+func cpuOpts(iters uint32) Options {
+	return Options{
+		Seed:        1,
+		Program:     WorkloadProgram(guest.CPUIntensive(iters)),
+		EpochLength: 1024,
+	}
+}
+
+// TestSlicedRunMatchesOneShot is the engine's core invariant: the same
+// session advanced in arbitrary bounded slices produces a terminal
+// result bit-identical to one driven to completion in a single call.
+func TestSlicedRunMatchesOneShot(t *testing.T) {
+	one := New(cpuOpts(5000))
+	defer one.Close()
+	if err := one.RunToCompletion(nil); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := one.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, slice := range []sim.Time{100 * sim.Microsecond, 3 * sim.Millisecond, 40 * sim.Millisecond} {
+		sliced := New(cpuOpts(5000))
+		for !sliced.Done() {
+			sliced.RunFor(slice)
+			if sliced.Now() > 100*sim.Second {
+				t.Fatalf("slice %v: did not finish", slice)
+			}
+		}
+		got, err := sliced.Result()
+		sliced.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Time != ref.Time || got.Guest != ref.Guest || got.Console != ref.Console ||
+			got.PrimaryStats != ref.PrimaryStats || got.BackupStats != ref.BackupStats {
+			t.Errorf("slice %v drifted: time %v vs %v, checksum %#x vs %#x",
+				slice, got.Time, ref.Time, got.Guest.Checksum, ref.Guest.Checksum)
+		}
+	}
+}
+
+// TestBareSlicedRun verifies slicing is also invisible for the baseline
+// topology.
+func TestBareSlicedRun(t *testing.T) {
+	o := cpuOpts(5000)
+	o.Bare = true
+	one := New(o)
+	defer one.Close()
+	if err := one.RunToCompletion(nil); err != nil {
+		t.Fatal(err)
+	}
+	ref, _ := one.Result()
+
+	sliced := New(o)
+	defer sliced.Close()
+	for !sliced.Done() {
+		sliced.RunFor(500 * sim.Microsecond)
+	}
+	got, err := sliced.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Time != ref.Time || got.Guest != ref.Guest {
+		t.Errorf("bare sliced run drifted: %v/%#x vs %v/%#x",
+			got.Time, got.Guest.Checksum, ref.Time, ref.Guest.Checksum)
+	}
+}
+
+// TestRunUntilEpochPredicate pauses on an epoch-boundary predicate,
+// then resumes.
+func TestRunUntilEpochPredicate(t *testing.T) {
+	var commits int
+	o := cpuOpts(5000)
+	o.Observer = func(ev Event) {
+		if ev.Kind == EventEpochCommitted {
+			commits++
+		}
+	}
+	e := New(o)
+	defer e.Close()
+	if err := e.RunUntil(func() bool { return commits >= 3 }); err != nil {
+		t.Fatal(err)
+	}
+	if commits < 3 || e.Done() {
+		t.Fatalf("predicate stop: commits=%d done=%v", commits, e.Done())
+	}
+	pausedAt := e.Now()
+	if err := e.RunToCompletion(nil); err != nil {
+		t.Fatal(err)
+	}
+	if e.Now() < pausedAt {
+		t.Error("time went backwards across resume")
+	}
+	// A pred-paused-then-resumed run matches an uninterrupted one.
+	ref := New(cpuOpts(5000))
+	defer ref.Close()
+	if err := ref.RunToCompletion(nil); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := e.Result()
+	b, _ := ref.Result()
+	if a.Time != b.Time || a.Guest != b.Guest {
+		t.Errorf("paused run drifted: %v vs %v", a.Time, b.Time)
+	}
+}
+
+// TestEventStreamOrdering checks events arrive in nondecreasing virtual
+// time with the expected lifecycle shape.
+func TestEventStreamOrdering(t *testing.T) {
+	var evs []Event
+	o := Options{
+		Seed:          1,
+		Program:       WorkloadProgram(guest.CPUIntensive(4000)),
+		EpochLength:   1024,
+		FailPrimaryAt: 4 * sim.Millisecond,
+		Observer:      func(ev Event) { evs = append(evs, ev) },
+	}
+	e := New(o)
+	defer e.Close()
+	if err := e.RunToCompletion(nil); err != nil {
+		t.Fatal(err)
+	}
+	var last sim.Time
+	var sawFail, sawPromote, sawComplete bool
+	for _, ev := range evs {
+		if ev.At < last {
+			t.Fatalf("event time went backwards: %v after %v (kind %d)", ev.At, last, ev.Kind)
+		}
+		last = ev.At
+		switch ev.Kind {
+		case EventFailstop:
+			sawFail = true
+			if sawPromote {
+				t.Error("failstop after promotion")
+			}
+		case EventPromoted:
+			sawPromote = true
+			if !sawFail {
+				t.Error("promotion before failstop")
+			}
+		case EventCompleted:
+			sawComplete = true
+		}
+	}
+	if !sawFail || !sawPromote || !sawComplete {
+		t.Errorf("missing lifecycle events: fail=%v promote=%v complete=%v", sawFail, sawPromote, sawComplete)
+	}
+	r, err := e.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Promoted {
+		t.Error("result does not reflect promotion")
+	}
+}
+
+// TestResultBeforeCompletion ensures mid-run Result errors while
+// Snapshot works.
+func TestResultBeforeCompletion(t *testing.T) {
+	e := New(cpuOpts(5000))
+	defer e.Close()
+	e.RunFor(2 * sim.Millisecond)
+	if _, err := e.Result(); err == nil {
+		t.Error("Result succeeded mid-run")
+	}
+	s := e.Snapshot()
+	if !s.Booted || s.Done || s.Now != 2*sim.Millisecond {
+		t.Errorf("bad mid-run snapshot: %+v", s)
+	}
+}

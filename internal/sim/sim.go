@@ -263,11 +263,21 @@ func (k *Kernel) RunUntil(t Time) Time {
 	return k.now
 }
 
-// Stop makes Run return after the current event completes.
+// Stop makes Run return after the current event completes. A process
+// may call it from inside the simulation (e.g. an epoch-boundary
+// predicate): the caller keeps running until it next blocks, at which
+// point the run returns with every process's state preserved. The run
+// can be continued with ClearStop + Run/RunUntil.
 func (k *Kernel) Stop() { k.stopped = true }
 
 // Stopped reports whether Stop has been called.
 func (k *Kernel) Stopped() bool { return k.stopped }
+
+// ClearStop re-arms a kernel halted by Stop so Run/RunUntil continue
+// exactly where they left off — the basis of bounded, caller-paced
+// session runs. It must not be called after Shutdown (the process
+// goroutines are gone).
+func (k *Kernel) ClearStop() { k.stopped = false }
 
 // next advances the simulation without transferring control: it runs due
 // callback events inline and returns the next process to hand the single

@@ -1,0 +1,306 @@
+package hft
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/scsi"
+	"repro/internal/sim"
+)
+
+// Option configures a Cluster. Options validate eagerly: a bad value
+// is reported by NewCluster, before any simulation exists.
+type Option func(*clusterOptions) error
+
+// clusterOptions is the resolved configuration.
+type clusterOptions struct {
+	seed        int64
+	workload    Workload
+	haveWork    bool
+	program     Program
+	bare        bool
+	epochLength uint64
+	protocol    Protocol
+	link        LinkModel
+
+	detectTimeout Duration
+	backups       int
+	haveBackups   bool
+	failPrimaryAt Duration
+	failBackupAt  map[int]Duration // 1-based backup index -> time
+
+	diskRead, diskWrite Duration
+	diskBackend         DiskBackend
+}
+
+// buildOptions applies opts over the defaults and cross-validates.
+func buildOptions(opts []Option) (*clusterOptions, error) {
+	o := &clusterOptions{
+		seed:        1,
+		epochLength: 4096,
+		link:        Ethernet10(),
+		backups:     1,
+	}
+	for _, opt := range opts {
+		if opt == nil {
+			return nil, errors.New("hft: nil Option")
+		}
+		if err := opt(o); err != nil {
+			return nil, err
+		}
+	}
+	if !o.haveWork && o.program == nil {
+		return nil, errors.New("hft: no guest workload (use WithWorkload or WithProgram)")
+	}
+	if o.haveWork && o.program != nil {
+		return nil, errors.New("hft: WithWorkload and WithProgram are mutually exclusive")
+	}
+	for i := range o.failBackupAt {
+		if i > o.backups {
+			return nil, fmt.Errorf("hft: WithFailBackupAt(%d, ...) exceeds the replica set (%d backups)", i, o.backups)
+		}
+	}
+	return o, nil
+}
+
+// WithWorkload selects one of the built-in guest benchmarks
+// (CPUIntensive, DiskWrite, DiskRead). Exactly one of WithWorkload or
+// WithProgram is required.
+func WithWorkload(w Workload) Option {
+	return func(o *clusterOptions) error {
+		if w.Kind == 0 {
+			return errors.New("hft: zero workload")
+		}
+		o.workload, o.haveWork = w, true
+		return nil
+	}
+}
+
+// WithProgram plugs in a user-supplied guest program in place of the
+// built-in benchmarks.
+func WithProgram(p Program) Option {
+	return func(o *clusterOptions) error {
+		if p == nil {
+			return errors.New("hft: nil Program")
+		}
+		o.program = p
+		return nil
+	}
+}
+
+// WithEpochLength sets the instructions per epoch (default 4096, the
+// paper's reference point; HP-UX bounds it at 385,000).
+func WithEpochLength(n uint64) Option {
+	return func(o *clusterOptions) error {
+		if n == 0 {
+			return errors.New("hft: zero epoch length")
+		}
+		if n > 385000 {
+			return errors.New("hft: epoch length exceeds the HP-UX clock-maintenance bound (385,000)")
+		}
+		o.epochLength = n
+		return nil
+	}
+}
+
+// WithProtocol selects the coordination variant (default ProtocolOld).
+func WithProtocol(p Protocol) Option {
+	return func(o *clusterOptions) error {
+		if p != ProtocolOld && p != ProtocolNew {
+			return fmt.Errorf("hft: unknown protocol %d", p)
+		}
+		o.protocol = p
+		return nil
+	}
+}
+
+// WithLink plugs in the hypervisor-to-hypervisor channel model
+// (default Ethernet10).
+func WithLink(m LinkModel) Option {
+	return func(o *clusterOptions) error {
+		if m == nil {
+			return errors.New("hft: nil LinkModel")
+		}
+		p := m.LinkParams()
+		if p.BitsPerSecond <= 0 {
+			return fmt.Errorf("hft: link %q has non-positive bandwidth %d", p.Name, p.BitsPerSecond)
+		}
+		if p.Latency < 0 || p.SetupTime < 0 || p.MTU < 0 {
+			return fmt.Errorf("hft: link %q has negative parameters", p.Name)
+		}
+		o.link = m
+		return nil
+	}
+}
+
+// WithSeed sets the simulation seed. Zero is rejected — in the legacy
+// Config API a zero seed silently meant "default (1)", and accepting it
+// here would make two differently-written configurations identical.
+func WithSeed(seed int64) Option {
+	return func(o *clusterOptions) error {
+		if seed == 0 {
+			return errors.New("hft: zero seed (the default seed is 1; pass it explicitly)")
+		}
+		o.seed = seed
+		return nil
+	}
+}
+
+// WithBackups sets t, the number of backup replicas (default 1): the
+// virtual machine tolerates t failstops.
+func WithBackups(t int) Option {
+	return func(o *clusterOptions) error {
+		if t < 1 {
+			return fmt.Errorf("hft: backups must be >= 1 (got %d)", t)
+		}
+		o.backups, o.haveBackups = t, true
+		return nil
+	}
+}
+
+// WithDetectTimeout sets the backup's failure-detection timeout
+// (default 50 ms simulated; backup i waits i × timeout so promotions
+// cascade in priority order).
+func WithDetectTimeout(d Duration) Option {
+	return func(o *clusterOptions) error {
+		if d <= 0 {
+			return fmt.Errorf("hft: non-positive detect timeout %v", sim.Time(d))
+		}
+		o.detectTimeout = d
+		return nil
+	}
+}
+
+// WithFailPrimaryAt schedules a primary failstop at virtual time t
+// (the scheduled counterpart of Cluster.FailPrimary).
+func WithFailPrimaryAt(t Duration) Option {
+	return func(o *clusterOptions) error {
+		if t <= 0 {
+			return fmt.Errorf("hft: non-positive failure time %v", sim.Time(t))
+		}
+		o.failPrimaryAt = t
+		return nil
+	}
+}
+
+// WithFailBackupAt schedules a failstop of backup i (1-based priority
+// index) at virtual time t. The index is checked against the replica
+// set when NewCluster assembles the configuration.
+func WithFailBackupAt(i int, t Duration) Option {
+	return func(o *clusterOptions) error {
+		if i < 1 {
+			return fmt.Errorf("hft: backup index %d (backups are numbered from 1)", i)
+		}
+		if t <= 0 {
+			return fmt.Errorf("hft: non-positive failure time %v", sim.Time(t))
+		}
+		if o.failBackupAt == nil {
+			o.failBackupAt = map[int]Duration{}
+		}
+		o.failBackupAt[i] = t
+		return nil
+	}
+}
+
+// WithDiskLatency overrides the shared disk's service times (defaults:
+// the paper's 24.2 ms reads / 26 ms writes).
+func WithDiskLatency(read, write Duration) Option {
+	return func(o *clusterOptions) error {
+		if read < 0 || write < 0 {
+			return errors.New("hft: negative disk latency")
+		}
+		o.diskRead, o.diskWrite = read, write
+		return nil
+	}
+}
+
+// WithDiskBackend plugs in the storage behind the shared disk's blocks
+// (default: in-memory, lazily allocated, zero-filled).
+func WithDiskBackend(b DiskBackend) Option {
+	return func(o *clusterOptions) error {
+		if b == nil {
+			return errors.New("hft: nil DiskBackend")
+		}
+		o.diskBackend = b
+		return nil
+	}
+}
+
+// WithConfig seeds the options from a legacy one-shot Config plus
+// workload — the bridge the back-compat wrappers use. The Config is
+// validated with the same rules NewCluster applies.
+func WithConfig(cfg Config, w Workload) Option {
+	return func(o *clusterOptions) error {
+		cfg = cfg.withDefaults()
+		if err := cfg.validate(); err != nil {
+			return err
+		}
+		lm, err := cfg.linkModel()
+		if err != nil {
+			return err
+		}
+		o.seed = cfg.Seed
+		o.workload, o.haveWork = w, true
+		o.epochLength = cfg.EpochLength
+		o.protocol = cfg.Protocol
+		o.link = lm
+		o.detectTimeout = cfg.DetectTimeout
+		o.failPrimaryAt = cfg.FailPrimaryAt
+		o.diskRead, o.diskWrite = cfg.DiskReadLatency, cfg.DiskWriteLatency
+		o.backups = cfg.Backups
+		if o.backups == 0 {
+			o.backups = 1
+		}
+		o.failBackupAt = nil
+		for i, at := range cfg.FailBackupAt {
+			if at > 0 {
+				if o.failBackupAt == nil {
+					o.failBackupAt = map[int]Duration{}
+				}
+				o.failBackupAt[i+1] = at
+			}
+		}
+		return nil
+	}
+}
+
+// withBare switches the session to the single-machine baseline (used
+// by RunBare; not part of the public surface — a bare session has no
+// cluster semantics).
+func withBare() Option {
+	return func(o *clusterOptions) error {
+		o.bare = true
+		return nil
+	}
+}
+
+// diskConfig materializes the device configuration.
+func (o *clusterOptions) diskConfig() scsi.DiskConfig {
+	cfg := scsi.DiskConfig{
+		ReadLatency:  sim.Time(o.diskRead),
+		WriteLatency: sim.Time(o.diskWrite),
+	}
+	if o.diskBackend != nil {
+		cfg.Backend = scsiBackend(o.diskBackend)
+	}
+	return cfg
+}
+
+// failBackupTimes flattens the failure schedule to the engine's
+// index-ordered slice representation.
+func (o *clusterOptions) failBackupTimes() []sim.Time {
+	if len(o.failBackupAt) == 0 {
+		return nil
+	}
+	idxs := make([]int, 0, len(o.failBackupAt))
+	for i := range o.failBackupAt {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	out := make([]sim.Time, idxs[len(idxs)-1])
+	for _, i := range idxs {
+		out[i-1] = sim.Time(o.failBackupAt[i])
+	}
+	return out
+}

@@ -1,0 +1,171 @@
+package hft
+
+import (
+	"repro/internal/guest"
+	"repro/internal/machine"
+	"repro/internal/netsim"
+	"repro/internal/scsi"
+	"repro/internal/session"
+	"repro/internal/sim"
+)
+
+// This file holds the Cluster API's extension points: the interfaces a
+// caller implements to plug in custom channel models (LinkModel), disk
+// storage (DiskBackend) and guest workloads (Program) — replacing what
+// used to be closed enums and fixed benchmarks.
+
+// LinkModel describes the hypervisor-to-hypervisor channel technology.
+// The paper's two links — the prototype's 10 Mbps Ethernet and §4.3's
+// 155 Mbps ATM — are the built-in implementations (Ethernet10, ATM155);
+// custom latency/bandwidth/segmentation models plug in by returning
+// their own LinkParams.
+type LinkModel interface {
+	// LinkParams returns the channel's cost-model parameters.
+	LinkParams() LinkParams
+}
+
+// LinkParams is a concrete channel cost model. It implements LinkModel
+// itself, so a custom link can be a plain literal. Zero fields take the
+// simulator's messaging-layer defaults (1 KiB MTU, one control frame
+// per message, 100 µs controller set-up).
+type LinkParams struct {
+	// Name identifies the link in diagnostics.
+	Name string
+	// BitsPerSecond is the serialization bandwidth.
+	BitsPerSecond int64
+	// Latency is the propagation + interrupt-processing delay added
+	// after serialization.
+	Latency Duration
+	// MTU is the maximum payload bytes per frame; larger messages are
+	// segmented.
+	MTU int
+	// FrameOverhead is per-frame header bytes (counts against bandwidth).
+	FrameOverhead int
+	// PerMessageFrames is the number of extra control frames per message
+	// (the paper's "+1 header").
+	PerMessageFrames int
+	// SetupTime is per-message controller set-up cost paid by the sender
+	// regardless of size.
+	SetupTime Duration
+}
+
+// LinkParams implements LinkModel.
+func (p LinkParams) LinkParams() LinkParams { return p }
+
+// linkConfig converts to the simulator's channel configuration.
+func (p LinkParams) linkConfig() netsim.LinkConfig {
+	return netsim.LinkConfig{
+		Name:             p.Name,
+		BitsPerSecond:    p.BitsPerSecond,
+		Latency:          sim.Time(p.Latency),
+		MTU:              p.MTU,
+		FrameOverhead:    p.FrameOverhead,
+		PerMessageFrames: p.PerMessageFrames,
+		SetupTime:        sim.Time(p.SetupTime),
+	}
+}
+
+// paramsFromConfig converts a simulator link configuration to public
+// parameters.
+func paramsFromConfig(c netsim.LinkConfig) LinkParams {
+	return LinkParams{
+		Name:             c.Name,
+		BitsPerSecond:    c.BitsPerSecond,
+		Latency:          Duration(c.Latency),
+		MTU:              c.MTU,
+		FrameOverhead:    c.FrameOverhead,
+		PerMessageFrames: c.PerMessageFrames,
+		SetupTime:        Duration(c.SetupTime),
+	}
+}
+
+// Ethernet10 returns the prototype's 10 Mbps Ethernet link model.
+func Ethernet10() LinkModel { return paramsFromConfig(netsim.Ethernet10("ethernet10")) }
+
+// ATM155 returns §4.3's 155 Mbps ATM link model.
+func ATM155() LinkModel { return paramsFromConfig(netsim.ATM155("atm155")) }
+
+// LinkQuality is a live adjustment to the cluster's links — mid-run
+// degradation (or repair). Zero fields leave the corresponding
+// parameter unchanged.
+type LinkQuality struct {
+	// BitsPerSecond replaces the serialization bandwidth.
+	BitsPerSecond int64
+	// Latency replaces the propagation delay.
+	Latency Duration
+	// MTU replaces the segmentation threshold.
+	MTU int
+	// DropNext marks the next N sends on each link direction for loss.
+	DropNext int
+}
+
+// DiskBackend supplies the storage behind the shared disk's blocks:
+// Block returns the backing bytes for block b (length >= the disk's
+// block size), faulting it in as needed; the device reads and writes
+// the returned slice in place. The default backend is in-memory,
+// lazily allocated and zero-filled. Implementations must be
+// deterministic — the disk is part of the replicated environment.
+type DiskBackend interface {
+	Block(b uint32) []byte
+}
+
+// GuestMemory is a Program's window onto guest physical memory.
+type GuestMemory interface {
+	// Load32 reads an aligned word of guest physical memory.
+	Load32(pa uint32) uint32
+	// Store32 writes an aligned word of guest physical memory.
+	Store32(pa uint32, v uint32)
+}
+
+// ProgramResult is a Program's guest-visible outcome.
+type ProgramResult struct {
+	// Checksum is the workload's self-computed result; it must be equal
+	// across bare and replicated runs (determinism check).
+	Checksum uint32
+	// Panic is the guest's panic code (0 = clean run).
+	Panic uint32
+}
+
+// Program supplies a guest boot image, boot-time configuration, and
+// result extraction — the plug point for workloads beyond the paper's
+// three benchmarks. A Program must be deterministic and must configure
+// every replica identically; the replication layer takes care of the
+// rest (that is the paper's point).
+type Program interface {
+	// Image returns the guest memory image and entry point.
+	Image() (origin uint32, words []uint32, entry uint32)
+	// Setup writes boot-time parameters into guest memory after the
+	// image is loaded, once per replica.
+	Setup(mem GuestMemory)
+	// Result extracts the outcome after the guest halts.
+	Result(mem GuestMemory) ProgramResult
+}
+
+// machineMemory adapts a simulated machine to GuestMemory.
+type machineMemory struct{ m *machine.Machine }
+
+func (mm machineMemory) Load32(pa uint32) uint32     { return mm.m.LoadPhys32(pa) }
+func (mm machineMemory) Store32(pa uint32, v uint32) { mm.m.StorePhys32(pa, v) }
+
+// programAdapter bridges a public Program into the session engine.
+type programAdapter struct{ p Program }
+
+func (a programAdapter) Image() (uint32, []uint32, uint32) { return a.p.Image() }
+func (a programAdapter) Setup(m *machine.Machine)          { a.p.Setup(machineMemory{m}) }
+func (a programAdapter) Result(m *machine.Machine) guest.Result {
+	r := a.p.Result(machineMemory{m})
+	return guest.Result{Checksum: r.Checksum, Panic: r.Panic}
+}
+
+// sessionProgram resolves the configured program: a custom Program if
+// one was plugged in, else the built-in guest kernel + workload.
+func (o *clusterOptions) sessionProgram() session.Program {
+	if o.program != nil {
+		return programAdapter{p: o.program}
+	}
+	return session.WorkloadProgram(o.workload)
+}
+
+// scsiBackend adapts a public DiskBackend to the device layer (the
+// method sets are identical; the named types differ).
+func scsiBackend(b DiskBackend) scsi.Backend { return scsi.Backend(b) }

@@ -1,0 +1,144 @@
+// Command compatgolden emits the back-compat golden file consumed by
+// the root package's differential suite (compat_differential_test.go):
+// old-API Run/RunBare/NormalizedPerformance results across both
+// protocols, both links, and a failover run. The goldens were first
+// generated on the pre-Cluster one-shot implementation; the session
+// redesign must reproduce them byte for byte.
+//
+//	go run ./tools/compatgolden > testdata/compat_golden.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	hft "repro"
+)
+
+// GoldenCase is one recorded configuration.
+type GoldenCase struct {
+	Name string `json:"name"`
+
+	// Inputs.
+	Workload string  `json:"workload"` // cpu / write / read
+	Iters    uint32  `json:"iters,omitempty"`
+	Ops      uint32  `json:"ops,omitempty"`
+	Count    uint32  `json:"count,omitempty"`
+	Epoch    uint64  `json:"epoch"`
+	Protocol string  `json:"protocol"`
+	Link     string  `json:"link"`
+	Seed     int64   `json:"seed,omitempty"`
+	FailAtNS int64   `json:"fail_at_ns,omitempty"`
+	ReadLat  int64   `json:"read_lat_ns,omitempty"`
+	WriteLat int64   `json:"write_lat_ns,omitempty"`
+	Backups  int     `json:"backups,omitempty"`
+	FailBkNS []int64 `json:"fail_backup_ns,omitempty"`
+
+	// Recorded outputs.
+	BareTimeNS   int64  `json:"bare_time_ns"`
+	BareChecksum uint32 `json:"bare_checksum"`
+	BareConsole  string `json:"bare_console"`
+	ReplTimeNS   int64  `json:"repl_time_ns"`
+	ReplChecksum uint32 `json:"repl_checksum"`
+	ReplConsole  string `json:"repl_console"`
+	Promoted     bool   `json:"promoted"`
+	Divergences  uint64 `json:"divergences"`
+	Messages     uint64 `json:"messages"`
+	Uncertain    uint64 `json:"uncertain"`
+	NP           string `json:"np"` // %.17g of NormalizedPerformance
+}
+
+// Cases returns the golden configuration matrix (shared with the test).
+func Cases() []GoldenCase {
+	return []GoldenCase{
+		{Name: "cpu-old-eth", Workload: "cpu", Iters: 4000, Epoch: 2048, Protocol: "old", Link: "ethernet10"},
+		{Name: "cpu-new-eth", Workload: "cpu", Iters: 4000, Epoch: 2048, Protocol: "new", Link: "ethernet10"},
+		{Name: "cpu-old-atm", Workload: "cpu", Iters: 4000, Epoch: 4096, Protocol: "old", Link: "atm155"},
+		{Name: "cpu-new-atm", Workload: "cpu", Iters: 4000, Epoch: 4096, Protocol: "new", Link: "atm155"},
+		{Name: "write-old-eth", Workload: "write", Ops: 3, Count: 4096, Epoch: 4096, Protocol: "old", Link: "ethernet10",
+			ReadLat: 500_000, WriteLat: 600_000},
+		{Name: "write-new-atm", Workload: "write", Ops: 3, Count: 4096, Epoch: 4096, Protocol: "new", Link: "atm155",
+			ReadLat: 500_000, WriteLat: 600_000},
+		{Name: "read-old-eth-seed99", Workload: "read", Ops: 2, Count: 2048, Epoch: 4096, Protocol: "old", Link: "ethernet10",
+			Seed: 99, ReadLat: 300_000, WriteLat: 300_000},
+		{Name: "failover-write-old-eth", Workload: "write", Ops: 3, Count: 4096, Epoch: 4096, Protocol: "old", Link: "ethernet10",
+			FailAtNS: 5_000_000, ReadLat: 500_000, WriteLat: 600_000},
+		{Name: "double-failure-write-old-eth", Workload: "write", Ops: 3, Count: 2048, Epoch: 4096, Protocol: "old", Link: "ethernet10",
+			Backups: 2, FailAtNS: 2_000_000, FailBkNS: []int64{120_000_000},
+			ReadLat: 400_000, WriteLat: 500_000},
+	}
+}
+
+// Config materializes the hft.Config for a case.
+func (g GoldenCase) Config() hft.Config {
+	cfg := hft.Config{
+		EpochLength:      g.Epoch,
+		Link:             hft.Link(g.Link),
+		Seed:             g.Seed,
+		FailPrimaryAt:    hft.Duration(g.FailAtNS),
+		DiskReadLatency:  hft.Duration(g.ReadLat),
+		DiskWriteLatency: hft.Duration(g.WriteLat),
+		Backups:          g.Backups,
+	}
+	if g.Protocol == "new" {
+		cfg.Protocol = hft.ProtocolNew
+	}
+	for _, ns := range g.FailBkNS {
+		cfg.FailBackupAt = append(cfg.FailBackupAt, hft.Duration(ns))
+	}
+	return cfg
+}
+
+// WorkloadValue materializes the hft.Workload for a case.
+func (g GoldenCase) WorkloadValue() hft.Workload {
+	switch g.Workload {
+	case "cpu":
+		return hft.CPUIntensive(g.Iters)
+	case "write":
+		return hft.DiskWrite(g.Ops, g.Count)
+	case "read":
+		return hft.DiskRead(g.Ops, g.Count)
+	}
+	panic("unknown workload " + g.Workload)
+}
+
+func main() {
+	cases := Cases()
+	for i := range cases {
+		g := &cases[i]
+		cfg, w := g.Config(), g.WorkloadValue()
+		bare, err := hft.RunBare(cfg, w)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "compatgolden: %s: bare: %v\n", g.Name, err)
+			os.Exit(1)
+		}
+		repl, err := hft.Run(cfg, w)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "compatgolden: %s: run: %v\n", g.Name, err)
+			os.Exit(1)
+		}
+		np, err := hft.NormalizedPerformance(cfg, w)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "compatgolden: %s: np: %v\n", g.Name, err)
+			os.Exit(1)
+		}
+		g.BareTimeNS = int64(bare.Time)
+		g.BareChecksum = bare.Checksum
+		g.BareConsole = bare.Console
+		g.ReplTimeNS = int64(repl.Time)
+		g.ReplChecksum = repl.Checksum
+		g.ReplConsole = repl.Console
+		g.Promoted = repl.Promoted
+		g.Divergences = repl.Divergences
+		g.Messages = repl.MessagesSent
+		g.Uncertain = repl.UncertainSynthesized
+		g.NP = fmt.Sprintf("%.17g", np)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(cases); err != nil {
+		fmt.Fprintf(os.Stderr, "compatgolden: %v\n", err)
+		os.Exit(1)
+	}
+}
