@@ -26,7 +26,15 @@ import (
 // A Cluster must be driven from a single goroutine. The channels
 // returned by Events may be consumed from any goroutine.
 type Cluster struct {
-	eng *session.Engine
+	eng  *session.Engine
+	opts *clusterOptions
+
+	// pause is the session's current replayable position and journal is
+	// the ordered log of live perturbations applied so far — together
+	// with the (deterministic) configuration they ARE the session state,
+	// which is what Save serializes and Restore replays. See save.go.
+	pause   pausePoint
+	journal []journalEntry
 
 	subMu  sync.Mutex
 	subs   []*subscriber
@@ -44,7 +52,13 @@ func NewCluster(opts ...Option) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Cluster{}
+	return newCluster(o), nil
+}
+
+// newCluster assembles a session from resolved options (shared between
+// NewCluster and Restore).
+func newCluster(o *clusterOptions) *Cluster {
+	c := &Cluster{opts: o}
 	c.eng = session.New(session.Options{
 		Seed:          o.seed,
 		Program:       o.sessionProgram(),
@@ -60,7 +74,7 @@ func NewCluster(opts ...Option) (*Cluster, error) {
 		Observer:      c.publish,
 		DiskEvents:    true,
 	})
-	return c, nil
+	return c
 }
 
 // ErrClosed reports use of a closed Cluster.
@@ -79,21 +93,47 @@ func (c *Cluster) RunFor(d Duration) (Snapshot, error) {
 	if c.closed {
 		return Snapshot{}, ErrClosed
 	}
+	target := Duration(c.eng.Now()) + d
 	c.eng.RunFor(sim.Time(d))
+	c.pause = pausePoint{kind: pauseAtTime, time: target}
 	return c.Snapshot(), nil
 }
 
 // RunUntil advances the cluster until pred holds. The predicate is
 // evaluated before starting and then at every epoch commit — the
 // protocol's natural observation points — so the session pauses on a
-// consistent boundary. It returns when pred holds or the workload
-// completes, whichever is first.
+// consistent boundary.
+//
+// Boundary sampling is the contract, not an approximation: a condition
+// that becomes true and false again WITHIN one epoch — a transient
+// counter value, a virtual-time window narrower than the epoch — is
+// never observed, because between commits the simulation is indivisible
+// from the session's point of view. At large epoch lengths (the paper
+// evaluates up to 32K instructions; HP-UX tolerates 385K) an epoch
+// spans hundreds of microseconds of virtual time, so predicates must be
+// monotonic (once true, stays true) or phrased over cumulative
+// quantities (epoch count, instruction count, message totals) to be
+// reliably caught. TestRunUntilBoundarySampling pins this behavior.
+//
+// RunUntil returns when pred holds or the workload completes,
+// whichever is first. The predicate must observe the Snapshot only —
+// mutating the cluster from inside a predicate is not supported.
 func (c *Cluster) RunUntil(pred func(Snapshot) bool) (Snapshot, error) {
 	if c.closed {
 		return Snapshot{}, ErrClosed
 	}
 	err := c.eng.RunUntil(func() bool { return pred(c.Snapshot()) })
+	c.pauseAtBoundary()
 	return c.Snapshot(), err
+}
+
+// pauseAtBoundary records the current epoch-commit pause position.
+func (c *Cluster) pauseAtBoundary() {
+	if c.eng.Done() {
+		c.pause = pausePoint{kind: pauseAtDone}
+		return
+	}
+	c.pause = pausePoint{kind: pauseAtCommit, commits: c.eng.Commits()}
 }
 
 // Wait drives the cluster until the guest workload completes, then
@@ -108,7 +148,9 @@ func (c *Cluster) Wait(ctx context.Context) (Result, error) {
 	if ctx != nil && ctx.Done() != nil {
 		cancelled = func() bool { return ctx.Err() != nil }
 	}
-	if err := c.eng.RunToCompletion(cancelled); err != nil {
+	err := c.eng.RunToCompletion(cancelled)
+	c.pauseAtBoundary()
+	if err != nil {
 		return Result{}, err
 	}
 	if !c.eng.Done() {
@@ -146,6 +188,7 @@ func (c *Cluster) FailPrimary() {
 		return
 	}
 	c.eng.FailPrimary()
+	c.record(journalEntry{action: actFailPrimary})
 }
 
 // FailBackup failstops backup i (1-based priority index) at the
@@ -154,17 +197,106 @@ func (c *Cluster) FailBackup(i int) error {
 	if c.closed {
 		return ErrClosed
 	}
-	return c.eng.FailBackup(i)
+	if err := c.eng.FailBackup(i); err != nil {
+		return err
+	}
+	c.record(journalEntry{action: actFailBackup, backup: i})
+	return nil
 }
 
 // SetLinkQuality degrades (or restores) every inter-hypervisor link
 // mid-run: messages already serialized keep their scheduled delivery;
-// future protocol traffic pays the new costs.
+// future protocol traffic pays the new costs. Links created by a LATER
+// AddBackup start at the configured link model; re-apply the quality
+// after reintegration if the degradation should cover the new channels
+// too.
 func (c *Cluster) SetLinkQuality(q LinkQuality) error {
 	if c.closed {
 		return ErrClosed
 	}
-	return c.eng.SetLinkQuality(q.quality())
+	if err := c.eng.SetLinkQuality(q.quality()); err != nil {
+		return err
+	}
+	c.record(journalEntry{action: actSetLink, quality: q})
+	return nil
+}
+
+// AddBackup reintegrates a new backup into the running cluster by live
+// state transfer — the repair half of the paper's fault-tolerance
+// story (§5): after a failstop and promotion the system runs
+// unprotected until a repaired processor rejoins. The session advances
+// to the acting coordinator's next epoch commit (virtual time moves),
+// captures its complete virtual-machine state, and ships the image
+// through the simulated link, so the transfer is charged to virtual
+// time and shows up in normalized performance. The cluster keeps
+// executing while the image is in flight; the new backup — at the
+// lowest priority, one past the current highest index — installs it
+// and follows the protocol stream from the transferred boundary on,
+// trailing the acting coordinator by roughly the transfer duration for
+// the rest of the run. Its receivers acknowledge the protocol stream
+// from the first instant (the joining hypervisor is alive; only the
+// guest image is in transit), so neither protocol's acknowledgement
+// waits stall on the migration. If the transfer's source processor
+// failstops with the image in flight, the reintegration is lost and
+// the joiner withdraws.
+//
+// AddBackup returns the new node's index (primary = 0, backups from 1).
+func (c *Cluster) AddBackup(opts ...AddBackupOption) (int, error) {
+	if c.closed {
+		return 0, ErrClosed
+	}
+	ao := addBackupOptions{link: c.opts.link.LinkParams()}
+	for _, opt := range opts {
+		if opt == nil {
+			return 0, errors.New("hft: nil AddBackupOption")
+		}
+		if err := opt(&ao); err != nil {
+			return 0, err
+		}
+	}
+	pre := c.pause
+	n, err := c.eng.AddBackup(session.AddBackupConfig{Link: ao.link.linkConfig()})
+	if err != nil {
+		c.pauseAtBoundary()
+		return 0, err
+	}
+	c.journal = append(c.journal, journalEntry{pause: pre, action: actAddBackup, link: ao.link})
+	c.pauseAtBoundary()
+	return n, nil
+}
+
+// AddBackupOption configures one AddBackup call.
+type AddBackupOption func(*addBackupOptions) error
+
+type addBackupOptions struct {
+	link LinkParams
+}
+
+// AddBackupLink sets the channel model for the new node's links to
+// every existing node — the state transfer itself and all subsequent
+// protocol traffic to the joiner travel over it. Default: the
+// cluster's configured link model.
+func AddBackupLink(m LinkModel) AddBackupOption {
+	return func(o *addBackupOptions) error {
+		if m == nil {
+			return errors.New("hft: nil LinkModel")
+		}
+		p := m.LinkParams()
+		if p.BitsPerSecond <= 0 {
+			return fmt.Errorf("hft: link %q has non-positive bandwidth %d", p.Name, p.BitsPerSecond)
+		}
+		if p.Latency < 0 || p.SetupTime < 0 || p.MTU < 0 {
+			return fmt.Errorf("hft: link %q has negative parameters", p.Name)
+		}
+		o.link = p
+		return nil
+	}
+}
+
+// record appends a journal entry at the current pause position.
+func (c *Cluster) record(e journalEntry) {
+	e.pause = c.pause
+	c.journal = append(c.journal, e)
 }
 
 // Snapshot captures the cluster's observable state at the current
@@ -187,6 +319,7 @@ func (c *Cluster) Snapshot() Snapshot {
 		IntsForwarded:        s.IntsForwarded,
 		Divergences:          s.Divergences,
 		UncertainSynthesized: s.UncertainSynthesized,
+		PeersExcluded:        s.PeersExcluded,
 		DiskOps:              s.DiskOps,
 		DiskUncertain:        s.DiskUncertain,
 		Console:              s.Console,
@@ -221,6 +354,12 @@ type Snapshot struct {
 	IntsForwarded        uint64
 	Divergences          uint64
 	UncertainSynthesized uint64
+	// PeersExcluded counts replicas a coordinator dropped from its
+	// acknowledgement gates after prolonged ack silence (the liveness
+	// backstop, 10x the detect timeout). Nonzero means the replica set
+	// is effectively smaller than configured: a subsequent coordinator
+	// failstop in that state can lose the computation.
+	PeersExcluded uint64
 	// Environment counters.
 	DiskOps       uint64
 	DiskUncertain uint64
@@ -327,6 +466,10 @@ const (
 	EventDiskOp
 	// EventCompleted: the guest workload finished everywhere.
 	EventCompleted
+	// EventBackupAdded: AddBackup reintegrated a new backup by live
+	// state transfer (Node is its index, TransferBytes the image size
+	// shipped through the link).
+	EventBackupAdded
 )
 
 // String names the kind.
@@ -348,6 +491,8 @@ func (k EventKind) String() string {
 		return "disk-op"
 	case EventCompleted:
 		return "completed"
+	case EventBackupAdded:
+		return "backup-added"
 	}
 	return fmt.Sprintf("EventKind(%d)", int(k))
 }
@@ -391,6 +536,9 @@ type Event struct {
 	Digests [2]uint64
 	// Disk describes a disk operation.
 	Disk DiskOp
+	// TransferBytes is the state-transfer image size of a backup-added
+	// event.
+	TransferBytes uint64
 }
 
 // String renders the event compactly.
@@ -416,6 +564,8 @@ func (e Event) String() string {
 		return fmt.Sprintf("[%v] disk %s block %d by node%d (uncertain=%v)", e.Time, op, e.Disk.Block, e.Disk.Host, e.Disk.Uncertain)
 	case EventCompleted:
 		return fmt.Sprintf("[%v] workload completed (acting node%d)", e.Time, e.Node)
+	case EventBackupAdded:
+		return fmt.Sprintf("[%v] node%d JOINED after epoch %d (%d-byte state transfer)", e.Time, e.Node, e.Epoch, e.TransferBytes)
 	}
 	return fmt.Sprintf("[%v] %s", e.Time, e.Kind)
 }
@@ -456,6 +606,9 @@ func publicEvent(ev session.Event) Event {
 		}
 	case session.EventCompleted:
 		out.Kind = EventCompleted
+	case session.EventBackupAdded:
+		out.Kind = EventBackupAdded
+		out.TransferBytes = ev.Bytes
 	}
 	return out
 }

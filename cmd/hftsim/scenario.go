@@ -21,6 +21,9 @@ import (
 //	until-epoch <n>       advance until the coordinator commits epoch n
 //	fail primary          failstop the primary now
 //	fail backup <i>       failstop backup i (1-based) now
+//	addbackup             reintegrate a new backup by live state transfer
+//	save <path>           checkpoint the session to a file
+//	restore <path>        replace the session with a restored checkpoint
 //	link bw=<bps> lat=<duration> drop=<n>
 //	                      degrade the hypervisor links mid-run
 //	snapshot              print the current session state
@@ -29,22 +32,8 @@ import (
 // Events (epoch commits are summarized; everything else prints as it
 // happens) stream to stdout while the scenario runs.
 func runScenario(cluster *hft.Cluster, script io.Reader, echo bool) error {
-	events := cluster.Events()
-	epochs := 0
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		for ev := range events {
-			if ev.Kind == hft.EventEpochCommitted || ev.Kind == hft.EventBackupEpoch ||
-				ev.Kind == hft.EventDiskOp {
-				if ev.Kind == hft.EventEpochCommitted {
-					epochs++
-				}
-				continue // too chatty to print individually
-			}
-			fmt.Printf("  | %v\n", ev)
-		}
-	}()
+	st := &scenarioState{epochs: new(int)}
+	st.attach(cluster)
 
 	sc := bufio.NewScanner(script)
 	for sc.Scan() {
@@ -58,7 +47,7 @@ func runScenario(cluster *hft.Cluster, script io.Reader, echo bool) error {
 		if echo {
 			fmt.Printf("> %s\n", line)
 		}
-		if err := scenarioCommand(cluster, line); err != nil {
+		if err := st.command(line); err != nil {
 			return err
 		}
 		// Let the event pump catch up so output interleaves readably.
@@ -67,15 +56,51 @@ func runScenario(cluster *hft.Cluster, script io.Reader, echo bool) error {
 	if err := sc.Err(); err != nil {
 		return err
 	}
-	final := cluster.Snapshot().Now
-	cluster.Close()
-	<-done
-	fmt.Printf("scenario finished at %v after %d epoch commits\n", final, epochs)
+	final := st.cluster.Snapshot().Now
+	st.detach()
+	fmt.Printf("scenario finished at %v after %d epoch commits\n", final, *st.epochs)
 	return nil
 }
 
-// scenarioCommand executes one line.
-func scenarioCommand(cluster *hft.Cluster, line string) error {
+// scenarioState holds the live cluster plus its event pump; `restore`
+// swaps both for a session reconstructed from a checkpoint.
+type scenarioState struct {
+	cluster *hft.Cluster
+	epochs  *int
+	pumped  chan struct{}
+}
+
+// attach subscribes the event pump to a (new) cluster.
+func (st *scenarioState) attach(c *hft.Cluster) {
+	st.cluster = c
+	events := c.Events()
+	done := make(chan struct{})
+	st.pumped = done
+	epochs := st.epochs
+	go func() {
+		defer close(done)
+		for ev := range events {
+			if ev.Kind == hft.EventEpochCommitted || ev.Kind == hft.EventBackupEpoch ||
+				ev.Kind == hft.EventDiskOp {
+				if ev.Kind == hft.EventEpochCommitted {
+					*epochs++
+				}
+				continue // too chatty to print individually
+			}
+			fmt.Printf("  | %v\n", ev)
+		}
+	}()
+}
+
+// detach closes the current cluster and waits for its pump to drain.
+func (st *scenarioState) detach() {
+	st.cluster.Close()
+	<-st.pumped
+}
+
+// command executes one line.
+func (st *scenarioState) command(line string) error {
+	cluster := st.cluster
 	fields := strings.Fields(line)
 	switch fields[0] {
 	case "run":
@@ -148,6 +173,44 @@ func scenarioCommand(cluster *hft.Cluster, line string) error {
 			}
 		}
 		return cluster.SetLinkQuality(q)
+	case "addbackup":
+		n, err := cluster.AddBackup()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  node%d joined by state transfer at %v\n", n, cluster.Now())
+	case "save":
+		if len(fields) != 2 {
+			return fmt.Errorf("usage: save <path>")
+		}
+		f, err := os.Create(fields[1])
+		if err != nil {
+			return err
+		}
+		if err := cluster.Save(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("  checkpointed at %v to %s\n", cluster.Now(), fields[1])
+	case "restore":
+		if len(fields) != 2 {
+			return fmt.Errorf("usage: restore <path>")
+		}
+		f, err := os.Open(fields[1])
+		if err != nil {
+			return err
+		}
+		restored, err := hft.Restore(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		st.detach()
+		st.attach(restored)
+		fmt.Printf("  restored session at %v from %s (state verified)\n", restored.Now(), fields[1])
 	case "snapshot":
 		s := cluster.Snapshot()
 		fmt.Printf("  t=%v epoch=%d instr=%d acting=node%d promoted=%v done=%v\n",

@@ -26,19 +26,31 @@
 // ATM155 are the built-ins), DiskBackend, and Program for guest
 // workloads beyond the paper's three benchmarks.
 //
-// # One-shot runs
+// # Recovery and reintegration
 //
-// The original batch API remains, reimplemented on Cluster:
+// Failures are injected live (Cluster.FailPrimary, Cluster.FailBackup)
+// or on a schedule (WithFailPrimaryAt); the backup detects the
+// failstop, finishes the failover epoch, synthesizes uncertain
+// interrupts for outstanding I/O (rule P7) and takes over without the
+// environment noticing anything but a device retry. After a failover
+// the cluster runs unprotected until Cluster.AddBackup reintegrates a
+// new backup by live state transfer over the simulated link — the
+// repair half of the paper's §5 story. Sessions checkpoint with
+// Cluster.Save and resume bit-identically with Restore.
+//
+// # Legacy one-shot runs
+//
+// The pre-session batch API remains for compatibility, reimplemented
+// as thin wrappers over Cluster sessions and pinned byte-for-byte to
+// its historical results:
 //
 //	w := hft.CPUIntensive(10000)
 //	np, err := hft.NormalizedPerformance(hft.Config{EpochLength: 4096}, w)
 //	// np ≈ 6.5: the paper's Figure 2 at 4K-instruction epochs.
 //
-// Failures are injected with Config.FailPrimaryAt (or live, with
-// Cluster.FailPrimary); the backup detects the failstop, finishes the
-// failover epoch, synthesizes uncertain interrupts for outstanding I/O
-// (rule P7) and takes over without the environment noticing anything
-// but a device retry.
+// New code should start from NewCluster; capabilities added since the
+// redesign (live perturbation, events, reintegration, checkpointing)
+// exist only on the session surface.
 package hft
 
 import (

@@ -1,0 +1,148 @@
+package hypervisor
+
+// This file captures and restores the hypervisor's virtualization
+// state — the other half of a complete virtual-machine image beside
+// machine.State. A backup reintegrated by state transfer must agree
+// with the acting coordinator not only on guest-architected state but
+// on every piece of VIRTUAL state the hypervisor synthesizes
+// deterministically from it: virtual control registers, the virtual
+// PSW, the epoch-synchronized clock base, the virtual interval timer,
+// the interrupt delivery buffer and the shadow adapter registers
+// (including which operations are outstanding — the set rule P7
+// synthesizes uncertain interrupts for at failover).
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// AdapterState is one captured virtual adapter window.
+type AdapterState struct {
+	Base uint32
+	Line uint
+
+	Cmd    uint32
+	Block  uint32
+	Addr   uint32
+	Count  uint32
+	Status uint32
+	Info   uint32
+
+	// Outstanding marks a doorbell whose completion has not been
+	// delivered to the guest (P7's synthesis set).
+	Outstanding bool
+	// IssuedReal marks that the operation was forwarded to real
+	// hardware. A state transfer clears it on the receiving side: the
+	// new backup issued nothing, so completions raised by its own
+	// devices must be ignored (rule P3).
+	IssuedReal bool
+}
+
+// State is a complete capture of one hypervisor's virtualization state.
+// All reference fields are deep copies.
+type State struct {
+	VCR           [isa.NumCRs]uint32
+	VPSW          uint32
+	VITMRArmed    bool
+	VITMRDeadline uint32
+
+	TODBase         uint32
+	EpochStartInstr uint64
+
+	GuestInstr uint64
+	Epoch      uint64
+	Halted     bool
+	IOActive   bool
+
+	// Buffered is the interrupt delivery buffer (pending for the next
+	// epoch boundary). Empty when captured at a boundary after
+	// DeliverBuffered — the quiescent point state transfer uses.
+	Buffered []Interrupt
+
+	// Adapters holds the shadow device windows in ascending Base order.
+	Adapters []AdapterState
+
+	Stats Stats
+}
+
+// CaptureState snapshots the hypervisor. Read-only.
+func (hv *Hypervisor) CaptureState() State {
+	s := State{
+		VCR:             hv.vCR,
+		VPSW:            hv.vPSW,
+		VITMRArmed:      hv.vITMRArmed,
+		VITMRDeadline:   hv.vITMRDeadline,
+		TODBase:         hv.todBase,
+		EpochStartInstr: hv.epochStartInstr,
+		GuestInstr:      hv.guestInstr,
+		Epoch:           hv.epoch,
+		Halted:          hv.halted,
+		IOActive:        hv.ioActive,
+	}
+	for _, i := range hv.buffered {
+		ci := i
+		if len(i.DMAData) > 0 {
+			ci.DMAData = append([]byte(nil), i.DMAData...)
+		}
+		s.Buffered = append(s.Buffered, ci)
+	}
+	for _, base := range hv.adapterBases() {
+		va := hv.adapters[base]
+		s.Adapters = append(s.Adapters, AdapterState{
+			Base: base, Line: va.line,
+			Cmd: va.cmd, Block: va.block, Addr: va.addr, Count: va.count,
+			Status: va.status, Info: va.info,
+			Outstanding: va.outstanding, IssuedReal: va.issuedReal,
+		})
+	}
+	s.Stats = hv.Stats
+	return s
+}
+
+// RestoreState overwrites the hypervisor's virtualization state from a
+// capture. The target's attached adapter windows must match the
+// capture's (same bases and lines — the platform wires replicas
+// identically). The real machine's PSW is re-projected from the
+// restored virtual PSW; restore the machine state first.
+func (hv *Hypervisor) RestoreState(s State) error {
+	bases := hv.adapterBases()
+	if len(bases) != len(s.Adapters) {
+		return fmt.Errorf("hypervisor: restore: %d adapters attached, capture has %d", len(bases), len(s.Adapters))
+	}
+	for i, base := range bases {
+		a := s.Adapters[i]
+		if a.Base != base || a.Line != hv.adapters[base].line {
+			return fmt.Errorf("hypervisor: restore: adapter %d is base %#x line %d, capture has base %#x line %d",
+				i, base, hv.adapters[base].line, a.Base, a.Line)
+		}
+	}
+	hv.vCR = s.VCR
+	hv.vPSW = s.VPSW
+	hv.vITMRArmed = s.VITMRArmed
+	hv.vITMRDeadline = s.VITMRDeadline
+	hv.todBase = s.TODBase
+	hv.epochStartInstr = s.EpochStartInstr
+	hv.guestInstr = s.GuestInstr
+	hv.epoch = s.Epoch
+	hv.halted = s.Halted
+	hv.ioActive = s.IOActive
+	hv.buffered = nil
+	for _, i := range s.Buffered {
+		ci := i
+		if len(i.DMAData) > 0 {
+			ci.DMAData = append([]byte(nil), i.DMAData...)
+		}
+		hv.buffered = append(hv.buffered, ci)
+	}
+	for i, base := range bases {
+		a := s.Adapters[i]
+		va := hv.adapters[base]
+		va.cmd, va.block, va.addr, va.count = a.Cmd, a.Block, a.Addr, a.Count
+		va.status, va.info = a.Status, a.Info
+		va.outstanding, va.issuedReal = a.Outstanding, a.IssuedReal
+	}
+	hv.Stats = s.Stats
+	hv.applyVPSW()
+	return nil
+}

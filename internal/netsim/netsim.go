@@ -12,7 +12,9 @@
 package netsim
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 
 	"repro/internal/sim"
 )
@@ -265,6 +267,38 @@ func (l *Link) SetQuality(q Quality) {
 	if q.DropNext > 0 {
 		l.dropNext += q.DropNext
 	}
+}
+
+// StateDigest returns a deterministic hash of the link's dynamic state:
+// cost-model parameters (which SetQuality can change), transmitter and
+// FIFO watermarks, counters, and the in-flight message metadata.
+// Snapshot verification compares it between an original and a replayed
+// run; payloads are opaque to netsim and are covered by the protocol
+// layer's own capture.
+func (l *Link) StateDigest() uint64 {
+	h := fnv.New64a()
+	put := func(vs ...uint64) {
+		var b [8]byte
+		for _, v := range vs {
+			binary.LittleEndian.PutUint64(b[:], v)
+			h.Write(b[:])
+		}
+	}
+	put(uint64(l.cfg.BitsPerSecond), uint64(l.cfg.Latency), uint64(l.cfg.MTU))
+	put(l.seq, uint64(l.freeAt), uint64(l.lastArr))
+	flags := uint64(0)
+	if l.down {
+		flags |= 1
+	}
+	put(flags, uint64(l.dropNext))
+	put(l.Stats.MessagesSent, l.Stats.MessagesDelivered, l.Stats.MessagesDropped,
+		l.Stats.BytesSent, l.Stats.Frames)
+	put(uint64(l.inflight.Len()))
+	for i := 0; i < l.inflight.Len(); i++ {
+		m := l.inflight.At(i)
+		put(m.Seq, uint64(m.Size), uint64(m.SentAt))
+	}
+	return h.Sum64()
 }
 
 // Disconnect severs the link: in-flight and future messages are dropped.

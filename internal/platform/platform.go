@@ -112,6 +112,8 @@ type Cluster struct {
 	// Links[i][j] (i < j) is the duplex between nodes i and j:
 	// AtoB carries i->j, BtoA carries j->i.
 	Links [][]*netsim.Duplex
+
+	cfg Config // retained so nodes can be added after construction
 }
 
 // NewCluster builds an n-node prototype (n >= 2).
@@ -119,7 +121,7 @@ func NewCluster(k *sim.Kernel, cfg Config, n int) *Cluster {
 	if n < 2 {
 		panic("platform: cluster needs at least 2 nodes")
 	}
-	c := &Cluster{K: k}
+	c := &Cluster{K: k, cfg: cfg}
 	c.Disk = scsi.NewDisk(k, cfg.Disk)
 	for i := 0; i < n; i++ {
 		node := newNode(k, cfg, i)
@@ -140,6 +142,34 @@ func NewCluster(k *sim.Kernel, cfg Config, n int) *Cluster {
 		}
 	}
 	return c
+}
+
+// AddNode grows the cluster by one node (a repaired processor being
+// reintegrated): node n is built exactly as a boot-time node n would
+// have been — same per-chip TLB-seed perturbation, same device wiring
+// to the shared disk — and duplex links to every existing node are
+// created with the given configuration (zero value: the cluster's
+// boot-time link). The new node's machine is blank; the caller
+// transfers state into it.
+func (c *Cluster) AddNode(link netsim.LinkConfig) *Node {
+	n := len(c.Nodes)
+	node := newNode(c.K, c.cfg, n)
+	finishNode(c.K, c.cfg, node, c.Disk, n)
+	c.Nodes = append(c.Nodes, node)
+	if link.BitsPerSecond == 0 {
+		link = c.cfg.Link
+		if link.BitsPerSecond == 0 {
+			link = netsim.Ethernet10("mesh")
+		}
+	}
+	for i := range c.Links {
+		c.Links[i] = append(c.Links[i], nil)
+	}
+	c.Links = append(c.Links, make([]*netsim.Duplex, n+1))
+	for i := 0; i < n; i++ {
+		c.Links[i][n] = netsim.NewDuplex(c.K, fmt.Sprintf("link%d-%d", i, n), link)
+	}
+	return node
 }
 
 // Channel returns the (tx, rx) pair for node from talking to node to:

@@ -39,6 +39,11 @@ type Backup struct {
 	// BootTOD must equal the primary's (replicas start in one state).
 	BootTOD uint32
 
+	// PeerTimeout is handed to the coordinator this backup becomes at
+	// promotion: how long its acknowledgement waits may block on a
+	// peer that silently stops acking (zero: forever).
+	PeerTimeout sim.Time
+
 	// OnDivergence, when set, is called on a state-digest mismatch with
 	// the coordinating primary; when nil, divergence panics (tripwire).
 	OnDivergence func(epoch uint64, primary, backup uint64)
@@ -64,6 +69,14 @@ type Backup struct {
 	// window (or diverged from it) and can no longer participate.
 	withdrawn bool
 	halted    bool
+	// rxStarted marks that the receiver processes are already running
+	// (a late joiner starts them before its state transfer completes,
+	// so acknowledgements flow while the image is in flight).
+	rxStarted bool
+	// coord is the coordinator loop this backup runs after promotion
+	// (nil before); kept so late-joining backups can be added to its
+	// fan-out.
+	coord *coordinator
 
 	Stats Stats
 }
@@ -293,9 +306,11 @@ func (bk *Backup) failover(p *sim.Proc, e uint64, digest uint64) {
 	bk.archive.record(SyncEpoch{Epoch: e, Tme: tmeNext, Ints: delivered, Digest: digest, Halted: hv.Halted()})
 
 	// Continue as primary for the remaining backups.
-	c := &coordinator{
+	sn := newSender(bk.downs, &bk.Stats)
+	sn.peerTimeout = bk.PeerTimeout
+	bk.coord = &coordinator{
 		hv:      hv,
-		s:       newSender(bk.downs, &bk.Stats),
+		s:       sn,
 		proto:   bk.proto,
 		stats:   &bk.Stats,
 		stopped: func() bool { return bk.failed },
@@ -303,6 +318,7 @@ func (bk *Backup) failover(p *sim.Proc, e uint64, digest uint64) {
 		hooks:   &bk.Hooks,
 		node:    bk.index,
 	}
+	c := bk.coord
 	c.install(p)
 	if len(bk.downs) > 0 {
 		// Bring the others onto our stream: replay the retained history.
@@ -326,17 +342,44 @@ func (bk *Backup) await(p *sim.Proc, cond func() bool) bool {
 	return true
 }
 
+// StartReceivers spawns the receiver processes (one per upstream
+// channel) if they are not running yet. Run calls it implicitly; a
+// late joiner calls it at splice time, BEFORE its state transfer
+// completes, so that protocol messages are acknowledged (P4) and filed
+// while the virtual-machine image is still in flight — the joining
+// hypervisor is alive from the first instant, only its guest state is
+// in transit. Without this, a coordinator awaiting acknowledgements
+// (P2, the §4.3 I/O gate) would stall for the whole transfer and trip
+// the other replicas' failure detectors.
+func (bk *Backup) StartReceivers(k *sim.Kernel) {
+	if bk.rxStarted {
+		return
+	}
+	bk.rxStarted = true
+	bk.arrival = k.NewSignal(fmt.Sprintf("backup%d.arrival", bk.index))
+	for i, u := range bk.ups {
+		k.Spawn(fmt.Sprintf("backup%d-rx%d", bk.index, i), bk.receiver(u))
+	}
+}
+
+// Abandon takes this backup out of the replica set before it ever ran
+// (a reintegration whose state transfer failed: the source processor
+// died with the image in flight). Its receivers wind down on their
+// next timeout tick.
+func (bk *Backup) Abandon() {
+	bk.withdrawn = true
+	bk.done = true
+}
+
 // Run executes the backup until the guest halts, the backup withdraws,
 // or — after promotion — the coordinator loop finishes. It spawns one
-// receiver process per upstream channel.
+// receiver process per upstream channel (unless StartReceivers already
+// did).
 func (bk *Backup) Run(p *sim.Proc) {
 	hv := bk.HV
-	bk.arrival = p.Kernel().NewSignal(fmt.Sprintf("backup%d.arrival", bk.index))
 	hv.SetIOActive(false) // §2.2 case (i): suppress environment output
 	hv.Stop = func() bool { return bk.failed }
-	for i, u := range bk.ups {
-		p.Kernel().Spawn(fmt.Sprintf("backup%d-rx%d", bk.index, i), bk.receiver(u))
-	}
+	bk.StartReceivers(p.Kernel())
 	defer func() { bk.done = true }()
 
 	// P3 is structural: real device interrupts on the backup's processor

@@ -132,6 +132,7 @@ type Stats struct {
 	IntsForwarded   uint64   // [E, Int] messages (primary)
 	IntsReceived    uint64   // (backup)
 	Divergences     uint64   // digest mismatches detected
+	PeerTimeouts    uint64   // peers excluded by the ack-liveness timeout
 	PromotedAtEpoch uint64   // backup: epoch at which failover occurred
 	PromotedAtTime  sim.Time // backup: virtual time of promotion
 	Promoted        bool

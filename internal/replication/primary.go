@@ -20,6 +20,13 @@ type Primary struct {
 	// replicas must agree; default 0).
 	BootTOD uint32
 
+	// PeerTimeout, when nonzero, bounds how long an acknowledgement
+	// wait (P2, the §4.3 I/O gate) may block on a peer that has
+	// stopped acknowledging while its channel stays up; such a peer is
+	// then declared failed and excluded. Zero waits forever (the
+	// paper's reliable-channel assumption). Set before Run.
+	PeerTimeout sim.Time
+
 	// Hooks observes protocol milestones (optional; set before Run).
 	Hooks Hooks
 
@@ -64,6 +71,7 @@ func (pr *Primary) Failed() bool { return pr.failed }
 // Run executes the primary until the guest halts or a failstop is
 // injected. It must be called as a simulation process.
 func (pr *Primary) Run(p *sim.Proc) {
+	pr.coord.s.peerTimeout = pr.PeerTimeout
 	pr.coord.install(p)
 	pr.coord.run(p, pr.BootTOD)
 }

@@ -21,12 +21,36 @@ type sender struct {
 	seq   uint64
 	proc  *sim.Proc
 	stats *Stats
+	// peerTimeout bounds how long an acknowledgement wait may block on
+	// one live-looking peer before that peer is declared failed and
+	// excluded — the sender-side mirror of the backups' coordinator
+	// failure detection, needed for liveness when a peer is partitioned
+	// or silently stops acknowledging (its link is not Down, so the
+	// Down-skip below never fires). Zero means wait forever (the
+	// paper's reliable-channel assumption).
+	peerTimeout sim.Time
 }
 
 type peerState struct {
 	peer  Peer
 	acked uint64
+	// dead marks a peer excluded by the acknowledgement-liveness
+	// timeout: it stopped acking while its channel stayed up. A dead
+	// peer still receives every message (it is only excluded from the
+	// gates), so if it later acknowledges everything outstanding it is
+	// resurrected — it provably holds the full stream.
+	dead bool
+	// seenAcked/progressAt implement the liveness timeout: the last
+	// acked watermark observed by a wait tick, and the virtual time of
+	// the last observed PROGRESS (zero: not yet observed). A peer is
+	// declared dead only after peerTimeout of ack silence, never merely
+	// because one wait lasted long while it was steadily catching up.
+	seenAcked  uint64
+	progressAt sim.Time
 }
+
+// excluded reports whether a peer no longer gates progress.
+func (p *peerState) excluded() bool { return p.dead || p.peer.TX.Down() }
 
 func newSender(peers []Peer, stats *Stats) *sender {
 	s := &sender{stats: stats}
@@ -80,6 +104,12 @@ func (s *sender) drainAcks() {
 				if m.AckSeq > p.acked {
 					p.acked = m.AckSeq
 				}
+				if p.dead && p.acked >= s.seq {
+					// Full catch-up: the peer holds everything sent, so
+					// excluding it no longer protects anything.
+					p.dead = false
+					p.progressAt = 0
+				}
 			}
 		}
 	}
@@ -91,7 +121,7 @@ func (s *sender) drainAcks() {
 func (s *sender) minAcked() uint64 {
 	min := s.seq
 	for _, p := range s.peers {
-		if p.peer.TX.Down() {
+		if p.excluded() {
 			continue
 		}
 		if p.acked < min {
@@ -102,12 +132,13 @@ func (s *sender) minAcked() uint64 {
 }
 
 // fullyAcked reports whether every live peer has acknowledged everything
-// sent so far. Peers whose channel is down are skipped: a failstopped
-// backup must not wedge the primary forever (the paper's model assumes
-// failed backups are eventually replaced; here they are just excluded).
+// sent so far. Peers whose channel is down — or that were excluded by
+// the liveness timeout — are skipped: a failstopped backup must not
+// wedge the primary forever (the paper's model assumes failed backups
+// are eventually replaced; here they are just excluded).
 func (s *sender) fullyAcked() bool {
 	for _, p := range s.peers {
-		if p.peer.TX.Down() {
+		if p.excluded() {
 			continue
 		}
 		if p.acked < s.seq {
@@ -118,7 +149,10 @@ func (s *sender) fullyAcked() bool {
 }
 
 // awaitAcks blocks until every message sent so far is acknowledged by
-// every live peer — rule P2's wait and the §4.3 I/O gate.
+// every live peer — rule P2's wait and the §4.3 I/O gate. With a
+// peerTimeout configured, a peer that acknowledges nothing for that
+// long while its channel stays up is declared failed and excluded, so
+// a partition cannot block the coordinator forever.
 func (s *sender) awaitAcks(stop func() bool) {
 	s.drainAcks()
 	if s.fullyAcked() {
@@ -131,7 +165,7 @@ func (s *sender) awaitAcks(stop func() bool) {
 		// arrive in order, so per-peer blocking is fair.
 		var lag *peerState
 		for _, p := range s.peers {
-			if !p.peer.TX.Down() && p.acked < s.seq {
+			if !p.excluded() && p.acked < s.seq {
 				lag = p
 				break
 			}
@@ -143,6 +177,24 @@ func (s *sender) awaitAcks(stop func() bool) {
 		if !ok {
 			// Re-check liveness and other peers' queues.
 			s.drainAcks()
+			if s.peerTimeout > 0 {
+				now := s.proc.Now()
+				for _, p := range s.peers {
+					if p.excluded() || p.acked >= s.seq {
+						continue
+					}
+					if p.progressAt == 0 || p.acked > p.seenAcked {
+						// First observation, or the peer advanced since
+						// the last tick: restart its silence clock.
+						p.seenAcked, p.progressAt = p.acked, now
+						continue
+					}
+					if now-p.progressAt >= s.peerTimeout {
+						p.dead = true
+						s.stats.PeerTimeouts++
+					}
+				}
+			}
 			continue
 		}
 		m := raw.Payload.(message)

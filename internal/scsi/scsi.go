@@ -20,7 +20,9 @@
 package scsi
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash"
 	"hash/fnv"
 	"math/rand"
 
@@ -415,6 +417,59 @@ func (a *Adapter) complete(bits uint32) {
 	if a.irq != nil {
 		a.irq()
 	}
+}
+
+// digestPut appends 64-bit values to a digest, little-endian.
+func digestPut(h hash.Hash64, vs ...uint64) {
+	var b [8]byte
+	for _, v := range vs {
+		binary.LittleEndian.PutUint64(b[:], v)
+		h.Write(b[:])
+	}
+}
+
+// StateDigest returns a deterministic hash of the disk's dynamic state:
+// service-queue watermarks, the operation log, pending fault
+// injections, and the contents of every materialized block (in-memory
+// backend only; blocks behind a custom Backend are the caller's to
+// verify). Snapshot verification compares it between an original and a
+// replayed run.
+func (d *Disk) StateDigest() uint64 {
+	h := fnv.New64a()
+	put := func(vs ...uint64) { digestPut(h, vs...) }
+	put(uint64(d.busyUntil), d.seq, uint64(d.uncertainNext), uint64(len(d.Log)))
+	for _, r := range d.Log {
+		flags := uint64(0)
+		if r.Committed {
+			flags |= 1
+		}
+		if r.Uncertain {
+			flags |= 2
+		}
+		put(r.Seq, uint64(r.Host), uint64(r.Cmd), uint64(r.Block), flags, r.DataHash, uint64(r.At))
+	}
+	if mb, ok := d.backend.(*memBackend); ok {
+		for i, blk := range mb.data {
+			if blk != nil {
+				put(uint64(i), hash64(blk))
+			}
+		}
+	}
+	return h.Sum64()
+}
+
+// StateDigest returns a deterministic hash of the adapter's register
+// bank, detach latch and counters (snapshot verification).
+func (a *Adapter) StateDigest() uint64 {
+	h := fnv.New64a()
+	digestPut(h, uint64(a.cmd), uint64(a.blockNo), uint64(a.addr), uint64(a.count),
+		uint64(a.status), uint64(a.info))
+	flags := uint64(0)
+	if a.Detached {
+		flags |= 1
+	}
+	digestPut(h, flags, a.OpsIssued, a.OpsCompleted, a.OpsUncertain)
+	return h.Sum64()
 }
 
 // WriteHistory returns the committed write hashes for a block, in order —

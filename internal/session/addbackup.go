@@ -1,0 +1,191 @@
+package session
+
+// Backup reintegration: after a failstop the cluster runs with reduced
+// redundancy forever unless the repaired processor can rejoin — the
+// paper's §5 repair assumption, solved in industrial descendants
+// (VMware FT, Remus) by live VM state transfer. AddBackup implements
+// it inside the simulation:
+//
+//  1. quiesce — advance to the acting coordinator's next epoch commit,
+//     the protocol's natural consistency point: delivery for the epoch
+//     is complete, the interrupt buffer is empty, and the boundary's
+//     Tme value is in hand;
+//  2. capture — serialize the coordinator's complete machine and
+//     hypervisor state (internal/snapshot), with the backup-side
+//     adjustments applied (I/O suppressed per §2.2 case i, issued-real
+//     latches cleared per P3);
+//  3. ship — send the blob through a dedicated simulated link with the
+//     same cost model, so transfer time is charged to virtual time
+//     without head-of-line-blocking the protocol stream;
+//  4. resume — the pair keeps executing during the transfer. The
+//     joiner's receiver processes start immediately (its hypervisor is
+//     alive; only the guest image is in transit), acknowledging and
+//     filing the live protocol stream so no coordinator wait stalls on
+//     the migration. When the image lands, the joiner installs it and
+//     runs the ordinary Backup engine from epoch E+1 with Tme as its
+//     clock base (rule P5's steady-state resynchronization, applied
+//     once at joining). Its digest checks then hold by construction:
+//     identical state plus identical inputs is the paper's whole
+//     argument.
+//
+// The joiner executes epochs at guest speed, so it trails the acting
+// coordinator by roughly the transfer duration for the rest of the
+// run — the reintegration's cost is visible in the session's
+// completion time, which is the point of charging it to the link. If
+// the source processor failstops with the image in flight, the
+// transfer is lost and the joiner withdraws (there is no state to
+// join with).
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/netsim"
+	"repro/internal/replication"
+	"repro/internal/sim"
+	"repro/internal/snapshot"
+)
+
+// AddBackupConfig parameterizes a reintegration.
+type AddBackupConfig struct {
+	// Link configures the new node's channels to every existing node
+	// (zero value: the cluster's boot-time link model).
+	Link netsim.LinkConfig
+}
+
+// AddBackup reintegrates a new backup at the lowest priority and
+// returns its node index. The session advances to the acting
+// coordinator's next epoch commit (virtual time moves) before the
+// state transfer begins.
+func (e *Engine) AddBackup(cfg AddBackupConfig) (int, error) {
+	if e.closed {
+		return 0, errors.New("session: engine is closed")
+	}
+	if e.o.Bare {
+		return 0, errors.New("session: bare run has no replica set")
+	}
+	e.Boot()
+	if e.finished {
+		return 0, errors.New("session: workload already complete")
+	}
+
+	// Quiesce at the next epoch commit.
+	start := e.commits
+	if err := e.RunUntil(func() bool { return e.commits > start }); err != nil {
+		return 0, err
+	}
+	if e.commits == start {
+		return 0, errors.New("session: workload completed before an epoch boundary")
+	}
+
+	// Capture the acting coordinator's complete virtual-machine image
+	// as of the boundary, adjusted for the backup role: environment
+	// output suppressed (§2.2 case i) and issued-real latches cleared
+	// (rule P3 — the joiner's own devices owe it nothing).
+	act := e.lastNode
+	ms := e.cluster.Nodes[act].M.CaptureState()
+	hs := e.cluster.Nodes[act].HV.CaptureState()
+	hs.IOActive = false
+	for i := range hs.Adapters {
+		hs.Adapters[i].IssuedReal = false
+	}
+	blob := snapshot.EncodeTransfer(snapshot.Transfer{
+		Machine: ms, Hypervisor: hs, Tme: e.lastTme, Epoch: e.lastEpoch,
+	})
+
+	// Build the node and its mesh links.
+	n := len(e.cluster.Nodes)
+	node := e.cluster.AddNode(cfg.Link)
+	var ups []replication.Peer
+	for j := 0; j < n; j++ {
+		tx, rx := e.cluster.Channel(n, j)
+		ups = append(ups, replication.Peer{TX: tx, RX: rx})
+	}
+	// Boot normalized the DetectTimeout default before the quiesce ran.
+	timeout := e.o.DetectTimeout
+	bak := replication.NewBackupAt(node.HV, n, ups, nil, timeout, e.o.Protocol)
+	bak.PeerTimeout = e.peerTimeout()
+	bak.BootTOD = e.lastTme
+	bak.SetResumePoint(e.lastEpoch + 1)
+	bak.OnDivergence = e.divergenceHandler(n)
+	bak.Hooks = e.backupHooks()
+	e.baks = append(e.baks, bak)
+	e.done = append(e.done, 0)
+
+	// Splice the joiner into every engine that coordinates — or may
+	// later coordinate — the fan-out. Failed engines are skipped: they
+	// will never send again.
+	if !e.pri.Failed() {
+		tx, rx := e.cluster.Channel(0, n)
+		e.pri.AddPeer(replication.Peer{TX: tx, RX: rx})
+	}
+	for j := 1; j < n; j++ {
+		if b := e.baks[j-1]; !b.Failed() && !b.Withdrawn() {
+			tx, rx := e.cluster.Channel(j, n)
+			b.AddDownstream(replication.Peer{TX: tx, RX: rx})
+		}
+	}
+
+	// The joiner's hypervisor is alive from this instant — only the
+	// virtual-machine image is in transit. Start its receivers now, so
+	// protocol messages are acknowledged (P4) and filed while the image
+	// flies; otherwise a coordinator awaiting acknowledgements (P2, the
+	// §4.3 I/O gate) would stall for the whole transfer and trip the
+	// other replicas' failure detectors.
+	bak.StartReceivers(e.k)
+
+	// Ship the image on a dedicated migration channel with the same
+	// cost model (transfer time is simulated time), so bulk bytes do
+	// not head-of-line-block the protocol stream.
+	linkCfg := cfg.Link
+	if linkCfg.BitsPerSecond == 0 {
+		linkCfg = e.o.Link
+	}
+	linkCfg.Name = fmt.Sprintf("xfer%d-%d", act, n)
+	xfer := netsim.NewLink(e.k, linkCfg)
+	if e.xferLinks == nil {
+		e.xferLinks = map[int][]*netsim.Link{}
+	}
+	e.xferLinks[act] = append(e.xferLinks[act], xfer)
+	xfer.Send(blob, len(blob))
+
+	// The joiner: receive the image, install it, run the ordinary
+	// backup engine from the transferred boundary. If the source
+	// processor failstops with the image in flight, the transfer — and
+	// the reintegration — is lost: the joiner withdraws.
+	e.k.Spawn(fmt.Sprintf("backup%d", n), func(pr *sim.Proc) {
+		var msg netsim.Message
+		for {
+			m, ok := xfer.Inbox.RecvTimeout(pr, timeout)
+			if ok {
+				msg = m
+				break
+			}
+			if xfer.Down() {
+				bak.Abandon()
+				e.done[n] = pr.Now()
+				return
+			}
+		}
+		t, err := snapshot.DecodeTransfer(msg.Payload.([]byte))
+		if err != nil {
+			panic(fmt.Sprintf("session: state transfer decode: %v", err))
+		}
+		if err := node.M.RestoreState(t.Machine); err != nil {
+			panic(fmt.Sprintf("session: state transfer restore: %v", err))
+		}
+		if err := node.HV.RestoreState(t.Hypervisor); err != nil {
+			panic(fmt.Sprintf("session: state transfer restore: %v", err))
+		}
+		// The transferred boundary is authoritative: the joiner's clock
+		// base and resume point come from the image it actually
+		// received, not from whatever the splice-time engine remembered.
+		bak.BootTOD = t.Tme
+		bak.SetResumePoint(t.Epoch + 1)
+		bak.Run(pr)
+		e.done[n] = pr.Now()
+	})
+
+	e.emit(Event{Kind: EventBackupAdded, Node: n, Epoch: e.lastEpoch, Bytes: uint64(len(blob))})
+	return n, nil
+}

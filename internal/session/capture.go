@@ -1,0 +1,133 @@
+package session
+
+// Session capture: a labeled, deterministic encoding of everything a
+// resident simulation's future depends on — per-node machine and
+// hypervisor state, per-engine replication state, and digests of the
+// environment (disk, links, consoles). A session checkpoint embeds the
+// capture; restore replays the run deterministically and then compares
+// a fresh capture against the embedded one SECTION BY SECTION, so any
+// divergence (a format change that slipped past the version bump, a
+// nondeterminism bug, a tampered file) is caught and named instead of
+// silently resuming a different simulation.
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/snapshot"
+)
+
+// SectionMagic opens each capture section blob.
+const SectionMagic = "HFTSECT1"
+
+// Section is one labeled piece of a session capture.
+type Section struct {
+	Name string
+	Data []byte
+}
+
+// CaptureSections snapshots the session (booting it first if needed:
+// boot is deterministic, so capturing an unstarted session is
+// equivalent to capturing it at virtual time zero).
+func (e *Engine) CaptureSections() []Section {
+	e.Boot()
+	var out []Section
+	add := func(name string, fill func(w *snapshot.Writer)) {
+		w := snapshot.NewWriter(SectionMagic)
+		fill(w)
+		out = append(out, Section{Name: name, Data: w.Finish()})
+	}
+
+	add("meta", func(w *snapshot.Writer) {
+		w.I64(int64(e.Now()))
+		w.U64(e.commits)
+		w.Bool(e.finished)
+		w.Bool(e.o.Bare)
+		if e.o.Bare {
+			w.Int(1)
+		} else {
+			w.Int(len(e.cluster.Nodes))
+		}
+		w.U64(e.diskOps)
+		w.U64(e.diskUncertain)
+	})
+
+	if e.o.Bare {
+		add("node0.machine", func(w *snapshot.Writer) {
+			snapshot.PutMachineState(w, e.single.Node.M.CaptureState())
+		})
+		add("node0.console", func(w *snapshot.Writer) {
+			w.String(e.single.Node.Console.Output())
+		})
+		add("disk", func(w *snapshot.Writer) { w.U64(e.single.Disk.StateDigest()) })
+		return out
+	}
+
+	for i, node := range e.cluster.Nodes {
+		i, node := i, node
+		add(fmt.Sprintf("node%d.machine", i), func(w *snapshot.Writer) {
+			snapshot.PutMachineState(w, node.M.CaptureState())
+		})
+		add(fmt.Sprintf("node%d.hypervisor", i), func(w *snapshot.Writer) {
+			snapshot.PutHypervisorState(w, node.HV.CaptureState())
+		})
+		add(fmt.Sprintf("node%d.console", i), func(w *snapshot.Writer) {
+			w.String(node.Console.Output())
+			w.U64(node.Adapter.StateDigest())
+		})
+	}
+	add("replication.primary", func(w *snapshot.Writer) {
+		snapshot.PutCoordinatorState(w, e.pri.CaptureState())
+	})
+	for i, bak := range e.baks {
+		i, bak := i, bak
+		add(fmt.Sprintf("replication.backup%d", i+1), func(w *snapshot.Writer) {
+			snapshot.PutBackupState(w, bak.CaptureState())
+		})
+	}
+	add("disk", func(w *snapshot.Writer) { w.U64(e.cluster.Disk.StateDigest()) })
+	add("links", func(w *snapshot.Writer) {
+		for i := range e.cluster.Links {
+			for j := range e.cluster.Links[i] {
+				if d := e.cluster.Links[i][j]; d != nil {
+					w.Int(i)
+					w.Int(j)
+					w.U64(d.AtoB.StateDigest())
+					w.U64(d.BtoA.StateDigest())
+				}
+			}
+		}
+		// State-transfer links are session state too: an image in
+		// flight (or already delivered) must verify like any channel.
+		srcs := make([]int, 0, len(e.xferLinks))
+		for src := range e.xferLinks {
+			srcs = append(srcs, src)
+		}
+		sort.Ints(srcs)
+		for _, src := range srcs {
+			for i, l := range e.xferLinks[src] {
+				w.Int(src)
+				w.Int(i)
+				w.U64(l.StateDigest())
+			}
+		}
+	})
+	return out
+}
+
+// CompareSections reports the first difference between two captures
+// (nil if identical). Used by snapshot restore verification.
+func CompareSections(want, got []Section) error {
+	for i := 0; i < len(want) && i < len(got); i++ {
+		if want[i].Name != got[i].Name {
+			return fmt.Errorf("section %d is %q, snapshot has %q", i, got[i].Name, want[i].Name)
+		}
+		if string(want[i].Data) != string(got[i].Data) {
+			return fmt.Errorf("section %q differs (%d vs %d bytes)", want[i].Name, len(want[i].Data), len(got[i].Data))
+		}
+	}
+	if len(want) != len(got) {
+		return fmt.Errorf("capture has %d sections, snapshot has %d", len(got), len(want))
+	}
+	return nil
+}

@@ -42,6 +42,16 @@ const GuestMemBytes = 1 << 20
 // finishes in minutes of virtual time).
 const maxRunTime = 20000 * sim.Second
 
+// peerTimeout is the coordinator-side acknowledgement-liveness bound:
+// generously past every backup's cascaded failure-detection timeout,
+// so a genuinely partitioned peer is detected by its own timeout first
+// and the coordinator's exclusion is strictly a liveness backstop.
+func (e *Engine) peerTimeout() sim.Time {
+	// Boot has already normalized the zero default onto o.DetectTimeout
+	// before any engine (or a late joiner) is wired.
+	return 10 * e.o.DetectTimeout
+}
+
 // sizeMachine applies the RAM default to a machine config.
 func sizeMachine(mc machine.Config) machine.Config {
 	if mc.MemBytes == 0 {
@@ -105,6 +115,9 @@ const (
 	EventDiskOp
 	// EventCompleted: the session finished (guest halted everywhere).
 	EventCompleted
+	// EventBackupAdded: a new backup joined the replica set by live
+	// state transfer.
+	EventBackupAdded
 )
 
 // Event is one observation from a running session.
@@ -121,6 +134,7 @@ type Event struct {
 	Count   int           // EventPromoted: uncertain interrupts synthesized
 	Digests [2]uint64     // EventDivergence: coordinator, local
 	IO      scsi.OpRecord // EventDiskOp
+	Bytes   uint64        // EventBackupAdded: state-transfer size on the wire
 }
 
 // Options configures an Engine.
@@ -202,6 +216,11 @@ type Snapshot struct {
 	IntsForwarded        uint64
 	Divergences          uint64
 	UncertainSynthesized uint64
+	// PeersExcluded counts replicas a coordinator excluded from its
+	// acknowledgement gates after the ack-liveness timeout (a silent
+	// peer; see replication.Stats.PeerTimeouts). Nonzero means the
+	// replica set is effectively smaller than configured.
+	PeersExcluded uint64
 
 	// Environment counters.
 	DiskOps       uint64
@@ -240,6 +259,21 @@ type Engine struct {
 	// stopCheck, when set, is consulted at epoch commits; returning
 	// true stops the kernel (bounded/predicate runs, cancellation).
 	stopCheck func() bool
+
+	// commits counts every acting-coordinator epoch commit since boot;
+	// lastNode/lastEpoch/lastTme describe the most recent one. Commit
+	// ordinals are the session's replayable pause coordinates: a run
+	// paused "at commit #N" stops in exactly the same kernel state on
+	// every replay.
+	commits   uint64
+	lastNode  int
+	lastEpoch uint64
+	lastTme   uint32
+
+	// xferLinks tracks live state-transfer links by source node, so a
+	// failstop severs an in-flight transfer exactly as it severs the
+	// node's protocol channels.
+	xferLinks map[int][]*netsim.Link
 }
 
 // New prepares an engine. No simulation state is constructed until the
@@ -315,6 +349,7 @@ func (e *Engine) Boot() {
 		peers = append(peers, replication.Peer{TX: tx, RX: rx})
 	}
 	pri := replication.NewPrimaryMulti(cluster.Nodes[0].HV, peers, o.Protocol)
+	pri.PeerTimeout = e.peerTimeout()
 	e.pri = pri
 	for i := 1; i < n; i++ {
 		var ups, downs []replication.Peer
@@ -328,6 +363,7 @@ func (e *Engine) Boot() {
 		}
 		bak := replication.NewBackupAt(
 			cluster.Nodes[i].HV, i, ups, downs, o.DetectTimeout, o.Protocol)
+		bak.PeerTimeout = e.peerTimeout()
 		bak.OnDivergence = e.divergenceHandler(i)
 		e.baks = append(e.baks, bak)
 	}
@@ -393,17 +429,23 @@ func (e *Engine) installHooks() {
 		EpochCommitted: e.epochCommitted,
 	}
 	for _, bak := range e.baks {
-		bak.Hooks = replication.Hooks{
-			EpochCommitted: e.epochCommitted,
-			BackupEpoch: func(node int, epoch uint64, at sim.Time, match bool) {
-				e.emit(Event{Kind: EventBackupEpoch, At: at, Node: node, Epoch: epoch, Match: match})
-			},
-			Promoted: func(node int, epoch uint64, at sim.Time, uncertain int) {
-				e.emit(Event{Kind: EventPromoted, At: at, Node: node, Epoch: epoch, Count: uncertain})
-			},
-		}
+		bak.Hooks = e.backupHooks()
 	}
 	e.cluster.Disk.OnOp = e.diskOp
+}
+
+// backupHooks builds the observation hooks a backup engine carries
+// (shared between boot-time backups and late joiners).
+func (e *Engine) backupHooks() replication.Hooks {
+	return replication.Hooks{
+		EpochCommitted: e.epochCommitted,
+		BackupEpoch: func(node int, epoch uint64, at sim.Time, match bool) {
+			e.emit(Event{Kind: EventBackupEpoch, At: at, Node: node, Epoch: epoch, Match: match})
+		},
+		Promoted: func(node int, epoch uint64, at sim.Time, uncertain int) {
+			e.emit(Event{Kind: EventPromoted, At: at, Node: node, Epoch: epoch, Count: uncertain})
+		},
+	}
 }
 
 // diskOp tallies a completed disk operation and (optionally) emits it.
@@ -421,16 +463,31 @@ func (e *Engine) diskOp(r scsi.OpRecord) {
 // the predicate-stop discipline: bounded and cancelable runs yield here,
 // at epoch boundaries, never mid-epoch.
 func (e *Engine) epochCommitted(node int, epoch uint64, tme uint32, at sim.Time, halted bool) {
+	e.commits++
+	e.lastNode, e.lastEpoch, e.lastTme = node, epoch, tme
 	e.emit(Event{Kind: EventEpochCommitted, At: at, Node: node, Epoch: epoch, Tme: tme, Halted: halted})
 	if e.stopCheck != nil && e.stopCheck() {
 		e.k.Stop()
 	}
 }
 
+// Commits returns the cumulative count of acting-coordinator epoch
+// commits since boot — the session's replayable pause coordinate.
+func (e *Engine) Commits() uint64 { return e.commits }
+
+// RunUntilCommits advances the session until the cumulative commit
+// count reaches n (no-op if it already has). It pauses in exactly the
+// state a predicate-stop at that commit leaves, which is what snapshot
+// replay requires.
+func (e *Engine) RunUntilCommits(n uint64) error {
+	return e.RunUntil(func() bool { return e.commits >= n })
+}
+
 // failPrimaryNow injects the primary failstop (kernel context).
 func (e *Engine) failPrimaryNow() {
 	e.pri.Failstop()
 	e.cluster.Nodes[0].Adapter.Detached = true
+	e.severTransfers(0)
 	e.emit(Event{Kind: EventFailstop, Node: 0})
 }
 
@@ -438,7 +495,16 @@ func (e *Engine) failPrimaryNow() {
 func (e *Engine) failBackupNow(i int) {
 	e.baks[i-1].Failstop()
 	e.cluster.Nodes[i].Adapter.Detached = true
+	e.severTransfers(i)
 	e.emit(Event{Kind: EventFailstop, Node: i})
+}
+
+// severTransfers disconnects any state transfer the failstopped node
+// was sourcing: the in-flight image is lost with its sender.
+func (e *Engine) severTransfers(node int) {
+	for _, l := range e.xferLinks[node] {
+		l.Disconnect()
+	}
 }
 
 // Now returns the current virtual time (zero before boot). After
@@ -586,6 +652,15 @@ func (e *Engine) SetLinkQuality(q netsim.Quality) error {
 			}
 		}
 	}
+	// State-transfer links are inter-hypervisor links too: an image
+	// still in flight pays the new costs for its unserialized remainder
+	// (messages already serialized keep their scheduled delivery, as on
+	// every link).
+	for _, links := range e.xferLinks {
+		for _, l := range links {
+			l.SetQuality(q)
+		}
+	}
 	e.emit(Event{Kind: EventLinkQuality})
 	return nil
 }
@@ -637,6 +712,7 @@ func (e *Engine) Snapshot() Snapshot {
 		s.IntsForwarded += st.IntsForwarded
 		s.Divergences += st.Divergences
 		s.UncertainSynthesized += st.UncertainSynth
+		s.PeersExcluded += st.PeerTimeouts
 	}
 	add(e.pri.Stats)
 	for _, b := range e.baks {

@@ -672,6 +672,19 @@ func (r *Ring[T]) grow() {
 	r.items, r.head = buf, 0
 }
 
+// At returns the i-th oldest buffered element (0 = head) without
+// removing it. Panics if i is out of range.
+func (r *Ring[T]) At(i int) T {
+	if i < 0 || i >= r.n {
+		panic(fmt.Sprintf("sim: Ring.At(%d) with %d elements", i, r.n))
+	}
+	j := r.head + i
+	if j >= len(r.items) {
+		j -= len(r.items)
+	}
+	return r.items[j]
+}
+
 // Pop removes and returns the oldest element.
 func (r *Ring[T]) Pop() (T, bool) {
 	var zero T

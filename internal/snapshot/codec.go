@@ -1,0 +1,230 @@
+// Package snapshot implements the deterministic, versioned binary
+// serialization behind the session checkpoint and backup-reintegration
+// subsystems: complete machine state (RAM, registers, TLB with
+// replacement recency, recovery counter — all control registers travel),
+// hypervisor virtualization state, and replication-layer protocol state
+// (epoch archive tail, sequence/acknowledgement watermarks, pending
+// interrupt and environment buffers).
+//
+// Determinism is a hard requirement, not a nicety: a state-transfer
+// blob's byte length is charged to the simulated link (so its size must
+// be a pure function of the state), and snapshot verification compares
+// independently produced encodings byte for byte. Every encoder here
+// therefore emits fields in a fixed order, sorts anything map-shaped,
+// and uses fixed-width little-endian integers.
+//
+// Format discipline: every top-level blob opens with an 8-byte magic
+// and a format version word, and closes with an FNV-64a checksum of
+// everything before it. Readers reject unknown magics, foreign
+// versions (ErrVersion) and checksum mismatches up front — a snapshot
+// from a different build of this code fails loudly, never by silently
+// reconstructing a diverged simulation.
+package snapshot
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+)
+
+// FormatVersion is the current snapshot format. Bump it whenever any
+// encoder in this package (or a capture struct it serializes) changes
+// shape; readers reject every other version.
+const FormatVersion = 1
+
+// ErrVersion reports a snapshot written by a different format version.
+// Errors wrapping it are returned by NewReader; test with errors.Is.
+var ErrVersion = errors.New("snapshot: format version mismatch")
+
+// ErrCorrupt reports a snapshot that fails structural validation
+// (magic, checksum, truncation, or malformed section framing).
+var ErrCorrupt = errors.New("snapshot: corrupt or truncated data")
+
+// Writer accumulates a deterministic binary encoding.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter starts a blob with the given 8-byte magic and the current
+// format version.
+func NewWriter(magic string) *Writer {
+	if len(magic) != 8 {
+		panic(fmt.Sprintf("snapshot: magic %q must be 8 bytes", magic))
+	}
+	w := &Writer{}
+	w.buf = append(w.buf, magic...)
+	w.U32(FormatVersion)
+	return w
+}
+
+// U8 appends one byte.
+func (w *Writer) U8(v uint8) { w.buf = append(w.buf, v) }
+
+// Bool appends a boolean as one byte.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+
+// U32 appends a little-endian uint32.
+func (w *Writer) U32(v uint32) {
+	w.buf = append(w.buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+// U64 appends a little-endian uint64.
+func (w *Writer) U64(v uint64) {
+	w.U32(uint32(v))
+	w.U32(uint32(v >> 32))
+}
+
+// I64 appends a little-endian int64.
+func (w *Writer) I64(v int64) { w.U64(uint64(v)) }
+
+// Int appends an int as a 64-bit value.
+func (w *Writer) Int(v int) { w.I64(int64(v)) }
+
+// Bytes appends a length-prefixed byte slice.
+func (w *Writer) Bytes(b []byte) {
+	w.U32(uint32(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// String appends a length-prefixed string.
+func (w *Writer) String(s string) {
+	w.U32(uint32(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// Len reports the number of bytes written so far (checksum excluded).
+func (w *Writer) Len() int { return len(w.buf) }
+
+// Finish appends the checksum trailer and returns the complete blob.
+// The Writer must not be used afterwards.
+func (w *Writer) Finish() []byte {
+	h := fnv.New64a()
+	h.Write(w.buf)
+	w.U64(h.Sum64())
+	return w.buf
+}
+
+// Reader decodes a blob produced by Writer. Errors are sticky: after
+// the first failure every accessor returns zero values and Err reports
+// the failure.
+type Reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+// NewReader validates the blob's magic, version and checksum and
+// positions a reader after the header.
+func NewReader(blob []byte, magic string) (*Reader, error) {
+	if len(magic) != 8 {
+		panic(fmt.Sprintf("snapshot: magic %q must be 8 bytes", magic))
+	}
+	if len(blob) < 8+4+8 {
+		return nil, fmt.Errorf("%w: %d bytes", ErrCorrupt, len(blob))
+	}
+	if string(blob[:8]) != magic {
+		return nil, fmt.Errorf("%w: bad magic %q (want %q)", ErrCorrupt, blob[:8], magic)
+	}
+	body, trailer := blob[:len(blob)-8], blob[len(blob)-8:]
+	h := fnv.New64a()
+	h.Write(body)
+	want := h.Sum64()
+	got := uint64(0)
+	for i := 7; i >= 0; i-- {
+		got = got<<8 | uint64(trailer[i])
+	}
+	if got != want {
+		return nil, fmt.Errorf("%w: checksum %#x, computed %#x", ErrCorrupt, got, want)
+	}
+	r := &Reader{b: body, off: 8}
+	v := r.U32()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if v != FormatVersion {
+		return nil, fmt.Errorf("%w: snapshot is format %d, this build reads %d", ErrVersion, v, FormatVersion)
+	}
+	return r, nil
+}
+
+// fail latches the first error.
+func (r *Reader) fail() {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: truncated at offset %d", ErrCorrupt, r.off)
+	}
+}
+
+// Err returns the sticky decode error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining reports how many body bytes are left.
+func (r *Reader) Remaining() int { return len(r.b) - r.off }
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	if r.err != nil || r.off+1 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+// Bool reads a boolean.
+func (r *Reader) Bool() bool { return r.U8() != 0 }
+
+// U32 reads a little-endian uint32.
+func (r *Reader) U32() uint32 {
+	if r.err != nil || r.off+4 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	b := r.b[r.off:]
+	r.off += 4
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+// U64 reads a little-endian uint64.
+func (r *Reader) U64() uint64 {
+	lo := r.U32()
+	hi := r.U32()
+	return uint64(lo) | uint64(hi)<<32
+}
+
+// I64 reads a little-endian int64.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// Int reads an int encoded by Writer.Int.
+func (r *Reader) Int() int { return int(r.I64()) }
+
+// Bytes reads a length-prefixed byte slice (a copy).
+func (r *Reader) Bytes() []byte {
+	n := int(r.U32())
+	if r.err != nil || n < 0 || r.off+n > len(r.b) {
+		r.fail()
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, r.b[r.off:])
+	r.off += n
+	return out
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string {
+	n := int(r.U32())
+	if r.err != nil || n < 0 || r.off+n > len(r.b) {
+		r.fail()
+		return ""
+	}
+	s := string(r.b[r.off : r.off+n])
+	r.off += n
+	return s
+}

@@ -1,0 +1,577 @@
+package snapshot
+
+import (
+	"fmt"
+
+	"repro/internal/hypervisor"
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/replication"
+	"repro/internal/sim"
+)
+
+// TransferMagic opens a live state-transfer blob (AddBackup's payload
+// on the simulated link).
+const TransferMagic = "HFTXFER1"
+
+// RAM images are encoded sparsely: only pages containing a nonzero
+// byte are written. The guest kernel's footprint is a small fraction
+// of physical RAM, and the blob's length is what the simulated link
+// charges for — an idle-page-free image is what a real state-transfer
+// implementation would ship too (VMware FT and Remus both elide
+// untouched pages).
+
+// putRAM writes a sparse page-granular RAM image.
+func putRAM(w *Writer, mem []byte) {
+	w.U32(uint32(len(mem)))
+	n := 0
+	for base := 0; base < len(mem); base += isa.PageSize {
+		if !zeroPage(mem[base:min(base+isa.PageSize, len(mem))]) {
+			n++
+		}
+	}
+	w.U32(uint32(n))
+	for base := 0; base < len(mem); base += isa.PageSize {
+		end := min(base+isa.PageSize, len(mem))
+		if zeroPage(mem[base:end]) {
+			continue
+		}
+		w.U32(uint32(base >> isa.PageShift))
+		w.Bytes(mem[base:end])
+	}
+}
+
+// ram reads a sparse RAM image back into a full zero-filled buffer.
+func ram(r *Reader) []byte {
+	size := int(r.U32())
+	n := int(r.U32())
+	if r.Err() != nil || size < 0 || size > 1<<31 {
+		r.fail()
+		return nil
+	}
+	mem := make([]byte, size)
+	for i := 0; i < n; i++ {
+		page := int(r.U32())
+		data := r.Bytes()
+		if r.Err() != nil {
+			return nil
+		}
+		base := page << isa.PageShift
+		if base < 0 || base+len(data) > size {
+			r.fail()
+			return nil
+		}
+		copy(mem[base:], data)
+	}
+	return mem
+}
+
+func zeroPage(p []byte) bool {
+	for _, b := range p {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// PutMachineState encodes a machine capture.
+func PutMachineState(w *Writer, s machine.State) {
+	w.U32(s.MemBytes)
+	for _, v := range s.Regs {
+		w.U32(v)
+	}
+	w.U32(s.PC)
+	w.U32(s.PSW)
+	for _, v := range s.CRs {
+		w.U32(v)
+	}
+	w.Bool(s.Halted)
+	w.U64(s.Cycles)
+	putMachineStats(w, s.Stats)
+	putRAM(w, s.Mem)
+	putTLBState(w, s.TLB)
+}
+
+// MachineState decodes a machine capture.
+func MachineState(r *Reader) machine.State {
+	var s machine.State
+	s.MemBytes = r.U32()
+	for i := range s.Regs {
+		s.Regs[i] = r.U32()
+	}
+	s.PC = r.U32()
+	s.PSW = r.U32()
+	for i := range s.CRs {
+		s.CRs[i] = r.U32()
+	}
+	s.Halted = r.Bool()
+	s.Cycles = r.U64()
+	s.Stats = machineStats(r)
+	s.Mem = ram(r)
+	s.TLB = tlbState(r)
+	return s
+}
+
+func putMachineStats(w *Writer, s machine.Stats) {
+	w.U64(s.Instructions)
+	w.U64(s.Privileged)
+	w.U64(s.Environment)
+	w.U64(s.Loads)
+	w.U64(s.Stores)
+	w.U64(s.Branches)
+	w.U64(s.Traps)
+}
+
+func machineStats(r *Reader) machine.Stats {
+	return machine.Stats{
+		Instructions: r.U64(),
+		Privileged:   r.U64(),
+		Environment:  r.U64(),
+		Loads:        r.U64(),
+		Stores:       r.U64(),
+		Branches:     r.U64(),
+		Traps:        r.U64(),
+	}
+}
+
+func putTLBState(w *Writer, s machine.TLBState) {
+	w.String(s.Policy)
+	w.U64(s.Stamp)
+	w.Int(s.Next)
+	w.Int(s.Pending)
+	w.U64(s.Stats.Hits)
+	w.U64(s.Stats.Misses)
+	w.U64(s.Stats.Inserts)
+	w.U64(s.Stats.Evicts)
+	w.U64(s.Stats.Purges)
+	w.U32(uint32(len(s.Slots)))
+	for _, sl := range s.Slots {
+		w.U32(sl.Entry.VPN)
+		w.U32(sl.Entry.PPN)
+		w.U32(sl.Entry.Flags)
+		w.Bool(sl.Entry.Valid)
+		w.U64(sl.LastUse)
+	}
+}
+
+func tlbState(r *Reader) machine.TLBState {
+	var s machine.TLBState
+	s.Policy = r.String()
+	s.Stamp = r.U64()
+	s.Next = r.Int()
+	s.Pending = r.Int()
+	s.Stats.Hits = r.U64()
+	s.Stats.Misses = r.U64()
+	s.Stats.Inserts = r.U64()
+	s.Stats.Evicts = r.U64()
+	s.Stats.Purges = r.U64()
+	n := int(r.U32())
+	if r.Err() != nil || n < 0 || n > 1<<16 {
+		r.fail()
+		return s
+	}
+	s.Slots = make([]machine.TLBSlotState, n)
+	for i := range s.Slots {
+		s.Slots[i].Entry.VPN = r.U32()
+		s.Slots[i].Entry.PPN = r.U32()
+		s.Slots[i].Entry.Flags = r.U32()
+		s.Slots[i].Entry.Valid = r.Bool()
+		s.Slots[i].LastUse = r.U64()
+	}
+	return s
+}
+
+// PutInterrupt encodes one buffered virtual interrupt.
+func PutInterrupt(w *Writer, i hypervisor.Interrupt) {
+	w.U32(uint32(i.Line))
+	w.Bool(i.Timer)
+	w.U32(i.AdapterBase)
+	w.U32(i.Status)
+	w.U32(i.DMAAddr)
+	w.Bytes(i.DMAData)
+	w.U32(i.CapturedTOD)
+}
+
+// Interrupt decodes one buffered virtual interrupt.
+func Interrupt(r *Reader) hypervisor.Interrupt {
+	var i hypervisor.Interrupt
+	i.Line = uint(r.U32())
+	i.Timer = r.Bool()
+	i.AdapterBase = r.U32()
+	i.Status = r.U32()
+	i.DMAAddr = r.U32()
+	if b := r.Bytes(); len(b) > 0 {
+		i.DMAData = b
+	}
+	i.CapturedTOD = r.U32()
+	return i
+}
+
+func putInterrupts(w *Writer, ints []hypervisor.Interrupt) {
+	w.U32(uint32(len(ints)))
+	for _, i := range ints {
+		PutInterrupt(w, i)
+	}
+}
+
+func interrupts(r *Reader) []hypervisor.Interrupt {
+	n := int(r.U32())
+	if r.Err() != nil || n < 0 || n > 1<<24 {
+		r.fail()
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]hypervisor.Interrupt, n)
+	for i := range out {
+		out[i] = Interrupt(r)
+	}
+	return out
+}
+
+func putHVStats(w *Writer, s hypervisor.Stats) {
+	w.U64(s.GuestInstructions)
+	w.U64(s.Epochs)
+	w.U64(s.PrivSimulated)
+	w.U64(s.EnvSimulated)
+	w.U64(s.TLBFills)
+	w.U64(s.ReflectedTraps)
+	w.U64(s.VIRQDelivered)
+	w.U64(s.IOIssued)
+	w.U64(s.IOSuppressed)
+	w.U64(s.ConsoleSuppressed)
+	w.U64(s.Captured)
+	w.I64(int64(s.HypervisorTime))
+	w.I64(int64(s.DeliveryDelayTotal))
+	w.U64(s.DeliveryDelayCount)
+}
+
+func hvStats(r *Reader) hypervisor.Stats {
+	var s hypervisor.Stats
+	s.GuestInstructions = r.U64()
+	s.Epochs = r.U64()
+	s.PrivSimulated = r.U64()
+	s.EnvSimulated = r.U64()
+	s.TLBFills = r.U64()
+	s.ReflectedTraps = r.U64()
+	s.VIRQDelivered = r.U64()
+	s.IOIssued = r.U64()
+	s.IOSuppressed = r.U64()
+	s.ConsoleSuppressed = r.U64()
+	s.Captured = r.U64()
+	s.HypervisorTime = sim.Time(r.I64())
+	s.DeliveryDelayTotal = sim.Time(r.I64())
+	s.DeliveryDelayCount = r.U64()
+	return s
+}
+
+// PutHypervisorState encodes a hypervisor capture.
+func PutHypervisorState(w *Writer, s hypervisor.State) {
+	for _, v := range s.VCR {
+		w.U32(v)
+	}
+	w.U32(s.VPSW)
+	w.Bool(s.VITMRArmed)
+	w.U32(s.VITMRDeadline)
+	w.U32(s.TODBase)
+	w.U64(s.EpochStartInstr)
+	w.U64(s.GuestInstr)
+	w.U64(s.Epoch)
+	w.Bool(s.Halted)
+	w.Bool(s.IOActive)
+	putInterrupts(w, s.Buffered)
+	w.U32(uint32(len(s.Adapters)))
+	for _, a := range s.Adapters {
+		w.U32(a.Base)
+		w.U32(uint32(a.Line))
+		w.U32(a.Cmd)
+		w.U32(a.Block)
+		w.U32(a.Addr)
+		w.U32(a.Count)
+		w.U32(a.Status)
+		w.U32(a.Info)
+		w.Bool(a.Outstanding)
+		w.Bool(a.IssuedReal)
+	}
+	putHVStats(w, s.Stats)
+}
+
+// HypervisorState decodes a hypervisor capture.
+func HypervisorState(r *Reader) hypervisor.State {
+	var s hypervisor.State
+	for i := range s.VCR {
+		s.VCR[i] = r.U32()
+	}
+	s.VPSW = r.U32()
+	s.VITMRArmed = r.Bool()
+	s.VITMRDeadline = r.U32()
+	s.TODBase = r.U32()
+	s.EpochStartInstr = r.U64()
+	s.GuestInstr = r.U64()
+	s.Epoch = r.U64()
+	s.Halted = r.Bool()
+	s.IOActive = r.Bool()
+	s.Buffered = interrupts(r)
+	n := int(r.U32())
+	if r.Err() != nil || n < 0 || n > 1<<8 {
+		r.fail()
+		return s
+	}
+	for i := 0; i < n; i++ {
+		var a hypervisor.AdapterState
+		a.Base = r.U32()
+		a.Line = uint(r.U32())
+		a.Cmd = r.U32()
+		a.Block = r.U32()
+		a.Addr = r.U32()
+		a.Count = r.U32()
+		a.Status = r.U32()
+		a.Info = r.U32()
+		a.Outstanding = r.Bool()
+		a.IssuedReal = r.Bool()
+		s.Adapters = append(s.Adapters, a)
+	}
+	s.Stats = hvStats(r)
+	return s
+}
+
+func putSyncEpoch(w *Writer, e replication.SyncEpoch) {
+	w.U64(e.Epoch)
+	w.U32(e.Tme)
+	w.U64(e.Digest)
+	w.Bool(e.Halted)
+	putInterrupts(w, e.Ints)
+}
+
+func syncEpoch(r *Reader) replication.SyncEpoch {
+	var e replication.SyncEpoch
+	e.Epoch = r.U64()
+	e.Tme = r.U32()
+	e.Digest = r.U64()
+	e.Halted = r.Bool()
+	e.Ints = interrupts(r)
+	return e
+}
+
+func putSyncEpochs(w *Writer, es []replication.SyncEpoch) {
+	w.U32(uint32(len(es)))
+	for _, e := range es {
+		putSyncEpoch(w, e)
+	}
+}
+
+func syncEpochs(r *Reader) []replication.SyncEpoch {
+	n := int(r.U32())
+	if r.Err() != nil || n < 0 || n > 1<<24 {
+		r.fail()
+		return nil
+	}
+	var out []replication.SyncEpoch
+	for i := 0; i < n; i++ {
+		out = append(out, syncEpoch(r))
+	}
+	return out
+}
+
+func putReplStats(w *Writer, s replication.Stats) {
+	w.U64(s.Epochs)
+	w.U64(s.MessagesSent)
+	w.U64(s.BytesSent)
+	w.U64(s.AcksReceived)
+	w.U64(s.AckWaits)
+	w.I64(int64(s.AckWaitTime))
+	w.U64(s.IOGateWaits)
+	w.I64(int64(s.IOGateWaitTime))
+	w.U64(s.IntsForwarded)
+	w.U64(s.IntsReceived)
+	w.U64(s.Divergences)
+	w.U64(s.PeerTimeouts)
+	w.U64(s.PromotedAtEpoch)
+	w.I64(int64(s.PromotedAtTime))
+	w.Bool(s.Promoted)
+	w.U64(s.UncertainSynth)
+}
+
+func replStats(r *Reader) replication.Stats {
+	var s replication.Stats
+	s.Epochs = r.U64()
+	s.MessagesSent = r.U64()
+	s.BytesSent = r.U64()
+	s.AcksReceived = r.U64()
+	s.AckWaits = r.U64()
+	s.AckWaitTime = sim.Time(r.I64())
+	s.IOGateWaits = r.U64()
+	s.IOGateWaitTime = sim.Time(r.I64())
+	s.IntsForwarded = r.U64()
+	s.IntsReceived = r.U64()
+	s.Divergences = r.U64()
+	s.PeerTimeouts = r.U64()
+	s.PromotedAtEpoch = r.U64()
+	s.PromotedAtTime = sim.Time(r.I64())
+	s.Promoted = r.Bool()
+	s.UncertainSynth = r.U64()
+	return s
+}
+
+// PutCoordinatorState encodes a coordinator capture.
+func PutCoordinatorState(w *Writer, s replication.CoordinatorState) {
+	w.U64(s.Seq)
+	w.U32(uint32(len(s.PeerAcked)))
+	for _, a := range s.PeerAcked {
+		w.U64(a)
+	}
+	w.U32(s.IntIndex)
+	w.U32(uint32(len(s.EndSeqs)))
+	for _, e := range s.EndSeqs {
+		w.U64(e.Epoch)
+		w.U64(e.Seq)
+	}
+	w.U64(s.AckedThrough)
+	w.Bool(s.HaveAcked)
+	putSyncEpochs(w, s.Archive)
+	putReplStats(w, s.Stats)
+}
+
+// CoordinatorState decodes a coordinator capture.
+func CoordinatorState(r *Reader) replication.CoordinatorState {
+	var s replication.CoordinatorState
+	s.Seq = r.U64()
+	n := int(r.U32())
+	for i := 0; i < n && r.Err() == nil; i++ {
+		s.PeerAcked = append(s.PeerAcked, r.U64())
+	}
+	s.IntIndex = r.U32()
+	n = int(r.U32())
+	for i := 0; i < n && r.Err() == nil; i++ {
+		s.EndSeqs = append(s.EndSeqs, replication.EndSeqState{Epoch: r.U64(), Seq: r.U64()})
+	}
+	s.AckedThrough = r.U64()
+	s.HaveAcked = r.Bool()
+	s.Archive = syncEpochs(r)
+	s.Stats = replStats(r)
+	return s
+}
+
+// PutBackupState encodes a backup capture.
+func PutBackupState(w *Writer, s replication.BackupState) {
+	w.Int(s.Index)
+	w.U64(s.Completed)
+	w.Bool(s.Promoted)
+	w.Bool(s.Failed)
+	w.Bool(s.Withdrawn)
+	w.Bool(s.Done)
+	w.Bool(s.Halted)
+	w.U32(s.BootTOD)
+	w.U32(uint32(len(s.Pending)))
+	for _, pe := range s.Pending {
+		w.U64(pe.Epoch)
+		w.U32(uint32(len(pe.Ints)))
+		for _, pi := range pe.Ints {
+			w.U32(pi.Index)
+			PutInterrupt(w, pi.Int)
+		}
+		w.Bool(pe.HasTme)
+		w.U32(pe.Tme)
+		w.Bool(pe.HasEnd)
+		w.U64(pe.End.Seq)
+		w.U64(pe.End.Digest)
+		w.Bool(pe.End.Halted)
+		w.Bool(pe.Verbatim != nil)
+		if pe.Verbatim != nil {
+			putSyncEpoch(w, *pe.Verbatim)
+		}
+	}
+	putSyncEpochs(w, s.Archive)
+	putReplStats(w, s.Stats)
+	w.Bool(s.Coordinator != nil)
+	if s.Coordinator != nil {
+		PutCoordinatorState(w, *s.Coordinator)
+	}
+}
+
+// BackupState decodes a backup capture.
+func BackupState(r *Reader) replication.BackupState {
+	var s replication.BackupState
+	s.Index = r.Int()
+	s.Completed = r.U64()
+	s.Promoted = r.Bool()
+	s.Failed = r.Bool()
+	s.Withdrawn = r.Bool()
+	s.Done = r.Bool()
+	s.Halted = r.Bool()
+	s.BootTOD = r.U32()
+	n := int(r.U32())
+	for i := 0; i < n && r.Err() == nil; i++ {
+		var pe replication.PendingEpochState
+		pe.Epoch = r.U64()
+		m := int(r.U32())
+		for j := 0; j < m && r.Err() == nil; j++ {
+			pe.Ints = append(pe.Ints, replication.PendingInterrupt{Index: r.U32(), Int: Interrupt(r)})
+		}
+		pe.HasTme = r.Bool()
+		pe.Tme = r.U32()
+		pe.HasEnd = r.Bool()
+		pe.End.Seq = r.U64()
+		pe.End.Digest = r.U64()
+		pe.End.Halted = r.Bool()
+		if r.Bool() {
+			v := syncEpoch(r)
+			pe.Verbatim = &v
+		}
+		s.Pending = append(s.Pending, pe)
+	}
+	s.Archive = syncEpochs(r)
+	s.Stats = replStats(r)
+	if r.Bool() {
+		cs := CoordinatorState(r)
+		s.Coordinator = &cs
+	}
+	return s
+}
+
+// Transfer is the payload of a live backup-reintegration state
+// transfer: the acting coordinator's complete virtual-machine image as
+// of an epoch boundary, plus the boundary's clock value (the Tme the
+// joiner resynchronizes from, exactly as rule P5 prescribes for the
+// steady state).
+type Transfer struct {
+	Machine    machine.State
+	Hypervisor hypervisor.State
+	Tme        uint32
+	// Epoch is the boundary's committed epoch; the joiner's first own
+	// epoch is Epoch+1.
+	Epoch uint64
+}
+
+// EncodeTransfer serializes a state transfer. The returned blob's
+// length is the wire size charged to the simulated link.
+func EncodeTransfer(t Transfer) []byte {
+	w := NewWriter(TransferMagic)
+	PutMachineState(w, t.Machine)
+	PutHypervisorState(w, t.Hypervisor)
+	w.U32(t.Tme)
+	w.U64(t.Epoch)
+	return w.Finish()
+}
+
+// DecodeTransfer parses a state transfer blob.
+func DecodeTransfer(blob []byte) (Transfer, error) {
+	r, err := NewReader(blob, TransferMagic)
+	if err != nil {
+		return Transfer{}, err
+	}
+	var t Transfer
+	t.Machine = MachineState(r)
+	t.Hypervisor = HypervisorState(r)
+	t.Tme = r.U32()
+	t.Epoch = r.U64()
+	if err := r.Err(); err != nil {
+		return Transfer{}, err
+	}
+	if r.Remaining() != 0 {
+		return Transfer{}, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, r.Remaining())
+	}
+	return t, nil
+}

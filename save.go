@@ -1,0 +1,378 @@
+package hft
+
+// Session checkpointing. A Cluster's whole future is a deterministic
+// function of three things: its (validated, serializable)
+// configuration, the ordered log of live perturbations applied to it
+// (failstops, link-quality changes, backup reintegrations — each tagged
+// with the exact pause position it was applied at), and how far it has
+// been advanced. Save serializes exactly that, PLUS a complete labeled
+// capture of the simulation state (every node's machine image with RAM,
+// registers, TLB and recovery counter; every engine's replication
+// state with its archive tail, sequence watermarks and pending
+// buffers; environment digests).
+//
+// Restore rebuilds the session from the configuration, replays the
+// journal — re-applying each perturbation at its recorded pause
+// position, which reproduces the original kernel state exactly (the
+// sliced-session differential suite pins that pausing is
+// perturbation-free) — advances to the saved position, and then
+// VERIFIES the reconstructed state against the embedded capture
+// section by section. A snapshot from a different format version is
+// rejected up front (ErrSnapshotVersion); a verified restore is
+// bit-identical to the original run by construction, and the
+// round-trip differential tests in snapshot_test.go pin it.
+//
+// This is the simulation-level mirror of the paper's own mechanism:
+// the backup reconstructs the primary's state not by copying arbitrary
+// mid-flight internals but by replaying the same deterministic inputs
+// from a known point — here applied to the entire cluster.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/session"
+	"repro/internal/sim"
+	"repro/internal/snapshot"
+)
+
+// saveMagic opens a session checkpoint blob.
+const saveMagic = "HFTSAVE1"
+
+// ErrSnapshotVersion reports a snapshot written by a different format
+// version of this package (test with errors.Is).
+var ErrSnapshotVersion = snapshot.ErrVersion
+
+// ErrSnapshotCorrupt reports a snapshot that fails structural
+// validation: bad magic, checksum mismatch, or truncation.
+var ErrSnapshotCorrupt = snapshot.ErrCorrupt
+
+// pauseKind distinguishes the replayable pause coordinates.
+type pauseKind uint8
+
+const (
+	// pauseAtTime: the session was paused at an exact virtual time
+	// (RunFor's bound).
+	pauseAtTime pauseKind = iota
+	// pauseAtCommit: the session was paused at a cumulative
+	// epoch-commit ordinal (RunUntil / cancelled Wait).
+	pauseAtCommit
+	// pauseAtDone: the session ran to completion.
+	pauseAtDone
+)
+
+// pausePoint is one replayable pause position.
+type pausePoint struct {
+	kind    pauseKind
+	time    Duration
+	commits uint64
+}
+
+// actionKind enumerates journalled live perturbations.
+type actionKind uint8
+
+const (
+	actFailPrimary actionKind = iota
+	actFailBackup
+	actSetLink
+	actAddBackup
+)
+
+// journalEntry is one live perturbation and the pause it was applied at.
+type journalEntry struct {
+	pause   pausePoint
+	action  actionKind
+	backup  int         // actFailBackup
+	quality LinkQuality // actSetLink
+	link    LinkParams  // actAddBackup
+}
+
+// Save serializes the session to w: configuration, perturbation
+// journal, current position, and a complete verified-on-restore state
+// capture. The session itself is unaffected (capturing is read-only)
+// and remains usable.
+//
+// Save requires a serializable configuration: sessions using a custom
+// Program or DiskBackend cannot be checkpointed (an interface
+// implementation cannot travel through a file); any LinkModel is fine —
+// its resolved LinkParams are the complete channel behavior.
+func (c *Cluster) Save(w io.Writer) error {
+	if c.closed {
+		return ErrClosed
+	}
+	if c.opts.program != nil {
+		return errors.New("hft: Save: sessions with a custom Program are not serializable")
+	}
+	if c.opts.diskBackend != nil {
+		return errors.New("hft: Save: sessions with a custom DiskBackend are not serializable")
+	}
+	if c.opts.bare {
+		return errors.New("hft: Save: bare baseline sessions are not checkpointable")
+	}
+
+	sw := snapshot.NewWriter(saveMagic)
+	c.putConfig(sw)
+	sw.U32(uint32(len(c.journal)))
+	for _, e := range c.journal {
+		putPause(sw, e.pause)
+		sw.U8(uint8(e.action))
+		sw.Int(e.backup)
+		sw.I64(e.quality.BitsPerSecond)
+		sw.I64(int64(e.quality.Latency))
+		sw.Int(e.quality.MTU)
+		sw.Int(e.quality.DropNext)
+		putLinkParams(sw, e.link)
+	}
+	putPause(sw, c.pause)
+
+	sections := c.eng.CaptureSections()
+	sw.U32(uint32(len(sections)))
+	for _, s := range sections {
+		sw.String(s.Name)
+		sw.Bytes(s.Data)
+	}
+
+	_, err := w.Write(sw.Finish())
+	return err
+}
+
+// putConfig serializes the resolved cluster options.
+func (c *Cluster) putConfig(w *snapshot.Writer) {
+	o := c.opts
+	w.I64(o.seed)
+	wl := o.workload
+	w.U32(wl.Kind)
+	w.U32(wl.Iters)
+	w.U32(wl.Ops)
+	w.U32(wl.Seed)
+	w.U32(wl.BlockMask)
+	w.U32(wl.BlockBase)
+	w.U32(wl.Count)
+	w.U32(wl.PreOp)
+	w.U32(wl.PrivOps)
+	w.U64(o.epochLength)
+	w.U8(uint8(o.protocol))
+	putLinkParams(w, o.link.LinkParams())
+	w.I64(int64(o.detectTimeout))
+	w.Int(o.backups)
+	w.I64(int64(o.failPrimaryAt))
+	idxs := make([]int, 0, len(o.failBackupAt))
+	for i := range o.failBackupAt {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	w.U32(uint32(len(idxs)))
+	for _, i := range idxs {
+		w.Int(i)
+		w.I64(int64(o.failBackupAt[i]))
+	}
+	w.I64(int64(o.diskRead))
+	w.I64(int64(o.diskWrite))
+}
+
+// configFrom rebuilds resolved cluster options from a snapshot.
+func configFrom(r *snapshot.Reader) *clusterOptions {
+	o := &clusterOptions{}
+	o.seed = r.I64()
+	o.workload.Kind = r.U32()
+	o.workload.Iters = r.U32()
+	o.workload.Ops = r.U32()
+	o.workload.Seed = r.U32()
+	o.workload.BlockMask = r.U32()
+	o.workload.BlockBase = r.U32()
+	o.workload.Count = r.U32()
+	o.workload.PreOp = r.U32()
+	o.workload.PrivOps = r.U32()
+	o.haveWork = true
+	o.epochLength = r.U64()
+	o.protocol = Protocol(r.U8())
+	o.link = linkParams(r)
+	o.detectTimeout = Duration(r.I64())
+	o.backups = r.Int()
+	o.failPrimaryAt = Duration(r.I64())
+	n := int(r.U32())
+	for i := 0; i < n && r.Err() == nil; i++ {
+		if o.failBackupAt == nil {
+			o.failBackupAt = map[int]Duration{}
+		}
+		idx := r.Int()
+		o.failBackupAt[idx] = Duration(r.I64())
+	}
+	o.diskRead = Duration(r.I64())
+	o.diskWrite = Duration(r.I64())
+	return o
+}
+
+func putLinkParams(w *snapshot.Writer, p LinkParams) {
+	w.String(p.Name)
+	w.I64(p.BitsPerSecond)
+	w.I64(int64(p.Latency))
+	w.Int(p.MTU)
+	w.Int(p.FrameOverhead)
+	w.Int(p.PerMessageFrames)
+	w.I64(int64(p.SetupTime))
+}
+
+func linkParams(r *snapshot.Reader) LinkParams {
+	return LinkParams{
+		Name:             r.String(),
+		BitsPerSecond:    r.I64(),
+		Latency:          Duration(r.I64()),
+		MTU:              r.Int(),
+		FrameOverhead:    r.Int(),
+		PerMessageFrames: r.Int(),
+		SetupTime:        Duration(r.I64()),
+	}
+}
+
+func putPause(w *snapshot.Writer, p pausePoint) {
+	w.U8(uint8(p.kind))
+	w.I64(int64(p.time))
+	w.U64(p.commits)
+}
+
+func pause(r *snapshot.Reader) pausePoint {
+	return pausePoint{
+		kind:    pauseKind(r.U8()),
+		time:    Duration(r.I64()),
+		commits: r.U64(),
+	}
+}
+
+// RestoreOption configures Restore.
+type RestoreOption func(*restoreOptions) error
+
+type restoreOptions struct {
+	verify bool
+}
+
+// RestoreWithoutVerify skips the post-replay state verification. The
+// replayed session is still deterministic; skipping only removes the
+// byte-for-byte comparison against the snapshot's embedded capture
+// (useful when restoring snapshots at scale and the capture has been
+// verified once).
+func RestoreWithoutVerify() RestoreOption {
+	return func(o *restoreOptions) error {
+		o.verify = false
+		return nil
+	}
+}
+
+// Restore reads a checkpoint written by Save and reconstructs the
+// session: the configuration is rebuilt, the perturbation journal is
+// replayed with each action re-applied at its recorded pause position,
+// and the session is advanced to the saved position. By the
+// determinism contract the result is bit-identical to the original —
+// and unless RestoreWithoutVerify is given, Restore proves it by
+// comparing a fresh state capture against the snapshot's embedded one,
+// section by section, failing loudly on any divergence.
+//
+// Snapshots from a different format version are rejected with an error
+// wrapping ErrSnapshotVersion; structurally invalid data with one
+// wrapping ErrSnapshotCorrupt. The returned cluster is live: it can be
+// advanced, perturbed, observed and saved again.
+func Restore(r io.Reader, opts ...RestoreOption) (*Cluster, error) {
+	ro := restoreOptions{verify: true}
+	for _, opt := range opts {
+		if opt == nil {
+			return nil, errors.New("hft: nil RestoreOption")
+		}
+		if err := opt(&ro); err != nil {
+			return nil, err
+		}
+	}
+	blob, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("hft: Restore: %w", err)
+	}
+	sr, err := snapshot.NewReader(blob, saveMagic)
+	if err != nil {
+		return nil, fmt.Errorf("hft: Restore: %w", err)
+	}
+
+	o := configFrom(sr)
+	nj := int(sr.U32())
+	var journal []journalEntry
+	for i := 0; i < nj && sr.Err() == nil; i++ {
+		var e journalEntry
+		e.pause = pause(sr)
+		e.action = actionKind(sr.U8())
+		e.backup = sr.Int()
+		e.quality.BitsPerSecond = sr.I64()
+		e.quality.Latency = Duration(sr.I64())
+		e.quality.MTU = sr.Int()
+		e.quality.DropNext = sr.Int()
+		e.link = linkParams(sr)
+		journal = append(journal, e)
+	}
+	final := pause(sr)
+	ns := int(sr.U32())
+	var want []session.Section
+	for i := 0; i < ns && sr.Err() == nil; i++ {
+		want = append(want, session.Section{Name: sr.String(), Data: sr.Bytes()})
+	}
+	if err := sr.Err(); err != nil {
+		return nil, fmt.Errorf("hft: Restore: %w", err)
+	}
+
+	c := newCluster(o)
+	c.journal = journal
+	for i, e := range journal {
+		if err := c.replayTo(e.pause); err != nil {
+			c.Close()
+			return nil, fmt.Errorf("hft: Restore: replaying journal entry %d: %w", i, err)
+		}
+		if err := c.replayAction(e); err != nil {
+			c.Close()
+			return nil, fmt.Errorf("hft: Restore: replaying journal entry %d: %w", i, err)
+		}
+	}
+	if err := c.replayTo(final); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("hft: Restore: %w", err)
+	}
+	c.pause = final
+
+	if ro.verify {
+		got := c.eng.CaptureSections()
+		if err := session.CompareSections(want, got); err != nil {
+			c.Close()
+			return nil, fmt.Errorf("hft: Restore: replayed state diverges from snapshot: %w", err)
+		}
+	}
+	return c, nil
+}
+
+// replayTo advances the restored session to a recorded pause position.
+func (c *Cluster) replayTo(p pausePoint) error {
+	switch p.kind {
+	case pauseAtTime:
+		c.eng.RunFor(sim.Time(p.time) - c.eng.Now())
+		return nil
+	case pauseAtCommit:
+		return c.eng.RunUntilCommits(p.commits)
+	case pauseAtDone:
+		return c.eng.RunToCompletion(nil)
+	}
+	return fmt.Errorf("%w: unknown pause kind %d", ErrSnapshotCorrupt, p.kind)
+}
+
+// replayAction re-applies one journalled perturbation (without
+// re-journaling — the entry is already in c.journal).
+func (c *Cluster) replayAction(e journalEntry) error {
+	switch e.action {
+	case actFailPrimary:
+		c.eng.FailPrimary()
+		return nil
+	case actFailBackup:
+		return c.eng.FailBackup(e.backup)
+	case actSetLink:
+		return c.eng.SetLinkQuality(e.quality.quality())
+	case actAddBackup:
+		_, err := c.eng.AddBackup(session.AddBackupConfig{Link: e.link.linkConfig()})
+		return err
+	}
+	return fmt.Errorf("%w: unknown journal action %d", ErrSnapshotCorrupt, e.action)
+}

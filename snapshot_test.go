@@ -1,0 +1,546 @@
+package hft
+
+// Tests for the snapshot/state-transfer subsystem: checkpoint
+// round-trips pinned bit-identical against uninterrupted runs, backup
+// reintegration through failover chains, version/corruption/tamper
+// rejection, and the RunUntil boundary-sampling contract.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"hash/fnv"
+	"strings"
+	"testing"
+)
+
+// finishAndCompare drives both clusters to completion and asserts
+// identical terminal results and snapshots.
+func finishAndCompare(t *testing.T, name string, a, b *Cluster) {
+	t.Helper()
+	ra, errA := a.Wait(context.Background())
+	rb, errB := b.Wait(context.Background())
+	if (errA == nil) != (errB == nil) {
+		t.Fatalf("%s: wait errors differ: %v vs %v", name, errA, errB)
+	}
+	if errA != nil {
+		t.Fatalf("%s: wait: %v", name, errA)
+	}
+	if ra != rb {
+		t.Fatalf("%s: results differ:\n  a: %+v\n  b: %+v", name, ra, rb)
+	}
+	if sa, sb := a.Snapshot(), b.Snapshot(); sa != sb {
+		t.Fatalf("%s: final snapshots differ:\n  a: %+v\n  b: %+v", name, sa, sb)
+	}
+}
+
+// TestSaveRestoreRoundTrip checkpoints a session mid-run — after live
+// perturbations — and pins the restored session's remaining execution
+// bit-identical to (a) the original continuing past its Save and (b) a
+// fresh run that never snapshotted, for both protocols and both links.
+func TestSaveRestoreRoundTrip(t *testing.T) {
+	cases := []struct {
+		name  string
+		proto Protocol
+		link  LinkModel
+	}{
+		{"old-ethernet", ProtocolOld, Ethernet10()},
+		{"new-ethernet", ProtocolNew, Ethernet10()},
+		{"old-atm", ProtocolOld, ATM155()},
+		{"new-atm", ProtocolNew, ATM155()},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			mk := func() *Cluster {
+				c, err := NewCluster(
+					WithWorkload(DiskWrite(4, 8192)),
+					WithEpochLength(4096),
+					WithProtocol(tc.proto),
+					WithLink(tc.link),
+					WithDiskLatency(800*Microsecond, 900*Microsecond),
+				)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return c
+			}
+			drive := func(c *Cluster) {
+				if _, err := c.RunFor(8 * Millisecond); err != nil {
+					t.Fatal(err)
+				}
+				if err := c.SetLinkQuality(LinkQuality{BitsPerSecond: 4_000_000}); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := c.RunUntil(func(s Snapshot) bool { return s.Epochs >= 40 }); err != nil {
+					t.Fatal(err)
+				}
+				c.FailPrimary()
+			}
+
+			orig := mk()
+			defer orig.Close()
+			drive(orig)
+
+			var buf bytes.Buffer
+			if err := orig.Save(&buf); err != nil {
+				t.Fatalf("save: %v", err)
+			}
+
+			restored, err := Restore(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("restore: %v", err)
+			}
+			defer restored.Close()
+			finishAndCompare(t, "restored-vs-original", orig, restored)
+
+			fresh := mk()
+			defer fresh.Close()
+			drive(fresh)
+			finishAndCompare(t, "fresh-vs-original", orig, fresh)
+		})
+	}
+}
+
+// TestSaveRestoreAddBackupJournal checkpoints AFTER a full
+// fail -> promote -> reintegrate chain; the restored session must
+// replay the reintegration (including the state transfer) and continue
+// bit-identically.
+func TestSaveRestoreAddBackupJournal(t *testing.T) {
+	mk := func() *Cluster {
+		c, err := NewCluster(
+			WithWorkload(DiskWrite(5, 8192)),
+			WithDiskLatency(800*Microsecond, 900*Microsecond),
+			WithProtocol(ProtocolNew),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	drive := func(c *Cluster) {
+		if _, err := c.RunFor(6 * Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		c.FailPrimary()
+		if _, err := c.RunUntil(func(s Snapshot) bool { return s.Promoted }); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.AddBackup(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.RunFor(4 * Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	orig := mk()
+	defer orig.Close()
+	drive(orig)
+
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	restored, err := Restore(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	defer restored.Close()
+	finishAndCompare(t, "restored-vs-original", orig, restored)
+}
+
+// TestSaveRestoreCompleted checkpoints a finished session; the restored
+// session must report the identical terminal result.
+func TestSaveRestoreCompleted(t *testing.T) {
+	c, err := NewCluster(WithWorkload(CPUIntensive(5000)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	res, err := c.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	restored, err := Restore(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	defer restored.Close()
+	res2, err := restored.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != res2 {
+		t.Fatalf("results differ:\n  original: %+v\n  restored: %+v", res, res2)
+	}
+}
+
+// saveBlob produces a checkpoint of a small mid-run session.
+func saveBlob(t *testing.T) []byte {
+	t.Helper()
+	c, err := NewCluster(WithWorkload(CPUIntensive(20000)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.RunFor(5 * Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// reseal recomputes the checksum trailer after a deliberate tamper, so
+// the test reaches the layer under study instead of the checksum gate.
+func reseal(blob []byte) []byte {
+	body := blob[:len(blob)-8]
+	h := fnv.New64a()
+	h.Write(body)
+	sum := h.Sum64()
+	out := append([]byte(nil), body...)
+	for i := 0; i < 8; i++ {
+		out = append(out, byte(sum>>(8*i)))
+	}
+	return out
+}
+
+// TestRestoreVersionMismatch pins the version gate: a snapshot from a
+// different format version is rejected with ErrSnapshotVersion.
+func TestRestoreVersionMismatch(t *testing.T) {
+	blob := saveBlob(t)
+	// The version word sits right after the 8-byte magic.
+	blob[8]++
+	_, err := Restore(bytes.NewReader(reseal(blob)))
+	if !errors.Is(err, ErrSnapshotVersion) {
+		t.Fatalf("restore of future-version snapshot: got %v, want ErrSnapshotVersion", err)
+	}
+}
+
+// TestRestoreCorrupt pins the integrity gate: flipped bytes fail the
+// checksum before any state is reconstructed.
+func TestRestoreCorrupt(t *testing.T) {
+	blob := saveBlob(t)
+	blob[len(blob)/2] ^= 0xFF
+	_, err := Restore(bytes.NewReader(blob))
+	if !errors.Is(err, ErrSnapshotCorrupt) {
+		t.Fatalf("restore of corrupted snapshot: got %v, want ErrSnapshotCorrupt", err)
+	}
+	if _, err := Restore(bytes.NewReader(blob[:16])); !errors.Is(err, ErrSnapshotCorrupt) {
+		t.Fatalf("restore of truncated snapshot: got %v, want ErrSnapshotCorrupt", err)
+	}
+}
+
+// TestRestoreVerifyCatchesTamper pins the post-replay verification: a
+// snapshot whose embedded state capture disagrees with the replayed
+// run (here: a resealed tamper deep in the capture section) is
+// rejected, not silently resumed.
+func TestRestoreVerifyCatchesTamper(t *testing.T) {
+	blob := saveBlob(t)
+	// Flip a byte near the end of the blob — inside the last capture
+	// section's payload — and reseal so the checksum gate passes.
+	blob[len(blob)-24] ^= 0x01
+	tampered := reseal(blob)
+	_, err := Restore(bytes.NewReader(tampered))
+	if err == nil {
+		t.Fatal("restore of tampered snapshot succeeded")
+	}
+	if !strings.Contains(err.Error(), "diverges") {
+		t.Fatalf("restore of tampered snapshot: got %v, want state-divergence error", err)
+	}
+	// Verification off: the replayed session is still internally
+	// consistent, so restore succeeds.
+	c, err := Restore(bytes.NewReader(tampered), RestoreWithoutVerify())
+	if err != nil {
+		t.Fatalf("restore without verify: %v", err)
+	}
+	c.Close()
+}
+
+// TestAddBackupHealthy reintegrates a third replica into a HEALTHY
+// running pair: the joiner's digest checks against the live stream
+// must hold from its first epoch (a mismatch panics the divergence
+// tripwire), and the workload result is unchanged.
+func TestAddBackupHealthy(t *testing.T) {
+	w := DiskWrite(4, 8192)
+	bare, err := RunBare(Config{DiskReadLatency: 800 * Microsecond, DiskWriteLatency: 900 * Microsecond}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, proto := range []Protocol{ProtocolOld, ProtocolNew} {
+		c, err := NewCluster(
+			WithWorkload(w),
+			WithProtocol(proto),
+			WithDiskLatency(800*Microsecond, 900*Microsecond),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.RunFor(6 * Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		n, err := c.AddBackup()
+		if err != nil {
+			t.Fatalf("proto %v: AddBackup: %v", proto, err)
+		}
+		if n != 2 {
+			t.Fatalf("proto %v: joined as node %d, want 2", proto, n)
+		}
+		res, err := c.Wait(context.Background())
+		if err != nil {
+			t.Fatalf("proto %v: %v", proto, err)
+		}
+		if res.Checksum != bare.Checksum || res.GuestPanic != 0 {
+			t.Fatalf("proto %v: checksum %#x (bare %#x), panic %#x", proto, res.Checksum, bare.Checksum, res.GuestPanic)
+		}
+		if res.Divergences != 0 {
+			t.Fatalf("proto %v: %d divergences after reintegration", proto, res.Divergences)
+		}
+		if snap := c.Snapshot(); snap.Nodes != 3 {
+			t.Fatalf("proto %v: %d nodes, want 3", proto, snap.Nodes)
+		}
+		c.Close()
+	}
+}
+
+// TestAddBackupRepairChain is the full repair story: primary failstop,
+// promotion, reintegration by state transfer, and a SECOND failstop
+// that only the reintegrated backup survives. The environment result
+// is the bare machine's.
+func TestAddBackupRepairChain(t *testing.T) {
+	w := DiskWrite(6, 8192)
+	bare, err := RunBare(Config{DiskReadLatency: 800 * Microsecond, DiskWriteLatency: 900 * Microsecond}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := NewCluster(
+		WithWorkload(w),
+		WithProtocol(ProtocolNew),
+		WithDiskLatency(800*Microsecond, 900*Microsecond),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	events := c.Events()
+	var added []Event
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for ev := range events {
+			if ev.Kind == EventBackupAdded {
+				added = append(added, ev)
+			}
+		}
+	}()
+
+	if _, err := c.RunFor(5 * Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	c.FailPrimary()
+	snap, err := c.RunUntil(func(s Snapshot) bool { return s.Promoted })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snap.Promoted || snap.Acting != 1 {
+		t.Fatalf("after failstop: promoted=%v acting=%d", snap.Promoted, snap.Acting)
+	}
+
+	n, err := c.AddBackup()
+	if err != nil {
+		t.Fatalf("AddBackup: %v", err)
+	}
+	if n != 2 {
+		t.Fatalf("joined as node %d, want 2", n)
+	}
+	// Let the state transfer land (a ~25 KB image takes ~20 ms on the
+	// 10 Mbps link); killing the source mid-flight would lose the image
+	// and the reintegration with it.
+	if _, err := c.RunFor(40 * Millisecond); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second failure: kill the acting (promoted) backup. Only the
+	// reintegrated node can finish the workload.
+	if err := c.FailBackup(1); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Checksum != bare.Checksum || res.GuestPanic != 0 {
+		t.Fatalf("checksum %#x (bare %#x), panic %#x", res.Checksum, bare.Checksum, res.GuestPanic)
+	}
+	final := c.Snapshot()
+	if final.Acting != 2 {
+		t.Fatalf("acting node %d after second failstop, want the reintegrated node 2", final.Acting)
+	}
+	c.Close()
+	<-done
+	if len(added) != 1 || added[0].Node != 2 || added[0].TransferBytes == 0 {
+		t.Fatalf("backup-added events: %+v", added)
+	}
+}
+
+// TestAddBackupTransferCharged pins that the state transfer is paid in
+// SIMULATED time: the joiner starts executing only once the image has
+// crossed the link and trails the coordinator by the transfer
+// duration, so the session over a 100x slower transfer link completes
+// (all replicas done) measurably later.
+func TestAddBackupTransferCharged(t *testing.T) {
+	run := func(link LinkModel) Duration {
+		c, err := NewCluster(
+			WithWorkload(CPUIntensive(60000)),
+			WithProtocol(ProtocolOld),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		if _, err := c.RunFor(4 * Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		var opts []AddBackupOption
+		if link != nil {
+			opts = append(opts, AddBackupLink(link))
+		}
+		if _, err := c.AddBackup(opts...); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		return c.Snapshot().Now
+	}
+
+	fast := run(nil) // cluster default: 10 Mbps Ethernet
+	slow := run(LinkParams{Name: "serial", BitsPerSecond: 100_000})
+	if slow <= fast {
+		t.Fatalf("slow transfer link finished at %v, fast at %v — transfer time not charged", slow, fast)
+	}
+}
+
+// TestAddBackupLossyLink reintegrates a backup and then PARTITIONS the
+// mesh (every future message dropped). Every replica must detect the
+// silence through its cascaded timeout and finish the workload
+// independently — including the freshly transferred joiner, whose
+// failure-detection path never ran before the partition.
+func TestAddBackupLossyLink(t *testing.T) {
+	w := CPUIntensive(60000)
+	bare, err := RunBare(Config{}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCluster(WithWorkload(w), WithProtocol(ProtocolNew))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.RunFor(4 * Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	c.FailPrimary()
+	if _, err := c.RunUntil(func(s Snapshot) bool { return s.Promoted }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddBackup(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RunFor(4 * Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	// Total partition: every message on every link from now on is lost.
+	if err := c.SetLinkQuality(LinkQuality{DropNext: 1 << 30}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Checksum != bare.Checksum || res.GuestPanic != 0 {
+		t.Fatalf("checksum %#x (bare %#x), panic %#x", res.Checksum, bare.Checksum, res.GuestPanic)
+	}
+	if res.Divergences != 0 {
+		t.Fatalf("%d divergences", res.Divergences)
+	}
+}
+
+// TestSaveRejectsCustomPlugins pins that non-serializable sessions are
+// refused up front.
+func TestSaveRejectsCustomPlugins(t *testing.T) {
+	c, err := NewCluster(WithWorkload(CPUIntensive(1000)), WithDiskBackend(zeroBackend{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Save(&bytes.Buffer{}); err == nil {
+		t.Fatal("Save accepted a session with a custom DiskBackend")
+	}
+}
+
+// zeroBackend is a trivial custom DiskBackend for the rejection test.
+type zeroBackend struct{}
+
+func (zeroBackend) Block(b uint32) []byte { return make([]byte, 8192) }
+
+// TestRunUntilBoundarySampling pins the RunUntil observation contract:
+// a predicate that is true only within a window narrower than one
+// epoch — between the protocol's commit points — is never observed,
+// and the session runs on to completion.
+func TestRunUntilBoundarySampling(t *testing.T) {
+	c, err := NewCluster(
+		WithWorkload(CPUIntensive(20000)),
+		WithEpochLength(32768), // one epoch spans ~0.7 ms of virtual time
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// The window (10us, 100us) closes long before the first epoch
+	// commit: the condition is true for an interval of virtual time,
+	// but RunUntil samples only at commits, so it never fires.
+	fired := false
+	snap, err := c.RunUntil(func(s Snapshot) bool {
+		inWindow := s.Now > 10*Microsecond && s.Now < 100*Microsecond
+		if inWindow {
+			fired = true
+		}
+		return inWindow
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatalf("predicate observed inside an epoch (Now=%v) — boundary sampling broken", snap.Now)
+	}
+	if !snap.Done {
+		t.Fatalf("session paused at %v without the predicate holding", snap.Now)
+	}
+
+	// The same condition phrased monotonically IS caught, at the first
+	// commit at or after it becomes true.
+	c2, err := NewCluster(WithWorkload(CPUIntensive(20000)), WithEpochLength(32768))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	snap2, err := c2.RunUntil(func(s Snapshot) bool { return s.Now > 10*Microsecond })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap2.Done || snap2.Epochs == 0 {
+		t.Fatalf("monotonic predicate missed: %+v", snap2)
+	}
+}
