@@ -64,6 +64,8 @@ func newCluster(o *clusterOptions) *Cluster {
 		Program:       o.sessionProgram(),
 		Bare:          o.bare,
 		Disk:          o.diskConfig(),
+		ExtraDisks:    o.extraDiskConfigs(),
+		Terminal:      o.terminalScript(),
 		EpochLength:   o.epochLength,
 		Protocol:      o.protocol,
 		Link:          o.link.LinkParams().linkConfig(),
@@ -470,6 +472,10 @@ const (
 	// state transfer (Node is its index, TransferBytes the image size
 	// shipped through the link).
 	EventBackupAdded
+	// EventTerminalInput: the environment delivered scripted terminal
+	// input to the shared console (TerminalData returns the bytes;
+	// Device reports "console").
+	EventTerminalInput
 )
 
 // String names the kind.
@@ -493,6 +499,8 @@ func (k EventKind) String() string {
 		return "completed"
 	case EventBackupAdded:
 		return "backup-added"
+	case EventTerminalInput:
+		return "terminal-input"
 	}
 	return fmt.Sprintf("EventKind(%d)", int(k))
 }
@@ -539,7 +547,22 @@ type Event struct {
 	// TransferBytes is the state-transfer image size of a backup-added
 	// event.
 	TransferBytes uint64
+
+	// dev tags device-scoped events with the stable device identifier
+	// ("disk0", "disk1", "console"); see Device.
+	dev string
+	// termData carries a terminal-input event's bytes; see TerminalData.
+	termData string
 }
+
+// Device returns the stable device identifier an event concerns:
+// "disk0", "disk1", ... for EventDiskOp, "console" for
+// EventTerminalInput, and "" for events that are not device-scoped.
+func (e Event) Device() string { return e.dev }
+
+// TerminalData returns the input bytes of an EventTerminalInput ("" for
+// other kinds).
+func (e Event) TerminalData() string { return e.termData }
 
 // String renders the event compactly.
 func (e Event) String() string {
@@ -566,6 +589,8 @@ func (e Event) String() string {
 		return fmt.Sprintf("[%v] workload completed (acting node%d)", e.Time, e.Node)
 	case EventBackupAdded:
 		return fmt.Sprintf("[%v] node%d JOINED after epoch %d (%d-byte state transfer)", e.Time, e.Node, e.Epoch, e.TransferBytes)
+	case EventTerminalInput:
+		return fmt.Sprintf("[%v] terminal input %q", e.Time, e.termData)
 	}
 	return fmt.Sprintf("[%v] %s", e.Time, e.Kind)
 }
@@ -604,11 +629,16 @@ func publicEvent(ev session.Event) Event {
 			Uncertain: ev.IO.Uncertain,
 			Committed: ev.IO.Committed,
 		}
+		out.dev = fmt.Sprintf("disk%d", ev.Disk)
 	case session.EventCompleted:
 		out.Kind = EventCompleted
 	case session.EventBackupAdded:
 		out.Kind = EventBackupAdded
 		out.TransferBytes = ev.Bytes
+	case session.EventTerminalInput:
+		out.Kind = EventTerminalInput
+		out.dev = "console"
+		out.termData = string(ev.Data)
 	}
 	return out
 }

@@ -99,6 +99,20 @@ func DiskRead(ops, count uint32) Workload {
 	return w
 }
 
+// TwoDiskCopy is the multi-disk benchmark the generic device layer
+// enables: per operation the guest generates a block, writes it to
+// disk 0, reads it back, and copies it to disk 1 — two adapters, one
+// outstanding operation at a time. Requires WithDisk (the cluster must
+// carry a second disk).
+func TwoDiskCopy(ops, count uint32) Workload { return guest.TwoDiskCopy(ops, count) }
+
+// TerminalEcho is the terminal-input benchmark: the guest consumes the
+// console's scripted input (WithTerminal) and echoes every byte back,
+// halting on TerminalEOT. Under replication, input reaches the guest as
+// §2 interrupts at epoch boundaries; transcripts equal bare runs byte
+// for byte, including across failovers.
+func TerminalEcho() Workload { return guest.TerminalEcho() }
+
 // Link identifies a built-in hypervisor-to-hypervisor channel in the
 // legacy Config API. New code plugs a LinkModel into WithLink instead.
 type Link string

@@ -48,7 +48,18 @@ const (
 	// under constant pressure — the workload used to demonstrate the
 	// §3.2 TLB-nondeterminism hazard and the takeover fix.
 	WorkloadMemory uint32 = 4
+	// WorkloadCopy is the two-disk copy benchmark: per operation, write
+	// a generated block to disk 0, read it back, and write it to disk 1
+	// — exercising two adapters on the generic device layer.
+	WorkloadCopy uint32 = 5
+	// WorkloadTermEcho is the terminal echo benchmark: consume scripted
+	// terminal input (delivered at epoch boundaries under replication)
+	// and echo every byte to the console until EOT (0x04) arrives.
+	WorkloadTermEcho uint32 = 6
 )
+
+// TermEOT is the byte that ends the terminal echo workload.
+const TermEOT byte = 0x04
 
 // ABI addresses: the harness writes parameters here after loading the
 // kernel image and reads results after HALT. They sit in page 0, below
@@ -144,6 +155,25 @@ func DiskRead(ops uint32, count uint32) Workload {
 		Kind: WorkloadDiskRead, Ops: ops, Seed: 0x5EED,
 		BlockMask: 1023, BlockBase: 16, Count: count,
 	}
+}
+
+// TwoDiskCopy returns the two-disk copy benchmark: ops sequential
+// blocks (from BlockBase) written to disk 0, read back, and copied to
+// disk 1, count bytes each. Requires a platform with at least two
+// disks.
+func TwoDiskCopy(ops uint32, count uint32) Workload {
+	return Workload{
+		Kind: WorkloadCopy, Ops: ops, Seed: 0x5EED,
+		BlockBase: 16, Count: count,
+	}
+}
+
+// TerminalEcho returns the terminal echo benchmark. The guest consumes
+// the console's scripted input and echoes each byte back to the console
+// until TermEOT arrives; the input script must therefore end with
+// TermEOT or the guest never halts.
+func TerminalEcho() Workload {
+	return Workload{Kind: WorkloadTermEcho}
 }
 
 // Configure pokes the workload parameters into the machine's ABI block.

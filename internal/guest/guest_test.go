@@ -4,7 +4,6 @@ import (
 	"strings"
 	"testing"
 
-	"repro/internal/hypervisor"
 	"repro/internal/platform"
 	"repro/internal/scsi"
 	"repro/internal/sim"
@@ -46,9 +45,7 @@ func runVirt(t *testing.T, w Workload, cfg platform.Config) (*platform.Single, R
 	k := sim.NewKernel(1)
 	t.Cleanup(k.Shutdown)
 	s := platform.NewSingle(k, cfg)
-	hv := hypervisor.New(s.Node.M, cfg.Hypervisor)
-	hv.AttachAdapter(platform.AdapterBase, platform.DiskIRQLine)
-	hv.AttachConsole(platform.ConsoleBase)
+	hv := s.Node.HV
 	hv.SetIOActive(true)
 	p := Program()
 	hv.Boot(p.Origin, p.Words, 0)
@@ -96,7 +93,7 @@ func TestBareCPUWorkload(t *testing.T) {
 	if res.Checksum == 0 {
 		t.Error("zero checksum")
 	}
-	if out := s.Node.Console.Output(); out != "C\n" {
+	if out := s.Console.Output(); out != "C\n" {
 		t.Errorf("console = %q, want C\\n", out)
 	}
 	if res.Ticks == 0 {
@@ -116,7 +113,7 @@ func TestBareDiskWriteWorkload(t *testing.T) {
 	if res.Panic != 0 {
 		t.Fatalf("guest panic %#x", res.Panic)
 	}
-	if out := s.Node.Console.Output(); out != "W\n" {
+	if out := s.Console.Output(); out != "W\n" {
 		t.Errorf("console = %q", out)
 	}
 	if got := len(s.Disk.Log); got != 5 {
@@ -137,7 +134,7 @@ func TestBareDiskReadWorkload(t *testing.T) {
 	if res.Panic != 0 {
 		t.Fatalf("guest panic %#x", res.Panic)
 	}
-	if out := s.Node.Console.Output(); out != "R\n" {
+	if out := s.Console.Output(); out != "R\n" {
 		t.Errorf("console = %q", out)
 	}
 	if got := len(s.Disk.Log); got != 6 {
@@ -162,7 +159,7 @@ func TestVirtualizedMatchesBare(t *testing.T) {
 		if rBare.Checksum != rVirt.Checksum {
 			t.Errorf("kind %d: checksum bare %#x vs virt %#x", w.Kind, rBare.Checksum, rVirt.Checksum)
 		}
-		if a, b := sBare.Node.Console.Output(), sVirt.Node.Console.Output(); a != b {
+		if a, b := sBare.Console.Output(), sVirt.Console.Output(); a != b {
 			t.Errorf("kind %d: console %q vs %q", w.Kind, a, b)
 		}
 		if a, b := len(sBare.Disk.Log), len(sVirt.Disk.Log); a != b {
@@ -182,9 +179,7 @@ func TestTLBTakeoverInvisible(t *testing.T) {
 	k := sim.NewKernel(1)
 	defer k.Shutdown()
 	s := platform.NewSingle(k, cfg)
-	hv := hypervisor.New(s.Node.M, cfg.Hypervisor)
-	hv.AttachAdapter(platform.AdapterBase, platform.DiskIRQLine)
-	hv.AttachConsole(platform.ConsoleBase)
+	hv := s.Node.HV
 	hv.SetIOActive(true)
 	p := Program()
 	hv.Boot(p.Origin, p.Words, 0)

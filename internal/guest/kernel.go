@@ -23,8 +23,9 @@ const KernelSource = `
 	.equ PTBASE,    0x10000
 	.equ STACKTOP,  0x20000
 	.equ IOBUF,     0x30000
-	.equ DEVVA,     0x00F00000      ; SCSI adapter (virtual window)
+	.equ DEVVA,     0x00F00000      ; SCSI adapter, disk 0 (virtual window)
 	.equ CONSVA,    0x00F01000      ; console (virtual window)
+	.equ DEVVA2,    0x00F02000      ; SCSI adapter, disk 1 (virtual window)
 	.equ TICKCYC,   25000           ; interval-timer reload
 
 	; ABI block (harness <-> kernel), page 0
@@ -113,8 +114,8 @@ pt_dev:
 	; ---- clock: arm the interval timer, unmask timer+disk lines ----
 	li   r3, TICKCYC
 	mtctl itmr, r3
-	li   r3, 3               ; lines 0 (timer) and 1 (disk)
-	mtctl eiem, r3
+	li   r3, 0xB             ; lines 0 (timer), 1 (disk 0), 3 (disk 1);
+	mtctl eiem, r3           ; line 2 (terminal) is polled, not unmasked
 
 	; ---- enter virtual mode with interrupts enabled ----
 	li   r3, 0xC             ; PSW.I | PSW.V (virtual PL 0)
@@ -149,7 +150,7 @@ kmain:
 	beq  r10, r3, wl_read
 	li   r3, 4
 	beq  r10, r3, wl_mem
-	break 20                 ; unknown workload
+	b    wl_ext              ; device-layer workloads (5, 6) dispatch below
 
 ; ------------------------------------------------------------
 ; Workload 1: CPU-intensive (§4.1, Dhrystone-like)
@@ -389,6 +390,120 @@ putc:
 	ret
 
 ; ------------------------------------------------------------
+; Device-layer workloads (appended: every label above keeps its
+; historical address, so the pinned workloads 1-4 execute bit-identical
+; instruction streams).
+; ------------------------------------------------------------
+wl_ext:
+	li   r3, 5
+	beq  r10, r3, wl_copy
+	li   r3, 6
+	beq  r10, r3, wl_echo
+	break 20                 ; unknown workload
+
+; ------------------------------------------------------------
+; Workload 5: two-disk copy
+;   Per operation: generate a block, write it to disk 0, read it back,
+;   fold a checksum, and write the data to disk 1 — both adapters on
+;   the generic device bus, one outstanding operation at a time.
+; ------------------------------------------------------------
+wl_copy:
+	ldw  r10, ABI_OPS(r0)
+	ldw  r12, ABI_SEED(r0)
+	li   r11, 0              ; checksum
+	li   r16, 0              ; block index
+	beq  r10, r0, cp_done
+cp_iter:
+	call lcg_next
+	ldw  r18, ABI_BASE(r0)
+	add  r18, r18, r16
+	; generate this block's contents
+	li   r15, IOBUF
+	stw  r12, 0(r15)
+	stw  r16, 4(r15)
+	; write it to disk 0
+	li   r14, DEVVA
+	li   r19, 2              ; CmdWrite
+	call do_iod
+	; read it back from disk 0
+	li   r14, DEVVA
+	li   r19, 1              ; CmdRead
+	call do_iod
+	; fold the first data word into the checksum
+	ldw  r3, 0(r15)
+	xor  r11, r11, r3
+	slli r3, r11, 5
+	add  r11, r11, r3
+	; copy the data to disk 1
+	li   r14, DEVVA2
+	li   r19, 2              ; CmdWrite
+	call do_iod
+	addi r16, r16, 1
+	addi r10, r10, -1
+	bne  r10, r0, cp_iter
+cp_done:
+	stw  r11, ABI_RESULT(r0)
+	li   r17, '2'
+	call putc
+	b    finish
+
+; ------------------------------------------------------------
+; Workload 6: terminal echo
+;   Poll the console status for delivered input (under the hypervisor
+;   input becomes visible only at epoch boundaries, per the paper's §2
+;   interrupt delivery), echo each byte, halt on EOT (0x04).
+; ------------------------------------------------------------
+wl_echo:
+	li   r11, 0              ; checksum of input consumed
+	li   r13, CONSVA
+echo_loop:
+	ldw  r3, 4(r13)          ; console status
+	andi r3, r3, 2           ; input pending?
+	beq  r3, r0, echo_loop
+	ldw  r16, 8(r13)         ; pop the next input byte
+	li   r3, 4               ; EOT?
+	beq  r16, r3, echo_done
+	mov  r17, r16
+	call putc                ; echo it
+	li   r13, CONSVA
+	li   r3, 31              ; checksum = checksum*31 + byte
+	mul  r11, r11, r3
+	add  r11, r11, r16
+	b    echo_loop
+echo_done:
+	stw  r11, ABI_RESULT(r0)
+	b    finish
+
+; ------------------------------------------------------------
+; do_iod: disk driver against the device window in r14 (the multi-disk
+; twin of do_io; same interrupt-driven wait and CHECK_CONDITION retry).
+;   in: r14 = device window VA, r18 = block, r19 = command, r15 = buffer
+;   clobbers r3, r4
+; ------------------------------------------------------------
+do_iod:
+iod_retry:
+	stw  r19, 0(r14)         ; cmd
+	stw  r18, 4(r14)         ; block
+	stw  r15, 8(r14)         ; DMA address
+	ldw  r3, ABI_COUNT(r0)
+	stw  r3, 12(r14)         ; count
+	stw  r3, 20(r14)         ; doorbell
+iod_spin:
+	ldw  r3, IOFLAG(r0)
+	beq  r3, r0, iod_spin
+	stw  r0, IOFLAG(r0)
+	ldw  r3, 16(r14)         ; status
+	li   r4, 0xFFFFFFFF
+	stw  r4, 16(r14)         ; write-1-to-clear
+	andi r4, r3, 4           ; StatusUncertain?
+	bne  r4, r0, iod_retry
+	andi r4, r3, 8           ; StatusError?
+	bne  r4, r0, iod_err
+	ret
+iod_err:
+	break 13
+
+; ------------------------------------------------------------
 ; Interruption vectors (32 bytes per slot). Handlers may use ONLY
 ; r20..r27. They run with translation off; all data they touch is
 ; identity-mapped.
@@ -480,7 +595,7 @@ irq_handler:
 	li   r22, TICKCYC
 	mtctl itmr, r22
 irq_nodisk_check:
-	andi r21, r20, 2         ; disk?
+	andi r21, r20, 10        ; disk 0 (line 1) or disk 1 (line 3)?
 	beq  r21, r0, irq_done
 	addi r22, r0, 1
 	stw  r22, IOFLAG(r0)

@@ -3,9 +3,9 @@ package hypervisor
 import (
 	"fmt"
 
+	"repro/internal/device"
 	"repro/internal/isa"
 	"repro/internal/machine"
-	"repro/internal/scsi"
 	"repro/internal/sim"
 )
 
@@ -319,87 +319,56 @@ func (hv *Hypervisor) emulateMMIO(in isa.Inst, pa uint32) {
 	}
 }
 
-// mmioLoad serves a guest MMIO load from VIRTUAL device state. Virtual
-// adapter registers evolve identically on primary and backup, so loads
-// are deterministic and need no forwarding.
+// mmioLoad serves a guest MMIO load from VIRTUAL device state. Shadow
+// registers evolve identically on primary and backup (guest stores plus
+// epoch-boundary completion application), so loads are deterministic
+// and need no forwarding.
 func (hv *Hypervisor) mmioLoad(off uint32) uint32 {
-	for base, va := range hv.adapters {
-		if off >= base && off-base < scsi.AdapterWindow {
-			switch off - base {
-			case scsi.RegCmd:
-				return va.cmd
-			case scsi.RegBlock:
-				return va.block
-			case scsi.RegAddr:
-				return va.addr
-			case scsi.RegCount:
-				return va.count
-			case scsi.RegStatus:
-				return va.status
-			case scsi.RegInfo:
-				return va.info
-			default:
-				return 0
-			}
-		}
-	}
-	if c := hv.console; c != nil && off >= c.base && off-c.base < 0x10 {
-		if off-c.base == 0x4 { // console status: always ready
-			return 1
-		}
-		return 0
+	if d := hv.devAt(off); d != nil {
+		return d.sh.Load(off - d.win.Base)
 	}
 	return 0
 }
 
-// mmioStore serves a guest MMIO store: updates virtual device state and,
-// when I/O is active (primary / promoted backup), forwards the effect to
-// real hardware. On the backup, output is suppressed (§2.2 case i).
+// mmioStore serves a guest MMIO store: updates virtual device state
+// and, when I/O is active (primary / promoted backup), forwards the
+// effect to real hardware. On the backup, environment effects are
+// suppressed (§2.2 case i) — output stores are additionally recorded so
+// a promotion can re-emit the failover epoch's output exactly once.
 func (hv *Hypervisor) mmioStore(off uint32, v uint32) {
-	m := hv.M
-	for base, va := range hv.adapters {
-		if off >= base && off-base < scsi.AdapterWindow {
-			switch off - base {
-			case scsi.RegCmd:
-				va.cmd = v
-			case scsi.RegBlock:
-				va.block = v
-			case scsi.RegAddr:
-				va.addr = v
-			case scsi.RegCount:
-				va.count = v
-			case scsi.RegStatus:
-				va.status &^= v // write-1-to-clear (virtual)
-			case scsi.RegDoorbell:
-				hv.ringDoorbell(va)
-			}
-			return
-		}
-	}
-	if c := hv.console; c != nil && off >= c.base && off-c.base < 0x10 {
-		if off-c.base == 0x0 {
-			if hv.ioActive {
-				// Console output also reveals virtual-machine state to
-				// the environment: the §4.3 I/O gate applies.
-				if hv.OnBeforeIO != nil {
-					hv.OnBeforeIO()
-				}
-				_ = m.Bus.MMIOStore(c.base+0x0, 4, v)
-			} else {
-				hv.Stats.ConsoleSuppressed++
-			}
-		}
+	d := hv.devAt(off)
+	if d == nil {
 		return
+	}
+	rel := off - d.win.Base
+	switch d.sh.Store(rel, v) {
+	case device.EffectOutput:
+		d.outCount++
+		if hv.ioActive {
+			// Output reveals virtual-machine state to the environment:
+			// the §4.3 I/O gate applies.
+			if hv.OnBeforeIO != nil {
+				hv.OnBeforeIO()
+			}
+			d.sh.Output(d.bus, rel, v, d.outCount)
+		} else {
+			hv.Stats.ConsoleSuppressed++
+			hv.suppressed = append(hv.suppressed, suppressedOutput{
+				dev: d, off: rel, val: v, ordinal: d.outCount,
+			})
+		}
+	case device.EffectStart:
+		hv.startIO(d)
 	}
 }
 
-// ringDoorbell starts a virtual I/O operation. The virtual adapter goes
-// busy on both replicas; only an I/O-active hypervisor programs the real
-// hardware. The operation stays "outstanding" until its completion
-// interrupt is DELIVERED (not merely captured) — the set rule P7 covers.
-func (hv *Hypervisor) ringDoorbell(va *vAdapter) {
-	va.status |= scsi.StatusBusy
-	va.outstanding = true
+// startIO starts a virtual I/O operation. The shadow device has already
+// gone busy on both replicas; only an I/O-active hypervisor programs
+// the real hardware. The operation stays "outstanding" until its
+// completion is DELIVERED (not merely captured) — the set rule P7
+// covers.
+func (hv *Hypervisor) startIO(d *shadowDev) {
+	d.outstanding = true
 	if !hv.ioActive {
 		hv.Stats.IOSuppressed++
 		return
@@ -408,14 +377,8 @@ func (hv *Hypervisor) ringDoorbell(va *vAdapter) {
 		hv.OnBeforeIO()
 	}
 	hv.Stats.IOIssued++
-	va.issuedReal = true
-	m := hv.M
-	// Program the real adapter with the virtual registers and start it.
-	_ = m.Bus.MMIOStore(va.base+scsi.RegCmd, 4, va.cmd)
-	_ = m.Bus.MMIOStore(va.base+scsi.RegBlock, 4, va.block)
-	_ = m.Bus.MMIOStore(va.base+scsi.RegAddr, 4, va.addr)
-	_ = m.Bus.MMIOStore(va.base+scsi.RegCount, 4, va.count)
-	_ = m.Bus.MMIOStore(va.base+scsi.RegDoorbell, 4, 1)
+	d.issuedReal = true
+	d.sh.Start(d.bus)
 }
 
 // pollDevices captures completions the real hardware has raised since the
@@ -427,43 +390,33 @@ func (hv *Hypervisor) pollDevices() {
 	if m.CRs[isa.CREIRR] == 0 {
 		return
 	}
-	for _, base := range hv.adapterBases() {
-		va := hv.adapters[base]
-		bit := uint32(1) << (va.line & 31)
+	for _, d := range hv.devs {
+		if d.win.Line == device.NoLine {
+			continue
+		}
+		bit := uint32(1) << (d.win.Line & 31)
 		if m.CRs[isa.CREIRR]&bit == 0 {
 			continue
 		}
 		// Acknowledge the real line.
 		m.WriteCR(isa.CREIRR, bit)
-		if !va.issuedReal {
+		if !d.issuedReal && !(d.win.Unsolicited && hv.ioActive) {
 			// A completion for an operation this hypervisor did not
-			// issue (e.g. leftover from a failed peer): rule P3 — the
-			// backup ignores interrupts destined for its own processor.
+			// issue (e.g. leftover from a failed peer), or unsolicited
+			// input on a non-I/O-active node: rule P3 — the backup
+			// ignores interrupts destined for its own processor (it
+			// receives the records through the epoch stream instead).
 			continue
 		}
-		// Snoop the real adapter.
-		status, err := m.Bus.MMIOLoad(base+scsi.RegStatus, 4)
-		if err != nil {
-			panic(fmt.Sprintf("hypervisor: status snoop: %v", err))
+		c, ok := d.sh.Capture(d.bus, m)
+		if !ok {
+			continue
 		}
-		// Clear real status for the next operation.
-		_ = m.Bus.MMIOStore(base+scsi.RegStatus, 4, 0xFFFFFFFF)
-
 		i := Interrupt{
-			Line:        va.line,
-			AdapterBase: base,
-			Status:      status &^ scsi.StatusBusy,
+			Line:        d.win.Line,
+			Dev:         d.win.Base,
+			Completion:  c,
 			CapturedTOD: m.TOD() | 1, // nonzero marker; ±1 cycle is noise
-		}
-		// For successful reads, capture the environment data (the DMA
-		// contents) so the backup can apply the identical bytes.
-		if va.cmd == scsi.CmdRead && status&scsi.StatusDone != 0 {
-			count := va.count
-			if count == 0 {
-				count = 8192
-			}
-			i.DMAAddr = va.addr
-			i.DMAData = m.ReadBytes(va.addr, int(count))
 		}
 		hv.Stats.Captured++
 		hv.buffered = append(hv.buffered, i)

@@ -29,9 +29,9 @@ package hypervisor
 import (
 	"fmt"
 
+	"repro/internal/device"
 	"repro/internal/isa"
 	"repro/internal/machine"
-	"repro/internal/scsi"
 	"repro/internal/sim"
 )
 
@@ -116,38 +116,34 @@ func (c Config) withDefaults() Config {
 // Interrupt is a buffered virtual interrupt: what the primary's
 // hypervisor forwards in an [E, Int] message (P1) and what both
 // hypervisors deliver to their virtual machines at the end of the epoch.
-// For disk completions it carries the environment data (DMA contents and
-// final adapter status) so that delivery has an identical effect on both
-// virtual machines.
+// For device interrupts it carries the device-generic completion record
+// (environment data and final status) so that delivery has an identical
+// effect on both virtual machines.
 type Interrupt struct {
 	// Line is the external interrupt line (vEIRR bit) to raise.
 	Line uint
 	// Timer marks a virtual interval-timer interrupt synthesized at an
 	// epoch boundary ("interrupts based on Tme", P2/P5/P6).
 	Timer bool
-	// AdapterBase is the MMIO-window offset of the adapter this
-	// completion belongs to; NoAdapter for non-device interrupts.
-	AdapterBase uint32
-	// Status is the adapter status to apply at delivery
-	// (scsi.StatusDone or scsi.StatusUncertain, plus detail).
-	Status uint32
-	// DMAAddr/DMAData carry read data applied to guest memory at
-	// delivery time.
-	DMAAddr uint32
-	DMAData []byte
+	// Dev is the window base of the device this completion belongs to;
+	// NoDevice for non-device interrupts.
+	Dev uint32
+	// Completion is the device-generic completion/environment record
+	// applied to the device's shadow at delivery.
+	device.Completion
 	// CapturedTOD records the capturing hypervisor's clock at capture
 	// time (0 = not tracked), for measuring the paper's delay(EL): the
 	// time a completion waits for its epoch boundary.
 	CapturedTOD uint32
 }
 
-// NoAdapter marks an Interrupt not associated with a device window.
-const NoAdapter uint32 = ^uint32(0)
+// NoDevice marks an Interrupt not associated with a device window.
+const NoDevice uint32 = ^uint32(0)
 
 // WireSize estimates the message size in bytes for the timing model:
-// a fixed header plus any DMA payload (an 8 KiB disk read becomes the
-// paper's 9-frame transfer on the Ethernet model).
-func (i Interrupt) WireSize() int { return 32 + len(i.DMAData) }
+// a fixed header plus any environment payload (an 8 KiB disk read
+// becomes the paper's 9-frame transfer on the Ethernet model).
+func (i Interrupt) WireSize() int { return i.Completion.WireSize() }
 
 // Boundary reports the state at an epoch boundary.
 type Boundary struct {
@@ -194,28 +190,60 @@ func (s Stats) MeanDeliveryDelay() sim.Time {
 	return s.DeliveryDelayTotal / sim.Time(s.DeliveryDelayCount)
 }
 
-// vAdapter is the hypervisor's shadow of one SCSI adapter window: the
-// VIRTUAL adapter the guest programs. Register state evolves identically
-// on primary and backup (guest stores are deterministic; completion
-// status is applied only at interrupt delivery).
-type vAdapter struct {
-	base uint32 // window base within the MMIO space
-	line uint   // the real adapter's interrupt line
+// shadowDev binds one shadow device into the hypervisor: the window
+// descriptor, the device-specific virtual register model, and the
+// device-generic protocol latches the coordination rules operate on.
+type shadowDev struct {
+	win device.Window
+	sh  device.Shadow
+	// bus is the shadow's window onto the node's REAL register bank,
+	// built once at attach (no per-access interface boxing).
+	bus device.Bus
 
-	cmd, block, addr, count, status, info uint32
-
-	// outstanding marks a doorbell whose completion has not yet been
-	// DELIVERED to the guest — the set P7 synthesizes uncertain
-	// interrupts for at failover.
+	// outstanding marks a started operation whose completion has not
+	// yet been DELIVERED to the guest — the set P7 synthesizes
+	// uncertain interrupts for at failover.
 	outstanding bool
 	// issuedReal marks that the outstanding op was forwarded to real
-	// hardware (primary side).
+	// hardware (I/O-active side).
 	issuedReal bool
+	// outCount numbers this device's output stores — a deterministic
+	// function of the guest instruction stream, so every replica
+	// assigns the same ordinals. The environment device dedups on
+	// them when a promoted backup re-emits suppressed output.
+	outCount uint32
 }
 
-// consoleBinding describes the console window.
-type consoleBinding struct {
+// suppressedOutput is one environment-output store a backup suppressed
+// (§2.2 case i) during the CURRENT epoch. The buffer is dropped when
+// the epoch commits (the coordinator provably performed the output) and
+// re-emitted at promotion when it does not (generalized rule P7 for
+// output: the environment deduplicates by ordinal, so re-emission is
+// exactly-once).
+type suppressedOutput struct {
+	dev     *shadowDev
+	off     uint32
+	val     uint32
+	ordinal uint32
+}
+
+// windowBus adapts a device window on the machine's real MMIO bus to
+// the device.Bus interface (window-relative word access).
+type windowBus struct {
+	m    *machine.Machine
 	base uint32
+}
+
+func (b windowBus) Load(off uint32) uint32 {
+	v, err := b.m.Bus.MMIOLoad(b.base+off, 4)
+	if err != nil {
+		panic(fmt.Sprintf("hypervisor: device snoop at %#x: %v", b.base+off, err))
+	}
+	return v
+}
+
+func (b windowBus) Store(off uint32, v uint32) {
+	_ = b.m.Bus.MMIOStore(b.base+off, 4, v)
 }
 
 // Hypervisor virtualizes one machine for one guest.
@@ -249,8 +277,15 @@ type Hypervisor struct {
 	// contents per P4).
 	buffered []Interrupt
 
-	adapters map[uint32]*vAdapter
-	console  *consoleBinding
+	// devs is the ordered device table: every shadow device, sorted by
+	// window base at attach time. The order is immutable after boot, so
+	// delivery, polling and P7 scans iterate it directly — no per-epoch
+	// rebuild or sort.
+	devs []*shadowDev
+
+	// suppressed buffers the current epoch's suppressed environment
+	// output (backup side); see suppressedOutput.
+	suppressed []suppressedOutput
 
 	// OnCapture, when set (primary), is invoked as soon as a device
 	// completion is captured mid-epoch — the replication layer uses it
@@ -284,9 +319,8 @@ type Hypervisor struct {
 // devices); the hypervisor intercepts the guest's access to it.
 func New(m *machine.Machine, cfg Config) *Hypervisor {
 	hv := &Hypervisor{
-		M:        m,
-		cfg:      cfg.withDefaults(),
-		adapters: map[uint32]*vAdapter{},
+		M:   m,
+		cfg: cfg.withDefaults(),
 	}
 	return hv
 }
@@ -294,15 +328,46 @@ func New(m *machine.Machine, cfg Config) *Hypervisor {
 // Config returns the hypervisor's configuration (defaults applied).
 func (hv *Hypervisor) Config() Config { return hv.cfg }
 
-// AttachAdapter registers a SCSI adapter window (base offset within the
-// MMIO space) whose completions arrive on the given interrupt line.
-func (hv *Hypervisor) AttachAdapter(base uint32, line uint) {
-	hv.adapters[base] = &vAdapter{base: base, line: line}
+// AttachDevice registers a shadow device. Devices must be attached
+// before the guest boots (the table is wired identically on every
+// replica and immutable afterwards); the table is kept sorted by window
+// base so every protocol scan sees a fixed deterministic order.
+func (hv *Hypervisor) AttachDevice(win device.Window, sh device.Shadow) {
+	for _, d := range hv.devs {
+		if win.Base < d.win.Base+d.win.Size && d.win.Base < win.Base+win.Size {
+			panic(fmt.Sprintf("hypervisor: device %q [%#x,%#x) overlaps %q [%#x,%#x)",
+				win.ID, win.Base, win.Base+win.Size, d.win.ID, d.win.Base, d.win.Base+d.win.Size))
+		}
+	}
+	nd := &shadowDev{win: win, sh: sh, bus: windowBus{m: hv.M, base: win.Base}}
+	i := len(hv.devs)
+	for i > 0 && hv.devs[i-1].win.Base > win.Base {
+		i--
+	}
+	hv.devs = append(hv.devs, nil)
+	copy(hv.devs[i+1:], hv.devs[i:])
+	hv.devs[i] = nd
 }
 
-// AttachConsole registers the console window.
-func (hv *Hypervisor) AttachConsole(base uint32) {
-	hv.console = &consoleBinding{base: base}
+// devAt locates the shadow device covering MMIO offset off (nil when
+// the offset is outside every window).
+func (hv *Hypervisor) devAt(off uint32) *shadowDev {
+	for _, d := range hv.devs {
+		if d.win.Contains(off) {
+			return d
+		}
+	}
+	return nil
+}
+
+// devByBase locates a shadow device by its exact window base.
+func (hv *Hypervisor) devByBase(base uint32) *shadowDev {
+	for _, d := range hv.devs {
+		if d.win.Base == base {
+			return d
+		}
+	}
+	return nil
 }
 
 // SetIOActive switches environment output on (primary / promoted backup)
@@ -476,17 +541,18 @@ func (hv *Hypervisor) TimerInterruptsDue(tod uint32) []Interrupt {
 		return nil
 	}
 	hv.vITMRArmed = false
-	i := Interrupt{Line: 0, Timer: true, AdapterBase: NoAdapter}
+	i := Interrupt{Line: 0, Timer: true, Dev: NoDevice}
 	hv.buffered = append(hv.buffered, i)
 	return []Interrupt{i}
 }
 
 // DeliverBuffered delivers every buffered interrupt to the virtual
-// machine: applies device DMA data and status to the virtual adapters,
-// raises virtual EIRR lines, and (if the guest allows) vectors the guest
-// through its interrupt handler. Runs at epoch boundaries only (P2/P5/P6).
-// The staging buffer is reused across epochs, so the per-epoch delivery
-// path allocates nothing.
+// machine: applies device completion records to the shadow devices (and
+// their payloads to guest memory), raises virtual EIRR lines, and (if
+// the guest allows) vectors the guest through its interrupt handler.
+// Runs at epoch boundaries only (P2/P5/P6). The staging buffer is
+// reused across epochs, so the per-epoch delivery path allocates
+// nothing.
 func (hv *Hypervisor) DeliverBuffered() {
 	ints := hv.buffered
 	hv.buffered = nil
@@ -497,16 +563,11 @@ func (hv *Hypervisor) DeliverBuffered() {
 			hv.Stats.DeliveryDelayTotal += sim.Time(now-i.CapturedTOD) * 20 * sim.Nanosecond
 			hv.Stats.DeliveryDelayCount++
 		}
-		if i.AdapterBase != NoAdapter {
-			if va := hv.adapters[i.AdapterBase]; va != nil {
-				if len(i.DMAData) > 0 {
-					hv.M.WriteBytes(i.DMAAddr, i.DMAData)
-				}
-				va.status &^= scsi.StatusBusy
-				va.status |= i.Status
-				va.info = 0
-				va.outstanding = false
-				va.issuedReal = false
+		if i.Dev != NoDevice {
+			if d := hv.devByBase(i.Dev); d != nil {
+				d.sh.Apply(i.Completion, hv.M, d.bus)
+				d.outstanding = false
+				d.issuedReal = false
 			}
 		}
 		hv.vCR[isa.CREIRR] |= 1 << (i.Line & 31)
@@ -523,39 +584,54 @@ func (hv *Hypervisor) DeliverBuffered() {
 	}
 }
 
-// OutstandingUncertain implements rule P7: for every I/O operation
-// outstanding when a failover epoch ends, synthesize an UNCERTAIN
-// completion interrupt. The guest's driver will retry, which IO2 permits.
-// The returned interrupts have been buffered for delivery.
-func (hv *Hypervisor) OutstandingUncertain() []Interrupt {
-	var out []Interrupt
-	for _, base := range hv.adapterBases() {
-		va := hv.adapters[base]
-		if va.outstanding {
-			i := Interrupt{
-				Line:        va.line,
-				AdapterBase: base,
-				Status:      scsi.StatusUncertain,
+// OutstandingUncertain implements the device-generic rule P7 at
+// failover: every device contributes the completion records the
+// promoted virtual machine must see — an UNCERTAIN completion for an
+// outstanding I/O operation (the guest's driver will retry, which IO2
+// permits), the drained pending input of an unsolicited device (input
+// the environment delivered but no replica consumed). The returned
+// interrupts have been buffered for delivery; uncertain counts the P7
+// uncertain completions among them.
+func (hv *Hypervisor) OutstandingUncertain() (out []Interrupt, uncertain int) {
+	for _, d := range hv.devs {
+		// Records the dead coordinator forwarded for the failover epoch
+		// are already awaiting delivery (P6); their environment input is
+		// not pending — Recover must not capture it a second time.
+		var pending []device.Completion
+		for _, i := range hv.buffered {
+			if i.Dev == d.win.Base {
+				pending = append(pending, i.Completion)
 			}
+		}
+		recs, unc := d.sh.Recover(d.bus, hv.M, d.outstanding, pending)
+		uncertain += unc
+		for _, c := range recs {
+			i := Interrupt{Line: d.win.Line, Dev: d.win.Base, Completion: c}
 			hv.buffered = append(hv.buffered, i)
 			out = append(out, i)
 		}
 	}
-	return out
+	return out, uncertain
 }
 
-// adapterBases returns adapter windows in deterministic order.
-func (hv *Hypervisor) adapterBases() []uint32 {
-	var bases []uint32
-	for b := range hv.adapters {
-		bases = append(bases, b)
+// CommitSuppressedOutputs drops the current epoch's suppressed-output
+// buffer: the backup calls it once the coordinator's end-of-epoch
+// message proves the epoch's outputs were performed by the I/O-active
+// side.
+func (hv *Hypervisor) CommitSuppressedOutputs() {
+	hv.suppressed = hv.suppressed[:0]
+}
+
+// FlushSuppressedOutputs re-emits the failover epoch's suppressed
+// environment output to the real devices — the output half of the
+// generalized rule P7. Ordinal dedup at the environment devices makes
+// the re-emission exactly-once: whatever prefix the dead coordinator
+// already performed is dropped, the rest is applied in order.
+func (hv *Hypervisor) FlushSuppressedOutputs() {
+	for _, so := range hv.suppressed {
+		so.dev.sh.Output(so.dev.bus, so.off, so.val, so.ordinal)
 	}
-	for i := 1; i < len(bases); i++ {
-		for j := i; j > 0 && bases[j-1] > bases[j]; j-- {
-			bases[j-1], bases[j] = bases[j], bases[j-1]
-		}
-	}
-	return bases
+	hv.suppressed = hv.suppressed[:0]
 }
 
 // Digest returns a divergence-detection digest of the guest-visible

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/asm"
 	"repro/internal/console"
+	"repro/internal/device"
 	"repro/internal/isa"
 	"repro/internal/machine"
 	"repro/internal/scsi"
@@ -41,11 +42,11 @@ func newRig(t *testing.T, cfg Config, diskCfg scsi.DiskConfig) *rig {
 	mux := machine.NewBusMux()
 	ad := r.disk.NewAdapter(0, r.m, func() { r.m.RaiseIRQ(diskLine) })
 	mux.Map("scsi0", adapterBase, scsi.AdapterWindow, ad)
-	mux.Map("console", consoleBase, console.Window, r.cons)
+	mux.Map("console", consoleBase, console.Window, r.cons.NewPort(nil))
 	r.m.Bus = mux
 	r.hv = New(r.m, cfg)
-	r.hv.AttachAdapter(adapterBase, diskLine)
-	r.hv.AttachConsole(consoleBase)
+	r.hv.AttachDevice(device.Window{ID: "disk0", Base: adapterBase, Size: scsi.AdapterWindow, Line: diskLine}, scsi.NewShadow())
+	r.hv.AttachDevice(device.Window{ID: "console", Base: consoleBase, Size: console.Window, Line: device.NoLine}, console.NewShadow())
 	return r
 }
 
@@ -348,7 +349,7 @@ func TestIOSuppressionOnBackup(t *testing.T) {
 		t.Error("disk touched by suppressed backup")
 	}
 	// The op is outstanding: P7 must synthesize an uncertain interrupt.
-	ints := r.hv.OutstandingUncertain()
+	ints, _ := r.hv.OutstandingUncertain()
 	if len(ints) != 1 {
 		t.Fatalf("OutstandingUncertain = %d, want 1", len(ints))
 	}
@@ -768,11 +769,13 @@ func TestOutstandingAfterCaptureNotDelivered(t *testing.T) {
 	r.k.Spawn("cpu", func(p *sim.Proc) {
 		r.hv.StartEpochClock()
 		r.hv.RunEpoch(p)
-		outstandingBefore = len(r.hv.OutstandingUncertain())
+		ob, _ := r.hv.OutstandingUncertain()
+		outstandingBefore = len(ob)
 		// (OutstandingUncertain buffered one; clear buffer + deliver the
 		// REAL captured completion plus the synthetic one.)
 		r.hv.DeliverBuffered()
-		outstandingAfter = len(r.hv.OutstandingUncertain())
+		oa, _ := r.hv.OutstandingUncertain()
+		outstandingAfter = len(oa)
 	})
 	r.k.RunUntil(10 * sim.Second)
 	if outstandingBefore != 1 {

@@ -7,9 +7,11 @@ package hypervisor
 // on every piece of VIRTUAL state the hypervisor synthesizes
 // deterministically from it: virtual control registers, the virtual
 // PSW, the epoch-synchronized clock base, the virtual interval timer,
-// the interrupt delivery buffer and the shadow adapter registers
-// (including which operations are outstanding — the set rule P7
-// synthesizes uncertain interrupts for at failover).
+// the interrupt delivery buffer, and the ordered device table's shadow
+// state — per-device register banks (opaque, serialized by each
+// shadow), the protocol latches (outstanding/issued-real — the set rule
+// P7 synthesizes uncertain interrupts for at failover), the output
+// ordinal counters, and any suppressed-output buffer.
 
 import (
 	"fmt"
@@ -17,26 +19,36 @@ import (
 	"repro/internal/isa"
 )
 
-// AdapterState is one captured virtual adapter window.
-type AdapterState struct {
+// DeviceState is one captured shadow-device binding: the window
+// identity, the device-generic protocol latches, and the shadow's own
+// serialized register state.
+type DeviceState struct {
+	ID   string
 	Base uint32
 	Line uint
 
-	Cmd    uint32
-	Block  uint32
-	Addr   uint32
-	Count  uint32
-	Status uint32
-	Info   uint32
-
-	// Outstanding marks a doorbell whose completion has not been
-	// delivered to the guest (P7's synthesis set).
+	// Outstanding marks a started operation whose completion has not
+	// been delivered to the guest (P7's synthesis set).
 	Outstanding bool
 	// IssuedReal marks that the operation was forwarded to real
 	// hardware. A state transfer clears it on the receiving side: the
 	// new backup issued nothing, so completions raised by its own
 	// devices must be ignored (rule P3).
 	IssuedReal bool
+	// OutCount is the device's output-ordinal counter (environment
+	// output dedup watermarking).
+	OutCount uint32
+
+	// Data is the shadow's opaque register state (Shadow.MarshalState).
+	Data []byte
+}
+
+// SuppressedOutputState is one buffered suppressed-output store.
+type SuppressedOutputState struct {
+	Dev     uint32 // window base of the device
+	Off     uint32
+	Val     uint32
+	Ordinal uint32
 }
 
 // State is a complete capture of one hypervisor's virtualization state.
@@ -60,8 +72,12 @@ type State struct {
 	// DeliverBuffered — the quiescent point state transfer uses.
 	Buffered []Interrupt
 
-	// Adapters holds the shadow device windows in ascending Base order.
-	Adapters []AdapterState
+	// Devices holds the shadow device table in window order.
+	Devices []DeviceState
+
+	// Suppressed is the current epoch's suppressed-output buffer
+	// (backup side; empty on an I/O-active hypervisor).
+	Suppressed []SuppressedOutputState
 
 	Stats Stats
 }
@@ -82,18 +98,22 @@ func (hv *Hypervisor) CaptureState() State {
 	}
 	for _, i := range hv.buffered {
 		ci := i
-		if len(i.DMAData) > 0 {
-			ci.DMAData = append([]byte(nil), i.DMAData...)
+		if len(i.Data) > 0 {
+			ci.Data = append([]byte(nil), i.Data...)
 		}
 		s.Buffered = append(s.Buffered, ci)
 	}
-	for _, base := range hv.adapterBases() {
-		va := hv.adapters[base]
-		s.Adapters = append(s.Adapters, AdapterState{
-			Base: base, Line: va.line,
-			Cmd: va.cmd, Block: va.block, Addr: va.addr, Count: va.count,
-			Status: va.status, Info: va.info,
-			Outstanding: va.outstanding, IssuedReal: va.issuedReal,
+	for _, d := range hv.devs {
+		s.Devices = append(s.Devices, DeviceState{
+			ID: d.win.ID, Base: d.win.Base, Line: d.win.Line,
+			Outstanding: d.outstanding, IssuedReal: d.issuedReal,
+			OutCount: d.outCount,
+			Data:     d.sh.MarshalState(),
+		})
+	}
+	for _, so := range hv.suppressed {
+		s.Suppressed = append(s.Suppressed, SuppressedOutputState{
+			Dev: so.dev.win.Base, Off: so.off, Val: so.val, Ordinal: so.ordinal,
 		})
 	}
 	s.Stats = hv.Stats
@@ -101,20 +121,24 @@ func (hv *Hypervisor) CaptureState() State {
 }
 
 // RestoreState overwrites the hypervisor's virtualization state from a
-// capture. The target's attached adapter windows must match the
-// capture's (same bases and lines — the platform wires replicas
+// capture. The target's attached device table must match the capture's
+// (same IDs, bases and lines — the platform wires replicas
 // identically). The real machine's PSW is re-projected from the
 // restored virtual PSW; restore the machine state first.
 func (hv *Hypervisor) RestoreState(s State) error {
-	bases := hv.adapterBases()
-	if len(bases) != len(s.Adapters) {
-		return fmt.Errorf("hypervisor: restore: %d adapters attached, capture has %d", len(bases), len(s.Adapters))
+	if len(hv.devs) != len(s.Devices) {
+		return fmt.Errorf("hypervisor: restore: %d devices attached, capture has %d", len(hv.devs), len(s.Devices))
 	}
-	for i, base := range bases {
-		a := s.Adapters[i]
-		if a.Base != base || a.Line != hv.adapters[base].line {
-			return fmt.Errorf("hypervisor: restore: adapter %d is base %#x line %d, capture has base %#x line %d",
-				i, base, hv.adapters[base].line, a.Base, a.Line)
+	for i, d := range hv.devs {
+		ds := s.Devices[i]
+		if ds.ID != d.win.ID || ds.Base != d.win.Base || ds.Line != d.win.Line {
+			return fmt.Errorf("hypervisor: restore: device %d is %q base %#x line %d, capture has %q base %#x line %d",
+				i, d.win.ID, d.win.Base, d.win.Line, ds.ID, ds.Base, ds.Line)
+		}
+	}
+	for i, d := range hv.devs {
+		if err := d.sh.UnmarshalState(s.Devices[i].Data); err != nil {
+			return fmt.Errorf("hypervisor: restore: device %q: %v", d.win.ID, err)
 		}
 	}
 	hv.vCR = s.VCR
@@ -130,17 +154,24 @@ func (hv *Hypervisor) RestoreState(s State) error {
 	hv.buffered = nil
 	for _, i := range s.Buffered {
 		ci := i
-		if len(i.DMAData) > 0 {
-			ci.DMAData = append([]byte(nil), i.DMAData...)
+		if len(i.Data) > 0 {
+			ci.Data = append([]byte(nil), i.Data...)
 		}
 		hv.buffered = append(hv.buffered, ci)
 	}
-	for i, base := range bases {
-		a := s.Adapters[i]
-		va := hv.adapters[base]
-		va.cmd, va.block, va.addr, va.count = a.Cmd, a.Block, a.Addr, a.Count
-		va.status, va.info = a.Status, a.Info
-		va.outstanding, va.issuedReal = a.Outstanding, a.IssuedReal
+	for i, d := range hv.devs {
+		ds := s.Devices[i]
+		d.outstanding, d.issuedReal, d.outCount = ds.Outstanding, ds.IssuedReal, ds.OutCount
+	}
+	hv.suppressed = hv.suppressed[:0]
+	for _, so := range s.Suppressed {
+		d := hv.devByBase(so.Dev)
+		if d == nil {
+			return fmt.Errorf("hypervisor: restore: suppressed output for unknown device %#x", so.Dev)
+		}
+		hv.suppressed = append(hv.suppressed, suppressedOutput{
+			dev: d, off: so.Off, val: so.Val, ordinal: so.Ordinal,
+		})
 	}
 	hv.Stats = s.Stats
 	hv.applyVPSW()

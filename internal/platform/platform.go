@@ -1,13 +1,18 @@
 // Package platform assembles complete simulated machines in the paper's
-// prototype configuration (Figure 1): one or two HP-9000/720-class
-// processors, a dual-ported SCSI disk shared between them, a console,
-// and — for a pair — a point-to-point link between the two hypervisors.
+// prototype configuration (Figure 1), generalized over an ordered
+// device table: one or two (or n) HP-9000/720-class processors, N
+// dual-ported SCSI disks shared between them, a shared console/terminal,
+// and — for a replica group — point-to-point links between the
+// hypervisors. Every node is wired from the SAME device table, which is
+// what lets the hypervisors' shadow-device layer treat the replicas as
+// one state machine.
 package platform
 
 import (
 	"fmt"
 
 	"repro/internal/console"
+	"repro/internal/device"
 	"repro/internal/hypervisor"
 	"repro/internal/machine"
 	"repro/internal/netsim"
@@ -15,17 +20,36 @@ import (
 	"repro/internal/sim"
 )
 
-// Memory-map and interrupt wiring shared by all configurations.
+// Memory-map and interrupt wiring shared by all configurations. The
+// historical single-disk layout is preserved exactly: disk 0 at window
+// 0x0000 on line 1, the console at 0x1000 (line 2, used only when the
+// terminal has scripted input). Additional disks stack from 0x2000 on
+// lines 3, 4, ...
 const (
-	// AdapterBase is the SCSI adapter window offset within MMIO space.
+	// AdapterBase is disk 0's adapter window offset within MMIO space.
 	AdapterBase uint32 = 0x0000
 	// ConsoleBase is the console window offset within MMIO space.
 	ConsoleBase uint32 = 0x1000
-	// DiskIRQLine is the external interrupt line of the SCSI adapter.
+	// DiskIRQLine is the external interrupt line of disk 0's adapter.
 	DiskIRQLine uint = 1
+	// ConsoleIRQLine is the console/terminal input interrupt line.
+	ConsoleIRQLine uint = 2
+	// ExtraDiskBase is disk 1's window; disk i (i >= 1) sits at
+	// ExtraDiskBase + (i-1)*0x1000 on line ExtraDiskIRQ + (i-1).
+	ExtraDiskBase uint32 = 0x2000
+	// ExtraDiskIRQ is disk 1's interrupt line.
+	ExtraDiskIRQ uint = 3
 	// CycleTime is the simulated instruction period (50 MIPS).
 	CycleTime = 20 * sim.Nanosecond
 )
+
+// DiskWindow returns disk i's window base and interrupt line.
+func DiskWindow(i int) (base uint32, line uint) {
+	if i == 0 {
+		return AdapterBase, DiskIRQLine
+	}
+	return ExtraDiskBase + uint32(i-1)*0x1000, ExtraDiskIRQ + uint(i-1)
+}
 
 // Config bundles the tunables of a platform.
 type Config struct {
@@ -34,8 +58,14 @@ type Config struct {
 	Machine machine.Config
 	// Hypervisor configures both hypervisors (epoch length, costs).
 	Hypervisor hypervisor.Config
-	// Disk configures the shared disk.
+	// Disk configures shared disk 0.
 	Disk scsi.DiskConfig
+	// ExtraDisks configures shared disks 1..N-1 (multi-disk workloads).
+	ExtraDisks []scsi.DiskConfig
+	// Terminal is the console's scripted input (keystrokes arriving at
+	// virtual times). Empty: the console is the historical write-only
+	// device.
+	Terminal []console.Input
 	// Link configures the hypervisor-to-hypervisor channel (both
 	// directions); zero value = 10 Mbps Ethernet.
 	Link netsim.LinkConfig
@@ -43,26 +73,39 @@ type Config struct {
 
 // Node is one processor with its device bindings.
 type Node struct {
-	M       *machine.Machine
-	HV      *hypervisor.Hypervisor
+	M  *machine.Machine
+	HV *hypervisor.Hypervisor
+	// Adapter is disk 0's adapter (convenience alias of Adapters[0]).
 	Adapter *scsi.Adapter
-	Console *console.Console
+	// Adapters holds one adapter per shared disk, in disk order.
+	Adapters []*scsi.Adapter
+	// Port is this node's endpoint on the shared console.
+	Port *console.Port
 }
 
-// Pair is the two-processor prototype of Figure 1.
-type Pair struct {
-	K       *sim.Kernel
-	Disk    *scsi.Disk
-	Primary *Node
-	Backup  *Node
-	// Net carries protocol traffic: AtoB = primary->backup,
-	// BtoA = backup->primary (acknowledgements).
-	Net *netsim.Duplex
+// env is the shared environment every node attaches to: the disks and
+// the console are dual-(n-)ported devices reachable from every
+// processor (the I/O Device Accessibility Assumption).
+type env struct {
+	disks   []*scsi.Disk
+	console *console.Console
 }
 
-// newNode builds one processor wired to the shared disk. Each node gets
-// its own TLB seed (chip-internal nondeterminism differs per processor)
-// and a time-of-day clock driven by the simulation clock.
+// newEnv builds the shared environment and schedules the terminal
+// script.
+func newEnv(k *sim.Kernel, cfg Config) *env {
+	e := &env{console: console.New()}
+	e.disks = append(e.disks, scsi.NewDisk(k, cfg.Disk))
+	for _, dc := range cfg.ExtraDisks {
+		e.disks = append(e.disks, scsi.NewDisk(k, dc))
+	}
+	e.console.Schedule(k, cfg.Terminal)
+	return e
+}
+
+// newNode builds one processor. Each node gets its own TLB seed
+// (chip-internal nondeterminism differs per processor) and a
+// time-of-day clock driven by the simulation clock.
 func newNode(k *sim.Kernel, cfg Config, host int) *Node {
 	mc := cfg.Machine
 	mc.CPUID = uint32(host + 1)
@@ -70,30 +113,60 @@ func newNode(k *sim.Kernel, cfg Config, host int) *Node {
 	if mc.TODSource == nil {
 		mc.TODSource = func() uint32 { return uint32(k.Now() / CycleTime) }
 	}
-	return &Node{M: machine.New(mc), Console: console.New()}
+	return &Node{M: machine.New(mc)}
 }
 
-// finishNode wires the node's bus and hypervisor once the disk exists.
-func finishNode(k *sim.Kernel, cfg Config, n *Node, disk *scsi.Disk, host int) {
+// finishNode wires the node's bus and hypervisor from the shared
+// environment's device table: every node is wired identically.
+func finishNode(k *sim.Kernel, cfg Config, n *Node, e *env, host int) {
 	m := n.M
-	n.Adapter = disk.NewAdapter(host, m, func() { m.RaiseIRQ(DiskIRQLine) })
 	mux := machine.NewBusMux()
-	mux.Map("scsi0", AdapterBase, scsi.AdapterWindow, n.Adapter)
-	mux.Map("console", ConsoleBase, console.Window, n.Console)
+	for i, disk := range e.disks {
+		base, line := DiskWindow(i)
+		a := disk.NewAdapter(host, m, func() { m.RaiseIRQ(line) })
+		n.Adapters = append(n.Adapters, a)
+		mux.Map(fmt.Sprintf("scsi%d", i), base, scsi.AdapterWindow, a)
+	}
+	n.Adapter = n.Adapters[0]
+	n.Port = e.console.NewPort(func() { m.RaiseIRQ(ConsoleIRQLine) })
+	mux.Map("console", ConsoleBase, console.Window, n.Port)
 	m.Bus = mux
 	n.HV = hypervisor.New(m, cfg.Hypervisor)
-	n.HV.AttachAdapter(AdapterBase, DiskIRQLine)
-	n.HV.AttachConsole(ConsoleBase)
+	for i := range e.disks {
+		base, line := DiskWindow(i)
+		n.HV.AttachDevice(device.Window{
+			ID: fmt.Sprintf("disk%d", i), Base: base, Size: scsi.AdapterWindow, Line: line,
+		}, scsi.NewShadow())
+	}
+	n.HV.AttachDevice(device.Window{
+		ID: "console", Base: ConsoleBase, Size: console.Window,
+		Line: ConsoleIRQLine, Unsolicited: true,
+	}, console.NewShadow())
+}
+
+// Pair is the two-processor prototype of Figure 1.
+type Pair struct {
+	K *sim.Kernel
+	// Disk is shared disk 0; Disks holds all shared disks.
+	Disk    *scsi.Disk
+	Disks   []*scsi.Disk
+	Console *console.Console
+	Primary *Node
+	Backup  *Node
+	// Net carries protocol traffic: AtoB = primary->backup,
+	// BtoA = backup->primary (acknowledgements).
+	Net *netsim.Duplex
 }
 
 // NewPair builds the full two-processor prototype.
 func NewPair(k *sim.Kernel, cfg Config) *Pair {
 	pr := &Pair{K: k}
-	pr.Disk = scsi.NewDisk(k, cfg.Disk)
+	e := newEnv(k, cfg)
+	pr.Disks, pr.Disk, pr.Console = e.disks, e.disks[0], e.console
 	pr.Primary = newNode(k, cfg, 0)
 	pr.Backup = newNode(k, cfg, 1)
-	finishNode(k, cfg, pr.Primary, pr.Disk, 0)
-	finishNode(k, cfg, pr.Backup, pr.Disk, 1)
+	finishNode(k, cfg, pr.Primary, e, 0)
+	finishNode(k, cfg, pr.Backup, e, 1)
 	link := cfg.Link
 	if link.BitsPerSecond == 0 {
 		link = netsim.Ethernet10("hvlink")
@@ -104,16 +177,20 @@ func NewPair(k *sim.Kernel, cfg Config) *Pair {
 
 // Cluster is the t-fault-tolerant generalization: n processors (node 0
 // is the initial primary; nodes 1..n-1 are backups in priority order)
-// sharing one disk, with a full mesh of point-to-point links.
+// sharing the device table, with a full mesh of point-to-point links.
 type Cluster struct {
-	K     *sim.Kernel
-	Disk  *scsi.Disk
-	Nodes []*Node
+	K *sim.Kernel
+	// Disk is shared disk 0; Disks holds all shared disks.
+	Disk    *scsi.Disk
+	Disks   []*scsi.Disk
+	Console *console.Console
+	Nodes   []*Node
 	// Links[i][j] (i < j) is the duplex between nodes i and j:
 	// AtoB carries i->j, BtoA carries j->i.
 	Links [][]*netsim.Duplex
 
 	cfg Config // retained so nodes can be added after construction
+	env *env
 }
 
 // NewCluster builds an n-node prototype (n >= 2).
@@ -122,10 +199,11 @@ func NewCluster(k *sim.Kernel, cfg Config, n int) *Cluster {
 		panic("platform: cluster needs at least 2 nodes")
 	}
 	c := &Cluster{K: k, cfg: cfg}
-	c.Disk = scsi.NewDisk(k, cfg.Disk)
+	c.env = newEnv(k, cfg)
+	c.Disks, c.Disk, c.Console = c.env.disks, c.env.disks[0], c.env.console
 	for i := 0; i < n; i++ {
 		node := newNode(k, cfg, i)
-		finishNode(k, cfg, node, c.Disk, i)
+		finishNode(k, cfg, node, c.env, i)
 		c.Nodes = append(c.Nodes, node)
 	}
 	link := cfg.Link
@@ -146,15 +224,16 @@ func NewCluster(k *sim.Kernel, cfg Config, n int) *Cluster {
 
 // AddNode grows the cluster by one node (a repaired processor being
 // reintegrated): node n is built exactly as a boot-time node n would
-// have been — same per-chip TLB-seed perturbation, same device wiring
-// to the shared disk — and duplex links to every existing node are
-// created with the given configuration (zero value: the cluster's
-// boot-time link). The new node's machine is blank; the caller
-// transfers state into it.
+// have been — same per-chip TLB-seed perturbation, same device-table
+// wiring to the shared environment — and duplex links to every existing
+// node are created with the given configuration (zero value: the
+// cluster's boot-time link). The new node's machine is blank; the
+// caller transfers state into it. Its console port sees scripted input
+// events that fire after this instant.
 func (c *Cluster) AddNode(link netsim.LinkConfig) *Node {
 	n := len(c.Nodes)
 	node := newNode(c.K, c.cfg, n)
-	finishNode(c.K, c.cfg, node, c.Disk, n)
+	finishNode(c.K, c.cfg, node, c.env, n)
 	c.Nodes = append(c.Nodes, node)
 	if link.BitsPerSecond == 0 {
 		link = c.cfg.Link
@@ -188,19 +267,23 @@ func (c *Cluster) Channel(from, to int) (tx, rx *netsim.Link) {
 
 // Single is a one-processor platform for bare-hardware baseline runs.
 type Single struct {
-	K    *sim.Kernel
-	Disk *scsi.Disk
-	Node *Node
-	Bare *hypervisor.Bare
+	K *sim.Kernel
+	// Disk is shared disk 0; Disks holds all disks.
+	Disk    *scsi.Disk
+	Disks   []*scsi.Disk
+	Console *console.Console
+	Node    *Node
+	Bare    *hypervisor.Bare
 }
 
 // NewSingle builds a single machine with the same devices, to be run
 // bare (no hypervisor) for the paper's RT baseline.
 func NewSingle(k *sim.Kernel, cfg Config) *Single {
 	s := &Single{K: k}
-	s.Disk = scsi.NewDisk(k, cfg.Disk)
+	e := newEnv(k, cfg)
+	s.Disks, s.Disk, s.Console = e.disks, e.disks[0], e.console
 	s.Node = newNode(k, cfg, 0)
-	finishNode(k, cfg, s.Node, s.Disk, 0)
+	finishNode(k, cfg, s.Node, e, 0)
 	s.Bare = hypervisor.NewBare(s.Node.M)
 	return s
 }

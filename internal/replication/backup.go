@@ -262,6 +262,9 @@ func (bk *Backup) replayVerbatim(p *sim.Proc, e uint64, digest uint64, v *SyncEp
 		bk.Hooks.BackupEpoch(bk.index, e, p.Now(), match)
 	}
 	hv.DeliverBuffered()
+	// The verbatim record proves the (new) coordinator completed this
+	// epoch, so its environment output was performed: drop ours.
+	hv.CommitSuppressedOutputs()
 	if len(bk.downs) > 0 {
 		bk.archive.record(*v)
 	}
@@ -281,13 +284,20 @@ func (bk *Backup) failover(p *sim.Proc, e uint64, digest uint64) {
 	bk.stageOrdered(e)
 	// ...plus "interrupts based on Tme_b" — our own clock; no Tme_p came.
 	hv.TimerInterruptsDue(hv.VirtualTOD())
-	// P7: "generate an uncertain interrupt for every I/O operation that
-	// is outstanding when the backup virtual machine finishes a failover
-	// epoch". An operation whose completion was relayed but not yet
-	// delivered receives both the completion and the uncertain status;
-	// the guest driver's retry is harmless (IO2 permits repetition).
-	synth := hv.OutstandingUncertain()
-	bk.Stats.UncertainSynth += uint64(len(synth))
+	// P7, device-generic: "generate an uncertain interrupt for every I/O
+	// operation that is outstanding when the backup virtual machine
+	// finishes a failover epoch" — plus, for input devices, the pending
+	// environment input no replica consumed. An operation whose
+	// completion was relayed but not yet delivered receives both the
+	// completion and the uncertain status; the guest driver's retry is
+	// harmless (IO2 permits repetition).
+	_, uncertain := hv.OutstandingUncertain()
+	bk.Stats.UncertainSynth += uint64(uncertain)
+	// The output half of P7: re-emit the failover epoch's suppressed
+	// environment output. The devices dedup by ordinal, so whatever the
+	// dead coordinator already performed is emitted exactly once in
+	// total.
+	hv.FlushSuppressedOutputs()
 	delivered := append([]hypervisor.Interrupt(nil), hv.Buffered()...)
 	hv.DeliverBuffered()
 
@@ -296,7 +306,7 @@ func (bk *Backup) failover(p *sim.Proc, e uint64, digest uint64) {
 	bk.Stats.PromotedAtEpoch = e
 	bk.Stats.PromotedAtTime = p.Now()
 	if bk.Hooks.Promoted != nil {
-		bk.Hooks.Promoted(bk.index, e, p.Now(), len(synth))
+		bk.Hooks.Promoted(bk.index, e, p.Now(), uncertain)
 	}
 	bk.release(e)
 
@@ -440,6 +450,10 @@ func (bk *Backup) Run(p *sim.Proc) {
 			bk.archive.record(SyncEpoch{Epoch: e, Tme: tme, Ints: delivered, Digest: b.Digest, Halted: end.Halted})
 		}
 		hv.DeliverBuffered()
+		// [end, E] proves the coordinator completed epoch E, so the
+		// epoch's environment output was performed: drop the suppressed
+		// copy (a failover epoch — no end message — re-emits it instead).
+		hv.CommitSuppressedOutputs()
 		hv.ChargeBoundary(p)
 		hv.SetTODBase(tme)
 		bk.release(e)

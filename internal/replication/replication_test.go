@@ -219,7 +219,7 @@ func bareRun(t *testing.T, seed int64, cfg platform.Config, guest string) (strin
 	if !s.Bare.Halted() {
 		t.Fatalf("bare guest did not halt (pc=%#x)", s.Node.M.PC)
 	}
-	return s.Node.Console.Output(), done, s
+	return s.Console.Output(), done, s
 }
 
 func TestReplicatedCPUWorkloadNoFailure(t *testing.T) {
@@ -237,12 +237,10 @@ func TestReplicatedCPUWorkloadNoFailure(t *testing.T) {
 	if c.pair.Primary.M.Regs[6] != c.pair.Backup.M.Regs[6] {
 		t.Error("sum registers differ")
 	}
-	// Claim (1): backup generated no environment interactions.
-	if got := c.pair.Backup.Console.Output(); got != "" {
-		t.Errorf("backup console = %q, want empty", got)
-	}
-	if c.pair.Primary.Console.Output() != "D" {
-		t.Errorf("primary console = %q, want D", c.pair.Primary.Console.Output())
+	// Claim (1): backup generated no environment interactions — the
+	// shared transcript holds exactly one copy of the guest's output.
+	if c.pair.Console.Output() != "D" {
+		t.Errorf("console = %q, want D", c.pair.Console.Output())
 	}
 	// The backup executed the same epochs.
 	if c.pri.Stats.Epochs == 0 || c.bak.Stats.Epochs < c.pri.Stats.Epochs {
@@ -255,7 +253,7 @@ func TestReplicatedMatchesBareBehaviour(t *testing.T) {
 	bareOut, bareTime, _ := bareRun(t, 1, platform.Config{}, guest)
 	c := newCluster(t, 1, platform.Config{}, ProtocolOld, guest)
 	c.run(t, 100*sim.Second)
-	if got := c.pair.Primary.Console.Output(); got != bareOut {
+	if got := c.pair.Console.Output(); got != bareOut {
 		t.Errorf("console: replicated %q vs bare %q", got, bareOut)
 	}
 	if bareTime <= 0 {
@@ -279,11 +277,8 @@ func TestReplicatedDiskIO(t *testing.T) {
 	if c.bak.Stats.Divergences != 0 {
 		t.Fatalf("divergences = %d", c.bak.Stats.Divergences)
 	}
-	if out := c.pair.Primary.Console.Output(); out != "wwwOK" {
-		t.Errorf("primary console = %q, want wwwOK", out)
-	}
-	if out := c.pair.Backup.Console.Output(); out != "" {
-		t.Errorf("backup console = %q, want empty", out)
+	if out := c.pair.Console.Output(); out != "wwwOK" {
+		t.Errorf("console = %q, want wwwOK (exactly one copy)", out)
 	}
 	// Only the primary's host touched the disk.
 	for _, rec := range c.pair.Disk.Log {
@@ -335,9 +330,9 @@ func TestFailoverMidCompute(t *testing.T) {
 	}
 	// The workload completed correctly: disk holds both blocks and the
 	// verification passed (console ends with OK from the backup).
-	out := c.pair.Backup.Console.Output()
+	out := c.pair.Console.Output()
 	if len(out) < 2 || out[len(out)-2:] != "OK" {
-		t.Errorf("backup console = %q, want ...OK", out)
+		t.Errorf("console = %q, want ...OK", out)
 	}
 	blk := c.pair.Disk.ReadBlockDirect(20)
 	if got := le32(blk[0:4]); got != 0xA0000000 {
@@ -381,9 +376,9 @@ func TestFailoverTwoGeneralsWindow(t *testing.T) {
 	if !c.pair.Backup.HV.Halted() {
 		t.Fatal("workload did not complete after failover")
 	}
-	out := c.pair.Backup.Console.Output()
+	out := c.pair.Console.Output()
 	if len(out) < 2 || out[len(out)-2:] != "OK" {
-		t.Errorf("backup console = %q, want ...OK", out)
+		t.Errorf("console = %q, want ...OK", out)
 	}
 	// Environment consistency: every committed write of block 30 has
 	// identical content (repetition of identical data only).
@@ -467,7 +462,7 @@ func TestNewProtocolIOGate(t *testing.T) {
 	if c.pri.Stats.IOGateWaits == 0 {
 		t.Error("I/O gate never engaged")
 	}
-	if out := c.pair.Primary.Console.Output(); out != "wwOK" {
+	if out := c.pair.Console.Output(); out != "wwOK" {
 		t.Errorf("console = %q", out)
 	}
 }
@@ -515,7 +510,7 @@ func TestDeviceTransientsUnderReplication(t *testing.T) {
 	if c.bak.Stats.Divergences != 0 {
 		t.Fatalf("divergences = %d under device transient", c.bak.Stats.Divergences)
 	}
-	if out := c.pair.Primary.Console.Output(); out != "wwOK" {
+	if out := c.pair.Console.Output(); out != "wwOK" {
 		t.Errorf("console = %q", out)
 	}
 	// The retry means the disk log has one more op than the workload's
@@ -535,7 +530,7 @@ func TestDeterministicReplication(t *testing.T) {
 		}
 		c := newCluster(t, 42, cfg, ProtocolOld, guest)
 		c.run(t, 100*sim.Second)
-		return c.priDone, c.pair.Primary.Console.Output(), c.pair.Primary.HV.Digest()
+		return c.priDone, c.pair.Console.Output(), c.pair.Primary.HV.Digest()
 	}
 	t1, o1, d1 := run()
 	t2, o2, d2 := run()

@@ -137,8 +137,8 @@ func copyInterrupts(ints []Interrupt) []Interrupt {
 	out := make([]Interrupt, len(ints))
 	for i, iv := range ints {
 		out[i] = iv
-		if len(iv.DMAData) > 0 {
-			out[i].DMAData = append([]byte(nil), iv.DMAData...)
+		if len(iv.Data) > 0 {
+			out[i].Data = append([]byte(nil), iv.Data...)
 		}
 	}
 	return out
@@ -175,8 +175,8 @@ func (bk *Backup) CaptureState() BackupState {
 		sort.Ints(idxs)
 		for _, k := range idxs {
 			iv := r.ints[uint32(k)]
-			if len(iv.DMAData) > 0 {
-				iv.DMAData = append([]byte(nil), iv.DMAData...)
+			if len(iv.Data) > 0 {
+				iv.Data = append([]byte(nil), iv.Data...)
 			}
 			pe.Ints = append(pe.Ints, PendingInterrupt{Index: uint32(k), Int: iv})
 		}

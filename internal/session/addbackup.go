@@ -86,8 +86,8 @@ func (e *Engine) AddBackup(cfg AddBackupConfig) (int, error) {
 	ms := e.cluster.Nodes[act].M.CaptureState()
 	hs := e.cluster.Nodes[act].HV.CaptureState()
 	hs.IOActive = false
-	for i := range hs.Adapters {
-		hs.Adapters[i].IssuedReal = false
+	for i := range hs.Devices {
+		hs.Devices[i].IssuedReal = false
 	}
 	blob := snapshot.EncodeTransfer(snapshot.Transfer{
 		Machine: ms, Hypervisor: hs, Tme: e.lastTme, Epoch: e.lastEpoch,

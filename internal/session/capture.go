@@ -56,10 +56,20 @@ func (e *Engine) CaptureSections() []Section {
 		add("node0.machine", func(w *snapshot.Writer) {
 			snapshot.PutMachineState(w, e.single.Node.M.CaptureState())
 		})
-		add("node0.console", func(w *snapshot.Writer) {
-			w.String(e.single.Node.Console.Output())
+		add("node0.devices", func(w *snapshot.Writer) {
+			for _, a := range e.single.Node.Adapters {
+				w.U64(a.StateDigest())
+			}
+			w.U64(e.single.Node.Port.StateDigest())
 		})
-		add("disk", func(w *snapshot.Writer) { w.U64(e.single.Disk.StateDigest()) })
+		add("console", func(w *snapshot.Writer) {
+			w.String(e.single.Console.Output())
+			w.U64(e.single.Console.StateDigest())
+		})
+		for i, d := range e.single.Disks {
+			i, d := i, d
+			add(fmt.Sprintf("disk%d", i), func(w *snapshot.Writer) { w.U64(d.StateDigest()) })
+		}
 		return out
 	}
 
@@ -71,11 +81,17 @@ func (e *Engine) CaptureSections() []Section {
 		add(fmt.Sprintf("node%d.hypervisor", i), func(w *snapshot.Writer) {
 			snapshot.PutHypervisorState(w, node.HV.CaptureState())
 		})
-		add(fmt.Sprintf("node%d.console", i), func(w *snapshot.Writer) {
-			w.String(node.Console.Output())
-			w.U64(node.Adapter.StateDigest())
+		add(fmt.Sprintf("node%d.devices", i), func(w *snapshot.Writer) {
+			for _, a := range node.Adapters {
+				w.U64(a.StateDigest())
+			}
+			w.U64(node.Port.StateDigest())
 		})
 	}
+	add("console", func(w *snapshot.Writer) {
+		w.String(e.cluster.Console.Output())
+		w.U64(e.cluster.Console.StateDigest())
+	})
 	add("replication.primary", func(w *snapshot.Writer) {
 		snapshot.PutCoordinatorState(w, e.pri.CaptureState())
 	})
@@ -85,7 +101,10 @@ func (e *Engine) CaptureSections() []Section {
 			snapshot.PutBackupState(w, bak.CaptureState())
 		})
 	}
-	add("disk", func(w *snapshot.Writer) { w.U64(e.cluster.Disk.StateDigest()) })
+	for i, d := range e.cluster.Disks {
+		i, d := i, d
+		add(fmt.Sprintf("disk%d", i), func(w *snapshot.Writer) { w.U64(d.StateDigest()) })
+	}
 	add("links", func(w *snapshot.Writer) {
 		for i := range e.cluster.Links {
 			for j := range e.cluster.Links[i] {

@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/console"
 	"repro/internal/guest"
 	"repro/internal/hypervisor"
 	"repro/internal/machine"
@@ -118,6 +119,9 @@ const (
 	// EventBackupAdded: a new backup joined the replica set by live
 	// state transfer.
 	EventBackupAdded
+	// EventTerminalInput: the environment delivered scripted terminal
+	// input to the shared console.
+	EventTerminalInput
 )
 
 // Event is one observation from a running session.
@@ -134,7 +138,9 @@ type Event struct {
 	Count   int           // EventPromoted: uncertain interrupts synthesized
 	Digests [2]uint64     // EventDivergence: coordinator, local
 	IO      scsi.OpRecord // EventDiskOp
+	Disk    int           // EventDiskOp: which shared disk (0-based)
 	Bytes   uint64        // EventBackupAdded: state-transfer size on the wire
+	Data    []byte        // EventTerminalInput: the arrived bytes
 }
 
 // Options configures an Engine.
@@ -145,7 +151,13 @@ type Options struct {
 	// instead of a replicated group.
 	Bare bool
 
-	Disk        scsi.DiskConfig
+	Disk scsi.DiskConfig
+	// ExtraDisks configures shared disks 1..N-1 (multi-disk workloads;
+	// disk i sits at the platform's DiskWindow(i)).
+	ExtraDisks []scsi.DiskConfig
+	// Terminal is the console's scripted input (empty: the console is
+	// the historical write-only device).
+	Terminal    []console.Input
 	EpochLength uint64
 	Protocol    replication.Protocol
 	Link        netsim.LinkConfig
@@ -328,9 +340,11 @@ func (e *Engine) Boot() {
 	k := sim.NewKernel(o.Seed)
 	e.k = k
 	cluster := platform.NewCluster(k, platform.Config{
-		Disk:    o.Disk,
-		Link:    o.Link,
-		Machine: sizeMachine(o.Machine),
+		Disk:       o.Disk,
+		ExtraDisks: o.ExtraDisks,
+		Terminal:   o.Terminal,
+		Link:       o.Link,
+		Machine:    sizeMachine(o.Machine),
 		Hypervisor: hypervisor.Config{
 			EpochLength:   o.EpochLength,
 			NoTLBTakeover: o.NoTLBTakeover,
@@ -393,12 +407,17 @@ func (e *Engine) Boot() {
 func (e *Engine) bootBare() {
 	k := sim.NewKernel(e.o.Seed)
 	e.k = k
-	s := platform.NewSingle(k, platform.Config{Disk: e.o.Disk, Machine: sizeMachine(e.o.Machine)})
+	s := platform.NewSingle(k, platform.Config{
+		Disk:       e.o.Disk,
+		ExtraDisks: e.o.ExtraDisks,
+		Terminal:   e.o.Terminal,
+		Machine:    sizeMachine(e.o.Machine),
+	})
 	e.single = s
 	origin, words, entry := e.prog.Image()
 	s.Bare.Boot(origin, words, entry)
 	e.prog.Setup(s.Node.M)
-	s.Disk.OnOp = e.diskOp
+	e.installDiskHooks(s.Disks, s.Console)
 	e.done = make([]sim.Time, 1)
 	k.Spawn("bare", func(pr *sim.Proc) { s.Bare.Run(pr); e.done[0] = pr.Now() })
 }
@@ -431,7 +450,22 @@ func (e *Engine) installHooks() {
 	for _, bak := range e.baks {
 		bak.Hooks = e.backupHooks()
 	}
-	e.cluster.Disk.OnOp = e.diskOp
+	e.installDiskHooks(e.cluster.Disks, e.cluster.Console)
+}
+
+// installDiskHooks wires per-device environment observation: one OnOp
+// per shared disk (tagged with the disk index) and the terminal-input
+// observer.
+func (e *Engine) installDiskHooks(disks []*scsi.Disk, cons *console.Console) {
+	for i, d := range disks {
+		i := i
+		d.OnOp = func(r scsi.OpRecord) { e.diskOp(i, r) }
+	}
+	if e.o.Observer != nil {
+		cons.OnInput = func(seq uint32, data []byte) {
+			e.emit(Event{Kind: EventTerminalInput, Node: e.actingNode(), Data: data})
+		}
+	}
 }
 
 // backupHooks builds the observation hooks a backup engine carries
@@ -448,14 +482,15 @@ func (e *Engine) backupHooks() replication.Hooks {
 	}
 }
 
-// diskOp tallies a completed disk operation and (optionally) emits it.
-func (e *Engine) diskOp(r scsi.OpRecord) {
+// diskOp tallies a completed disk operation and (optionally) emits it,
+// tagged with the disk it happened on.
+func (e *Engine) diskOp(disk int, r scsi.OpRecord) {
 	e.diskOps++
 	if r.Uncertain {
 		e.diskUncertain++
 	}
 	if e.o.DiskEvents && e.o.Observer != nil {
-		e.emit(Event{Kind: EventDiskOp, Node: r.Host, IO: r})
+		e.emit(Event{Kind: EventDiskOp, Node: r.Host, IO: r, Disk: disk})
 	}
 }
 
@@ -486,7 +521,7 @@ func (e *Engine) RunUntilCommits(n uint64) error {
 // failPrimaryNow injects the primary failstop (kernel context).
 func (e *Engine) failPrimaryNow() {
 	e.pri.Failstop()
-	e.cluster.Nodes[0].Adapter.Detached = true
+	e.detachNode(0)
 	e.severTransfers(0)
 	e.emit(Event{Kind: EventFailstop, Node: 0})
 }
@@ -494,9 +529,19 @@ func (e *Engine) failPrimaryNow() {
 // failBackupNow injects a failstop of backup i (1-based, kernel context).
 func (e *Engine) failBackupNow(i int) {
 	e.baks[i-1].Failstop()
-	e.cluster.Nodes[i].Adapter.Detached = true
+	e.detachNode(i)
 	e.severTransfers(i)
 	e.emit(Event{Kind: EventFailstop, Node: i})
+}
+
+// detachNode disconnects a failstopped node from every environment
+// device: completions and input stop reaching a dead host.
+func (e *Engine) detachNode(i int) {
+	n := e.cluster.Nodes[i]
+	for _, a := range n.Adapters {
+		a.Detached = true
+	}
+	n.Port.Detached = true
 }
 
 // severTransfers disconnects any state transfer the failstopped node
@@ -692,7 +737,7 @@ func (e *Engine) Snapshot() Snapshot {
 	if e.o.Bare {
 		s.Nodes = 1
 		s.Halted = e.single.Bare.Halted()
-		s.Console = e.single.Node.Console.Output()
+		s.Console = e.single.Console.Output()
 		return s
 	}
 	s.Nodes = len(e.cluster.Nodes)
@@ -721,9 +766,7 @@ func (e *Engine) Snapshot() Snapshot {
 			s.Promoted = true
 		}
 	}
-	for i := 0; i <= s.Acting; i++ {
-		s.Console += e.cluster.Nodes[i].Console.Output()
-	}
+	s.Console = e.cluster.Console.Output()
 	return s
 }
 
@@ -749,7 +792,7 @@ func (e *Engine) computeResult() (Result, error) {
 		return Result{
 			Time:    e.done[0],
 			Guest:   e.prog.Result(e.single.Node.M),
-			Console: e.single.Node.Console.Output(),
+			Console: e.single.Console.Output(),
 		}, nil
 	}
 	res := Result{PrimaryStats: e.pri.Stats}
@@ -791,13 +834,11 @@ func (e *Engine) computeResult() (Result, error) {
 	res.Time = e.done[authority]
 	res.Guest = e.prog.Result(e.cluster.Nodes[authority].M)
 	res.HVStats = e.cluster.Nodes[authority].HV.Stats
-	for i := 0; i <= authority; i++ {
-		res.Console += e.cluster.Nodes[i].Console.Output()
-	}
+	res.Console = e.cluster.Console.Output()
 	return res, nil
 }
 
-// Disk returns the shared disk (environment-consistency checks in
+// Disk returns shared disk 0 (environment-consistency checks in
 // tests; nil before boot on bare=false sessions).
 func (e *Engine) Disk() *scsi.Disk {
 	if e.cluster != nil {
@@ -805,6 +846,28 @@ func (e *Engine) Disk() *scsi.Disk {
 	}
 	if e.single != nil {
 		return e.single.Disk
+	}
+	return nil
+}
+
+// Disks returns every shared disk in index order (nil before boot).
+func (e *Engine) Disks() []*scsi.Disk {
+	if e.cluster != nil {
+		return e.cluster.Disks
+	}
+	if e.single != nil {
+		return e.single.Disks
+	}
+	return nil
+}
+
+// Console returns the shared environment console (nil before boot).
+func (e *Engine) Console() *console.Console {
+	if e.cluster != nil {
+		return e.cluster.Console
+	}
+	if e.single != nil {
+		return e.single.Console
 	}
 	return nil
 }

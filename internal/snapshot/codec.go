@@ -30,7 +30,12 @@ import (
 // FormatVersion is the current snapshot format. Bump it whenever any
 // encoder in this package (or a capture struct it serializes) changes
 // shape; readers reject every other version.
-const FormatVersion = 1
+//
+// Version history: 1 = the original single-adapter layout; 2 = the
+// generic device layer (per-device shadow sections keyed by stable
+// device ID, device-generic completion records with input watermarks,
+// suppressed-output buffers, multi-disk and terminal configuration).
+const FormatVersion = 2
 
 // ErrVersion reports a snapshot written by a different format version.
 // Errors wrapping it are returned by NewReader; test with errors.Is.

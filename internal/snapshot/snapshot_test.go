@@ -2,6 +2,9 @@ package snapshot
 
 import (
 	"errors"
+	"repro/internal/console"
+	"repro/internal/device"
+	"repro/internal/scsi"
 	"testing"
 
 	"repro/internal/hypervisor"
@@ -94,11 +97,11 @@ func TestTransferRoundTrip(t *testing.T) {
 	m.TLB.Insert(machine.TLBEntry{VPN: 3, PPN: 7, Flags: 0xF})
 
 	hv := hypervisor.New(m, hypervisor.Config{EpochLength: 1024})
-	hv.AttachAdapter(0x0, 1)
-	hv.AttachConsole(0x1000)
+	hv.AttachDevice(device.Window{ID: "disk0", Base: 0x0, Size: scsi.AdapterWindow, Line: 1}, scsi.NewShadow())
+	hv.AttachDevice(device.Window{ID: "console", Base: 0x1000, Size: console.Window, Line: 2, Unsolicited: true}, console.NewShadow())
 	hv.BufferInterrupt(hypervisor.Interrupt{
-		Line: 1, AdapterBase: 0, Status: 2,
-		DMAAddr: 0x3000, DMAData: []byte{9, 8, 7},
+		Line: 1, Dev: 0,
+		Completion: device.Completion{Status: 2, Addr: 0x3000, Data: []byte{9, 8, 7}},
 	})
 
 	in := Transfer{
@@ -143,7 +146,7 @@ func TestCoordinatorBackupStateCodec(t *testing.T) {
 		HaveAcked: true, AckedThrough: 3,
 		Archive: []replication.SyncEpoch{{
 			Epoch: 4, Tme: 100, Digest: 0xAB, Halted: false,
-			Ints: []replication.Interrupt{{Line: 1, DMAData: []byte{1}}},
+			Ints: []replication.Interrupt{{Line: 1, Completion: device.Completion{Data: []byte{1}}}},
 		}},
 	}
 	w := NewWriter("TESTMAG1")

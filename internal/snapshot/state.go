@@ -186,10 +186,11 @@ func tlbState(r *Reader) machine.TLBState {
 func PutInterrupt(w *Writer, i hypervisor.Interrupt) {
 	w.U32(uint32(i.Line))
 	w.Bool(i.Timer)
-	w.U32(i.AdapterBase)
+	w.U32(i.Dev)
 	w.U32(i.Status)
-	w.U32(i.DMAAddr)
-	w.Bytes(i.DMAData)
+	w.U32(i.Addr)
+	w.Bytes(i.Data)
+	w.U32(i.Seq)
 	w.U32(i.CapturedTOD)
 }
 
@@ -198,12 +199,13 @@ func Interrupt(r *Reader) hypervisor.Interrupt {
 	var i hypervisor.Interrupt
 	i.Line = uint(r.U32())
 	i.Timer = r.Bool()
-	i.AdapterBase = r.U32()
+	i.Dev = r.U32()
 	i.Status = r.U32()
-	i.DMAAddr = r.U32()
+	i.Addr = r.U32()
 	if b := r.Bytes(); len(b) > 0 {
-		i.DMAData = b
+		i.Data = b
 	}
+	i.Seq = r.U32()
 	i.CapturedTOD = r.U32()
 	return i
 }
@@ -282,18 +284,22 @@ func PutHypervisorState(w *Writer, s hypervisor.State) {
 	w.Bool(s.Halted)
 	w.Bool(s.IOActive)
 	putInterrupts(w, s.Buffered)
-	w.U32(uint32(len(s.Adapters)))
-	for _, a := range s.Adapters {
-		w.U32(a.Base)
-		w.U32(uint32(a.Line))
-		w.U32(a.Cmd)
-		w.U32(a.Block)
-		w.U32(a.Addr)
-		w.U32(a.Count)
-		w.U32(a.Status)
-		w.U32(a.Info)
-		w.Bool(a.Outstanding)
-		w.Bool(a.IssuedReal)
+	w.U32(uint32(len(s.Devices)))
+	for _, d := range s.Devices {
+		w.String(d.ID)
+		w.U32(d.Base)
+		w.U32(uint32(d.Line))
+		w.Bool(d.Outstanding)
+		w.Bool(d.IssuedReal)
+		w.U32(d.OutCount)
+		w.Bytes(d.Data)
+	}
+	w.U32(uint32(len(s.Suppressed)))
+	for _, so := range s.Suppressed {
+		w.U32(so.Dev)
+		w.U32(so.Off)
+		w.U32(so.Val)
+		w.U32(so.Ordinal)
 	}
 	putHVStats(w, s.Stats)
 }
@@ -320,18 +326,28 @@ func HypervisorState(r *Reader) hypervisor.State {
 		return s
 	}
 	for i := 0; i < n; i++ {
-		var a hypervisor.AdapterState
-		a.Base = r.U32()
-		a.Line = uint(r.U32())
-		a.Cmd = r.U32()
-		a.Block = r.U32()
-		a.Addr = r.U32()
-		a.Count = r.U32()
-		a.Status = r.U32()
-		a.Info = r.U32()
-		a.Outstanding = r.Bool()
-		a.IssuedReal = r.Bool()
-		s.Adapters = append(s.Adapters, a)
+		var d hypervisor.DeviceState
+		d.ID = r.String()
+		d.Base = r.U32()
+		d.Line = uint(r.U32())
+		d.Outstanding = r.Bool()
+		d.IssuedReal = r.Bool()
+		d.OutCount = r.U32()
+		d.Data = r.Bytes()
+		s.Devices = append(s.Devices, d)
+	}
+	n = int(r.U32())
+	if r.Err() != nil || n < 0 || n > 1<<24 {
+		r.fail()
+		return s
+	}
+	for i := 0; i < n; i++ {
+		var so hypervisor.SuppressedOutputState
+		so.Dev = r.U32()
+		so.Off = r.U32()
+		so.Val = r.U32()
+		so.Ordinal = r.U32()
+		s.Suppressed = append(s.Suppressed, so)
 	}
 	s.Stats = hvStats(r)
 	return s

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/console"
+	"repro/internal/guest"
 	"repro/internal/scsi"
 	"repro/internal/sim"
 )
@@ -32,6 +34,8 @@ type clusterOptions struct {
 
 	diskRead, diskWrite Duration
 	diskBackend         DiskBackend
+	extraDisks          []DiskSpec
+	terminal            []TerminalInput
 }
 
 // buildOptions applies opts over the defaults and cross-validates.
@@ -59,6 +63,33 @@ func buildOptions(opts []Option) (*clusterOptions, error) {
 	for i := range o.failBackupAt {
 		if i > o.backups {
 			return nil, fmt.Errorf("hft: WithFailBackupAt(%d, ...) exceeds the replica set (%d backups)", i, o.backups)
+		}
+	}
+	// Workload/device cross-validation, eagerly: a workload that drives
+	// a device the platform does not carry would wedge mid-run instead.
+	if o.haveWork {
+		switch o.workload.Kind {
+		case guest.WorkloadCopy:
+			if len(o.extraDisks) == 0 {
+				return nil, errors.New("hft: TwoDiskCopy needs a second disk (add WithDisk)")
+			}
+		case guest.WorkloadTermEcho:
+			if len(o.terminal) == 0 {
+				return nil, errors.New("hft: TerminalEcho needs scripted terminal input (add WithTerminal)")
+			}
+		}
+		if o.workload.Kind == guest.WorkloadTermEcho {
+			// The TEMPORALLY last input must end with EOT (events are
+			// delivered by At, not by option order).
+			last := o.terminal[0]
+			for _, ev := range o.terminal[1:] {
+				if ev.At >= last.At {
+					last = ev
+				}
+			}
+			if len(last.Data) == 0 || last.Data[len(last.Data)-1] != TerminalEOT {
+				return nil, errors.New("hft: TerminalEcho input script must end with TerminalEOT or the guest never halts")
+			}
 		}
 	}
 	return o, nil
@@ -215,7 +246,7 @@ func WithDiskLatency(read, write Duration) Option {
 	}
 }
 
-// WithDiskBackend plugs in the storage behind the shared disk's blocks
+// WithDiskBackend plugs in the storage behind shared disk 0's blocks
 // (default: in-memory, lazily allocated, zero-filled).
 func WithDiskBackend(b DiskBackend) Option {
 	return func(o *clusterOptions) error {
@@ -223,6 +254,71 @@ func WithDiskBackend(b DiskBackend) Option {
 			return errors.New("hft: nil DiskBackend")
 		}
 		o.diskBackend = b
+		return nil
+	}
+}
+
+// DiskSpec describes one additional shared disk for WithDisk. Zero
+// latencies take the paper's defaults (24.2 ms reads / 26 ms writes);
+// a nil Backend means in-memory, lazily allocated, zero-filled.
+type DiskSpec struct {
+	// ReadLatency is the device service time for a block read.
+	ReadLatency Duration
+	// WriteLatency is the device service time for a block write.
+	WriteLatency Duration
+	// Backend optionally plugs in the storage behind the blocks.
+	Backend DiskBackend
+}
+
+// WithDisk adds one more shared disk to the cluster — repeatable, each
+// call appends a disk. Disk 0 is the boot disk every configuration
+// carries (WithDiskLatency/WithDiskBackend configure it); WithDisk
+// disks become disks 1, 2, ... on the platform's device table, visible
+// to the guest at consecutive MMIO windows and dual-ported to every
+// replica exactly like disk 0 (the I/O Device Accessibility
+// Assumption). The built-in TwoDiskCopy workload drives disks 0 and 1.
+func WithDisk(spec DiskSpec) Option {
+	return func(o *clusterOptions) error {
+		if spec.ReadLatency < 0 || spec.WriteLatency < 0 {
+			return errors.New("hft: negative disk latency")
+		}
+		o.extraDisks = append(o.extraDisks, spec)
+		return nil
+	}
+}
+
+// TerminalInput is one scripted keystroke burst: Data arrives at the
+// console at virtual time At.
+type TerminalInput struct {
+	At   Duration
+	Data string
+}
+
+// TerminalEOT is the end-of-transmission byte that terminates the
+// TerminalEcho workload's input stream.
+const TerminalEOT = guest.TermEOT
+
+// WithTerminal scripts environment input arriving at the console —
+// repeatable; events accumulate. Input is delivered to the guest the
+// way §2 of the paper delivers every interrupt: the I/O-active
+// hypervisor captures the arriving bytes, forwards them in the epoch
+// stream, and every replica makes them guest-visible at the same epoch
+// boundary. Transcripts (echoed output) of replicated runs equal bare
+// runs byte for byte, including across failovers and reintegrations.
+func WithTerminal(script ...TerminalInput) Option {
+	return func(o *clusterOptions) error {
+		if len(script) == 0 {
+			return errors.New("hft: empty terminal script")
+		}
+		for _, ev := range script {
+			if ev.At <= 0 {
+				return fmt.Errorf("hft: non-positive terminal input time %v", sim.Time(ev.At))
+			}
+			if len(ev.Data) == 0 {
+				return errors.New("hft: empty terminal input data")
+			}
+		}
+		o.terminal = append(o.terminal, script...)
 		return nil
 	}
 }
@@ -275,7 +371,7 @@ func withBare() Option {
 	}
 }
 
-// diskConfig materializes the device configuration.
+// diskConfig materializes disk 0's device configuration.
 func (o *clusterOptions) diskConfig() scsi.DiskConfig {
 	cfg := scsi.DiskConfig{
 		ReadLatency:  sim.Time(o.diskRead),
@@ -285,6 +381,31 @@ func (o *clusterOptions) diskConfig() scsi.DiskConfig {
 		cfg.Backend = scsiBackend(o.diskBackend)
 	}
 	return cfg
+}
+
+// extraDiskConfigs materializes the WithDisk disks.
+func (o *clusterOptions) extraDiskConfigs() []scsi.DiskConfig {
+	var out []scsi.DiskConfig
+	for _, spec := range o.extraDisks {
+		cfg := scsi.DiskConfig{
+			ReadLatency:  sim.Time(spec.ReadLatency),
+			WriteLatency: sim.Time(spec.WriteLatency),
+		}
+		if spec.Backend != nil {
+			cfg.Backend = scsiBackend(spec.Backend)
+		}
+		out = append(out, cfg)
+	}
+	return out
+}
+
+// terminalScript materializes the scripted console input.
+func (o *clusterOptions) terminalScript() []console.Input {
+	var out []console.Input
+	for _, ev := range o.terminal {
+		out = append(out, console.Input{At: sim.Time(ev.At), Data: []byte(ev.Data)})
+	}
+	return out
 }
 
 // failBackupTimes flattens the failure schedule to the engine's

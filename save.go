@@ -108,6 +108,11 @@ func (c *Cluster) Save(w io.Writer) error {
 	if c.opts.diskBackend != nil {
 		return errors.New("hft: Save: sessions with a custom DiskBackend are not serializable")
 	}
+	for i, spec := range c.opts.extraDisks {
+		if spec.Backend != nil {
+			return fmt.Errorf("hft: Save: disk %d has a custom DiskBackend; not serializable", i+1)
+		}
+	}
 	if c.opts.bare {
 		return errors.New("hft: Save: bare baseline sessions are not checkpointable")
 	}
@@ -170,6 +175,16 @@ func (c *Cluster) putConfig(w *snapshot.Writer) {
 	}
 	w.I64(int64(o.diskRead))
 	w.I64(int64(o.diskWrite))
+	w.U32(uint32(len(o.extraDisks)))
+	for _, spec := range o.extraDisks {
+		w.I64(int64(spec.ReadLatency))
+		w.I64(int64(spec.WriteLatency))
+	}
+	w.U32(uint32(len(o.terminal)))
+	for _, ev := range o.terminal {
+		w.I64(int64(ev.At))
+		w.String(ev.Data)
+	}
 }
 
 // configFrom rebuilds resolved cluster options from a snapshot.
@@ -202,6 +217,20 @@ func configFrom(r *snapshot.Reader) *clusterOptions {
 	}
 	o.diskRead = Duration(r.I64())
 	o.diskWrite = Duration(r.I64())
+	n = int(r.U32())
+	for i := 0; i < n && r.Err() == nil; i++ {
+		var spec DiskSpec
+		spec.ReadLatency = Duration(r.I64())
+		spec.WriteLatency = Duration(r.I64())
+		o.extraDisks = append(o.extraDisks, spec)
+	}
+	n = int(r.U32())
+	for i := 0; i < n && r.Err() == nil; i++ {
+		var ev TerminalInput
+		ev.At = Duration(r.I64())
+		ev.Data = r.String()
+		o.terminal = append(o.terminal, ev)
+	}
 	return o
 }
 
