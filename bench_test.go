@@ -135,6 +135,7 @@ func BenchmarkMachineStep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		m.Step()
 	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/instr")
 }
 
 // BenchmarkMachineRun measures the batched executor on the same loop:
@@ -158,6 +159,7 @@ func BenchmarkMachineRun(b *testing.B) {
 			b.Fatalf("unexpected exit: %+v", rr.StepResult)
 		}
 	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/instr")
 }
 
 // BenchmarkHypervisorEpoch measures the cost of running one epoch under

@@ -34,6 +34,7 @@ import (
 	"runtime/pprof"
 
 	"repro/internal/harness"
+	"repro/internal/machine"
 )
 
 // jsonPoint is a FigurePoint with NaN ("not measured") encoded as null.
@@ -87,6 +88,7 @@ func run() int {
 		scaleN   = flag.String("scale", "quick", "workload scale: quick or paper")
 		parallel = flag.Int("parallel", 1, "concurrent simulations per experiment (0 = all CPUs)")
 		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON instead of text")
+		traceMd  = flag.String("trace", "on", "superblock trace dispatch: on or off (results are bit-identical either way)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -100,6 +102,14 @@ func run() int {
 		scale = harness.PaperScale()
 	default:
 		fmt.Fprintf(os.Stderr, "hftbench: unknown scale %q\n", *scaleN)
+		return 2
+	}
+	switch *traceMd {
+	case "on":
+	case "off":
+		machine.SetTraceDispatch(false)
+	default:
+		fmt.Fprintf(os.Stderr, "hftbench: unknown -trace mode %q (want on or off)\n", *traceMd)
 		return 2
 	}
 	harness.SetWorkers(*parallel)

@@ -15,6 +15,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
+	"sync/atomic"
 
 	"repro/internal/isa"
 )
@@ -58,6 +59,12 @@ type Config struct {
 	// typically derived from the simulation clock). If nil, TOD reads
 	// return the retired-instruction count.
 	TODSource func() uint32
+	// NoTraces disables superblock trace dispatch for this machine: Run
+	// falls back to the per-instruction fast loop. Architected state,
+	// statistics and TLB behaviour are identical either way (traces are
+	// a pure execution-speed layer); the switch exists for A/B
+	// measurement and differential testing. See also SetTraceDispatch.
+	NoTraces bool
 }
 
 // withDefaults fills zero fields.
@@ -155,6 +162,11 @@ type Machine struct {
 	// pages, indexed by physical page number (see pagecache.go). Entries
 	// are invalidated by stores into the page.
 	pages []*decodedPage
+
+	// traceOn enables superblock trace dispatch in Run (see trace.go),
+	// resolved at construction from Config.NoTraces and the package
+	// default (SetTraceDispatch).
+	traceOn bool
 }
 
 const (
@@ -205,14 +217,24 @@ func New(cfg Config) *Machine {
 		panic(fmt.Sprintf("machine: unknown TLB policy %q", cfg.TLBPolicy))
 	}
 	m := &Machine{
-		cfg:   cfg,
-		Mem:   make([]byte, cfg.MemBytes),
-		TLB:   NewTLB(cfg.TLBSize, pol),
-		pages: make([]*decodedPage, (cfg.MemBytes+isa.PageSize-1)>>isa.PageShift),
+		cfg:     cfg,
+		Mem:     grabMem(int(cfg.MemBytes)),
+		TLB:     NewTLB(cfg.TLBSize, pol),
+		pages:   grabPages(int((cfg.MemBytes + isa.PageSize - 1) >> isa.PageShift)),
+		traceOn: !cfg.NoTraces && !traceDispatchOff.Load(),
 	}
 	m.CRs[isa.CRCPUID] = cfg.CPUID
 	return m
 }
+
+// traceDispatchOff is the package-wide default for superblock trace
+// dispatch (zero value: traces on).
+var traceDispatchOff atomic.Bool
+
+// SetTraceDispatch sets the package-wide default for superblock trace
+// dispatch, applied to machines created afterwards (hftbench's
+// -trace=off flag). Per-machine Config.NoTraces overrides independently.
+func SetTraceDispatch(on bool) { traceDispatchOff.Store(!on) }
 
 // Config returns the machine's configuration (defaults applied).
 func (m *Machine) Config() Config { return m.cfg }

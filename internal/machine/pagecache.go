@@ -43,6 +43,18 @@ type decodedPage struct {
 	// the fast loop's hoisted state (MTCTL, RFI, ITLBI, PTLB), so the
 	// post-execute class check is a bit test instead of a switch.
 	resync [instsPerPage / 64]uint64
+
+	// Superblock traces over this page (see trace.go). traceAt maps an
+	// entry slot to its trace index+1 (0 unknown, traceIneligible for
+	// slots that cannot start a trace); cover marks every slot inside
+	// any trace, so stores can tell trace-covering writes from plain
+	// data writes on mixed code/data pages without dropping traces on
+	// every store; gen increments whenever traces drop, so a running
+	// trace notices its own page being rewritten.
+	traceAt [instsPerPage]uint16
+	traces  []*trace
+	cover   [instsPerPage / 64]uint64
+	gen     uint32
 }
 
 // execPage returns (allocating on first use) the decoded image of the
@@ -51,7 +63,7 @@ func (m *Machine) execPage(base uint32) *decodedPage {
 	idx := base >> isa.PageShift
 	pg := m.pages[idx]
 	if pg == nil {
-		pg = &decodedPage{}
+		pg = grabPage()
 		m.pages[idx] = pg
 	}
 	return pg
@@ -90,7 +102,15 @@ func (m *Machine) fill(pg *decodedPage, base, slot uint32) (isa.Inst, uint32, bo
 func (m *Machine) invalidateWord(pa uint32) {
 	if pg := m.pages[pa>>isa.PageShift]; pg != nil {
 		slot := (pa & isa.PageMask) >> 2
-		pg.valid[slot>>6] &^= 1 << (slot & 63)
+		bit := uint64(1) << (slot & 63)
+		pg.valid[slot>>6] &^= bit
+		if pg.cover[slot>>6]&bit != 0 {
+			// The word is inside a superblock trace: drop the page's
+			// traces (and bump gen for any trace mid-execution).
+			pg.dropTraces()
+		}
+		// Any entry mark for this slot is stale now; rebuild on demand.
+		pg.traceAt[slot] = 0
 	}
 }
 
@@ -117,6 +137,7 @@ func (m *Machine) invalidateRange(pa uint32, n int) {
 	for p := first; p <= last && p < uint32(len(m.pages)); p++ {
 		if pg := m.pages[p]; pg != nil {
 			pg.valid = [instsPerPage / 64]uint64{}
+			pg.dropTraces()
 		}
 	}
 }

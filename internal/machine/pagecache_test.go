@@ -242,3 +242,85 @@ func TestRunDifferentialPTLBMidBatch(t *testing.T) {
 		diffSource(t, src, chunk, 4_000_000, nil)
 	}
 }
+
+// TestRunDifferentialStoreWithinLiveTrace stores into an instruction
+// slot a few words AHEAD of the store inside one straight-line run: by
+// the time the store retires, the trace executor has already lowered
+// the remaining instructions of the superblock, so it must notice the
+// overwrite (generation check), abandon the stale tail, and resync so
+// the patched instruction executes its new decoding — exactly as Step
+// does on its next fetch. The patch alternates between a plain ALU op
+// and BV (an absolute jump that skips two instructions), so a stale
+// tail diverges both the digest and the retired-instruction mix.
+func TestRunDifferentialStoreWithinLiveTrace(t *testing.T) {
+	wALU := word(t, "addi r3, r3, 7")
+	wBV := word(t, "bv   r9")
+	src := fmt.Sprintf(`
+		la   r6, site
+		la   r9, over
+		li   r7, %#x
+		li   r8, %#x
+		addi r5, r0, 200
+	loop:
+		stw  r7, 0(r6)   ; patch six words ahead, inside this superblock
+		addi r3, r3, 1
+		add  r4, r4, r3
+		xor  r4, r4, r3
+		sub  r4, r4, r3
+		slt  r2, r4, r3
+	site:
+		nop              ; becomes ADDI or BV on alternate passes
+		addi r3, r3, 11
+		addi r3, r3, 13
+	over:
+		xor  r7, r7, r8  ; swap variants for the next pass
+		xor  r8, r7, r8
+		xor  r7, r7, r8
+		addi r5, r5, -1
+		bne  r5, r0, loop
+		halt
+	`, wALU, wBV)
+	for _, chunk := range []uint64{1, 3, 7, 64, 1021, 8191} {
+		diffSource(t, src, chunk, 4_000_000, nil)
+	}
+}
+
+// TestRunDifferentialCrossPageStoreIntoTracedCode patches the INNER
+// LOOP of a subroutine on another page — code hot enough to have its
+// own compiled, chained traces — and immediately calls back into it,
+// all within one large batch: the store must drop the other page's
+// trace records, and the recompiled trace must decode the patched
+// word. (The companion TestRunDifferentialCrossPageStore patches a
+// straight-line callee; this one targets a trace that loops on
+// itself, the chaining executor's specialized case.)
+func TestRunDifferentialCrossPageStoreIntoTracedCode(t *testing.T) {
+	w1 := word(t, "addi r3, r3, 1")
+	w2 := word(t, "addi r3, r3, 100")
+	src := fmt.Sprintf(`
+		la   r6, site2
+		li   r7, %#x
+		li   r8, %#x
+		addi r5, r0, 120
+	loop:
+		stw  r7, 0(r6)
+		bl   r9, sub
+		stw  r8, 0(r6)
+		bl   r9, sub
+		addi r5, r5, -1
+		bne  r5, r0, loop
+		halt
+	.org 0x1000
+	sub:
+		addi r10, r0, 6
+	sloop:
+		add  r4, r4, r10
+	site2:
+		nop              ; patched from the other page
+		addi r10, r10, -1
+		bne  r10, r0, sloop
+		bv   r9
+	`, w1, w2)
+	for _, chunk := range []uint64{2, 5, 257, 4096, 16384} {
+		diffSource(t, src, chunk, 4_000_000, nil)
+	}
+}

@@ -1,0 +1,101 @@
+package machine
+
+import "sync"
+
+// Machine construction dominates short-lived simulation sessions: every
+// hftbench figure point (and every benchmark iteration) builds a fresh
+// cluster, and most of that cost is allocating — and then garbage
+// collecting — the two bulk per-machine buffers: guest RAM and the
+// decoded-page cache. The pools below recycle both across machine
+// lifetimes. A recycled buffer is re-zeroed (RAM, page table) or
+// metadata-reset (decoded pages) before reuse, so a machine built from
+// recycled buffers is indistinguishable from one built fresh: recycling
+// changes allocation behaviour only, never execution. The pools are
+// package-global and safe for concurrent sessions (hftbench -parallel).
+
+var (
+	memPool   sync.Pool // *[]byte: guest RAM buffers
+	pagesPool sync.Pool // *[]*decodedPage: per-machine page tables
+	pagePool  sync.Pool // *decodedPage: decoded-page images
+	tracePool sync.Pool // *trace: superblock records (see trace.go)
+)
+
+// grabTrace returns an empty trace record, reusing a recycled one's ops
+// capacity when available.
+func grabTrace() *trace {
+	if tr, _ := tracePool.Get().(*trace); tr != nil {
+		tr.ops = tr.ops[:0]
+		return tr
+	}
+	return &trace{ops: make([]traceOp, 0, 16)}
+}
+
+// putTraces recycles dropped trace records.
+func putTraces(ts []*trace) {
+	for _, t := range ts {
+		tracePool.Put(t)
+	}
+}
+
+// grabMem returns a zeroed n-byte RAM buffer, recycled when a released
+// one is large enough.
+func grabMem(n int) []byte {
+	if p, _ := memPool.Get().(*[]byte); p != nil && cap(*p) >= n {
+		s := (*p)[:n]
+		clear(s)
+		return s
+	}
+	return make([]byte, n)
+}
+
+// grabPages returns a nil-filled page table with n entries.
+func grabPages(n int) []*decodedPage {
+	if p, _ := pagesPool.Get().(*[]*decodedPage); p != nil && cap(*p) >= n {
+		s := (*p)[:n]
+		clear(s)
+		return s
+	}
+	return make([]*decodedPage, n)
+}
+
+// grabPage returns a decoded page ready for first use. Only the
+// validity metadata of a recycled page needs resetting: insts/words are
+// gated by the valid bitmap and re-decode on demand, and priv/resync
+// bits are rewritten by fill alongside each valid bit.
+func grabPage() *decodedPage {
+	pg, _ := pagePool.Get().(*decodedPage)
+	if pg == nil {
+		return &decodedPage{}
+	}
+	pg.valid = [instsPerPage / 64]uint64{}
+	clear(pg.traceAt[:])
+	pg.cover = [instsPerPage / 64]uint64{}
+	putTraces(pg.traces)
+	pg.traces = pg.traces[:0]
+	pg.gen = 0
+	return pg
+}
+
+// Release returns the machine's bulk buffers to the pools and drops the
+// machine's references to them. The machine must not run afterwards;
+// callers that own a machine's whole lifetime (the session engine, on
+// teardown) call it so the next session's machines build from recycled
+// buffers instead of cold allocations.
+func (m *Machine) Release() {
+	if m.Mem != nil {
+		mem := m.Mem
+		m.Mem = nil
+		memPool.Put(&mem)
+	}
+	if m.pages != nil {
+		pages := m.pages
+		m.pages = nil
+		for i, pg := range pages {
+			if pg != nil {
+				pages[i] = nil
+				pagePool.Put(pg)
+			}
+		}
+		pagesPool.Put(&pages)
+	}
+}

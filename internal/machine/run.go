@@ -146,11 +146,45 @@ outer:
 				tlb.pending = fetchSlot
 			}
 		}
+		// Superblock trace dispatch: execute whole lowered traces until
+		// none applies here (see trace.go). On texStep nothing retired
+		// and the per-instruction loop below must make progress before
+		// trace dispatch is retried, or the two would ping-pong.
+		skipTrace := false
+		if m.traceOn {
+			hits, ex := m.runTraces(pg, base, pageVA, fetchSlot, pl, budget, checkIRQ)
+			fetchHits += hits
+			switch ex {
+			case texTrap:
+				rr.StepResult = m.tres
+				return rr
+			case texResync:
+				continue outer
+			}
+			skipTrace = true
+		}
 		for budget > 0 {
 			if m.PC&^uint32(isa.PageMask) != pageVA {
 				continue outer // page-crossing transfer: re-establish
 			}
 			slot := (m.PC & isa.PageMask) >> 2
+			if m.traceOn && !skipTrace {
+				// Back on a trace entry (e.g. after a terminator or a
+				// too-small tail budget): bounce out to trace dispatch
+				// if a usable trace fits what remains.
+				if ti := pg.traceAt[slot]; ti != 0 && ti < traceVisited {
+					if need := uint64(pg.traces[ti-1].ilen); need <= budget {
+						if t := uint64(m.CRs[isa.CRITMR]); t == 0 || need <= t {
+							continue outer
+						}
+					}
+				} else if ti == traceVisited {
+					// Second encounter of a marked entry inside one Run
+					// call: resync so trace dispatch compiles it.
+					continue outer
+				}
+			}
+			skipTrace = false
 			bit := uint64(1) << (slot & 63)
 			fetchHits += hitInc
 			var in isa.Inst

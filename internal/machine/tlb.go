@@ -265,17 +265,23 @@ func (t *TLB) Entries() []TLBEntry {
 // permitted reports whether an access of the given kind at privilege
 // level pl is allowed by the entry's flags.
 func permitted(e TLBEntry, kind accessKind, pl uint32) bool {
-	minPL := (e.Flags & isa.TLBPLMask) >> isa.TLBPLShift
+	return permittedFlags(e.Flags, kind, pl)
+}
+
+// permittedFlags is permitted on a bare flags word (the trace executor
+// caches flags rather than whole entries).
+func permittedFlags(flags uint32, kind accessKind, pl uint32) bool {
+	minPL := (flags & isa.TLBPLMask) >> isa.TLBPLShift
 	if pl != 0 && pl > minPL {
 		return false
 	}
 	switch kind {
 	case accessRead:
-		return e.Flags&isa.TLBRead != 0
+		return flags&isa.TLBRead != 0
 	case accessWrite:
-		return e.Flags&isa.TLBWrite != 0
+		return flags&isa.TLBWrite != 0
 	case accessExec:
-		return e.Flags&isa.TLBExec != 0
+		return flags&isa.TLBExec != 0
 	}
 	return false
 }

@@ -1,0 +1,404 @@
+package machine
+
+import (
+	"repro/internal/isa"
+)
+
+// Superblock traces: straight-line runs of decoded instructions fused
+// into records with lowered dispatch, executed whole by Run between
+// async-condition checks. A trace starts at an entry slot, extends
+// through trace-eligible instructions (plain ALU, memory, branches),
+// and ends before the first instruction that can invalidate hoisted
+// state — privileged and resync-class ops, GATE, BREAK, PROBE, MFTOD,
+// WFI, HALT, DIAG — or at an unconditional transfer, the page end, or
+// the length cap. Because no trace contains a privileged or resync
+// instruction, the per-instruction privilege and resync bit tests of
+// the fast loop are discharged once, at build time, for the whole run.
+//
+// Lowering precomputes what Step derives per instruction: immediates
+// are sign-extended (LUI pre-shifted), branch targets become offsets
+// from the trace entry address, compare+branch pairs fuse into one op,
+// and every op carries its instruction index and the class-statistic
+// counts retired before it, so any exit point can reconstruct exact
+// Stats and the exact PC without per-instruction bookkeeping.
+//
+// Equivalence with Step is maintained by construction:
+//
+//   - the executor only enters a trace when the whole trace fits in the
+//     current budget (recovery counter and interval timer included), so
+//     epoch boundaries and timer fire points land between traces exactly
+//     where Step would put them;
+//   - data accesses replicate translate/loadPhys/storePhys including
+//     TLB recency (flushPending + touch + hit/miss counts) and the
+//     deferred fetch-touch re-arm;
+//   - stores check the page generation counter after every write, so
+//     self-modifying code exits the trace the moment it overwrites any
+//     covered slot (the store itself retires, like Step);
+//   - traps reconstruct the faulting PC and StepResult (Inst/Raw
+//     included) from the op's position, leaving architected state
+//     exactly as Step would.
+//
+// Traces live in the decodedPage and are dropped by the same stores
+// that invalidate decoded slots (see invalidateWord), and wholesale by
+// WriteBytes and snapshot restore.
+
+// Exit kinds from runTraces.
+const (
+	// texStep: no instruction retired; the caller must take the exact
+	// per-instruction path (and retire at least one instruction before
+	// retrying trace dispatch, or the two paths would ping-pong).
+	texStep = iota
+	// texResync: one or more instructions retired and PC is set; the
+	// caller re-evaluates async conditions and hoisted state.
+	texResync
+	// texTrap: a synchronous trap is staged in m.tres (Inst/Raw set);
+	// retired-prefix statistics are already flushed.
+	texTrap
+)
+
+const (
+	// traceMaxInstrs caps trace length in instructions.
+	traceMaxInstrs = 64
+	// traceIneligible marks an entry slot whose instruction cannot
+	// start a trace, so repeated probes stay O(1).
+	traceIneligible = 0xFFFF
+	// traceVisited marks an entry slot seen once by trace dispatch.
+	// Compilation happens on the second visit, so one-shot code (boot
+	// paths, rarely-taken handlers) never pays the compiler; the first
+	// visit runs on the exact per-instruction path instead.
+	traceVisited = 0xFFFE
+)
+
+// Lowered op kinds. The zero value is invalid so a zeroed op is never
+// executable.
+const (
+	tBAD uint8 = iota
+	tNOP
+	tADD
+	tSUB
+	tAND
+	tOR
+	tXOR
+	tSLL
+	tSRL
+	tSRA
+	tSLT
+	tSLTU
+	tMUL
+	tDIV
+	tREM
+	tADDI
+	tANDI
+	tORI
+	tXORI
+	tSLTI
+	tSLTIU
+	tSLLI
+	tSRLI
+	tSRAI
+	tLI // LUI with the <<11 folded into imm
+	tLDW
+	tLDH
+	tLDB
+	tSTW
+	tSTH
+	tSTB
+	tBEQ
+	tBNE
+	tBLT
+	tBGE
+	tBLTU
+	tBGEU
+	tBL
+	tBV
+	tFADDIBEQ // fused ALU+branch: ALU result written, then compared to 0
+	tFADDIBNE
+	tFANDIBEQ
+	tFANDIBNE
+	tFSLTIBEQ
+	tFSLTIBNE
+)
+
+// traceOp is one lowered operation (16 bytes). pos is the instruction
+// index of the op within its trace (fused ops span pos and pos+1);
+// ld/st/br are the load/store/branch counts retired BEFORE the op, so
+// exits need no per-op counters. imm is the precomputed immediate —
+// for plain branches and BL, the taken-target byte offset from the
+// trace entry address. aux is the fused-branch taken offset, or BL's
+// link offset.
+type traceOp struct {
+	kind       uint8
+	rd, r1, r2 uint8
+	ld, st, br uint8
+	pos        uint8
+	imm        uint32
+	aux        uint32
+}
+
+// trace is one superblock: the lowered ops plus whole-trace totals for
+// the common run-to-the-end exit.
+type trace struct {
+	ops                     []traceOp
+	ilen                    uint32 // instructions retired when no side exit is taken
+	loads, stores, branches uint32
+}
+
+// dropTraces discards every trace on the page and bumps the generation
+// counter so a running executor notices mid-trace. Entry marks
+// (including ineligible ones) reset too: the code that earned them has
+// been overwritten.
+func (pg *decodedPage) dropTraces() {
+	pg.gen++
+	clear(pg.traceAt[:])
+	// The dropped records are NOT recycled here: a drop can happen under
+	// a running trace (a store from inside it), and in a concurrent
+	// process another machine could grab and mutate a pooled record the
+	// executor is still reading. Recycling happens only at machine death
+	// (Release), when no reader can remain.
+	pg.traces = nil
+	pg.cover = [instsPerPage / 64]uint64{}
+}
+
+// traceFor returns the trace entered at slot, building it on first
+// probe, or nil when the slot cannot start a trace.
+func (m *Machine) traceFor(pg *decodedPage, base, slot uint32) *trace {
+	switch ti := pg.traceAt[slot]; ti {
+	case 0:
+		pg.traceAt[slot] = traceVisited
+		return nil
+	case traceVisited:
+		return m.buildTrace(pg, base, slot)
+	case traceIneligible:
+		return nil
+	default:
+		return pg.traces[ti-1]
+	}
+}
+
+// peekInst returns the decoded instruction at slot via the decoded-page
+// cache, filling it if needed. ok=false means the word is illegal.
+func (m *Machine) peekInst(pg *decodedPage, base, slot uint32) (isa.Inst, bool) {
+	if pg.valid[slot>>6]&(1<<(slot&63)) != 0 {
+		return pg.insts[slot], true
+	}
+	in, _, ok := m.fill(pg, base, slot)
+	return in, ok
+}
+
+// aluRegKind maps register-ALU opcodes to trace kinds (tBAD otherwise).
+func aluRegKind(op isa.Op) uint8 {
+	switch op {
+	case isa.OpADD:
+		return tADD
+	case isa.OpSUB:
+		return tSUB
+	case isa.OpAND:
+		return tAND
+	case isa.OpOR:
+		return tOR
+	case isa.OpXOR:
+		return tXOR
+	case isa.OpSLL:
+		return tSLL
+	case isa.OpSRL:
+		return tSRL
+	case isa.OpSRA:
+		return tSRA
+	case isa.OpSLT:
+		return tSLT
+	case isa.OpSLTU:
+		return tSLTU
+	case isa.OpMUL:
+		return tMUL
+	}
+	return tBAD
+}
+
+// aluImmKind maps immediate-ALU opcodes to trace kinds (tBAD otherwise).
+func aluImmKind(op isa.Op) uint8 {
+	switch op {
+	case isa.OpADDI:
+		return tADDI
+	case isa.OpANDI:
+		return tANDI
+	case isa.OpORI:
+		return tORI
+	case isa.OpXORI:
+		return tXORI
+	case isa.OpSLTI:
+		return tSLTI
+	case isa.OpSLTIU:
+		return tSLTIU
+	case isa.OpSLLI:
+		return tSLLI
+	case isa.OpSRLI:
+		return tSRLI
+	case isa.OpSRAI:
+		return tSRAI
+	case isa.OpLUI:
+		return tLI
+	}
+	return tBAD
+}
+
+// fusedKind returns the fused compare+branch kind for (aluOp, brOp), or
+// tBAD when the pair does not fuse.
+func fusedKind(alu, br isa.Op) uint8 {
+	var base uint8
+	switch alu {
+	case isa.OpADDI:
+		base = tFADDIBEQ
+	case isa.OpANDI:
+		base = tFANDIBEQ
+	case isa.OpSLTI:
+		base = tFSLTIBEQ
+	default:
+		return tBAD
+	}
+	switch br {
+	case isa.OpBEQ:
+		return base
+	case isa.OpBNE:
+		return base + 1
+	}
+	return tBAD
+}
+
+// buildTrace compiles the superblock entered at slot entry, registers
+// it on the page, and returns it — or marks the entry ineligible and
+// returns nil when the first instruction cannot be lowered.
+func (m *Machine) buildTrace(pg *decodedPage, base, entry uint32) *trace {
+	tr := grabTrace()
+	ops := tr.ops
+	var ld, st, br uint8
+	pos := uint8(0)
+	slot := entry
+	stop := false
+	for !stop && pos < traceMaxInstrs && slot < instsPerPage {
+		in, ok := m.peekInst(pg, base, slot)
+		if !ok {
+			break
+		}
+		op := traceOp{
+			rd: uint8(in.Rd), r1: uint8(in.R1), r2: uint8(in.R2),
+			ld: ld, st: st, br: br, pos: pos,
+		}
+		width := uint8(1)
+		switch {
+		case aluRegKind(in.Op) != tBAD:
+			if in.Rd == 0 {
+				op.kind = tNOP // r0-destination ALU retires with no effect
+			} else {
+				op.kind = aluRegKind(in.Op)
+			}
+		case in.Op == isa.OpDIV || in.Op == isa.OpREM:
+			op.kind = tDIV
+			if in.Op == isa.OpREM {
+				op.kind = tREM
+			}
+		case aluImmKind(in.Op) != tBAD:
+			if in.Rd == 0 {
+				op.kind = tNOP
+				break
+			}
+			// Compare+branch fusion: ALU writes rd, next instruction
+			// branches on rd vs r0. The write is kept; the pair retires
+			// as two instructions.
+			if pos+1 < traceMaxInstrs && slot+1 < instsPerPage {
+				if nx, ok2 := m.peekInst(pg, base, slot+1); ok2 && nx.R1 == in.Rd && nx.R2 == 0 {
+					if fk := fusedKind(in.Op, nx.Op); fk != tBAD {
+						op.kind = fk
+						op.imm = uint32(in.Imm)
+						op.aux = uint32(int32(pos)+2+nx.Imm) * 4
+						width = 2
+						br++
+						break
+					}
+				}
+			}
+			op.kind = aluImmKind(in.Op)
+			op.imm = uint32(in.Imm)
+			if in.Op == isa.OpLUI {
+				op.imm = uint32(in.Imm) << 11
+			}
+		case in.Op == isa.OpLDW || in.Op == isa.OpLDH || in.Op == isa.OpLDB:
+			switch in.Op {
+			case isa.OpLDW:
+				op.kind = tLDW
+			case isa.OpLDH:
+				op.kind = tLDH
+			default:
+				op.kind = tLDB
+			}
+			op.imm = uint32(in.Imm)
+			ld++
+		case in.Op == isa.OpSTW || in.Op == isa.OpSTH || in.Op == isa.OpSTB:
+			switch in.Op {
+			case isa.OpSTW:
+				op.kind = tSTW
+			case isa.OpSTH:
+				op.kind = tSTH
+			default:
+				op.kind = tSTB
+			}
+			op.imm = uint32(in.Imm)
+			st++
+		case in.Op == isa.OpBEQ || in.Op == isa.OpBNE || in.Op == isa.OpBLT ||
+			in.Op == isa.OpBGE || in.Op == isa.OpBLTU || in.Op == isa.OpBGEU:
+			switch in.Op {
+			case isa.OpBEQ:
+				op.kind = tBEQ
+			case isa.OpBNE:
+				op.kind = tBNE
+			case isa.OpBLT:
+				op.kind = tBLT
+			case isa.OpBGE:
+				op.kind = tBGE
+			case isa.OpBLTU:
+				op.kind = tBLTU
+			default:
+				op.kind = tBGEU
+			}
+			op.imm = uint32(int32(pos)+1+in.Imm) * 4
+			br++
+			// Same-register BEQ/BGE/BGEU always take: the fall-through
+			// is dead, so the trace ends here.
+			if in.R1 == in.R2 && (in.Op == isa.OpBEQ || in.Op == isa.OpBGE || in.Op == isa.OpBGEU) {
+				stop = true
+			}
+		case in.Op == isa.OpBL:
+			op.kind = tBL
+			op.imm = uint32(int32(pos)+1+in.Imm) * 4
+			op.aux = (uint32(pos) + 1) * 4
+			br++
+			stop = true
+		case in.Op == isa.OpBV:
+			op.kind = tBV
+			br++
+			stop = true
+		case in.Op == isa.OpNOP:
+			op.kind = tNOP
+		default:
+			// Privileged, resync-class, GATE, BREAK, PROBE, MFTOD, WFI,
+			// HALT, DIAG: terminators — never inside a trace.
+			stop = true
+			continue
+		}
+		ops = append(ops, op)
+		pos += width
+		slot += uint32(width)
+	}
+	if len(ops) == 0 {
+		pg.traceAt[entry] = traceIneligible
+		tracePool.Put(tr)
+		return nil
+	}
+	tr.ops, tr.ilen = ops, uint32(pos)
+	tr.loads, tr.stores, tr.branches = uint32(ld), uint32(st), uint32(br)
+	pg.traces = append(pg.traces, tr)
+	pg.traceAt[entry] = uint16(len(pg.traces))
+	for s := entry; s < slot; s++ {
+		pg.cover[s>>6] |= 1 << (s & 63)
+	}
+	return tr
+}

@@ -1,0 +1,369 @@
+// Seeded differential fuzzing of the superblock trace layer: randomly
+// generated instruction pages — ALU-dense, branch-dense, memory-dense,
+// privileged/resync-heavy, and virtual-mode permission-trap mixes —
+// are driven through the Step and Run dispatch paths on identical
+// machines. Architected digests are compared at every chunk boundary
+// and full statistics (including TLB replacement state, the strictest
+// observable) at the end. Seeds are fixed, so any failure reproduces.
+//
+// Every generated program installs real interruption handlers at the
+// vector table, so trap-dense mixes keep making forward progress: the
+// default handler skips the faulting instruction and returns, the
+// virtual-mode mix remaps TLB misses and retries, and the interval
+// timer re-arms itself. Trap delivery, RFI, ITLBI and PTLB are all
+// resync-class instructions, so these mixes constantly enter and leave
+// traces mid-page — exactly the seams where the trace executor's
+// recency bookkeeping has to replay Step's TLB touch order.
+package machine_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/machine"
+)
+
+const (
+	fuzzIVA      = 0x1000 // vector table base (physical)
+	fuzzTimerVal = 1777   // interval-timer reload used by the virt mix
+)
+
+// fuzzVectors emits the interruption vector table at fuzzIVA. Every
+// slot is exactly isa.VectorStride bytes. The default handler bumps the
+// saved instruction address past the trapping instruction and returns;
+// with remapMiss, the two TLB-miss slots instead identity-map the
+// faulting page read/write/execute and retry; with timerReload, the
+// interval-timer slot re-arms the timer. Handlers run untranslated at
+// PL 0 (DeliverTrap semantics) and own r21/r22.
+func fuzzVectors(remapMiss, timerReload bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, ".org %#x\n", fuzzIVA)
+	for t := 0; t < isa.NumTrapCodes; t++ {
+		switch {
+		case remapMiss && (isa.Trap(t) == isa.TrapITLBMiss || isa.Trap(t) == isa.TrapDTLBMiss):
+			b.WriteString(`	mfctl r21, cr21   ; faulting address (IOR)
+	srli r21, r21, 12
+	slli r21, r21, 12 ; page base
+	ori r22, r21, 7   ; identity map, R|W|X
+	itlbi r22, r21
+	rfi
+	.space 8
+`)
+		case timerReload && isa.Trap(t) == isa.TrapITimer:
+			fmt.Fprintf(&b, "\tli r21, %d\n\tmtctl itmr, r21\n\trfi\n\t.space 16\n", fuzzTimerVal)
+		default:
+			b.WriteString(`	mfctl r21, cr23   ; saved PC (IIA)
+	addi r21, r21, 4
+	mtctl cr23, r21   ; skip the trapping instruction
+	rfi
+	.space 16
+`)
+		}
+	}
+	b.WriteString(".align 4096\n") // boot lands on the next page
+	return b.String()
+}
+
+// fuzzGen builds one random program around the shared skeleton:
+// vectors, a boot stub that points IVA at them, then a counted loop
+// over the mix-specific body. Bodies may clobber r1..r15 freely;
+// r16-r19 hold data-page bases, r20 is the loop counter, r21/r22
+// belong to the trap handlers.
+type fuzzGen struct {
+	r *rand.Rand
+	b strings.Builder
+}
+
+func (g *fuzzGen) f(format string, a ...any) { fmt.Fprintf(&g.b, "\t"+format+"\n", a...) }
+func (g *fuzzGen) label(l string)            { g.b.WriteString(l + ":\n") }
+func (g *fuzzGen) reg() int                  { return 1 + g.r.Intn(15) }
+
+var fuzzALUOps = []string{"add", "sub", "and", "or", "xor", "sll", "srl", "sra", "slt", "sltu", "mul"}
+var fuzzALUImm = []string{"addi", "andi", "ori", "xori", "slti"}
+
+func (g *fuzzGen) alu() {
+	switch g.r.Intn(10) {
+	case 0, 1:
+		g.f("%s r%d, r%d, %d", fuzzALUImm[g.r.Intn(len(fuzzALUImm))], g.reg(), g.reg(), g.r.Intn(4001)-2000)
+	case 2:
+		g.f("%s r%d, r%d, %d", []string{"slli", "srli", "srai"}[g.r.Intn(3)], g.reg(), g.reg(), g.r.Intn(32))
+	case 3:
+		// Divide/remainder; a zero divisor raises an arithmetic trap
+		// that the skip handler swallows on both paths.
+		g.f("%s r%d, r%d, r%d", []string{"div", "rem"}[g.r.Intn(2)], g.reg(), g.reg(), g.reg())
+	case 4:
+		g.f("lui r%d, %d", g.reg(), g.r.Intn(1<<16))
+	default:
+		g.f("%s r%d, r%d, r%d", fuzzALUOps[g.r.Intn(len(fuzzALUOps))], g.reg(), g.reg(), g.reg())
+	}
+}
+
+// mem emits one load or store through base register rb, aligned for its
+// width (misaligned accesses are emitted by the virt mix explicitly).
+func (g *fuzzGen) mem(rb int) {
+	off := g.r.Intn(1024) * 4
+	switch g.r.Intn(6) {
+	case 0:
+		g.f("ldw r%d, %d(r%d)", g.reg(), off, rb)
+	case 1:
+		g.f("stw r%d, %d(r%d)", g.reg(), off, rb)
+	case 2:
+		g.f("ldh r%d, %d(r%d)", g.reg(), off+2*g.r.Intn(2), rb)
+	case 3:
+		g.f("sth r%d, %d(r%d)", g.reg(), off+2*g.r.Intn(2), rb)
+	case 4:
+		g.f("ldb r%d, %d(r%d)", g.reg(), off+g.r.Intn(4), rb)
+	default:
+		g.f("stb r%d, %d(r%d)", g.reg(), off+g.r.Intn(4), rb)
+	}
+}
+
+// boot emits the common prologue: IVA setup, data-page bases, loop
+// counter. Extra setup (TLB mappings, timer) is passed through.
+func (g *fuzzGen) boot(extra func()) {
+	g.label("boot")
+	g.f("li r1, %#x", fuzzIVA)
+	g.f("mtctl cr14, r1") // IVA
+	g.f("li r16, 0x10000")
+	g.f("li r17, 0x11000")
+	if extra != nil {
+		extra()
+	}
+	g.f("li r20, 4000")
+	g.label("loop")
+}
+
+func (g *fuzzGen) close() string {
+	g.f("addi r20, r20, -1")
+	g.f("bne r20, r0, loop")
+	g.f("halt")
+	return g.b.String()
+}
+
+// genALU: straight-line arithmetic, the densest trace-fusion case.
+func genALU(r *rand.Rand) string {
+	g := &fuzzGen{r: r}
+	g.boot(nil)
+	for i := 0; i < 120+r.Intn(120); i++ {
+		g.alu()
+	}
+	return g.close()
+}
+
+// genBranch: short forward branches every few instructions, including
+// compare+branch pairs eligible for fusion. Traces stay tiny and chain
+// within the page.
+func genBranch(r *rand.Rand) string {
+	g := &fuzzGen{r: r}
+	g.boot(nil)
+	next := 0
+	for i := 0; i < 60+r.Intn(60); i++ {
+		g.alu()
+		if r.Intn(2) == 0 {
+			l := fmt.Sprintf("f%d", next)
+			next++
+			if r.Intn(2) == 0 {
+				g.f("slti r%d, r%d, %d", g.reg(), g.reg(), r.Intn(200)-100)
+			}
+			br := []string{"beq", "bne", "blt", "bge", "bltu", "bgeu"}[r.Intn(6)]
+			g.f("%s r%d, r%d, %s", br, g.reg(), g.reg(), l)
+			for n := r.Intn(3); n >= 0; n-- {
+				g.alu()
+			}
+			g.label(l)
+		}
+	}
+	return g.close()
+}
+
+// genMem: load/store-dense over two physical data pages, stressing the
+// executor's cached-translation path and its hit accounting.
+func genMem(r *rand.Rand) string {
+	g := &fuzzGen{r: r}
+	g.boot(nil)
+	for i := 0; i < 100+r.Intn(100); i++ {
+		if r.Intn(3) == 0 {
+			g.alu()
+		} else {
+			g.mem(16 + r.Intn(2))
+		}
+	}
+	return g.close()
+}
+
+// genPriv: privileged and resync-class instructions (CR moves, TLB
+// inserts and purges, probes, the odd BREAK) interleaved with plain
+// arithmetic. Every resync instruction ends the enclosing trace, so
+// this mix exercises constant trace entry/exit and ineligible pages.
+func genPriv(r *rand.Rand) string {
+	g := &fuzzGen{r: r}
+	g.boot(nil)
+	for i := 0; i < 100+r.Intn(100); i++ {
+		if r.Intn(10) < 6 {
+			g.alu()
+			continue
+		}
+		switch r.Intn(6) {
+		case 0:
+			// Readable CRs: IVA, ISR, IOR, IPSW, IIA, EIEM, CPUID.
+			g.f("mfctl r%d, cr%d", g.reg(), []int{14, 20, 21, 22, 23, 24, 27}[r.Intn(7)])
+		case 1:
+			g.f("mtctl cr24, r%d", g.reg()) // EIEM: any value is inert here
+		case 2:
+			g.f("itlbi r%d, r%d", g.reg(), g.reg()) // untranslated mode: inert mapping
+		case 3:
+			g.f("ptlb")
+		case 4:
+			g.f("probe r%d, r%d, %d", g.reg(), g.reg(), r.Intn(2))
+		default:
+			g.f("break %d", r.Intn(32)) // skip handler swallows it
+		}
+	}
+	return g.close()
+}
+
+// genVirt: virtual addressing over a deliberately undersized TLB. Boot
+// maps two code pages (execute-only), a read/write data page and a
+// read-only page, arms the interval timer, and RFIs into translated
+// mode. The body mixes legal accesses with stores to the read-only
+// page (permission traps), touches of an unmapped page (TLB-miss
+// remaps), and misaligned accesses (alignment traps). With fewer TLB
+// slots than live pages, every iteration churns the replacement state,
+// so any divergence in the trace executor's touch order surfaces as a
+// TLB statistics or digest mismatch.
+func genVirt(r *rand.Rand) string {
+	g := &fuzzGen{r: r}
+	g.label("boot")
+	g.f("li r1, %#x", fuzzIVA)
+	g.f("mtctl cr14, r1")
+	for _, m := range []struct{ page, flags int }{
+		{0x3000, 5}, {0x4000, 5}, // code: R|X
+		{0x8000, 3}, // data: R|W
+		{0x9000, 1}, // data: R only
+	} {
+		g.f("li r1, %#x", m.page|m.flags)
+		g.f("li r2, %#x", m.page)
+		g.f("itlbi r1, r2")
+	}
+	g.f("li r16, 0x8000") // read/write
+	g.f("li r17, 0x9000") // read-only
+	g.f("li r18, 0xA000") // unmapped
+	g.f("li r20, 4000")
+	g.f("li r1, %d", fuzzTimerVal)
+	g.f("mtctl itmr, r1")
+	g.f("li r1, %d", isa.PSWV)
+	g.f("mtctl cr22, r1") // IPSW: translation on, PL 0
+	g.f("li r1, vbody")
+	g.f("mtctl cr23, r1") // IIA
+	g.f("rfi")
+
+	body := func(n int) {
+		for i := 0; i < n; i++ {
+			switch r.Intn(10) {
+			case 0:
+				g.f("stw r%d, %d(r17)", g.reg(), 4*r.Intn(1024)) // permission trap
+			case 1:
+				g.mem(18) // TLB miss, remapped by the handler
+			case 2:
+				g.f("ldw r%d, %d(r16)", g.reg(), 4*r.Intn(1023)+1+r.Intn(2)) // alignment trap
+			case 3, 4, 5:
+				g.mem(16)
+			case 6:
+				g.f("ldw r%d, %d(r17)", g.reg(), 4*r.Intn(1024)) // read-only page read: legal
+			default:
+				g.alu()
+			}
+		}
+	}
+	g.b.WriteString(".align 4096\n") // first virtual code page (0x3000)
+	g.label("vbody")
+	body(80 + r.Intn(80))
+	g.f("b vbody2")
+	g.b.WriteString(".align 4096\n") // second virtual code page (0x4000)
+	g.label("vbody2")
+	body(40 + r.Intn(40))
+	g.f("addi r20, r20, -1")
+	g.f("bne r20, r0, vbody")
+	g.f("halt")
+	return g.b.String()
+}
+
+// fuzzDiff assembles vectors+program, boots two identical machines, and
+// drives one with Step and one with Run, comparing at every chunk.
+func fuzzDiff(t *testing.T, cfg machine.Config, src string, chunk, limit uint64) {
+	t.Helper()
+	p, err := asm.Assemble("fuzz", src)
+	if err != nil {
+		t.Fatalf("assemble: %v\n%s", err, src)
+	}
+	entry := p.MustSymbol("boot")
+	offCfg := cfg
+	offCfg.NoTraces = true
+	// Triangle: Step reference, Run with traces, Run without traces.
+	a, b, c := machine.New(cfg), machine.New(cfg), machine.New(offCfg)
+	a.LoadProgram(p.Origin, p.Words, entry)
+	b.LoadProgram(p.Origin, p.Words, entry)
+	c.LoadProgram(p.Origin, p.Words, entry)
+
+	for epoch := 0; a.Cycles() < limit && !a.Halted(); epoch++ {
+		stepChunk(a, chunk)
+		runChunk(b, chunk)
+		runChunk(c, chunk)
+		if a.Cycles() != b.Cycles() || a.Cycles() != c.Cycles() {
+			t.Fatalf("epoch %d: cycles diverge: step=%d run=%d run-notrace=%d",
+				epoch, a.Cycles(), b.Cycles(), c.Cycles())
+		}
+		if a.Digest() != b.Digest() || a.Digest() != c.Digest() {
+			t.Fatalf("epoch %d (cycle %d): state digests diverge: step pc=%#x run pc=%#x run-notrace pc=%#x",
+				epoch, a.Cycles(), a.PC, b.PC, c.PC)
+		}
+		if epoch%8 == 0 && (a.DigestMemory() != b.DigestMemory() || a.DigestMemory() != c.DigestMemory()) {
+			t.Fatalf("epoch %d (cycle %d): memory digests diverge", epoch, a.Cycles())
+		}
+	}
+	for _, m := range []*machine.Machine{b, c} {
+		if a.Halted() != m.Halted() {
+			t.Fatalf("halt state diverges: step=%v run=%v", a.Halted(), m.Halted())
+		}
+		if a.DigestMemory() != m.DigestMemory() {
+			t.Fatalf("final memory digests diverge")
+		}
+		if a.Stats != m.Stats {
+			t.Fatalf("instruction statistics diverge:\nstep: %+v\nrun:  %+v", a.Stats, m.Stats)
+		}
+		if a.TLB.Stats != m.TLB.Stats {
+			t.Fatalf("TLB statistics diverge:\nstep: %+v\nrun:  %+v", a.TLB.Stats, m.TLB.Stats)
+		}
+	}
+}
+
+func TestTraceFuzzDifferential(t *testing.T) {
+	mixes := []struct {
+		name string
+		cfg  machine.Config
+		vec  string
+		gen  func(*rand.Rand) string
+	}{
+		{"alu", machine.Config{}, fuzzVectors(false, false), genALU},
+		{"branch", machine.Config{}, fuzzVectors(false, false), genBranch},
+		{"mem", machine.Config{}, fuzzVectors(false, false), genMem},
+		{"priv", machine.Config{}, fuzzVectors(false, false), genPriv},
+		{"virt", machine.Config{TLBSize: 4}, fuzzVectors(true, true), genVirt},
+		{"virt-random-tlb", machine.Config{TLBSize: 4, TLBPolicy: "random", TLBSeed: 99},
+			fuzzVectors(true, true), genVirt},
+	}
+	chunks := []uint64{97, 769, 1021}
+	for _, mix := range mixes {
+		for seed := int64(1); seed <= 3; seed++ {
+			name := fmt.Sprintf("%s/seed%d", mix.name, seed)
+			t.Run(name, func(t *testing.T) {
+				src := mix.vec + mix.gen(rand.New(rand.NewSource(seed*7919+int64(len(mix.name)))))
+				fuzzDiff(t, mix.cfg, src, chunks[seed%int64(len(chunks))], 120_000)
+			})
+		}
+	}
+}

@@ -265,6 +265,15 @@ func (c *Cluster) Channel(from, to int) (tx, rx *netsim.Link) {
 	return d.BtoA, d.AtoB
 }
 
+// Release returns every node's machine buffers to the machine package's
+// recycling pools. Call only on teardown, after the simulation kernel
+// has shut down: the machines must never run again.
+func (c *Cluster) Release() {
+	for _, n := range c.Nodes {
+		n.M.Release()
+	}
+}
+
 // Single is a one-processor platform for bare-hardware baseline runs.
 type Single struct {
 	K *sim.Kernel
@@ -287,3 +296,8 @@ func NewSingle(k *sim.Kernel, cfg Config) *Single {
 	s.Bare = hypervisor.NewBare(s.Node.M)
 	return s
 }
+
+// Release returns the node's machine buffers to the machine package's
+// recycling pools. Call only on teardown, after the simulation kernel
+// has shut down: the machine must never run again.
+func (s *Single) Release() { s.Node.M.Release() }

@@ -882,4 +882,13 @@ func (e *Engine) Close() {
 	if e.k != nil {
 		e.k.Shutdown()
 	}
+	// The kernel is down and no process will run again: recycle the
+	// machines' bulk buffers for the next session. Cached results and
+	// Snapshot remain valid — they read counters, not guest memory.
+	if e.cluster != nil {
+		e.cluster.Release()
+	}
+	if e.single != nil {
+		e.single.Release()
+	}
 }
