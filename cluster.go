@@ -82,6 +82,18 @@ func newCluster(o *clusterOptions) *Cluster {
 // ErrClosed reports use of a closed Cluster.
 var ErrClosed = errors.New("hft: cluster is closed")
 
+// ErrCompleted reports a perturbation applied after the workload
+// completed (Done reports true): there is no live cluster left to
+// perturb. FailBackup, SetLinkQuality and AddBackup return it;
+// FailPrimary, which predates error returns, documents the same
+// condition as a non-journaling no-op. Test with errors.Is.
+var ErrCompleted = errors.New("hft: workload already complete")
+
+// ErrStalled reports a wedged coordinator: the session's scheduler
+// kept dispatching but virtual time stopped advancing. The underlying
+// error names the blocked process. Test with errors.Is.
+var ErrStalled = session.ErrStalled
+
 // Now returns the session's current virtual time.
 func (c *Cluster) Now() Duration { return c.eng.Now() }
 
@@ -90,15 +102,17 @@ func (c *Cluster) Done() bool { return c.eng.Done() }
 
 // RunFor boots the cluster if needed and advances it by d of virtual
 // time, then reports the resulting state. Advancing a completed
-// session is a no-op.
+// session is a no-op. If the bounded-progress watchdog trips (virtual
+// time pinned while the scheduler spins), RunFor returns the snapshot
+// taken at the stall alongside an error matching ErrStalled.
 func (c *Cluster) RunFor(d Duration) (Snapshot, error) {
 	if c.closed {
 		return Snapshot{}, ErrClosed
 	}
 	target := Duration(c.eng.Now()) + d
-	c.eng.RunFor(sim.Time(d))
+	err := c.eng.RunFor(sim.Time(d))
 	c.pause = pausePoint{kind: pauseAtTime, time: target}
-	return c.Snapshot(), nil
+	return c.Snapshot(), err
 }
 
 // RunUntil advances the cluster until pred holds. The predicate is
@@ -185,24 +199,37 @@ func (c *Cluster) Result() (Result, error) {
 // as Config.FailPrimaryAt would have done on a schedule. The backup
 // detects the silence, finishes the failover epoch, synthesizes
 // uncertain interrupts for outstanding I/O (rule P7) and takes over.
+//
+// After the workload completes (Done reports true), or if the primary
+// already failed, FailPrimary is a no-op and is NOT journaled — a
+// checkpoint never records a perturbation that had no effect.
 func (c *Cluster) FailPrimary() {
 	if c.closed {
 		return
 	}
-	c.eng.FailPrimary()
-	c.record(journalEntry{action: actFailPrimary})
+	if c.eng.FailPrimary() {
+		c.record(journalEntry{action: actFailPrimary})
+	}
 }
 
 // FailBackup failstops backup i (1-based priority index) at the
-// current virtual time.
+// current virtual time. After the workload completes it returns
+// ErrCompleted. Failstopping an already-failed backup is a no-op (a
+// dead processor cannot die again) and is not re-journaled.
 func (c *Cluster) FailBackup(i int) error {
 	if c.closed {
 		return ErrClosed
 	}
+	if c.eng.Done() {
+		return ErrCompleted
+	}
+	already := c.eng.BackupFailed(i)
 	if err := c.eng.FailBackup(i); err != nil {
 		return err
 	}
-	c.record(journalEntry{action: actFailBackup, backup: i})
+	if !already {
+		c.record(journalEntry{action: actFailBackup, backup: i})
+	}
 	return nil
 }
 
@@ -211,10 +238,14 @@ func (c *Cluster) FailBackup(i int) error {
 // future protocol traffic pays the new costs. Links created by a LATER
 // AddBackup start at the configured link model; re-apply the quality
 // after reintegration if the degradation should cover the new channels
-// too.
+// too. After the workload completes it returns ErrCompleted (there are
+// no links left to degrade).
 func (c *Cluster) SetLinkQuality(q LinkQuality) error {
 	if c.closed {
 		return ErrClosed
+	}
+	if c.eng.Done() {
+		return ErrCompleted
 	}
 	if err := c.eng.SetLinkQuality(q.quality()); err != nil {
 		return err
@@ -256,10 +287,16 @@ func (c *Cluster) AddBackup(opts ...AddBackupOption) (int, error) {
 			return 0, err
 		}
 	}
+	if c.eng.Done() {
+		return 0, ErrCompleted
+	}
 	pre := c.pause
 	n, err := c.eng.AddBackup(session.AddBackupConfig{Link: ao.link.linkConfig()})
 	if err != nil {
 		c.pauseAtBoundary()
+		if errors.Is(err, session.ErrCompleted) {
+			err = ErrCompleted
+		}
 		return 0, err
 	}
 	c.journal = append(c.journal, journalEntry{pause: pre, action: actAddBackup, link: ao.link})
@@ -312,6 +349,7 @@ func (c *Cluster) Snapshot() Snapshot {
 		Nodes:                s.Nodes,
 		Acting:               s.Acting,
 		Epochs:               s.Epochs,
+		Commits:              s.Commits,
 		GuestInstructions:    s.GuestInstructions,
 		Promoted:             s.Promoted,
 		Halted:               s.Halted,
@@ -343,6 +381,12 @@ type Snapshot struct {
 	Acting int
 	// Epochs is the acting coordinator's committed epoch count.
 	Epochs uint64
+	// Commits is the cumulative count of acting-coordinator epoch
+	// commits since boot — the session's replayable pause coordinate.
+	// Unlike Epochs it never resets across failovers: a promoted
+	// backup's first commit continues the sequence, so "commit #N"
+	// names the same kernel state on every replay.
+	Commits uint64
 	// GuestInstructions is the acting node's retired instruction count.
 	GuestInstructions uint64
 	// Promoted reports whether any failover has occurred.

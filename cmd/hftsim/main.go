@@ -3,13 +3,23 @@
 // failover behaviour. With -scenario it instead drives a LIVE cluster
 // session from a command script: advance virtual time, failstop
 // processors, degrade the link, take snapshots — interactively (pipe
-// stdin) or from a file.
+// stdin) or from a file. With -campaign it runs the chaos engine: N
+// seeded random perturbation schedules, every run checked against the
+// replication invariants, violations automatically shrunk to minimal
+// replayable scenario scripts.
 //
 // Usage:
 //
-//	hftsim -workload cpu|write|read [-iters N] [-ops N] [-epoch N]
-//	       [-protocol old|new] [-link ethernet|atm] [-fail-at-ms T]
-//	       [-bare] [-seed N] [-backups N] [-scenario FILE|-]
+//	hftsim -workload cpu|write|read|copy|echo [-iters N] [-ops N]
+//	       [-count N] [-epoch N] [-protocol old|new]
+//	       [-link ethernet|atm] [-fail-at-ms T] [-bare] [-seed N]
+//	       [-backups N] [-scenario FILE|-]
+//	       [-campaign N] [-campaign-seed N] [-campaign-dir DIR]
+//	       [-parallel N]
+//
+// The copy and echo workloads need the cluster options API (a second
+// disk, scripted terminal input), so they run under -scenario and
+// -campaign only, with canonical device configurations.
 //
 // Scenario example (see runScenario for the command set):
 //
@@ -19,7 +29,12 @@
 //	run 20ms
 //	fail primary                  # failstop; the backup takes over
 //	wait
+//	check                         # exit 1 unless output+digest match bare
 //	EOF
+//
+// Campaign example (nightly CI runs exactly this):
+//
+//	hftsim -campaign 500 -campaign-seed 19951203 -campaign-dir ./chaos -parallel 0
 package main
 
 import (
@@ -28,11 +43,13 @@ import (
 	"os"
 
 	hft "repro" // the public facade lives at the module root
+	"repro/internal/chaos"
+	"repro/internal/harness"
 )
 
 func main() {
 	var (
-		workload = flag.String("workload", "cpu", "cpu, write or read")
+		workload = flag.String("workload", "cpu", "cpu, write, read, copy or echo (copy/echo: scenario and campaign modes only)")
 		iters    = flag.Uint("iters", 20000, "CPU workload iterations")
 		ops      = flag.Uint("ops", 8, "disk workload operations")
 		count    = flag.Uint("count", 8192, "bytes per disk operation")
@@ -44,48 +61,60 @@ func main() {
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		backups  = flag.Int("backups", 1, "backup replicas (t-fault tolerance)")
 		scenario = flag.String("scenario", "", "drive a live cluster from this command script (- = stdin)")
+
+		campaign     = flag.Int("campaign", 0, "run a chaos campaign of N random schedules (0 = off)")
+		campaignSeed = flag.Int64("campaign-seed", 1, "campaign master seed (run i replays independently)")
+		campaignDir  = flag.String("campaign-dir", "", "write shrunk scenario artifacts here")
+		parallel     = flag.Int("parallel", 0, "campaign worker count (0 = all cores, 1 = serial)")
 	)
 	flag.Parse()
 
-	var w hft.Workload
-	switch *workload {
-	case "cpu":
-		w = hft.CPUIntensive(uint32(*iters))
-	case "write":
-		w = hft.DiskWrite(uint32(*ops), uint32(*count))
-	case "read":
-		w = hft.DiskRead(uint32(*ops), uint32(*count))
-	default:
-		fmt.Fprintf(os.Stderr, "hftsim: unknown workload %q\n", *workload)
+	if *campaign > 0 {
+		harness.SetWorkers(*parallel)
+		rep, err := chaos.RunCampaign(chaos.CampaignOptions{
+			Runs: *campaign,
+			Seed: *campaignSeed,
+			Dir:  *campaignDir,
+			Log:  os.Stdout,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hftsim: campaign: %v\n", err)
+			os.Exit(1)
+		}
+		if rep.Failed() {
+			fmt.Printf("campaign FAILED: %d of %d runs violated invariants\n", len(rep.Violations), rep.Runs)
+			os.Exit(1)
+		}
+		fmt.Printf("campaign passed: %d runs, all invariants held\n", rep.Runs)
+		return
+	}
+
+	shape, err := resolveShape(*workload, uint32(*iters), uint32(*ops), uint32(*count))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hftsim: %v\n", err)
 		os.Exit(2)
 	}
 
-	cfg := hft.Config{
-		EpochLength: *epoch,
-		Seed:        *seed,
-	}
+	var proto hft.Protocol
 	switch *protocol {
 	case "old":
-		cfg.Protocol = hft.ProtocolOld
+		proto = hft.ProtocolOld
 	case "new":
-		cfg.Protocol = hft.ProtocolNew
+		proto = hft.ProtocolNew
 	default:
 		fmt.Fprintf(os.Stderr, "hftsim: unknown protocol %q\n", *protocol)
 		os.Exit(2)
 	}
+	var linkModel hft.LinkModel
 	switch *link {
 	case "ethernet":
-		cfg.Link = hft.LinkEthernet10
+		linkModel = hft.Ethernet10()
 	case "atm":
-		cfg.Link = hft.LinkATM155
+		linkModel = hft.ATM155()
 	default:
 		fmt.Fprintf(os.Stderr, "hftsim: unknown link %q\n", *link)
 		os.Exit(2)
 	}
-	if *failAt > 0 {
-		cfg.FailPrimaryAt = hft.Duration(*failAt * float64(hft.Millisecond))
-	}
-	cfg.Backups = *backups
 
 	if *scenario != "" {
 		if *bare {
@@ -100,18 +129,60 @@ func main() {
 		if !isStdin {
 			defer script.Close()
 		}
-		cluster, err := hft.NewCluster(hft.WithConfig(cfg, w))
+		opts := shape.ClusterOptions(*seed, *epoch, proto, linkModel, *backups)
+		if *failAt > 0 {
+			opts = append(opts, hft.WithFailPrimaryAt(hft.Duration(*failAt*float64(hft.Millisecond))))
+		}
+		cluster, err := hft.NewCluster(opts...)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "hftsim: %v\n", err)
 			os.Exit(1)
 		}
 		defer cluster.Close()
-		if err := runScenario(cluster, script, true); err != nil {
+		// `check` verifies the replay against the bare reference for
+		// the same shape — an emitted chaos reproduction exits 1 while
+		// its bug is alive and 0 once fixed.
+		verify := func(res hft.Result) error {
+			checksum, console, err := chaos.Bare(shape, *seed, *epoch)
+			if err != nil {
+				return err
+			}
+			if res.Checksum != checksum {
+				return fmt.Errorf("digest violation: checksum %#x, bare run computed %#x", res.Checksum, checksum)
+			}
+			if res.Console != console {
+				return fmt.Errorf("output violation: console %q, bare run produced %q", res.Console, console)
+			}
+			return nil
+		}
+		if err := runScenario(cluster, script, true, verify); err != nil {
 			fmt.Fprintf(os.Stderr, "hftsim: scenario: %v\n", err)
 			os.Exit(1)
 		}
 		return
 	}
+
+	if *workload == "copy" || *workload == "echo" {
+		fmt.Fprintf(os.Stderr, "hftsim: workload %q needs -scenario or -campaign (it requires the cluster options API)\n", *workload)
+		os.Exit(2)
+	}
+
+	cfg := hft.Config{
+		EpochLength: *epoch,
+		Seed:        *seed,
+		Protocol:    proto,
+		Backups:     *backups,
+	}
+	switch *link {
+	case "ethernet":
+		cfg.Link = hft.LinkEthernet10
+	case "atm":
+		cfg.Link = hft.LinkATM155
+	}
+	if *failAt > 0 {
+		cfg.FailPrimaryAt = hft.Duration(*failAt * float64(hft.Millisecond))
+	}
+	w := shape.Guest
 
 	bareRes, err := hft.RunBare(cfg, w)
 	if err != nil {
@@ -145,4 +216,23 @@ func main() {
 		fmt.Printf("ERROR:           checksum differs from bare run\n")
 		os.Exit(1)
 	}
+}
+
+// resolveShape builds the workload shape from flags. The cpu/write/
+// read/copy sizes come from -iters/-ops/-count; echo always uses the
+// canonical terminal script (terminal input is not flag-expressible).
+func resolveShape(name string, iters, ops, count uint32) (chaos.Workload, error) {
+	switch name {
+	case "cpu":
+		return chaos.Workload{Name: name, Guest: hft.CPUIntensive(iters)}, nil
+	case "write":
+		return chaos.Workload{Name: name, Guest: hft.DiskWrite(ops, count)}, nil
+	case "read":
+		return chaos.Workload{Name: name, Guest: hft.DiskRead(ops, count)}, nil
+	case "copy":
+		return chaos.Workload{Name: name, Guest: hft.TwoDiskCopy(ops, count), ExtraDisks: 1}, nil
+	case "echo":
+		return chaos.Workload{Name: name, Guest: hft.TerminalEcho(), Terminal: chaos.EchoScript()}, nil
+	}
+	return chaos.Workload{}, fmt.Errorf("unknown workload %q", name)
 }

@@ -18,7 +18,11 @@ import (
 // (# starts a comment):
 //
 //	run <duration>        advance virtual time (e.g. run 20ms, run 1.5s)
+//	run-to <time>         advance to an absolute virtual time (no-op if past)
 //	until-epoch <n>       advance until the coordinator commits epoch n
+//	until-commit <n>      advance until cumulative commit ordinal n — the
+//	                      replayable coordinate chaos scenarios use (it
+//	                      survives failovers; the epoch counter resets)
 //	fail primary          failstop the primary now
 //	fail backup <i>       failstop backup i (1-based) now
 //	addbackup             reintegrate a new backup by live state transfer
@@ -28,11 +32,14 @@ import (
 //	                      degrade the hypervisor links mid-run
 //	snapshot              print the current session state
 //	wait                  run to completion and print the result
+//	check                 verify the completed run against the bare
+//	                      baseline (digest + output invariants); a
+//	                      mismatch fails the scenario with exit 1
 //
 // Events (epoch commits are summarized; everything else prints as it
 // happens) stream to stdout while the scenario runs.
-func runScenario(cluster *hft.Cluster, script io.Reader, echo bool) error {
-	st := &scenarioState{epochs: new(int)}
+func runScenario(cluster *hft.Cluster, script io.Reader, echo bool, verify func(hft.Result) error) error {
+	st := &scenarioState{epochs: new(int), verify: verify}
 	st.attach(cluster)
 
 	sc := bufio.NewScanner(script)
@@ -68,6 +75,7 @@ type scenarioState struct {
 	cluster *hft.Cluster
 	epochs  *int
 	pumped  chan struct{}
+	verify  func(hft.Result) error // `check`'s oracle (nil: unavailable)
 }
 
 // attach subscribes the event pump to a (new) cluster.
@@ -116,6 +124,34 @@ func (st *scenarioState) command(line string) error {
 			return err
 		}
 		fmt.Printf("  advanced to %v (epoch %d, done=%v)\n", snap.Now, snap.Epochs, snap.Done)
+	case "run-to":
+		if len(fields) != 2 {
+			return fmt.Errorf("usage: run-to <time>")
+		}
+		target, err := parseSimDuration(fields[1])
+		if err != nil {
+			return err
+		}
+		if now := cluster.Now(); target > now {
+			snap, err := cluster.RunFor(target - now)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  advanced to %v (commit %d, done=%v)\n", snap.Now, snap.Commits, snap.Done)
+		}
+	case "until-commit":
+		if len(fields) != 2 {
+			return fmt.Errorf("usage: until-commit <n>")
+		}
+		n, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return err
+		}
+		snap, err := cluster.RunUntil(func(s hft.Snapshot) bool { return s.Commits >= n })
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  paused at %v (commit %d, done=%v)\n", snap.Now, snap.Commits, snap.Done)
 	case "until-epoch":
 		if len(fields) != 2 {
 			return fmt.Errorf("usage: until-epoch <n>")
@@ -224,6 +260,18 @@ func (st *scenarioState) command(line string) error {
 		}
 		fmt.Printf("  completed at %v: checksum=%#x promoted=%v console=%q\n",
 			res.Time, res.Checksum, res.Promoted, res.Console)
+	case "check":
+		if st.verify == nil {
+			return fmt.Errorf("check: no baseline available for this configuration")
+		}
+		res, err := cluster.Wait(context.Background())
+		if err != nil {
+			return fmt.Errorf("check: %w", err)
+		}
+		if err := st.verify(res); err != nil {
+			return fmt.Errorf("check: %w", err)
+		}
+		fmt.Printf("  check passed: digest and output match the bare run\n")
 	default:
 		return fmt.Errorf("unknown scenario command %q", fields[0])
 	}

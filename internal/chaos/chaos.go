@@ -1,0 +1,185 @@
+// Package chaos is the property-based campaign driver: it generates
+// seeded random perturbation schedules over the public Cluster API,
+// executes them at quick scale, and checks every run against the
+// invariants the paper's protocol promises regardless of what the
+// environment does to the replica set:
+//
+//  1. Digest — the replicated run's guest checksum equals the bare
+//     (unreplicated) run of the same workload: replication is
+//     transparent to the computation (§2's whole argument).
+//  2. Output — the environment-visible console transcript equals the
+//     bare run's byte for byte: output commit is exactly-once, even
+//     across promotions and retransmissions (§2.2 case i).
+//  3. Progress — the session never wedges: virtual time keeps
+//     advancing until the workload completes (bounded by the session
+//     watchdogs; a stall names the blocked process).
+//  4. Snapshot — a Save/Restore round trip mid-run is byte-identical:
+//     re-saving the restored session reproduces the checkpoint
+//     exactly (the determinism contract, applied to itself).
+//
+// A violating schedule is automatically shrunk (delta debugging over
+// the perturbation list, then coordinate reduction from exact virtual
+// times to epoch-commit ordinals) until 1-minimal, and emitted as a
+// replayable `hftsim -scenario` script plus the failing seed.
+package chaos
+
+import (
+	"fmt"
+	"sync"
+
+	hft "repro"
+	"repro/internal/console"
+	"repro/internal/scsi"
+	"repro/internal/session"
+	"repro/internal/sim"
+)
+
+// Workload names the canonical quick-scale workload shapes the
+// generator draws from. Each shape fixes the guest benchmark AND its
+// device/terminal configuration, so a name + seed + epoch length fully
+// determines a run — which is what makes emitted scenarios replayable.
+type Workload struct {
+	// Name is the shape's identifier ("cpu", "write", "read", "copy",
+	// "echo") — also hftsim's -workload vocabulary.
+	Name string
+	// Guest is the benchmark program.
+	Guest hft.Workload
+	// ExtraDisks is the number of additional shared disks the platform
+	// must carry (TwoDiskCopy needs one).
+	ExtraDisks int
+	// Terminal is the scripted console input (TerminalEcho needs a
+	// script ending in TerminalEOT).
+	Terminal []hft.TerminalInput
+}
+
+// EchoScript is the canonical TerminalEcho input: two bursts, the
+// second terminated by EOT so the guest halts. hftsim uses the same
+// script for -workload echo, so emitted scenarios replay identically.
+func EchoScript() []hft.TerminalInput {
+	return []hft.TerminalInput{
+		{At: 1 * hft.Millisecond, Data: "chaos"},
+		{At: 2 * hft.Millisecond, Data: "run" + string(rune(hft.TerminalEOT))},
+	}
+}
+
+// Workloads returns the canonical shapes, in the generator's draw
+// order. Sizes are quick-scale: every shape completes in well under a
+// second of wall time so campaigns can run thousands of schedules.
+func Workloads() []Workload {
+	return []Workload{
+		{Name: "cpu", Guest: hft.CPUIntensive(4000)},
+		{Name: "write", Guest: hft.DiskWrite(3, 2048)},
+		{Name: "read", Guest: hft.DiskRead(3, 2048)},
+		{Name: "copy", Guest: hft.TwoDiskCopy(2, 2048), ExtraDisks: 1},
+		{Name: "echo", Guest: hft.TerminalEcho(), Terminal: EchoScript()},
+	}
+}
+
+// ParseWorkload resolves a shape by name — shared by the generator,
+// the executor, and hftsim's -workload flag, so a scenario emitted
+// here reconstructs the identical cluster there.
+func ParseWorkload(name string) (Workload, error) {
+	for _, w := range Workloads() {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return Workload{}, fmt.Errorf("chaos: unknown workload %q (have cpu, write, read, copy, echo)", name)
+}
+
+// ClusterOptions materializes the public options for a replicated run
+// of this shape.
+func (w Workload) ClusterOptions(seed int64, epoch uint64, proto hft.Protocol, link hft.LinkModel, backups int) []hft.Option {
+	opts := []hft.Option{
+		hft.WithWorkload(w.Guest),
+		hft.WithSeed(seed),
+		hft.WithEpochLength(epoch),
+		hft.WithProtocol(proto),
+		hft.WithLink(link),
+		hft.WithBackups(backups),
+	}
+	for i := 0; i < w.ExtraDisks; i++ {
+		opts = append(opts, hft.WithDisk(hft.DiskSpec{}))
+	}
+	if len(w.Terminal) > 0 {
+		opts = append(opts, hft.WithTerminal(w.Terminal...))
+	}
+	return opts
+}
+
+// bareKey identifies a bare baseline. Bare runs see no network and no
+// failures, so the protocol/link/backups axes are irrelevant.
+type bareKey struct {
+	workload string
+	seed     int64
+	epoch    uint64
+}
+
+// baseline is what the invariants compare a perturbed replicated run
+// against.
+type baseline struct {
+	checksum uint32
+	console  string
+	panic    uint32
+	err      error
+}
+
+var (
+	bareMu    sync.Mutex
+	bareCache = map[bareKey]baseline{}
+)
+
+// bareBaseline runs (or recalls) the unreplicated reference execution
+// for a shape. The public hft.RunBare cannot express multi-disk or
+// terminal configurations, so the baseline is computed directly on the
+// session engine with Bare set. Results are cached: a campaign
+// executes thousands of schedules over five shapes.
+func bareBaseline(w Workload, seed int64, epoch uint64) baseline {
+	key := bareKey{w.Name, seed, epoch}
+	bareMu.Lock()
+	b, ok := bareCache[key]
+	bareMu.Unlock()
+	if ok {
+		return b
+	}
+
+	eng := session.New(session.Options{
+		Seed:        seed,
+		Bare:        true,
+		Program:     session.WorkloadProgram(w.Guest),
+		ExtraDisks:  make([]scsi.DiskConfig, w.ExtraDisks),
+		Terminal:    terminalInputs(w.Terminal),
+		EpochLength: epoch,
+	})
+	defer eng.Close()
+	if err := eng.RunToCompletion(nil); err != nil {
+		b = baseline{err: fmt.Errorf("chaos: bare baseline for %q: %w", w.Name, err)}
+	} else if r, err := eng.Result(); err != nil {
+		b = baseline{err: fmt.Errorf("chaos: bare baseline for %q: %w", w.Name, err)}
+	} else {
+		b = baseline{checksum: r.Guest.Checksum, console: r.Console, panic: r.Guest.Panic}
+	}
+
+	bareMu.Lock()
+	bareCache[key] = b
+	bareMu.Unlock()
+	return b
+}
+
+// Bare exposes the cached bare reference execution for a shape —
+// hftsim's `check` scenario command compares a replayed run against
+// it, turning an emitted reproduction into a self-verifying script.
+func Bare(w Workload, seed int64, epoch uint64) (checksum uint32, console string, err error) {
+	b := bareBaseline(w, seed, epoch)
+	return b.checksum, b.console, b.err
+}
+
+// terminalInputs lowers the public terminal script to the console
+// layer's representation (what the session engine consumes).
+func terminalInputs(script []hft.TerminalInput) []console.Input {
+	var out []console.Input
+	for _, ev := range script {
+		out = append(out, console.Input{At: sim.Time(ev.At), Data: []byte(ev.Data)})
+	}
+	return out
+}

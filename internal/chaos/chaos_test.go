@@ -1,0 +1,235 @@
+package chaos
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	hft "repro"
+	"repro/internal/console"
+)
+
+// TestScheduleAtDeterministic pins the campaign's replay contract: a
+// (campaign seed, run index) pair names one schedule, forever,
+// independent of worker scheduling.
+func TestScheduleAtDeterministic(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		a := ScheduleAt(42, i)
+		b := ScheduleAt(42, i)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("run %d: ScheduleAt not deterministic:\n%v\n%v", i, a, b)
+		}
+	}
+	if reflect.DeepEqual(ScheduleAt(42, 0), ScheduleAt(43, 0)) {
+		t.Fatal("different campaign seeds produced identical schedules")
+	}
+}
+
+// TestGenerateBounds pins the generator's safety envelope: failstops
+// within budget, no message drops, bounded step counts.
+func TestGenerateBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		s := Generate(rng)
+		if len(s.Steps) > genMaxSteps {
+			t.Fatalf("schedule %d has %d steps (max %d)", i, len(s.Steps), genMaxSteps)
+		}
+		fails, adds, saves := 0, 0, 0
+		for _, st := range s.Steps {
+			switch st.Op {
+			case OpFailPrimary, OpFailBackup:
+				fails++
+			case OpAddBackup:
+				adds++
+			case OpSaveRestore:
+				saves++
+			case OpLinkDegrade:
+				if st.Bandwidth < 1_000_000 {
+					t.Fatalf("schedule %d degrades below 1 Mbps: %v", i, st)
+				}
+				if st.Latency > 2*hft.Millisecond {
+					t.Fatalf("schedule %d latency %v approaches the detect timeout", i, st.Latency)
+				}
+			}
+		}
+		if fails > s.Backups {
+			t.Fatalf("schedule %d: %d failstops with %d backups", i, fails, s.Backups)
+		}
+		if adds > genMaxAdds || saves > genMaxSaveRest {
+			t.Fatalf("schedule %d: %d adds, %d save-restores", i, adds, saves)
+		}
+		if _, err := ParseWorkload(s.Workload); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestExecuteClean sanity-checks the executor on an unperturbed
+// schedule: all invariants hold.
+func TestExecuteClean(t *testing.T) {
+	for _, w := range Workloads() {
+		rep := Execute(Schedule{
+			Seed: 1, Workload: w.Name, Epoch: 4096,
+			Protocol: hft.ProtocolOld, Link: "ethernet", Backups: 1,
+		})
+		if rep.Failed() {
+			t.Errorf("%s: clean run violated: %v", w.Name, rep.Violation)
+		}
+	}
+}
+
+// TestCampaignSmoke is the per-PR slice of the nightly campaign: a
+// fixed-seed batch across the full generator envelope, every run
+// checked against all four invariants. Any violation is a real bug.
+func TestCampaignSmoke(t *testing.T) {
+	runs := 25
+	if testing.Short() {
+		runs = 8
+	}
+	rep, err := RunCampaign(CampaignOptions{Runs: runs, Seed: 20260808, Log: testWriter{t}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("run %d violated %v\nschedule: %v\nscenario:\n%s",
+			v.Run, v.Report.Violation, v.Schedule, v.Scenario)
+	}
+}
+
+// TestCampaignFull is the acceptance-scale campaign: a seeded
+// 1000-run sweep covering both protocols, both links and all workload
+// shapes. Skipped under -short (it is the nightly CI job's workload).
+func TestCampaignFull(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1000-run campaign runs nightly; use go test -run TestCampaignFull without -short")
+	}
+	rep, err := RunCampaign(CampaignOptions{Runs: 1000, Seed: 19951203, Log: testWriter{t}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Coverage proof: the sweep must actually exercise the whole
+	// envelope, not degenerate into one corner.
+	protos, links, shapes := map[hft.Protocol]int{}, map[string]int{}, map[string]int{}
+	for i := 0; i < rep.Runs; i++ {
+		s := ScheduleAt(19951203, i)
+		protos[s.Protocol]++
+		links[s.Link]++
+		shapes[s.Workload]++
+	}
+	if len(protos) != 2 || len(links) != 2 || len(shapes) != len(Workloads()) {
+		t.Errorf("coverage hole: protocols=%v links=%v workloads=%v", protos, links, shapes)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("run %d violated %v\nschedule: %v\nscenario:\n%s",
+			v.Run, v.Report.Violation, v.Schedule, v.Scenario)
+	}
+}
+
+// TestInjectedBugCaughtAndShrunk is the end-to-end proof the engine
+// works: disable the console's output-ordinal dedup (the mechanism
+// that makes output commit exactly-once across failovers), run a
+// campaign, and require that it (a) catches the duplicate output as a
+// VOutput violation and (b) shrinks the failing schedule to a
+// reproduction of at most 5 scenario commands that still reproduces
+// deterministically.
+func TestInjectedBugCaughtAndShrunk(t *testing.T) {
+	console.DisableOutputDedup = true
+	defer func() { console.DisableOutputDedup = false }()
+
+	// The bug needs a failover while the backup still holds suppressed
+	// terminal output the primary already performed: echo workload,
+	// primary failstop inside the output window (~7.2-7.7 ms at this
+	// scale). Scan a few seeds and times so the test does not hinge on
+	// one magic number; the schedule carries decoy post-failover link
+	// perturbations for the shrinker to strip.
+	var failing *Report
+	for seed := int64(1); seed <= 4 && failing == nil; seed++ {
+		for _, us := range []int64{7300, 7450, 7550, 7650} {
+			s := Schedule{
+				Seed: seed, Workload: "echo", Epoch: 1024,
+				Protocol: hft.ProtocolOld, Link: "ethernet", Backups: 1,
+				Steps: []Step{
+					{At: Coord{Time: hft.Duration(us) * hft.Microsecond}, Op: OpFailPrimary},
+					{At: Coord{Time: 9 * hft.Millisecond}, Op: OpLinkDegrade, Bandwidth: 5_000_000, Latency: 500 * hft.Microsecond},
+					{At: Coord{Time: 10 * hft.Millisecond}, Op: OpLinkRestore},
+				},
+			}
+			rep := Execute(s)
+			if rep.Failed() && rep.Violation.Kind == VOutput {
+				failing = &rep
+				break
+			}
+		}
+	}
+	if failing == nil {
+		t.Fatal("injected dedup bug was not caught: no echo+failover schedule produced duplicate output")
+	}
+	t.Logf("caught: %v on %v", failing.Violation, failing.Schedule)
+
+	sh := Shrink(failing.Schedule, *failing, 64)
+	if n := CommandCount(sh.Schedule); n > 5 {
+		t.Fatalf("shrunk reproduction has %d scenario commands (want <=5):\n%s",
+			n, Scenario(sh.Schedule, sh.Report.Violation, "test"))
+	}
+	if !sh.Minimal {
+		t.Errorf("shrinker did not reach 1-minimality in budget")
+	}
+
+	// The minimal schedule must reproduce deterministically.
+	for i := 0; i < 2; i++ {
+		rep := Execute(sh.Schedule)
+		if !rep.Failed() || rep.Violation.Kind != VOutput {
+			t.Fatalf("shrunk schedule did not reproduce on replay %d: %+v", i, rep.Violation)
+		}
+	}
+
+	sc := Scenario(sh.Schedule, sh.Report.Violation, "injected dedup bug")
+	for _, want := range []string{"fail primary", "wait\ncheck", "-workload echo", "-scenario"} {
+		if !strings.Contains(sc, want) {
+			t.Errorf("scenario missing %q:\n%s", want, sc)
+		}
+	}
+	t.Logf("shrunk scenario:\n%s", sc)
+}
+
+// TestShrinkRemovesJunk pins the shrinker on a synthetic oracle — no
+// simulation, just Execute-compatible semantics via a real schedule
+// whose violation persists under any subset containing the trigger.
+// (The injected-bug test covers the real-executor path; this one
+// covers the ddmin bookkeeping itself.)
+func TestShrinkScenarioEmission(t *testing.T) {
+	s := Schedule{
+		Seed: 9, Workload: "cpu", Epoch: 4096,
+		Protocol: hft.ProtocolNew, Link: "atm", Backups: 2,
+		Steps: []Step{
+			{At: Coord{Commit: 3}, Op: OpFailBackup, Backup: 2},
+			{At: Coord{Time: 5 * hft.Millisecond}, Op: OpLinkDegrade, Bandwidth: 1_000_000, Latency: 1 * hft.Millisecond},
+			{At: Coord{Commit: 9}, Op: OpSaveRestore},
+			{At: Coord{Commit: 12}, Op: OpAddBackup},
+		},
+	}
+	sc := Scenario(s, &Violation{Kind: VOutput, Detail: "x"}, "unit")
+	for _, want := range []string{
+		"until-commit 3\nfail backup 2\n",
+		"run-to 5000000ns\nlink bw=1000000 lat=1000000ns\n",
+		"until-commit 9\nsave chaos.ckpt\nrestore chaos.ckpt\n",
+		"until-commit 12\naddbackup\n",
+		"wait\ncheck\n",
+		"-workload cpu -seed 9 -epoch 4096 -protocol new -link atm -backups 2",
+	} {
+		if !strings.Contains(sc, want) {
+			t.Errorf("scenario missing %q:\n%s", want, sc)
+		}
+	}
+	if got, want := CommandCount(s), 9; got != want {
+		t.Errorf("CommandCount = %d, want %d", got, want)
+	}
+}
+
+type testWriter struct{ t *testing.T }
+
+func (w testWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", strings.TrimRight(string(p), "\n"))
+	return len(p), nil
+}

@@ -1,0 +1,270 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	hft "repro"
+)
+
+// ViolationKind classifies an invariant failure.
+type ViolationKind uint8
+
+const (
+	// VDigest: the replicated run's guest checksum (or panic code)
+	// diverged from the bare baseline.
+	VDigest ViolationKind = iota + 1
+	// VOutput: the console transcript diverged from the bare baseline —
+	// output was lost or committed more than once.
+	VOutput
+	// VProgress: the session wedged — virtual time stopped advancing
+	// (ErrStalled names the blocked process) or the run overran the
+	// session's wall bound.
+	VProgress
+	// VSnapshot: a Save/Restore round trip was not byte-identical, or
+	// the restore's replay verification failed.
+	VSnapshot
+	// VPanic: the simulation panicked (a divergence tripwire or an
+	// internal invariant) — always a bug, never expected behavior.
+	VPanic
+)
+
+func (k ViolationKind) String() string {
+	switch k {
+	case VDigest:
+		return "digest"
+	case VOutput:
+		return "output"
+	case VProgress:
+		return "progress"
+	case VSnapshot:
+		return "snapshot"
+	case VPanic:
+		return "panic"
+	}
+	return fmt.Sprintf("violation(%d)", uint8(k))
+}
+
+// Violation reports one invariant failure.
+type Violation struct {
+	Kind   ViolationKind
+	Detail string
+}
+
+func (v Violation) String() string { return fmt.Sprintf("%v: %s", v.Kind, v.Detail) }
+
+// Applied records where one step actually landed — the observed
+// (commit ordinal, virtual time) pair the shrinker uses to convert
+// time coordinates into replayable commit coordinates.
+type Applied struct {
+	// Done reports whether the step was applied at all (false: the
+	// workload completed first, or the op had nothing to do).
+	Done bool
+	// Commit/Time are the session position at application.
+	Commit uint64
+	Time   hft.Duration
+	// Err records a non-fatal application error (the run continued).
+	Err string
+}
+
+// Report is the outcome of executing one schedule.
+type Report struct {
+	Schedule Schedule
+	// Violation is nil for a clean run.
+	Violation *Violation
+	// AppliedAt has one entry per schedule step.
+	AppliedAt []Applied
+	// Time is the completion time (zero if the run never completed).
+	Time hft.Duration
+}
+
+// Failed reports whether the run violated an invariant.
+func (r Report) Failed() bool { return r.Violation != nil }
+
+// maxVirtual bounds how far Execute lets a run advance. Every workload
+// the generator emits completes within a few hundred virtual
+// milliseconds, even over a degraded link; a run still going after this
+// much virtual time has wedged, and letting it grind toward the session
+// engine's own bound (20000 virtual seconds) would stall the whole
+// campaign. Hitting the cap is invariant 3: no wedged coordinator.
+const maxVirtual = 30 * hft.Second
+
+// Execute runs one schedule to completion and checks all four
+// invariants. It never panics: simulation panics (divergence
+// tripwires) are converted to VPanic violations, which is exactly what
+// a campaign wants from a run that found a bug.
+func Execute(s Schedule) (rep Report) {
+	rep.Schedule = s
+	rep.AppliedAt = make([]Applied, len(s.Steps))
+
+	defer func() {
+		if r := recover(); r != nil {
+			rep.Violation = &Violation{Kind: VPanic, Detail: fmt.Sprintf("simulation panic: %v", r)}
+		}
+	}()
+
+	shape, err := ParseWorkload(s.Workload)
+	if err != nil {
+		rep.Violation = &Violation{Kind: VPanic, Detail: err.Error()}
+		return rep
+	}
+	bare := bareBaseline(shape, s.Seed, s.Epoch)
+	if bare.err != nil {
+		rep.Violation = &Violation{Kind: VPanic, Detail: bare.err.Error()}
+		return rep
+	}
+
+	c, err := hft.NewCluster(shape.ClusterOptions(s.Seed, s.Epoch, s.Protocol, s.LinkModel(), s.Backups)...)
+	if err != nil {
+		rep.Violation = &Violation{Kind: VPanic, Detail: fmt.Sprintf("cluster construction: %v", err)}
+		return rep
+	}
+	defer func() { c.Close() }()
+
+	for i, st := range s.Steps {
+		snap, err := advanceTo(c, st.At)
+		if err != nil {
+			rep.Violation = progressViolation(err)
+			return rep
+		}
+		rep.AppliedAt[i] = Applied{Done: true, Commit: snap.Commits, Time: snap.Now}
+		if snap.Done {
+			rep.AppliedAt[i].Done = false
+			continue // completed before the coordinate: nothing to perturb
+		}
+
+		switch st.Op {
+		case OpFailPrimary:
+			c.FailPrimary()
+		case OpFailBackup:
+			err = c.FailBackup(st.Backup)
+		case OpLinkDegrade:
+			err = c.SetLinkQuality(hft.LinkQuality{BitsPerSecond: st.Bandwidth, Latency: st.Latency})
+		case OpLinkRestore:
+			p := s.LinkModel().LinkParams()
+			err = c.SetLinkQuality(hft.LinkQuality{BitsPerSecond: p.BitsPerSecond, Latency: p.Latency})
+		case OpAddBackup:
+			_, err = c.AddBackup()
+		case OpSaveRestore:
+			var restored *hft.Cluster
+			restored, err = saveRestore(c)
+			if err != nil {
+				rep.Violation = &Violation{Kind: VSnapshot, Detail: err.Error()}
+				return rep
+			}
+			c.Close()
+			c = restored
+		}
+		if err != nil {
+			// Perturbations racing completion lose gracefully
+			// (ErrCompleted and kin); anything else is recorded but the
+			// run continues — the invariants have the final word.
+			rep.AppliedAt[i].Done = false
+			rep.AppliedAt[i].Err = err.Error()
+		}
+	}
+
+	snap, err := c.RunUntil(func(s hft.Snapshot) bool { return s.Done || s.Now >= maxVirtual })
+	if err != nil {
+		rep.Violation = progressViolation(err)
+		return rep
+	}
+	if !snap.Done {
+		rep.Violation = &Violation{Kind: VProgress,
+			Detail: fmt.Sprintf("session wedged: no completion by t=%v (commit %d, %d epochs)", snap.Now, snap.Commits, snap.Epochs)}
+		return rep
+	}
+	res, err := c.Result()
+	if err != nil {
+		rep.Violation = progressViolation(err)
+		return rep
+	}
+	rep.Time = res.Time
+
+	switch {
+	case res.GuestPanic != 0:
+		rep.Violation = &Violation{Kind: VDigest,
+			Detail: fmt.Sprintf("guest panicked with code %#x (bare run: %#x)", res.GuestPanic, bare.panic)}
+	case res.Checksum != bare.checksum:
+		rep.Violation = &Violation{Kind: VDigest,
+			Detail: fmt.Sprintf("checksum %#x, bare run computed %#x", res.Checksum, bare.checksum)}
+	case res.Console != bare.console:
+		rep.Violation = &Violation{Kind: VOutput,
+			Detail: fmt.Sprintf("console transcript %q, bare run produced %q", res.Console, bare.console)}
+	case res.Divergences != 0:
+		rep.Violation = &Violation{Kind: VDigest,
+			Detail: fmt.Sprintf("backup reported %d state-digest divergences", res.Divergences)}
+	}
+	return rep
+}
+
+// advanceTo moves the session to a step coordinate. Commit coordinates
+// use boundary-sampled RunUntil (the replayable pause); time
+// coordinates use RunFor. A coordinate already in the past applies
+// immediately — the step runs at the current position.
+func advanceTo(c *hft.Cluster, at Coord) (hft.Snapshot, error) {
+	if at.Commit > 0 {
+		snap, err := c.RunUntil(func(s hft.Snapshot) bool {
+			return s.Commits >= at.Commit || s.Now >= maxVirtual
+		})
+		if err == nil && !snap.Done && snap.Commits < at.Commit {
+			err = fmt.Errorf("session wedged: commit %d not reached by t=%v (stuck at commit %d)",
+				at.Commit, snap.Now, snap.Commits)
+		}
+		return snap, err
+	}
+	now := c.Now()
+	if at.Time <= now {
+		return c.Snapshot(), nil
+	}
+	return c.RunFor(at.Time - now)
+}
+
+// progressViolation classifies an advancement error as invariant 3.
+func progressViolation(err error) *Violation {
+	if errors.Is(err, hft.ErrStalled) {
+		return &Violation{Kind: VProgress, Detail: err.Error()}
+	}
+	return &Violation{Kind: VProgress, Detail: fmt.Sprintf("run did not complete: %v", err)}
+}
+
+// saveRestore performs invariant 4's round trip: Save, Restore (with
+// the library's own replay verification), re-Save, compare. On success
+// the caller continues on the restored session — the rest of the run
+// then also proves the restored state behaves identically.
+func saveRestore(c *hft.Cluster) (*hft.Cluster, error) {
+	var first bytes.Buffer
+	if err := c.Save(&first); err != nil {
+		return nil, fmt.Errorf("save: %v", err)
+	}
+	restored, err := hft.Restore(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		return nil, fmt.Errorf("restore: %v", err)
+	}
+	var second bytes.Buffer
+	if err := restored.Save(&second); err != nil {
+		restored.Close()
+		return nil, fmt.Errorf("re-save: %v", err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		restored.Close()
+		return nil, fmt.Errorf("round trip not byte-identical: saved %d bytes, re-saved %d bytes (first difference at offset %d)",
+			first.Len(), second.Len(), diffOffset(first.Bytes(), second.Bytes()))
+	}
+	return restored, nil
+}
+
+// diffOffset returns the first index where a and b differ.
+func diffOffset(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}

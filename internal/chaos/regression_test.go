@@ -1,0 +1,64 @@
+package chaos
+
+import (
+	"testing"
+
+	hft "repro"
+)
+
+// TestRegressionCampaignFinds pins the bugs the first full campaign
+// sweep caught, as exact schedules. Each reproduced a replicated-state
+// divergence before its fix:
+//
+//   - zombie epoch commit: a coordinator failstopped mid-boundary
+//     (between the Tme send and the commit hook) under the §4.3
+//     protocol still delivered, archived, and reported the epoch, so
+//     AddBackup captured its state from a timeline the replica set
+//     never received (coordinator.run now re-checks stopped() after
+//     each boundary send);
+//   - in-flight message loss: failstop severed frames already on the
+//     wire, so a backup on a degraded (slow) link could miss an epoch
+//     that a fast-linked peer completed, and the promoted backup's
+//     post-failover line diverged irreconcilably from the peer's
+//     (netsim links now deliver in-flight messages after Disconnect).
+func TestRegressionCampaignFinds(t *testing.T) {
+	ms := func(d int64) hft.Duration { return hft.Duration(d) * hft.Millisecond }
+	cases := []struct {
+		name string
+		s    Schedule
+	}{
+		{"zombie-commit-before-addbackup", Schedule{
+			Seed: 1589839639, Workload: "cpu", Epoch: 1024,
+			Protocol: hft.ProtocolNew, Link: "atm", Backups: 2,
+			Steps: []Step{
+				{At: Coord{Time: ms(9)}, Op: OpFailPrimary},
+				{At: Coord{Commit: 19}, Op: OpAddBackup},
+			},
+		}},
+		{"inflight-loss-asymmetric-links", Schedule{
+			Seed: 468989957, Workload: "cpu", Epoch: 4096,
+			Protocol: hft.ProtocolNew, Link: "atm", Backups: 2,
+			Steps: []Step{
+				{At: Coord{Commit: 4}, Op: OpLinkDegrade, Bandwidth: 2000000, Latency: 500 * hft.Microsecond},
+				{At: Coord{Commit: 7}, Op: OpAddBackup},
+				{At: Coord{Time: ms(20)}, Op: OpFailPrimary},
+			},
+		}},
+		{"failstop-cascade-then-join", Schedule{
+			Seed: 46778682, Workload: "cpu", Epoch: 1024,
+			Protocol: hft.ProtocolNew, Link: "ethernet", Backups: 2,
+			Steps: []Step{
+				{At: Coord{Time: ms(16)}, Op: OpFailBackup, Backup: 2},
+				{At: Coord{Commit: 5}, Op: OpFailPrimary},
+				{At: Coord{Commit: 16}, Op: OpAddBackup},
+			},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if rep := Execute(tc.s); rep.Failed() {
+				t.Errorf("schedule %v violated %v", tc.s, rep.Violation)
+			}
+		})
+	}
+}

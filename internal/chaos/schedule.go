@@ -1,0 +1,238 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	hft "repro"
+)
+
+// OpKind enumerates the perturbations a schedule can apply — the
+// public Cluster API's live mutation surface.
+type OpKind uint8
+
+const (
+	// OpFailPrimary failstops the primary's processor.
+	OpFailPrimary OpKind = iota
+	// OpFailBackup failstops backup Step.Backup (1-based).
+	OpFailBackup
+	// OpLinkDegrade degrades every inter-hypervisor link to
+	// Step.Bandwidth / Step.Latency.
+	OpLinkDegrade
+	// OpLinkRestore restores the configured link model's parameters.
+	OpLinkRestore
+	// OpAddBackup reintegrates a new backup by live state transfer.
+	OpAddBackup
+	// OpSaveRestore checkpoints the session, restores it, re-saves the
+	// restored session and compares the two blobs byte for byte
+	// (invariant 4); execution continues on the restored session.
+	OpSaveRestore
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpFailPrimary:
+		return "fail-primary"
+	case OpFailBackup:
+		return "fail-backup"
+	case OpLinkDegrade:
+		return "link-degrade"
+	case OpLinkRestore:
+		return "link-restore"
+	case OpAddBackup:
+		return "add-backup"
+	case OpSaveRestore:
+		return "save-restore"
+	}
+	return fmt.Sprintf("op(%d)", uint8(k))
+}
+
+// Coord is a replayable position in a run. Commit, when nonzero, names
+// a cumulative epoch-commit ordinal — the protocol's natural, exactly
+// reproducible pause coordinate. Otherwise Time names an exact virtual
+// time. The shrinker prefers commits: "commit #12" survives schedule
+// edits that shift the timeline, where "t=3.7ms" may land mid-epoch.
+type Coord struct {
+	Commit uint64
+	Time   hft.Duration
+}
+
+func (c Coord) String() string {
+	if c.Commit > 0 {
+		return fmt.Sprintf("commit %d", c.Commit)
+	}
+	return fmt.Sprintf("t=%v", c.Time)
+}
+
+// Step is one perturbation at one coordinate.
+type Step struct {
+	At     Coord
+	Op     OpKind
+	Backup int // OpFailBackup target (1-based)
+	// Bandwidth/Latency are OpLinkDegrade's parameters.
+	Bandwidth int64
+	Latency   hft.Duration
+}
+
+func (s Step) String() string {
+	switch s.Op {
+	case OpFailBackup:
+		return fmt.Sprintf("%v @ %v (backup %d)", s.Op, s.At, s.Backup)
+	case OpLinkDegrade:
+		return fmt.Sprintf("%v @ %v (bw=%d lat=%v)", s.Op, s.At, s.Bandwidth, s.Latency)
+	}
+	return fmt.Sprintf("%v @ %v", s.Op, s.At)
+}
+
+// Schedule is a complete, self-contained run description: base
+// configuration plus an ordered perturbation list. Everything needed
+// to reconstruct the identical cluster is in here — no hidden state —
+// which is what makes schedules shrinkable and emittable.
+type Schedule struct {
+	// Seed is the cluster's simulation seed.
+	Seed int64
+	// Workload names a canonical shape (ParseWorkload).
+	Workload string
+	// Epoch is the epoch length in instructions.
+	Epoch uint64
+	// Protocol selects §2 (Old) or §4.3 (New).
+	Protocol hft.Protocol
+	// Link names the channel model: "ethernet" or "atm".
+	Link string
+	// Backups is the initial replica count t.
+	Backups int
+	// Steps are applied in order; each advances the session to its
+	// coordinate first (a coordinate already in the past applies
+	// immediately).
+	Steps []Step
+}
+
+// LinkModel resolves the schedule's link name.
+func (s Schedule) LinkModel() hft.LinkModel {
+	if s.Link == "atm" {
+		return hft.ATM155()
+	}
+	return hft.Ethernet10()
+}
+
+// String renders a compact one-line summary for logs.
+func (s Schedule) String() string {
+	proto := "old"
+	if s.Protocol == hft.ProtocolNew {
+		proto = "new"
+	}
+	var steps []string
+	for _, st := range s.Steps {
+		steps = append(steps, st.String())
+	}
+	return fmt.Sprintf("{%s seed=%d epoch=%d proto=%s link=%s t=%d: [%s]}",
+		s.Workload, s.Seed, s.Epoch, proto, s.Link, s.Backups, strings.Join(steps, "; "))
+}
+
+// Generator draw tables. Bounds are deliberate, not arbitrary:
+//
+//   - Link storms never drop messages and never push latency near the
+//     50 ms failure-detection timeout: a generated storm must degrade,
+//     not partition. A partition causes a spurious promotion with the
+//     primary still alive — two acting coordinators — which the
+//     simulation (correctly) reports as divergence. That is the
+//     environment violating the paper's failstop assumption, not the
+//     protocol violating its promises, so the generator stays inside
+//     the assumption.
+//   - Total failstops never exceed the initial backup count: the paper
+//     tolerates t failures with t backups. (Reintegrated backups are
+//     not credited — the joiner may still be in transit when a later
+//     failstop lands.)
+//   - Coordinates lean on commit ordinals (exactly replayable) over
+//     virtual times, mirroring the shrinker's preference.
+var (
+	genEpochs      = []uint64{1024, 4096}
+	genBandwidths  = []int64{1_000_000, 2_000_000, 5_000_000, 10_000_000}
+	genLatencies   = []hft.Duration{100 * hft.Microsecond, 500 * hft.Microsecond, 1 * hft.Millisecond, 2 * hft.Millisecond}
+	genLinks       = []string{"ethernet", "atm"}
+	genMaxSteps    = 5
+	genMaxCommit   = uint64(48)
+	genMaxTime     = 20 * hft.Millisecond
+	genMaxAdds     = 2
+	genMaxSaveRest = 1
+)
+
+// Generate draws one random schedule from rng. The same rng state
+// always yields the same schedule — campaign reproducibility reduces
+// to seed arithmetic.
+func Generate(rng *rand.Rand) Schedule {
+	shapes := Workloads()
+	shape := shapes[rng.Intn(len(shapes))]
+
+	s := Schedule{
+		Seed:     1 + rng.Int63n(1<<31),
+		Workload: shape.Name,
+		Epoch:    genEpochs[rng.Intn(len(genEpochs))],
+		Protocol: hft.ProtocolOld,
+		Link:     genLinks[rng.Intn(len(genLinks))],
+		Backups:  1,
+	}
+	if rng.Intn(2) == 1 {
+		s.Protocol = hft.ProtocolNew
+	}
+	// Mostly pairs (the paper's prototype); occasionally deeper sets.
+	switch rng.Intn(6) {
+	case 0:
+		s.Backups = 2
+	case 1:
+		s.Backups = 3
+	}
+
+	failBudget := s.Backups // total failstops (primary + backups)
+	adds, saves := 0, 0
+	n := rng.Intn(genMaxSteps + 1)
+	for len(s.Steps) < n {
+		st := Step{At: genCoord(rng)}
+		switch rng.Intn(6) {
+		case 0: // primary failstop
+			if failBudget == 0 {
+				continue
+			}
+			failBudget--
+			st.Op = OpFailPrimary
+		case 1: // backup failstop; may target an already-failed index
+			if failBudget == 0 {
+				continue
+			}
+			failBudget--
+			st.Op = OpFailBackup
+			st.Backup = 1 + rng.Intn(s.Backups+adds)
+		case 2:
+			st.Op = OpLinkDegrade
+			st.Bandwidth = genBandwidths[rng.Intn(len(genBandwidths))]
+			st.Latency = genLatencies[rng.Intn(len(genLatencies))]
+		case 3:
+			st.Op = OpLinkRestore
+		case 4:
+			if adds >= genMaxAdds {
+				continue
+			}
+			adds++
+			st.Op = OpAddBackup
+		case 5:
+			if saves >= genMaxSaveRest {
+				continue
+			}
+			saves++
+			st.Op = OpSaveRestore
+		}
+		s.Steps = append(s.Steps, st)
+	}
+	return s
+}
+
+// genCoord draws a step coordinate: mostly commit ordinals, sometimes
+// exact virtual times (which exercise the RunFor pause path and give
+// the shrinker's coordinate-reduction phase something to reduce).
+func genCoord(rng *rand.Rand) Coord {
+	if rng.Intn(10) < 7 {
+		return Coord{Commit: 1 + uint64(rng.Intn(int(genMaxCommit)))}
+	}
+	return Coord{Time: hft.Duration(1+rng.Int63n(int64(genMaxTime/hft.Millisecond))) * hft.Millisecond}
+}

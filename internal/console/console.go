@@ -127,10 +127,17 @@ func (c *Console) Output() string { return string(c.out) }
 // Reset clears the transcript (test setup; input state is unaffected).
 func (c *Console) Reset() { c.out = nil; c.Writes = 0 }
 
+// DisableOutputDedup disables the ordinal high-water dedup in append,
+// re-exposing the duplicate-output-after-promotion bug the ordinals
+// exist to prevent. Fault-injection hook for the chaos campaign's
+// self-test (it must catch and shrink exactly this class of bug);
+// never set in production paths.
+var DisableOutputDedup = false
+
 // append applies one output byte, honoring the ordinal dedup watermark
 // (ordinal 0 = untagged write, always applied).
 func (c *Console) append(ordinal uint32, b byte) {
-	if ordinal != 0 {
+	if ordinal != 0 && !DisableOutputDedup {
 		if ordinal <= c.highWater {
 			return // retransmission of output the environment already saw
 		}

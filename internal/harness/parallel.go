@@ -31,11 +31,11 @@ func SetWorkers(n int) {
 // Workers returns the configured concurrency.
 func Workers() int { return int(workerCount.Load()) }
 
-// forEach runs fn(i) for every i in [0, n), fanning across Workers()
+// ForEach runs fn(i) for every i in [0, n), fanning across Workers()
 // goroutines. fn must communicate results through index-addressed slots;
-// forEach imposes no output ordering of its own. A panic in any worker
+// ForEach imposes no output ordering of its own. A panic in any worker
 // (the harness's consistency checks panic) is re-raised on the caller.
-func forEach(n int, fn func(i int)) {
+func ForEach(n int, fn func(i int)) {
 	w := Workers()
 	if w > n {
 		w = n

@@ -16,7 +16,7 @@ func TestForEachCoversAllIndices(t *testing.T) {
 	for _, w := range []int{1, 3, 8} {
 		SetWorkers(w)
 		var hits [57]atomic.Int64
-		forEach(len(hits), func(i int) { hits[i].Add(1) })
+		ForEach(len(hits), func(i int) { hits[i].Add(1) })
 		for i := range hits {
 			if got := hits[i].Load(); got != 1 {
 				t.Fatalf("workers=%d: index %d visited %d times", w, i, got)
@@ -33,7 +33,7 @@ func TestForEachPropagatesPanic(t *testing.T) {
 			t.Fatal("worker panic was swallowed")
 		}
 	}()
-	forEach(8, func(i int) {
+	ForEach(8, func(i int) {
 		if i == 5 {
 			panic("boom")
 		}

@@ -390,11 +390,13 @@ func (hv *Hypervisor) pollDevices() {
 	if m.CRs[isa.CREIRR] == 0 {
 		return
 	}
+	var known uint32
 	for _, d := range hv.devs {
 		if d.win.Line == device.NoLine {
 			continue
 		}
 		bit := uint32(1) << (d.win.Line & 31)
+		known |= bit
 		if m.CRs[isa.CREIRR]&bit == 0 {
 			continue
 		}
@@ -424,8 +426,13 @@ func (hv *Hypervisor) pollDevices() {
 			hv.OnCapture(i)
 		}
 	}
-	// Ignore any other raised lines (unknown devices): clear them.
-	if rest := m.CRs[isa.CREIRR]; rest != 0 {
+	// Ignore raised lines that belong to no known device: clear them.
+	// Lines owned by a device must NOT be cleared here — capturing a
+	// completion can yield to the simulator (forwarding the interrupt
+	// record to backups sleeps on the link), and a device interrupt that
+	// lands during that window has not been looked at by the loop above.
+	// Leaving its bit set lets the next poll capture it.
+	if rest := m.CRs[isa.CREIRR] &^ known; rest != 0 {
 		m.WriteCR(isa.CREIRR, rest)
 	}
 }

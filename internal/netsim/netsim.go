@@ -159,10 +159,16 @@ func (l *Link) deliverHead() {
 	if !ok {
 		panic("netsim: delivery event with no in-flight message")
 	}
-	if l.down {
-		l.Stats.MessagesDropped++
-		return
-	}
+	// A downed link refuses NEW sends (see Send), but messages already
+	// in flight still arrive: fail-stop halts the sender, it does not
+	// reach out and destroy frames already on the wire. The replication
+	// layer depends on this — the coordinator fans out to backups in
+	// priority order, so with FIFO links and in-flight delivery the
+	// promoted (lowest-priority-index) backup always holds a superset
+	// of every other backup's received prefix, and its post-failover
+	// stream reconciles the others. Dropping in-flight frames instead
+	// lets a slow-linked backup miss an epoch a fast-linked peer saw,
+	// and the two lines diverge irreconcilably.
 	msg.DeliveredAt = l.k.Now()
 	l.Stats.MessagesDelivered++
 	l.Inbox.Put(msg)

@@ -95,7 +95,7 @@ func TestSerializationQueuing(t *testing.T) {
 	}
 }
 
-func TestDisconnectDropsMessages(t *testing.T) {
+func TestDisconnectSeversNewSendsOnly(t *testing.T) {
 	k := sim.NewKernel(1)
 	defer k.Shutdown()
 	l := NewLink(k, Ethernet10("test"))
@@ -103,14 +103,16 @@ func TestDisconnectDropsMessages(t *testing.T) {
 	l.Disconnect()
 	l.Send("after", 100)
 	k.Run()
-	if l.Inbox.Len() != 0 {
-		t.Error("messages delivered on disconnected link")
+	// Fail-stop semantics: the message already on the wire arrives; the
+	// send attempted after the disconnect is refused.
+	if l.Inbox.Len() != 1 {
+		t.Errorf("delivered = %d, want 1 (the in-flight message survives the sender)", l.Inbox.Len())
 	}
 	if !l.Down() {
 		t.Error("Down() = false")
 	}
-	if l.Stats.MessagesDropped != 2 {
-		t.Errorf("dropped = %d, want 2 (in-flight and post-disconnect)", l.Stats.MessagesDropped)
+	if l.Stats.MessagesDropped != 1 {
+		t.Errorf("dropped = %d, want 1 (the post-disconnect send)", l.Stats.MessagesDropped)
 	}
 }
 

@@ -168,6 +168,16 @@ func (c *coordinator) run(p *sim.Proc, tme0 uint32) {
 			// passes, so protocol timing is unchanged.
 			c.s.drainAcks()
 		}
+		// send charges per-peer setup time, so virtual time passed and a
+		// failstop may have landed mid-boundary. A failstopped processor
+		// halts where it stands: it must not deliver, archive, or commit
+		// the epoch — a zombie commit would feed observers (the session's
+		// commit coordinates, AddBackup's state capture) an epoch the
+		// replica set never saw, because the End message died with the
+		// severed links.
+		if c.stopped() {
+			return
+		}
 		c.trimAcked()
 		hv.TimerInterruptsDue(tme)
 		var delivered []hypervisor.Interrupt
@@ -181,6 +191,12 @@ func (c *coordinator) run(p *sim.Proc, tme0 uint32) {
 		})
 		c.s.send(message{Kind: msgEnd, Epoch: b.Epoch, Digest: b.Digest, Halted: b.Halted})
 		c.endSeqs = append(c.endSeqs, endSeqRec{epoch: b.Epoch, seq: c.s.seq})
+		// Same rationale as above: the End send slept, and a failstop
+		// landing there means no peer holds this epoch's End — the
+		// commit must not be observed.
+		if c.stopped() {
+			return
+		}
 		if c.hooks != nil && c.hooks.EpochCommitted != nil {
 			c.hooks.EpochCommitted(c.node, b.Epoch, tme, p.Now(), b.Halted)
 		}

@@ -32,9 +32,11 @@ package session
 // coordinator by roughly the transfer duration for the rest of the
 // run — the reintegration's cost is visible in the session's
 // completion time, which is the point of charging it to the link. If
-// the source processor failstops with the image in flight, the
-// transfer is lost and the joiner withdraws (there is no state to
-// join with).
+// the source processor failstops mid-transfer, an image already on the
+// wire still arrives (fail-stop halts the sender, not frames in
+// flight) and the join proceeds on the promoted coordinator's stream;
+// the joiner withdraws only if a detection timeout fires on the downed
+// channel before the image lands.
 
 import (
 	"errors"
@@ -66,7 +68,7 @@ func (e *Engine) AddBackup(cfg AddBackupConfig) (int, error) {
 	}
 	e.Boot()
 	if e.finished {
-		return 0, errors.New("session: workload already complete")
+		return 0, ErrCompleted
 	}
 
 	// Quiesce at the next epoch commit.

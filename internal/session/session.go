@@ -43,6 +43,14 @@ const GuestMemBytes = 1 << 20
 // finishes in minutes of virtual time).
 const maxRunTime = 20000 * sim.Second
 
+// stallLimit is the bounded-progress watchdog's dispatch budget: the
+// scheduler passes virtual time may sit at ONE instant before the
+// session declares the coordinator wedged (ErrStalled). Legitimate
+// same-instant cascades — every node's boundary processing plus the
+// message deliveries it triggers — are bounded by a few dispatches per
+// node per message; 100k is orders of magnitude past any of them.
+const stallLimit = 100000
+
 // peerTimeout is the coordinator-side acknowledgement-liveness bound:
 // generously past every backup's cascaded failure-detection timeout,
 // so a genuinely partitioned peer is detected by its own timeout first
@@ -213,6 +221,7 @@ type Snapshot struct {
 	Acting int
 
 	Epochs            uint64 // epochs committed by the acting coordinator
+	Commits           uint64 // cumulative acting-coordinator epoch commits since boot
 	GuestInstructions uint64 // retired by the acting node's guest
 	Promoted          bool
 	Halted            bool
@@ -338,6 +347,7 @@ func (e *Engine) Boot() {
 	}
 	n := o.Backups + 1
 	k := sim.NewKernel(o.Seed)
+	k.SetStallLimit(stallLimit)
 	e.k = k
 	cluster := platform.NewCluster(k, platform.Config{
 		Disk:       o.Disk,
@@ -406,6 +416,7 @@ func (e *Engine) Boot() {
 // bootBare constructs the single-machine baseline topology.
 func (e *Engine) bootBare() {
 	k := sim.NewKernel(e.o.Seed)
+	k.SetStallLimit(stallLimit)
 	e.k = k
 	s := platform.NewSingle(k, platform.Config{
 		Disk:       e.o.Disk,
@@ -588,34 +599,79 @@ func (e *Engine) checkFinished() {
 }
 
 // RunFor advances the session by d of virtual time (booting first if
-// needed). Advancing a completed session is a no-op.
-func (e *Engine) RunFor(d sim.Time) {
+// needed). Advancing a completed session is a no-op. It returns
+// ErrStalled (as a *StallError) if the bounded-progress watchdog
+// trips.
+func (e *Engine) RunFor(d sim.Time) error {
 	e.Boot()
 	if e.finished || e.closed || d <= 0 {
-		return
+		return nil
+	}
+	if err := e.stallErr(); err != nil {
+		return err
 	}
 	e.k.ClearStop()
 	e.k.RunUntil(e.k.Now() + d)
 	e.checkFinished()
+	return e.stallErr()
 }
 
 // ErrIncomplete reports a run that wedged before completing (no pending
 // events but live processes — a protocol deadlock).
 var ErrIncomplete = errors.New("session: run did not complete")
 
+// ErrStalled reports a wedged coordinator: the scheduler kept
+// dispatching but virtual time stopped advancing (a same-instant
+// livelock). Test with errors.Is; the concrete error is a *StallError
+// carrying the blocked process's identity.
+var ErrStalled = errors.New("session: virtual time stalled")
+
+// StallError is the concrete ErrStalled: the bounded-progress watchdog
+// tripped after stallLimit scheduler passes without the clock moving.
+type StallError struct {
+	// Proc is the last process dispatched at the pinned instant
+	// ("(event)" when an event callback, not a process, was spinning).
+	Proc string
+	// At is the virtual time progress stopped at.
+	At sim.Time
+}
+
+func (e *StallError) Error() string {
+	return fmt.Sprintf("session: virtual time stalled at %v (last dispatched: %s)", e.At, e.Proc)
+}
+
+// Is makes errors.Is(err, ErrStalled) hold for *StallError.
+func (e *StallError) Is(target error) bool { return target == ErrStalled }
+
+// stallErr converts the kernel watchdog's sticky stall state into the
+// session-level error (nil while progress is being made).
+func (e *Engine) stallErr() error {
+	if name, at, ok := e.k.Stalled(); ok {
+		return &StallError{Proc: name, At: at}
+	}
+	return nil
+}
+
 // RunUntil advances the session until pred holds — evaluated before
 // starting and then at each epoch commit — or the run completes. It
-// returns ErrIncomplete if the simulation wedges first.
+// returns ErrIncomplete if the simulation wedges first and ErrStalled
+// if the bounded-progress watchdog trips.
 func (e *Engine) RunUntil(pred func() bool) error {
 	e.Boot()
 	if e.finished || e.closed || pred() {
 		return nil
+	}
+	if err := e.stallErr(); err != nil {
+		return err
 	}
 	e.stopCheck = pred
 	defer func() { e.stopCheck = nil }()
 	e.k.ClearStop()
 	e.k.RunUntil(maxRunTime)
 	e.checkFinished()
+	if err := e.stallErr(); err != nil {
+		return err
+	}
 	if e.finished || e.k.Stopped() {
 		return nil
 	}
@@ -635,6 +691,9 @@ func (e *Engine) RunToCompletion(cancelled func() bool) error {
 		if cancelled != nil && cancelled() {
 			return nil
 		}
+		if err := e.stallErr(); err != nil {
+			return err
+		}
 		e.stopCheck = cancelled
 		e.k.ClearStop()
 		e.k.RunUntil(maxRunTime)
@@ -642,6 +701,9 @@ func (e *Engine) RunToCompletion(cancelled func() bool) error {
 		e.checkFinished()
 		if e.finished {
 			break
+		}
+		if err := e.stallErr(); err != nil {
+			return err
 		}
 		if e.k.Stopped() {
 			continue // paused by cancellation; loop re-checks
@@ -651,17 +713,30 @@ func (e *Engine) RunToCompletion(cancelled func() bool) error {
 	return e.runErr
 }
 
+// ErrCompleted reports a perturbation applied after the workload
+// completed: there is no live cluster left to perturb. Every
+// perturbation entry point (FailBackup, SetLinkQuality, AddBackup)
+// returns it rather than silently no-opping, so a driver cannot
+// mistake a dead session for an accepted injection.
+var ErrCompleted = errors.New("session: workload already complete")
+
 // FailPrimary failstops the primary's processor immediately (between
 // advancement slices) — the live counterpart of Options.FailPrimaryAt.
-func (e *Engine) FailPrimary() {
+// It reports whether the failstop was applied: false when the session
+// is bare, closed, already complete, or the primary already failed.
+func (e *Engine) FailPrimary() bool {
 	e.Boot()
-	if e.closed || e.o.Bare || e.pri.Failed() {
-		return
+	if e.closed || e.o.Bare || e.finished || e.pri.Failed() {
+		return false
 	}
 	e.failPrimaryNow()
+	return true
 }
 
 // FailBackup failstops backup i (1-based priority index) immediately.
+// After completion it returns ErrCompleted. Failstopping an
+// already-failed backup is a no-op (the paper's failstop model: a dead
+// processor cannot die again).
 func (e *Engine) FailBackup(i int) error {
 	e.Boot()
 	if e.closed {
@@ -669,6 +744,9 @@ func (e *Engine) FailBackup(i int) error {
 	}
 	if e.o.Bare {
 		return errors.New("session: bare run has no backups")
+	}
+	if e.finished {
+		return ErrCompleted
 	}
 	if i < 1 || i > len(e.baks) {
 		return fmt.Errorf("session: no backup %d (have %d)", i, len(e.baks))
@@ -679,8 +757,17 @@ func (e *Engine) FailBackup(i int) error {
 	return nil
 }
 
+// BackupFailed reports whether backup i (1-based) has failstopped
+// (false for out-of-range indexes and unbooted sessions).
+func (e *Engine) BackupFailed(i int) bool {
+	if i < 1 || i > len(e.baks) {
+		return false
+	}
+	return e.baks[i-1].Failed()
+}
+
 // SetLinkQuality adjusts every inter-hypervisor link (both directions
-// of the full mesh) mid-run.
+// of the full mesh) mid-run. After completion it returns ErrCompleted.
 func (e *Engine) SetLinkQuality(q netsim.Quality) error {
 	e.Boot()
 	if e.closed {
@@ -688,6 +775,9 @@ func (e *Engine) SetLinkQuality(q netsim.Quality) error {
 	}
 	if e.o.Bare {
 		return errors.New("session: bare run has no links")
+	}
+	if e.finished {
+		return ErrCompleted
 	}
 	for i := range e.cluster.Links {
 		for j := range e.cluster.Links[i] {
@@ -733,6 +823,7 @@ func (e *Engine) Snapshot() Snapshot {
 	if e.finished {
 		s.Now = e.endTime
 	}
+	s.Commits = e.commits
 	s.DiskOps, s.DiskUncertain = e.diskOps, e.diskUncertain
 	if e.o.Bare {
 		s.Nodes = 1

@@ -130,6 +130,22 @@ type Kernel struct {
 	dwProc *Proc
 	dwAt   Time
 	dwSeq  uint64
+
+	// Bounded-progress watchdog (SetStallLimit): dispatch bookkeeping
+	// that detects a scheduler livelock — virtual time pinned at one
+	// instant while dispatches keep flowing. Zero stallLimit disables
+	// the watchdog entirely (one predicted branch per dispatch).
+	stallLimit int
+	stallCount int
+	stallAt    Time
+	stallName  string
+	stalled    bool
+
+	// panicked holds a panic value recovered on a process goroutine,
+	// re-raised on the kernel (driver) goroutine when the token returns
+	// to loop. Without this hand-off a panicking process would crash
+	// the whole program on a goroutine no caller can recover from.
+	panicked any
 }
 
 // NewKernel returns a kernel whose random streams derive from seed.
@@ -276,8 +292,41 @@ func (k *Kernel) Stopped() bool { return k.stopped }
 // ClearStop re-arms a kernel halted by Stop so Run/RunUntil continue
 // exactly where they left off — the basis of bounded, caller-paced
 // session runs. It must not be called after Shutdown (the process
-// goroutines are gone).
-func (k *Kernel) ClearStop() { k.stopped = false }
+// goroutines are gone). A kernel halted by the stall watchdog is not
+// re-armed: the livelock would only trip it again.
+func (k *Kernel) ClearStop() { k.stopped = k.stalled }
+
+// SetStallLimit arms the bounded-progress watchdog: if more than n
+// dispatches (process resumes, wait timeouts, event callbacks) occur
+// without virtual time advancing, the kernel declares itself stalled
+// and stops. n must comfortably exceed the largest legitimate
+// same-instant cascade (every node's boundary processing plus message
+// deliveries happen at one instant). Zero disables the watchdog.
+func (k *Kernel) SetStallLimit(n int) { k.stallLimit = n }
+
+// Stalled reports whether the watchdog tripped, and if so the name of
+// the last process dispatched at the pinned instant ("(event)" when an
+// event callback, not a process, was spinning) and that instant. The
+// condition is sticky: a stalled kernel will not run again.
+func (k *Kernel) Stalled() (proc string, at Time, ok bool) {
+	return k.stallName, k.stallAt, k.stalled
+}
+
+// tick records one dispatch for the stall watchdog. It runs with the
+// clock already advanced to the dispatch time, so any real progress
+// resets the count. On trip it stops the kernel; the current dispatch
+// still completes (the next scheduling decision observes stopped).
+func (k *Kernel) tick(name string) {
+	if k.now != k.stallAt {
+		k.stallAt, k.stallCount = k.now, 0
+	}
+	k.stallCount++
+	k.stallName = name
+	if k.stallCount > k.stallLimit {
+		k.stalled = true
+		k.stopped = true
+	}
+}
 
 // next advances the simulation without transferring control: it runs due
 // callback events inline and returns the next process to hand the single
@@ -307,6 +356,9 @@ func (k *Kernel) next() *Proc {
 			if k.dwAt > k.now {
 				k.now = k.dwAt
 			}
+			if k.stallLimit > 0 {
+				k.tick(p.name)
+			}
 			return p
 		}
 		if e == nil {
@@ -329,6 +381,9 @@ func (k *Kernel) next() *Proc {
 			if p.state == procDone {
 				continue
 			}
+			if k.stallLimit > 0 {
+				k.tick(p.name)
+			}
 			return p
 		case e.waiter != nil:
 			w := e.waiter
@@ -339,10 +394,16 @@ func (k *Kernel) next() *Proc {
 			w.timed = true
 			w.woken = true
 			w.s.removeWaiter(w)
+			if k.stallLimit > 0 {
+				k.tick(w.p.name)
+			}
 			return w.p
 		default:
 			fn := e.fn
 			k.recycle(e)
+			if k.stallLimit > 0 {
+				k.tick("(event)")
+			}
 			fn()
 		}
 	}
@@ -359,6 +420,10 @@ func (k *Kernel) loop() Time {
 	k.current = p
 	p.wake <- struct{}{}
 	<-k.yield
+	if r := k.panicked; r != nil {
+		k.panicked = nil
+		panic(r)
+	}
 	return k.now
 }
 
@@ -436,10 +501,17 @@ func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
 			k.nprocs--
 			if r := recover(); r != nil {
 				if _, ok := r.(killed); !ok {
-					panic(r)
+					// Marshal the panic to the driver goroutine: stop
+					// the run, hand the token back, and let loop
+					// re-raise it where callers can recover.
+					if k.panicked == nil {
+						k.panicked = r
+					}
+					k.stopped = true
 				}
-				// Unwound by Shutdown: fall through and pass the token
-				// on (next() returns nil immediately — stopped is set).
+				// Unwound by Shutdown (or stopping after a panic): fall
+				// through and pass the token on (next() returns nil
+				// immediately — stopped is set).
 			}
 			// The dying process holds the token: keep scheduling until
 			// it transfers to another process or an end condition hands
@@ -536,6 +608,14 @@ func (p *Proc) Sleep(d Time) {
 		(len(k.events) == 0 || k.events[0].at > at) &&
 		(k.limit < 0 || at <= k.limit) {
 		k.now = at
+		// The watchdog must observe this path too: a lone process
+		// yielding in place (d=0, empty heap) never reaches next(), so
+		// it would otherwise spin forever below the watchdog's radar.
+		// Once the trip sets stopped, the next Sleep falls through to
+		// the blocking paths and the scheduler loop exits.
+		if k.stallLimit > 0 {
+			k.tick(p.name)
+		}
 		return
 	}
 	// Fast path 2: park in the kernel's single direct-wake slot,

@@ -649,3 +649,131 @@ func TestSleepFastPathInterleaving(t *testing.T) {
 		}
 	}
 }
+
+// --- bounded-progress watchdog ---
+
+// TestStallWatchdogYieldLoop: a lone process yielding in place never
+// advances virtual time; the watchdog must stop the kernel and name it.
+func TestStallWatchdogYieldLoop(t *testing.T) {
+	k := NewKernel(1)
+	k.SetStallLimit(100)
+	k.Spawn("spinner", func(p *Proc) {
+		p.Sleep(5 * Microsecond) // make real progress first
+		for {
+			p.Yield()
+		}
+	})
+	k.RunUntil(Second)
+	name, at, ok := k.Stalled()
+	if !ok {
+		t.Fatal("watchdog did not trip on a yield livelock")
+	}
+	if name != "spinner" {
+		t.Errorf("stalled proc = %q, want %q", name, "spinner")
+	}
+	if at != 5*Microsecond {
+		t.Errorf("stall pinned at %v, want 5us", at)
+	}
+	if !k.Stopped() {
+		t.Error("stalled kernel is not stopped")
+	}
+	// A stall is sticky: ClearStop must not re-arm the scheduler.
+	k.ClearStop()
+	if !k.Stopped() {
+		t.Error("ClearStop re-armed a stalled kernel")
+	}
+}
+
+// TestStallWatchdogEventLoop: a callback endlessly rescheduling itself
+// at the current instant flows through the dispatcher; the watchdog
+// counts those dispatches too and stops the loop.
+func TestStallWatchdogEventLoop(t *testing.T) {
+	k := NewKernel(1)
+	k.SetStallLimit(100)
+	fires := 0
+	var spin func()
+	spin = func() {
+		fires++
+		k.At(k.Now(), spin)
+	}
+	k.At(0, spin)
+	k.RunUntil(Second)
+	if _, at, ok := k.Stalled(); !ok {
+		t.Fatal("watchdog did not trip on an event livelock")
+	} else if at != 0 {
+		t.Errorf("stall pinned at %v, want 0", at)
+	}
+	if fires > 102 {
+		t.Errorf("loop dispatched %d times after the limit of 100", fires)
+	}
+}
+
+// TestStallWatchdogDisabled: zero limit (the default) never trips, and
+// progress resets the dispatch counter.
+func TestStallWatchdogDisabled(t *testing.T) {
+	k := NewKernel(1)
+	done := false
+	k.Spawn("worker", func(p *Proc) {
+		for i := 0; i < 1000; i++ {
+			p.Yield()
+		}
+		done = true
+	})
+	k.RunUntil(Second)
+	if !done {
+		t.Fatal("bounded yield loop did not finish with watchdog disabled")
+	}
+	if _, _, ok := k.Stalled(); ok {
+		t.Error("Stalled reports true with no limit set")
+	}
+
+	// With a limit, periodic progress keeps the counter at bay.
+	k2 := NewKernel(1)
+	k2.SetStallLimit(100)
+	done = false
+	k2.Spawn("worker", func(p *Proc) {
+		for i := 0; i < 2000; i++ {
+			if i%50 == 0 {
+				p.Sleep(Microsecond)
+			} else {
+				p.Yield()
+			}
+		}
+		done = true
+	})
+	k2.RunUntil(Second)
+	if !done {
+		t.Fatal("progressing worker was killed by the watchdog")
+	}
+	if _, _, ok := k2.Stalled(); ok {
+		t.Error("watchdog tripped despite periodic progress")
+	}
+}
+
+// TestProcPanicReachesDriver pins the panic hand-off: a panic on a
+// process goroutine must re-raise on the goroutine that called Run,
+// where callers can recover — not crash the program on a goroutine
+// nobody owns. The kernel must still shut down cleanly afterwards.
+func TestProcPanicReachesDriver(t *testing.T) {
+	k := NewKernel(1)
+	defer k.Shutdown()
+	k.Spawn("bystander", func(p *Proc) {
+		for i := 0; i < 100; i++ {
+			p.Sleep(Millisecond)
+		}
+	})
+	k.Spawn("bomb", func(p *Proc) {
+		p.Sleep(5 * Millisecond)
+		panic("boom")
+	})
+	var got any
+	func() {
+		defer func() { got = recover() }()
+		k.Run()
+	}()
+	if got != "boom" {
+		t.Fatalf("recovered %v on the driver goroutine, want \"boom\"", got)
+	}
+	// The bystander is still blocked in Sleep; Shutdown (deferred) must
+	// unwind it without a second panic.
+}

@@ -378,8 +378,7 @@ func Restore(r io.Reader, opts ...RestoreOption) (*Cluster, error) {
 func (c *Cluster) replayTo(p pausePoint) error {
 	switch p.kind {
 	case pauseAtTime:
-		c.eng.RunFor(sim.Time(p.time) - c.eng.Now())
-		return nil
+		return c.eng.RunFor(sim.Time(p.time) - c.eng.Now())
 	case pauseAtCommit:
 		return c.eng.RunUntilCommits(p.commits)
 	case pauseAtDone:
