@@ -66,6 +66,8 @@ func newCluster(o *clusterOptions) *Cluster {
 		Disk:          o.diskConfig(),
 		ExtraDisks:    o.extraDiskConfigs(),
 		Terminal:      o.terminalScript(),
+		NIC:           o.nic,
+		ClientLoad:    o.clientLoadConfig(),
 		EpochLength:   o.epochLength,
 		Protocol:      o.protocol,
 		Link:          o.link.LinkParams().linkConfig(),
@@ -191,7 +193,59 @@ func (c *Cluster) Result() (Result, error) {
 		MessagesSent:         r.PrimaryStats.MessagesSent,
 		UncertainSynthesized: r.BackupStats.UncertainSynth,
 		GuestPanic:           r.Guest.Panic,
+		NetReplies:           r.NetReplies,
 	}, nil
+}
+
+// ServiceLatencies reports the client-observed request latency
+// distribution of the simulated client population — virtual time from a
+// request's FIRST transmission to its reply's client-side arrival, so
+// retransmission waits during a failover land in the tail instead of
+// disappearing. The second return is false when the cluster has no
+// client load (or has not booted).
+func (c *Cluster) ServiceLatencies() (ServiceLatencies, bool) {
+	cs := c.eng.Clients()
+	if cs == nil {
+		return ServiceLatencies{}, false
+	}
+	m := cs.Measure()
+	return ServiceLatencies{
+		Requests:    m.Requests,
+		Answered:    m.Answered,
+		Retransmits: m.Retransmits,
+		P50:         Duration(m.P50),
+		P99:         Duration(m.P99),
+		P999:        Duration(m.P999),
+		Max:         Duration(m.Max),
+	}, true
+}
+
+// ServiceBlackout reports the client-visible service gap around virtual
+// time at — typically a failover instant: the interval from the last
+// reply arriving at or before it to the first reply arriving after it.
+// Zero when the cluster has no client load or no reply follows at.
+func (c *Cluster) ServiceBlackout(at Duration) Duration {
+	cs := c.eng.Clients()
+	if cs == nil {
+		return 0
+	}
+	return Duration(cs.Blackout(sim.Time(at)))
+}
+
+// ServiceLatencies is the client-observed latency distribution of a
+// cluster's simulated client population (virtual time).
+type ServiceLatencies struct {
+	// Requests/Answered count distinct requests issued and replies
+	// that reached a client; Retransmits counts duplicate transmissions
+	// forced by the timeout.
+	Requests    int
+	Answered    int
+	Retransmits uint64
+	// P50/P99/P999/Max are latency quantiles over answered requests.
+	P50  Duration
+	P99  Duration
+	P999 Duration
+	Max  Duration
 }
 
 // FailPrimary failstops the primary's processor at the current virtual
@@ -363,6 +417,9 @@ func (c *Cluster) Snapshot() Snapshot {
 		DiskOps:              s.DiskOps,
 		DiskUncertain:        s.DiskUncertain,
 		Console:              s.Console,
+		NetRequests:          s.NetRequests,
+		NetAnswered:          s.NetAnswered,
+		NetRetransmits:       s.NetRetransmits,
 	}
 }
 
@@ -411,6 +468,13 @@ type Snapshot struct {
 	DiskUncertain uint64
 	// Console is the environment-visible console transcript so far.
 	Console string
+	// Network-service counters (zero without WithClientLoad):
+	// NetRequests counts distinct requests issued by the client
+	// population, NetAnswered those whose reply reached a client, and
+	// NetRetransmits the duplicate transmissions its timeouts forced.
+	NetRequests    int
+	NetAnswered    int
+	NetRetransmits uint64
 }
 
 // quality converts to the simulator's representation.
@@ -520,6 +584,11 @@ const (
 	// input to the shared console (TerminalData returns the bytes;
 	// Device reports "console").
 	EventTerminalInput
+	// EventNetRequest: the cluster's NIC accepted a distinct client
+	// request frame (Request is its id; Device reports "nic").
+	// Retransmissions of queued or answered requests are deduped before
+	// this point and never emit.
+	EventNetRequest
 )
 
 // String names the kind.
@@ -545,6 +614,8 @@ func (k EventKind) String() string {
 		return "backup-added"
 	case EventTerminalInput:
 		return "terminal-input"
+	case EventNetRequest:
+		return "net-request"
 	}
 	return fmt.Sprintf("EventKind(%d)", int(k))
 }
@@ -591,6 +662,8 @@ type Event struct {
 	// TransferBytes is the state-transfer image size of a backup-added
 	// event.
 	TransferBytes uint64
+	// Request is the request id of an EventNetRequest.
+	Request uint32
 
 	// dev tags device-scoped events with the stable device identifier
 	// ("disk0", "disk1", "console"); see Device.
@@ -635,6 +708,8 @@ func (e Event) String() string {
 		return fmt.Sprintf("[%v] node%d JOINED after epoch %d (%d-byte state transfer)", e.Time, e.Node, e.Epoch, e.TransferBytes)
 	case EventTerminalInput:
 		return fmt.Sprintf("[%v] terminal input %q", e.Time, e.termData)
+	case EventNetRequest:
+		return fmt.Sprintf("[%v] net request %d accepted", e.Time, e.Request)
 	}
 	return fmt.Sprintf("[%v] %s", e.Time, e.Kind)
 }
@@ -683,6 +758,10 @@ func publicEvent(ev session.Event) Event {
 		out.Kind = EventTerminalInput
 		out.dev = "console"
 		out.termData = string(ev.Data)
+	case session.EventNetRequest:
+		out.Kind = EventNetRequest
+		out.dev = "nic"
+		out.Request = ev.Req
 	}
 	return out
 }

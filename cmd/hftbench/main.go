@@ -4,7 +4,7 @@
 // Usage:
 //
 //	hftbench [-table1] [-fig2] [-fig3] [-fig4] [-ablation] [-all]
-//	         [-scale quick|paper] [-parallel N] [-json]
+//	         [-service] [-scale quick|paper] [-parallel N] [-json]
 //	         [-cpuprofile file] [-memprofile file]
 //
 // Each experiment prints the simulator's measured normalized
@@ -18,6 +18,14 @@
 // self-contained and deterministic, so the output is identical at any
 // parallelism. -json emits the results as machine-readable JSON
 // (normalized performance per figure point) for trajectory tracking.
+//
+// -service runs the replicated-network-service experiment (beyond the
+// paper's evaluation): the guest request/response server under
+// open-loop client load, bare and replicated under both protocols on
+// both links with the primary failstopped mid-load, reporting
+// client-observed latency quantiles and the failover blackout window.
+// It is not part of -all, so the -all output stays byte-identical to
+// the pinned golden (testdata/hftbench_quick.golden.json).
 //
 // -cpuprofile / -memprofile write pprof profiles of the run (use
 // -parallel 1 for a profile of the serial critical path). Inspect with
@@ -65,6 +73,7 @@ type jsonOutput struct {
 	Figure4  map[string][]jsonPoint   `json:"figure4,omitempty"`
 	Table1   []harness.Table1Row      `json:"table1,omitempty"`
 	Ablation []harness.AblationResult `json:"ablation,omitempty"`
+	Service  []harness.ServiceRow     `json:"service,omitempty"`
 }
 
 type jsonFigure2 struct {
@@ -84,7 +93,8 @@ func run() int {
 		fig3     = flag.Bool("fig3", false, "regenerate Figure 3 (I/O workloads)")
 		fig4     = flag.Bool("fig4", false, "regenerate Figure 4 (faster communication)")
 		ablate   = flag.Bool("ablation", false, "run the §3.2 TLB-takeover ablation")
-		all      = flag.Bool("all", false, "regenerate everything")
+		service  = flag.Bool("service", false, "run the replicated-network-service experiment (client latency + failover blackout)")
+		all      = flag.Bool("all", false, "regenerate everything in the paper's evaluation (does not include -service)")
 		scaleN   = flag.String("scale", "quick", "workload scale: quick or paper")
 		parallel = flag.Int("parallel", 1, "concurrent simulations per experiment (0 = all CPUs)")
 		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON instead of text")
@@ -116,7 +126,7 @@ func run() int {
 	if *all {
 		*table1, *fig2, *fig3, *fig4, *ablate = true, true, true, true, true
 	}
-	if !*table1 && !*fig2 && !*fig3 && !*fig4 && !*ablate {
+	if !*table1 && !*fig2 && !*fig3 && !*fig4 && !*ablate && !*service {
 		flag.Usage()
 		return 2
 	}
@@ -204,6 +214,14 @@ func run() int {
 			out.Ablation = rows
 		} else {
 			fmt.Println(harness.FormatAblation(rows))
+		}
+	}
+	if *service {
+		rows := harness.Service(scale)
+		if *jsonOut {
+			out.Service = rows
+		} else {
+			fmt.Println(harness.FormatService(rows))
 		}
 	}
 

@@ -10,16 +10,17 @@
 //
 // Usage:
 //
-//	hftsim -workload cpu|write|read|copy|echo [-iters N] [-ops N]
+//	hftsim -workload cpu|write|read|copy|echo|serve [-iters N] [-ops N]
 //	       [-count N] [-epoch N] [-protocol old|new]
 //	       [-link ethernet|atm] [-fail-at-ms T] [-bare] [-seed N]
 //	       [-backups N] [-scenario FILE|-]
 //	       [-campaign N] [-campaign-seed N] [-campaign-dir DIR]
 //	       [-parallel N]
 //
-// The copy and echo workloads need the cluster options API (a second
-// disk, scripted terminal input), so they run under -scenario and
-// -campaign only, with canonical device configurations.
+// The copy, echo and serve workloads need the cluster options API (a
+// second disk, scripted terminal input, a simulated client
+// population), so they run under -scenario and -campaign only, with
+// canonical device configurations.
 //
 // Scenario example (see runScenario for the command set):
 //
@@ -49,7 +50,7 @@ import (
 
 func main() {
 	var (
-		workload = flag.String("workload", "cpu", "cpu, write, read, copy or echo (copy/echo: scenario and campaign modes only)")
+		workload = flag.String("workload", "cpu", "cpu, write, read, copy, echo or serve (copy/echo/serve: scenario and campaign modes only)")
 		iters    = flag.Uint("iters", 20000, "CPU workload iterations")
 		ops      = flag.Uint("ops", 8, "disk workload operations")
 		count    = flag.Uint("count", 8192, "bytes per disk operation")
@@ -143,7 +144,7 @@ func main() {
 		// the same shape — an emitted chaos reproduction exits 1 while
 		// its bug is alive and 0 once fixed.
 		verify := func(res hft.Result) error {
-			checksum, console, err := chaos.Bare(shape, *seed, *epoch)
+			checksum, console, replies, err := chaos.Bare(shape, *seed, *epoch)
 			if err != nil {
 				return err
 			}
@@ -152,6 +153,10 @@ func main() {
 			}
 			if res.Console != console {
 				return fmt.Errorf("output violation: console %q, bare run produced %q", res.Console, console)
+			}
+			if res.NetReplies != replies {
+				return fmt.Errorf("service violation: reply transcript %d bytes, bare run produced %d bytes",
+					len(res.NetReplies), len(replies))
 			}
 			return nil
 		}
@@ -162,7 +167,7 @@ func main() {
 		return
 	}
 
-	if *workload == "copy" || *workload == "echo" {
+	if *workload == "copy" || *workload == "echo" || *workload == "serve" {
 		fmt.Fprintf(os.Stderr, "hftsim: workload %q needs -scenario or -campaign (it requires the cluster options API)\n", *workload)
 		os.Exit(2)
 	}
@@ -233,6 +238,11 @@ func resolveShape(name string, iters, ops, count uint32) (chaos.Workload, error)
 		return chaos.Workload{Name: name, Guest: hft.TwoDiskCopy(ops, count), ExtraDisks: 1}, nil
 	case "echo":
 		return chaos.Workload{Name: name, Guest: hft.TerminalEcho(), Terminal: chaos.EchoScript()}, nil
+	case "serve":
+		// -ops sizes the request stream; the per-request compute and the
+		// client population are canonical (chaos.ServeLoad), so emitted
+		// scenarios replay against the identical cluster.
+		return chaos.Workload{Name: name, Guest: hft.ServeRequests(ops, 50), ClientLoad: chaos.ServeLoad()}, nil
 	}
 	return chaos.Workload{}, fmt.Errorf("unknown workload %q", name)
 }

@@ -224,6 +224,49 @@ func ExampleCluster_Events() {
 	// failstop -> promoted -> completed
 }
 
+// A replicated network service: the ServeRequests workload answers
+// requests arriving through the cluster's virtual NIC from a simulated
+// client population (WithClientLoad). The primary is failstopped
+// mid-load; the clients observe a finite blackout, the backup re-emits
+// the failover epoch's suppressed replies exactly once, and the reply
+// stream matches what one never-failing machine produces.
+func ExampleNewCluster_service() {
+	workload := hft.ServeRequests(24, 50)
+	load := hft.ClientLoad{Clients: 8, MeanGap: 500 * hft.Microsecond, Timeout: 50 * hft.Millisecond}
+
+	bare, err := hft.RunBare(hft.Config{ClientLoad: &load}, workload)
+	if err != nil {
+		panic(err)
+	}
+
+	failAt := 6 * hft.Millisecond
+	c, err := hft.NewCluster(
+		hft.WithWorkload(workload),
+		hft.WithClientLoad(load),
+		hft.WithFailPrimaryAt(failAt),
+		hft.WithDetectTimeout(3*hft.Millisecond),
+	)
+	if err != nil {
+		panic(err)
+	}
+	defer c.Close()
+
+	res, err := c.Wait(context.Background())
+	if err != nil {
+		panic(err)
+	}
+	lat, _ := c.ServiceLatencies()
+	fmt.Println("backup promoted:", res.Promoted)
+	fmt.Printf("answered: %d/%d\n", lat.Answered, lat.Requests)
+	fmt.Println("finite blackout observed:", c.ServiceBlackout(failAt) > 0)
+	fmt.Println("reply stream matches bare machine:", res.NetReplies == bare.NetReplies)
+	// Output:
+	// backup promoted: true
+	// answered: 24/24
+	// finite blackout observed: true
+	// reply stream matches bare machine: true
+}
+
 // Any LinkParams literal is a complete LinkModel: here a 1 Gbps
 // low-latency interconnect replaces the paper's two built-ins. The
 // same mechanism models degraded serial links, jumbo frames, or

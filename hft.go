@@ -106,6 +106,17 @@ func DiskRead(ops, count uint32) Workload {
 // carry a second disk).
 func TwoDiskCopy(ops, count uint32) Workload { return guest.TwoDiskCopy(ops, count) }
 
+// ServeRequests is the network-service benchmark: the guest polls the
+// cluster's NIC for client request frames, checksums each payload,
+// spends work iterations of a per-request compute phase (the service's
+// application work), and transmits a [request-id, checksum] reply —
+// exactly once, in request order, whatever fails over underneath.
+// Requires WithClientLoad, which delivers the requests and measures
+// what the clients observe (ServiceLatencies, ServiceBlackout). The
+// reply transcript (Result.NetReplies) of a replicated run equals the
+// bare run's byte for byte.
+func ServeRequests(requests, work uint32) Workload { return guest.ServeRequests(requests, work) }
+
 // TerminalEcho is the terminal-input benchmark: the guest consumes the
 // console's scripted input (WithTerminal) and echoes every byte back,
 // halting on TerminalEOT. Under replication, input reaches the guest as
@@ -157,6 +168,10 @@ type Config struct {
 	// multi-failure experiments). A schedule longer than the replica
 	// set is rejected.
 	FailBackupAt []sim.Time
+	// ClientLoad, when non-nil, attaches a simulated client population
+	// to the cluster's virtual NIC. The workload must be ServeRequests
+	// (the request count derives from it); see WithClientLoad.
+	ClientLoad *ClientLoad
 }
 
 // Duration re-exports the simulated time unit (nanoseconds).
@@ -188,6 +203,11 @@ type Result struct {
 	UncertainSynthesized uint64
 	// GuestPanic is the guest kernel's panic code (0 = clean run).
 	GuestPanic uint32
+	// NetReplies is the network service's reply transcript — every
+	// frame the guest emitted through the NIC, exactly once, in order
+	// (empty without a NIC). Replicated runs match bare runs byte for
+	// byte, including across failovers and reintegrations.
+	NetReplies string
 }
 
 func (c Config) withDefaults() Config {

@@ -16,6 +16,11 @@
 //  4. Snapshot — a Save/Restore round trip mid-run is byte-identical:
 //     re-saving the restored session reproduces the checkpoint
 //     exactly (the determinism contract, applied to itself).
+//  5. Service — when the workload is a network service under client
+//     load, the NIC's reply transcript equals the bare run's byte for
+//     byte and every client request is answered exactly once: the
+//     client population cannot distinguish the replicated service
+//     from a single machine, whatever the schedule did to it.
 //
 // A violating schedule is automatically shrunk (delta debugging over
 // the perturbation list, then coordinate reduction from exact virtual
@@ -28,6 +33,7 @@ import (
 	"sync"
 
 	hft "repro"
+	"repro/internal/clientsim"
 	"repro/internal/console"
 	"repro/internal/scsi"
 	"repro/internal/session"
@@ -40,7 +46,7 @@ import (
 // determines a run — which is what makes emitted scenarios replayable.
 type Workload struct {
 	// Name is the shape's identifier ("cpu", "write", "read", "copy",
-	// "echo") — also hftsim's -workload vocabulary.
+	// "echo", "serve") — also hftsim's -workload vocabulary.
 	Name string
 	// Guest is the benchmark program.
 	Guest hft.Workload
@@ -50,6 +56,9 @@ type Workload struct {
 	// Terminal is the scripted console input (TerminalEcho needs a
 	// script ending in TerminalEOT).
 	Terminal []hft.TerminalInput
+	// ClientLoad is the simulated client population (ServeRequests
+	// needs one; the request count derives from the guest's op count).
+	ClientLoad *hft.ClientLoad
 }
 
 // EchoScript is the canonical TerminalEcho input: two bursts, the
@@ -62,6 +71,17 @@ func EchoScript() []hft.TerminalInput {
 	}
 }
 
+// ServeLoad is the canonical client population for the serve shape:
+// eight connections, arrivals spread wide enough that perturbation
+// coordinates land mid-load, and the default (2 ms) retransmission
+// timeout — far below the replicated service's healthy latency, so
+// every schedule hammers the NIC's receiver-side dedup with live
+// retransmissions. hftsim uses the same population for -workload
+// serve, so emitted scenarios replay identically.
+func ServeLoad() *hft.ClientLoad {
+	return &hft.ClientLoad{Clients: 8, MeanGap: 500 * hft.Microsecond}
+}
+
 // Workloads returns the canonical shapes, in the generator's draw
 // order. Sizes are quick-scale: every shape completes in well under a
 // second of wall time so campaigns can run thousands of schedules.
@@ -72,6 +92,7 @@ func Workloads() []Workload {
 		{Name: "read", Guest: hft.DiskRead(3, 2048)},
 		{Name: "copy", Guest: hft.TwoDiskCopy(2, 2048), ExtraDisks: 1},
 		{Name: "echo", Guest: hft.TerminalEcho(), Terminal: EchoScript()},
+		{Name: "serve", Guest: hft.ServeRequests(24, 50), ClientLoad: ServeLoad()},
 	}
 }
 
@@ -84,7 +105,7 @@ func ParseWorkload(name string) (Workload, error) {
 			return w, nil
 		}
 	}
-	return Workload{}, fmt.Errorf("chaos: unknown workload %q (have cpu, write, read, copy, echo)", name)
+	return Workload{}, fmt.Errorf("chaos: unknown workload %q (have cpu, write, read, copy, echo, serve)", name)
 }
 
 // ClusterOptions materializes the public options for a replicated run
@@ -104,7 +125,28 @@ func (w Workload) ClusterOptions(seed int64, epoch uint64, proto hft.Protocol, l
 	if len(w.Terminal) > 0 {
 		opts = append(opts, hft.WithTerminal(w.Terminal...))
 	}
+	if w.ClientLoad != nil {
+		opts = append(opts, hft.WithClientLoad(*w.ClientLoad))
+	}
 	return opts
+}
+
+// clientLoadConfig lowers the public client-load description to the
+// session layer's representation; the request count derives from the
+// guest's op count, mirroring the public option's validation.
+func (w Workload) clientLoadConfig() *clientsim.Config {
+	if w.ClientLoad == nil {
+		return nil
+	}
+	cl := w.ClientLoad
+	return &clientsim.Config{
+		Clients:      cl.Clients,
+		Requests:     int(w.Guest.Ops),
+		PayloadWords: cl.PayloadWords,
+		Start:        sim.Time(cl.Start),
+		MeanGap:      sim.Time(cl.MeanGap),
+		Timeout:      sim.Time(cl.Timeout),
+	}
 }
 
 // bareKey identifies a bare baseline. Bare runs see no network and no
@@ -120,6 +162,7 @@ type bareKey struct {
 type baseline struct {
 	checksum uint32
 	console  string
+	replies  string
 	panic    uint32
 	err      error
 }
@@ -149,6 +192,7 @@ func bareBaseline(w Workload, seed int64, epoch uint64) baseline {
 		Program:     session.WorkloadProgram(w.Guest),
 		ExtraDisks:  make([]scsi.DiskConfig, w.ExtraDisks),
 		Terminal:    terminalInputs(w.Terminal),
+		ClientLoad:  w.clientLoadConfig(),
 		EpochLength: epoch,
 	})
 	defer eng.Close()
@@ -157,7 +201,7 @@ func bareBaseline(w Workload, seed int64, epoch uint64) baseline {
 	} else if r, err := eng.Result(); err != nil {
 		b = baseline{err: fmt.Errorf("chaos: bare baseline for %q: %w", w.Name, err)}
 	} else {
-		b = baseline{checksum: r.Guest.Checksum, console: r.Console, panic: r.Guest.Panic}
+		b = baseline{checksum: r.Guest.Checksum, console: r.Console, replies: r.NetReplies, panic: r.Guest.Panic}
 	}
 
 	bareMu.Lock()
@@ -169,9 +213,11 @@ func bareBaseline(w Workload, seed int64, epoch uint64) baseline {
 // Bare exposes the cached bare reference execution for a shape —
 // hftsim's `check` scenario command compares a replayed run against
 // it, turning an emitted reproduction into a self-verifying script.
-func Bare(w Workload, seed int64, epoch uint64) (checksum uint32, console string, err error) {
+// replies is the NIC reply transcript (empty for shapes without a
+// client population).
+func Bare(w Workload, seed int64, epoch uint64) (checksum uint32, console, replies string, err error) {
 	b := bareBaseline(w, seed, epoch)
-	return b.checksum, b.console, b.err
+	return b.checksum, b.console, b.replies, b.err
 }
 
 // terminalInputs lowers the public terminal script to the console

@@ -28,6 +28,11 @@ const (
 	// VPanic: the simulation panicked (a divergence tripwire or an
 	// internal invariant) — always a bug, never expected behavior.
 	VPanic
+	// VService: the NIC reply transcript diverged from the bare
+	// baseline, or a client request went unanswered — the client
+	// population could distinguish the replicated service from a
+	// single machine.
+	VService
 )
 
 func (k ViolationKind) String() string {
@@ -42,6 +47,8 @@ func (k ViolationKind) String() string {
 		return "snapshot"
 	case VPanic:
 		return "panic"
+	case VService:
+		return "service"
 	}
 	return fmt.Sprintf("violation(%d)", uint8(k))
 }
@@ -90,7 +97,7 @@ func (r Report) Failed() bool { return r.Violation != nil }
 // campaign. Hitting the cap is invariant 3: no wedged coordinator.
 const maxVirtual = 30 * hft.Second
 
-// Execute runs one schedule to completion and checks all four
+// Execute runs one schedule to completion and checks all five
 // invariants. It never panics: simulation panics (divergence
 // tripwires) are converted to VPanic violations, which is exactly what
 // a campaign wants from a run that found a bug.
@@ -192,9 +199,24 @@ func Execute(s Schedule) (rep Report) {
 	case res.Console != bare.console:
 		rep.Violation = &Violation{Kind: VOutput,
 			Detail: fmt.Sprintf("console transcript %q, bare run produced %q", res.Console, bare.console)}
+	case res.NetReplies != bare.replies:
+		rep.Violation = &Violation{Kind: VService,
+			Detail: fmt.Sprintf("reply transcript %d bytes, bare run produced %d bytes (first difference at offset %d)",
+				len(res.NetReplies), len(bare.replies),
+				diffOffset([]byte(res.NetReplies), []byte(bare.replies)))}
 	case res.Divergences != 0:
 		rep.Violation = &Violation{Kind: VDigest,
 			Detail: fmt.Sprintf("backup reported %d state-digest divergences", res.Divergences)}
+	}
+	if rep.Violation == nil && shape.ClientLoad != nil {
+		// Exactly-once from the clients' side too: the transcript proves
+		// what the service emitted; this proves every request's reply
+		// actually reached its client.
+		if m, ok := c.ServiceLatencies(); !ok || m.Answered != m.Requests || m.Requests != int(shape.Guest.Ops) {
+			rep.Violation = &Violation{Kind: VService,
+				Detail: fmt.Sprintf("clients saw %d replies for %d issued requests (%d configured)",
+					m.Answered, m.Requests, shape.Guest.Ops)}
+		}
 	}
 	return rep
 }

@@ -20,7 +20,13 @@ import (
 //     wire, so a backup on a degraded (slow) link could miss an epoch
 //     that a fast-linked peer completed, and the promoted backup's
 //     post-failover line diverged irreconcilably from the peer's
-//     (netsim links now deliver in-flight messages after Disconnect).
+//     (netsim links now deliver in-flight messages after Disconnect);
+//   - joiner with an empty NIC port: a backup reintegrated mid-load
+//     started with a fresh (empty) NIC port, so when a later failstop
+//     promoted it, requests that had been pending across the state
+//     transfer were lost and their replies never emitted — a VService
+//     violation (AddBackup now clones the acting coordinator's port
+//     into the joiner).
 func TestRegressionCampaignFinds(t *testing.T) {
 	ms := func(d int64) hft.Duration { return hft.Duration(d) * hft.Millisecond }
 	cases := []struct {
@@ -51,6 +57,23 @@ func TestRegressionCampaignFinds(t *testing.T) {
 				{At: Coord{Time: ms(16)}, Op: OpFailBackup, Backup: 2},
 				{At: Coord{Commit: 5}, Op: OpFailPrimary},
 				{At: Coord{Commit: 16}, Op: OpAddBackup},
+			},
+		}},
+		{"serve-join-then-promote-joiner", Schedule{
+			// Mid-load failover, reintegration under live client load
+			// (with a mid-load checkpoint round trip for good measure),
+			// then a failstop of the promoted coordinator so the JOINER
+			// must finish the request stream. Before AddBackup cloned
+			// the acting coordinator's NIC port into the joiner, the
+			// requests pending across the state transfer vanished here
+			// and the reply transcript came up short.
+			Seed: 1, Workload: "serve", Epoch: 1024,
+			Protocol: hft.ProtocolOld, Link: "ethernet", Backups: 1,
+			Steps: []Step{
+				{At: Coord{Time: ms(6)}, Op: OpFailPrimary},
+				{At: Coord{Commit: 13}, Op: OpAddBackup},
+				{At: Coord{Commit: 15}, Op: OpSaveRestore},
+				{At: Coord{Commit: 17}, Op: OpFailBackup, Backup: 1},
 			},
 		}},
 	}

@@ -59,6 +59,8 @@ func (s Schedule) Flags() []string {
 		flags = append(flags, "-ops", "3", "-count", "2048")
 	case "copy":
 		flags = append(flags, "-ops", "2", "-count", "2048")
+	case "serve":
+		flags = append(flags, "-ops", "24")
 	}
 	return flags
 }

@@ -1,0 +1,314 @@
+// Package clientsim simulates the client population of a replicated
+// network service: many concurrent logical connections multiplexed over
+// a netsim link into the cluster's shared NIC. It is the measurement
+// half of the ROADMAP's "serve heavy traffic" north star — the paper's
+// fault-tolerance discipline governs what the SERVER emits; this
+// package models what the CLIENTS observe, including the failover
+// blackout.
+//
+// Design constraints, and how they are met:
+//
+//   - OPEN LOOP: request arrivals follow a seeded schedule that does
+//     not depend on reply timing (each arrival schedules the next), so
+//     a slow or failed-over server faces the same offered load as a
+//     healthy one — latency is measured against demand, not throttled
+//     by it.
+//   - RETRANSMIT, NEVER MASK: a client that misses its reply within
+//     the timeout retransmits the SAME request id. The NIC's
+//     receiver-side dedup keeps retransmissions out of the guest (the
+//     reply stream stays byte-identical to the bare run), but the
+//     retransmissions still cost the client real waiting time — the
+//     blackout is observed in the latency tail, not hidden.
+//   - EVENT-DRIVEN: the population lives entirely in kernel timer
+//     callbacks (sim.Kernel.At) and link delivery hooks. It spawns no
+//     processes, so session completion semantics (every spawned
+//     process has exited) are untouched, and a session snapshot taken
+//     mid-load replays deterministically: all client state is a
+//     function of the seed and the virtual clock.
+//   - DETERMINISTIC CONTENT: request payloads are a pure function of
+//     (seed, request id), never of arrival timing, so the bare and
+//     replicated guests compute identical replies even though their
+//     timing differs.
+package clientsim
+
+import (
+	"hash/fnv"
+	"sort"
+
+	"repro/internal/netsim"
+	"repro/internal/nic"
+	"repro/internal/sim"
+)
+
+// Config parameterizes the client population.
+type Config struct {
+	// Clients is the number of concurrent logical connections the
+	// requests are multiplexed over (round-robin).
+	Clients int
+	// Requests is the number of distinct requests to issue. It must
+	// equal the guest server workload's Ops or the run never completes.
+	Requests int
+	// PayloadWords is the number of payload words per request frame
+	// (the request id is carried separately; default 4).
+	PayloadWords int
+	// Start is the virtual time of the first arrival (default 200 µs,
+	// past guest boot).
+	Start sim.Time
+	// MeanGap is the open-loop mean inter-arrival time (default 50 µs).
+	MeanGap sim.Time
+	// Timeout is the client retransmission timeout (default 2 ms).
+	Timeout sim.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Clients == 0 {
+		c.Clients = 64
+	}
+	if c.PayloadWords == 0 {
+		c.PayloadWords = 4
+	}
+	if c.Start == 0 {
+		c.Start = 200 * sim.Microsecond
+	}
+	if c.MeanGap == 0 {
+		c.MeanGap = 50 * sim.Microsecond
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 2 * sim.Millisecond
+	}
+	return c
+}
+
+// reqState tracks one logical request from first transmission to the
+// client-observed reply arrival.
+type reqState struct {
+	client   int
+	firstAt  sim.Time // first transmission
+	attempts uint32   // transmissions so far
+	replyAt  sim.Time // client-side reply arrival (0 = still waiting)
+}
+
+// Stats summarizes the population's activity.
+type Stats struct {
+	Issued      int    // distinct requests sent so far
+	Answered    int    // requests whose reply reached the client
+	Retransmits uint64 // retransmissions sent
+}
+
+// Sim is the client population. Create with New, then Start once the
+// simulation is wired; everything after that is event-driven.
+type Sim struct {
+	k    *sim.Kernel
+	cfg  Config
+	n    *nic.NIC
+	req  *netsim.Link // clients -> NIC (real FIFO serialization)
+	rep  *netsim.Link // NIC -> clients (reply-direction cost model)
+	rng  func() uint64
+	st   []reqState
+	stat Stats
+}
+
+// New wires a client population to the shared NIC over a duplex client
+// access link. net.AtoB carries requests (its OnDeliver hook is taken
+// over); net.BtoA prices the reply direction.
+func New(k *sim.Kernel, cfg Config, n *nic.NIC, net *netsim.Duplex) *Sim {
+	cfg = cfg.withDefaults()
+	s := &Sim{
+		k: k, cfg: cfg, n: n,
+		req: net.AtoB, rep: net.BtoA,
+		st: make([]reqState, cfg.Requests),
+	}
+	r := k.NewRand("clientsim")
+	s.rng = func() uint64 { return uint64(r.Int63()) }
+	s.req.OnDeliver = s.ingress
+	n.OnTx = s.reply
+	return s
+}
+
+// Start schedules the first arrival. Call once, at boot.
+func (s *Sim) Start() {
+	if s.cfg.Requests == 0 {
+		return
+	}
+	s.k.At(s.cfg.Start, func() { s.arrive(1) })
+}
+
+// Config returns the population's configuration (defaults applied).
+func (s *Sim) Config() Config { return s.cfg }
+
+// Stats returns the population's counters.
+func (s *Sim) Stats() Stats { return s.stat }
+
+// payload builds request id's frame: [id, payload words...], each word
+// a pure mix of (kernel seed, id, index).
+func (s *Sim) payload(id uint32) []uint32 {
+	words := make([]uint32, 1+s.cfg.PayloadWords)
+	words[0] = id
+	x := uint64(s.k.Seed())*0x9E3779B97F4A7C15 + uint64(id)
+	for i := 1; i < len(words); i++ {
+		x ^= x >> 33
+		x *= 0xFF51AFD7ED558CCD
+		x ^= x >> 29
+		words[i] = uint32(x)
+	}
+	return words
+}
+
+// arrive issues request id (open loop: the NEXT arrival is scheduled
+// here, independent of any reply).
+func (s *Sim) arrive(id uint32) {
+	i := int(id) - 1
+	s.st[i].client = i % s.cfg.Clients
+	s.st[i].firstAt = s.k.Now()
+	s.stat.Issued++
+	s.send(id)
+	if int(id) < s.cfg.Requests {
+		// Uniform in [MeanGap/2, 3*MeanGap/2): open-loop jitter drawn
+		// from the population's own derived stream.
+		gap := s.cfg.MeanGap/2 + sim.Time(s.rng()%uint64(s.cfg.MeanGap))
+		s.k.After(gap, func() { s.arrive(id + 1) })
+	}
+}
+
+// send transmits request id over the access link and arms the
+// retransmission timer.
+func (s *Sim) send(id uint32) {
+	i := int(id) - 1
+	s.st[i].attempts++
+	if s.st[i].attempts > 1 {
+		s.stat.Retransmits++
+	}
+	words := s.payload(id)
+	s.req.Send(words, 4*len(words))
+	s.k.After(s.cfg.Timeout, func() { s.timeout(id) })
+}
+
+// timeout retransmits request id if its reply has not been emitted.
+func (s *Sim) timeout(id uint32) {
+	if s.st[int(id)-1].replyAt != 0 {
+		return
+	}
+	s.send(id)
+}
+
+// ingress delivers one request frame into the shared NIC. A duplicate
+// of an already-answered request is answered from the NIC's reply log
+// — the environment retransmitting a reply the guest already produced.
+func (s *Sim) ingress(m netsim.Message) {
+	words := m.Payload.([]uint32)
+	if reply, _ := s.n.Ingress(words); reply != nil {
+		s.reply(reply)
+	}
+}
+
+// reply observes one emitted (or replayed) reply frame and records the
+// client-side arrival: emission time plus the reply direction's
+// idle-link transfer cost. First arrival wins; later redeliveries of
+// the same reply are ignored.
+func (s *Sim) reply(words []uint32) {
+	if len(words) == 0 {
+		return
+	}
+	id := int(words[0])
+	if id < 1 || id > len(s.st) {
+		return
+	}
+	st := &s.st[id-1]
+	if st.replyAt != 0 {
+		return
+	}
+	st.replyAt = s.k.Now() + s.rep.TransferTime(4*len(words))
+	s.stat.Answered++
+}
+
+// Latencies describes the client-observed request latency distribution
+// and the population's counters (virtual time).
+type Latencies struct {
+	Requests    int
+	Answered    int
+	Retransmits uint64
+	P50         sim.Time
+	P99         sim.Time
+	P999        sim.Time
+	Max         sim.Time
+}
+
+// Measure computes the latency distribution over answered requests.
+func (s *Sim) Measure() Latencies {
+	var lat []sim.Time
+	for i := range s.st {
+		if s.st[i].replyAt != 0 {
+			lat = append(lat, s.st[i].replyAt-s.st[i].firstAt)
+		}
+	}
+	sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
+	m := Latencies{
+		Requests:    s.stat.Issued,
+		Answered:    s.stat.Answered,
+		Retransmits: s.stat.Retransmits,
+	}
+	if len(lat) == 0 {
+		return m
+	}
+	pick := func(q int, of int) sim.Time {
+		i := (len(lat)*q + of - 1) / of
+		if i >= len(lat) {
+			i = len(lat) - 1
+		}
+		return lat[i]
+	}
+	m.P50 = pick(50, 100)
+	m.P99 = pick(99, 100)
+	m.P999 = pick(999, 1000)
+	m.Max = lat[len(lat)-1]
+	return m
+}
+
+// Blackout returns the client-visible service gap around a failover at
+// time at: the interval from the last reply arrival at or before it to
+// the first reply arrival after it. Zero when no reply follows (or
+// none preceded and none followed).
+func (s *Sim) Blackout(at sim.Time) sim.Time {
+	var before, after sim.Time
+	after = -1
+	for i := range s.st {
+		r := s.st[i].replyAt
+		if r == 0 {
+			continue
+		}
+		if r <= at && r > before {
+			before = r
+		}
+		if r > at && (after < 0 || r < after) {
+			after = r
+		}
+	}
+	if after < 0 {
+		return 0
+	}
+	return after - before
+}
+
+// StateDigest returns a deterministic hash of the population's dynamic
+// state — per-request transmission and reply watermarks — for session
+// snapshot verification: a restored run must reproduce every in-flight
+// connection exactly.
+func (s *Sim) StateDigest() uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	put := func(v uint64) {
+		for i := range b {
+			b[i] = byte(v >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	put(uint64(s.stat.Issued))
+	put(uint64(s.stat.Answered))
+	put(s.stat.Retransmits)
+	for i := range s.st {
+		put(uint64(s.st[i].firstAt))
+		put(uint64(s.st[i].attempts))
+		put(uint64(s.st[i].replyAt))
+	}
+	return h.Sum64()
+}

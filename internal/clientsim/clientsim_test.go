@@ -1,0 +1,123 @@
+package clientsim
+
+import (
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/nic"
+	"repro/internal/sim"
+)
+
+// echoServer answers every accepted request immediately through a NIC
+// port, like an infinitely fast guest (unit-test stand-in).
+func echoServer(n *nic.NIC) *nic.Port {
+	p := n.NewPort(nil)
+	n.OnIngress = func(seq uint32, words []uint32) {
+		for p.Pending() > 0 {
+			ln, _ := p.MMIOLoad(nic.RegRxLen, 4)
+			var sum, id uint32
+			for j := uint32(0); j < ln; j++ {
+				w, _ := p.MMIOLoad(nic.RegRxData, 4)
+				if j == 0 {
+					id = w
+				} else {
+					sum = sum*31 + w
+				}
+			}
+			p.MMIOStore(nic.RegTxData, 4, id)
+			p.MMIOStore(nic.RegTxData, 4, sum^id)
+			p.MMIOStore(nic.RegTxDoorbell, 4, 2)
+		}
+	}
+	return p
+}
+
+func TestOpenLoopLoadIsServedAndMeasured(t *testing.T) {
+	k := sim.NewKernel(7)
+	n := nic.New()
+	echoServer(n)
+	net := netsim.NewDuplex(k, "clients", netsim.Ethernet10("clients"))
+	cs := New(k, Config{Requests: 40, Clients: 8}, n, net)
+	cs.Start()
+	k.RunUntil(1 * sim.Second)
+
+	m := cs.Measure()
+	if m.Requests != 40 || m.Answered != 40 {
+		t.Fatalf("issued %d answered %d, want 40/40", m.Requests, m.Answered)
+	}
+	if m.Retransmits != 0 {
+		t.Fatalf("unexpected retransmits: %d", m.Retransmits)
+	}
+	if m.P50 <= 0 || m.P99 < m.P50 || m.Max < m.P999 {
+		t.Fatalf("implausible latency distribution: %+v", m)
+	}
+	if n.Stats.Requests != 40 || n.Stats.TxFrames != 40 {
+		t.Fatalf("nic stats: %+v", n.Stats)
+	}
+}
+
+func TestRetransmitDuringOutage(t *testing.T) {
+	k := sim.NewKernel(7)
+	n := nic.New()
+	p := n.NewPort(nil)
+	// The server ignores requests until t=10ms (an outage), then serves
+	// everything pending.
+	serve := func() {
+		for p.Pending() > 0 {
+			ln, _ := p.MMIOLoad(nic.RegRxLen, 4)
+			var id uint32
+			for j := uint32(0); j < ln; j++ {
+				w, _ := p.MMIOLoad(nic.RegRxData, 4)
+				if j == 0 {
+					id = w
+				}
+			}
+			p.MMIOStore(nic.RegTxData, 4, id)
+			p.MMIOStore(nic.RegTxData, 4, id)
+			p.MMIOStore(nic.RegTxDoorbell, 4, 2)
+		}
+	}
+	k.At(10*sim.Millisecond, serve)
+	net := netsim.NewDuplex(k, "clients", netsim.Ethernet10("clients"))
+	cs := New(k, Config{Requests: 10, Clients: 4, Timeout: 1 * sim.Millisecond}, n, net)
+	cs.Start()
+	k.RunUntil(1 * sim.Second)
+
+	m := cs.Measure()
+	if m.Answered != 10 {
+		t.Fatalf("answered %d, want 10", m.Answered)
+	}
+	if m.Retransmits == 0 {
+		t.Fatal("a 10ms outage with a 1ms timeout must force retransmissions")
+	}
+	// Retransmissions must never reach the guest: one accepted request
+	// frame per distinct request, regardless of attempts.
+	if n.Stats.Requests != 10 {
+		t.Fatalf("nic accepted %d distinct requests, want 10", n.Stats.Requests)
+	}
+	if n.Stats.Retransmits == 0 {
+		t.Fatal("nic saw no duplicate frames despite retransmissions")
+	}
+	// The outage is visible in the measured blackout window.
+	if bo := cs.Blackout(5 * sim.Millisecond); bo < 5*sim.Millisecond {
+		t.Fatalf("blackout = %v, want >= 5ms", bo)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() (uint64, string) {
+		k := sim.NewKernel(99)
+		n := nic.New()
+		echoServer(n)
+		net := netsim.NewDuplex(k, "clients", netsim.ATM155("clients"))
+		cs := New(k, Config{Requests: 25}, n, net)
+		cs.Start()
+		k.RunUntil(1 * sim.Second)
+		return cs.StateDigest(), n.Replies()
+	}
+	d1, r1 := run()
+	d2, r2 := run()
+	if d1 != d2 || r1 != r2 {
+		t.Fatal("two identically-seeded runs diverged")
+	}
+}

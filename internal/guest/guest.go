@@ -56,6 +56,12 @@ const (
 	// terminal input (delivered at epoch boundaries under replication)
 	// and echo every byte to the console until EOT (0x04) arrives.
 	WorkloadTermEcho uint32 = 6
+	// WorkloadServe is the network request/response server: poll the
+	// NIC for request frames, checksum each payload, run a per-request
+	// compute phase (PreOp), and transmit a [request-id, checksum]
+	// reply — Ops requests in all. Requires a platform with a NIC and
+	// a client population delivering requests.
+	WorkloadServe uint32 = 7
 )
 
 // TermEOT is the byte that ends the terminal echo workload.
@@ -166,6 +172,16 @@ func TwoDiskCopy(ops uint32, count uint32) Workload {
 		Kind: WorkloadCopy, Ops: ops, Seed: 0x5EED,
 		BlockBase: 16, Count: count,
 	}
+}
+
+// ServeRequests returns the network server benchmark: the guest serves
+// exactly requests request frames from the NIC, spending work
+// iterations of the per-operation compute loop on each (the service's
+// "application work" per request), and halts after the last reply.
+// The client population must deliver exactly requests distinct
+// requests or the guest never halts.
+func ServeRequests(requests uint32, work uint32) Workload {
+	return Workload{Kind: WorkloadServe, Ops: requests, PreOp: work}
 }
 
 // TerminalEcho returns the terminal echo benchmark. The guest consumes

@@ -26,6 +26,7 @@ const KernelSource = `
 	.equ DEVVA,     0x00F00000      ; SCSI adapter, disk 0 (virtual window)
 	.equ CONSVA,    0x00F01000      ; console (virtual window)
 	.equ DEVVA2,    0x00F02000      ; SCSI adapter, disk 1 (virtual window)
+	.equ NICVA,     0x00F0F000      ; network adapter (virtual window)
 	.equ TICKCYC,   25000           ; interval-timer reload
 
 	; ABI block (harness <-> kernel), page 0
@@ -399,7 +400,7 @@ wl_ext:
 	beq  r10, r3, wl_copy
 	li   r3, 6
 	beq  r10, r3, wl_echo
-	break 20                 ; unknown workload
+	b    wl_ext2             ; workloads 7+ dispatch below (same-size slot)
 
 ; ------------------------------------------------------------
 ; Workload 5: two-disk copy
@@ -502,6 +503,64 @@ iod_spin:
 	ret
 iod_err:
 	break 13
+
+; ------------------------------------------------------------
+; Network workloads (appended after the device-layer workloads: every
+; label above keeps its historical address).
+; ------------------------------------------------------------
+wl_ext2:
+	li   r3, 7
+	beq  r10, r3, wl_serve
+	break 20                 ; unknown workload
+
+; ------------------------------------------------------------
+; Workload 7: network request/response server
+;   Poll the NIC for a delivered request frame (under the hypervisor
+;   frames become visible only at epoch boundaries, like all device
+;   input). A frame is [request-id, payload words...]. The reply is
+;   [request-id, checksum]: fold the payload (x31+word), run the
+;   per-request compute phase (ABI_PREOP), bind the request id in, and
+;   transmit via the word-register TX buffer + doorbell. ABI_OPS
+;   requests are served, newest checksums folded into ABI_RESULT.
+; ------------------------------------------------------------
+wl_serve:
+	ldw  r10, ABI_OPS(r0)    ; requests to serve
+	li   r11, 0              ; running result checksum
+	li   r13, NICVA
+	beq  r10, r0, sv_done
+sv_loop:
+	ldw  r3, 8(r13)          ; NIC status
+	andi r3, r3, 2           ; RX frame pending?
+	beq  r3, r0, sv_loop
+	ldw  r14, 16(r13)        ; words in the head frame
+	ldw  r16, 12(r13)        ; pop word 0: request id
+	addi r14, r14, -1
+	li   r15, 0              ; payload checksum
+sv_words:
+	beq  r14, r0, sv_reply
+	ldw  r3, 12(r13)         ; pop next payload word
+	li   r4, 31
+	mul  r15, r15, r4
+	add  r15, r15, r3        ; checksum = checksum*31 + word
+	addi r14, r14, -1
+	b    sv_words
+sv_reply:
+	call preop               ; per-request compute phase (ABI_PREOP)
+	xor  r15, r15, r16       ; bind the reply to its request id
+	stw  r16, 0(r13)         ; TX word: request id
+	stw  r15, 0(r13)         ; TX word: payload checksum
+	li   r3, 2
+	stw  r3, 4(r13)          ; doorbell: emit the 2-word reply frame
+	li   r3, 31
+	mul  r11, r11, r3
+	add  r11, r11, r15       ; fold the reply into the result
+	addi r10, r10, -1
+	bne  r10, r0, sv_loop
+sv_done:
+	stw  r11, ABI_RESULT(r0)
+	li   r17, 'S'
+	call putc
+	b    finish
 
 ; ------------------------------------------------------------
 ; Interruption vectors (32 bytes per slot). Handlers may use ONLY

@@ -1,0 +1,172 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/clientsim"
+	"repro/internal/guest"
+	"repro/internal/netsim"
+	"repro/internal/replication"
+	"repro/internal/session"
+	"repro/internal/sim"
+)
+
+// ServiceRow reports one configuration of the replicated-service
+// experiment: the client population's observed latency distribution and
+// (for the replicated rows, which failstop the primary mid-load) the
+// failover blackout window — last reply arrival before the failure to
+// first reply arrival after it. Times are virtual microseconds.
+type ServiceRow struct {
+	Config      string  `json:"config"` // "bare" or "<protocol>/<link>"
+	Requests    int     `json:"requests"`
+	Answered    int     `json:"answered"`
+	Retransmits uint64  `json:"retransmits"`
+	P50         float64 `json:"p50_us"`
+	P99         float64 `json:"p99_us"`
+	P999        float64 `json:"p999_us"`
+	Max         float64 `json:"max_us"`
+	Blackout    float64 `json:"blackout_us"`
+}
+
+// serviceLoad sizes the service experiment for a scale: request count,
+// per-request guest compute, and the open-loop arrival process. The
+// client timeout sits far above the healthy replicated tail (epoch
+// boundaries plus acknowledgment waits put it near 5 ms on the default
+// configuration), so retransmissions isolate the failover blackout
+// instead of firing on ordinary replication overhead.
+func serviceLoad(scale Scale) (w guest.Workload, cl clientsim.Config, failAt, detect sim.Time) {
+	requests, work := uint32(32), uint32(50)
+	if scale.Name == "paper" {
+		requests, work = 96, 200
+	}
+	w = guest.ServeRequests(requests, work)
+	cl = clientsim.Config{
+		Clients:  8,
+		Requests: int(requests),
+		MeanGap:  500 * sim.Microsecond,
+		Timeout:  50 * sim.Millisecond,
+	}
+	return w, cl, 6 * sim.Millisecond, 3 * sim.Millisecond
+}
+
+// runService executes one service configuration to completion and
+// measures the client population. A zero failAt means no failure is
+// injected (and no blackout is reported).
+func runService(o session.Options, failAt sim.Time) (session.Result, ServiceRow) {
+	e := session.New(o)
+	defer e.Close()
+	if err := e.RunToCompletion(nil); err != nil {
+		panic(fmt.Sprintf("harness: service: %v", err))
+	}
+	r, err := e.Result()
+	if err != nil {
+		panic(fmt.Sprintf("harness: service: %v", err))
+	}
+	m := e.Clients().Measure()
+	row := ServiceRow{
+		Requests:    m.Requests,
+		Answered:    m.Answered,
+		Retransmits: m.Retransmits,
+		P50:         us(m.P50),
+		P99:         us(m.P99),
+		P999:        us(m.P999),
+		Max:         us(m.Max),
+	}
+	if failAt != 0 {
+		row.Blackout = us(e.Clients().Blackout(failAt))
+	}
+	return r, row
+}
+
+func us(t sim.Time) float64 { return float64(t) / float64(sim.Microsecond) }
+
+// Service runs the replicated-network-service experiment: the guest
+// request/response server under open-loop client load, bare and
+// replicated under both protocols on both links, with the primary
+// failstopped mid-load in every replicated configuration. The paper's
+// transparency claim is enforced, not just measured: each replicated
+// reply transcript must be byte-identical to the bare run's (exactly
+// once, in order, across the failover) or the experiment panics.
+func Service(scale Scale) []ServiceRow {
+	w, cl, failAt, detect := serviceLoad(scale)
+
+	bare, bareRow := runService(session.Options{
+		Seed:       1,
+		Program:    session.WorkloadProgram(w),
+		Bare:       true,
+		Disk:       scale.Disk,
+		ClientLoad: &cl,
+	}, 0)
+	bareRow.Config = "bare"
+	if bare.Guest.Panic != 0 {
+		panic(fmt.Sprintf("harness: service: bare guest panic %#x", bare.Guest.Panic))
+	}
+	if bareRow.Answered != bareRow.Requests {
+		panic(fmt.Sprintf("harness: service: bare answered %d of %d", bareRow.Answered, bareRow.Requests))
+	}
+
+	type cfg struct {
+		name  string
+		proto replication.Protocol
+		link  netsim.LinkConfig
+	}
+	cfgs := []cfg{
+		{"old/ethernet", replication.ProtocolOld, netsim.Ethernet10("")},
+		{"old/atm", replication.ProtocolOld, netsim.ATM155("")},
+		{"new/ethernet", replication.ProtocolNew, netsim.Ethernet10("")},
+		{"new/atm", replication.ProtocolNew, netsim.ATM155("")},
+	}
+	rows := make([]ServiceRow, len(cfgs))
+	ForEach(len(cfgs), func(i int) {
+		c := cfgs[i]
+		r, row := runService(session.Options{
+			Seed:          1,
+			Program:       session.WorkloadProgram(w),
+			Disk:          scale.Disk,
+			EpochLength:   1024,
+			Protocol:      c.proto,
+			Link:          c.link,
+			FailPrimaryAt: failAt,
+			DetectTimeout: detect,
+			ClientLoad:    &cl,
+		}, failAt)
+		row.Config = c.name
+		if r.Guest.Panic != 0 {
+			panic(fmt.Sprintf("harness: service: %s guest panic %#x", c.name, r.Guest.Panic))
+		}
+		if !r.Promoted {
+			panic(fmt.Sprintf("harness: service: %s: primary failstop produced no promotion", c.name))
+		}
+		if r.NetReplies != bare.NetReplies || r.Guest.Checksum != bare.Guest.Checksum {
+			panic(fmt.Sprintf("harness: service: %s reply stream diverged from bare (%d vs %d bytes, checksum %#x vs %#x)",
+				c.name, len(r.NetReplies), len(bare.NetReplies), r.Guest.Checksum, bare.Guest.Checksum))
+		}
+		if row.Blackout <= 0 {
+			panic(fmt.Sprintf("harness: service: %s: no finite blackout window around the failover", c.name))
+		}
+		rows[i] = row
+	})
+	return append([]ServiceRow{bareRow}, rows...)
+}
+
+// FormatService renders the service experiment as a text table.
+func FormatService(rows []ServiceRow) string {
+	var b strings.Builder
+	b.WriteString("Replicated network service under client load\n")
+	b.WriteString("(request/response guest server; primary failstopped mid-load in\n")
+	b.WriteString("every replicated configuration; latencies are client-observed\n")
+	b.WriteString("virtual time; blackout = last reply before the failure to first\n")
+	b.WriteString("reply after it)\n\n")
+	fmt.Fprintf(&b, "%-14s %-9s %-9s %-7s %10s %10s %10s %12s\n",
+		"config", "requests", "answered", "rexmit", "p50 (us)", "p99 (us)", "p999 (us)", "blackout (us)")
+	for _, r := range rows {
+		blackout := "-"
+		if r.Blackout > 0 {
+			blackout = fmt.Sprintf("%.1f", r.Blackout)
+		}
+		fmt.Fprintf(&b, "%-14s %-9d %-9d %-7d %10.1f %10.1f %10.1f %12s\n",
+			r.Config, r.Requests, r.Answered, r.Retransmits, r.P50, r.P99, r.P999, blackout)
+	}
+	return b.String()
+}

@@ -124,6 +124,12 @@ type Link struct {
 	// process blocks on it.
 	Inbox *sim.Queue[Message]
 
+	// OnDeliver, when set, consumes delivered messages instead of the
+	// Inbox: for event-driven environment endpoints (the client
+	// population's ingress into the shared NIC) that must not hold a
+	// never-exiting receiver process alive in the simulation kernel.
+	OnDeliver func(Message)
+
 	// Stats accumulates counters.
 	Stats Stats
 
@@ -171,6 +177,10 @@ func (l *Link) deliverHead() {
 	// and the two lines diverge irreconcilably.
 	msg.DeliveredAt = l.k.Now()
 	l.Stats.MessagesDelivered++
+	if l.OnDeliver != nil {
+		l.OnDeliver(msg)
+		return
+	}
 	l.Inbox.Put(msg)
 }
 

@@ -1,0 +1,439 @@
+// Package nic models a virtual network adapter on the generic device
+// layer — the step from "replicated virtual machine" to "fault-tolerant
+// network service". Like the console and the dual-ported disks, the NIC
+// is ONE shared environment object (the network the clients live on)
+// with a Port per processor, and the paper's I/O discipline applies at
+// frame granularity:
+//
+//   - TX (guest output): the guest assembles a reply frame word by word
+//     into the adapter's transmit buffer and rings a doorbell to emit
+//     it. Every TX store is an environment OUTPUT (device.EffectOutput):
+//     under replication only the I/O-active hypervisor's stores reach
+//     the shared adapter — a backup suppresses and records its own —
+//     and each store carries an output ordinal so a promoted backup's
+//     re-emission of the failover epoch's suppressed stores is
+//     deduplicated by high-water mark. Because the transmit buffer and
+//     the watermark live in the SHARED adapter (there is one acting
+//     writer at a time), a frame assembled half by the dead coordinator
+//     and half by its successor is emitted exactly once, bit-identical
+//     to the unreplicated run.
+//
+//   - RX (environment input): request frames arriving from the client
+//     population get a global sequence number and land in every port's
+//     pending queue, raising each host's interrupt line. The I/O-active
+//     hypervisor captures pending frames as completion records (rule
+//     P1) and forwards them in the epoch stream; every replica applies
+//     them at the boundary, consuming its own port through the record's
+//     watermark. After a failover, rule P7's generalization drains the
+//     promoted port's still-pending frames — requests the environment
+//     delivered but no replica consumed are redelivered, not lost.
+//
+//   - EXACTLY-ONCE requests: clients retransmit on timeout (they must
+//     observe a failover blackout, not mask it), so the adapter dedups
+//     arriving frames by request ID the way any reliable transport's
+//     receiver does. A retransmission of an already-answered request is
+//     answered from the reply log without involving the guest; a
+//     retransmission of a queued request is dropped. The guest
+//     therefore serves each logical request exactly once, and the reply
+//     transcript of a replicated run is byte-identical to the bare
+//     run's.
+package nic
+
+import (
+	"hash/fnv"
+)
+
+// Register offsets (word registers within the NIC window).
+const (
+	RegTxData     uint32 = 0x00 // write: append payload word to the TX frame
+	RegTxDoorbell uint32 = 0x04 // write: emit TX frame of <value> words
+	RegStatus     uint32 = 0x08 // read: bit0 TX ready (always), bit1 RX frame pending
+	RegRxData     uint32 = 0x0C // read: pop next word of the head RX frame
+	RegRxLen      uint32 = 0x10 // read: words remaining in the head RX frame
+	RegRxSeq      uint32 = 0x14 // read: global sequence of the head RX frame
+	RegRxConsume  uint32 = 0x18 // write: retire RX frames with sequence <= value
+	RegOutSeq     uint32 = 0x1C // write: output ordinal for the NEXT TX store
+
+	// Window is the size of the NIC register bank.
+	Window uint32 = 0x20
+)
+
+// Status register bits.
+const (
+	StatusTxReady uint32 = 1 << 0 // transmit buffer always accepts
+	StatusRxAvail uint32 = 1 << 1 // a complete RX frame is pending
+)
+
+// frame is one framed message with its global RX sequence number (TX
+// frames carry seq 0; they are logged, not queued).
+type frame struct {
+	seq   uint32
+	words []uint32
+}
+
+// Stats counts shared-adapter activity.
+type Stats struct {
+	// Requests is the number of distinct request frames accepted.
+	Requests uint64
+	// Retransmits is the number of duplicate request frames suppressed
+	// (client retransmissions during a blackout, mostly).
+	Retransmits uint64
+	// Replayed counts retransmissions answered from the reply log
+	// (request already served; the guest is not involved again).
+	Replayed uint64
+	// TxFrames is the number of frames the guest emitted.
+	TxFrames uint64
+	// TxWords counts payload words across all emitted frames.
+	TxWords uint64
+}
+
+// NIC is the SHARED network environment: one client-facing wire, one
+// reply transcript, multi-ported like the paper's dual-ported disk via
+// Port. All mutable state that must survive a processor failstop —
+// the partially-assembled TX frame, the output-ordinal watermark, the
+// request dedup table, the reply log — lives here, on the environment
+// side of the I/O Device Accessibility Assumption.
+type NIC struct {
+	Stats Stats
+
+	// txBuf is the transmit frame being assembled by the acting
+	// writer's RegTxData stores (shared: a successor resumes exactly
+	// where the dead coordinator's last deduplicated store left off).
+	txBuf []uint32
+
+	// highWater is the output-ordinal dedup watermark: a tagged TX
+	// store with ordinal <= highWater is a retransmission (a promoted
+	// backup re-emitting the failover epoch's suppressed output) and is
+	// dropped.
+	highWater uint32
+
+	// tx is the reply transcript: every emitted frame, length-prefixed,
+	// little-endian. Byte-compared between bare and replicated runs.
+	tx []byte
+
+	// replyFor logs the reply frame emitted for each request ID, so a
+	// retransmission of an answered request is served from the log.
+	replyFor map[uint32][]uint32
+	// seenReq marks request IDs accepted (queued or answered).
+	seenReq map[uint32]bool
+
+	nextSeq uint32 // RX frame sequence numbers assigned so far
+	ports   []*Port
+
+	// OnIngress, when set, observes every accepted request frame as it
+	// is delivered to the ports (session event streams).
+	OnIngress func(seq uint32, words []uint32)
+	// OnTx, when set, observes every emitted frame (the client
+	// simulator's reply path).
+	OnTx func(words []uint32)
+}
+
+// New returns an idle network adapter.
+func New() *NIC {
+	return &NIC{replyFor: map[uint32][]uint32{}, seenReq: map[uint32]bool{}}
+}
+
+// NewPort attaches one processor's endpoint. irq (optional) raises the
+// host's external interrupt line when a frame arrives.
+func (n *NIC) NewPort(irq func()) *Port {
+	p := &Port{n: n, irq: irq}
+	n.ports = append(n.ports, p)
+	return p
+}
+
+// Ingress delivers one request frame from the client network. words[0]
+// is the request ID; the rest is payload. Duplicates (client
+// retransmissions) never reach a port: a duplicate of an answered
+// request returns the logged reply for environment-side redelivery, a
+// duplicate of a still-queued request returns nil (the original will be
+// answered). Accepted frames get the next global sequence number and
+// land in every port's pending queue.
+func (n *NIC) Ingress(words []uint32) (reply []uint32, accepted bool) {
+	if len(words) == 0 {
+		return nil, false
+	}
+	id := words[0]
+	if n.seenReq[id] {
+		n.Stats.Retransmits++
+		if r := n.replyFor[id]; r != nil {
+			n.Stats.Replayed++
+			return r, false
+		}
+		return nil, false
+	}
+	n.seenReq[id] = true
+	n.Stats.Requests++
+	n.nextSeq++
+	f := frame{seq: n.nextSeq, words: append([]uint32(nil), words...)}
+	for _, p := range n.ports {
+		p.push(f)
+	}
+	if n.OnIngress != nil {
+		n.OnIngress(f.seq, f.words)
+	}
+	return nil, true
+}
+
+// txWord appends one payload word to the shared transmit buffer,
+// honoring the ordinal dedup watermark (ordinal 0 = untagged store from
+// a bare machine, always applied).
+func (n *NIC) txWord(ordinal, v uint32) {
+	if !n.passOrdinal(ordinal) {
+		return
+	}
+	n.txBuf = append(n.txBuf, v)
+}
+
+// txDoorbell emits the assembled frame, declared to hold v words.
+func (n *NIC) txDoorbell(ordinal, v uint32) {
+	if !n.passOrdinal(ordinal) {
+		return
+	}
+	words := n.txBuf
+	if int(v) < len(words) {
+		words = words[len(words)-int(v):]
+	}
+	f := append([]uint32(nil), words...)
+	n.txBuf = n.txBuf[:0]
+	n.Stats.TxFrames++
+	n.Stats.TxWords += uint64(len(f))
+	n.tx = appendFrame(n.tx, f)
+	if len(f) > 0 {
+		n.replyFor[f[0]] = f
+	}
+	if n.OnTx != nil {
+		n.OnTx(f)
+	}
+}
+
+// passOrdinal applies the output-ordinal high-water dedup (the console's
+// exactly-once rule, at TX-store granularity).
+func (n *NIC) passOrdinal(ordinal uint32) bool {
+	if ordinal != 0 {
+		if ordinal <= n.highWater {
+			return false // re-emission of output the environment already saw
+		}
+		n.highWater = ordinal
+	}
+	return true
+}
+
+// appendFrame length-prefixes and appends a frame, little-endian.
+func appendFrame(b []byte, words []uint32) []byte {
+	b = appendU32(b, uint32(len(words)))
+	for _, w := range words {
+		b = appendU32(b, w)
+	}
+	return b
+}
+
+func appendU32(b []byte, v uint32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+// Replies returns the reply transcript so far: every emitted frame,
+// length-prefixed, little-endian. The service-level correctness
+// criterion is that this is byte-identical between a bare run and any
+// replicated run — across failover, reintegration and save/restore.
+func (n *NIC) Replies() string { return string(n.tx) }
+
+// StateDigest returns a deterministic hash of the adapter's dynamic
+// state: transcript, transmit buffer, watermarks, dedup and reply
+// tables, and every port's pending frames (snapshot verification).
+func (n *NIC) StateDigest() uint64 {
+	h := fnv.New64a()
+	h.Write(n.tx)
+	var b [4]byte
+	put := func(vs ...uint32) {
+		for _, v := range vs {
+			b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+			h.Write(b[:])
+		}
+	}
+	put(n.highWater, n.nextSeq, uint32(len(n.txBuf)))
+	put(n.txBuf...)
+	put(uint32(n.Stats.Requests), uint32(n.Stats.Retransmits), uint32(n.Stats.Replayed),
+		uint32(n.Stats.TxFrames), uint32(n.Stats.TxWords))
+	// seenReq/replyFor are keyed by request ID; fold them order-free so
+	// no map iteration order leaks into the digest (commutative XOR of
+	// per-entry hashes).
+	var fold uint64
+	for id := range n.seenReq {
+		e := fnv.New64a()
+		var eb [4]byte
+		eb[0], eb[1], eb[2], eb[3] = byte(id), byte(id>>8), byte(id>>16), byte(id>>24)
+		e.Write(eb[:])
+		if r := n.replyFor[id]; r != nil {
+			for _, w := range r {
+				eb[0], eb[1], eb[2], eb[3] = byte(w), byte(w>>8), byte(w>>16), byte(w>>24)
+				e.Write(eb[:])
+			}
+		}
+		fold ^= e.Sum64()
+	}
+	put(uint32(fold), uint32(fold>>32), uint32(len(n.ports)))
+	for _, p := range n.ports {
+		put(uint32(len(p.fifo)))
+		for _, f := range p.fifo {
+			put(f.seq, uint32(len(f.words)))
+			put(f.words...)
+		}
+		if p.Detached {
+			put(1)
+		} else {
+			put(0)
+		}
+		put(p.outSeq)
+	}
+	return h.Sum64()
+}
+
+// Port is one processor's view of the network adapter: a register bank
+// on the host's MMIO bus (machine.MMIOHandler semantics for its
+// window).
+type Port struct {
+	n    *NIC
+	irq  func()
+	fifo []frame
+
+	// outSeq is a pending explicit output ordinal (set by RegOutSeq,
+	// consumed by the next TX store; 0 = untagged).
+	outSeq uint32
+
+	// Detached is set when the host has failstopped: arriving frames
+	// stop raising its interrupt line (no interrupt reaches a dead
+	// host).
+	Detached bool
+}
+
+// push files one arriving frame.
+func (p *Port) push(f frame) {
+	p.fifo = append(p.fifo, f)
+	if p.irq != nil && !p.Detached {
+		p.irq()
+	}
+}
+
+// consume retires pending frames with sequence <= seq.
+func (p *Port) consume(seq uint32) {
+	i := 0
+	for i < len(p.fifo) && p.fifo[i].seq <= seq {
+		i++
+	}
+	if i > 0 {
+		rest := copy(p.fifo, p.fifo[i:])
+		for j := rest; j < len(p.fifo); j++ {
+			p.fifo[j] = frame{}
+		}
+		p.fifo = p.fifo[:rest]
+	}
+}
+
+// Pending reports how many frames await consumption (tests).
+func (p *Port) Pending() int { return len(p.fifo) }
+
+// CloneFrom copies the source port's pending frames into this (empty,
+// newly created) port. A port created for a reintegrated node
+// (AddBackup) must start from the acting coordinator's view of the
+// wire: frames the environment delivered before this port existed but
+// that the replica set has not yet consumed would otherwise be
+// invisible to the joiner — lost if it is later promoted. Cloning at
+// creation time keeps the two ports in lockstep from here on, because
+// both see the same arrivals and both retire through the same applied
+// completion watermarks.
+func (p *Port) CloneFrom(src *Port) {
+	p.fifo = append(p.fifo[:0], src.fifo...)
+}
+
+// MMIOLoad implements machine.MMIOHandler.
+func (p *Port) MMIOLoad(off uint32, size int) (uint32, error) {
+	switch off {
+	case RegTxData, RegTxDoorbell, RegRxConsume, RegOutSeq:
+		return 0, nil
+	case RegStatus:
+		s := StatusTxReady
+		if len(p.fifo) > 0 {
+			s |= StatusRxAvail
+		}
+		return s, nil
+	case RegRxData:
+		if len(p.fifo) == 0 {
+			return 0, nil
+		}
+		f := &p.fifo[0]
+		v := f.words[0]
+		f.words = f.words[1:]
+		if len(f.words) == 0 {
+			rest := copy(p.fifo, p.fifo[1:])
+			p.fifo[rest] = frame{}
+			p.fifo = p.fifo[:rest]
+		}
+		return v, nil
+	case RegRxLen:
+		if len(p.fifo) == 0 {
+			return 0, nil
+		}
+		return uint32(len(p.fifo[0].words)), nil
+	case RegRxSeq:
+		if len(p.fifo) == 0 {
+			return 0, nil
+		}
+		return p.fifo[0].seq, nil
+	}
+	return 0, errBadReg(off)
+}
+
+// MMIOStore implements machine.MMIOHandler.
+func (p *Port) MMIOStore(off uint32, size int, v uint32) error {
+	switch off {
+	case RegTxData:
+		ord := p.outSeq
+		p.outSeq = 0
+		p.n.txWord(ord, v)
+		return nil
+	case RegTxDoorbell:
+		ord := p.outSeq
+		p.outSeq = 0
+		p.n.txDoorbell(ord, v)
+		return nil
+	case RegStatus, RegRxData, RegRxLen, RegRxSeq:
+		return nil // read-only / ignored
+	case RegRxConsume:
+		p.consume(v)
+		return nil
+	case RegOutSeq:
+		p.outSeq = v
+		return nil
+	}
+	return errBadReg(off)
+}
+
+// StateDigest hashes the port's dynamic state (snapshot verification).
+func (p *Port) StateDigest() uint64 {
+	h := fnv.New64a()
+	var b [4]byte
+	put := func(vs ...uint32) {
+		for _, v := range vs {
+			b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+			h.Write(b[:])
+		}
+	}
+	put(uint32(len(p.fifo)))
+	for _, f := range p.fifo {
+		put(f.seq, uint32(len(f.words)))
+		put(f.words...)
+	}
+	if p.Detached {
+		put(1)
+	} else {
+		put(0)
+	}
+	put(p.outSeq)
+	return h.Sum64()
+}
+
+type badReg uint32
+
+func (b badReg) Error() string { return "nic: bad register offset" }
+
+func errBadReg(off uint32) error { return badReg(off) }

@@ -1,0 +1,192 @@
+package nic
+
+import (
+	"testing"
+
+	"repro/internal/device"
+)
+
+// memStub satisfies device.Memory (the NIC never touches guest memory).
+type memStub struct{}
+
+func (memStub) ReadBytes(pa uint32, n int) []byte { return make([]byte, n) }
+func (memStub) WriteBytes(pa uint32, data []byte) {}
+
+// portBus adapts a Port to device.Bus for shadow tests.
+type portBus struct{ p *Port }
+
+func (b portBus) Load(off uint32) uint32 {
+	v, err := b.p.MMIOLoad(off, 4)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+func (b portBus) Store(off uint32, v uint32) {
+	if err := b.p.MMIOStore(off, 4, v); err != nil {
+		panic(err)
+	}
+}
+
+func TestIngressDedupAndReplyLog(t *testing.T) {
+	n := New()
+	p := n.NewPort(nil)
+
+	if _, accepted := n.Ingress([]uint32{1, 10, 20}); !accepted {
+		t.Fatal("first delivery of request 1 not accepted")
+	}
+	if reply, accepted := n.Ingress([]uint32{1, 10, 20}); accepted || reply != nil {
+		t.Fatalf("queued duplicate: accepted=%v reply=%v", accepted, reply)
+	}
+	if p.Pending() != 1 {
+		t.Fatalf("port pending = %d, want 1", p.Pending())
+	}
+
+	// Guest answers request 1 through the port (bare-machine path).
+	bus := portBus{p}
+	bus.Store(RegTxData, 1)
+	bus.Store(RegTxData, 0xABCD)
+	bus.Store(RegTxDoorbell, 2)
+	if n.Stats.TxFrames != 1 {
+		t.Fatalf("TxFrames = %d, want 1", n.Stats.TxFrames)
+	}
+
+	reply, accepted := n.Ingress([]uint32{1, 10, 20})
+	if accepted || len(reply) != 2 || reply[0] != 1 || reply[1] != 0xABCD {
+		t.Fatalf("answered duplicate: accepted=%v reply=%v", accepted, reply)
+	}
+	if n.Stats.Retransmits != 2 || n.Stats.Replayed != 1 {
+		t.Fatalf("stats = %+v", n.Stats)
+	}
+}
+
+func TestOutputOrdinalDedup(t *testing.T) {
+	n := New()
+	p := n.NewPort(nil)
+	bus := portBus{p}
+	sh := NewShadow()
+
+	// Acting writer emits words 1..3 of a frame with ordinals 1..3.
+	sh.Output(bus, RegTxData, 100, 1)
+	sh.Output(bus, RegTxData, 200, 2)
+	// A promoted successor replays ordinals 1..2 (already seen), then
+	// continues with fresh ordinals.
+	sh.Output(bus, RegTxData, 100, 1)
+	sh.Output(bus, RegTxData, 200, 2)
+	sh.Output(bus, RegTxData, 300, 3)
+	sh.Output(bus, RegTxDoorbell, 3, 4)
+
+	if n.Stats.TxFrames != 1 || n.Stats.TxWords != 3 {
+		t.Fatalf("stats = %+v, want one 3-word frame", n.Stats)
+	}
+	want := string([]byte{3, 0, 0, 0, 100, 0, 0, 0, 200, 0, 0, 0, 44, 1, 0, 0})
+	if n.Replies() != want {
+		t.Fatalf("transcript = %x, want %x", n.Replies(), want)
+	}
+}
+
+func TestCaptureApplyRoundTrip(t *testing.T) {
+	n := New()
+	pa := n.NewPort(nil) // acting node's port
+	pb := n.NewPort(nil) // backup node's port
+	n.Ingress([]uint32{7, 1, 2, 3})
+	n.Ingress([]uint32{8, 4})
+
+	shA, shB := NewShadow(), NewShadow()
+	c, ok := shA.Capture(portBus{pa}, memStub{})
+	if !ok {
+		t.Fatal("capture found nothing")
+	}
+	if c.Seq != 2 {
+		t.Fatalf("capture watermark = %d, want 2", c.Seq)
+	}
+	if pa.Pending() != 0 {
+		t.Fatalf("acting port still pending %d frames", pa.Pending())
+	}
+
+	// Both replicas apply the record; the backup's port is retired by
+	// the consume watermark.
+	shA.Apply(c, memStub{}, portBus{pa})
+	shB.Apply(c, memStub{}, portBus{pb})
+	if pb.Pending() != 0 {
+		t.Fatalf("backup port still pending %d frames after apply", pb.Pending())
+	}
+
+	// Both shadows now serve identical frames to their guests.
+	for _, sh := range []*Shadow{shA, shB} {
+		if got := sh.Load(RegRxLen); got != 4 {
+			t.Fatalf("head frame len = %d, want 4", got)
+		}
+		var words []uint32
+		for j := 0; j < 4; j++ {
+			words = append(words, sh.Load(RegRxData))
+		}
+		if words[0] != 7 || words[3] != 3 {
+			t.Fatalf("head frame = %v", words)
+		}
+		if got := sh.Load(RegRxLen); got != 2 {
+			t.Fatalf("second frame len = %d, want 2", got)
+		}
+	}
+}
+
+func TestRecoverSkipsBufferedCoverage(t *testing.T) {
+	n := New()
+	p := n.NewPort(nil)
+	n.Ingress([]uint32{1, 11})
+	n.Ingress([]uint32{2, 22})
+	n.Ingress([]uint32{3, 33})
+
+	sh := NewShadow()
+	// A record covering frames <= 2 is already awaiting delivery.
+	buffered := []device.Completion{{Seq: 2}}
+	recs, unc := sh.Recover(portBus{p}, memStub{}, false, buffered)
+	if unc != 0 || len(recs) != 1 {
+		t.Fatalf("recover: %d recs, %d uncertain", len(recs), unc)
+	}
+	if recs[0].Seq != 3 {
+		t.Fatalf("recovered watermark = %d, want 3", recs[0].Seq)
+	}
+	var fresh Shadow
+	fresh.Apply(recs[0], memStub{}, portBus{p})
+	if got := fresh.Load(RegRxData); got != 3 {
+		t.Fatalf("recovered frame id = %d, want 3", got)
+	}
+}
+
+func TestShadowMarshalRoundTrip(t *testing.T) {
+	n := New()
+	p := n.NewPort(nil)
+	n.Ingress([]uint32{9, 1, 2})
+	sh := NewShadow()
+	c, _ := sh.Capture(portBus{p}, memStub{})
+	sh.Apply(c, memStub{}, portBus{p})
+	sh.Load(RegRxData) // partially consumed head frame
+
+	var back Shadow
+	if err := back.UnmarshalState(sh.MarshalState()); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := back.Load(RegRxLen), sh.Load(RegRxLen); got != want {
+		t.Fatalf("restored head len = %d, want %d", got, want)
+	}
+}
+
+func TestPortCloneFrom(t *testing.T) {
+	n := New()
+	p0 := n.NewPort(nil)
+	n.Ingress([]uint32{1, 5})
+	n.Ingress([]uint32{2, 6})
+	joiner := n.NewPort(nil)
+	if joiner.Pending() != 0 {
+		t.Fatal("fresh port should start empty")
+	}
+	joiner.CloneFrom(p0)
+	if joiner.Pending() != 2 {
+		t.Fatalf("cloned port pending = %d, want 2", joiner.Pending())
+	}
+	joiner.consume(1)
+	if joiner.Pending() != 1 || p0.Pending() != 2 {
+		t.Fatal("clone must not alias the source fifo")
+	}
+}

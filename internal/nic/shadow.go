@@ -1,0 +1,222 @@
+package nic
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+)
+
+// Shadow is the hypervisor-side virtual network adapter: the
+// guest-visible register bank. TX stores are classified EffectOutput
+// (the hypervisor gates them on I/O-activity and tags them with output
+// ordinals); RX frames become visible to the guest only when a captured
+// completion record is applied at an epoch boundary — so a request
+// frame, like a disk completion or terminal input, arrives on every
+// replica at the same instruction-stream position.
+type Shadow struct {
+	rx []frame // delivered frames awaiting guest reads
+}
+
+// NewShadow returns an empty virtual adapter.
+func NewShadow() *Shadow { return &Shadow{} }
+
+var _ device.Shadow = (*Shadow)(nil)
+
+// Load implements device.Shadow. Reading RegRxData pops the delivered
+// head frame word by word — a deterministic shadow-state mutation
+// (every replica executes the same loads).
+func (s *Shadow) Load(off uint32) uint32 {
+	switch off {
+	case RegStatus:
+		v := StatusTxReady
+		if len(s.rx) > 0 {
+			v |= StatusRxAvail
+		}
+		return v
+	case RegRxData:
+		if len(s.rx) == 0 {
+			return 0
+		}
+		f := &s.rx[0]
+		v := f.words[0]
+		f.words = f.words[1:]
+		if len(f.words) == 0 {
+			rest := copy(s.rx, s.rx[1:])
+			s.rx[rest] = frame{}
+			s.rx = s.rx[:rest]
+		}
+		return v
+	case RegRxLen:
+		if len(s.rx) == 0 {
+			return 0
+		}
+		return uint32(len(s.rx[0].words))
+	case RegRxSeq:
+		if len(s.rx) == 0 {
+			return 0
+		}
+		return s.rx[0].seq
+	}
+	return 0
+}
+
+// Store implements device.Shadow: TX stores are environment output.
+func (s *Shadow) Store(off uint32, v uint32) device.Effect {
+	if off == RegTxData || off == RegTxDoorbell {
+		return device.EffectOutput
+	}
+	return device.EffectNone
+}
+
+// Output implements device.Shadow: forward one TX store to the real
+// adapter, tagged with its ordinal so re-emission after a failover
+// cannot duplicate words the environment already saw.
+func (s *Shadow) Output(bus device.Bus, off, v uint32, ordinal uint32) {
+	bus.Store(RegOutSeq, ordinal)
+	bus.Store(off, v)
+}
+
+// Start implements device.Shadow (the NIC has no EffectStart doorbell;
+// the TX doorbell is itself an output store).
+func (s *Shadow) Start(bus device.Bus) {}
+
+// Capture implements device.Shadow: drain the port's pending request
+// frames into one completion record. Data packs whole frames as
+// [seq, nwords, words...] little-endian; Seq is the highest frame
+// sequence drained (the consume-on-apply watermark).
+func (s *Shadow) Capture(bus device.Bus, mem device.Memory) (device.Completion, bool) {
+	var c device.Completion
+	for bus.Load(RegStatus)&StatusRxAvail != 0 {
+		seq := bus.Load(RegRxSeq)
+		n := bus.Load(RegRxLen)
+		if n == 0 {
+			break // defensive: a frame always holds >= 1 word
+		}
+		c.Data = device.AppendU32(c.Data, seq)
+		c.Data = device.AppendU32(c.Data, n)
+		for j := uint32(0); j < n; j++ {
+			c.Data = device.AppendU32(c.Data, bus.Load(RegRxData))
+		}
+		c.Seq = seq
+	}
+	if len(c.Data) == 0 {
+		return device.Completion{}, false
+	}
+	c.Status = StatusRxAvail
+	return c, true
+}
+
+// Apply implements device.Shadow: make the delivered frames visible to
+// the guest and retire the real port's pending frames through the
+// record's watermark (a no-op on the node that captured them).
+func (s *Shadow) Apply(c device.Completion, mem device.Memory, bus device.Bus) {
+	data := c.Data
+	for len(data) > 0 {
+		var f frame
+		var ok bool
+		f, data, ok = readFrame(data)
+		if !ok {
+			break
+		}
+		s.rx = append(s.rx, f)
+	}
+	bus.Store(RegRxConsume, c.Seq)
+}
+
+// readFrame decodes one [seq, nwords, words...] frame.
+func readFrame(data []byte) (frame, []byte, bool) {
+	seq, rest, ok := device.ReadU32(data)
+	if !ok {
+		return frame{}, nil, false
+	}
+	n, rest, ok := device.ReadU32(rest)
+	if !ok {
+		return frame{}, nil, false
+	}
+	f := frame{seq: seq, words: make([]uint32, 0, n)}
+	for j := uint32(0); j < n; j++ {
+		var w uint32
+		w, rest, ok = device.ReadU32(rest)
+		if !ok {
+			return frame{}, nil, false
+		}
+		f.words = append(f.words, w)
+	}
+	return f, rest, true
+}
+
+// Recover implements device.Shadow: at failover, request frames the
+// environment delivered but no replica consumed are still pending on
+// this node's port — capture them now so the promoted virtual machine
+// serves them. Frames covered by records already awaiting delivery (the
+// dead coordinator captured and forwarded them for the failover epoch)
+// are drained but NOT re-captured: they arrive with those records.
+// (These are environment events, not uncertain completions: count 0.)
+func (s *Shadow) Recover(bus device.Bus, mem device.Memory, outstanding bool, buffered []device.Completion) ([]device.Completion, int) {
+	var covered uint32
+	for _, b := range buffered {
+		if b.Seq > covered {
+			covered = b.Seq
+		}
+	}
+	var c device.Completion
+	for bus.Load(RegStatus)&StatusRxAvail != 0 {
+		seq := bus.Load(RegRxSeq)
+		n := bus.Load(RegRxLen)
+		if n == 0 {
+			break // defensive: a frame always holds >= 1 word
+		}
+		if seq <= covered {
+			for j := uint32(0); j < n; j++ {
+				bus.Load(RegRxData) // will be applied with its forwarded record
+			}
+			continue
+		}
+		c.Data = device.AppendU32(c.Data, seq)
+		c.Data = device.AppendU32(c.Data, n)
+		for j := uint32(0); j < n; j++ {
+			c.Data = device.AppendU32(c.Data, bus.Load(RegRxData))
+		}
+		c.Seq = seq
+	}
+	if len(c.Data) == 0 {
+		return nil, 0
+	}
+	c.Status = StatusRxAvail
+	return []device.Completion{c}, 0
+}
+
+// MarshalState implements device.Shadow.
+func (s *Shadow) MarshalState() []byte {
+	b := device.AppendU32(nil, uint32(len(s.rx)))
+	for _, f := range s.rx {
+		b = device.AppendU32(b, f.seq)
+		b = device.AppendU32(b, uint32(len(f.words)))
+		for _, w := range f.words {
+			b = device.AppendU32(b, w)
+		}
+	}
+	return b
+}
+
+// UnmarshalState implements device.Shadow.
+func (s *Shadow) UnmarshalState(data []byte) error {
+	n, rest, ok := device.ReadU32(data)
+	if !ok {
+		return fmt.Errorf("nic: shadow state malformed (%d bytes)", len(data))
+	}
+	rx := make([]frame, 0, n)
+	for j := uint32(0); j < n; j++ {
+		var f frame
+		f, rest, ok = readFrame(rest)
+		if !ok {
+			return fmt.Errorf("nic: shadow state truncated (frame %d of %d)", j, n)
+		}
+		rx = append(rx, f)
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("nic: shadow state has %d trailing bytes", len(rest))
+	}
+	s.rx = rx
+	return nil
+}

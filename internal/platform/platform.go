@@ -16,6 +16,7 @@ import (
 	"repro/internal/hypervisor"
 	"repro/internal/machine"
 	"repro/internal/netsim"
+	"repro/internal/nic"
 	"repro/internal/scsi"
 	"repro/internal/sim"
 )
@@ -39,6 +40,13 @@ const (
 	ExtraDiskBase uint32 = 0x2000
 	// ExtraDiskIRQ is disk 1's interrupt line.
 	ExtraDiskIRQ uint = 3
+	// NICBase is the network adapter's window offset within MMIO space
+	// (the last mapped device page, clear of any disk stack).
+	NICBase uint32 = 0xF000
+	// NICIRQLine is the network adapter's interrupt line. The guest
+	// polls the NIC (the line stays masked, like the console's), but
+	// the I/O-active hypervisor captures on it.
+	NICIRQLine uint = 15
 	// CycleTime is the simulated instruction period (50 MIPS).
 	CycleTime = 20 * sim.Nanosecond
 )
@@ -66,6 +74,10 @@ type Config struct {
 	// virtual times). Empty: the console is the historical write-only
 	// device.
 	Terminal []console.Input
+	// NIC attaches the shared network adapter to every node (the
+	// network-service configurations; absent by default so historical
+	// device tables — and their pinned transcripts — are untouched).
+	NIC bool
 	// Link configures the hypervisor-to-hypervisor channel (both
 	// directions); zero value = 10 Mbps Ethernet.
 	Link netsim.LinkConfig
@@ -81,6 +93,9 @@ type Node struct {
 	Adapters []*scsi.Adapter
 	// Port is this node's endpoint on the shared console.
 	Port *console.Port
+	// NICPort is this node's endpoint on the shared network adapter
+	// (nil unless Config.NIC).
+	NICPort *nic.Port
 }
 
 // env is the shared environment every node attaches to: the disks and
@@ -89,6 +104,7 @@ type Node struct {
 type env struct {
 	disks   []*scsi.Disk
 	console *console.Console
+	nic     *nic.NIC
 }
 
 // newEnv builds the shared environment and schedules the terminal
@@ -100,6 +116,9 @@ func newEnv(k *sim.Kernel, cfg Config) *env {
 		e.disks = append(e.disks, scsi.NewDisk(k, dc))
 	}
 	e.console.Schedule(k, cfg.Terminal)
+	if cfg.NIC {
+		e.nic = nic.New()
+	}
 	return e
 }
 
@@ -130,6 +149,10 @@ func finishNode(k *sim.Kernel, cfg Config, n *Node, e *env, host int) {
 	n.Adapter = n.Adapters[0]
 	n.Port = e.console.NewPort(func() { m.RaiseIRQ(ConsoleIRQLine) })
 	mux.Map("console", ConsoleBase, console.Window, n.Port)
+	if e.nic != nil {
+		n.NICPort = e.nic.NewPort(func() { m.RaiseIRQ(NICIRQLine) })
+		mux.Map("nic", NICBase, nic.Window, n.NICPort)
+	}
 	m.Bus = mux
 	n.HV = hypervisor.New(m, cfg.Hypervisor)
 	for i := range e.disks {
@@ -142,6 +165,12 @@ func finishNode(k *sim.Kernel, cfg Config, n *Node, e *env, host int) {
 		ID: "console", Base: ConsoleBase, Size: console.Window,
 		Line: ConsoleIRQLine, Unsolicited: true,
 	}, console.NewShadow())
+	if e.nic != nil {
+		n.HV.AttachDevice(device.Window{
+			ID: "nic", Base: NICBase, Size: nic.Window,
+			Line: NICIRQLine, Unsolicited: true,
+		}, nic.NewShadow())
+	}
 }
 
 // Pair is the two-processor prototype of Figure 1.
@@ -151,6 +180,8 @@ type Pair struct {
 	Disk    *scsi.Disk
 	Disks   []*scsi.Disk
 	Console *console.Console
+	// NIC is the shared network adapter (nil unless Config.NIC).
+	NIC     *nic.NIC
 	Primary *Node
 	Backup  *Node
 	// Net carries protocol traffic: AtoB = primary->backup,
@@ -162,7 +193,7 @@ type Pair struct {
 func NewPair(k *sim.Kernel, cfg Config) *Pair {
 	pr := &Pair{K: k}
 	e := newEnv(k, cfg)
-	pr.Disks, pr.Disk, pr.Console = e.disks, e.disks[0], e.console
+	pr.Disks, pr.Disk, pr.Console, pr.NIC = e.disks, e.disks[0], e.console, e.nic
 	pr.Primary = newNode(k, cfg, 0)
 	pr.Backup = newNode(k, cfg, 1)
 	finishNode(k, cfg, pr.Primary, e, 0)
@@ -184,7 +215,9 @@ type Cluster struct {
 	Disk    *scsi.Disk
 	Disks   []*scsi.Disk
 	Console *console.Console
-	Nodes   []*Node
+	// NIC is the shared network adapter (nil unless Config.NIC).
+	NIC   *nic.NIC
+	Nodes []*Node
 	// Links[i][j] (i < j) is the duplex between nodes i and j:
 	// AtoB carries i->j, BtoA carries j->i.
 	Links [][]*netsim.Duplex
@@ -200,7 +233,7 @@ func NewCluster(k *sim.Kernel, cfg Config, n int) *Cluster {
 	}
 	c := &Cluster{K: k, cfg: cfg}
 	c.env = newEnv(k, cfg)
-	c.Disks, c.Disk, c.Console = c.env.disks, c.env.disks[0], c.env.console
+	c.Disks, c.Disk, c.Console, c.NIC = c.env.disks, c.env.disks[0], c.env.console, c.env.nic
 	for i := 0; i < n; i++ {
 		node := newNode(k, cfg, i)
 		finishNode(k, cfg, node, c.env, i)
@@ -281,8 +314,10 @@ type Single struct {
 	Disk    *scsi.Disk
 	Disks   []*scsi.Disk
 	Console *console.Console
-	Node    *Node
-	Bare    *hypervisor.Bare
+	// NIC is the shared network adapter (nil unless Config.NIC).
+	NIC  *nic.NIC
+	Node *Node
+	Bare *hypervisor.Bare
 }
 
 // NewSingle builds a single machine with the same devices, to be run
@@ -290,7 +325,7 @@ type Single struct {
 func NewSingle(k *sim.Kernel, cfg Config) *Single {
 	s := &Single{K: k}
 	e := newEnv(k, cfg)
-	s.Disks, s.Disk, s.Console = e.disks, e.disks[0], e.console
+	s.Disks, s.Disk, s.Console, s.NIC = e.disks, e.disks[0], e.console, e.nic
 	s.Node = newNode(k, cfg, 0)
 	finishNode(k, cfg, s.Node, e, 0)
 	s.Bare = hypervisor.NewBare(s.Node.M)

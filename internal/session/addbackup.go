@@ -98,6 +98,16 @@ func (e *Engine) AddBackup(cfg AddBackupConfig) (int, error) {
 	// Build the node and its mesh links.
 	n := len(e.cluster.Nodes)
 	node := e.cluster.AddNode(cfg.Link)
+	if node.NICPort != nil {
+		// The node's NIC port springs into existence now, but the image
+		// in transit was captured at the quiesce boundary: request
+		// frames pending THERE must be pending HERE too, or a later
+		// promotion of the joiner would lose them (and frames consumed
+		// by pre-capture epochs would replay). Cloning the acting
+		// coordinator's port puts both in lockstep — identical future
+		// arrivals, identical consume watermarks from applied records.
+		node.NICPort.CloneFrom(e.cluster.Nodes[act].NICPort)
+	}
 	var ups []replication.Peer
 	for j := 0; j < n; j++ {
 		tx, rx := e.cluster.Channel(n, j)

@@ -61,11 +61,15 @@ func (e *Engine) CaptureSections() []Section {
 				w.U64(a.StateDigest())
 			}
 			w.U64(e.single.Node.Port.StateDigest())
+			if e.single.Node.NICPort != nil {
+				w.U64(e.single.Node.NICPort.StateDigest())
+			}
 		})
 		add("console", func(w *snapshot.Writer) {
 			w.String(e.single.Console.Output())
 			w.U64(e.single.Console.StateDigest())
 		})
+		e.addNICSection(add)
 		for i, d := range e.single.Disks {
 			i, d := i, d
 			add(fmt.Sprintf("disk%d", i), func(w *snapshot.Writer) { w.U64(d.StateDigest()) })
@@ -86,12 +90,16 @@ func (e *Engine) CaptureSections() []Section {
 				w.U64(a.StateDigest())
 			}
 			w.U64(node.Port.StateDigest())
+			if node.NICPort != nil {
+				w.U64(node.NICPort.StateDigest())
+			}
 		})
 	}
 	add("console", func(w *snapshot.Writer) {
 		w.String(e.cluster.Console.Output())
 		w.U64(e.cluster.Console.StateDigest())
 	})
+	e.addNICSection(add)
 	add("replication.primary", func(w *snapshot.Writer) {
 		snapshot.PutCoordinatorState(w, e.pri.CaptureState())
 	})
@@ -132,6 +140,23 @@ func (e *Engine) CaptureSections() []Section {
 		}
 	})
 	return out
+}
+
+// addNICSection appends the shared network-service section: the NIC's
+// full dynamic state (reply transcript, dedup watermarks, in-progress
+// TX assembly) plus the client population's per-connection watermarks.
+// Absent entirely on sessions without a NIC, so their section lists —
+// and any snapshots pinned before the NIC existed — are unchanged.
+func (e *Engine) addNICSection(add func(name string, fill func(w *snapshot.Writer))) {
+	if e.nic == nil {
+		return
+	}
+	add("nic", func(w *snapshot.Writer) {
+		w.U64(e.nic.StateDigest())
+		if e.clients != nil {
+			w.U64(e.clients.StateDigest())
+		}
+	})
 }
 
 // CompareSections reports the first difference between two captures

@@ -20,11 +20,13 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/clientsim"
 	"repro/internal/console"
 	"repro/internal/guest"
 	"repro/internal/hypervisor"
 	"repro/internal/machine"
 	"repro/internal/netsim"
+	"repro/internal/nic"
 	"repro/internal/platform"
 	"repro/internal/replication"
 	"repro/internal/scsi"
@@ -130,6 +132,10 @@ const (
 	// EventTerminalInput: the environment delivered scripted terminal
 	// input to the shared console.
 	EventTerminalInput
+	// EventNetRequest: the shared NIC accepted a distinct client request
+	// frame (retransmissions of queued or answered requests are deduped
+	// before this point and never emit).
+	EventNetRequest
 )
 
 // Event is one observation from a running session.
@@ -149,6 +155,7 @@ type Event struct {
 	Disk    int           // EventDiskOp: which shared disk (0-based)
 	Bytes   uint64        // EventBackupAdded: state-transfer size on the wire
 	Data    []byte        // EventTerminalInput: the arrived bytes
+	Req     uint32        // EventNetRequest: the request id (Count = frame words)
 }
 
 // Options configures an Engine.
@@ -165,7 +172,14 @@ type Options struct {
 	ExtraDisks []scsi.DiskConfig
 	// Terminal is the console's scripted input (empty: the console is
 	// the historical write-only device).
-	Terminal    []console.Input
+	Terminal []console.Input
+	// NIC attaches the shared network adapter to every node even
+	// without client load (implied by ClientLoad).
+	NIC bool
+	// ClientLoad, when set, drives a simulated client population into
+	// the shared NIC over its own access link (implies NIC). The
+	// population's Requests must match the guest server workload's Ops.
+	ClientLoad  *clientsim.Config
 	EpochLength uint64
 	Protocol    replication.Protocol
 	Link        netsim.LinkConfig
@@ -197,6 +211,10 @@ type Result struct {
 	Guest guest.Result
 	// Console is the environment-visible console transcript.
 	Console string
+	// NetReplies is the NIC's reply transcript — every frame the acting
+	// guest emitted (exactly once, in order), empty without a NIC. The
+	// replication invariant: byte-identical to the bare run's.
+	NetReplies string
 	// Promoted reports whether a failover occurred.
 	Promoted bool
 	// PrimaryStats/BackupStats are the protocol engines' counters
@@ -247,6 +265,11 @@ type Snapshot struct {
 	DiskOps       uint64
 	DiskUncertain uint64
 	Console       string
+
+	// Network-service counters (zero without a client population).
+	NetRequests    int
+	NetAnswered    int
+	NetRetransmits uint64
 }
 
 // Engine is a resident simulation of one cluster (or one bare machine).
@@ -265,6 +288,11 @@ type Engine struct {
 
 	// Bare topology.
 	single *platform.Single
+
+	// Network service (nil without Options.NIC/ClientLoad).
+	nic       *nic.NIC
+	clients   *clientsim.Sim
+	clientNet *netsim.Duplex
 
 	done     []sim.Time // per-node completion times
 	finished bool
@@ -353,6 +381,7 @@ func (e *Engine) Boot() {
 		Disk:       o.Disk,
 		ExtraDisks: o.ExtraDisks,
 		Terminal:   o.Terminal,
+		NIC:        o.NIC || o.ClientLoad != nil,
 		Link:       o.Link,
 		Machine:    sizeMachine(o.Machine),
 		Hypervisor: hypervisor.Config{
@@ -361,6 +390,7 @@ func (e *Engine) Boot() {
 		},
 	}, n)
 	e.cluster = cluster
+	e.nic = cluster.NIC
 	origin, words, entry := e.prog.Image()
 	for _, node := range cluster.Nodes {
 		node.HV.Boot(origin, words, entry)
@@ -394,6 +424,7 @@ func (e *Engine) Boot() {
 
 	// Observation hooks (no virtual-time cost; order-neutral).
 	e.installHooks()
+	e.startClientLoad()
 
 	if o.FailPrimaryAt > 0 {
 		k.At(o.FailPrimaryAt, func() { e.failPrimaryNow() })
@@ -422,13 +453,17 @@ func (e *Engine) bootBare() {
 		Disk:       e.o.Disk,
 		ExtraDisks: e.o.ExtraDisks,
 		Terminal:   e.o.Terminal,
+		NIC:        e.o.NIC || e.o.ClientLoad != nil,
 		Machine:    sizeMachine(e.o.Machine),
 	})
 	e.single = s
+	e.nic = s.NIC
 	origin, words, entry := e.prog.Image()
 	s.Bare.Boot(origin, words, entry)
 	e.prog.Setup(s.Node.M)
 	e.installDiskHooks(s.Disks, s.Console)
+	e.installNICHooks()
+	e.startClientLoad()
 	e.done = make([]sim.Time, 1)
 	k.Spawn("bare", func(pr *sim.Proc) { s.Bare.Run(pr); e.done[0] = pr.Now() })
 }
@@ -462,6 +497,38 @@ func (e *Engine) installHooks() {
 		bak.Hooks = e.backupHooks()
 	}
 	e.installDiskHooks(e.cluster.Disks, e.cluster.Console)
+	e.installNICHooks()
+}
+
+// installNICHooks wires request-arrival observation on the shared NIC.
+func (e *Engine) installNICHooks() {
+	if e.nic == nil || e.o.Observer == nil {
+		return
+	}
+	e.nic.OnIngress = func(seq uint32, words []uint32) {
+		var req uint32
+		if len(words) > 0 {
+			req = words[0]
+		}
+		e.emit(Event{Kind: EventNetRequest, Node: e.actingNode(), Req: req, Count: len(words)})
+	}
+}
+
+// startClientLoad wires the simulated client population to the shared
+// NIC over its own access link (the same link model as the replication
+// channel, so the eth/ATM experiment axes price both directions of the
+// service path) and schedules the first arrival.
+func (e *Engine) startClientLoad() {
+	if e.o.ClientLoad == nil || e.nic == nil {
+		return
+	}
+	link := e.o.Link
+	if link.BitsPerSecond == 0 {
+		link = netsim.Ethernet10("clients")
+	}
+	e.clientNet = netsim.NewDuplex(e.k, "clients", link)
+	e.clients = clientsim.New(e.k, *e.o.ClientLoad, e.nic, e.clientNet)
+	e.clients.Start()
 }
 
 // installDiskHooks wires per-device environment observation: one OnOp
@@ -553,6 +620,9 @@ func (e *Engine) detachNode(i int) {
 		a.Detached = true
 	}
 	n.Port.Detached = true
+	if n.NICPort != nil {
+		n.NICPort.Detached = true
+	}
 }
 
 // severTransfers disconnects any state transfer the failstopped node
@@ -825,6 +895,10 @@ func (e *Engine) Snapshot() Snapshot {
 	}
 	s.Commits = e.commits
 	s.DiskOps, s.DiskUncertain = e.diskOps, e.diskUncertain
+	if e.clients != nil {
+		cs := e.clients.Stats()
+		s.NetRequests, s.NetAnswered, s.NetRetransmits = cs.Issued, cs.Answered, cs.Retransmits
+	}
 	if e.o.Bare {
 		s.Nodes = 1
 		s.Halted = e.single.Bare.Halted()
@@ -880,11 +954,15 @@ func (e *Engine) computeResult() (Result, error) {
 		if !e.single.Bare.Halted() {
 			return Result{}, fmt.Errorf("session: bare run did not halt (pc=%#x)", e.single.Node.M.PC)
 		}
-		return Result{
+		r := Result{
 			Time:    e.done[0],
 			Guest:   e.prog.Result(e.single.Node.M),
 			Console: e.single.Console.Output(),
-		}, nil
+		}
+		if e.nic != nil {
+			r.NetReplies = e.nic.Replies()
+		}
+		return r, nil
 	}
 	res := Result{PrimaryStats: e.pri.Stats}
 	if len(e.baks) > 0 {
@@ -926,6 +1004,9 @@ func (e *Engine) computeResult() (Result, error) {
 	res.Guest = e.prog.Result(e.cluster.Nodes[authority].M)
 	res.HVStats = e.cluster.Nodes[authority].HV.Stats
 	res.Console = e.cluster.Console.Output()
+	if e.nic != nil {
+		res.NetReplies = e.nic.Replies()
+	}
 	return res, nil
 }
 
@@ -951,6 +1032,14 @@ func (e *Engine) Disks() []*scsi.Disk {
 	}
 	return nil
 }
+
+// NIC returns the shared network adapter (nil before boot or when the
+// session has no NIC).
+func (e *Engine) NIC() *nic.NIC { return e.nic }
+
+// Clients returns the simulated client population (nil unless client
+// load was configured and the session has booted).
+func (e *Engine) Clients() *clientsim.Sim { return e.clients }
 
 // Console returns the shared environment console (nil before boot).
 func (e *Engine) Console() *console.Console {

@@ -34,8 +34,10 @@ import (
 // Version history: 1 = the original single-adapter layout; 2 = the
 // generic device layer (per-device shadow sections keyed by stable
 // device ID, device-generic completion records with input watermarks,
-// suppressed-output buffers, multi-disk and terminal configuration).
-const FormatVersion = 2
+// suppressed-output buffers, multi-disk and terminal configuration);
+// 3 = the network service (NIC/client-load session configuration,
+// per-node NIC port digests and the shared nic capture section).
+const FormatVersion = 3
 
 // ErrVersion reports a snapshot written by a different format version.
 // Errors wrapping it are returned by NewReader; test with errors.Is.

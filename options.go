@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/clientsim"
 	"repro/internal/console"
 	"repro/internal/guest"
 	"repro/internal/scsi"
@@ -36,6 +37,9 @@ type clusterOptions struct {
 	diskBackend         DiskBackend
 	extraDisks          []DiskSpec
 	terminal            []TerminalInput
+
+	nic        bool
+	clientLoad *ClientLoad
 }
 
 // buildOptions applies opts over the defaults and cross-validates.
@@ -65,6 +69,9 @@ func buildOptions(opts []Option) (*clusterOptions, error) {
 			return nil, fmt.Errorf("hft: WithFailBackupAt(%d, ...) exceeds the replica set (%d backups)", i, o.backups)
 		}
 	}
+	if o.clientLoad != nil && (!o.haveWork || o.workload.Kind != guest.WorkloadServe) {
+		return nil, errors.New("hft: WithClientLoad requires the ServeRequests workload (the request count is derived from it)")
+	}
 	// Workload/device cross-validation, eagerly: a workload that drives
 	// a device the platform does not carry would wedge mid-run instead.
 	if o.haveWork {
@@ -76,6 +83,13 @@ func buildOptions(opts []Option) (*clusterOptions, error) {
 		case guest.WorkloadTermEcho:
 			if len(o.terminal) == 0 {
 				return nil, errors.New("hft: TerminalEcho needs scripted terminal input (add WithTerminal)")
+			}
+		case guest.WorkloadServe:
+			if o.clientLoad == nil {
+				return nil, errors.New("hft: ServeRequests needs a client population (add WithClientLoad) or the guest never halts")
+			}
+			if o.workload.Ops == 0 {
+				return nil, errors.New("hft: ServeRequests with zero requests")
 			}
 		}
 		if o.workload.Kind == guest.WorkloadTermEcho {
@@ -323,6 +337,64 @@ func WithTerminal(script ...TerminalInput) Option {
 	}
 }
 
+// ClientLoad parameterizes the simulated client population WithClientLoad
+// attaches: many logical connections multiplexed over one access link
+// into the cluster's NIC. Zero fields take defaults. The number of
+// requests is NOT a field — it is derived from the ServeRequests
+// workload's request count, so the population and the guest always
+// agree on when the service is done.
+type ClientLoad struct {
+	// Clients is the number of concurrent logical connections the
+	// requests are spread over, round-robin (default 64).
+	Clients int
+	// PayloadWords is the number of payload words per request frame
+	// (default 4).
+	PayloadWords int
+	// Start is the virtual time of the first request arrival (default
+	// 200 µs, past guest boot).
+	Start Duration
+	// MeanGap is the open-loop mean inter-arrival gap (default 50 µs).
+	// Arrivals follow a seeded schedule independent of reply timing: a
+	// failing-over server faces undiminished offered load.
+	MeanGap Duration
+	// Timeout is the client retransmission timeout (default 2 ms). A
+	// client that misses its reply retransmits the same request; the
+	// NIC's receiver-side dedup keeps duplicates out of the guest.
+	Timeout Duration
+}
+
+// WithNIC attaches the shared network adapter to every node without
+// client load — for custom Programs that drive the NIC themselves.
+// Implied by WithClientLoad.
+func WithNIC() Option {
+	return func(o *clusterOptions) error {
+		o.nic = true
+		return nil
+	}
+}
+
+// WithClientLoad drives a simulated client population into the
+// cluster's network service — the measurement half of the ServeRequests
+// workload. Requests arrive open-loop on their own simulated access
+// link, are served by the guest through the NIC, and replies are
+// timestamped at the client, so ServiceLatencies and ServiceBlackout
+// report what the service's USERS observe — including the failover
+// blackout, which retransmissions ride out but never hide. Requires
+// WithWorkload(ServeRequests(...)).
+func WithClientLoad(cl ClientLoad) Option {
+	return func(o *clusterOptions) error {
+		if cl.Clients < 0 || cl.PayloadWords < 0 {
+			return errors.New("hft: negative client-load population parameters")
+		}
+		if cl.Start < 0 || cl.MeanGap < 0 || cl.Timeout < 0 {
+			return errors.New("hft: negative client-load durations")
+		}
+		o.clientLoad = &cl
+		o.nic = true
+		return nil
+	}
+}
+
 // WithConfig seeds the options from a legacy one-shot Config plus
 // workload — the bridge the back-compat wrappers use. The Config is
 // validated with the same rules NewCluster applies.
@@ -356,6 +428,10 @@ func WithConfig(cfg Config, w Workload) Option {
 				}
 				o.failBackupAt[i+1] = at
 			}
+		}
+		o.nic, o.clientLoad = false, nil
+		if cfg.ClientLoad != nil {
+			return WithClientLoad(*cfg.ClientLoad)(o)
 		}
 		return nil
 	}
@@ -406,6 +482,23 @@ func (o *clusterOptions) terminalScript() []console.Input {
 		out = append(out, console.Input{At: sim.Time(ev.At), Data: []byte(ev.Data)})
 	}
 	return out
+}
+
+// clientLoadConfig materializes the client population configuration
+// (request count derived from the serve workload).
+func (o *clusterOptions) clientLoadConfig() *clientsim.Config {
+	if o.clientLoad == nil {
+		return nil
+	}
+	cl := o.clientLoad
+	return &clientsim.Config{
+		Clients:      cl.Clients,
+		Requests:     int(o.workload.Ops),
+		PayloadWords: cl.PayloadWords,
+		Start:        sim.Time(cl.Start),
+		MeanGap:      sim.Time(cl.MeanGap),
+		Timeout:      sim.Time(cl.Timeout),
+	}
 }
 
 // failBackupTimes flattens the failure schedule to the engine's

@@ -185,6 +185,16 @@ func (c *Cluster) putConfig(w *snapshot.Writer) {
 		w.I64(int64(ev.At))
 		w.String(ev.Data)
 	}
+	w.Bool(o.nic)
+	w.Bool(o.clientLoad != nil)
+	if o.clientLoad != nil {
+		cl := o.clientLoad
+		w.Int(cl.Clients)
+		w.Int(cl.PayloadWords)
+		w.I64(int64(cl.Start))
+		w.I64(int64(cl.MeanGap))
+		w.I64(int64(cl.Timeout))
+	}
 }
 
 // configFrom rebuilds resolved cluster options from a snapshot.
@@ -230,6 +240,16 @@ func configFrom(r *snapshot.Reader) *clusterOptions {
 		ev.At = Duration(r.I64())
 		ev.Data = r.String()
 		o.terminal = append(o.terminal, ev)
+	}
+	o.nic = r.Bool()
+	if r.Bool() {
+		var cl ClientLoad
+		cl.Clients = r.Int()
+		cl.PayloadWords = r.Int()
+		cl.Start = Duration(r.I64())
+		cl.MeanGap = Duration(r.I64())
+		cl.Timeout = Duration(r.I64())
+		o.clientLoad = &cl
 	}
 	return o
 }
