@@ -77,6 +77,7 @@ func newCluster(o *clusterOptions) *Cluster {
 		FailBackupAt:  o.failBackupTimes(),
 		Observer:      c.publish,
 		DiskEvents:    true,
+		SharedImage:   o.sharedImage,
 	})
 	return c
 }

@@ -4,7 +4,8 @@
 // Usage:
 //
 //	hftbench [-table1] [-fig2] [-fig3] [-fig4] [-ablation] [-all]
-//	         [-service] [-scale quick|paper] [-parallel N] [-json]
+//	         [-service] [-fleet N] [-fleet-seed S] [-cow on|off]
+//	         [-scale quick|paper] [-parallel N] [-json]
 //	         [-cpuprofile file] [-memprofile file]
 //
 // Each experiment prints the simulator's measured normalized
@@ -27,6 +28,19 @@
 // It is not part of -all, so the -all output stays byte-identical to
 // the pinned golden (testdata/hftbench_quick.golden.json).
 //
+// -fleet N stands up N replicated clusters at once — each with its own
+// seed, workload, link model and randomized fault schedule — on shared
+// copy-on-write guest images and the work-stealing scheduler, and
+// reports fleet aggregates: epoch-commit throughput, failover blackout
+// percentiles, total guest instructions per second, and allocation per
+// shard. The spec and aggregate lines are deterministic and pinned to
+// BENCH_fleet.json; the wall-clock lines measure the host. See
+// docs/FLEET.md.
+//
+// -cow on backs every experiment's guest RAM with the shared
+// content-interned base image (the fleet default); results are
+// bit-identical either way — CI proves it by comparing -all output.
+//
 // -cpuprofile / -memprofile write pprof profiles of the run (use
 // -parallel 1 for a profile of the serial critical path). Inspect with
 // `go tool pprof <file>`.
@@ -40,9 +54,12 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
+	"repro/internal/fleet"
 	"repro/internal/harness"
 	"repro/internal/machine"
+	"repro/internal/session"
 )
 
 // jsonPoint is a FigurePoint with NaN ("not measured") encoded as null.
@@ -74,11 +91,69 @@ type jsonOutput struct {
 	Table1   []harness.Table1Row      `json:"table1,omitempty"`
 	Ablation []harness.AblationResult `json:"ablation,omitempty"`
 	Service  []harness.ServiceRow     `json:"service,omitempty"`
+	Fleet    *jsonFleet               `json:"fleet,omitempty"`
+}
+
+// jsonFleet is the -fleet JSON block. Spec and Aggregate are
+// deterministic (bit-identical at any -parallel on any host); the
+// remaining fields measure this host and this run, each on its own
+// output line so comparison scripts can filter them by name alongside
+// "parallel".
+type jsonFleet struct {
+	Spec      fleet.Spec      `json:"spec"`
+	Aggregate fleet.Aggregate `json:"aggregate"`
+	// WallMS is the fleet's wall-clock time on this host.
+	WallMS float64 `json:"wall_ms"`
+	// InstrPerSec / CommitsPerSec divide the deterministic totals by
+	// the wall time: guest instructions and epoch commits retired per
+	// real second across the whole fleet.
+	InstrPerSec   float64 `json:"instr_per_sec"`
+	CommitsPerSec float64 `json:"commits_per_sec"`
+	// AllocPerShardBytes is heap allocation churn per shard — the
+	// COW-sharing figure of merit (a private guest RAM is 1 MiB+).
+	AllocPerShardBytes uint64 `json:"alloc_per_shard_bytes"`
 }
 
 type jsonFigure2 struct {
 	Points   []jsonPoint `json:"points"`
 	Endpoint jsonPoint   `json:"endpoint"`
+}
+
+// runFleet drives the fleet and wraps the deterministic Report with
+// this host's wall-clock and allocation measurements.
+func runFleet(spec fleet.Spec) *jsonFleet {
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	rep := fleet.Run(spec)
+	wall := time.Since(start)
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+
+	fl := &jsonFleet{
+		Spec:               rep.Spec,
+		Aggregate:          rep.Aggregate,
+		WallMS:             float64(wall.Microseconds()) / 1e3,
+		AllocPerShardBytes: (after.TotalAlloc - before.TotalAlloc) / uint64(spec.Shards),
+	}
+	if s := wall.Seconds(); s > 0 {
+		fl.InstrPerSec = float64(rep.Aggregate.Instructions) / s
+		fl.CommitsPerSec = float64(rep.Aggregate.Commits) / s
+	}
+	return fl
+}
+
+func printFleet(fl *jsonFleet) {
+	a := fl.Aggregate
+	fmt.Printf("Fleet: %d shards, seed %d\n", fl.Spec.Shards, fl.Spec.Seed)
+	fmt.Printf("  commits %d  guest instructions %d  virtual time %v\n",
+		a.Commits, a.Instructions, a.VirtualTime)
+	fmt.Printf("  failovers %d  blackout p50 %v  p99 %v  max %v\n",
+		a.Failovers, a.BlackoutP50, a.BlackoutP99, a.BlackoutMax)
+	fmt.Printf("  violations %d  digest %s\n", a.Violations, a.Digest)
+	fmt.Printf("  wall %.0fms  %.2gM instr/s  %.0f commits/s  %d B allocated/shard\n",
+		fl.WallMS, fl.InstrPerSec/1e6, fl.CommitsPerSec, fl.AllocPerShardBytes)
 }
 
 func main() { os.Exit(run()) }
@@ -94,7 +169,10 @@ func run() int {
 		fig4     = flag.Bool("fig4", false, "regenerate Figure 4 (faster communication)")
 		ablate   = flag.Bool("ablation", false, "run the §3.2 TLB-takeover ablation")
 		service  = flag.Bool("service", false, "run the replicated-network-service experiment (client latency + failover blackout)")
-		all      = flag.Bool("all", false, "regenerate everything in the paper's evaluation (does not include -service)")
+		fleetN   = flag.Int("fleet", 0, "stand up N replicated clusters on shared COW guest images and drive them to completion")
+		fleetSd  = flag.Int64("fleet-seed", 19951203, "fleet schedule seed (shard i runs chaos schedule ScheduleAt(seed, i))")
+		cowMd    = flag.String("cow", "off", "back every experiment's guest RAM with shared COW base images: on or off (results are bit-identical either way)")
+		all      = flag.Bool("all", false, "regenerate everything in the paper's evaluation (does not include -service or -fleet)")
 		scaleN   = flag.String("scale", "quick", "workload scale: quick or paper")
 		parallel = flag.Int("parallel", 1, "concurrent simulations per experiment (0 = all CPUs)")
 		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON instead of text")
@@ -122,11 +200,23 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "hftbench: unknown -trace mode %q (want on or off)\n", *traceMd)
 		return 2
 	}
-	harness.SetWorkers(*parallel)
+	switch *cowMd {
+	case "off":
+	case "on":
+		session.SetSharedImageDefault(true)
+	default:
+		fmt.Fprintf(os.Stderr, "hftbench: unknown -cow mode %q (want on or off)\n", *cowMd)
+		return 2
+	}
+	workers := *parallel
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	scale.Workers = workers
 	if *all {
 		*table1, *fig2, *fig3, *fig4, *ablate = true, true, true, true, true
 	}
-	if !*table1 && !*fig2 && !*fig3 && !*fig4 && !*ablate && !*service {
+	if !*table1 && !*fig2 && !*fig3 && !*fig4 && !*ablate && !*service && *fleetN <= 0 {
 		flag.Usage()
 		return 2
 	}
@@ -161,7 +251,7 @@ func run() int {
 		}()
 	}
 
-	out := jsonOutput{Scale: scale.Name, Parallel: harness.Workers()}
+	out := jsonOutput{Scale: scale.Name, Parallel: workers}
 
 	if *fig2 {
 		points, end := harness.Figure2(scale)
@@ -209,7 +299,7 @@ func run() int {
 		}
 	}
 	if *ablate {
-		rows := harness.TLBAblation()
+		rows := harness.TLBAblationWorkers(workers)
 		if *jsonOut {
 			out.Ablation = rows
 		} else {
@@ -222,6 +312,14 @@ func run() int {
 			out.Service = rows
 		} else {
 			fmt.Println(harness.FormatService(rows))
+		}
+	}
+	if *fleetN > 0 {
+		fl := runFleet(fleet.Spec{Shards: *fleetN, Seed: *fleetSd, Workers: workers})
+		if *jsonOut {
+			out.Fleet = fl
+		} else {
+			printFleet(fl)
 		}
 	}
 

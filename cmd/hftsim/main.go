@@ -45,7 +45,6 @@ import (
 
 	hft "repro" // the public facade lives at the module root
 	"repro/internal/chaos"
-	"repro/internal/harness"
 )
 
 func main() {
@@ -71,12 +70,16 @@ func main() {
 	flag.Parse()
 
 	if *campaign > 0 {
-		harness.SetWorkers(*parallel)
+		workers := *parallel
+		if workers < 1 {
+			workers = -1 // fleet scheduler: all cores
+		}
 		rep, err := chaos.RunCampaign(chaos.CampaignOptions{
-			Runs: *campaign,
-			Seed: *campaignSeed,
-			Dir:  *campaignDir,
-			Log:  os.Stdout,
+			Runs:    *campaign,
+			Seed:    *campaignSeed,
+			Dir:     *campaignDir,
+			Log:     os.Stdout,
+			Workers: workers,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "hftsim: campaign: %v\n", err)

@@ -30,6 +30,10 @@ type CampaignOptions struct {
 	// Log, when set, receives one-line progress (violations as found,
 	// shrink results).
 	Log io.Writer
+	// Workers is the fan-out width on the fleet work-stealing scheduler
+	// (internal/sched): < 0 selects all cores, 0 falls back to the
+	// deprecated process-global harness.SetWorkers value.
+	Workers int
 }
 
 // ViolationReport is one failing run, possibly with its shrunk
@@ -92,10 +96,10 @@ func RunCampaign(o CampaignOptions) (CampaignReport, error) {
 		}
 	}
 
-	// Execute the whole batch in parallel. Reports land in run-index
-	// slots, so everything downstream is deterministic.
+	// Execute the whole batch on the fleet scheduler. Reports land in
+	// run-index slots, so everything downstream is deterministic.
 	reports := make([]Report, o.Runs)
-	harness.ForEach(o.Runs, func(i int) {
+	harness.ForEachWorkers(o.Workers, o.Runs, func(i int) {
 		reports[i] = Execute(ScheduleAt(o.Seed, i))
 	})
 

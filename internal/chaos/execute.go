@@ -101,7 +101,24 @@ const maxVirtual = 30 * hft.Second
 // invariants. It never panics: simulation panics (divergence
 // tripwires) are converted to VPanic violations, which is exactly what
 // a campaign wants from a run that found a bug.
-func Execute(s Schedule) (rep Report) {
+func Execute(s Schedule) Report { return ExecuteOpts(s, ExecOptions{}) }
+
+// ExecOptions customizes one schedule execution beyond the schedule
+// itself. The zero value reproduces Execute exactly.
+type ExecOptions struct {
+	// SharedImage backs every replica's RAM with the content-interned
+	// copy-on-write base image (hft.WithSharedImage) — fleet runs
+	// share kernel pages across thousands of concurrent clusters.
+	// Results and violations are unaffected.
+	SharedImage bool
+	// Metrics, when non-nil, receives the run's aggregates when
+	// ExecuteOpts returns (for violating runs, whatever was collected
+	// up to the violation).
+	Metrics *Metrics
+}
+
+// ExecuteOpts is Execute with execution options (see ExecOptions).
+func ExecuteOpts(s Schedule, o ExecOptions) (rep Report) {
 	rep.Schedule = s
 	rep.AppliedAt = make([]Applied, len(s.Steps))
 
@@ -122,12 +139,29 @@ func Execute(s Schedule) (rep Report) {
 		return rep
 	}
 
-	c, err := hft.NewCluster(shape.ClusterOptions(s.Seed, s.Epoch, s.Protocol, s.LinkModel(), s.Backups)...)
+	// The metrics finalizer registers BEFORE the Close defer below, so
+	// it runs after Close: the event channel is closed, the collector's
+	// drain goroutine has seen the complete stream, and finish() only
+	// waits for it.
+	var col *evCollector
+	if o.Metrics != nil {
+		col = &evCollector{}
+		defer func() { col.finish(o.Metrics) }()
+	}
+
+	opts := shape.ClusterOptions(s.Seed, s.Epoch, s.Protocol, s.LinkModel(), s.Backups)
+	if o.SharedImage {
+		opts = append(opts, hft.WithSharedImage())
+	}
+	c, err := hft.NewCluster(opts...)
 	if err != nil {
 		rep.Violation = &Violation{Kind: VPanic, Detail: fmt.Sprintf("cluster construction: %v", err)}
 		return rep
 	}
 	defer func() { c.Close() }()
+	if col != nil {
+		col.attach(c)
+	}
 
 	for i, st := range s.Steps {
 		snap, err := advanceTo(c, st.At)
@@ -162,6 +196,9 @@ func Execute(s Schedule) (rep Report) {
 			}
 			c.Close()
 			c = restored
+			if col != nil {
+				col.rotate(c)
+			}
 		}
 		if err != nil {
 			// Perturbations racing completion lose gracefully
@@ -188,6 +225,11 @@ func Execute(s Schedule) (rep Report) {
 		return rep
 	}
 	rep.Time = res.Time
+	if o.Metrics != nil {
+		o.Metrics.Commits = snap.Commits
+		o.Metrics.Instructions = snap.GuestInstructions
+		o.Metrics.Time = res.Time
+	}
 
 	switch {
 	case res.GuestPanic != 0:

@@ -1,0 +1,100 @@
+package chaos
+
+import (
+	"sync"
+
+	hft "repro"
+)
+
+// Metrics are per-run aggregates a fleet collects from one executed
+// schedule. Every field is a virtual-time or guest-visible quantity,
+// so metrics are bit-identical across worker counts and hosts — they
+// feed fleet-wide aggregate goldens.
+type Metrics struct {
+	// Commits counts epochs committed by acting coordinators over the
+	// whole run (zero if the run violated an invariant before its
+	// final snapshot).
+	Commits uint64
+	// Instructions is the guest instructions retired on the acting
+	// node.
+	Instructions uint64
+	// Time is the workload completion time (zero if the run never
+	// completed).
+	Time hft.Duration
+	// Failovers counts backup promotions.
+	Failovers int
+	// Blackout is the longest acting-coordinator outage: from the last
+	// epoch commit before an acting-node failstop to the first commit
+	// after the takeover. A gap still open when the cluster closes
+	// (the service never recovered) is not counted — such runs report
+	// a progress violation instead.
+	Blackout hft.Duration
+}
+
+// evCollector folds a cluster's event stream into the order-sensitive
+// Metrics fields (failovers, blackout). One goroutine drains each
+// subscription; the collector's state has a single writer at any
+// moment because rotate waits for the previous drain to finish before
+// attaching to a restored cluster.
+type evCollector struct {
+	wg sync.WaitGroup
+
+	acting     int
+	lastCommit hft.Duration
+	gapOpen    bool
+	gapStart   hft.Duration
+	failovers  int
+	blackout   hft.Duration
+}
+
+// attach subscribes to a cluster's event stream and drains it until
+// the cluster is closed.
+func (col *evCollector) attach(c *hft.Cluster) {
+	ch := c.Events()
+	col.wg.Add(1)
+	go func() {
+		defer col.wg.Done()
+		for ev := range ch {
+			col.observe(ev)
+		}
+	}()
+}
+
+// rotate moves the collector to a restored cluster. The previous
+// cluster must already be closed: its drain goroutine finishes on the
+// closed channel, then the new subscription becomes the sole writer.
+// Carried-over state (acting node, last commit time) is exactly what a
+// restore preserves, so gap accounting continues seamlessly.
+func (col *evCollector) rotate(c *hft.Cluster) {
+	col.wg.Wait()
+	col.attach(c)
+}
+
+func (col *evCollector) observe(ev hft.Event) {
+	switch ev.Kind {
+	case hft.EventEpochCommitted:
+		if col.gapOpen {
+			if gap := ev.Time - col.gapStart; gap > col.blackout {
+				col.blackout = gap
+			}
+			col.gapOpen = false
+		}
+		col.lastCommit = ev.Time
+	case hft.EventPromoted:
+		col.acting = ev.Node
+		col.failovers++
+	case hft.EventFailstop:
+		if ev.Node == col.acting && !col.gapOpen {
+			col.gapOpen = true
+			col.gapStart = col.lastCommit
+		}
+	}
+}
+
+// finish waits for the last drain goroutine (the caller closes the
+// cluster first) and writes the event-derived fields into m.
+func (col *evCollector) finish(m *Metrics) {
+	col.wg.Wait()
+	m.Failovers = col.failovers
+	m.Blackout = col.blackout
+}

@@ -1,0 +1,76 @@
+package fleet
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// The fleet determinism contract: the same spec produces bit-identical
+// per-shard results and aggregates at any worker count, serial
+// included.
+func TestFleetDeterminism(t *testing.T) {
+	// An explicit width > 1 forces real work-stealing goroutines even
+	// on a single-core host (sched does not clamp to NumCPU).
+	spec := Spec{Shards: 8, Seed: 424242, Workers: 1}
+	serial := Run(spec)
+	spec.Workers = 4
+	parallel := Run(spec)
+
+	if !reflect.DeepEqual(serial.Shards, parallel.Shards) {
+		t.Fatalf("per-shard results differ between workers=1 and workers=%d", spec.Workers)
+	}
+	if !reflect.DeepEqual(serial.Aggregate, parallel.Aggregate) {
+		t.Fatalf("aggregates differ:\nserial:   %+v\nparallel: %+v", serial.Aggregate, parallel.Aggregate)
+	}
+	a, err := json.Marshal(serial.Aggregate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(parallel.Aggregate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("aggregate JSON differs:\n%s\n%s", a, b)
+	}
+	if serial.Aggregate.Commits == 0 {
+		t.Fatal("fleet committed zero epochs — shards did not actually run")
+	}
+}
+
+// COW differential at fleet scale: shards on the shared base image
+// must produce exactly the results of shards with private RAM.
+func TestFleetSharedMatchesPrivate(t *testing.T) {
+	shared := Run(Spec{Shards: 6, Seed: 7, Workers: 3})
+	private := Run(Spec{Shards: 6, Seed: 7, Workers: 3, PrivateRAM: true})
+
+	if !reflect.DeepEqual(shared.Shards, private.Shards) {
+		t.Fatalf("shared-image shard results differ from private-RAM control")
+	}
+	if shared.Aggregate.Digest != private.Aggregate.Digest {
+		t.Fatalf("aggregate digest differs: shared %s private %s",
+			shared.Aggregate.Digest, private.Aggregate.Digest)
+	}
+}
+
+// Violating shards must be reported, not dropped: a schedule set known
+// to be clean reports zero violations (the chaos campaign suite covers
+// the violating side).
+func TestFleetAggregateShape(t *testing.T) {
+	rep := Run(Spec{Shards: 4, Seed: 99, Workers: 2})
+	if rep.Aggregate.Shards != 4 || len(rep.Shards) != 4 {
+		t.Fatalf("aggregate covers %d shards, want 4", rep.Aggregate.Shards)
+	}
+	for i, r := range rep.Shards {
+		if r.Shard != i {
+			t.Fatalf("shard %d result landed in slot %d", r.Shard, i)
+		}
+		if r.Violation != "" {
+			t.Fatalf("shard %d violated: %s", i, r.Violation)
+		}
+	}
+	if rep.Aggregate.Failovers > 0 && rep.Aggregate.BlackoutMax == 0 {
+		t.Fatal("failovers recorded but no blackout percentile computed")
+	}
+}

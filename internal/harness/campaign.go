@@ -34,7 +34,7 @@ func FailureCampaign(scale Scale, kind uint32, el uint64, proto replication.Prot
 	w := scale.workload(kind)
 	bare := RunBare(1, w, scale.Disk)
 	out := make([]CampaignResult, len(times))
-	ForEach(len(times), func(i int) {
+	scale.forEach(len(times), func(i int) {
 		at := times[i]
 		r := CampaignResult{FailAt: at}
 		repl := RunReplicated(ReplicatedOptions{

@@ -43,7 +43,7 @@ func Table1(scale Scale) []Table1Row {
 	protos := []replication.Protocol{replication.ProtocolOld, replication.ProtocolNew}
 
 	bares := make([]RunResult, len(workloads))
-	ForEach(len(workloads), func(i int) {
+	scale.forEach(len(workloads), func(i int) {
 		bares[i] = RunBare(1, scale.workload(workloadKinds[workloads[i]]), scale.Disk)
 	})
 
@@ -57,7 +57,7 @@ func Table1(scale Scale) []Table1Row {
 		}
 	}
 	nps := make([]float64, len(cells))
-	ForEach(len(cells), func(i int) {
+	scale.forEach(len(cells), func(i int) {
 		c := cells[i]
 		w := scale.workload(workloadKinds[workloads[c.wl]])
 		repl := RunReplicated(ReplicatedOptions{
@@ -126,7 +126,7 @@ func Figure2(scale Scale) (points []FigurePoint, endpoint FigurePoint) {
 	bare := RunBare(1, w, scale.Disk)
 	grid := perfmodel.MeasuredGrid()
 	nps := make([]float64, len(grid))
-	ForEach(len(grid), func(i int) {
+	scale.forEach(len(grid), func(i int) {
 		nps[i], _ = measureAgainst(bare, scale, w, uint64(grid[i]), replication.ProtocolOld, netsim.LinkConfig{})
 	})
 	measured := map[float64]float64{}
@@ -156,11 +156,11 @@ func Figure3(scale Scale) (write, read []FigurePoint) {
 	grid := perfmodel.MeasuredGrid()
 	kinds := []uint32{guest.WorkloadDiskWrite, guest.WorkloadDiskRead}
 	bares := make([]RunResult, len(kinds))
-	ForEach(len(kinds), func(i int) {
+	scale.forEach(len(kinds), func(i int) {
 		bares[i] = RunBare(1, scale.workload(kinds[i]), scale.Disk)
 	})
 	nps := make([]float64, 2*len(grid))
-	ForEach(len(nps), func(i int) {
+	scale.forEach(len(nps), func(i int) {
 		k, gi := i/len(grid), i%len(grid)
 		nps[i], _ = measureAgainst(bares[k], scale, scale.workload(kinds[k]),
 			uint64(grid[gi]), replication.ProtocolOld, netsim.LinkConfig{})
@@ -198,7 +198,7 @@ func Figure4(scale Scale) (ethernet, atm []FigurePoint) {
 	grid := perfmodel.MeasuredGrid()
 	links := []netsim.LinkConfig{netsim.Ethernet10(""), netsim.ATM155("")}
 	nps := make([]float64, 2*len(grid))
-	ForEach(len(nps), func(i int) {
+	scale.forEach(len(nps), func(i int) {
 		l, gi := i/len(grid), i%len(grid)
 		nps[i], _ = measureAgainst(bare, scale, w, uint64(grid[gi]), replication.ProtocolOld, links[l])
 	})
@@ -279,8 +279,14 @@ type AblationResult struct {
 // TLBAblation runs the §3.2 demonstration matrix: the memory-stride
 // workload under {random, lru} TLB replacement × {takeover on, off}.
 // The hazard (divergence) must appear exactly in the random+off cell.
-// The four cells are independent replicated runs, fanned concurrently.
-func TLBAblation() []AblationResult {
+// The four cells are independent replicated runs, fanned concurrently
+// across the process-global worker count; TLBAblationWorkers takes the
+// count explicitly.
+func TLBAblation() []AblationResult { return TLBAblationWorkers(0) }
+
+// TLBAblationWorkers is TLBAblation with a per-call worker count
+// (0: the deprecated process-global SetWorkers value).
+func TLBAblationWorkers(workers int) []AblationResult {
 	type cfg struct {
 		policy   string
 		takeover bool
@@ -292,7 +298,7 @@ func TLBAblation() []AblationResult {
 		}
 	}
 	out := make([]AblationResult, len(cfgs))
-	ForEach(len(cfgs), func(i int) {
+	ForEachWorkers(workers, len(cfgs), func(i int) {
 		c := cfgs[i]
 		div := 0
 		res := RunReplicated(ReplicatedOptions{

@@ -39,7 +39,16 @@ type Scale struct {
 	// Disk provides the device service times (paper: 26 ms writes,
 	// 24.2 ms reads).
 	Disk scsi.DiskConfig
+	// Workers is the per-call worker count drivers fan this scale's
+	// independent simulations across (see ForEachWorkers). Zero falls
+	// back to the deprecated process-global SetWorkers value, keeping
+	// existing callers unchanged.
+	Workers int
 }
+
+// forEach fans a driver's independent simulations across this scale's
+// worker count.
+func (s Scale) forEach(n int, fn func(i int)) { ForEachWorkers(s.Workers, n, fn) }
 
 // QuickScale is small enough for unit tests and go-test benchmarks: the
 // device times, per-op computation, privileged density and block size

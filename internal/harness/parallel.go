@@ -1,10 +1,10 @@
 package harness
 
 import (
-	"fmt"
 	"runtime"
-	"sync"
 	"sync/atomic"
+
+	"repro/internal/sched"
 )
 
 // Every simulation the harness runs — one bare or replicated boot of the
@@ -21,6 +21,12 @@ func init() { workerCount.Store(1) }
 
 // SetWorkers sets how many simulations experiment drivers run
 // concurrently. n < 1 selects GOMAXPROCS. The default is 1 (serial).
+//
+// Deprecated: SetWorkers is process-global mutable state; two drivers
+// cannot run at different widths concurrently. Pass the worker count
+// per call instead — Scale.Workers for the experiment drivers, or
+// ForEachWorkers directly. SetWorkers remains as a shim: it sets the
+// fallback used when a per-call count is zero.
 func SetWorkers(n int) {
 	if n < 1 {
 		n = runtime.GOMAXPROCS(0)
@@ -28,49 +34,27 @@ func SetWorkers(n int) {
 	workerCount.Store(int64(n))
 }
 
-// Workers returns the configured concurrency.
+// Workers returns the configured fallback concurrency (see SetWorkers).
 func Workers() int { return int(workerCount.Load()) }
 
-// ForEach runs fn(i) for every i in [0, n), fanning across Workers()
-// goroutines. fn must communicate results through index-addressed slots;
-// ForEach imposes no output ordering of its own. A panic in any worker
-// (the harness's consistency checks panic) is re-raised on the caller.
-func ForEach(n int, fn func(i int)) {
-	w := Workers()
-	if w > n {
-		w = n
+// ForEachWorkers runs fn(i) for every i in [0, n) on an explicit
+// worker count, fanning through the fleet work-stealing scheduler
+// (internal/sched). fn must communicate results through
+// index-addressed slots, so the assembled output is bit-for-bit
+// identical at any worker count. workers == 0 falls back to the
+// deprecated process-global SetWorkers value; workers < 0 selects
+// GOMAXPROCS. A panic in any worker (the harness's consistency checks
+// panic) is re-raised on the caller.
+func ForEachWorkers(workers, n int, fn func(i int)) {
+	if workers == 0 {
+		workers = Workers()
 	}
-	if w <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var (
-		next     atomic.Int64
-		wg       sync.WaitGroup
-		panicked atomic.Value
-	)
-	for g := 0; g < w; g++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					panicked.CompareAndSwap(nil, fmt.Sprintf("%v", r))
-				}
-			}()
-			for panicked.Load() == nil {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				fn(i)
-			}
-		}()
-	}
-	wg.Wait()
-	if p := panicked.Load(); p != nil {
-		panic(fmt.Sprintf("harness: worker: %v", p))
-	}
+	sched.ForEach(workers, n, fn)
 }
+
+// ForEach runs fn(i) for every i in [0, n), fanning across Workers()
+// goroutines.
+//
+// Deprecated: ForEach reads the process-global worker count; use
+// ForEachWorkers.
+func ForEach(n int, fn func(i int)) { ForEachWorkers(0, n, fn) }

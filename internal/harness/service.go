@@ -118,7 +118,7 @@ func Service(scale Scale) []ServiceRow {
 		{"new/atm", replication.ProtocolNew, netsim.ATM155("")},
 	}
 	rows := make([]ServiceRow, len(cfgs))
-	ForEach(len(cfgs), func(i int) {
+	scale.forEach(len(cfgs), func(i int) {
 		c := cfgs[i]
 		r, row := runService(session.Options{
 			Seed:          1,

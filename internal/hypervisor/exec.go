@@ -265,7 +265,7 @@ func (hv *Hypervisor) walkGuestPT(va uint32) (uint32, bool) {
 	}
 	vpn := va >> isa.PageShift
 	pteAddr := ptbr + vpn*4
-	if pteAddr+4 > uint32(len(hv.M.Mem)) {
+	if pteAddr+4 > hv.M.MemSize() {
 		return 0, false
 	}
 	return hv.M.LoadPhys32(pteAddr), true

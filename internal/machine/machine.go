@@ -12,6 +12,7 @@
 package machine
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
@@ -65,12 +66,21 @@ type Config struct {
 	// a pure execution-speed layer); the switch exists for A/B
 	// measurement and differential testing. See also SetTraceDispatch.
 	NoTraces bool
+	// Image, when set, backs RAM with a shared immutable base image:
+	// pages are copy-on-write faulted on the first differing store (see
+	// cow.go). MemBytes must be zero or equal to Image.Size().
+	// Architected behaviour is identical to a private copy of the image.
+	Image *BaseImage
 }
 
 // withDefaults fills zero fields.
 func (c Config) withDefaults() Config {
 	if c.MemBytes == 0 {
-		c.MemBytes = 8 << 20
+		if c.Image != nil {
+			c.MemBytes = c.Image.Size()
+		} else {
+			c.MemBytes = 8 << 20
+		}
 	}
 	if c.MMIOBase == 0 {
 		c.MMIOBase = 0xF0000000
@@ -132,8 +142,21 @@ type Machine struct {
 	PSW  uint32
 	CRs  [isa.NumCRs]uint32
 
-	// Mem is physical RAM.
-	Mem []byte
+	// frames maps each physical page number to its backing frame. With
+	// private RAM every frame points into flat; over a base image
+	// (cfg.Image) frames start out pointing at the shared immutable
+	// image and are copied private on the first differing store
+	// (copy-on-write, see cow.go).
+	frames []*ramPage
+	// owned marks, one bit per page, frames private to this machine and
+	// therefore writable in place.
+	owned []uint64
+	// flat is the private contiguous RAM buffer (nil over a base image).
+	flat []byte
+	// img is the shared base image (nil for private RAM).
+	img *BaseImage
+	// memSize is the physical RAM size in bytes.
+	memSize uint32
 
 	// TLB is the translation buffer (software managed).
 	TLB *TLB
@@ -216,16 +239,41 @@ func New(cfg Config) *Machine {
 	default:
 		panic(fmt.Sprintf("machine: unknown TLB policy %q", cfg.TLBPolicy))
 	}
+	npages := int((cfg.MemBytes + isa.PageSize - 1) >> isa.PageShift)
 	m := &Machine{
 		cfg:     cfg,
-		Mem:     grabMem(int(cfg.MemBytes)),
 		TLB:     NewTLB(cfg.TLBSize, pol),
-		pages:   grabPages(int((cfg.MemBytes + isa.PageSize - 1) >> isa.PageShift)),
+		pages:   grabPages(npages),
+		memSize: cfg.MemBytes,
 		traceOn: !cfg.NoTraces && !traceDispatchOff.Load(),
+	}
+	m.frames = grabFrames(npages)
+	m.owned = grabOwned((npages + 63) / 64)
+	if cfg.Image != nil {
+		if cfg.Image.Size() != cfg.MemBytes {
+			panic(fmt.Sprintf("machine: base image is %d bytes, config wants %d", cfg.Image.Size(), cfg.MemBytes))
+		}
+		// COW RAM: all frames shared, no ownership bits set.
+		m.img = cfg.Image
+		for i := range m.frames {
+			m.frames[i] = &cfg.Image.frames[i].data
+		}
+	} else {
+		// Private RAM: one flat buffer, every page owned up front.
+		m.flat = grabMem(npages << isa.PageShift)
+		for i := range m.frames {
+			m.frames[i] = (*ramPage)(m.flat[i<<isa.PageShift:])
+		}
+		for i := range m.owned {
+			m.owned[i] = ^uint64(0)
+		}
 	}
 	m.CRs[isa.CRCPUID] = cfg.CPUID
 	return m
 }
+
+// MemSize returns the physical RAM size in bytes.
+func (m *Machine) MemSize() uint32 { return m.memSize }
 
 // traceDispatchOff is the package-wide default for superblock trace
 // dispatch (zero value: traces on).
@@ -356,17 +404,30 @@ func (m *Machine) loadPhys(pa uint32, size int) (uint32, isa.Trap) {
 		}
 		return v, isa.TrapNone
 	}
-	if pa+uint32(size) > uint32(len(m.Mem)) || pa+uint32(size) < pa {
+	if pa+uint32(size) > m.memSize || pa+uint32(size) < pa {
 		return 0, isa.TrapMachine
 	}
-	switch size {
-	case 4:
-		return binary.LittleEndian.Uint32(m.Mem[pa:]), isa.TrapNone
-	case 2:
-		return uint32(binary.LittleEndian.Uint16(m.Mem[pa:])), isa.TrapNone
-	default:
-		return uint32(m.Mem[pa]), isa.TrapNone
+	fr := m.frames[pa>>isa.PageShift]
+	off := pa & isa.PageMask
+	if off+uint32(size) <= isa.PageSize {
+		switch size {
+		case 4:
+			return binary.LittleEndian.Uint32(fr[off:]), isa.TrapNone
+		case 2:
+			return uint32(binary.LittleEndian.Uint16(fr[off:])), isa.TrapNone
+		default:
+			return uint32(fr[off]), isa.TrapNone
+		}
 	}
+	// The access crosses a page boundary (unaligned physical access from
+	// a loader or test path; guest accesses are alignment-checked first):
+	// assemble byte-wise across frames.
+	var v uint32
+	for i := 0; i < size; i++ {
+		a := pa + uint32(i)
+		v |= uint32(m.frames[a>>isa.PageShift][a&isa.PageMask]) << (8 * i)
+	}
+	return v, isa.TrapNone
 }
 
 // storePhys writes size bytes little-endian to physical memory or MMIO.
@@ -383,19 +444,71 @@ func (m *Machine) storePhys(pa uint32, size int, v uint32) isa.Trap {
 		}
 		return isa.TrapNone
 	}
-	if pa+uint32(size) > uint32(len(m.Mem)) || pa+uint32(size) < pa {
+	if pa+uint32(size) > m.memSize || pa+uint32(size) < pa {
 		return isa.TrapMachine
 	}
+	idx := pa >> isa.PageShift
+	off := pa & isa.PageMask
+	if off+uint32(size) <= isa.PageSize {
+		fr := m.frames[idx]
+		if !m.ownedPage(idx) {
+			// COW: a store that rewrites the bytes already present leaves
+			// page contents — the only machine state RAM-derived caches
+			// and digests depend on — unchanged, so it is a no-op and the
+			// page stays shared. This is what lets a loader replay the
+			// base image over shared frames without faulting anything.
+			if equalInFrame(fr, off, size, v) {
+				return isa.TrapNone
+			}
+			fr = m.faultPage(idx)
+		}
+		m.invalidateStore(pa, size)
+		switch size {
+		case 4:
+			binary.LittleEndian.PutUint32(fr[off:], v)
+		case 2:
+			binary.LittleEndian.PutUint16(fr[off:], uint16(v))
+		default:
+			fr[off] = byte(v)
+		}
+		return isa.TrapNone
+	}
+	// The store crosses a page boundary (unaligned physical store from a
+	// loader or test path).
+	if !m.ownedPage(idx) || !m.ownedPage(idx+1) {
+		same := true
+		for i := 0; i < size; i++ {
+			a := pa + uint32(i)
+			if m.frames[a>>isa.PageShift][a&isa.PageMask] != byte(v>>(8*i)) {
+				same = false
+				break
+			}
+		}
+		if same {
+			return isa.TrapNone
+		}
+		m.faultPage(idx)
+		m.faultPage(idx + 1)
+	}
 	m.invalidateStore(pa, size)
-	switch size {
-	case 4:
-		binary.LittleEndian.PutUint32(m.Mem[pa:], v)
-	case 2:
-		binary.LittleEndian.PutUint16(m.Mem[pa:], uint16(v))
-	default:
-		m.Mem[pa] = byte(v)
+	for i := 0; i < size; i++ {
+		a := pa + uint32(i)
+		m.frames[a>>isa.PageShift][a&isa.PageMask] = byte(v >> (8 * i))
 	}
 	return isa.TrapNone
+}
+
+// equalInFrame reports whether a little-endian store of v (size bytes)
+// at frame offset off would leave the frame unchanged.
+func equalInFrame(fr *ramPage, off uint32, size int, v uint32) bool {
+	switch size {
+	case 4:
+		return binary.LittleEndian.Uint32(fr[off:]) == v
+	case 2:
+		return binary.LittleEndian.Uint16(fr[off:]) == uint16(v)
+	default:
+		return fr[off] == byte(v)
+	}
 }
 
 // LoadPhys32 reads a word from physical RAM (no MMIO), for loaders, DMA
@@ -416,16 +529,56 @@ func (m *Machine) StorePhys32(pa uint32, v uint32) {
 }
 
 // ReadBytes copies n bytes of physical RAM starting at pa (for DMA).
+// Panics on out-of-range addresses.
 func (m *Machine) ReadBytes(pa uint32, n int) []byte {
+	if int64(pa)+int64(n) > int64(m.memSize) {
+		panic(fmt.Sprintf("machine: ReadBytes(%#x, %d): out of range", pa, n))
+	}
 	out := make([]byte, n)
-	copy(out, m.Mem[pa:int(pa)+n])
+	dst := out
+	for len(dst) > 0 {
+		c := copy(dst, m.frames[pa>>isa.PageShift][pa&isa.PageMask:])
+		dst = dst[c:]
+		pa += uint32(c)
+	}
 	return out
 }
 
-// WriteBytes copies data into physical RAM at pa (for DMA and loading).
+// WriteBytes copies data into physical RAM at pa (for DMA and loading),
+// page-wise. Owned pages take the pre-COW path (invalidate the page's
+// decoded image, copy); shared pages whose covered bytes already equal
+// the data stay shared and untouched, and are otherwise COW-faulted
+// first.
 func (m *Machine) WriteBytes(pa uint32, data []byte) {
-	m.invalidateRange(pa, len(data))
-	copy(m.Mem[pa:int(pa)+len(data)], data)
+	if int64(pa)+int64(len(data)) > int64(m.memSize) {
+		panic(fmt.Sprintf("machine: WriteBytes(%#x, %d): out of range", pa, len(data)))
+	}
+	for len(data) > 0 {
+		idx := pa >> isa.PageShift
+		off := pa & isa.PageMask
+		c := int(isa.PageSize - off)
+		if c > len(data) {
+			c = len(data)
+		}
+		fr := m.frames[idx]
+		if !m.ownedPage(idx) {
+			if bytes.Equal(fr[off:int(off)+c], data[:c]) {
+				pa += uint32(c)
+				data = data[c:]
+				continue
+			}
+			fr = m.faultPage(idx)
+		}
+		// Whole-page invalidation, as invalidateRange did for every
+		// covered page.
+		if pg := m.pages[idx]; pg != nil {
+			pg.valid = [instsPerPage / 64]uint64{}
+			pg.dropTraces()
+		}
+		copy(fr[off:], data[:c])
+		pa += uint32(c)
+		data = data[c:]
+	}
 }
 
 // LoadProgram writes an assembled image into RAM at its origin and sets
@@ -464,6 +617,13 @@ func (m *Machine) Digest() uint64 {
 // used by integration tests at epoch boundaries.
 func (m *Machine) DigestMemory() uint64 {
 	h := fnv.New64a()
-	h.Write(m.Mem)
+	for i, fr := range m.frames {
+		base := uint32(i) << isa.PageShift
+		n := m.memSize - base
+		if n > isa.PageSize {
+			n = isa.PageSize
+		}
+		h.Write(fr[:n])
+	}
 	return h.Sum64() ^ m.Digest()
 }

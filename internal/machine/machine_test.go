@@ -711,7 +711,7 @@ func TestDigestDeterministicAndSensitive(t *testing.T) {
 	}
 	c := mk()
 	run(t, c, 10)
-	c.Mem[0x100] = 1
+	c.WriteBytes(0x100, []byte{1})
 	if a.DigestMemory() == c.DigestMemory() {
 		t.Error("memory digest insensitive to memory change")
 	}

@@ -58,12 +58,20 @@ type decodedPage struct {
 }
 
 // execPage returns (allocating on first use) the decoded image of the
-// plain-RAM page starting at physical address base.
+// plain-RAM page starting at physical address base. A page still
+// backed by the shared base image is seeded from the image's shared
+// decode — identical kernel pages decode once fleet-wide — instead of
+// filling slot by slot; once the page COW-faults, ordinary store
+// invalidation and lazy fill keep the (now private) decoded image
+// coherent exactly as for private RAM.
 func (m *Machine) execPage(base uint32) *decodedPage {
 	idx := base >> isa.PageShift
 	pg := m.pages[idx]
 	if pg == nil {
 		pg = grabPage()
+		if m.img != nil && !m.ownedPage(idx) {
+			m.img.frames[idx].decoded().copyInto(pg)
+		}
 		m.pages[idx] = pg
 	}
 	return pg
@@ -74,7 +82,7 @@ func (m *Machine) execPage(base uint32) *decodedPage {
 // instruction); illegal words are not cached — they trap out of the
 // fast loop anyway.
 func (m *Machine) fill(pg *decodedPage, base, slot uint32) (isa.Inst, uint32, bool) {
-	w := binary.LittleEndian.Uint32(m.Mem[base+slot*4:])
+	w := binary.LittleEndian.Uint32(m.frames[base>>isa.PageShift][slot*4:])
 	in, ok := m.decode(w)
 	if !ok {
 		return isa.Inst{}, w, false

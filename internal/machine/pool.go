@@ -14,10 +14,13 @@ import "sync"
 // package-global and safe for concurrent sessions (hftbench -parallel).
 
 var (
-	memPool   sync.Pool // *[]byte: guest RAM buffers
-	pagesPool sync.Pool // *[]*decodedPage: per-machine page tables
-	pagePool  sync.Pool // *decodedPage: decoded-page images
-	tracePool sync.Pool // *trace: superblock records (see trace.go)
+	memPool    sync.Pool // *[]byte: private guest RAM buffers
+	pagesPool  sync.Pool // *[]*decodedPage: per-machine page tables
+	pagePool   sync.Pool // *decodedPage: decoded-page images
+	tracePool  sync.Pool // *trace: superblock records (see trace.go)
+	framesPool sync.Pool // *[]*ramPage: per-machine frame tables
+	ownedPool  sync.Pool // *[]uint64: per-machine ownership bitmaps
+	framePool  sync.Pool // *ramPage: COW-faulted private frames
 )
 
 // grabTrace returns an empty trace record, reusing a recycled one's ops
@@ -46,6 +49,35 @@ func grabMem(n int) []byte {
 		return s
 	}
 	return make([]byte, n)
+}
+
+// grabFrames returns a nil-filled frame table with n entries.
+func grabFrames(n int) []*ramPage {
+	if p, _ := framesPool.Get().(*[]*ramPage); p != nil && cap(*p) >= n {
+		s := (*p)[:n]
+		clear(s)
+		return s
+	}
+	return make([]*ramPage, n)
+}
+
+// grabOwned returns a zeroed ownership bitmap with n words.
+func grabOwned(n int) []uint64 {
+	if p, _ := ownedPool.Get().(*[]uint64); p != nil && cap(*p) >= n {
+		s := (*p)[:n]
+		clear(s)
+		return s
+	}
+	return make([]uint64, n)
+}
+
+// grabFrame returns a frame for a COW fault. No zeroing: the fault
+// copies the full source frame over it.
+func grabFrame() *ramPage {
+	if fr, _ := framePool.Get().(*ramPage); fr != nil {
+		return fr
+	}
+	return new(ramPage)
 }
 
 // grabPages returns a nil-filled page table with n entries.
@@ -82,10 +114,29 @@ func grabPage() *decodedPage {
 // teardown) call it so the next session's machines build from recycled
 // buffers instead of cold allocations.
 func (m *Machine) Release() {
-	if m.Mem != nil {
-		mem := m.Mem
-		m.Mem = nil
-		memPool.Put(&mem)
+	if m.flat != nil {
+		flat := m.flat
+		m.flat = nil
+		memPool.Put(&flat)
+	} else if m.img != nil && m.frames != nil {
+		// COW machine: recycle only the frames faulted private; shared
+		// frames belong to the (immutable, interned) base image.
+		for i, fr := range m.frames {
+			if m.ownedPage(uint32(i)) {
+				framePool.Put(fr)
+			}
+		}
+	}
+	m.img = nil
+	if m.frames != nil {
+		frames := m.frames
+		m.frames = nil
+		framesPool.Put(&frames)
+	}
+	if m.owned != nil {
+		owned := m.owned
+		m.owned = nil
+		ownedPool.Put(&owned)
 	}
 	if m.pages != nil {
 		pages := m.pages

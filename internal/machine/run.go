@@ -248,7 +248,7 @@ outer:
 // instruction fetches from it need no per-access checks.
 func (m *Machine) plainRAMPage(base uint32) bool {
 	end := base + isa.PageSize
-	if end < base || end > uint32(len(m.Mem)) {
+	if end < base || end > m.memSize {
 		return false
 	}
 	return base >= m.cfg.MMIOBase+m.cfg.MMIOSize || end <= m.cfg.MMIOBase

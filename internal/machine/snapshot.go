@@ -20,6 +20,7 @@ package machine
 // machine that previously executed different code is safe.
 
 import (
+	"bytes"
 	"fmt"
 
 	"repro/internal/isa"
@@ -82,9 +83,19 @@ func (m *Machine) CaptureState() State {
 		Halted:   m.halted,
 		Cycles:   m.cycles,
 		Stats:    m.Stats,
-		Mem:      make([]byte, len(m.Mem)),
+		Mem:      make([]byte, m.memSize),
 	}
-	copy(s.Mem, m.Mem)
+	// Materialize RAM page-wise: COW-shared frames copy out the same
+	// bytes a private machine would hold, so a capture is identical
+	// regardless of backing.
+	for i, fr := range m.frames {
+		base := uint32(i) << isa.PageShift
+		n := m.memSize - base
+		if n > isa.PageSize {
+			n = isa.PageSize
+		}
+		copy(s.Mem[base:], fr[:n])
+	}
 	s.TLB = m.TLB.captureState()
 	return s
 }
@@ -96,11 +107,11 @@ func (m *Machine) CaptureState() State {
 // identity belongs to the chip, not the transferred virtual-machine
 // state (the hypervisor virtualizes CPUID anyway).
 func (m *Machine) RestoreState(s State) error {
-	if int(s.MemBytes) != len(m.Mem) {
-		return fmt.Errorf("machine: restore: RAM size %d into machine with %d", s.MemBytes, len(m.Mem))
+	if s.MemBytes != m.memSize {
+		return fmt.Errorf("machine: restore: RAM size %d into machine with %d", s.MemBytes, m.memSize)
 	}
-	if len(s.Mem) != len(m.Mem) {
-		return fmt.Errorf("machine: restore: image has %d RAM bytes, want %d", len(s.Mem), len(m.Mem))
+	if len(s.Mem) != int(m.memSize) {
+		return fmt.Errorf("machine: restore: image has %d RAM bytes, want %d", len(s.Mem), m.memSize)
 	}
 	if err := m.TLB.checkRestorable(s.TLB); err != nil {
 		return err
@@ -113,7 +124,32 @@ func (m *Machine) RestoreState(s State) error {
 	m.halted = s.Halted
 	m.cycles = s.Cycles
 	m.Stats = s.Stats
-	copy(m.Mem, s.Mem)
+	// Restore RAM page-wise. Over a base image, pages whose restored
+	// contents equal the shared frame stay (or become again) shared —
+	// restoring a capture of a lightly diverged machine re-deduplicates
+	// it — and only differing pages hold (or fault) a private frame.
+	for i := range m.frames {
+		idx := uint32(i)
+		base := idx << isa.PageShift
+		n := m.memSize - base
+		if n > isa.PageSize {
+			n = isa.PageSize
+		}
+		src := s.Mem[base : base+n]
+		if m.img != nil {
+			shared := &m.img.frames[i].data
+			if bytes.Equal(src, shared[:n]) {
+				if m.ownedPage(idx) {
+					framePool.Put(m.frames[i])
+					m.frames[i] = shared
+					m.owned[idx>>6] &^= 1 << (idx & 63)
+				}
+				continue
+			}
+			m.faultPage(idx)
+		}
+		copy(m.frames[i][:n], src)
+	}
 	// The decoded-page cache is derived from RAM: drop it wholesale so
 	// stale images of the previous contents cannot be dispatched.
 	for i := range m.pages {

@@ -40,13 +40,14 @@ func (m *Machine) runTraces(pg *decodedPage, base, pageVA uint32, fetchSlot int,
 		// compiler keeps hot registers in machine registers across
 		// stores — the dominant win of the lowered dispatch.
 		regs   = m.Regs
-		mem    = m.Mem
+		frames = m.frames
+		owned  = m.owned
 		tlb    = m.TLB
 		virt   = m.PSW&isa.PSWV != 0
 		gen0   = pg.gen
 		mmioB  = m.cfg.MMIOBase
 		mmioS  = m.cfg.MMIOSize
-		memTop = uint32(len(m.Mem))
+		memTop = m.memSize
 
 		entryVA = pageVA | slot<<2
 
@@ -206,7 +207,8 @@ body:
 			var v uint32
 			slow := pa-mmioB < mmioS || pa > memTop-4
 			if !slow {
-				v = binary.LittleEndian.Uint32(mem[pa:])
+				// Aligned: the word cannot cross its frame.
+				v = binary.LittleEndian.Uint32(frames[pa>>isa.PageShift][pa&isa.PageMask:])
 			} else {
 				lv, ltr := m.loadPhys(pa, 4)
 				if ltr != isa.TrapNone {
@@ -274,7 +276,7 @@ body:
 			var v uint32
 			slow := pa-mmioB < mmioS || pa > memTop-2
 			if !slow {
-				v = uint32(binary.LittleEndian.Uint16(mem[pa:]))
+				v = uint32(binary.LittleEndian.Uint16(frames[pa>>isa.PageShift][pa&isa.PageMask:]))
 			} else {
 				lv, ltr := m.loadPhys(pa, 2)
 				if ltr != isa.TrapNone {
@@ -338,7 +340,7 @@ body:
 			var v uint32
 			slow := pa-mmioB < mmioS || pa > memTop-1
 			if !slow {
-				v = uint32(mem[pa])
+				v = uint32(frames[pa>>isa.PageShift][pa&isa.PageMask])
 			} else {
 				lv, ltr := m.loadPhys(pa, 1)
 				if ltr != isa.TrapNone {
@@ -404,9 +406,11 @@ body:
 				}
 				pa = dPPN<<isa.PageShift | va&isa.PageMask
 			}
-			if pa-mmioB >= mmioS && pa <= memTop-4 {
+			if pa-mmioB >= mmioS && pa <= memTop-4 && owned[pa>>(isa.PageShift+6)]&(1<<((pa>>isa.PageShift)&63)) != 0 {
 				// Inline invalidateWord: the aligned word store covers
-				// exactly one decoded slot.
+				// exactly one decoded slot. Unowned (COW-shared) pages
+				// take the storePhys branch below, which either skips an
+				// equal store or faults the page private.
 				if dp := m.pages[pa>>isa.PageShift]; dp != nil {
 					s := (pa & isa.PageMask) >> 2
 					b := uint64(1) << (s & 63)
@@ -420,7 +424,7 @@ body:
 						dp.traceAt[s] = 0
 					}
 				}
-				binary.LittleEndian.PutUint32(mem[pa:], regs[op.rd])
+				binary.LittleEndian.PutUint32(frames[pa>>isa.PageShift][pa&isa.PageMask:], regs[op.rd])
 				if pg.gen != gen0 {
 					goto stResync
 				}
@@ -483,7 +487,7 @@ body:
 				}
 				pa = dPPN<<isa.PageShift | va&isa.PageMask
 			}
-			if pa-mmioB >= mmioS && pa <= memTop-2 {
+			if pa-mmioB >= mmioS && pa <= memTop-2 && owned[pa>>(isa.PageShift+6)]&(1<<((pa>>isa.PageShift)&63)) != 0 {
 				if dp := m.pages[pa>>isa.PageShift]; dp != nil {
 					s := (pa & isa.PageMask) >> 2
 					b := uint64(1) << (s & 63)
@@ -497,7 +501,7 @@ body:
 						dp.traceAt[s] = 0
 					}
 				}
-				binary.LittleEndian.PutUint16(mem[pa:], uint16(regs[op.rd]))
+				binary.LittleEndian.PutUint16(frames[pa>>isa.PageShift][pa&isa.PageMask:], uint16(regs[op.rd]))
 				if pg.gen != gen0 {
 					goto stResync
 				}
@@ -556,7 +560,7 @@ body:
 				}
 				pa = dPPN<<isa.PageShift | va&isa.PageMask
 			}
-			if pa-mmioB >= mmioS && pa <= memTop-1 {
+			if pa-mmioB >= mmioS && pa <= memTop-1 && owned[pa>>(isa.PageShift+6)]&(1<<((pa>>isa.PageShift)&63)) != 0 {
 				if dp := m.pages[pa>>isa.PageShift]; dp != nil {
 					s := (pa & isa.PageMask) >> 2
 					b := uint64(1) << (s & 63)
@@ -570,7 +574,7 @@ body:
 						dp.traceAt[s] = 0
 					}
 				}
-				mem[pa] = byte(regs[op.rd])
+				frames[pa>>isa.PageShift][pa&isa.PageMask] = byte(regs[op.rd])
 				if pg.gen != gen0 {
 					goto stResync
 				}

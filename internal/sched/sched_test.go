@@ -1,0 +1,94 @@
+package sched
+
+import (
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Every index must run exactly once, at any worker count, including
+// counts above, below and equal to n.
+func TestForEachExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7, 16, 100} {
+		for _, n := range []int{0, 1, 2, 5, 64, 1000} {
+			counts := make([]int32, n)
+			ForEach(workers, n, func(i int) {
+				atomic.AddInt32(&counts[i], 1)
+			})
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+// Wildly uneven per-index cost must still complete every index (the
+// stealing path): one expensive index at the front of each range.
+func TestForEachUnevenCost(t *testing.T) {
+	const n = 200
+	var total atomic.Int64
+	ForEach(4, n, func(i int) {
+		if i%50 == 0 {
+			time.Sleep(5 * time.Millisecond)
+		}
+		total.Add(int64(i) + 1)
+	})
+	if want := int64(n * (n + 1) / 2); total.Load() != want {
+		t.Fatalf("sum = %d, want %d", total.Load(), want)
+	}
+}
+
+// A panic in fn propagates to the caller and stops the fan-out.
+func TestForEachPanic(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic did not propagate")
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, "boom") {
+			t.Fatalf("panic value %v does not carry the original", r)
+		}
+	}()
+	ForEach(4, 100, func(i int) {
+		if i == 10 {
+			panic("boom")
+		}
+	})
+}
+
+// Slot-ordered output is identical at any worker count (the
+// determinism contract fleet runs rely on).
+func TestForEachDeterministicSlots(t *testing.T) {
+	const n = 500
+	run := func(workers int) []uint64 {
+		out := make([]uint64, n)
+		ForEach(workers, n, func(i int) {
+			v := uint64(i)
+			for k := 0; k < 100; k++ {
+				v = v*6364136223846793005 + 1442695040888963407
+			}
+			out[i] = v
+		})
+		return out
+	}
+	serial := run(1)
+	parallel := run(runtime.GOMAXPROCS(0))
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("slot %d differs between worker counts", i)
+		}
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if Workers(3) != 3 {
+		t.Fatal("explicit worker count not respected")
+	}
+	if Workers(0) != runtime.GOMAXPROCS(0) || Workers(-1) != runtime.GOMAXPROCS(0) {
+		t.Fatal("n < 1 must resolve to all cores")
+	}
+}

@@ -17,8 +17,10 @@
 package session
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/clientsim"
 	"repro/internal/console"
@@ -68,6 +70,40 @@ func sizeMachine(mc machine.Config) machine.Config {
 	if mc.MemBytes == 0 {
 		mc.MemBytes = GuestMemBytes
 	}
+	return mc
+}
+
+// sharedImageDefault is the package-wide default for COW-shared guest
+// images (see SetSharedImageDefault).
+var sharedImageDefault atomic.Bool
+
+// SetSharedImageDefault sets the package-wide default for backing
+// guest RAM with content-interned copy-on-write base images. Sessions
+// built with Options.SharedImage unset follow the default; it exists
+// so batch drivers (hftbench -cow) can flip whole runs without
+// threading an option through every call site.
+func SetSharedImageDefault(on bool) { sharedImageDefault.Store(on) }
+
+// shareImage attaches a content-interned COW base image, built from
+// the program's boot image, to a machine config. Every machine built
+// from the returned config maps the same immutable frames — as does
+// every other session booting the same program at the same RAM size,
+// fleet-wide, through the intern table. Boot-time stores of bytes the
+// image already holds are COW no-ops, so kernel text stays shared; a
+// replica privatizes only the pages it actually dirties.
+func (e *Engine) shareImage(mc machine.Config) machine.Config {
+	if !e.o.SharedImage && !sharedImageDefault.Load() {
+		return mc
+	}
+	origin, words, _ := e.prog.Image()
+	if uint64(origin)+4*uint64(len(words)) > uint64(mc.MemBytes) {
+		return mc // image exceeds RAM; boot will report it as ever
+	}
+	flat := make([]byte, mc.MemBytes)
+	for i, w := range words {
+		binary.LittleEndian.PutUint32(flat[int(origin)+4*i:], w)
+	}
+	mc.Image = machine.InternImage(flat)
 	return mc
 }
 
@@ -191,6 +227,11 @@ type Options struct {
 
 	Machine       machine.Config
 	NoTLBTakeover bool
+	// SharedImage backs every machine's RAM with a content-interned
+	// copy-on-write base image built from the Program's boot image
+	// (identical sharing across sessions; see machine.BaseImage).
+	// When unset, the package default applies (SetSharedImageDefault).
+	SharedImage bool
 
 	// OnDivergence, when set, observes backup digest mismatches instead
 	// of panicking.
@@ -383,7 +424,7 @@ func (e *Engine) Boot() {
 		Terminal:   o.Terminal,
 		NIC:        o.NIC || o.ClientLoad != nil,
 		Link:       o.Link,
-		Machine:    sizeMachine(o.Machine),
+		Machine:    e.shareImage(sizeMachine(o.Machine)),
 		Hypervisor: hypervisor.Config{
 			EpochLength:   o.EpochLength,
 			NoTLBTakeover: o.NoTLBTakeover,
@@ -454,7 +495,7 @@ func (e *Engine) bootBare() {
 		ExtraDisks: e.o.ExtraDisks,
 		Terminal:   e.o.Terminal,
 		NIC:        e.o.NIC || e.o.ClientLoad != nil,
-		Machine:    sizeMachine(e.o.Machine),
+		Machine:    e.shareImage(sizeMachine(e.o.Machine)),
 	})
 	e.single = s
 	e.nic = s.NIC

@@ -40,6 +40,8 @@ type clusterOptions struct {
 
 	nic        bool
 	clientLoad *ClientLoad
+
+	sharedImage bool
 }
 
 // buildOptions applies opts over the defaults and cross-validates.
@@ -369,6 +371,21 @@ type ClientLoad struct {
 func WithNIC() Option {
 	return func(o *clusterOptions) error {
 		o.nic = true
+		return nil
+	}
+}
+
+// WithSharedImage backs every replica's guest RAM with a
+// content-interned, copy-on-write base image built from the guest boot
+// image. All machines in the cluster — and across every cluster that
+// boots the same program at the same RAM size, fleet-wide — map the
+// same immutable frames; a replica privatizes a page only on its first
+// differing store. Timing, results and memory digests are unchanged:
+// sharing is a memory-footprint optimization for running thousands of
+// clusters in one process (see internal/fleet).
+func WithSharedImage() Option {
+	return func(o *clusterOptions) error {
+		o.sharedImage = true
 		return nil
 	}
 }

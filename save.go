@@ -195,6 +195,7 @@ func (c *Cluster) putConfig(w *snapshot.Writer) {
 		w.I64(int64(cl.MeanGap))
 		w.I64(int64(cl.Timeout))
 	}
+	w.Bool(o.sharedImage)
 }
 
 // configFrom rebuilds resolved cluster options from a snapshot.
@@ -251,6 +252,7 @@ func configFrom(r *snapshot.Reader) *clusterOptions {
 		cl.Timeout = Duration(r.I64())
 		o.clientLoad = &cl
 	}
+	o.sharedImage = r.Bool()
 	return o
 }
 

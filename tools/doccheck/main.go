@@ -25,7 +25,7 @@ import (
 )
 
 // docFiles are the markdown files whose fences and links are checked.
-var docFiles = []string{"README.md", "docs/ARCHITECTURE.md", "docs/EVENTS.md", "docs/CHAOS.md", "docs/NETWORK.md"}
+var docFiles = []string{"README.md", "docs/ARCHITECTURE.md", "docs/EVENTS.md", "docs/CHAOS.md", "docs/NETWORK.md", "docs/FLEET.md"}
 
 // importCandidates maps identifier prefixes to import specs. A fence
 // that mentions `hft.` imports the module root, and so on.
