@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -78,6 +79,7 @@ func newCluster(o *clusterOptions) *Cluster {
 		Observer:      c.publish,
 		DiskEvents:    true,
 		SharedImage:   o.sharedImage,
+		OutputCommit:  o.outputCommitConfig(),
 	})
 	return c
 }
@@ -141,13 +143,37 @@ func (c *Cluster) RunUntil(pred func(Snapshot) bool) (Snapshot, error) {
 	if c.closed {
 		return Snapshot{}, ErrClosed
 	}
+	pre := c.position()
 	err := c.eng.RunUntil(func() bool { return pred(c.Snapshot()) })
-	c.pauseAtBoundary()
+	c.pauseAtBoundary(pre)
 	return c.Snapshot(), err
 }
 
-// pauseAtBoundary records the current epoch-commit pause position.
-func (c *Cluster) pauseAtBoundary() {
+// position is the cluster's replay-relevant coordinate: how far the
+// session has advanced, in every dimension a pause point can encode.
+type position struct {
+	now     Duration
+	commits uint64
+	done    bool
+}
+
+func (c *Cluster) position() position {
+	return position{now: Duration(c.eng.Now()), commits: c.eng.Commits(), done: c.eng.Done()}
+}
+
+// pauseAtBoundary records the current epoch-commit pause position. pre
+// is the position when the advancing call began: if the session did not
+// move — the predicate was already true, the workload already done —
+// the previous pause coordinate is kept. Rewriting it would rewind the
+// replay: a commit ordinal replays to the FIRST instant it was reached,
+// which precedes a later time-pause at the same ordinal (run past a
+// commit with RunFor, then let a no-op RunUntil overwrite the pause,
+// and a restored session would re-apply later perturbations — and
+// verify its capture — at the earlier instant).
+func (c *Cluster) pauseAtBoundary(pre position) {
+	if c.position() == pre {
+		return
+	}
 	if c.eng.Done() {
 		c.pause = pausePoint{kind: pauseAtDone}
 		return
@@ -167,8 +193,9 @@ func (c *Cluster) Wait(ctx context.Context) (Result, error) {
 	if ctx != nil && ctx.Done() != nil {
 		cancelled = func() bool { return ctx.Err() != nil }
 	}
+	pre := c.position()
 	err := c.eng.RunToCompletion(cancelled)
-	c.pauseAtBoundary()
+	c.pauseAtBoundary(pre)
 	if err != nil {
 		return Result{}, err
 	}
@@ -210,7 +237,7 @@ func (c *Cluster) ServiceLatencies() (ServiceLatencies, bool) {
 		return ServiceLatencies{}, false
 	}
 	m := cs.Measure()
-	return ServiceLatencies{
+	sl := ServiceLatencies{
 		Requests:    m.Requests,
 		Answered:    m.Answered,
 		Retransmits: m.Retransmits,
@@ -218,7 +245,18 @@ func (c *Cluster) ServiceLatencies() (ServiceLatencies, bool) {
 		P99:         Duration(m.P99),
 		P999:        Duration(m.P999),
 		Max:         Duration(m.Max),
-	}, true
+	}
+	if lats := c.eng.CommitLatencies(); len(lats) > 0 {
+		sorted := make([]sim.Time, len(lats))
+		copy(sorted, lats)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		q := func(p float64) Duration {
+			i := int(p * float64(len(sorted)-1))
+			return Duration(sorted[i])
+		}
+		sl.CommitP50, sl.CommitP99 = q(0.50), q(0.99)
+	}
+	return sl, true
 }
 
 // ServiceBlackout reports the client-visible service gap around virtual
@@ -247,6 +285,12 @@ type ServiceLatencies struct {
 	P99  Duration
 	P999 Duration
 	Max  Duration
+	// CommitP50/CommitP99 are output-commit latency quantiles — virtual
+	// time from an epoch's first deferred environment output to its
+	// release on acknowledgment. Zero unless WithOutputCommit is on and
+	// at least one epoch released output.
+	CommitP50 Duration
+	CommitP99 Duration
 }
 
 // FailPrimary failstops the primary's processor at the current virtual
@@ -345,17 +389,18 @@ func (c *Cluster) AddBackup(opts ...AddBackupOption) (int, error) {
 	if c.eng.Done() {
 		return 0, ErrCompleted
 	}
-	pre := c.pause
+	prePause := c.pause
+	prePos := c.position()
 	n, err := c.eng.AddBackup(session.AddBackupConfig{Link: ao.link.linkConfig()})
 	if err != nil {
-		c.pauseAtBoundary()
+		c.pauseAtBoundary(prePos)
 		if errors.Is(err, session.ErrCompleted) {
 			err = ErrCompleted
 		}
 		return 0, err
 	}
-	c.journal = append(c.journal, journalEntry{pause: pre, action: actAddBackup, link: ao.link})
-	c.pauseAtBoundary()
+	c.journal = append(c.journal, journalEntry{pause: prePause, action: actAddBackup, link: ao.link})
+	c.pauseAtBoundary(prePos)
 	return n, nil
 }
 
@@ -590,6 +635,13 @@ const (
 	// Retransmissions of queued or answered requests are deduped before
 	// this point and never emit.
 	EventNetRequest
+	// EventOutputCommitted: the output-commit engine (WithOutputCommit)
+	// released an epoch's deferred environment output after its state
+	// message was acknowledged by every live peer. Outputs is the number
+	// of operations released, CommitLatency the generation-to-release
+	// delay of the epoch's first output (zero when the epoch produced
+	// none), Occupancy the epochs still awaiting acknowledgment.
+	EventOutputCommitted
 )
 
 // String names the kind.
@@ -617,6 +669,8 @@ func (k EventKind) String() string {
 		return "terminal-input"
 	case EventNetRequest:
 		return "net-request"
+	case EventOutputCommitted:
+		return "output-committed"
 	}
 	return fmt.Sprintf("EventKind(%d)", int(k))
 }
@@ -665,6 +719,13 @@ type Event struct {
 	TransferBytes uint64
 	// Request is the request id of an EventNetRequest.
 	Request uint32
+	// Outputs is the number of deferred operations an
+	// EventOutputCommitted released; CommitLatency the delay from the
+	// epoch's first output to the release; Occupancy the epochs still
+	// in the acknowledgment window afterwards.
+	Outputs       int
+	CommitLatency Duration
+	Occupancy     int
 
 	// dev tags device-scoped events with the stable device identifier
 	// ("disk0", "disk1", "console"); see Device.
@@ -711,6 +772,9 @@ func (e Event) String() string {
 		return fmt.Sprintf("[%v] terminal input %q", e.Time, e.termData)
 	case EventNetRequest:
 		return fmt.Sprintf("[%v] net request %d accepted", e.Time, e.Request)
+	case EventOutputCommitted:
+		return fmt.Sprintf("[%v] node%d epoch %d output committed (%d ops, latency %v, %d in flight)",
+			e.Time, e.Node, e.Epoch, e.Outputs, e.CommitLatency, e.Occupancy)
 	}
 	return fmt.Sprintf("[%v] %s", e.Time, e.Kind)
 }
@@ -763,6 +827,11 @@ func publicEvent(ev session.Event) Event {
 		out.Kind = EventNetRequest
 		out.dev = "nic"
 		out.Request = ev.Req
+	case session.EventOutputCommitted:
+		out.Kind = EventOutputCommitted
+		out.Outputs = ev.Count
+		out.CommitLatency = Duration(ev.Latency)
+		out.Occupancy = ev.Occupancy
 	}
 	return out
 }

@@ -4,8 +4,8 @@
 // Usage:
 //
 //	hftbench [-table1] [-fig2] [-fig3] [-fig4] [-ablation] [-all]
-//	         [-service] [-fleet N] [-fleet-seed S] [-cow on|off]
-//	         [-scale quick|paper] [-parallel N] [-json]
+//	         [-service] [-latency] [-fleet N] [-fleet-seed S]
+//	         [-cow on|off] [-scale quick|paper] [-parallel N] [-json]
 //	         [-cpuprofile file] [-memprofile file]
 //
 // Each experiment prints the simulator's measured normalized
@@ -27,6 +27,12 @@
 // client-observed latency quantiles and the failover blackout window.
 // It is not part of -all, so the -all output stays byte-identical to
 // the pinned golden (testdata/hftbench_quick.golden.json).
+//
+// -latency sweeps the output-commit latency/overhead frontier: the
+// same replicated service, healthy (no failure injected), at every
+// epoch-length x commit-window grid point, reporting client-observed
+// p50/p99, median commit latency and overhead versus bare. Pinned to
+// BENCH_latency.json; also not part of -all, for the same reason.
 //
 // -fleet N stands up N replicated clusters at once — each with its own
 // seed, workload, link model and randomized fault schedule — on shared
@@ -91,6 +97,7 @@ type jsonOutput struct {
 	Table1   []harness.Table1Row      `json:"table1,omitempty"`
 	Ablation []harness.AblationResult `json:"ablation,omitempty"`
 	Service  []harness.ServiceRow     `json:"service,omitempty"`
+	Latency  []harness.LatencyRow     `json:"latency,omitempty"`
 	Fleet    *jsonFleet               `json:"fleet,omitempty"`
 }
 
@@ -169,6 +176,7 @@ func run() int {
 		fig4     = flag.Bool("fig4", false, "regenerate Figure 4 (faster communication)")
 		ablate   = flag.Bool("ablation", false, "run the §3.2 TLB-takeover ablation")
 		service  = flag.Bool("service", false, "run the replicated-network-service experiment (client latency + failover blackout)")
+		latency  = flag.Bool("latency", false, "sweep the output-commit latency/overhead frontier (epoch length x window depth)")
 		fleetN   = flag.Int("fleet", 0, "stand up N replicated clusters on shared COW guest images and drive them to completion")
 		fleetSd  = flag.Int64("fleet-seed", 19951203, "fleet schedule seed (shard i runs chaos schedule ScheduleAt(seed, i))")
 		cowMd    = flag.String("cow", "off", "back every experiment's guest RAM with shared COW base images: on or off (results are bit-identical either way)")
@@ -216,7 +224,7 @@ func run() int {
 	if *all {
 		*table1, *fig2, *fig3, *fig4, *ablate = true, true, true, true, true
 	}
-	if !*table1 && !*fig2 && !*fig3 && !*fig4 && !*ablate && !*service && *fleetN <= 0 {
+	if !*table1 && !*fig2 && !*fig3 && !*fig4 && !*ablate && !*service && !*latency && *fleetN <= 0 {
 		flag.Usage()
 		return 2
 	}
@@ -312,6 +320,14 @@ func run() int {
 			out.Service = rows
 		} else {
 			fmt.Println(harness.FormatService(rows))
+		}
+	}
+	if *latency {
+		rows := harness.Latency(scale)
+		if *jsonOut {
+			out.Latency = rows
+		} else {
+			fmt.Println(harness.FormatLatency(rows))
 		}
 	}
 	if *fleetN > 0 {

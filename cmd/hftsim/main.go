@@ -13,7 +13,7 @@
 //	hftsim -workload cpu|write|read|copy|echo|serve [-iters N] [-ops N]
 //	       [-count N] [-epoch N] [-protocol old|new]
 //	       [-link ethernet|atm] [-fail-at-ms T] [-bare] [-seed N]
-//	       [-backups N] [-scenario FILE|-]
+//	       [-backups N] [-window N] [-adaptive] [-scenario FILE|-]
 //	       [-campaign N] [-campaign-seed N] [-campaign-dir DIR]
 //	       [-parallel N]
 //
@@ -60,6 +60,8 @@ func main() {
 		bare     = flag.Bool("bare", false, "run on bare hardware only (the baseline)")
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		backups  = flag.Int("backups", 1, "backup replicas (t-fault tolerance)")
+		window   = flag.Int("window", 0, "output-commit window depth (0 = classic lock-step protocol)")
+		adaptive = flag.Bool("adaptive", false, "output-triggered epoch boundaries (needs -window)")
 		scenario = flag.String("scenario", "", "drive a live cluster from this command script (- = stdin)")
 
 		campaign     = flag.Int("campaign", 0, "run a chaos campaign of N random schedules (0 = off)")
@@ -134,6 +136,9 @@ func main() {
 			defer script.Close()
 		}
 		opts := shape.ClusterOptions(*seed, *epoch, proto, linkModel, *backups)
+		if *window > 0 {
+			opts = append(opts, hft.WithOutputCommit(hft.OutputCommit{Window: *window, Adaptive: *adaptive}))
+		}
 		if *failAt > 0 {
 			opts = append(opts, hft.WithFailPrimaryAt(hft.Duration(*failAt*float64(hft.Millisecond))))
 		}

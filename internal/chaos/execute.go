@@ -150,6 +150,9 @@ func ExecuteOpts(s Schedule, o ExecOptions) (rep Report) {
 	}
 
 	opts := shape.ClusterOptions(s.Seed, s.Epoch, s.Protocol, s.LinkModel(), s.Backups)
+	if s.Window > 0 {
+		opts = append(opts, hft.WithOutputCommit(hft.OutputCommit{Window: s.Window, Adaptive: s.Adaptive}))
+	}
 	if o.SharedImage {
 		opts = append(opts, hft.WithSharedImage())
 	}

@@ -59,6 +59,24 @@ func TestRegressionCampaignFinds(t *testing.T) {
 				{At: Coord{Commit: 16}, Op: OpAddBackup},
 			},
 		}},
+		{"window-failstop-uncommitted-epochs", Schedule{
+			// Output-commit engine with a deep pipeline on a
+			// high-latency link: acknowledgments lag execution by
+			// several epochs (the 500 us each-way degradation puts the
+			// window 5+ deep), then the primary failstops with those
+			// epochs' deferred output still retained. Exactly-once must
+			// hold: the promoted backup's flush emits the uncommitted
+			// tail once, the device ordinal dedup drops what the dead
+			// primary already released, and the reply transcript stays
+			// byte-identical to bare.
+			Seed: 7, Workload: "serve", Epoch: 1024,
+			Protocol: hft.ProtocolOld, Link: "ethernet", Backups: 1,
+			Window: 8, Adaptive: true,
+			Steps: []Step{
+				{At: Coord{Commit: 2}, Op: OpLinkDegrade, Bandwidth: 10000000, Latency: 500 * hft.Microsecond},
+				{At: Coord{Commit: 24}, Op: OpFailPrimary},
+			},
+		}},
 		{"serve-join-then-promote-joiner", Schedule{
 			// Mid-load failover, reintegration under live client load
 			// (with a mid-load checkpoint round trip for good measure),

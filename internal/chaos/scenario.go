@@ -52,6 +52,12 @@ func (s Schedule) Flags() []string {
 		"-link", s.Link,
 		"-backups", fmt.Sprint(s.Backups),
 	}
+	if s.Window > 0 {
+		flags = append(flags, "-window", fmt.Sprint(s.Window))
+		if s.Adaptive {
+			flags = append(flags, "-adaptive")
+		}
+	}
 	switch s.Workload {
 	case "cpu":
 		flags = append(flags, "-iters", "4000")

@@ -102,6 +102,12 @@ type Schedule struct {
 	Link string
 	// Backups is the initial replica count t.
 	Backups int
+	// Window, when nonzero, runs the output-commit latency engine with
+	// this acknowledgment-window depth; Adaptive additionally enables
+	// output-triggered epoch boundaries. Zero Window = classic
+	// lock-step protocol.
+	Window   int
+	Adaptive bool
 	// Steps are applied in order; each advances the session to its
 	// coordinate first (a coordinate already in the past applies
 	// immediately).
@@ -126,8 +132,15 @@ func (s Schedule) String() string {
 	for _, st := range s.Steps {
 		steps = append(steps, st.String())
 	}
-	return fmt.Sprintf("{%s seed=%d epoch=%d proto=%s link=%s t=%d: [%s]}",
-		s.Workload, s.Seed, s.Epoch, proto, s.Link, s.Backups, strings.Join(steps, "; "))
+	oc := ""
+	if s.Window > 0 {
+		oc = fmt.Sprintf(" oc=w%d", s.Window)
+		if s.Adaptive {
+			oc += "+adaptive"
+		}
+	}
+	return fmt.Sprintf("{%s seed=%d epoch=%d proto=%s link=%s t=%d%s: [%s]}",
+		s.Workload, s.Seed, s.Epoch, proto, s.Link, s.Backups, oc, strings.Join(steps, "; "))
 }
 
 // Generator draw tables. Bounds are deliberate, not arbitrary:
@@ -148,6 +161,7 @@ func (s Schedule) String() string {
 //     virtual times, mirroring the shrinker's preference.
 var (
 	genEpochs      = []uint64{1024, 4096}
+	genWindows     = []int{1, 2, 8}
 	genBandwidths  = []int64{1_000_000, 2_000_000, 5_000_000, 10_000_000}
 	genLatencies   = []hft.Duration{100 * hft.Microsecond, 500 * hft.Microsecond, 1 * hft.Millisecond, 2 * hft.Millisecond}
 	genLinks       = []string{"ethernet", "atm"}
@@ -182,6 +196,13 @@ func Generate(rng *rand.Rand) Schedule {
 		s.Backups = 2
 	case 1:
 		s.Backups = 3
+	}
+	// Half the runs exercise the output-commit engine: window depth
+	// drawn from the interesting points (1 = classic output commit,
+	// 2 = shallow pipeline, 8 = deep), boundaries fixed or adaptive.
+	if rng.Intn(2) == 1 {
+		s.Window = genWindows[rng.Intn(len(genWindows))]
+		s.Adaptive = rng.Intn(2) == 1
 	}
 
 	failBudget := s.Backups // total failstops (primary + backups)

@@ -1,0 +1,164 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/netsim"
+	"repro/internal/replication"
+	"repro/internal/session"
+	"repro/internal/sim"
+)
+
+// LatencyRow is one point of the output-commit latency/overhead
+// frontier: the replicated service's client-observed latency at one
+// (epoch length, commit window) coordinate, healthy (no failure
+// injected), against the bare baseline. Times are virtual microseconds.
+type LatencyRow struct {
+	Config string `json:"config"` // "bare" or "<protocol>/<link>"
+	Epoch  uint64 `json:"epoch"`
+	// Window is the output-commit acknowledgment-window depth (0 =
+	// classic lock-step protocol); Adaptive marks output-triggered
+	// epoch boundaries.
+	Window   int     `json:"window"`
+	Adaptive bool    `json:"adaptive"`
+	P50      float64 `json:"p50_us"`
+	P99      float64 `json:"p99_us"`
+	// CommitP50 is the median output-commit latency (generation of an
+	// epoch's first deferred output to its release; zero for lock-step
+	// rows, which gate instead of deferring).
+	CommitP50 float64 `json:"commit_p50_us"`
+	// Overhead is P50 normalized to the bare run's P50 — the frontier's
+	// y axis.
+	Overhead float64 `json:"overhead_p50"`
+}
+
+// latencyPoints is the sweep grid: every epoch length crossed with
+// every commit-window depth. Window 0 is the lock-step protocol (the
+// row the engine is measured against); 1 is classic output commit;
+// deeper windows pipeline acknowledgments.
+var (
+	latencyEpochs  = []uint64{256, 1024, 4096}
+	latencyWindows = []struct {
+		window   int
+		adaptive bool
+	}{
+		{0, false},
+		{1, false},
+		{1, true},
+		{4, true},
+		{16, true},
+	}
+)
+
+// Latency sweeps the output-commit latency/overhead frontier: the
+// replicated service under open-loop client load (no failure injected),
+// old protocol on Ethernet, at every epoch-length x window-depth grid
+// point. The lock-step rows (window 0) anchor the frontier; the engine
+// rows show how much of the replication overhead the output-commit
+// path removes and what window depth it takes.
+func Latency(scale Scale) []LatencyRow {
+	w, cl, _, _ := serviceLoad(scale)
+
+	bare, bareRow := runService(session.Options{
+		Seed:       1,
+		Program:    session.WorkloadProgram(w),
+		Bare:       true,
+		Disk:       scale.Disk,
+		ClientLoad: &cl,
+	}, 0)
+	if bare.Guest.Panic != 0 {
+		panic(fmt.Sprintf("harness: latency: bare guest panic %#x", bare.Guest.Panic))
+	}
+	rows := []LatencyRow{{Config: "bare", P50: bareRow.P50, P99: bareRow.P99, Overhead: 1}}
+
+	type point struct {
+		epoch    uint64
+		window   int
+		adaptive bool
+	}
+	var grid []point
+	for _, el := range latencyEpochs {
+		for _, wd := range latencyWindows {
+			grid = append(grid, point{el, wd.window, wd.adaptive})
+		}
+	}
+	out := make([]LatencyRow, len(grid))
+	scale.forEach(len(grid), func(i int) {
+		p := grid[i]
+		o := session.Options{
+			Seed:        1,
+			Program:     session.WorkloadProgram(w),
+			Disk:        scale.Disk,
+			EpochLength: p.epoch,
+			Protocol:    replication.ProtocolOld,
+			Link:        netsim.Ethernet10(""),
+			ClientLoad:  &cl,
+		}
+		if p.window > 0 {
+			o.OutputCommit = replication.OutputCommit{Enabled: true, Window: p.window, Adaptive: p.adaptive}
+		}
+		e := session.New(o)
+		defer e.Close()
+		if err := e.RunToCompletion(nil); err != nil {
+			panic(fmt.Sprintf("harness: latency: epoch=%d window=%d: %v", p.epoch, p.window, err))
+		}
+		r, err := e.Result()
+		if err != nil {
+			panic(fmt.Sprintf("harness: latency: %v", err))
+		}
+		if r.NetReplies != bare.NetReplies || r.Guest.Checksum != bare.Guest.Checksum {
+			panic(fmt.Sprintf("harness: latency: epoch=%d window=%d reply stream diverged from bare", p.epoch, p.window))
+		}
+		m := e.Clients().Measure()
+		row := LatencyRow{
+			Config:   "old/ethernet",
+			Epoch:    p.epoch,
+			Window:   p.window,
+			Adaptive: p.adaptive,
+			P50:      us(m.P50),
+			P99:      us(m.P99),
+			Overhead: us(m.P50) / bareRow.P50,
+		}
+		if lats := e.CommitLatencies(); len(lats) > 0 {
+			sorted := make([]sim.Time, len(lats))
+			copy(sorted, lats)
+			sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+			row.CommitP50 = us(sorted[len(sorted)/2])
+		}
+		out[i] = row
+	})
+	return append(rows, out...)
+}
+
+// FormatLatency renders the frontier as a text table.
+func FormatLatency(rows []LatencyRow) string {
+	var b strings.Builder
+	b.WriteString("Output-commit latency/overhead frontier\n")
+	b.WriteString("(replicated request/response service, old protocol on Ethernet,\n")
+	b.WriteString("no failure injected; window 0 = lock-step protocol; overhead is\n")
+	b.WriteString("client-observed p50 normalized to bare)\n\n")
+	fmt.Fprintf(&b, "%-14s %-6s %-9s %10s %10s %14s %9s\n",
+		"config", "epoch", "window", "p50 (us)", "p99 (us)", "commit p50", "overhead")
+	for _, r := range rows {
+		win := "-"
+		if r.Window > 0 {
+			win = fmt.Sprint(r.Window)
+			if r.Adaptive {
+				win += "+a"
+			}
+		}
+		commit := "-"
+		if r.CommitP50 > 0 {
+			commit = fmt.Sprintf("%.1f", r.CommitP50)
+		}
+		epoch := "-"
+		if r.Epoch > 0 {
+			epoch = fmt.Sprint(r.Epoch)
+		}
+		fmt.Fprintf(&b, "%-14s %-6s %-9s %10.1f %10.1f %14s %9.2f\n",
+			r.Config, epoch, win, r.P50, r.P99, commit, r.Overhead)
+	}
+	return b.String()
+}

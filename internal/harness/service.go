@@ -106,16 +106,30 @@ func Service(scale Scale) []ServiceRow {
 		panic(fmt.Sprintf("harness: service: bare answered %d of %d", bareRow.Answered, bareRow.Requests))
 	}
 
+	// The lock-step rows come first (their code path is untouched by the
+	// output-commit engine, so their numbers are stable across its
+	// introduction); the +oc rows run the identical load through the
+	// output-commit engine at its service operating point: a short base
+	// epoch (boundaries are cheap once simulations stay resident and
+	// frames coalesce) and a commit window deep enough to cover the
+	// acknowledgment round-trip at that epoch rate.
+	oc := replication.OutputCommit{Enabled: true, Window: 16, Adaptive: true}
 	type cfg struct {
 		name  string
 		proto replication.Protocol
 		link  netsim.LinkConfig
+		epoch uint64
+		oc    replication.OutputCommit
 	}
 	cfgs := []cfg{
-		{"old/ethernet", replication.ProtocolOld, netsim.Ethernet10("")},
-		{"old/atm", replication.ProtocolOld, netsim.ATM155("")},
-		{"new/ethernet", replication.ProtocolNew, netsim.Ethernet10("")},
-		{"new/atm", replication.ProtocolNew, netsim.ATM155("")},
+		{"old/ethernet", replication.ProtocolOld, netsim.Ethernet10(""), 1024, replication.OutputCommit{}},
+		{"old/atm", replication.ProtocolOld, netsim.ATM155(""), 1024, replication.OutputCommit{}},
+		{"new/ethernet", replication.ProtocolNew, netsim.Ethernet10(""), 1024, replication.OutputCommit{}},
+		{"new/atm", replication.ProtocolNew, netsim.ATM155(""), 1024, replication.OutputCommit{}},
+		{"old/ethernet+oc", replication.ProtocolOld, netsim.Ethernet10(""), 256, oc},
+		{"old/atm+oc", replication.ProtocolOld, netsim.ATM155(""), 256, oc},
+		{"new/ethernet+oc", replication.ProtocolNew, netsim.Ethernet10(""), 256, oc},
+		{"new/atm+oc", replication.ProtocolNew, netsim.ATM155(""), 256, oc},
 	}
 	rows := make([]ServiceRow, len(cfgs))
 	scale.forEach(len(cfgs), func(i int) {
@@ -124,12 +138,13 @@ func Service(scale Scale) []ServiceRow {
 			Seed:          1,
 			Program:       session.WorkloadProgram(w),
 			Disk:          scale.Disk,
-			EpochLength:   1024,
+			EpochLength:   c.epoch,
 			Protocol:      c.proto,
 			Link:          c.link,
 			FailPrimaryAt: failAt,
 			DetectTimeout: detect,
 			ClientLoad:    &cl,
+			OutputCommit:  c.oc,
 		}, failAt)
 		row.Config = c.name
 		if r.Guest.Panic != 0 {

@@ -16,13 +16,31 @@ import (
 // then performs the boundary protocol: Tme exchange, TimerInterruptsDue,
 // DeliverBuffered, and advances to the next epoch.
 //
+// Under Config.AdaptiveBoundary a guest environment output arms an early
+// cut CutSlack instructions past the triggering store; the epoch then
+// ends at that coordinate instead of the full EpochLength. The cut point
+// is a pure function of the guest instruction stream and shadow-device
+// state, so every replica running the same epoch chooses the same
+// boundary; Boundary.GuestInstr carries the coordinate for cross-replica
+// verification.
+//
 // p must be the simulation process driving this machine.
 func (hv *Hypervisor) RunEpoch(p *sim.Proc) Boundary {
 	target := hv.guestInstr + hv.cfg.EpochLength
 	m := hv.M
 	cost := hv.cfg.Cost
+	hv.cutAt = 0 // disarm: cuts never cross an epoch boundary
 
-	for !hv.halted && hv.guestInstr < target {
+	for !hv.halted {
+		// An armed output cut shortens the epoch; re-evaluated every
+		// iteration because mmioStore arms (or re-arms) it mid-epoch.
+		eff := target
+		if hv.cutAt != 0 && hv.cutAt < target {
+			eff = hv.cutAt
+		}
+		if hv.guestInstr >= eff {
+			break
+		}
 		if hv.Stop != nil && hv.Stop() {
 			// Failstop: the processor halts abruptly and detectably.
 			break
@@ -31,7 +49,7 @@ func (hv *Hypervisor) RunEpoch(p *sim.Proc) Boundary {
 		// Instruction-Stream Interrupt Assumption in action. The batched
 		// executor turns it into an instruction budget instead of a
 		// per-step control-register check.
-		remaining := target - hv.guestInstr
+		remaining := eff - hv.guestInstr
 		m.CRs[isa.CRRCTR] = uint32(remaining)
 
 		// Execute a chunk, then sync simulated time and poll devices.
@@ -51,9 +69,9 @@ func (hv *Hypervisor) RunEpoch(p *sim.Proc) Boundary {
 		switch {
 		case rr.Trap == isa.TrapRecovery:
 			// Epoch boundary reached exactly.
-			if hv.guestInstr != target {
+			if hv.guestInstr != eff {
 				panic(fmt.Sprintf("hypervisor: recovery trap at %d, target %d",
-					hv.guestInstr, target))
+					hv.guestInstr, eff))
 			}
 		case rr.Trap != isa.TrapNone:
 			hv.handleTrap(p, rr.StepResult)
@@ -62,6 +80,9 @@ func (hv *Hypervisor) RunEpoch(p *sim.Proc) Boundary {
 		case rr.Diag != 0:
 			hv.handleDiagAtPL0(rr.StepResult)
 		}
+	}
+	if hv.cutAt != 0 && hv.cutAt < target && hv.guestInstr >= hv.cutAt {
+		hv.Stats.AdaptiveCuts++
 	}
 
 	hv.epoch++
@@ -100,9 +121,19 @@ func (hv *Hypervisor) handleDiagAtPL0(res machine.StepResult) {
 }
 
 // chargeSim charges the cost of one full hypervisor simulation
-// (entry/exit + work).
+// (entry/exit + work). Under ResidentEmulation, a simulation landing
+// within ResidentWindow guest instructions of the previous one is
+// charged only the simulation work: the hypervisor never left, so no
+// fresh world switch is paid. Pure function of the instruction stream —
+// every replica charges identically.
 func (hv *Hypervisor) chargeSim(p *sim.Proc) {
 	c := hv.cfg.Cost.HSim()
+	if hv.cfg.ResidentEmulation && hv.residentArmed &&
+		hv.guestInstr-hv.residentAt <= hv.cfg.ResidentWindow {
+		c = hv.cfg.Cost.ResidentWork
+		hv.Stats.ResidentSims++
+	}
+	hv.residentAt, hv.residentArmed = hv.guestInstr, true
 	hv.Stats.HypervisorTime += c
 	p.Sleep(c)
 }
@@ -344,21 +375,45 @@ func (hv *Hypervisor) mmioStore(off uint32, v uint32) {
 	switch d.sh.Store(rel, v) {
 	case device.EffectOutput:
 		d.outCount++
+		hv.noteOutputTrigger()
 		if hv.ioActive {
-			// Output reveals virtual-machine state to the environment:
-			// the §4.3 I/O gate applies.
-			if hv.OnBeforeIO != nil {
-				hv.OnBeforeIO()
+			if hv.deferOutput {
+				// Output-commit deferral (VMware-FT output rule): record
+				// the store, emit only when this epoch's frame is acked.
+				hv.Stats.OutputsDeferred++
+				hv.suppressed = append(hv.suppressed, suppressedOutput{
+					dev: d, off: rel, val: v, ordinal: d.outCount,
+					epoch: hv.epoch, at: hv.clockNow(),
+				})
+			} else {
+				// Output reveals virtual-machine state to the environment:
+				// the §4.3 I/O gate applies.
+				if hv.OnBeforeIO != nil {
+					hv.OnBeforeIO()
+				}
+				d.sh.Output(d.bus, rel, v, d.outCount)
 			}
-			d.sh.Output(d.bus, rel, v, d.outCount)
 		} else {
 			hv.Stats.ConsoleSuppressed++
 			hv.suppressed = append(hv.suppressed, suppressedOutput{
 				dev: d, off: rel, val: v, ordinal: d.outCount,
+				epoch: hv.epoch,
 			})
 		}
 	case device.EffectStart:
 		hv.startIO(d)
+	}
+}
+
+// noteOutputTrigger arms (or pushes back) the adaptive epoch cut after a
+// guest environment output. Called on EVERY replica — active or
+// suppressed — so the cut coordinate is a pure function of the shared
+// instruction stream. The CutSlack countdown coalesces output bursts:
+// each further output re-arms it, and the epoch ends only once the guest
+// has gone CutSlack instructions without producing output.
+func (hv *Hypervisor) noteOutputTrigger() {
+	if hv.cfg.AdaptiveBoundary {
+		hv.cutAt = hv.guestInstr + hv.cfg.CutSlack
 	}
 }
 
@@ -369,8 +424,20 @@ func (hv *Hypervisor) mmioStore(off uint32, v uint32) {
 // covers.
 func (hv *Hypervisor) startIO(d *shadowDev) {
 	d.outstanding = true
+	hv.noteOutputTrigger()
 	if !hv.ioActive {
 		hv.Stats.IOSuppressed++
+		return
+	}
+	if hv.deferOutput {
+		// Output-commit deferral: the real hardware is programmed only
+		// when this epoch's frame is acknowledged. The shadow device is
+		// already busy on every replica, so guest-visible state is
+		// unaffected by the delay.
+		hv.Stats.StartsDeferred++
+		hv.suppressed = append(hv.suppressed, suppressedOutput{
+			dev: d, start: true, epoch: hv.epoch, at: hv.clockNow(),
+		})
 		return
 	}
 	if hv.OnBeforeIO != nil {

@@ -57,6 +57,14 @@ type CostModel struct {
 	// TLB takeover); it replaces what hardware or the guest's handler
 	// would have spent, so it is far below a full simulation.
 	TLBWalk sim.Time
+	// ResidentWork is the cost of re-simulating an instruction while the
+	// hypervisor is already resident (Config.ResidentEmulation): no
+	// entry/exit, and the decoded device window and shadow state of the
+	// previous simulation are still hot, so only the access itself is
+	// performed. The paper's 7 µs SimulateWork is dominated by locating
+	// and validating the simulated state from scratch on every trap; a
+	// resident interpreter loop pays that once per burst.
+	ResidentWork sim.Time
 }
 
 // DefaultCosts returns the paper-calibrated cost model.
@@ -67,6 +75,7 @@ func DefaultCosts() CostModel {
 		SimulateWork:    7 * sim.Microsecond,
 		EpochLocal:      20 * sim.Microsecond,
 		TLBWalk:         2 * sim.Microsecond,
+		ResidentWork:    1 * sim.Microsecond,
 	}
 }
 
@@ -91,6 +100,35 @@ type Config struct {
 	// which is exactly what the paper observed on the HP 9000/720.
 	// Ablation/demonstration only.
 	NoTLBTakeover bool
+	// AdaptiveBoundary enables output-triggered epoch boundaries: a
+	// guest environment output (console write, NIC doorbell, SCSI start)
+	// re-arms a countdown of CutSlack instructions, and the epoch ends
+	// when it expires — instead of waiting out the full EpochLength. The
+	// cut point is a pure function of the guest instruction stream and
+	// the (replicated) shadow-device state, so every replica cuts at the
+	// same instruction; the epoch frame carries the coordinate for
+	// verification. Must be set identically on every replica.
+	AdaptiveBoundary bool
+	// CutSlack is the adaptive boundary's countdown: how many further
+	// instructions may retire after an environment output before the
+	// epoch is cut (default 64). The slack coalesces output bursts —
+	// a multi-word console write or NIC TX fill re-arms the countdown
+	// on each store, so the burst rides one epoch.
+	CutSlack uint64
+	// ResidentEmulation is the output-commit engine's simulation fast
+	// path: when a simulated (privileged or environment) instruction
+	// retires within ResidentWindow guest instructions of the previous
+	// one, the hypervisor is still resident — only the simulation work
+	// is charged, not another entry/exit world switch. Sound under
+	// output deferral because an environment output is then a buffered
+	// shadow-state write (no device programming, no I/O gate), so a
+	// guest copy loop against a device window batches its simulations
+	// in one residency. The charge is a pure function of the guest
+	// instruction stream; must be set identically on every replica.
+	ResidentEmulation bool
+	// ResidentWindow is the residency span in guest instructions
+	// (default 32).
+	ResidentWindow uint64
 	// PTEValid is the guest page-table-entry valid bit (fixed ABI with
 	// the guest kernel; see internal/guest).
 	// The low 12 bits of a PTE are: isa.TLB* permission bits | PTEValid.
@@ -107,8 +145,19 @@ func (c Config) withDefaults() Config {
 	if c.Cost == (CostModel{}) {
 		c.Cost = DefaultCosts()
 	}
+	if c.Cost.ResidentWork == 0 {
+		// Custom cost models predating the resident fast path: fall back
+		// to a full simulation charge rather than a free one.
+		c.Cost.ResidentWork = c.Cost.SimulateWork
+	}
 	if c.ChunkSize == 0 {
 		c.ChunkSize = 256
+	}
+	if c.CutSlack == 0 {
+		c.CutSlack = 64
+	}
+	if c.ResidentWindow == 0 {
+		c.ResidentWindow = 32
 	}
 	return c
 }
@@ -173,6 +222,10 @@ type Stats struct {
 	IOSuppressed      uint64 // doorbells suppressed (backup, case i)
 	ConsoleSuppressed uint64 // console bytes suppressed (backup)
 	Captured          uint64 // device completions captured (P1)
+	OutputsDeferred   uint64 // output stores deferred by the commit window
+	StartsDeferred    uint64 // I/O starts deferred by the commit window
+	AdaptiveCuts      uint64 // epochs cut early by an output trigger
+	ResidentSims      uint64 // simulations charged without a world switch
 	HypervisorTime    sim.Time
 	// DeliveryDelayTotal/DeliveryDelayCount accumulate the paper's
 	// delay(EL): completion-interrupt capture to epoch-boundary delivery
@@ -214,17 +267,33 @@ type shadowDev struct {
 	outCount uint32
 }
 
-// suppressedOutput is one environment-output store a backup suppressed
-// (§2.2 case i) during the CURRENT epoch. The buffer is dropped when
-// the epoch commits (the coordinator provably performed the output) and
-// re-emitted at promotion when it does not (generalized rule P7 for
-// output: the environment deduplicates by ordinal, so re-emission is
-// exactly-once).
+// suppressedOutput is one environment output a replica withheld. Two
+// producers share the buffer:
+//
+//   - a backup suppressing output stores (§2.2 case i): dropped when the
+//     epoch commits, re-emitted at promotion through the devices' ordinal
+//     dedup (generalized rule P7 for output — exactly-once);
+//   - an output-commit primary DEFERRING outputs and I/O starts (the
+//     VMware-FT output rule): emitted by ReleaseDeferredThrough when the
+//     epoch's frame is acknowledged.
+//
+// Entries are appended in guest program order and tagged with the epoch
+// that produced them, so both commit and release operate on epoch
+// prefixes.
 type suppressedOutput struct {
 	dev     *shadowDev
 	off     uint32
 	val     uint32
 	ordinal uint32
+	// epoch is the epoch the store retired in (release/drop watermark).
+	epoch uint64
+	// start marks a deferred I/O start (doorbell) instead of an output
+	// store: released by issuing the real operation. Backups never
+	// defer starts (P7's uncertain synthesis re-drives them).
+	start bool
+	// at is the virtual time the output was generated (commit-latency
+	// accounting on a deferring primary; zero on backups).
+	at sim.Time
 }
 
 // windowBus adapts a device window on the machine's real MMIO bus to
@@ -268,9 +337,31 @@ type Hypervisor struct {
 	epoch      uint64
 	halted     bool
 
+	// cutAt is the adaptive boundary's armed cut point (guest instruction
+	// count; 0 = unarmed). Re-armed to guestInstr+CutSlack by every
+	// environment output while AdaptiveBoundary is set; reset at each
+	// epoch start.
+	cutAt uint64
+
+	// residentAt is the guest-instruction coordinate of the most recent
+	// simulated instruction (valid when residentArmed). Drives the
+	// ResidentEmulation fast path: a follow-on simulation within
+	// ResidentWindow instructions skips the entry/exit charge. Not
+	// captured by snapshots — deterministic replay reproduces it.
+	residentAt    uint64
+	residentArmed bool
+
 	// ioActive: forward doorbells/console to real hardware (primary and
 	// promoted backup); false = suppress (backup, §2.2 case i).
 	ioActive bool
+
+	// deferOutput: an I/O-active hypervisor under the output-commit
+	// window buffers outputs and starts instead of performing them; the
+	// replication layer releases them per epoch as acknowledgements land.
+	deferOutput bool
+	// now supplies virtual time for deferred-output latency accounting
+	// (set with SetOutputDeferral; nil otherwise).
+	now func() sim.Time
 
 	// buffered holds interrupts awaiting delivery at this epoch's end
 	// (the primary buffers captures per P1; the backup buffers message
@@ -373,6 +464,78 @@ func (hv *Hypervisor) devByBase(base uint32) *shadowDev {
 // SetIOActive switches environment output on (primary / promoted backup)
 // or off (backup).
 func (hv *Hypervisor) SetIOActive(active bool) { hv.ioActive = active }
+
+// SetOutputDeferral switches the output-commit deferral mode: with a
+// non-nil clock, an I/O-active hypervisor buffers environment outputs
+// and I/O starts (tagged with their epoch and generation time) instead
+// of performing them — the replication layer calls
+// ReleaseDeferredThrough as epochs commit. A nil clock restores
+// immediate emission.
+func (hv *Hypervisor) SetOutputDeferral(clock func() sim.Time) {
+	hv.deferOutput = clock != nil
+	hv.now = clock
+}
+
+// clockNow reads the deferral clock (zero when none is wired).
+func (hv *Hypervisor) clockNow() sim.Time {
+	if hv.now == nil {
+		return 0
+	}
+	return hv.now()
+}
+
+// ReleaseDeferredThrough performs every deferred output and I/O start
+// belonging to epochs <= epoch, in guest program order: output stores
+// are emitted to the real devices (with their deterministic ordinals),
+// starts are issued to real hardware. It returns how many entries were
+// released and the generation time of the earliest (zero when none).
+// Safe to call from kernel-event context: device emission never sleeps.
+func (hv *Hypervisor) ReleaseDeferredThrough(epoch uint64) (int, sim.Time) {
+	n := 0
+	var firstAt sim.Time
+	for n < len(hv.suppressed) && hv.suppressed[n].epoch <= epoch {
+		so := hv.suppressed[n]
+		if n == 0 {
+			firstAt = so.at
+		}
+		if so.start {
+			hv.Stats.IOIssued++
+			so.dev.issuedReal = true
+			so.dev.sh.Start(so.dev.bus)
+		} else {
+			so.dev.sh.Output(so.dev.bus, so.off, so.val, so.ordinal)
+		}
+		n++
+	}
+	hv.dropSuppressedPrefix(n)
+	return n, firstAt
+}
+
+// DropSuppressedThrough discards suppressed entries of epochs <= epoch
+// without emitting them: the backup-side counterpart of
+// ReleaseDeferredThrough, applied when an epoch frame's release
+// watermark proves the coordinator performed those outputs. Entries of
+// later epochs are retained for a possible promotion flush.
+func (hv *Hypervisor) DropSuppressedThrough(epoch uint64) {
+	n := 0
+	for n < len(hv.suppressed) && hv.suppressed[n].epoch <= epoch {
+		n++
+	}
+	hv.dropSuppressedPrefix(n)
+}
+
+// dropSuppressedPrefix removes the first n suppressed entries, compacting
+// the tail into the reused backing array.
+func (hv *Hypervisor) dropSuppressedPrefix(n int) {
+	if n == 0 {
+		return
+	}
+	rest := copy(hv.suppressed, hv.suppressed[n:])
+	for i := rest; i < len(hv.suppressed); i++ {
+		hv.suppressed[i] = suppressedOutput{}
+	}
+	hv.suppressed = hv.suppressed[:rest]
+}
 
 // IOActive reports whether environment output is enabled.
 func (hv *Hypervisor) IOActive() bool { return hv.ioActive }
@@ -622,13 +785,22 @@ func (hv *Hypervisor) CommitSuppressedOutputs() {
 	hv.suppressed = hv.suppressed[:0]
 }
 
-// FlushSuppressedOutputs re-emits the failover epoch's suppressed
-// environment output to the real devices — the output half of the
-// generalized rule P7. Ordinal dedup at the environment devices makes
-// the re-emission exactly-once: whatever prefix the dead coordinator
-// already performed is dropped, the rest is applied in order.
+// FlushSuppressedOutputs re-emits the suppressed environment output a
+// promoting backup retains — the failover epoch's under the classic
+// protocol, every epoch past the coordinator's release watermark under
+// the output-commit window — to the real devices: the output half of
+// the generalized rule P7. Ordinal dedup at the environment devices
+// makes the re-emission exactly-once: whatever prefix the dead
+// coordinator already performed is dropped, the rest is applied in
+// order. Deferred START entries (present only in a state image
+// transferred from a deferring coordinator) are skipped: the operation
+// is still marked outstanding, so P7's uncertain synthesis re-drives it
+// through the guest's own retry.
 func (hv *Hypervisor) FlushSuppressedOutputs() {
 	for _, so := range hv.suppressed {
+		if so.start {
+			continue
+		}
 		so.dev.sh.Output(so.dev.bus, so.off, so.val, so.ordinal)
 	}
 	hv.suppressed = hv.suppressed[:0]

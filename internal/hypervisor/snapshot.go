@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"repro/internal/isa"
+	"repro/internal/sim"
 )
 
 // DeviceState is one captured shadow-device binding: the window
@@ -43,12 +44,16 @@ type DeviceState struct {
 	Data []byte
 }
 
-// SuppressedOutputState is one buffered suppressed-output store.
+// SuppressedOutputState is one buffered suppressed (or output-commit
+// deferred) output store.
 type SuppressedOutputState struct {
 	Dev     uint32 // window base of the device
 	Off     uint32
 	Val     uint32
 	Ordinal uint32
+	Epoch   uint64 // epoch the store retired in (release/drop watermark)
+	Start   bool   // deferred I/O start (doorbell) rather than an output store
+	At      uint64 // generation time, virtual ns (commit-latency accounting)
 }
 
 // State is a complete capture of one hypervisor's virtualization state.
@@ -114,6 +119,7 @@ func (hv *Hypervisor) CaptureState() State {
 	for _, so := range hv.suppressed {
 		s.Suppressed = append(s.Suppressed, SuppressedOutputState{
 			Dev: so.dev.win.Base, Off: so.off, Val: so.val, Ordinal: so.ordinal,
+			Epoch: so.epoch, Start: so.start, At: uint64(so.at),
 		})
 	}
 	s.Stats = hv.Stats
@@ -171,6 +177,7 @@ func (hv *Hypervisor) RestoreState(s State) error {
 		}
 		hv.suppressed = append(hv.suppressed, suppressedOutput{
 			dev: d, off: so.Off, val: so.Val, ordinal: so.Ordinal,
+			epoch: so.Epoch, start: so.Start, at: sim.Time(so.At),
 		})
 	}
 	hv.Stats = s.Stats

@@ -52,6 +52,11 @@ type Backup struct {
 	// backup that promotes hands the same hooks to its coordinator.
 	Hooks Hooks
 
+	// OutputCommit mirrors the coordinator's configuration (every
+	// replica must agree). A backup uses it to interpret epoch frames
+	// and hands it to the coordinator it becomes at promotion.
+	OutputCommit OutputCommit
+
 	pending map[uint64]*epochRecord
 	// recFree recycles epoch records: a record freed at one epoch's
 	// boundary serves a later epoch without reallocating its map.
@@ -77,6 +82,10 @@ type Backup struct {
 	// (nil before); kept so late-joining backups can be added to its
 	// fan-out.
 	coord *coordinator
+	// joinBarrier carries a pending reintegration drain (see
+	// coordinator.joinBarrier) across a promotion that happens while the
+	// quiesce is in progress.
+	joinBarrier bool
 
 	Stats Stats
 }
@@ -107,6 +116,27 @@ func NewBackupAt(hv *hypervisor.Hypervisor, index int, ups, downs []Peer, timeou
 
 // Promoted reports whether failover has occurred.
 func (bk *Backup) Promoted() bool { return bk.promoted }
+
+// SetJoinBarrier arms (or disarms) the reintegration drain on the
+// coordinator this backup runs — now, if promoted, or at a promotion
+// that happens while the barrier is armed. No-op for a backup that never
+// coordinates.
+func (bk *Backup) SetJoinBarrier(on bool) {
+	bk.joinBarrier = on
+	if bk.coord != nil {
+		bk.coord.joinBarrier = on
+	}
+}
+
+// ReplicationDrained reports whether every epoch this node has committed
+// as acting coordinator is provably replicated. True for a backup that
+// does not coordinate.
+func (bk *Backup) ReplicationDrained() bool {
+	if bk.coord == nil {
+		return true
+	}
+	return bk.coord.drained()
+}
 
 // Withdrawn reports whether this backup dropped out of the replica set
 // (it fell outside a new primary's resynchronization window).
@@ -170,25 +200,46 @@ func (bk *Backup) receiver(u Peer) func(p *sim.Proc) {
 			if !ok {
 				continue
 			}
-			m := raw.Payload.(message)
-			// P4: "backup sends an acknowledgment to the primary".
-			ack := message{Kind: msgAck, AckSeq: m.Seq}
-			u.TX.Send(ack, ack.wireSize())
-			switch m.Kind {
-			case msgInterrupt:
-				bk.Stats.IntsReceived++
-				r := bk.rec(m.Epoch)
-				if r.verbatim == nil {
-					r.ints[m.IntIndex] = m.Int
+			switch m := raw.Payload.(type) {
+			case *epochFrame:
+				// Output commit: one coalesced frame stands in for the
+				// epoch's Tme, End and interrupt messages. One ack (P4).
+				ack := message{Kind: msgAck, AckSeq: m.Head.Seq}
+				u.TX.Send(ack, ack.wireSize())
+				bk.fileFrame(m)
+			case *epochBatch:
+				// A transmit-side batch: several epochs in one wire
+				// message. One cumulative ack covers them all (the ack
+				// watermark is a high-water mark, so acking the newest
+				// sequence acknowledges the whole FIFO prefix).
+				if n := len(m.Recs); n > 0 {
+					ack := message{Kind: msgAck, AckSeq: m.Recs[n-1].Head.Seq}
+					u.TX.Send(ack, ack.wireSize())
 				}
-			case msgTme:
-				v := m.Tme
-				bk.rec(m.Epoch).tme = &v
-			case msgEnd:
-				mm := m
-				bk.rec(m.Epoch).end = &mm
-			case msgSync:
-				bk.applySync(m.Sync)
+				for _, f := range m.Recs {
+					bk.fileFrame(f)
+				}
+				m.Release()
+			case message:
+				// P4: "backup sends an acknowledgment to the primary".
+				ack := message{Kind: msgAck, AckSeq: m.Seq}
+				u.TX.Send(ack, ack.wireSize())
+				switch m.Kind {
+				case msgInterrupt:
+					bk.Stats.IntsReceived++
+					r := bk.rec(m.Epoch)
+					if r.verbatim == nil {
+						r.ints[m.IntIndex] = m.Int
+					}
+				case msgTme:
+					v := m.Tme
+					bk.rec(m.Epoch).tme = &v
+				case msgEnd:
+					mm := m
+					bk.rec(m.Epoch).end = &mm
+				case msgSync:
+					bk.applySync(m.Sync)
+				}
 			}
 			bk.arrival.Broadcast()
 		}
@@ -327,6 +378,12 @@ func (bk *Backup) failover(p *sim.Proc, e uint64, digest uint64) {
 		archive: bk.archive,
 		hooks:   &bk.Hooks,
 		node:    bk.index,
+		oc:      bk.OutputCommit,
+		// The promotion flush above emitted everything retained through
+		// the failover epoch, so the release watermark starts there.
+		released:     e,
+		haveReleased: bk.OutputCommit.Enabled,
+		joinBarrier:  bk.joinBarrier,
 	}
 	c := bk.coord
 	c.install(p)
@@ -434,6 +491,9 @@ func (bk *Backup) Run(p *sim.Proc) {
 		// Normal path: Tme_b := Tme_p; buffer; deliver; digest check.
 		tme, end := *r.tme, r.end
 		match := bk.checkDigest(e, end.Digest, b.Digest)
+		if match && !bk.checkCut(e, end, b.GuestInstr) {
+			match = false
+		}
 		if bk.Hooks.BackupEpoch != nil {
 			bk.Hooks.BackupEpoch(bk.index, e, p.Now(), match)
 		}
@@ -450,10 +510,20 @@ func (bk *Backup) Run(p *sim.Proc) {
 			bk.archive.record(SyncEpoch{Epoch: e, Tme: tme, Ints: delivered, Digest: b.Digest, Halted: end.Halted})
 		}
 		hv.DeliverBuffered()
-		// [end, E] proves the coordinator completed epoch E, so the
-		// epoch's environment output was performed: drop the suppressed
-		// copy (a failover epoch — no end message — re-emits it instead).
-		hv.CommitSuppressedOutputs()
+		if end.HasCut {
+			// Output commit: the coordinator has emitted only through its
+			// release watermark. Drop our suppressed copies up to it and
+			// RETAIN the rest — they are the promotion flush set (output
+			// the coordinator may die without ever releasing).
+			if end.HaveReleased {
+				hv.DropSuppressedThrough(end.Released)
+			}
+		} else {
+			// [end, E] proves the coordinator completed epoch E, so the
+			// epoch's environment output was performed: drop the suppressed
+			// copy (a failover epoch — no end message — re-emits it instead).
+			hv.CommitSuppressedOutputs()
+		}
 		hv.ChargeBoundary(p)
 		hv.SetTODBase(tme)
 		bk.release(e)

@@ -1,9 +1,11 @@
 package replication
 
 import (
+	"fmt"
 	"sort"
 
 	"repro/internal/hypervisor"
+	"repro/internal/netsim"
 	"repro/internal/sim"
 )
 
@@ -105,6 +107,47 @@ type coordinator struct {
 	endSeqs      []endSeqRec
 	ackedThrough uint64
 	haveAcked    bool
+
+	// Output-commit state (outputcommit.go): configuration, the commit
+	// window of sent-but-unacknowledged epochs, the release watermark,
+	// the frame pool, the wait signal and the kernel handle used by the
+	// acknowledgement delivery hook.
+	oc           OutputCommit
+	ocPend       []ocPending
+	released     uint64
+	haveReleased bool
+	pool         *netsim.FramePool[epochHead, hypervisor.Interrupt]
+	ocSig        *sim.Signal
+	k            *sim.Kernel
+	// txq/txSig/txClose drive the dedicated transmit process (txLoop):
+	// stamped frames awaiting fan-out, its wakeup signal, and the
+	// end-of-run close flag. Not captured by snapshots — restore replays
+	// the run deterministically, which reproduces the queue.
+	txq     []*epochFrame
+	txSig   *sim.Signal
+	txClose bool
+	bpool   *netsim.FramePool[struct{}, *epochFrame]
+
+	// joinBarrier makes the coordinator hold at each epoch boundary until
+	// the replication stream is fully drained (transmit queue flushed,
+	// every pending frame acknowledged by every live peer). A
+	// reintegration sets it while quiescing: the state-transfer image must
+	// be captured at a boundary the survivors can reconstruct, and under
+	// output commit an ordinary boundary is NOT one — frames may still sit
+	// in the transmit queue, dying with the processor on a failstop.
+	joinBarrier bool
+}
+
+// drained reports whether every epoch the coordinator has committed is
+// provably replicated: nothing queued for transmit and nothing awaiting
+// acknowledgement. The classic path transmits inline and (for the old
+// protocol) gates on acknowledgements, so it is vacuously drained at
+// every boundary.
+func (c *coordinator) drained() bool {
+	if !c.oc.Enabled {
+		return true
+	}
+	return len(c.txq) == 0 && len(c.ocPend) == 0
 }
 
 type endSeqRec struct {
@@ -116,27 +159,50 @@ type endSeqRec struct {
 func (c *coordinator) install(p *sim.Proc) {
 	c.s.proc = p
 	hv := c.hv
-	// P1: forward every captured interrupt immediately.
-	hv.OnCapture = func(i hypervisor.Interrupt) {
-		if c.stopped() {
-			return
+	if c.oc.Enabled {
+		// Output commit: interrupts ride the coalesced epoch frame (no
+		// per-capture forwarding), output is deferred instead of gated
+		// (the protocol variants behave identically), and each peer's
+		// acknowledgement channel feeds the release path directly.
+		hv.OnCapture = nil
+		hv.OnBeforeIO = nil
+		hv.SetOutputDeferral(p.Now)
+		c.k = p.Kernel()
+		c.ocSig = c.k.NewSignal("oc.release")
+		if c.pool == nil {
+			c.pool = &netsim.FramePool[epochHead, hypervisor.Interrupt]{}
 		}
-		c.stats.IntsForwarded++
-		c.s.send(message{Kind: msgInterrupt, Epoch: hv.Epoch(), IntIndex: c.intIndex, Int: i})
-		c.intIndex++
-	}
-	if c.proto == ProtocolNew {
-		hv.OnBeforeIO = func() {
+		if c.txSig == nil {
+			c.txSig = c.k.NewSignal("oc.tx")
+			c.bpool = &netsim.FramePool[struct{}, *epochFrame]{}
+			c.k.Spawn(fmt.Sprintf("oc-tx%d", c.node), c.txLoop)
+		}
+		for _, ps := range c.s.peers {
+			ps.peer.RX.OnDeliver = c.ackHandler(ps)
+		}
+	} else {
+		// P1: forward every captured interrupt immediately.
+		hv.OnCapture = func(i hypervisor.Interrupt) {
 			if c.stopped() {
 				return
 			}
-			start := p.Now()
-			c.stats.IOGateWaits++
-			c.s.awaitAcks(c.stopped)
-			c.stats.IOGateWaitTime += p.Now() - start
+			c.stats.IntsForwarded++
+			c.s.send(message{Kind: msgInterrupt, Epoch: hv.Epoch(), IntIndex: c.intIndex, Int: i})
+			c.intIndex++
 		}
-	} else {
-		hv.OnBeforeIO = nil
+		if c.proto == ProtocolNew {
+			hv.OnBeforeIO = func() {
+				if c.stopped() {
+					return
+				}
+				start := p.Now()
+				c.stats.IOGateWaits++
+				c.s.awaitAcks(c.stopped)
+				c.stats.IOGateWaitTime += p.Now() - start
+			}
+		} else {
+			hv.OnBeforeIO = nil
+		}
 	}
 	hv.Stop = c.stopped
 	hv.SetIOActive(true)
@@ -145,6 +211,10 @@ func (c *coordinator) install(p *sim.Proc) {
 // run executes epochs until the guest halts or the coordinator is
 // stopped. tme0 is the clock base for the first epoch it runs.
 func (c *coordinator) run(p *sim.Proc, tme0 uint32) {
+	if c.oc.Enabled {
+		c.runOC(p, tme0)
+		return
+	}
 	hv := c.hv
 	hv.SetTODBase(tme0)
 	for !hv.Halted() && !c.stopped() {

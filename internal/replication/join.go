@@ -11,14 +11,16 @@ package replication
 // acknowledged: nothing sent before it existed can be outstanding
 // toward it, so acknowledgement waits (P2, the §4.3 I/O gate) must not
 // block on history the joiner never received.
-func (s *sender) addPeer(p Peer) {
-	s.peers = append(s.peers, &peerState{peer: p, acked: s.seq})
+func (s *sender) addPeer(p Peer) *peerState {
+	ps := &peerState{peer: p, acked: s.seq}
+	s.peers = append(s.peers, ps)
+	return ps
 }
 
 // AddPeer adds a late-joining backup to the primary's fan-out: every
-// message sent from now on also goes to p, and boundary/I/O-gate
-// acknowledgement waits include it.
-func (pr *Primary) AddPeer(p Peer) { pr.coord.s.addPeer(p) }
+// message sent from now on also goes to p, and boundary/I/O-gate (or
+// output-commit release) acknowledgement tracking includes it.
+func (pr *Primary) AddPeer(p Peer) { pr.coord.attachPeer(p) }
 
 // AddDownstream registers a lower-priority late joiner with this
 // backup: if (or once) this backup is promoted, the joiner is part of
@@ -28,7 +30,7 @@ func (pr *Primary) AddPeer(p Peer) { pr.coord.s.addPeer(p) }
 func (bk *Backup) AddDownstream(p Peer) {
 	bk.downs = append(bk.downs, p)
 	if bk.coord != nil {
-		bk.coord.s.addPeer(p)
+		bk.coord.attachPeer(p)
 	}
 }
 

@@ -92,6 +92,14 @@ type message struct {
 	Digest   uint64               // msgEnd
 	Halted   bool                 // msgEnd
 
+	// Output-commit fields, set on a msgEnd decoded from an epoch frame
+	// (HasCut doubles as the output-commit marker): the epoch's cut
+	// coordinate and the coordinator's release watermark.
+	Cut          uint64
+	HasCut       bool
+	Released     uint64
+	HaveReleased bool
+
 	AckSeq uint64 // msgAck: highest sequence received
 
 	Sync []SyncEpoch // msgSync
@@ -137,4 +145,5 @@ type Stats struct {
 	PromotedAtTime  sim.Time // backup: virtual time of promotion
 	Promoted        bool
 	UncertainSynth  uint64 // P7 uncertain interrupts synthesized
+	OutputsReleased uint64 // output-commit: deferred operations released
 }

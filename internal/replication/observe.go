@@ -20,6 +20,14 @@ type Hooks struct {
 	// over (rules P6/P7). uncertain is the number of uncertain
 	// interrupts synthesized for outstanding I/O.
 	Promoted func(node int, epoch uint64, at sim.Time, uncertain int)
+	// OutputCommitted fires when the output-commit engine releases an
+	// epoch's deferred environment output (its frame acknowledged by
+	// every live peer). latency is generation→release of the epoch's
+	// first deferred output in virtual time (zero when the epoch
+	// produced none); outputs is how many deferred operations were
+	// released; occupancy is how many epochs remain in flight in the
+	// commit window afterwards. Runs in event context: observe only.
+	OutputCommitted func(node int, epoch uint64, at sim.Time, latency sim.Time, outputs, occupancy int)
 }
 
 // node identifiers for hook callbacks: the primary is node 0, backup i

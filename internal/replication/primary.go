@@ -30,6 +30,11 @@ type Primary struct {
 	// Hooks observes protocol milestones (optional; set before Run).
 	Hooks Hooks
 
+	// OutputCommit configures the output-commit latency engine (zero
+	// value: off, classic protocol). Set before Run; every replica must
+	// agree on it.
+	OutputCommit OutputCommit
+
 	Stats Stats
 }
 
@@ -68,10 +73,22 @@ func (pr *Primary) Failstop() {
 // Failed reports whether the failstop was injected.
 func (pr *Primary) Failed() bool { return pr.failed }
 
+// SetJoinBarrier arms (or disarms) the reintegration drain: while set,
+// the coordinator holds at each epoch boundary until every committed
+// epoch is replicated (see coordinator.joinBarrier). Call from a paused
+// simulation, as with AddPeer.
+func (pr *Primary) SetJoinBarrier(on bool) { pr.coord.joinBarrier = on }
+
+// ReplicationDrained reports whether every epoch committed so far is
+// provably held by the live backups — the safe capture condition for a
+// state transfer.
+func (pr *Primary) ReplicationDrained() bool { return pr.coord.drained() }
+
 // Run executes the primary until the guest halts or a failstop is
 // injected. It must be called as a simulation process.
 func (pr *Primary) Run(p *sim.Proc) {
 	pr.coord.s.peerTimeout = pr.PeerTimeout
+	pr.coord.oc = pr.OutputCommit
 	pr.coord.install(p)
 	pr.coord.run(p, pr.BootTOD)
 }

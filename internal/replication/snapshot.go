@@ -40,6 +40,12 @@ type CoordinatorState struct {
 	EndSeqs      []EndSeqState
 	AckedThrough uint64
 	HaveAcked    bool
+	// Window is the output-commit window of sent-but-unacknowledged
+	// epochs (epoch, frame seq), oldest first; Released/HaveReleased is
+	// the output-release watermark.
+	Window       []EndSeqState
+	Released     uint64
+	HaveReleased bool
 	// Archive is the retained epoch-replay tail, oldest first.
 	Archive []SyncEpoch
 	Stats   Stats
@@ -57,6 +63,12 @@ type PendingEnd struct {
 	Seq    uint64
 	Digest uint64
 	Halted bool
+	// Output-commit fields (HasCut marks a frame-decoded end): the cut
+	// coordinate and the coordinator's release watermark.
+	HasCut       bool
+	Cut          uint64
+	Released     uint64
+	HaveReleased bool
 }
 
 // PendingEpochState is one epoch's received-but-unprocessed protocol
@@ -112,6 +124,10 @@ func (c *coordinator) capture() CoordinatorState {
 	for _, r := range c.endSeqs {
 		s.EndSeqs = append(s.EndSeqs, EndSeqState{Epoch: r.epoch, Seq: r.seq})
 	}
+	for _, r := range c.ocPend {
+		s.Window = append(s.Window, EndSeqState{Epoch: r.epoch, Seq: r.seq})
+	}
+	s.Released, s.HaveReleased = c.released, c.haveReleased
 	s.Archive = c.archive.capture()
 	return s
 }
@@ -185,7 +201,11 @@ func (bk *Backup) CaptureState() BackupState {
 		}
 		if r.end != nil {
 			pe.HasEnd = true
-			pe.End = PendingEnd{Seq: r.end.Seq, Digest: r.end.Digest, Halted: r.end.Halted}
+			pe.End = PendingEnd{
+				Seq: r.end.Seq, Digest: r.end.Digest, Halted: r.end.Halted,
+				HasCut: r.end.HasCut, Cut: r.end.Cut,
+				Released: r.end.Released, HaveReleased: r.end.HaveReleased,
+			}
 		}
 		if r.verbatim != nil {
 			v := *r.verbatim

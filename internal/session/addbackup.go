@@ -55,6 +55,29 @@ type AddBackupConfig struct {
 	Link netsim.LinkConfig
 }
 
+// setJoinBarrier arms (or disarms) the reintegration drain on every
+// engine that coordinates — or may promote into coordinating — while
+// the quiesce runs.
+func (e *Engine) setJoinBarrier(on bool) {
+	e.pri.SetJoinBarrier(on)
+	for _, b := range e.baks {
+		b.SetJoinBarrier(on)
+	}
+}
+
+// actingDrained reports whether the acting coordinator's replication
+// stream is fully drained (vacuously true for the classic protocol path,
+// which transmits inline at the boundary).
+func (e *Engine) actingDrained() bool {
+	if e.lastNode == 0 {
+		return e.pri.ReplicationDrained()
+	}
+	if n := e.lastNode - 1; n >= 0 && n < len(e.baks) {
+		return e.baks[n].ReplicationDrained()
+	}
+	return true
+}
+
 // AddBackup reintegrates a new backup at the lowest priority and
 // returns its node index. The session advances to the acting
 // coordinator's next epoch commit (virtual time moves) before the
@@ -71,9 +94,20 @@ func (e *Engine) AddBackup(cfg AddBackupConfig) (int, error) {
 		return 0, ErrCompleted
 	}
 
-	// Quiesce at the next epoch commit.
+	// Quiesce at the next *replicated* epoch commit. An epoch boundary
+	// alone is not a safe capture point under output commit: the
+	// boundary's frame may still sit in the coordinator's transmit queue,
+	// where a failstop destroys it — the promoted backup would then
+	// re-execute that epoch live, while the joiner's image certifies the
+	// dead coordinator's version of it. The join barrier holds the acting
+	// coordinator at its next boundary until the stream drains (transmit
+	// queue flushed, every frame acknowledged by every live peer), so the
+	// captured image never exceeds what the survivors can reconstruct.
 	start := e.commits
-	if err := e.RunUntil(func() bool { return e.commits > start }); err != nil {
+	e.setJoinBarrier(true)
+	err := e.RunUntil(func() bool { return e.commits > start && e.actingDrained() })
+	e.setJoinBarrier(false)
+	if err != nil {
 		return 0, err
 	}
 	if e.commits == start {
@@ -117,6 +151,7 @@ func (e *Engine) AddBackup(cfg AddBackupConfig) (int, error) {
 	timeout := e.o.DetectTimeout
 	bak := replication.NewBackupAt(node.HV, n, ups, nil, timeout, e.o.Protocol)
 	bak.PeerTimeout = e.peerTimeout()
+	bak.OutputCommit = e.o.OutputCommit
 	bak.BootTOD = e.lastTme
 	bak.SetResumePoint(e.lastEpoch + 1)
 	bak.OnDivergence = e.divergenceHandler(n)

@@ -172,6 +172,13 @@ const (
 	// frame (retransmissions of queued or answered requests are deduped
 	// before this point and never emit).
 	EventNetRequest
+	// EventOutputCommitted: the output-commit engine released an epoch's
+	// deferred environment output (its frame was acknowledged by every
+	// live peer). Count carries the number of operations released,
+	// Latency the generation→release delay of the epoch's first output
+	// (zero when the epoch produced none), Occupancy the epochs still in
+	// flight in the commit window.
+	EventOutputCommitted
 )
 
 // Event is one observation from a running session.
@@ -192,6 +199,9 @@ type Event struct {
 	Bytes   uint64        // EventBackupAdded: state-transfer size on the wire
 	Data    []byte        // EventTerminalInput: the arrived bytes
 	Req     uint32        // EventNetRequest: the request id (Count = frame words)
+
+	Latency   sim.Time // EventOutputCommitted: output-generation → release
+	Occupancy int      // EventOutputCommitted: epochs still in flight
 }
 
 // Options configures an Engine.
@@ -219,6 +229,10 @@ type Options struct {
 	EpochLength uint64
 	Protocol    replication.Protocol
 	Link        netsim.LinkConfig
+	// OutputCommit configures the output-commit latency engine (zero
+	// value: off, classic lock-step protocol). Applied identically to
+	// every replica, including late joiners.
+	OutputCommit replication.OutputCommit
 
 	FailPrimaryAt sim.Time
 	DetectTimeout sim.Time
@@ -360,6 +374,11 @@ type Engine struct {
 	lastEpoch uint64
 	lastTme   uint32
 
+	// commitLats collects per-epoch output-commit latencies (virtual
+	// time from an epoch's first deferred output to its release); only
+	// epochs that actually produced output contribute a sample.
+	commitLats []sim.Time
+
 	// xferLinks tracks live state-transfer links by source node, so a
 	// failstop severs an in-flight transfer exactly as it severs the
 	// node's protocol channels.
@@ -426,8 +445,18 @@ func (e *Engine) Boot() {
 		Link:       o.Link,
 		Machine:    e.shareImage(sizeMachine(o.Machine)),
 		Hypervisor: hypervisor.Config{
-			EpochLength:   o.EpochLength,
-			NoTLBTakeover: o.NoTLBTakeover,
+			EpochLength:      o.EpochLength,
+			NoTLBTakeover:    o.NoTLBTakeover,
+			AdaptiveBoundary: o.OutputCommit.Enabled && o.OutputCommit.Adaptive,
+			// The simulation fast path rides the same opt-in: with output
+			// deferred, an environment access is a buffered shadow write,
+			// so consecutive simulations share one hypervisor residency.
+			ResidentEmulation: o.OutputCommit.Enabled,
+			// A tight cut slack still coalesces multi-word output bursts
+			// (consecutive stores are a few instructions apart) but stops
+			// burning simulated-poll time between the last output and the
+			// boundary that ships it.
+			CutSlack: 16,
 		},
 	}, n)
 	e.cluster = cluster
@@ -445,6 +474,7 @@ func (e *Engine) Boot() {
 	}
 	pri := replication.NewPrimaryMulti(cluster.Nodes[0].HV, peers, o.Protocol)
 	pri.PeerTimeout = e.peerTimeout()
+	pri.OutputCommit = o.OutputCommit
 	e.pri = pri
 	for i := 1; i < n; i++ {
 		var ups, downs []replication.Peer
@@ -459,6 +489,7 @@ func (e *Engine) Boot() {
 		bak := replication.NewBackupAt(
 			cluster.Nodes[i].HV, i, ups, downs, o.DetectTimeout, o.Protocol)
 		bak.PeerTimeout = e.peerTimeout()
+		bak.OutputCommit = o.OutputCommit
 		bak.OnDivergence = e.divergenceHandler(i)
 		e.baks = append(e.baks, bak)
 	}
@@ -532,7 +563,8 @@ func (e *Engine) divergenceHandler(node int) func(epoch uint64, primary, backup 
 // installHooks wires the protocol and environment observation hooks.
 func (e *Engine) installHooks() {
 	e.pri.Hooks = replication.Hooks{
-		EpochCommitted: e.epochCommitted,
+		EpochCommitted:  e.epochCommitted,
+		OutputCommitted: e.outputCommitted,
 	}
 	for _, bak := range e.baks {
 		bak.Hooks = e.backupHooks()
@@ -591,7 +623,8 @@ func (e *Engine) installDiskHooks(disks []*scsi.Disk, cons *console.Console) {
 // (shared between boot-time backups and late joiners).
 func (e *Engine) backupHooks() replication.Hooks {
 	return replication.Hooks{
-		EpochCommitted: e.epochCommitted,
+		EpochCommitted:  e.epochCommitted,
+		OutputCommitted: e.outputCommitted,
 		BackupEpoch: func(node int, epoch uint64, at sim.Time, match bool) {
 			e.emit(Event{Kind: EventBackupEpoch, At: at, Node: node, Epoch: epoch, Match: match})
 		},
@@ -612,6 +645,23 @@ func (e *Engine) diskOp(disk int, r scsi.OpRecord) {
 		e.emit(Event{Kind: EventDiskOp, Node: r.Host, IO: r, Disk: disk})
 	}
 }
+
+// outputCommitted observes an output-commit release: the acting
+// coordinator's ack window advanced past an epoch and its deferred
+// environment output (if any) just reached the devices.
+func (e *Engine) outputCommitted(node int, epoch uint64, at sim.Time, latency sim.Time, outputs, occupancy int) {
+	if outputs > 0 {
+		e.commitLats = append(e.commitLats, latency)
+	}
+	e.emit(Event{Kind: EventOutputCommitted, At: at, Node: node, Epoch: epoch,
+		Count: outputs, Latency: latency, Occupancy: occupancy})
+}
+
+// CommitLatencies returns the per-epoch output-commit latency samples
+// collected since boot (epochs that released no output contribute
+// nothing). The slice is live; callers must not retain it across
+// further advancement.
+func (e *Engine) CommitLatencies() []sim.Time { return e.commitLats }
 
 // epochCommitted observes the acting coordinator's boundary and applies
 // the predicate-stop discipline: bounded and cancelable runs yield here,

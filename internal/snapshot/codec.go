@@ -36,8 +36,12 @@ import (
 // device ID, device-generic completion records with input watermarks,
 // suppressed-output buffers, multi-disk and terminal configuration);
 // 3 = the network service (NIC/client-load session configuration,
-// per-node NIC port digests and the shared nic capture section).
-const FormatVersion = 3
+// per-node NIC port digests and the shared nic capture section);
+// 4 = the output-commit engine (epoch/start/time-tagged suppressed
+// output entries, coordinator commit-window and release watermark,
+// frame-decoded end-message fields, output-commit configuration and
+// stats counters).
+const FormatVersion = 4
 
 // ErrVersion reports a snapshot written by a different format version.
 // Errors wrapping it are returned by NewReader; test with errors.Is.

@@ -245,6 +245,9 @@ func putHVStats(w *Writer, s hypervisor.Stats) {
 	w.U64(s.IOSuppressed)
 	w.U64(s.ConsoleSuppressed)
 	w.U64(s.Captured)
+	w.U64(s.OutputsDeferred)
+	w.U64(s.StartsDeferred)
+	w.U64(s.AdaptiveCuts)
 	w.I64(int64(s.HypervisorTime))
 	w.I64(int64(s.DeliveryDelayTotal))
 	w.U64(s.DeliveryDelayCount)
@@ -263,6 +266,9 @@ func hvStats(r *Reader) hypervisor.Stats {
 	s.IOSuppressed = r.U64()
 	s.ConsoleSuppressed = r.U64()
 	s.Captured = r.U64()
+	s.OutputsDeferred = r.U64()
+	s.StartsDeferred = r.U64()
+	s.AdaptiveCuts = r.U64()
 	s.HypervisorTime = sim.Time(r.I64())
 	s.DeliveryDelayTotal = sim.Time(r.I64())
 	s.DeliveryDelayCount = r.U64()
@@ -300,6 +306,9 @@ func PutHypervisorState(w *Writer, s hypervisor.State) {
 		w.U32(so.Off)
 		w.U32(so.Val)
 		w.U32(so.Ordinal)
+		w.U64(so.Epoch)
+		w.Bool(so.Start)
+		w.U64(so.At)
 	}
 	putHVStats(w, s.Stats)
 }
@@ -347,6 +356,9 @@ func HypervisorState(r *Reader) hypervisor.State {
 		so.Off = r.U32()
 		so.Val = r.U32()
 		so.Ordinal = r.U32()
+		so.Epoch = r.U64()
+		so.Start = r.Bool()
+		so.At = r.U64()
 		s.Suppressed = append(s.Suppressed, so)
 	}
 	s.Stats = hvStats(r)
@@ -408,6 +420,7 @@ func putReplStats(w *Writer, s replication.Stats) {
 	w.I64(int64(s.PromotedAtTime))
 	w.Bool(s.Promoted)
 	w.U64(s.UncertainSynth)
+	w.U64(s.OutputsReleased)
 }
 
 func replStats(r *Reader) replication.Stats {
@@ -428,6 +441,7 @@ func replStats(r *Reader) replication.Stats {
 	s.PromotedAtTime = sim.Time(r.I64())
 	s.Promoted = r.Bool()
 	s.UncertainSynth = r.U64()
+	s.OutputsReleased = r.U64()
 	return s
 }
 
@@ -446,6 +460,13 @@ func PutCoordinatorState(w *Writer, s replication.CoordinatorState) {
 	}
 	w.U64(s.AckedThrough)
 	w.Bool(s.HaveAcked)
+	w.U32(uint32(len(s.Window)))
+	for _, e := range s.Window {
+		w.U64(e.Epoch)
+		w.U64(e.Seq)
+	}
+	w.U64(s.Released)
+	w.Bool(s.HaveReleased)
 	putSyncEpochs(w, s.Archive)
 	putReplStats(w, s.Stats)
 }
@@ -465,6 +486,12 @@ func CoordinatorState(r *Reader) replication.CoordinatorState {
 	}
 	s.AckedThrough = r.U64()
 	s.HaveAcked = r.Bool()
+	n = int(r.U32())
+	for i := 0; i < n && r.Err() == nil; i++ {
+		s.Window = append(s.Window, replication.EndSeqState{Epoch: r.U64(), Seq: r.U64()})
+	}
+	s.Released = r.U64()
+	s.HaveReleased = r.Bool()
 	s.Archive = syncEpochs(r)
 	s.Stats = replStats(r)
 	return s
@@ -494,6 +521,10 @@ func PutBackupState(w *Writer, s replication.BackupState) {
 		w.U64(pe.End.Seq)
 		w.U64(pe.End.Digest)
 		w.Bool(pe.End.Halted)
+		w.Bool(pe.End.HasCut)
+		w.U64(pe.End.Cut)
+		w.U64(pe.End.Released)
+		w.Bool(pe.End.HaveReleased)
 		w.Bool(pe.Verbatim != nil)
 		if pe.Verbatim != nil {
 			putSyncEpoch(w, *pe.Verbatim)
@@ -532,6 +563,10 @@ func BackupState(r *Reader) replication.BackupState {
 		pe.End.Seq = r.U64()
 		pe.End.Digest = r.U64()
 		pe.End.Halted = r.Bool()
+		pe.End.HasCut = r.Bool()
+		pe.End.Cut = r.U64()
+		pe.End.Released = r.U64()
+		pe.End.HaveReleased = r.Bool()
 		if r.Bool() {
 			v := syncEpoch(r)
 			pe.Verbatim = &v

@@ -8,6 +8,7 @@ import (
 	"repro/internal/clientsim"
 	"repro/internal/console"
 	"repro/internal/guest"
+	"repro/internal/replication"
 	"repro/internal/scsi"
 	"repro/internal/sim"
 )
@@ -41,7 +42,8 @@ type clusterOptions struct {
 	nic        bool
 	clientLoad *ClientLoad
 
-	sharedImage bool
+	sharedImage  bool
+	outputCommit *OutputCommit
 }
 
 // buildOptions applies opts over the defaults and cross-validates.
@@ -375,6 +377,46 @@ func WithNIC() Option {
 	}
 }
 
+// OutputCommit parameterizes WithOutputCommit. The zero value asks for
+// the engine with a window of one epoch and fixed boundaries.
+type OutputCommit struct {
+	// Window is the maximum number of epochs the coordinator runs ahead
+	// of acknowledgment (default 1 — classic output commit; each
+	// epoch's deferred output is released when its frame is acked).
+	// Bounded at 64.
+	Window int
+	// Adaptive enables output-triggered epoch boundaries: environment
+	// output mid-epoch deterministically terminates the epoch shortly
+	// after the triggering instruction, so output waits on the short
+	// remainder of a cut-short epoch instead of a full one.
+	Adaptive bool
+}
+
+// WithOutputCommit replaces the lock-step boundary protocol on the
+// replication critical path with the output-commit latency engine:
+// environment output is deferred, not gated — the epoch's state message
+// travels to the backups while the guest keeps executing, and the
+// deferred output is released the moment the message is acknowledged.
+// Failover semantics are unchanged (exactly-once output holds across
+// promotion); only the latency of the path from an output instruction
+// to the wire shrinks. Off by default; without this option the protocol
+// behaves — byte for byte — as it always has.
+func WithOutputCommit(oc OutputCommit) Option {
+	return func(o *clusterOptions) error {
+		if oc.Window < 0 {
+			return fmt.Errorf("hft: negative output-commit window %d", oc.Window)
+		}
+		if oc.Window > 64 {
+			return fmt.Errorf("hft: output-commit window %d exceeds the bound (64)", oc.Window)
+		}
+		if oc.Window == 0 {
+			oc.Window = 1
+		}
+		o.outputCommit = &oc
+		return nil
+	}
+}
+
 // WithSharedImage backs every replica's guest RAM with a
 // content-interned, copy-on-write base image built from the guest boot
 // image. All machines in the cluster — and across every cluster that
@@ -515,6 +557,19 @@ func (o *clusterOptions) clientLoadConfig() *clientsim.Config {
 		Start:        sim.Time(cl.Start),
 		MeanGap:      sim.Time(cl.MeanGap),
 		Timeout:      sim.Time(cl.Timeout),
+	}
+}
+
+// outputCommitConfig materializes the output-commit engine
+// configuration (zero value: off).
+func (o *clusterOptions) outputCommitConfig() replication.OutputCommit {
+	if o.outputCommit == nil {
+		return replication.OutputCommit{}
+	}
+	return replication.OutputCommit{
+		Enabled:  true,
+		Window:   o.outputCommit.Window,
+		Adaptive: o.outputCommit.Adaptive,
 	}
 }
 

@@ -196,6 +196,11 @@ func (c *Cluster) putConfig(w *snapshot.Writer) {
 		w.I64(int64(cl.Timeout))
 	}
 	w.Bool(o.sharedImage)
+	w.Bool(o.outputCommit != nil)
+	if o.outputCommit != nil {
+		w.Int(o.outputCommit.Window)
+		w.Bool(o.outputCommit.Adaptive)
+	}
 }
 
 // configFrom rebuilds resolved cluster options from a snapshot.
@@ -253,6 +258,12 @@ func configFrom(r *snapshot.Reader) *clusterOptions {
 		o.clientLoad = &cl
 	}
 	o.sharedImage = r.Bool()
+	if r.Bool() {
+		var oc OutputCommit
+		oc.Window = r.Int()
+		oc.Adaptive = r.Bool()
+		o.outputCommit = &oc
+	}
 	return o
 }
 
